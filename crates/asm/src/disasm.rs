@@ -1,0 +1,232 @@
+//! Program-image disassembly: render transition and action words as
+//! text, for debugging translators and inspecting EffCLiP layouts.
+
+use crate::image::ProgramImage;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use udp_isa::action::Action;
+use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
+use udp_isa::FALLBACK_SLOT;
+
+/// How a word was classified during disassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordKind {
+    /// Empty (all-zero) word.
+    Empty,
+    /// A labeled transition owned by the state based at `base`.
+    Labeled {
+        /// Owning state base.
+        base: u32,
+        /// Matched symbol.
+        symbol: u8,
+    },
+    /// A fallback/pass-slot word of the state based at `base`.
+    Fallback {
+        /// Owning state base.
+        base: u32,
+    },
+    /// An action word (reachable from some transition's attach).
+    ActionWord,
+    /// Unreferenced, undecodable, or data.
+    Unknown,
+}
+
+/// Disassembles an image into human-readable lines.
+///
+/// Classification walks the recorded state bases: every labeled slot and
+/// fallback slot is attributed to its owner; words reachable through
+/// attach references are decoded as actions; the rest print raw.
+pub fn disassemble(image: &ProgramImage) -> String {
+    let mut kinds: HashMap<u32, WordKind> = HashMap::new();
+    let mut action_starts: Vec<u32> = Vec::new();
+
+    for &base in &image.state_bases {
+        for (off, &raw) in image.words.iter().enumerate().skip(base as usize) {
+            let off = off as u32 - base;
+            if off > FALLBACK_SLOT + 8 {
+                break;
+            }
+            if raw == 0 {
+                continue;
+            }
+            let t = TransitionWord::decode(raw);
+            let addr = base + off;
+            let matches_slot = if off < 256 {
+                t.signature() == off as u8
+            } else {
+                off >= FALLBACK_SLOT
+            };
+            if !matches_slot {
+                continue;
+            }
+            let kind = if off < 256 {
+                WordKind::Labeled {
+                    base,
+                    symbol: off as u8,
+                }
+            } else {
+                WordKind::Fallback { base }
+            };
+            kinds.entry(addr).or_insert(kind);
+            if let Some(a) = t.action_addr(image.init.abase, image.init.ascale) {
+                let flat = match t.attach_mode() {
+                    udp_isa::AttachMode::Direct => a,
+                    udp_isa::AttachMode::Scaled => {
+                        image.init.abase + (u32::from(t.attach()) << image.init.ascale)
+                    }
+                };
+                action_starts.push(flat);
+            }
+        }
+    }
+    for start in action_starts {
+        let mut addr = start;
+        for _ in 0..64 {
+            let Some(&raw) = image.words.get(addr as usize) else { break };
+            let Some(a) = Action::decode(raw) else { break };
+            kinds.insert(addr, WordKind::ActionWord);
+            if a.last {
+                break;
+            }
+            addr += 1;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; entry {:#06x} ({:?}), {} states, span {} words, density {:.0}%",
+        image.entry_base,
+        image.entry_kind,
+        image.stats.n_states,
+        image.stats.span_words,
+        image.stats.density() * 100.0
+    );
+    for (addr, &raw) in image.words.iter().enumerate() {
+        if raw == 0 {
+            continue;
+        }
+        let addr = addr as u32;
+        let line = match kinds.get(&addr) {
+            Some(WordKind::Labeled { base, symbol }) => {
+                let t = TransitionWord::decode(raw);
+                format!(
+                    "S{base:04x}['{}'] -> S{:04x} {:?}{}",
+                    printable(*symbol),
+                    t.target(),
+                    t.kind(),
+                    attach_str(&t)
+                )
+            }
+            Some(WordKind::Fallback { base }) => {
+                let t = TransitionWord::decode(raw);
+                let tag = match t.signature() {
+                    FALLBACK_SIGNATURE => "fallback".to_string(),
+                    r if r <= 8 => format!("pass(refill {r})"),
+                    other => format!("chain({other:#x})"),
+                };
+                format!(
+                    "S{base:04x}[{tag}] -> S{:04x} {:?}{}",
+                    t.target(),
+                    t.kind(),
+                    attach_str(&t)
+                )
+            }
+            Some(WordKind::ActionWord) => match Action::decode(raw) {
+                Some(a) => format!("  {a}"),
+                None => format!(".word {raw:#010x}"),
+            },
+            _ => format!(".word {raw:#010x}"),
+        };
+        let _ = writeln!(out, "{addr:#06x}: {line}");
+    }
+    out
+}
+
+fn attach_str(t: &TransitionWord) -> String {
+    if t.attach() == 0 {
+        String::new()
+    } else {
+        format!(" @{:?}:{}", t.attach_mode(), t.attach())
+    }
+}
+
+fn printable(b: u8) -> String {
+    if b.is_ascii_graphic() || b == b' ' {
+        (b as char).to_string()
+    } else {
+        format!("\\x{b:02x}")
+    }
+}
+
+/// True when the word at `addr` decodes as an in-range transition whose
+/// target stays inside the image (a structural lint used in tests).
+pub fn transition_targets_in_range(image: &ProgramImage) -> bool {
+    for &base in &image.state_bases {
+        for off in 0..=FALLBACK_SLOT {
+            let Some(&raw) = image.words.get((base + off) as usize) else {
+                continue;
+            };
+            if raw == 0 {
+                continue;
+            }
+            let t = TransitionWord::decode(raw);
+            if off < 256 && t.signature() != off as u8 {
+                continue; // foreign word interleaved here
+            }
+            if t.kind() != ExecKind::Halt
+                && !image.state_bases.contains(&(u32::from(t.target())))
+                && image.stats.span_words <= 4096
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayoutOptions, ProgramBuilder, Target};
+    use udp_isa::action::{Action as A, Opcode};
+    use udp_isa::Reg;
+
+    fn sample() -> ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(
+            s,
+            b'x' as u16,
+            Target::State(s),
+            vec![A::imm(Opcode::EmitB, Reg::R0, Reg::new(12), 33)],
+        );
+        b.fallback_arc(s, Target::State(s), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn disassembly_mentions_states_and_actions() {
+        let img = sample();
+        let text = disassemble(&img);
+        assert!(text.contains("['x']"), "{text}");
+        assert!(text.contains("[fallback]"), "{text}");
+        assert!(text.contains("EmitB"), "{text}");
+        assert!(text.contains("entry"), "{text}");
+    }
+
+    #[test]
+    fn structural_lint_passes_on_assembled_images() {
+        let img = sample();
+        assert!(transition_targets_in_range(&img));
+    }
+
+    #[test]
+    fn empty_words_are_skipped() {
+        let img = sample();
+        let text = disassemble(&img);
+        // Far fewer lines than span words: empties suppressed.
+        assert!(text.lines().count() < img.stats.span_words / 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Assembled program images and layout statistics.
+
+use udp_isa::transition::ExecKind;
+use udp_isa::Word;
+
+/// Per-lane register initialization shipped with a program (performed by
+/// the host driver before streaming begins, like vector-register staging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneInit {
+    /// Initial symbol-size register value in bits.
+    pub symbol_bits: u8,
+    /// Action-base register for scaled-offset attach addressing.
+    pub abase: u32,
+    /// Action-scale register (log2 words per scaled slot).
+    pub ascale: u8,
+    /// Initial window-base register (restricted addressing).
+    pub wbase: u32,
+}
+
+/// Code-size and layout statistics — the raw material for the paper's
+/// Figure 5c and Figure 8b (code size limits lane parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayoutStats {
+    /// Total extent of the laid-out program in words (including packing
+    /// gaps) — the window a lane must own to hold a copy.
+    pub span_words: usize,
+    /// Words actually written (transitions + actions + reserved slots).
+    pub words_used: usize,
+    /// Number of IR states placed.
+    pub n_states: usize,
+    /// Stored transition words.
+    pub n_transition_words: usize,
+    /// Stored action words.
+    pub n_action_words: usize,
+    /// Words in the direct (globally shared) attach region.
+    pub direct_region_words: usize,
+    /// Words in the scaled-offset attach region.
+    pub scaled_region_words: usize,
+}
+
+impl LayoutStats {
+    /// Program size in bytes (span × 4), the metric of Figures 5c / 8b.
+    pub fn code_bytes(&self) -> usize {
+        self.span_words * 4
+    }
+
+    /// How many lanes of a `total_words` memory can each hold a private
+    /// copy of this program, capped at 64 (Figure 8b: "code-size limits
+    /// parallelism").
+    pub fn max_parallelism(&self, total_words: usize) -> usize {
+        if self.span_words == 0 {
+            return udp_isa::NUM_BANKS;
+        }
+        (total_words / self.span_words).clamp(0, udp_isa::NUM_BANKS)
+    }
+
+    /// Memory utilization: fraction of the span that holds live words.
+    pub fn density(&self) -> f64 {
+        if self.span_words == 0 {
+            return 1.0;
+        }
+        self.words_used as f64 / self.span_words as f64
+    }
+}
+
+/// A loadable UDP program.
+#[derive(Debug, Clone)]
+pub struct ProgramImage {
+    /// The memory image, `stats.span_words` long, window-relative.
+    pub words: Vec<Word>,
+    /// Flat word address of the entry state's base.
+    pub entry_base: u32,
+    /// How the entry state dispatches first.
+    pub entry_kind: ExecKind,
+    /// Initial lane register state.
+    pub init: LaneInit,
+    /// Flat base address of every IR state (diagnostics and tests).
+    pub state_bases: Vec<u32>,
+    /// Layout statistics.
+    pub stats: LayoutStats,
+    /// False for size-model-only layouts (UAP attach mode), which may
+    /// alias attach fields and must not be executed.
+    pub executable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_is_code_size_limited() {
+        let stats = LayoutStats {
+            span_words: 8192, // two banks worth
+            ..Default::default()
+        };
+        assert_eq!(stats.max_parallelism(udp_isa::mem::TOTAL_WORDS), 32);
+    }
+
+    #[test]
+    fn parallelism_caps_at_lane_count() {
+        let stats = LayoutStats {
+            span_words: 10,
+            ..Default::default()
+        };
+        assert_eq!(stats.max_parallelism(udp_isa::mem::TOTAL_WORDS), 64);
+    }
+
+    #[test]
+    fn density_of_empty_is_one() {
+        assert_eq!(LayoutStats::default().density(), 1.0);
+    }
+}

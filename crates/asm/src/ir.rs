@@ -1,0 +1,307 @@
+//! The assembler's intermediate representation: states, arcs, actions.
+//!
+//! Translators build programs from three node shapes that together realize
+//! the paper's seven transition types:
+//!
+//! * [`StateNode::Consuming`] — reads a symbol (from the stream buffer or,
+//!   when [`DispatchSource::Register`], from scalar register R0: the
+//!   *flagged* dispatch of §3.2.3) and multi-way dispatches on it.
+//!   Its labeled arcs are *labeled* transitions; its fallback arc is the
+//!   *majority* / *default* / *common* compaction.
+//! * [`StateNode::Pass`] — acts immediately without consuming: plain pass
+//!   (`refill == 0`) or a *refill* state that puts back unconsumed bits
+//!   (§3.2.2, variable-size symbols).
+//! * [`StateNode::Fork`] — *epsilon* multi-state activation for NFA
+//!   execution: all arcs activate.
+
+use udp_isa::action::Action;
+
+/// Index of a state within a [`ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where an arc goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Continue at a state.
+    State(StateId),
+    /// Stop the lane (terminal arc); actions still run first.
+    Halt,
+}
+
+/// Which source a consuming state dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatchSource {
+    /// The stream buffer: `symbol_size` bits per dispatch.
+    #[default]
+    Stream,
+    /// Scalar register R0 (the paper's *flagged* transitions).
+    Register,
+}
+
+/// One outgoing transition: a destination plus an attached action block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Destination.
+    pub target: Target,
+    /// Actions executed when the arc is taken (empty = none).
+    pub actions: Vec<Action>,
+}
+
+/// A dispatch state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateNode {
+    /// Multi-way dispatch on a consumed symbol.
+    Consuming {
+        /// Symbol source (stream or R0).
+        source: DispatchSource,
+        /// `(symbol, arc)` pairs; symbols must be `< 256`.
+        arcs: Vec<(u16, Arc)>,
+        /// Taken when no labeled arc matches; consumes the symbol.
+        fallback: Option<Arc>,
+    },
+    /// Pass-through: immediately takes `arc`, first putting `refill`
+    /// bits back into the stream.
+    Pass {
+        /// Bits to put back (0–8); 0 is a plain epsilon/pass.
+        refill: u8,
+        /// The sole outgoing arc.
+        arc: Arc,
+    },
+    /// Epsilon fork: activates every arc (NFA multi-state activation).
+    Fork {
+        /// The activated arcs, in chain order.
+        arcs: Vec<Arc>,
+    },
+}
+
+impl StateNode {
+    /// Word-slot offsets (relative to the state base) this state occupies.
+    ///
+    /// Consuming states own their labeled slots plus the fallback slot
+    /// (reserved even when no fallback arc exists, so a missed dispatch
+    /// reads a detectably-empty word). Pass states own the fallback slot;
+    /// forks own a chain starting there.
+    pub fn footprint(&self) -> Vec<u32> {
+        match self {
+            StateNode::Consuming { arcs, .. } => {
+                let mut slots: Vec<u32> = arcs.iter().map(|(s, _)| u32::from(*s)).collect();
+                slots.push(udp_isa::FALLBACK_SLOT);
+                slots.sort_unstable();
+                slots.dedup();
+                slots
+            }
+            StateNode::Pass { .. } => vec![udp_isa::FALLBACK_SLOT],
+            StateNode::Fork { arcs } => (0..arcs.len().max(1) as u32)
+                .map(|i| udp_isa::FALLBACK_SLOT + i)
+                .collect(),
+        }
+    }
+
+    /// All outgoing arcs, for traversal.
+    pub fn arcs(&self) -> Vec<&Arc> {
+        match self {
+            StateNode::Consuming { arcs, fallback, .. } => arcs
+                .iter()
+                .map(|(_, a)| a)
+                .chain(fallback.iter())
+                .collect(),
+            StateNode::Pass { arc, .. } => vec![arc],
+            StateNode::Fork { arcs } => arcs.iter().collect(),
+        }
+    }
+}
+
+/// An in-progress UDP program: the input to [`ProgramBuilder::assemble`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    pub(crate) states: Vec<StateNode>,
+    pub(crate) entry: Option<StateId>,
+    /// Initial symbol-size register value in bits (1–8).
+    pub(crate) symbol_bits: u8,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program with byte-wide (8-bit) symbols.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            states: Vec::new(),
+            entry: None,
+            symbol_bits: 8,
+        }
+    }
+
+    /// Sets the initial symbol width in bits (1–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn set_symbol_bits(&mut self, bits: u8) {
+        assert!((1..=8).contains(&bits), "symbol width {bits} out of range");
+        self.symbol_bits = bits;
+    }
+
+    /// The configured initial symbol width.
+    pub fn symbol_bits(&self) -> u8 {
+        self.symbol_bits
+    }
+
+    /// Adds an empty stream-dispatching consuming state.
+    pub fn add_consuming_state(&mut self) -> StateId {
+        self.add_state(StateNode::Consuming {
+            source: DispatchSource::Stream,
+            arcs: Vec::new(),
+            fallback: None,
+        })
+    }
+
+    /// Adds an empty register-dispatching (flagged) consuming state.
+    pub fn add_flagged_state(&mut self) -> StateId {
+        self.add_state(StateNode::Consuming {
+            source: DispatchSource::Register,
+            arcs: Vec::new(),
+            fallback: None,
+        })
+    }
+
+    /// Adds a pass-through state that refills `refill` bits and takes `arc`.
+    pub fn add_pass_state(&mut self, refill: u8, arc: Arc) -> StateId {
+        assert!(refill <= 8, "refill {refill} exceeds 8 bits");
+        self.add_state(StateNode::Pass { refill, arc })
+    }
+
+    /// Adds an epsilon-fork state activating all `arcs`.
+    pub fn add_fork_state(&mut self, arcs: Vec<Arc>) -> StateId {
+        assert!(!arcs.is_empty(), "fork must have at least one arc");
+        self.add_state(StateNode::Fork { arcs })
+    }
+
+    /// Adds an arbitrary node.
+    pub fn add_state(&mut self, node: StateNode) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(node);
+        id
+    }
+
+    /// Declares the entry state.
+    pub fn set_entry(&mut self, state: StateId) {
+        self.entry = Some(state);
+    }
+
+    /// The entry state, if set.
+    pub fn entry(&self) -> Option<StateId> {
+        self.entry
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Immutable access to a node.
+    pub fn state(&self, id: StateId) -> &StateNode {
+        &self.states[id.index()]
+    }
+
+    /// Adds a labeled arc `from --symbol--> target` running `actions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a consuming state, `symbol >= 256`, or the
+    /// symbol already has an arc.
+    pub fn labeled_arc(&mut self, from: StateId, symbol: u16, target: Target, actions: Vec<Action>) {
+        assert!(symbol < 256, "symbol {symbol} out of 8-bit dispatch range");
+        match &mut self.states[from.index()] {
+            StateNode::Consuming { arcs, .. } => {
+                assert!(
+                    !arcs.iter().any(|(s, _)| *s == symbol),
+                    "duplicate labeled arc for symbol {symbol}"
+                );
+                arcs.push((symbol, Arc { target, actions }));
+            }
+            other => panic!("labeled_arc on non-consuming state: {other:?}"),
+        }
+    }
+
+    /// Sets the fallback (majority/default/common) arc of a consuming state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not consuming or already has a fallback.
+    pub fn fallback_arc(&mut self, from: StateId, target: Target, actions: Vec<Action>) {
+        match &mut self.states[from.index()] {
+            StateNode::Consuming { fallback, .. } => {
+                assert!(fallback.is_none(), "state already has a fallback arc");
+                *fallback = Some(Arc { target, actions });
+            }
+            other => panic!("fallback_arc on non-consuming state: {other:?}"),
+        }
+    }
+
+    /// Total number of arcs (transition words before layout).
+    pub fn arc_count(&self) -> usize {
+        self.states.iter().map(|s| s.arcs().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consuming_footprint_includes_fallback_slot() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.labeled_arc(s, 3, Target::Halt, vec![]);
+        b.labeled_arc(s, 250, Target::Halt, vec![]);
+        assert_eq!(b.state(s).footprint(), vec![3, 250, 256]);
+    }
+
+    #[test]
+    fn pass_footprint_is_fallback_slot() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_pass_state(
+            2,
+            Arc {
+                target: Target::Halt,
+                actions: vec![],
+            },
+        );
+        assert_eq!(b.state(s).footprint(), vec![256]);
+    }
+
+    #[test]
+    fn fork_footprint_is_chain() {
+        let mut b = ProgramBuilder::new();
+        let arc = Arc {
+            target: Target::Halt,
+            actions: vec![],
+        };
+        let s = b.add_fork_state(vec![arc.clone(), arc.clone(), arc]);
+        assert_eq!(b.state(s).footprint(), vec![256, 257, 258]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate labeled arc")]
+    fn duplicate_symbol_panics() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.labeled_arc(s, 1, Target::Halt, vec![]);
+        b.labeled_arc(s, 1, Target::Halt, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit dispatch range")]
+    fn oversized_symbol_panics() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.labeled_arc(s, 256, Target::Halt, vec![]);
+    }
+}

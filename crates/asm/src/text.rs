@@ -1,0 +1,529 @@
+//! A textual UDP assembly format — the "high-level assembly language"
+//! the paper's translators target (§4.3).
+//!
+//! ```text
+//! ; count 'a' bytes
+//! symbols 8
+//!
+//! state scan:
+//!   'a'       -> scan   { EmitB r0, r12, #33 }
+//!   'x'-'z'   -> scan                          ; symbol ranges expand
+//!   fallback  -> scan
+//!
+//! state stop: pass refill 0
+//!   -> halt   { Halt r0, r0, #7 }
+//!
+//! entry scan
+//! ```
+//!
+//! State headers: `state NAME:` (consuming, stream source),
+//! `state NAME: flagged` (consuming, R0 source),
+//! `state NAME: pass refill N`, `state NAME: fork`.
+//! Arc lines: `SYMBOL -> TARGET [{ actions }]` where `SYMBOL` is a char
+//! literal, decimal, `0xNN`, an inclusive range, or `fallback`; pass and
+//! fork states omit the symbol (`-> TARGET`). Actions use the
+//! `Display` syntax of [`udp_isa::Action`] separated by `;`.
+
+use crate::ir::{Arc, ProgramBuilder, StateId, Target};
+use std::collections::HashMap;
+use std::fmt;
+use udp_isa::action::{Action, ActionFormat, Opcode};
+use udp_isa::Reg;
+
+/// Assembly-text parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn opcode_by_name(name: &str) -> Option<Opcode> {
+    Opcode::ALL
+        .iter()
+        .copied()
+        .find(|op| format!("{op:?}") == name)
+}
+
+/// Parses assembly text into a [`ProgramBuilder`].
+///
+/// ```
+/// let src = "
+/// state s:
+///   'a'      -> s { EmitB r0, r12, #33 }
+///   fallback -> s
+/// entry s
+/// ";
+/// let builder = udp_asm::parse_asm(src)?;
+/// let image = builder.assemble(&udp_asm::LayoutOptions::default())?;
+/// assert!(image.stats.n_transition_words >= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on any syntax or
+/// reference error.
+pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
+    let err = |line: usize, m: String| ParseAsmError { line, message: m };
+
+    // Pass 1: collect state declarations so forward references resolve.
+    #[derive(Clone)]
+    enum Decl {
+        Consuming { flagged: bool },
+        Pass { refill: u8 },
+        Fork,
+    }
+    let mut decls: Vec<(String, Decl, usize)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix("state ") {
+            let (name, tail) = rest
+                .split_once(':')
+                .ok_or_else(|| err(ln + 1, "state header needs ':'".to_string()))?;
+            let name = name.trim().to_string();
+            if decls.iter().any(|(n, _, _)| *n == name) {
+                return Err(err(ln + 1, format!("duplicate state {name}")));
+            }
+            let tail = tail.trim();
+            let decl = if tail.is_empty() {
+                Decl::Consuming { flagged: false }
+            } else if tail == "flagged" {
+                Decl::Consuming { flagged: true }
+            } else if tail == "fork" {
+                Decl::Fork
+            } else if let Some(r) = tail.strip_prefix("pass refill ") {
+                let refill: u8 = r
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(ln + 1, format!("bad refill count {r:?}")))?;
+                if refill > 8 {
+                    return Err(err(ln + 1, "refill exceeds 8 bits".to_string()));
+                }
+                Decl::Pass { refill }
+            } else {
+                return Err(err(ln + 1, format!("unknown state qualifier {tail:?}")));
+            };
+            decls.push((name, decl, ln + 1));
+        }
+    }
+
+    // Consuming states are created up front; pass/fork states take
+    // their arcs at construction, so those are materialized after all
+    // arc lines are parsed into a symbolic form.
+    let mut b = ProgramBuilder::new();
+    let mut ids: HashMap<String, StateId> = HashMap::new();
+    for (name, decl, _) in &decls {
+        if let Decl::Consuming { flagged } = decl {
+            let id = if *flagged {
+                b.add_flagged_state()
+            } else {
+                b.add_consuming_state()
+            };
+            ids.insert(name.clone(), id);
+        }
+    }
+    struct SymArc {
+        line: usize,
+        state: String,
+        symbol: Option<SymSpec>, // None = pass/fork arc
+        target: String,
+        actions: Vec<Action>,
+    }
+    enum SymSpec {
+        Range(u16, u16),
+        Fallback,
+    }
+
+    let mut entry: Option<String> = None;
+    let mut symbol_bits: Option<u8> = None;
+    let mut current: Option<String> = None;
+    let mut arcs: Vec<SymArc> = Vec::new();
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("symbols ") {
+            let bits: u8 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(ln, format!("bad symbol width {rest:?}")))?;
+            symbol_bits = Some(bits);
+        } else if let Some(rest) = line.strip_prefix("entry ") {
+            entry = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("state ") {
+            let (name, _) = rest.split_once(':').expect("validated in pass 1");
+            current = Some(name.trim().to_string());
+        } else if line.contains("->") {
+            let state = current
+                .clone()
+                .ok_or_else(|| err(ln, "arc before any state header".to_string()))?;
+            let (lhs, rhs) = line.split_once("->").expect("checked");
+            let lhs = lhs.trim();
+            let symbol = if lhs.is_empty() {
+                None
+            } else if lhs == "fallback" {
+                Some(SymSpec::Fallback)
+            } else if let Some((a, z)) = split_range(lhs) {
+                let lo = parse_symbol(a).map_err(|m| err(ln, m))?;
+                let hi = parse_symbol(z).map_err(|m| err(ln, m))?;
+                if hi < lo {
+                    return Err(err(ln, "inverted symbol range".to_string()));
+                }
+                Some(SymSpec::Range(lo, hi))
+            } else {
+                let s = parse_symbol(lhs).map_err(|m| err(ln, m))?;
+                Some(SymSpec::Range(s, s))
+            };
+            let (target, actions_src) = match rhs.split_once('{') {
+                Some((t, a)) => {
+                    let a = a
+                        .strip_suffix('}')
+                        .ok_or_else(|| err(ln, "unterminated action block".to_string()))?;
+                    (t.trim().to_string(), Some(a.to_string()))
+                }
+                None => (rhs.trim().to_string(), None),
+            };
+            let mut actions = Vec::new();
+            if let Some(src) = actions_src {
+                for part in src.split(';') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    actions.push(parse_action(part).map_err(|m| err(ln, m))?);
+                }
+            }
+            arcs.push(SymArc {
+                line: ln,
+                state,
+                symbol,
+                target,
+                actions,
+            });
+        } else {
+            return Err(err(ln, format!("unrecognized line {line:?}")));
+        }
+    }
+
+    // Materialize pass/fork states in dependency-free order: they may
+    // reference each other, so create placeholders as consuming states
+    // is not possible — instead, create them in two steps: first create
+    // all with dummy arcs to themselves is also impossible. We instead
+    // topologically defer: create pass/fork states last, resolving
+    // targets that must already exist; chains of pass→pass are created
+    // in reverse dependency order via iteration to fixpoint.
+    let resolve = |ids: &HashMap<String, StateId>, name: &str| -> Option<Target> {
+        if name == "halt" {
+            Some(Target::Halt)
+        } else {
+            ids.get(name).copied().map(Target::State)
+        }
+    };
+    let mut remaining: Vec<&(String, Decl, usize)> = decls
+        .iter()
+        .filter(|(_, d, _)| !matches!(d, Decl::Consuming { .. }))
+        .collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|(name, decl, decl_line)| {
+            let my_arcs: Vec<&SymArc> = arcs.iter().filter(|a| a.state == *name).collect();
+            let ready = my_arcs.iter().all(|a| resolve(&ids, &a.target).is_some());
+            if !ready {
+                return true;
+            }
+            let built: Vec<Arc> = my_arcs
+                .iter()
+                .map(|a| Arc {
+                    target: resolve(&ids, &a.target).expect("checked ready"),
+                    actions: a.actions.clone(),
+                })
+                .collect();
+            let id = match decl {
+                Decl::Pass { refill } => {
+                    let arc = built.first().cloned().unwrap_or(Arc {
+                        target: Target::Halt,
+                        actions: vec![],
+                    });
+                    b.add_pass_state(*refill, arc)
+                }
+                Decl::Fork => b.add_fork_state(built),
+                Decl::Consuming { .. } => unreachable!(),
+            };
+            ids.insert(name.clone(), id);
+            let _ = decl_line;
+            false
+        });
+        if remaining.len() == before {
+            let stuck: Vec<&str> = remaining.iter().map(|(n, _, _)| n.as_str()).collect();
+            return Err(err(
+                remaining[0].2,
+                format!("unresolved pass/fork targets among {stuck:?} (cycle or unknown state)"),
+            ));
+        }
+    }
+
+    // Now attach consuming arcs.
+    for a in &arcs {
+        let Some(&sid) = ids.get(&a.state) else {
+            return Err(err(a.line, format!("unknown state {:?}", a.state)));
+        };
+        let decl = &decls.iter().find(|(n, _, _)| *n == a.state).expect("pass 1").1;
+        if !matches!(decl, Decl::Consuming { .. }) {
+            continue; // handled above
+        }
+        let target = resolve(&ids, &a.target)
+            .ok_or_else(|| err(a.line, format!("unknown target {:?}", a.target)))?;
+        match &a.symbol {
+            Some(SymSpec::Fallback) => b.fallback_arc(sid, target, a.actions.clone()),
+            Some(SymSpec::Range(lo, hi)) => {
+                for s in *lo..=*hi {
+                    b.labeled_arc(sid, s, target, a.actions.clone());
+                }
+            }
+            None => return Err(err(a.line, "consuming arcs need a symbol".to_string())),
+        }
+    }
+
+    if let Some(bits) = symbol_bits {
+        if !(1..=8).contains(&bits) {
+            return Err(err(1, format!("symbol width {bits} out of range")));
+        }
+        b.set_symbol_bits(bits);
+    }
+    let entry = entry.ok_or_else(|| err(text.lines().count(), "missing 'entry'".to_string()))?;
+    let &eid = ids
+        .get(&entry)
+        .ok_or_else(|| err(1, format!("unknown entry state {entry:?}")))?;
+    b.set_entry(eid);
+    Ok(b)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // ';' starts a comment unless inside a char literal.
+    let bytes = line.as_bytes();
+    let mut in_char = false;
+    for (i, &c) in bytes.iter().enumerate() {
+        match c {
+            b'\'' => in_char = !in_char,
+            b';' if !in_char => {
+                // Action separators live inside '{ }' blocks.
+                let open = line[..i].matches('{').count();
+                let close = line[..i].matches('}').count();
+                if open == close {
+                    return &line[..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_range(s: &str) -> Option<(&str, &str)> {
+    // 'a'-'z' or 10-20 (careful: '-' may be the char literal '-').
+    if s.starts_with('\'') {
+        let rest = s.get(3..)?;
+        let tail = rest.strip_prefix('-')?;
+        return Some((&s[..3], tail));
+    }
+    if s.starts_with("0x") || s.chars().next()?.is_ascii_digit() {
+        let (a, z) = s.split_once('-')?;
+        return Some((a, z));
+    }
+    None
+}
+
+fn parse_symbol(s: &str) -> Result<u16, String> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+        let mut chars = inner.chars();
+        let c = chars.next().ok_or("empty char literal")?;
+        if chars.next().is_some() {
+            return Err(format!("char literal {s:?} too long"));
+        }
+        return Ok(c as u16);
+    }
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u16::from_str_radix(hex, 16).map_err(|e| format!("bad hex {s:?}: {e}"))?
+    } else {
+        s.parse().map_err(|e| format!("bad symbol {s:?}: {e}"))?
+    };
+    if v > 255 {
+        return Err(format!("symbol {v} exceeds 8-bit dispatch"));
+    }
+    Ok(v)
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let n: u8 = s
+        .trim()
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got {s:?}"))?
+        .parse()
+        .map_err(|e| format!("bad register {s:?}: {e}"))?;
+    if n > 15 {
+        return Err(format!("register r{n} out of range"));
+    }
+    Ok(Reg::new(n))
+}
+
+fn parse_imm(s: &str) -> Result<u16, String> {
+    let s = s.trim();
+    let s = s
+        .strip_prefix('#')
+        .ok_or_else(|| format!("expected immediate, got {s:?}"))?;
+    if let Some(hex) = s.strip_prefix("0x") {
+        u16::from_str_radix(hex, 16).map_err(|e| format!("bad hex immediate: {e}"))
+    } else if let Some(neg) = s.strip_prefix('-') {
+        let v: i32 = neg.parse().map_err(|e| format!("bad immediate: {e}"))?;
+        Ok((-v as i16) as u16)
+    } else {
+        s.parse().map_err(|e| format!("bad immediate: {e}"))
+    }
+}
+
+/// Parses one action in `Display` syntax (`AddI r3, r1, #10`).
+pub fn parse_action(s: &str) -> Result<Action, String> {
+    let s = s.trim().trim_end_matches('!').trim();
+    let (name, rest) = s
+        .split_once(' ')
+        .ok_or_else(|| format!("action needs operands: {s:?}"))?;
+    let op = opcode_by_name(name).ok_or_else(|| format!("unknown opcode {name:?}"))?;
+    let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+    match op.format() {
+        ActionFormat::Imm => {
+            if parts.len() != 3 {
+                return Err(format!("{name} needs dst, src, #imm"));
+            }
+            Ok(Action::imm(op, parse_reg(parts[0])?, parse_reg(parts[1])?, parse_imm(parts[2])?))
+        }
+        ActionFormat::Imm2 => {
+            if parts.len() != 4 {
+                return Err(format!("{name} needs dst, src, #imm1, #imm2"));
+            }
+            let imm1 = parse_imm(parts[2])?;
+            if imm1 > 0xF {
+                return Err("imm1 exceeds 4 bits".to_string());
+            }
+            Ok(Action::imm2(
+                op,
+                parse_reg(parts[0])?,
+                parse_reg(parts[1])?,
+                imm1 as u8,
+                parse_imm(parts[3])?,
+            ))
+        }
+        ActionFormat::Reg => {
+            if parts.len() != 3 {
+                return Err(format!("{name} needs dst, ref, src"));
+            }
+            Ok(Action::reg(op, parse_reg(parts[0])?, parse_reg(parts[1])?, parse_reg(parts[2])?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayoutOptions;
+
+    const COUNTER: &str = r#"
+; emit '!' per 'a'
+symbols 8
+state scan:
+  'a'      -> scan { EmitB r0, r12, #33 }
+  fallback -> scan
+entry scan
+"#;
+
+    #[test]
+    fn parses_and_assembles() {
+        let b = parse_asm(COUNTER).unwrap();
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        assert!(img.stats.n_transition_words >= 2);
+        assert_eq!(b.symbol_bits(), 8);
+    }
+
+    #[test]
+    fn ranges_expand() {
+        let src = r#"
+state s:
+  '0'-'9' -> s
+  fallback -> halt
+entry s
+"#;
+        let b = parse_asm(src).unwrap();
+        assert_eq!(b.arc_count(), 11);
+    }
+
+    #[test]
+    fn pass_fork_and_flagged_states() {
+        let src = r#"
+symbols 3
+state start:
+  fallback -> leaf
+state leaf: pass refill 1
+  -> probe { EmitB r0, r12, #82 }
+state probe: flagged
+  0 -> start
+  1 -> halt { Halt r0, r0, #5 }
+entry start
+"#;
+        let b = parse_asm(src).unwrap();
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        assert!(img.stats.n_states >= 3);
+    }
+
+    #[test]
+    fn action_syntax_round_trips_display() {
+        for a in [
+            Action::imm(Opcode::AddI, Reg::new(3), Reg::new(1), 0xBEEF),
+            Action::imm2(Opcode::EmitBits, Reg::new(0), Reg::new(2), 7, 33),
+            Action::reg(Opcode::LoopCmp, Reg::new(4), Reg::new(5), Reg::new(6)),
+        ] {
+            let text = format!("{a}");
+            let parsed = parse_action(&text).unwrap();
+            assert_eq!(parsed.encode(), a.encode(), "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("state a:\n  junk line\nentry a").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_asm("state a:\n  'q' -> nowhere\nentry a").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_asm("state a:\n  'q' -> a\n").unwrap_err().message.contains("entry"));
+        let e = parse_asm("state a: pass refill 9\n  -> halt\nentry a").unwrap_err();
+        assert!(e.message.contains("refill"));
+    }
+
+    #[test]
+    fn comments_and_char_semicolons() {
+        let src = "state s:\n  ';' -> s ; the semicolon byte\n  fallback -> s\nentry s";
+        let b = parse_asm(src).unwrap();
+        assert_eq!(b.arc_count(), 2);
+    }
+
+    #[test]
+    fn parsed_program_runs() {
+        let b = parse_asm(COUNTER).unwrap();
+        let _img = b.assemble(&LayoutOptions::default()).unwrap();
+        // Execution is exercised in the sim crate's tests; here we only
+        // confirm the IR shape.
+        assert_eq!(b.state_count(), 1);
+    }
+}

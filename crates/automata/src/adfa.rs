@@ -1,0 +1,187 @@
+//! The ADFA multi-pattern string automaton (Aho–Corasick).
+//!
+//! The paper's UDP pattern-matching code "uses ADFA [66] and NFA [62]
+//! models" (§4.1): the aggregated-DFA form for literal signature sets.
+//! An Aho–Corasick automaton is the canonical such structure — its goto
+//! edges become UDP *labeled* transitions and its failure links collapse
+//! into *default* transitions, which is precisely the compression the
+//! multi-way dispatch fallback slot provides.
+
+use std::collections::HashMap;
+
+/// One ADFA node.
+#[derive(Debug, Clone, Default)]
+pub struct AdfaNode {
+    /// Goto edges (trie edges).
+    pub goto: HashMap<u8, u32>,
+    /// Failure link (0 = root).
+    pub fail: u32,
+    /// Pattern ids ending here (including via suffix links).
+    pub outputs: Vec<u16>,
+    /// Depth in the trie (diagnostics).
+    pub depth: u32,
+}
+
+/// An Aho–Corasick automaton over byte-string patterns.
+#[derive(Debug, Clone)]
+pub struct Adfa {
+    nodes: Vec<AdfaNode>,
+}
+
+impl Adfa {
+    /// Builds the automaton from literal patterns; pattern `i` reports
+    /// id `i`.
+    ///
+    /// ```
+    /// use udp_automata::Adfa;
+    /// let adfa = Adfa::build(&[b"he".as_slice(), b"she"]);
+    /// assert!(adfa.find_all(b"ushers").contains(&(1, 4)));
+    /// ```
+    pub fn build<P: AsRef<[u8]>>(patterns: &[P]) -> Adfa {
+        let mut nodes = vec![AdfaNode::default()]; // root
+        // Trie phase.
+        for (id, p) in patterns.iter().enumerate() {
+            let mut cur = 0u32;
+            for &b in p.as_ref() {
+                let next = match nodes[cur as usize].goto.get(&b) {
+                    Some(&n) => n,
+                    None => {
+                        let n = nodes.len() as u32;
+                        let depth = nodes[cur as usize].depth + 1;
+                        nodes.push(AdfaNode {
+                            depth,
+                            ..Default::default()
+                        });
+                        nodes[cur as usize].goto.insert(b, n);
+                        n
+                    }
+                };
+                cur = next;
+            }
+            nodes[cur as usize].outputs.push(id as u16);
+        }
+        // Failure-link phase (BFS).
+        let mut queue: std::collections::VecDeque<u32> = nodes[0]
+            .goto
+            .values()
+            .copied()
+            .collect();
+        while let Some(u) = queue.pop_front() {
+            let edges: Vec<(u8, u32)> = nodes[u as usize]
+                .goto
+                .iter()
+                .map(|(&b, &v)| (b, v))
+                .collect();
+            for (b, v) in edges {
+                queue.push_back(v);
+                // Follow fail links of u until a goto on b exists.
+                let mut f = nodes[u as usize].fail;
+                let fail_v = loop {
+                    if let Some(&w) = nodes[f as usize].goto.get(&b) {
+                        if w != v {
+                            break w;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[v as usize].fail = fail_v;
+                let inherited = nodes[fail_v as usize].outputs.clone();
+                nodes[v as usize].outputs.extend(inherited);
+                nodes[v as usize].outputs.sort_unstable();
+                nodes[v as usize].outputs.dedup();
+            }
+        }
+        Adfa { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Node access (UDP compiler input).
+    pub fn node(&self, id: u32) -> &AdfaNode {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[AdfaNode] {
+        &self.nodes
+    }
+
+    /// Resolved transition: goto, else follow failure links.
+    pub fn next(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(&n) = self.nodes[state as usize].goto.get(&b) {
+                return n;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+
+    /// Scans `input`, returning `(pattern, end_position)` matches.
+    pub fn find_all(&self, input: &[u8]) -> Vec<(u16, usize)> {
+        let mut out = Vec::new();
+        let mut s = 0u32;
+        for (i, &b) in input.iter().enumerate() {
+            s = self.next(s, b);
+            for &id in &self.nodes[s as usize].outputs {
+                out.push((id, i + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_he_she_his_hers() {
+        let a = Adfa::build(&[b"he".as_slice(), b"she", b"his", b"hers"]);
+        let m = a.find_all(b"ushers");
+        assert!(m.contains(&(1, 4)), "she ends at 4: {m:?}");
+        assert!(m.contains(&(0, 4)), "he ends at 4");
+        assert!(m.contains(&(3, 6)), "hers ends at 6");
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let a = Adfa::build(&[b"aa".as_slice()]);
+        let m = a.find_all(b"aaaa");
+        assert_eq!(m, vec![(0, 2), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn no_match() {
+        let a = Adfa::build(&[b"xyz".as_slice()]);
+        assert!(a.find_all(b"abcabc").is_empty());
+    }
+
+    #[test]
+    fn suffix_outputs_inherited() {
+        let a = Adfa::build(&[b"bc".as_slice(), b"abcd"]);
+        let m = a.find_all(b"abcd");
+        assert!(m.contains(&(0, 3)));
+        assert!(m.contains(&(1, 4)));
+    }
+
+    #[test]
+    fn node_count_is_trie_size() {
+        let a = Adfa::build(&[b"ab".as_slice(), b"ac"]);
+        // root, a, ab, ac
+        assert_eq!(a.len(), 4);
+    }
+}

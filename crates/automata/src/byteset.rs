@@ -1,0 +1,122 @@
+//! 256-bit byte sets for character classes.
+
+use std::fmt;
+
+/// A set of byte values, stored as four 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ByteSet {
+    limbs: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { limbs: [0; 4] };
+    /// Every byte.
+    pub const ALL: ByteSet = ByteSet {
+        limbs: [u64::MAX; 4],
+    };
+
+    /// A singleton set.
+    pub fn single(b: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        s.insert(b);
+        s
+    }
+
+    /// An inclusive range.
+    pub fn range(lo: u8, hi: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        for b in lo..=hi {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.limbs[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.limbs[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    /// Union.
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        let mut limbs = self.limbs;
+        for (a, b) in limbs.iter_mut().zip(other.limbs.iter()) {
+            *a |= b;
+        }
+        ByteSet { limbs }
+    }
+
+    /// Complement.
+    pub fn negate(&self) -> ByteSet {
+        let mut limbs = self.limbs;
+        for a in limbs.iter_mut() {
+            *a = !*a;
+        }
+        ByteSet { limbs }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// True if no members.
+    pub fn is_empty(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter(|&b| self.contains(b as u8)).map(|b| b as u8)
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet{{{} bytes}}", self.len())
+    }
+}
+
+impl FromIterator<u8> for ByteSet {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut s = ByteSet::EMPTY;
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_range() {
+        let s = ByteSet::single(b'x');
+        assert!(s.contains(b'x') && !s.contains(b'y'));
+        let r = ByteSet::range(b'a', b'c');
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn negation_partitions() {
+        let s = ByteSet::range(0, 99);
+        let n = s.negate();
+        assert_eq!(s.len() + n.len(), 256);
+        assert!(n.contains(100) && !n.contains(99));
+    }
+
+    #[test]
+    fn union_and_collect() {
+        let s: ByteSet = [1u8, 3, 5].into_iter().collect();
+        let t = ByteSet::single(7).union(&s);
+        assert_eq!(t.len(), 4);
+    }
+}

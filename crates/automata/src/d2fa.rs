@@ -1,0 +1,255 @@
+//! D²FA — the delayed-input DFA (Kumar et al., SIGCOMM'06; Table 1
+//! lists it among the pattern-matching models the UDP runs).
+//!
+//! A D²FA stores, per state, only the transitions that *differ* from a
+//! chosen deferment state's; a miss follows the deferment pointer
+//! without consuming input. Deferment pointers form a forest (no
+//! cycles), built here as a maximum-shared-transitions spanning tree —
+//! the classic space-reduction construction. On the UDP, deferment maps
+//! onto a *default* transition through a refill pass state, the same
+//! mechanism as Aho–Corasick failure links.
+
+use crate::dfa::{Dfa, DEAD};
+use std::collections::HashMap;
+
+/// One D²FA state.
+#[derive(Debug, Clone, Default)]
+pub struct D2faState {
+    /// Stored (differing) transitions.
+    pub edges: HashMap<u8, u32>,
+    /// Deferment pointer (`None` for tree roots, which store all edges).
+    pub defer: Option<u32>,
+    /// Accepting pattern ids.
+    pub accepts: Vec<u16>,
+}
+
+/// A delayed-input DFA.
+#[derive(Debug, Clone)]
+pub struct D2fa {
+    states: Vec<D2faState>,
+    start: u32,
+}
+
+impl D2fa {
+    /// Builds a D²FA from a (complete, scanner-style) DFA via a greedy
+    /// maximum-weight spanning forest over pairwise shared-transition
+    /// counts.
+    pub fn from_dfa(dfa: &Dfa) -> D2fa {
+        let n = dfa.len();
+        // Pairwise shared-transition weights (symmetric).
+        let shared = |a: u32, b: u32| -> usize {
+            dfa.row(a)
+                .iter()
+                .zip(dfa.row(b))
+                .filter(|(x, y)| x == y && **x != DEAD)
+                .count()
+        };
+
+        // Prim-style forest: grow from state 0; attach each new state to
+        // the in-tree state it shares the most transitions with, if that
+        // saves enough (> 128 shared) to beat storing the full row.
+        let mut defer: Vec<Option<u32>> = vec![None; n];
+        if n > 1 {
+            let mut in_tree = vec![false; n];
+            in_tree[0] = true;
+            let mut best: Vec<(usize, u32)> = (0..n as u32).map(|s| (shared(s, 0), 0)).collect();
+            for _ in 1..n {
+                // Pick the out-of-tree state with the best attachment.
+                let Some(s) = (0..n)
+                    .filter(|&s| !in_tree[s])
+                    .max_by_key(|&s| best[s].0)
+                else {
+                    break;
+                };
+                in_tree[s] = true;
+                if best[s].0 > 128 {
+                    defer[s] = Some(best[s].1);
+                }
+                for t in 0..n {
+                    if !in_tree[t] {
+                        let w = shared(t as u32, s as u32);
+                        if w > best[t].0 {
+                            best[t] = (w, s as u32);
+                        }
+                    }
+                }
+            }
+        }
+
+        let states = (0..n as u32)
+            .map(|s| {
+                let row = dfa.row(s);
+                let edges = match defer[s as usize] {
+                    Some(d) => {
+                        let drow = dfa.row(d);
+                        row.iter()
+                            .zip(drow)
+                            .enumerate()
+                            .filter(|(_, (x, y))| x != y && **x != DEAD)
+                            .map(|(b, (x, _))| (b as u8, *x))
+                            .collect()
+                    }
+                    None => row
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &t)| t != DEAD)
+                        .map(|(b, &t)| (b as u8, t))
+                        .collect(),
+                };
+                D2faState {
+                    edges,
+                    defer: defer[s as usize],
+                    accepts: dfa.accepts(s).to_vec(),
+                }
+            })
+            .collect();
+        D2fa {
+            states,
+            start: dfa.start(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when there are no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// State access (UDP compiler input).
+    pub fn state(&self, s: u32) -> &D2faState {
+        &self.states[s as usize]
+    }
+
+    /// Stored transitions (the compression metric; a DFA stores
+    /// `states × 256`).
+    pub fn stored_transitions(&self) -> usize {
+        self.states.iter().map(|s| s.edges.len()).sum()
+    }
+
+    /// Resolved transition: follow deferment pointers until an edge for
+    /// `b` is found (returns `None` = dead, only for incomplete DFAs).
+    pub fn next(&self, mut s: u32, b: u8) -> Option<u32> {
+        loop {
+            let st = &self.states[s as usize];
+            if let Some(&t) = st.edges.get(&b) {
+                return Some(t);
+            }
+            match st.defer {
+                Some(d) => s = d,
+                None => return None,
+            }
+        }
+    }
+
+    /// Scans `input`, returning `(pattern, end_position)` matches —
+    /// bit-for-bit what [`Dfa::find_all`] returns on complete DFAs.
+    pub fn find_all(&self, input: &[u8]) -> Vec<(u16, usize)> {
+        let mut out = Vec::new();
+        let mut s = self.start;
+        for &id in &self.states[s as usize].accepts {
+            out.push((id, 0));
+        }
+        for (i, &b) in input.iter().enumerate() {
+            let Some(t) = self.next(s, b) else { break };
+            s = t;
+            for &id in &self.states[s as usize].accepts {
+                out.push((id, i + 1));
+            }
+        }
+        out
+    }
+
+    /// Longest deferment chain (bounds the per-byte worst case).
+    pub fn max_defer_depth(&self) -> usize {
+        let mut depth = vec![usize::MAX; self.states.len()];
+        fn go(states: &[D2faState], depth: &mut [usize], s: usize) -> usize {
+            if depth[s] != usize::MAX {
+                return depth[s];
+            }
+            let d = match states[s].defer {
+                Some(p) => go(states, depth, p as usize) + 1,
+                None => 0,
+            };
+            depth[s] = d;
+            d
+        }
+        (0..self.states.len())
+            .map(|s| go(&self.states, &mut depth, s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+    use proptest::prelude::*;
+
+    fn scanner(patterns: &[&str]) -> Dfa {
+        let asts: Vec<Regex> = patterns.iter().map(|p| Regex::parse(p).unwrap()).collect();
+        Dfa::determinize(&Nfa::scanner(&asts)).minimize()
+    }
+
+    #[test]
+    fn d2fa_matches_dfa_exactly() {
+        let dfa = scanner(&["abc", "bc+d", "x[yz]"]);
+        let d2 = D2fa::from_dfa(&dfa);
+        let input = b"zabcxy bccd xz abc";
+        assert_eq!(d2.find_all(input), dfa.find_all(input));
+    }
+
+    #[test]
+    fn deferment_compresses_dense_scanners() {
+        let pats: Vec<String> = (0..12).map(|i| format!("sig{i}pattern")).collect();
+        let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+        let dfa = scanner(&refs);
+        let d2 = D2fa::from_dfa(&dfa);
+        let full = dfa.len() * 256;
+        assert!(
+            d2.stored_transitions() < full / 4,
+            "{} of {} transitions stored",
+            d2.stored_transitions(),
+            full
+        );
+    }
+
+    #[test]
+    fn deferment_forest_is_acyclic() {
+        let dfa = scanner(&["hello", "help", "world"]);
+        let d2 = D2fa::from_dfa(&dfa);
+        assert!(d2.max_defer_depth() < d2.len());
+    }
+
+    #[test]
+    fn roots_store_full_rows() {
+        let dfa = scanner(&["ab"]);
+        let d2 = D2fa::from_dfa(&dfa);
+        let roots: Vec<&D2faState> =
+            (0..d2.len() as u32).map(|s| d2.state(s)).filter(|s| s.defer.is_none()).collect();
+        assert!(!roots.is_empty());
+        for r in roots {
+            assert_eq!(r.edges.len(), 256, "complete scanner rows");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_d2fa_equals_dfa(input in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')], 0..200)) {
+            let dfa = scanner(&["ab+c", "(a|x)cx", "bbb"]);
+            let d2 = D2fa::from_dfa(&dfa);
+            prop_assert_eq!(d2.find_all(&input), dfa.find_all(&input));
+        }
+    }
+}

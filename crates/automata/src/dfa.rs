@@ -1,0 +1,266 @@
+//! Subset-construction DFA, Moore minimization, and table-driven scanning.
+//!
+//! The dense 256-way transition table is exactly the representation the
+//! paper's CPU pattern-matching baseline uses ("pattern matching avoids
+//! branches by lookup tables but suffers from poor data locality",
+//! Table 2), and it maps one-to-one onto UDP labeled transitions.
+
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// Dead-state marker in the transition table.
+pub const DEAD: u32 = u32::MAX;
+
+/// A deterministic finite automaton over bytes.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `trans[state * 256 + byte]` → next state or [`DEAD`].
+    trans: Vec<u32>,
+    /// Sorted pattern ids accepted at each state.
+    accepts: Vec<Vec<u16>>,
+    /// Start state.
+    start: u32,
+}
+
+impl Dfa {
+    /// Subset construction from an NFA.
+    pub fn determinize(nfa: &Nfa) -> Dfa {
+        let mut start_set = vec![nfa.start];
+        nfa.closure(&mut start_set);
+
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accepts: Vec<Vec<u16>> = Vec::new();
+
+        let mut intern = |set: Vec<u32>,
+                          sets: &mut Vec<Vec<u32>>,
+                          trans: &mut Vec<u32>,
+                          accepts: &mut Vec<Vec<u16>>|
+         -> u32 {
+            if let Some(&id) = ids.get(&set) {
+                return id;
+            }
+            let id = sets.len() as u32;
+            ids.insert(set.clone(), id);
+            trans.extend(std::iter::repeat(DEAD).take(256));
+            accepts.push(Vec::new());
+            sets.push(set);
+            id
+        };
+
+        let start = intern(start_set, &mut sets, &mut trans, &mut accepts);
+        let mut work = vec![start];
+        while let Some(d) = work.pop() {
+            let set = sets[d as usize].clone();
+            // Accepts of the subset.
+            let mut acc: Vec<u16> = set
+                .iter()
+                .filter_map(|&s| nfa.states[s as usize].accept)
+                .collect();
+            acc.sort_unstable();
+            acc.dedup();
+            accepts[d as usize] = acc;
+            // Successors per byte.
+            for b in 0u16..256 {
+                let mut next: Vec<u32> = Vec::new();
+                for &s in &set {
+                    if let Some((ref class, t)) = nfa.states[s as usize].byte {
+                        if class.contains(b as u8) {
+                            next.push(t);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                nfa.closure(&mut next);
+                let before = sets.len();
+                let id = intern(next, &mut sets, &mut trans, &mut accepts);
+                if sets.len() > before {
+                    work.push(id);
+                }
+                trans[d as usize * 256 + b as usize] = id;
+            }
+        }
+
+        Dfa {
+            trans,
+            accepts,
+            start,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepts.len()
+    }
+
+    /// True when the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.accepts.is_empty()
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Transition function; [`DEAD`] when undefined.
+    pub fn next(&self, state: u32, byte: u8) -> u32 {
+        self.trans[state as usize * 256 + byte as usize]
+    }
+
+    /// Pattern ids accepted at `state`.
+    pub fn accepts(&self, state: u32) -> &[u16] {
+        &self.accepts[state as usize]
+    }
+
+    /// Moore partition-refinement minimization.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.len();
+        // Initial partition: by accept signature (plus the implicit dead
+        // class handled via DEAD).
+        let mut class: Vec<u32> = vec![0; n];
+        {
+            let mut sig: HashMap<&[u16], u32> = HashMap::new();
+            for s in 0..n {
+                let next = sig.len() as u32;
+                let c = *sig.entry(self.accepts[s].as_slice()).or_insert(next);
+                class[s] = c;
+            }
+        }
+        loop {
+            let mut sig: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut new_class = vec![0u32; n];
+            for s in 0..n {
+                let row: Vec<u32> = (0..256)
+                    .map(|b| {
+                        let t = self.trans[s * 256 + b];
+                        if t == DEAD {
+                            DEAD
+                        } else {
+                            class[t as usize]
+                        }
+                    })
+                    .collect();
+                let key = (class[s], row);
+                let next = sig.len() as u32;
+                new_class[s] = *sig.entry(key).or_insert(next);
+            }
+            let stable = new_class == class;
+            class = new_class;
+            if stable {
+                break;
+            }
+        }
+        let n_classes = class.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut trans = vec![DEAD; n_classes * 256];
+        let mut accepts = vec![Vec::new(); n_classes];
+        for s in 0..n {
+            let c = class[s] as usize;
+            accepts[c] = self.accepts[s].clone();
+            for b in 0..256 {
+                let t = self.trans[s * 256 + b];
+                trans[c * 256 + b] = if t == DEAD { DEAD } else { class[t as usize] };
+            }
+        }
+        Dfa {
+            trans,
+            accepts,
+            start: class[self.start as usize],
+        }
+    }
+
+    /// Scans `input`, returning `(pattern, end_position)` matches.
+    ///
+    /// For scanner-built NFAs the DFA never dies; for anchored DFAs the
+    /// scan stops at the first dead transition.
+    pub fn find_all(&self, input: &[u8]) -> Vec<(u16, usize)> {
+        let mut out = Vec::new();
+        let mut s = self.start;
+        for &id in self.accepts(s) {
+            out.push((id, 0));
+        }
+        for (i, &b) in input.iter().enumerate() {
+            s = self.next(s, b);
+            if s == DEAD {
+                break;
+            }
+            for &id in self.accepts(s) {
+                out.push((id, i + 1));
+            }
+        }
+        out
+    }
+
+    /// Per-state outgoing live transitions, grouped by target — used by
+    /// the UDP compiler to pick majority/fallback compression.
+    pub fn row(&self, state: u32) -> &[u32] {
+        &self.trans[state as usize * 256..state as usize * 256 + 256]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn scanner_dfa(patterns: &[&str]) -> Dfa {
+        let asts: Vec<Regex> = patterns.iter().map(|p| Regex::parse(p).unwrap()).collect();
+        Dfa::determinize(&Nfa::scanner(&asts))
+    }
+
+    #[test]
+    fn dfa_matches_nfa() {
+        let asts = vec![Regex::parse("ab+c").unwrap(), Regex::parse("b.d").unwrap()];
+        let nfa = Nfa::scanner(&asts);
+        let dfa = Dfa::determinize(&nfa);
+        let input = b"zabbbczbxdq";
+        let mut a = nfa.find_all(input);
+        let mut b = dfa.find_all(input);
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let dfa = scanner_dfa(&["abc|abd", "ab"]);
+        let min = dfa.minimize();
+        assert!(min.len() <= dfa.len());
+        let input = b"xxabcxabdxxabx";
+        let mut a = dfa.find_all(input);
+        let mut b = min.find_all(input);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        // a(b|c)d: states after b and after c are equivalent.
+        let asts = vec![Regex::parse("a(b|c)d").unwrap()];
+        let dfa = Dfa::determinize(&Nfa::from_patterns(&asts));
+        let min = dfa.minimize();
+        assert!(min.len() < dfa.len());
+    }
+
+    #[test]
+    fn anchored_scan_dies() {
+        let asts = vec![Regex::parse("abc").unwrap()];
+        let dfa = Dfa::determinize(&Nfa::from_patterns(&asts));
+        assert!(dfa.find_all(b"abc").contains(&(0, 3)));
+        assert!(dfa.find_all(b"zabc").is_empty());
+    }
+
+    #[test]
+    fn char_class_scan() {
+        let dfa = scanner_dfa(&[r"\d\d\d"]);
+        let m = dfa.find_all(b"a12345b");
+        let ends: Vec<usize> = m.into_iter().map(|(_, e)| e).collect();
+        assert_eq!(ends, vec![4, 5, 6]);
+    }
+}

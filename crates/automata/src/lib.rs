@@ -1,0 +1,45 @@
+//! # udp-automata — finite-automata substrate
+//!
+//! The UDP inherits the Unified Automata Processor's ability to execute
+//! any extended finite-automata model (paper §2.2, §5.3). This crate is
+//! the automata toolchain the UDP compilers and the CPU pattern-matching
+//! baseline share:
+//!
+//! * [`regex`] — a from-scratch regular-expression parser (literals,
+//!   classes, alternation, repetition) producing an AST;
+//! * [`nfa`] — Thompson construction and multi-pattern NFA composition;
+//! * [`dfa`] — subset construction, Hopcroft minimization, and a scanning
+//!   table-driven matcher (the CPU baseline's engine, standing in for
+//!   Boost Regex);
+//! * [`adfa`] — an Aho-Corasick multi-pattern string automaton whose
+//!   failure links map directly onto UDP *default* transitions (the
+//!   paper's ADFA model [66]).
+//!
+//! ## Example
+//!
+//! ```
+//! use udp_automata::{regex::Regex, nfa::Nfa, dfa::Dfa};
+//!
+//! let ast = Regex::parse(r"ab+c").unwrap();
+//! let nfa = Nfa::scanner(&[ast]);
+//! let dfa = Dfa::determinize(&nfa).minimize();
+//! assert!(dfa.find_all(b"xxabbbcxx").contains(&(0, 7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adfa;
+pub mod byteset;
+pub mod d2fa;
+pub mod dfa;
+pub mod naive;
+pub mod nfa;
+pub mod regex;
+
+pub use adfa::Adfa;
+pub use byteset::ByteSet;
+pub use d2fa::D2fa;
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;

@@ -1,0 +1,153 @@
+//! A deliberately simple backtracking matcher used as a property-test
+//! oracle for the NFA/DFA engines. Exponential in the worst case — only
+//! run it on small inputs.
+
+use crate::regex::Regex;
+
+/// All end offsets (relative to `input`'s start) at which `r` matches a
+/// prefix of `input`.
+pub fn match_prefix_ends(r: &Regex, input: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    go(r, input, 0, &mut |e| ends.push(e));
+    ends.sort_unstable();
+    ends.dedup();
+    ends
+}
+
+/// All `(start, end)` spans where `r` matches exactly `input[start..end]`.
+pub fn find_all_spans(r: &Regex, input: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for start in 0..=input.len() {
+        for e in match_prefix_ends(r, &input[start..]) {
+            spans.push((start, start + e));
+        }
+    }
+    spans.sort_unstable();
+    spans.dedup();
+    spans
+}
+
+fn go(r: &Regex, input: &[u8], pos: usize, emit: &mut dyn FnMut(usize)) {
+    match r {
+        Regex::Empty => emit(pos),
+        Regex::Class(set) => {
+            if pos < input.len() && set.contains(input[pos]) {
+                emit(pos + 1);
+            }
+        }
+        Regex::Concat(items) => concat_go(items, input, pos, emit),
+        Regex::Alt(branches) => {
+            for b in branches {
+                go(b, input, pos, emit);
+            }
+        }
+        Regex::Star(inner) => star_go(inner, input, pos, emit, true),
+        Regex::Plus(inner) => {
+            // one, then star
+            let mut mids = Vec::new();
+            go(inner, input, pos, &mut |e| mids.push(e));
+            mids.sort_unstable();
+            mids.dedup();
+            for m in mids {
+                star_go(inner, input, m, emit, true);
+            }
+        }
+        Regex::Opt(inner) => {
+            emit(pos);
+            go(inner, input, pos, emit);
+        }
+    }
+}
+
+fn concat_go(items: &[Regex], input: &[u8], pos: usize, emit: &mut dyn FnMut(usize)) {
+    match items.split_first() {
+        None => emit(pos),
+        Some((head, rest)) => {
+            let mut mids = Vec::new();
+            go(head, input, pos, &mut |e| mids.push(e));
+            mids.sort_unstable();
+            mids.dedup();
+            for m in mids {
+                concat_go(rest, input, m, emit);
+            }
+        }
+    }
+}
+
+fn star_go(inner: &Regex, input: &[u8], pos: usize, emit: &mut dyn FnMut(usize), first: bool) {
+    if first {
+        emit(pos);
+    }
+    let mut mids = Vec::new();
+    go(inner, input, pos, &mut |e| mids.push(e));
+    mids.sort_unstable();
+    mids.dedup();
+    for m in mids {
+        if m > pos {
+            emit(m);
+            star_go(inner, input, m, emit, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::nfa::Nfa;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_ends_of_star() {
+        let r = Regex::parse("ab*").unwrap();
+        assert_eq!(match_prefix_ends(&r, b"abbbc"), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spans_of_literal() {
+        let r = Regex::parse("aa").unwrap();
+        assert_eq!(find_all_spans(&r, b"aaa"), vec![(0, 2), (1, 3)]);
+    }
+
+    /// Random patterns from a small grammar.
+    fn arb_regex() -> impl Strategy<Value = String> {
+        let atom = prop_oneof![
+            "[abc]".prop_map(|s| s),
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("(a|b)".to_string()),
+            Just(".".to_string()),
+        ];
+        proptest::collection::vec(
+            (atom, prop_oneof![Just(""), Just("*"), Just("+"), Just("?")]),
+            1..5,
+        )
+        .prop_map(|parts| {
+            parts
+                .into_iter()
+                .map(|(a, q)| format!("{a}{q}"))
+                .collect::<String>()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_nfa_and_dfa_agree_with_oracle(pattern in arb_regex(),
+                                              input in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..12)) {
+            let ast = Regex::parse(&pattern).unwrap();
+            let oracle: std::collections::BTreeSet<usize> =
+                find_all_spans(&ast, &input).into_iter().map(|(_, e)| e).collect();
+
+            let nfa = Nfa::scanner(&[ast.clone()]);
+            let nfa_ends: std::collections::BTreeSet<usize> =
+                nfa.find_all(&input).into_iter().map(|(_, e)| e).collect();
+            prop_assert_eq!(&oracle, &nfa_ends, "pattern {} input {:?}", pattern, input);
+
+            let dfa = Dfa::determinize(&nfa).minimize();
+            let dfa_ends: std::collections::BTreeSet<usize> =
+                dfa.find_all(&input).into_iter().map(|(_, e)| e).collect();
+            prop_assert_eq!(&oracle, &dfa_ends);
+        }
+    }
+}

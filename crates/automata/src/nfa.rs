@@ -1,0 +1,255 @@
+//! Thompson NFA construction and simulation.
+
+use crate::byteset::ByteSet;
+use crate::regex::Regex;
+
+/// An NFA state: Thompson states carry at most one byte transition plus
+/// epsilon edges, and possibly an accept tag.
+#[derive(Debug, Clone, Default)]
+pub struct NfaState {
+    /// Epsilon successors.
+    pub eps: Vec<u32>,
+    /// Byte-class transition.
+    pub byte: Option<(ByteSet, u32)>,
+    /// Accepting pattern id.
+    pub accept: Option<u16>,
+}
+
+/// A multi-pattern Thompson NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// States; index 0 is unused sentinel-free storage (start is explicit).
+    pub states: Vec<NfaState>,
+    /// Start state.
+    pub start: u32,
+}
+
+impl Nfa {
+    /// Builds an *anchored* multi-pattern NFA: pattern `i` accepts with
+    /// id `i` when matched from the start state.
+    pub fn from_patterns(patterns: &[Regex]) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let start = b.push(NfaState::default());
+        for (id, p) in patterns.iter().enumerate() {
+            let (s, e) = b.compile(p);
+            b.states[start as usize].eps.push(s);
+            b.states[e as usize].accept = Some(id as u16);
+        }
+        Nfa {
+            states: b.states,
+            start,
+        }
+    }
+
+    /// Builds an *unanchored scanner*: matches may start at any input
+    /// position (the start state self-loops on every byte).
+    pub fn scanner(patterns: &[Regex]) -> Nfa {
+        let mut nfa = Self::from_patterns(patterns);
+        let start = nfa.start as usize;
+        // Self-loop: stay alive at every position. Thompson states hold
+        // one byte edge, so interpose a looper state.
+        let looper = NfaState {
+            eps: vec![nfa.start],
+            byte: None,
+            accept: None,
+        };
+        nfa.states.push(looper);
+        let looper_id = (nfa.states.len() - 1) as u32;
+        debug_assert!(nfa.states[start].byte.is_none());
+        nfa.states[start].byte = Some((ByteSet::ALL, looper_id));
+        nfa
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the automaton has no states (never for built NFAs).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Epsilon closure of a set of states (sorted, deduped).
+    pub fn closure(&self, set: &mut Vec<u32>) {
+        let mut stack: Vec<u32> = set.clone();
+        while let Some(s) = stack.pop() {
+            for &e in &self.states[s as usize].eps {
+                if !set.contains(&e) {
+                    set.push(e);
+                    stack.push(e);
+                }
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    /// Frontier simulation: returns `(pattern, end_position)` for every
+    /// match (end positions are byte offsets one past the match).
+    pub fn find_all(&self, input: &[u8]) -> Vec<(u16, usize)> {
+        let mut matches = Vec::new();
+        let mut frontier = vec![self.start];
+        self.closure(&mut frontier);
+        self.collect_accepts(&frontier, 0, &mut matches);
+        for (i, &b) in input.iter().enumerate() {
+            let mut next = Vec::new();
+            for &s in &frontier {
+                if let Some((ref class, t)) = self.states[s as usize].byte {
+                    if class.contains(b) {
+                        next.push(t);
+                    }
+                }
+            }
+            self.closure(&mut next);
+            self.collect_accepts(&next, i + 1, &mut matches);
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        matches
+    }
+
+    fn collect_accepts(&self, set: &[u32], pos: usize, out: &mut Vec<(u16, usize)>) {
+        for &s in set {
+            if let Some(id) = self.states[s as usize].accept {
+                out.push((id, pos));
+            }
+        }
+    }
+}
+
+struct Builder {
+    states: Vec<NfaState>,
+}
+
+impl Builder {
+    fn push(&mut self, s: NfaState) -> u32 {
+        self.states.push(s);
+        (self.states.len() - 1) as u32
+    }
+
+    /// Compiles to a `(start, end)` fragment; `end` has no outgoing edges.
+    fn compile(&mut self, r: &Regex) -> (u32, u32) {
+        match r {
+            Regex::Empty => {
+                let s = self.push(NfaState::default());
+                (s, s)
+            }
+            Regex::Class(set) => {
+                let e = self.push(NfaState::default());
+                let s = self.push(NfaState {
+                    byte: Some((*set, e)),
+                    ..Default::default()
+                });
+                (s, e)
+            }
+            Regex::Concat(items) => {
+                let mut start = None;
+                let mut prev_end: Option<u32> = None;
+                for item in items {
+                    let (s, e) = self.compile(item);
+                    if let Some(pe) = prev_end {
+                        self.states[pe as usize].eps.push(s);
+                    } else {
+                        start = Some(s);
+                    }
+                    prev_end = Some(e);
+                }
+                match (start, prev_end) {
+                    (Some(s), Some(e)) => (s, e),
+                    _ => {
+                        let s = self.push(NfaState::default());
+                        (s, s)
+                    }
+                }
+            }
+            Regex::Alt(branches) => {
+                let s = self.push(NfaState::default());
+                let e = self.push(NfaState::default());
+                for b in branches {
+                    let (bs, be) = self.compile(b);
+                    self.states[s as usize].eps.push(bs);
+                    self.states[be as usize].eps.push(e);
+                }
+                (s, e)
+            }
+            Regex::Star(inner) => {
+                let s = self.push(NfaState::default());
+                let e = self.push(NfaState::default());
+                let (is, ie) = self.compile(inner);
+                self.states[s as usize].eps.extend([is, e]);
+                self.states[ie as usize].eps.extend([is, e]);
+                (s, e)
+            }
+            Regex::Plus(inner) => {
+                let (is, ie) = self.compile(inner);
+                let e = self.push(NfaState::default());
+                self.states[ie as usize].eps.extend([is, e]);
+                (is, e)
+            }
+            Regex::Opt(inner) => {
+                let s = self.push(NfaState::default());
+                let e = self.push(NfaState::default());
+                let (is, ie) = self.compile(inner);
+                self.states[s as usize].eps.extend([is, e]);
+                self.states[ie as usize].eps.push(e);
+                (s, e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn ends(pattern: &str, input: &[u8]) -> Vec<usize> {
+        let nfa = Nfa::scanner(&[Regex::parse(pattern).unwrap()]);
+        let mut v: Vec<usize> = nfa.find_all(input).into_iter().map(|(_, e)| e).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn literal_scan() {
+        assert_eq!(ends("ana", b"banana"), vec![4, 6]);
+    }
+
+    #[test]
+    fn alternation_scan() {
+        assert_eq!(ends("cat|dog", b"hotdogcat"), vec![6, 9]);
+    }
+
+    #[test]
+    fn star_matches_empty_everywhere() {
+        // "a*" matches the empty string at every position.
+        let e = ends("a*", b"ba");
+        assert!(e.contains(&0) && e.contains(&1) && e.contains(&2));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        assert_eq!(ends("ab+", b"abbbc"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_pattern_ids() {
+        let nfa = Nfa::scanner(&[
+            Regex::parse("aa").unwrap(),
+            Regex::parse("ab").unwrap(),
+        ]);
+        let m = nfa.find_all(b"aab");
+        assert!(m.contains(&(0, 2)));
+        assert!(m.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn anchored_vs_scanner() {
+        let anchored = Nfa::from_patterns(&[Regex::parse("bc").unwrap()]);
+        assert!(anchored.find_all(b"abc").is_empty(), "anchored must miss");
+        assert_eq!(ends("bc", b"abc"), vec![3]);
+    }
+}

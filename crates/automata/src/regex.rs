@@ -1,0 +1,404 @@
+//! Regular-expression parsing.
+//!
+//! The supported syntax covers the network-intrusion-detection pattern
+//! shapes of the paper's workload [80]: literals, `.`, escapes
+//! (`\d \D \w \W \s \S \n \r \t \xNN` and escaped metacharacters),
+//! character classes `[a-z]` / `[^...]`, grouping `(...)`, alternation
+//! `|`, and the quantifiers `* + ? {m} {m,} {m,n}`.
+
+use crate::byteset::ByteSet;
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty string.
+    Empty,
+    /// One byte from a class.
+    Class(ByteSet),
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// `r*`.
+    Star(Box<Regex>),
+    /// `r+`.
+    Plus(Box<Regex>),
+    /// `r?`.
+    Opt(Box<Regex>),
+}
+
+/// Parse failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Offset into the pattern.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+impl Regex {
+    /// Parses a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed syntax.
+    pub fn parse(pattern: &str) -> Result<Regex, ParseRegexError> {
+        let mut p = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let r = p.alternation()?;
+        if p.pos != p.bytes.len() {
+            return Err(p.err("unexpected trailing input"));
+        }
+        Ok(r)
+    }
+
+    /// A literal byte-string pattern.
+    pub fn literal(s: &[u8]) -> Regex {
+        Regex::Concat(s.iter().map(|&b| Regex::Class(ByteSet::single(b))).collect())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, m: &str) -> ParseRegexError {
+        ParseRegexError {
+            pos: self.pos,
+            message: m.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Regex::Alt(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Regex::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Regex::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Regex::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Regex::Opt(Box::new(atom));
+                }
+                Some(b'{') => {
+                    self.bump();
+                    atom = self.counted(atom)?;
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn counted(&mut self, atom: Regex) -> Result<Regex, ParseRegexError> {
+        let m = self.number()?;
+        let (min, max) = match self.bump() {
+            Some(b'}') => (m, Some(m)),
+            Some(b',') => match self.peek() {
+                Some(b'}') => {
+                    self.bump();
+                    (m, None)
+                }
+                _ => {
+                    let n = self.number()?;
+                    if self.bump() != Some(b'}') {
+                        return Err(self.err("expected '}'"));
+                    }
+                    if n < m {
+                        return Err(self.err("counted repetition max < min"));
+                    }
+                    (m, Some(n))
+                }
+            },
+            _ => return Err(self.err("malformed counted repetition")),
+        };
+        // Expand {m,n} structurally.
+        let mut items: Vec<Regex> = (0..min).map(|_| atom.clone()).collect();
+        match max {
+            None => items.push(Regex::Star(Box::new(atom))),
+            Some(n) => {
+                for _ in min..n {
+                    items.push(Regex::Opt(Box::new(atom.clone())));
+                }
+            }
+        }
+        Ok(match items.len() {
+            0 => Regex::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Regex::Concat(items),
+        })
+    }
+
+    fn number(&mut self) -> Result<u32, ParseRegexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits")
+            .parse()
+            .map_err(|_| self.err("repetition count too large"))
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                let r = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced '('"));
+                }
+                Ok(r)
+            }
+            Some(b'.') => Ok(Regex::Class(ByteSet::single(b'\n').negate())),
+            Some(b'[') => self.class(),
+            Some(b'\\') => Ok(Regex::Class(self.escape()?)),
+            Some(b @ (b'*' | b'+' | b'?' | b')' | b'{')) => {
+                Err(self.err(&format!("misplaced metacharacter '{}'", b as char)))
+            }
+            Some(b) => Ok(Regex::Class(ByteSet::single(b))),
+        }
+    }
+
+    fn escape(&mut self) -> Result<ByteSet, ParseRegexError> {
+        let Some(b) = self.bump() else {
+            return Err(self.err("dangling escape"));
+        };
+        Ok(match b {
+            b'd' => ByteSet::range(b'0', b'9'),
+            b'D' => ByteSet::range(b'0', b'9').negate(),
+            b'w' => word_set(),
+            b'W' => word_set().negate(),
+            b's' => [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C].into_iter().collect(),
+            b'S' => [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C]
+                .into_iter()
+                .collect::<ByteSet>()
+                .negate(),
+            b'n' => ByteSet::single(b'\n'),
+            b'r' => ByteSet::single(b'\r'),
+            b't' => ByteSet::single(b'\t'),
+            b'0' => ByteSet::single(0),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                ByteSet::single(hi * 16 + lo)
+            }
+            other => ByteSet::single(other),
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.err("expected a hex digit")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Regex, ParseRegexError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = ByteSet::EMPTY;
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(b']') if !first => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let lo_set = match self.bump().expect("peeked") {
+                b'\\' => self.escape()?,
+                b => ByteSet::single(b),
+            };
+            // Range only when the left side was a single byte.
+            if lo_set.len() == 1 && self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']')
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some(b'\\') => {
+                        let s = self.escape()?;
+                        let mut bytes = s.iter();
+                        let (first, extra) = (bytes.next(), bytes.next());
+                        match (first, extra) {
+                            (Some(b), None) => b,
+                            _ => {
+                                return Err(
+                                    self.err("class range bound must be a single byte")
+                                )
+                            }
+                        }
+                    }
+                    Some(b) => b,
+                    None => return Err(self.err("unterminated class range")),
+                };
+                let lo = lo_set.iter().next().expect("single");
+                if hi < lo {
+                    return Err(self.err("inverted class range"));
+                }
+                set = set.union(&ByteSet::range(lo, hi));
+            } else {
+                set = set.union(&lo_set);
+            }
+        }
+        Ok(Regex::Class(if negated { set.negate() } else { set }))
+    }
+}
+
+fn word_set() -> ByteSet {
+    ByteSet::range(b'a', b'z')
+        .union(&ByteSet::range(b'A', b'Z'))
+        .union(&ByteSet::range(b'0', b'9'))
+        .union(&ByteSet::single(b'_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_concat() {
+        let r = Regex::parse("abc").unwrap();
+        assert_eq!(r, Regex::literal(b"abc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = Regex::parse("a(b|c)d").unwrap();
+        match r {
+            Regex::Concat(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(matches!(items[1], Regex::Alt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(matches!(Regex::parse("a*").unwrap(), Regex::Star(_)));
+        assert!(matches!(Regex::parse("a+").unwrap(), Regex::Plus(_)));
+        assert!(matches!(Regex::parse("a?").unwrap(), Regex::Opt(_)));
+    }
+
+    #[test]
+    fn counted_repetition_expands() {
+        let r = Regex::parse("a{2,4}").unwrap();
+        match r {
+            Regex::Concat(items) => assert_eq!(items.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Regex::parse("a{3}").is_ok());
+        assert!(Regex::parse("a{2,}").is_ok());
+        assert!(Regex::parse("a{4,2}").is_err());
+    }
+
+    #[test]
+    fn classes() {
+        let Regex::Class(s) = Regex::parse("[a-cx]").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b'a', b'b', b'c', b'x']);
+        let Regex::Class(n) = Regex::parse("[^\\d]").unwrap() else {
+            panic!()
+        };
+        assert!(!n.contains(b'5') && n.contains(b'x'));
+    }
+
+    #[test]
+    fn class_with_leading_bracket_and_dash() {
+        let Regex::Class(s) = Regex::parse("[]a-]").unwrap() else {
+            panic!()
+        };
+        assert!(s.contains(b']') && s.contains(b'a') && s.contains(b'-'));
+    }
+
+    #[test]
+    fn escapes() {
+        let Regex::Class(s) = Regex::parse(r"\x41").unwrap() else {
+            panic!()
+        };
+        assert!(s.contains(b'A') && s.len() == 1);
+        assert!(Regex::parse(r"\d\w\s\n").is_ok());
+        let Regex::Class(dot) = Regex::parse(".").unwrap() else {
+            panic!()
+        };
+        assert!(!dot.contains(b'\n') && dot.contains(b'a'));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = Regex::parse("a)b").unwrap_err();
+        assert!(e.pos >= 1);
+        assert!(Regex::parse("(ab").is_err());
+        assert!(Regex::parse("[ab").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(!format!("{e}").is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks for the CPU baseline codecs — the
+//! wall-clock side of every paper comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udp_codecs::{
+    snappy_compress, snappy_decompress, CsvParser, DictionaryEncoder, Histogram, HuffmanTree,
+    TriggerFsm, TriggerLut,
+};
+use udp_workloads as w;
+
+const SIZE: usize = 256 * 1024;
+
+fn bench_csv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/csv");
+    g.sample_size(20);
+    for (name, data) in [
+        ("crimes", w::crimes_csv(SIZE, 1)),
+        ("food-inspection", w::food_inspection_csv(SIZE, 2)),
+    ] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, d| {
+            b.iter(|| CsvParser::new().parse_stats(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let data = w::canterbury_like(w::Entropy::Medium, SIZE, 3);
+    let tree = HuffmanTree::from_data(&data);
+    let (bits, nbits) = tree.encode(&data);
+    let mut g = c.benchmark_group("cpu/huffman");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| tree.encode(&data)));
+    g.throughput(Throughput::Bytes(bits.len() as u64));
+    g.bench_function("decode", |b| b.iter(|| tree.decode(&bits, nbits).unwrap()));
+    g.finish();
+}
+
+fn bench_snappy(c: &mut Criterion) {
+    let data = w::bdbench_block(0, SIZE, 4);
+    let stream = snappy_compress(&data);
+    let mut g = c.benchmark_group("cpu/snappy");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress", |b| b.iter(|| snappy_compress(&data)));
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("decompress", |b| b.iter(|| snappy_decompress(&stream).unwrap()));
+    g.finish();
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let table = w::crimes_csv(SIZE, 5);
+    let col: Vec<Vec<u8>> = CsvParser::new()
+        .parse(&table)
+        .into_iter()
+        .skip(1)
+        .map(|mut r| r.swap_remove(6))
+        .collect();
+    let bytes: usize = col.iter().map(|v| v.len() + 1).sum();
+    let mut g = c.benchmark_group("cpu/dictionary");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("encode-column", |b| {
+        b.iter(|| {
+            let mut e = DictionaryEncoder::default();
+            e.encode_column(&col)
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let le = w::fare_stream(SIZE / 4, 6);
+    let mut g = c.benchmark_group("cpu/histogram");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(le.len() as u64));
+    g.bench_function("fare-4bins", |b| {
+        b.iter(|| {
+            let mut h = Histogram::uniform(0.0, 100.0, 4);
+            h.add_le_bytes(&le);
+            h.counts()[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let pats = w::nids_literals(64, 7);
+    let (trace, _) = w::traffic_with_matches(&pats, SIZE, 700, 7);
+    let adfa = udp_automata::Adfa::build(&pats);
+    let mut g = c.benchmark_group("cpu/patterns");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(trace.len() as u64));
+    g.bench_function("adfa-scan", |b| b.iter(|| adfa.find_all(&trace)));
+    g.finish();
+}
+
+fn bench_trigger(c: &mut Criterion) {
+    let (samples, _) = w::pulsed_waveform(SIZE, &[5], 40, 8);
+    let lut = TriggerLut::build(TriggerFsm::new(64, 192, 5));
+    let mut g = c.benchmark_group("cpu/trigger");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(samples.len() as u64));
+    g.bench_function("p5-lut", |b| b.iter(|| lut.run(&samples)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csv,
+    bench_huffman,
+    bench_snappy,
+    bench_dictionary,
+    bench_histogram,
+    bench_patterns,
+    bench_trigger
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the simulator itself: host seconds per
+//! simulated UDP work unit (useful for sizing figure-harness runs).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use udp_asm::LayoutOptions;
+use udp_sim::{Lane, LaneConfig};
+use udp_workloads as w;
+
+const SIZE: usize = 64 * 1024;
+
+fn bench_lane_dispatch(c: &mut Criterion) {
+    // Trigger: 1 dispatch/byte — pure dispatch-path speed.
+    let fsm = udp_codecs::TriggerFsm::new(64, 192, 5);
+    let img = udp_compilers::trigger::trigger_to_udp(&fsm)
+        .assemble(&LayoutOptions::with_banks(2))
+        .unwrap();
+    let (samples, _) = w::pulsed_waveform(SIZE, &[5], 40, 1);
+    let mut g = c.benchmark_group("sim/lane");
+    g.sample_size(15);
+    g.throughput(Throughput::Bytes(samples.len() as u64));
+    g.bench_function("trigger-dispatch", |b| {
+        b.iter(|| Lane::run_program(&img, &samples, &LaneConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_lane_actions(c: &mut Criterion) {
+    // CSV: dispatch + field-copy actions.
+    let img = udp_compilers::csv::csv_to_udp()
+        .assemble(&LayoutOptions::with_banks(1))
+        .unwrap();
+    let data = w::crimes_csv(SIZE, 2);
+    let mut g = c.benchmark_group("sim/lane");
+    g.sample_size(15);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("csv-actions", |b| {
+        b.iter(|| Lane::run_program(&img, &data, &LaneConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    // EffCLiP layout of a mid-size DFA.
+    let pats = w::nids_literals(48, 3);
+    let adfa = udp_automata::Adfa::build(&pats);
+    let pb = udp_compilers::automata::adfa_to_udp(&adfa);
+    let mut g = c.benchmark_group("sim/assemble");
+    g.sample_size(15);
+    g.bench_function("effclip-adfa", |b| {
+        b.iter(|| pb.assemble(&LayoutOptions::with_banks(16)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lane_dispatch, bench_lane_actions, bench_assembler);
+criterion_main!(benches);

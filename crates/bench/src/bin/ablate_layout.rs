@@ -1,0 +1,98 @@
+//! Ablations of DESIGN.md §5 that the paper's figures do not cover:
+//!
+//! * **EffCLiP vs naive layout** — naive gives every state a private
+//!   257-word block; EffCLiP interleaves footprints.
+//! * **Fallback (majority/default) compression vs fully-labeled DFAs**
+//!   — code size vs the +1-cycle signature-miss cost.
+//! * **Action-block sharing** — UDP's deduplicated attach regions vs
+//!   per-arc private copies.
+
+use udp_asm::LayoutOptions;
+use udp_automata::{Adfa, Dfa, Nfa, Regex};
+use udp_sim::{Lane, LaneConfig};
+use udp_workloads as w;
+
+fn main() {
+    // ---- EffCLiP vs naive -------------------------------------------
+    println!("== EffCLiP packing vs naive 257-words-per-state layout ==");
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>8}",
+        "program", "states", "effclip KB", "naive KB", "gain"
+    );
+    let pats = w::nids_literals(48, 1);
+    let adfa = Adfa::build(&pats);
+    let programs: Vec<(&str, udp_asm::ProgramBuilder)> = vec![
+        ("csv", udp_compilers::csv::csv_to_udp()),
+        ("json", udp_compilers::json::json_to_udp()),
+        ("adfa-48rules", udp_compilers::automata::adfa_to_udp(&adfa)),
+        (
+            "trigger-p13",
+            udp_compilers::trigger::trigger_to_udp(&udp_codecs::TriggerFsm::new(64, 192, 13)),
+        ),
+    ];
+    for (name, pb) in &programs {
+        let img = pb.assemble(&LayoutOptions::with_banks(16)).expect("fits");
+        let naive_words = img.stats.n_states * 257 + img.stats.n_action_words + 1;
+        println!(
+            "{:<18} {:>8} {:>12.1} {:>12.1} {:>7.2}x",
+            name,
+            img.stats.n_states,
+            img.stats.code_bytes() as f64 / 1024.0,
+            naive_words as f64 * 4.0 / 1024.0,
+            naive_words as f64 / img.stats.span_words as f64
+        );
+    }
+
+    // ---- fallback compression vs fully labeled ----------------------
+    println!("\n== Majority/default fallback compression (scanning DFA, 4 regexes) ==");
+    let regexes = w::nids_regexes(4, 2);
+    let asts: Vec<Regex> = regexes.iter().map(|p| Regex::parse(p).unwrap()).collect();
+    let dfa = Dfa::determinize(&Nfa::scanner(&asts)).minimize();
+    let (trace, _) = w::traffic_with_matches(&w::nids_literals(8, 2), 32 * 1024, 900, 2);
+
+    let with_fb = udp_compilers::automata::dfa_to_udp(&dfa)
+        .assemble(&LayoutOptions::with_banks(64))
+        .expect("fits");
+    let rep_fb = Lane::run_program(&with_fb, &trace, &LaneConfig::default());
+    println!(
+        "with fallback:  {:>8.1} KB, {:>6.0} MB/s, {} signature misses",
+        with_fb.stats.code_bytes() as f64 / 1024.0,
+        rep_fb.rate_mbps(1.0),
+        rep_fb.fallback_misses
+    );
+    let full = udp_compilers::automata::dfa_to_udp_full(&dfa)
+        .assemble(&LayoutOptions::with_banks(64))
+        .expect("fits");
+    let rep_full = Lane::run_program(&full, &trace, &LaneConfig::default());
+    println!(
+        "fully labeled:  {:>8.1} KB, {:>6.0} MB/s, {} signature misses",
+        full.stats.code_bytes() as f64 / 1024.0,
+        rep_full.rate_mbps(1.0),
+        rep_full.fallback_misses
+    );
+    println!(
+        "-> compression: {:.2}x smaller for {:.0}% rate cost",
+        full.stats.code_bytes() as f64 / with_fb.stats.code_bytes() as f64,
+        (1.0 - rep_fb.rate_mbps(1.0) / rep_full.rate_mbps(1.0)) * 100.0
+    );
+
+    // ---- action sharing ----------------------------------------------
+    println!("\n== Action-block sharing (UDP attach) vs private copies (UAP attach) ==");
+    for (name, pb) in &programs {
+        let shared = pb.assemble(&LayoutOptions::with_banks(16)).expect("fits");
+        let private = pb
+            .assemble(&LayoutOptions {
+                window_words: 64 * 4096,
+                share_actions: false,
+                uap_attach: true,
+            })
+            .expect("size model");
+        println!(
+            "{:<18} shared {:>7} action words, private {:>7} ({:.2}x)",
+            name,
+            shared.stats.n_action_words,
+            private.stats.n_action_words,
+            private.stats.n_action_words.max(1) as f64 / shared.stats.n_action_words.max(1) as f64
+        );
+    }
+}

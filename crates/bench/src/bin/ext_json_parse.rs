@@ -1,0 +1,74 @@
+//! Extension experiments: JSON and XML tokenization on the UDP
+//! (Table 1 lists both among the parsing targets; the paper evaluates
+//! only CSV), plus bit-pack encoding (the DAX-Pack family). Same panel
+//! format as Figures 13–20.
+
+use udp_bench::{cpu_rate_mbps, print_comparison_table, Comparison};
+use udp_codecs::json::JsonTokenizer;
+use udp_codecs::xml::XmlTokenizer;
+use udp_workloads::{ndjson_events, xml_records};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, seed) in [("ndjson-events-a", 1u64), ("ndjson-events-b", 2)] {
+        let data = ndjson_events(1 << 20, seed);
+        let cpu = cpu_rate_mbps(data.len(), 0.05, || {
+            std::hint::black_box(
+                JsonTokenizer::compat()
+                    .tokenize(&data)
+                    .expect("generator output tokenizes"),
+            );
+        });
+        // Lane input: whole records only.
+        let cut = data[..24 * 1024]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(24 * 1024, |p| p + 1);
+        rows.push(Comparison {
+            dataset: name.to_string(),
+            cpu_1t_mbps: cpu,
+            udp: udp::kernels::json::run(&data[..cut]),
+        });
+    }
+    print_comparison_table("Extension: JSON tokenization (beyond the paper)", &rows);
+
+    // XML tokenization (the PowerEN row's format, Table 1 / Table 4).
+    let mut rows = Vec::new();
+    for (name, seed) in [("xml-orders-a", 11u64), ("xml-orders-b", 12)] {
+        let data = xml_records(1 << 20, seed);
+        let cpu = cpu_rate_mbps(data.len(), 0.05, || {
+            std::hint::black_box(
+                XmlTokenizer::compat()
+                    .tokenize(&data)
+                    .expect("generator output tokenizes"),
+            );
+        });
+        // Lane input: whole <batch> documents only.
+        let needle = b"</batch>\n";
+        let cut = data[..32 * 1024]
+            .windows(needle.len())
+            .rposition(|w| w == needle)
+            .map(|p| p + needle.len())
+            .expect("at least one complete batch");
+        rows.push(Comparison {
+            dataset: name.to_string(),
+            cpu_1t_mbps: cpu,
+            udp: udp::kernels::xml::run(&data[..cut]),
+        });
+    }
+    print_comparison_table("Extension: XML tokenization (beyond the paper)", &rows);
+
+    // Bit-pack, while we're in Table 1's encoding column.
+    let codes: Vec<u8> = (0..32_768u32).map(|i| ((i * 7) % 29) as u8).collect();
+    let width = udp_codecs::bits_needed(&codes.iter().map(|&c| u32::from(c)).collect::<Vec<_>>());
+    let enc = udp::kernels::bitpack::run_encode(&codes[..24 * 1024], width);
+    let packed = udp_codecs::bitpack_encode(
+        &codes.iter().map(|&c| u32::from(c)).collect::<Vec<_>>(),
+        width,
+    );
+    let dec = udp::kernels::bitpack::run_decode(&packed[..12 * 1024], width, 12 * 1024 * 8 / width as usize);
+    println!(
+        "\nExtension: bit-pack ({width}-bit codes): encode {:.0} MB/s/lane, decode {:.0} MB/s/lane",
+        enc.lane_rate_mbps, dec.lane_rate_mbps
+    );
+}

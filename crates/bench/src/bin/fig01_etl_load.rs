@@ -1,0 +1,69 @@
+//! Figure 1: loading compressed CSV into a relational store.
+//!
+//! Reproduces the stage breakdown (1a) and the CPU-vs-IO split (1b) for
+//! Snappy-compressed TPC-H-like lineitem at scale factors scaled down
+//! ×300 from the paper's 1–30 (DESIGN.md §4), plus the UDP-offload
+//! model using measured simulator rates.
+
+use udp_bench::suite::LANE_BYTES;
+use udp_codecs::snappy_compress;
+use udp_etl::{run_cpu_etl, udp_offload_model, OffloadRates};
+use udp_workloads::lineitem_csv;
+
+fn main() {
+    println!("== Figure 1: ETL load of compressed lineitem CSV ==");
+    println!(
+        "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scale", "raw MB", "rows", "io(mod)", "decomp", "parse", "deser", "load", "cpu s", "cpu %"
+    );
+
+    // Paper scale factors 1..30 → ours ×1/300 (raw ≈ 1 GB/sf).
+    let mut last_report = None;
+    for sf in [1usize, 3, 10] {
+        let raw_bytes = sf * 3_500_000; // ~3.5 MB per scaled unit
+        let raw = lineitem_csv(raw_bytes, 42 + sf as u64);
+        let compressed = snappy_compress(&raw);
+        let (_, rep) = run_cpu_etl(&compressed);
+        println!(
+            "{:<8} {:>9.1} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7.1}%",
+            format!("sf{sf}/300"),
+            rep.raw_bytes as f64 / 1e6,
+            rep.rows,
+            rep.io_model_s,
+            rep.decompress_s,
+            rep.parse_s,
+            rep.deserialize_s,
+            rep.load_s,
+            rep.cpu_s(),
+            rep.cpu_fraction() * 100.0
+        );
+        last_report = Some(rep);
+    }
+
+    // UDP offload model at measured simulator rates.
+    let rep = last_report.expect("ran at least one scale");
+    let sample = lineitem_csv(200_000, 7);
+    let cut = sample[..LANE_BYTES]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(LANE_BYTES, |p| p + 1);
+    let parse = udp::kernels::csv::run(&sample[..cut]);
+    let decomp = udp::kernels::snappy::run_decompress(&sample[..LANE_BYTES]);
+    let (cpu_only, offloaded) = udp_offload_model(
+        &rep,
+        OffloadRates {
+            decompress_mbps: decomp.lane_rate_mbps * decomp.lanes as f64,
+            parse_mbps: parse.lane_rate_mbps * parse.lanes as f64,
+        },
+    );
+    println!(
+        "\nUDP offload model (largest scale): cpu-only {:.3}s -> offloaded {:.3}s ({:.2}x)",
+        cpu_only,
+        offloaded,
+        cpu_only / offloaded
+    );
+    println!(
+        "paper shape: load time dominated by CPU transformation (>99.5% CPU in the paper's\nGzip+HDD-era setup; ours: {:.1}% CPU against a 500 MB/s SSD model with Snappy)",
+        rep.cpu_fraction() * 100.0
+    );
+}

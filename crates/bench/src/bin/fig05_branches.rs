@@ -1,0 +1,194 @@
+//! Figure 5: branch-offset (BO), branch-indirect (BI), and multi-way
+//! dispatch on the ETL kernels.
+//!
+//! * 5a — fraction of modeled CPU cycles lost to branch misprediction;
+//! * 5b — effective branch rate relative to BO (higher = faster);
+//! * 5c — code size for BO/BI (model) and UAP/UDP (assembled images).
+
+use udp_asm::LayoutOptions;
+use udp_automata::dfa::DEAD;
+use udp_codecs::{Histogram, HuffmanTree};
+use udp_cpu_model::codesize;
+use udp_cpu_model::kernels::{
+    run_csv, run_histogram, run_huffman_decode, run_pattern_match, run_snappy_compress, Approach,
+};
+use udp_sim::{Lane, LaneConfig};
+use udp_workloads as w;
+
+/// Exception edges + default successor per DFA state (the software
+/// structure a compiler would emit for a compare ladder).
+fn dfa_rows(dfa: &udp_automata::Dfa) -> Vec<(Vec<(u8, u32)>, u32)> {
+    (0..dfa.len() as u32)
+        .map(|s| {
+            let row = dfa.row(s);
+            let mut counts = std::collections::HashMap::new();
+            for &t in row {
+                if t != DEAD {
+                    *counts.entry(t).or_insert(0usize) += 1;
+                }
+            }
+            let default = counts
+                .iter()
+                .max_by_key(|(_, &c)| c)
+                .map_or(0, |(&t, _)| t);
+            let edges: Vec<(u8, u32)> = row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t != DEAD && t != default)
+                .map(|(b, &t)| (b as u8, t))
+                .collect();
+            (edges, default)
+        })
+        .collect()
+}
+
+fn main() {
+    let csv_data = w::crimes_csv(512 * 1024, 1);
+    let text = w::canterbury_like(w::Entropy::Medium, 512 * 1024, 2);
+    let fares = w::fare_stream(64 * 1024, 3);
+    let hist = Histogram::uniform(0.0, 100.0, 16);
+    let pats = w::nids_literals(48, 4);
+    let (trace, _) = w::traffic_with_matches(&pats, 512 * 1024, 700, 4);
+    let asts: Vec<udp_automata::Regex> =
+        pats.iter().map(|p| udp_automata::Regex::literal(p)).collect();
+    let dfa = udp_automata::Dfa::determinize(&udp_automata::Nfa::scanner(&asts)).minimize();
+    let rows = dfa_rows(&dfa);
+
+    // ---- 5a: misprediction cycle fraction -------------------------
+    println!("== Figure 5a: % cycles lost to branch misprediction (modeled Westmere) ==");
+    println!("{:<16} {:>8} {:>8}", "kernel", "BO", "BI");
+    let runs = [
+        ("csv", run_csv(Approach::BranchOffset, &csv_data), run_csv(Approach::BranchIndirect, &csv_data)),
+        ("huffman-dec", run_huffman_decode(Approach::BranchOffset, &text), run_huffman_decode(Approach::BranchIndirect, &text)),
+        ("patterns", run_pattern_match(Approach::BranchOffset, &rows, dfa.start(), &trace), run_pattern_match(Approach::BranchIndirect, &rows, dfa.start(), &trace)),
+        ("snappy-comp", run_snappy_compress(Approach::BranchOffset, &text), run_snappy_compress(Approach::BranchIndirect, &text)),
+        ("histogram", run_histogram(Approach::BranchOffset, &fares, &hist), run_histogram(Approach::BranchIndirect, &fares, &hist)),
+    ];
+    for (name, bo, bi) in &runs {
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}%",
+            name,
+            bo.mispredict_fraction * 100.0,
+            bi.mispredict_fraction * 100.0
+        );
+    }
+
+    // ---- 5b: effective branch rate vs BO ---------------------------
+    // UDP cycles-per-byte from the simulator on the same data.
+    println!("\n== Figure 5b: effective branch rate relative to BO ==");
+    println!("{:<16} {:>8} {:>8} {:>8}", "kernel", "BO", "BI", "UDP-MWD");
+    let cfg = LaneConfig::default();
+
+    let udp_cpb = {
+        let mut v = Vec::new();
+        // CSV
+        let img = udp_compilers::csv::csv_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .expect("csv fits");
+        let chunk = &csv_data[..64 * 1024];
+        let rep = Lane::run_program(&img, chunk, &cfg);
+        v.push(rep.cycles as f64 / rep.bytes_consumed as f64);
+        // Huffman decode (SsRef)
+        let tree = HuffmanTree::from_data(&text);
+        let (bits, nbits) = tree.encode(&text[..64 * 1024]);
+        let padded = udp_compilers::huffman::pad_for_stride(
+            &bits,
+            nbits,
+            udp_compilers::huffman::ssref_stride(&tree),
+        );
+        let img = udp_compilers::huffman::huffman_decode_to_udp(
+            &tree,
+            udp_compilers::huffman::SymbolMode::RegisterRefill,
+        )
+        .assemble(&LayoutOptions::with_banks(16))
+        .expect("huffman fits");
+        let rep = Lane::run_program(&img, &padded, &cfg);
+        v.push(rep.cycles as f64 / rep.bytes_consumed.max(1) as f64);
+        // Pattern matching (scanning DFA)
+        let img = udp_compilers::automata::dfa_to_udp(&dfa)
+            .assemble(&LayoutOptions::with_banks(64))
+            .expect("dfa fits");
+        let rep = Lane::run_program(&img, &trace[..64 * 1024], &cfg);
+        v.push(rep.cycles as f64 / rep.bytes_consumed as f64);
+        // Snappy compression
+        let img = udp_compilers::snappy::snappy_compress_to_udp()
+            .assemble(&LayoutOptions::with_banks(2))
+            .expect("snappy fits");
+        let block = &text[..32 * 1024];
+        let staging = udp_sim::engine::Staging {
+            segments: vec![],
+            regs: vec![(udp_isa::Reg::new(2), block.len() as u32)],
+        };
+        let (rep, _) = Lane::run_program_capture(&img, block, &staging, &cfg);
+        v.push(rep.cycles as f64 / block.len() as f64);
+        // Histogram
+        let (pb, _) = udp_compilers::histogram::histogram_to_udp(&hist);
+        let img = pb.assemble(&LayoutOptions::with_banks(1)).expect("hist fits");
+        let be = udp_compilers::histogram::to_big_endian(&fares);
+        let rep = Lane::run_program(&img, &be, &cfg);
+        v.push(rep.cycles as f64 / rep.bytes_consumed as f64);
+        v
+    };
+
+    for (i, (name, bo, bi)) in runs.iter().enumerate() {
+        let bo_cpb = bo.cycles / bo.stats.input_bytes as f64;
+        let bi_cpb = bi.cycles / bi.stats.input_bytes as f64;
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2}",
+            name,
+            1.0,
+            bo_cpb / bi_cpb,
+            bo_cpb / udp_cpb[i]
+        );
+    }
+
+    // ---- 5c: code size ---------------------------------------------
+    println!("\n== Figure 5c: code size (KB) ==");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "BO", "BI", "UAP", "UDP"
+    );
+    // BO/BI from the model; UAP (offset attach, no sharing) and UDP
+    // from assembled images.
+    let images = [
+        ("csv", udp_compilers::csv::csv_to_udp(), 1usize),
+        ("huffman-dec", {
+            let tree = HuffmanTree::from_data(&text);
+            udp_compilers::huffman::huffman_decode_to_udp(
+                &tree,
+                udp_compilers::huffman::SymbolMode::RegisterRefill,
+            )
+        }, 16),
+        ("patterns", udp_compilers::automata::dfa_to_udp(&dfa), 64),
+        ("snappy-comp", udp_compilers::snappy::snappy_compress_to_udp(), 2),
+        ("histogram", udp_compilers::histogram::histogram_to_udp(&hist).0, 1),
+    ];
+    let avg_edges =
+        rows.iter().map(|(e, _)| e.len()).sum::<usize>() / rows.len().max(1) + 1;
+    let model_sizes = [
+        // (states, avg BO cases, BI classes)
+        ("csv", codesize::bo_bytes(4, 5), codesize::bi_bytes(4, 256)),
+        ("huffman-dec", codesize::bo_bytes(300, 2), codesize::bi_bytes(300, 2)),
+        ("patterns", codesize::bo_bytes(dfa.len(), avg_edges), codesize::bi_bytes(dfa.len(), 256)),
+        ("snappy-comp", codesize::bo_bytes(8, 6), codesize::bi_bytes(8, 8)),
+        ("histogram", codesize::bo_bytes(17, 5), codesize::bi_bytes(17, 16)),
+    ];
+    for ((name, pb, banks), (_, bo_b, bi_b)) in images.into_iter().zip(model_sizes) {
+        let udp_img = pb.assemble(&LayoutOptions::with_banks(banks)).expect("fits");
+        let uap_img = pb
+            .assemble(&LayoutOptions {
+                window_words: banks * 4096 * 4,
+                share_actions: false,
+                uap_attach: true,
+            })
+            .expect("size model");
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            name,
+            bo_b as f64 / 1024.0,
+            bi_b as f64 / 1024.0,
+            uap_img.stats.code_bytes() as f64 / 1024.0,
+            udp_img.stats.code_bytes() as f64 / 1024.0,
+        );
+    }
+}

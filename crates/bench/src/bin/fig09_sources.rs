@@ -1,0 +1,49 @@
+//! Figure 9: the benefit of adding the scalar data register as a
+//! dispatch source (§3.2.3).
+//!
+//! The comparison uses the kernels not used in the two prior
+//! architecture studies: dictionary, dictionary-RLE, Snappy compression
+//! and decompression, and signal triggering. Model: with a stream-only
+//! UAP-style design, kernels whose programs require flagged (register)
+//! dispatch cannot be offloaded at all and fall back to the CPU
+//! (speedup 1×); stream-only kernels keep their measured speedups.
+
+use udp_bench::{geomean, suite, Comparison};
+
+fn needs_scalar_dispatch(kernel: &str) -> bool {
+    matches!(
+        kernel,
+        "Dictionary" | "Dictionary-RLE" | "Snappy Compression"
+    )
+}
+
+fn main() {
+    let kernels: Vec<(String, Vec<Comparison>)> = vec![
+        ("Dictionary".into(), suite::dictionary()),
+        ("Dictionary-RLE".into(), suite::dictionary_rle()),
+        ("Snappy Compression".into(), suite::snappy_compress()),
+        ("Snappy Decompression".into(), suite::snappy_decompress()),
+        ("Signal Triggering".into(), suite::trigger()),
+    ];
+
+    println!("== Figure 9: dispatch-source ablation (geomean speedup vs 8-thread CPU) ==");
+    println!(
+        "{:<22} {:>14} {:>18}",
+        "kernel", "stream-only", "stream+scalar"
+    );
+    let mut stream_only = Vec::new();
+    let mut with_scalar = Vec::new();
+    for (name, rows) in &kernels {
+        let sp = geomean(&rows.iter().map(Comparison::device_speedup).collect::<Vec<_>>());
+        let so = if needs_scalar_dispatch(name) { 1.0 } else { sp };
+        println!("{name:<22} {so:>14.2} {sp:>18.2}");
+        stream_only.push(so);
+        with_scalar.push(sp);
+    }
+    println!(
+        "{:<22} {:>14.2} {:>18.2}",
+        "GEOMEAN",
+        geomean(&stream_only),
+        geomean(&with_scalar)
+    );
+}

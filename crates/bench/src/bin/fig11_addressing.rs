@@ -1,0 +1,118 @@
+//! Figure 11: local vs global vs restricted addressing.
+//!
+//! * 11a — Snappy compression rate vs block size (bigger blocks need
+//!   bigger hash tables, which local addressing cannot grant);
+//! * 11b — net benefit: rate × compression-benefit, local vs restricted;
+//! * 11c — memory reference energy per addressing mode (CACTI-lite).
+
+use udp_asm::LayoutOptions;
+use udp_codecs::snappy_decompress;
+use udp_compilers::snappy::{frame_compressed, snappy_compress_to_udp_with};
+use udp_isa::mem::AddressingMode;
+use udp_isa::Reg;
+use udp_sim::energy::mem_energy_pj;
+use udp_sim::engine::Staging;
+use udp_sim::{Lane, LaneConfig};
+use udp_workloads as w;
+
+/// Hash-table bits affordable in a window of `banks` banks (4 KB code
+/// area + 2^k × 4-byte table must fit).
+fn hash_bits_for(banks: usize) -> u32 {
+    let budget = banks * 16 * 1024 - 4096;
+    (((budget / 4) as f64).log2().floor() as u32).clamp(8, 14)
+}
+
+fn main() {
+    let cfg = LaneConfig::default();
+    let corpus = w::canterbury_like(w::Entropy::Medium, 64 * 1024, 9);
+
+    println!("== Figure 11a/11b: Snappy compression vs block size ==");
+    println!(
+        "{:<10} {:>6} {:>12} {:>8} {:>12} {:>8} {:>12}",
+        "block", "mode", "rate MB/s", "ratio", "mode", "rate MB/s", "ratio"
+    );
+    println!(
+        "{:<10} {:>6} {:>12} {:>8} | restricted ->",
+        "", "local", "", ""
+    );
+    // Local addressing confines a lane to one 16 KB bank: code + hash
+    // table + staged block must fit, capping blocks at 8 KB. Restricted
+    // addressing widens the window to match the block (paper §3.2.4:
+    // "no way to run with 16 lanes with 64KB memory for each lane"
+    // under local).
+    const LOCAL_MAX_KB: usize = 8;
+    let mut local_net = Vec::new();
+    let mut restricted_net = Vec::new();
+    for block_kb in [1usize, 2, 4, 8, 16, 32, 48] {
+        let block = &corpus[..block_kb * 1024];
+        let run = |banks: usize| {
+            let bits = hash_bits_for(banks);
+            let img = snappy_compress_to_udp_with(bits, 4096)
+                .assemble(&LayoutOptions::with_banks(banks))
+                .expect("fits");
+            let staging = Staging {
+                segments: vec![],
+                regs: vec![(Reg::new(2), block.len() as u32)],
+            };
+            let (rep, _) = Lane::run_program_capture(&img, block, &staging, &cfg);
+            let framed = frame_compressed(block.len(), &rep.output);
+            assert_eq!(
+                snappy_decompress(&framed).expect("valid"),
+                block,
+                "round trip at {block_kb}KB/{banks} banks"
+            );
+            let ratio = framed.len() as f64 / block.len() as f64;
+            (rep.rate_mbps(1.0), ratio)
+        };
+        let local = (block_kb <= LOCAL_MAX_KB).then(|| run(1));
+        let banks = (block_kb * 1024 * 2 / (16 * 1024)).clamp(1, 8);
+        let (rr, rratio) = run(banks);
+        match local {
+            Some((lr, lratio)) => {
+                println!(
+                    "{:<10} {:>6} {:>12.1} {:>8.3} {:>12} {:>12.1} {:>8.3}",
+                    format!("{block_kb}KB"),
+                    "1-bank",
+                    lr,
+                    lratio,
+                    format!("{banks}-bank"),
+                    rr,
+                    rratio
+                );
+                local_net.push(lr / lratio);
+            }
+            None => println!(
+                "{:<10} {:>6} {:>12} {:>8} {:>12} {:>12.1} {:>8.3}",
+                format!("{block_kb}KB"),
+                "1-bank",
+                "(block too",
+                "large)",
+                format!("{banks}-bank"),
+                rr,
+                rratio
+            ),
+        }
+        // Net benefit: rate × compression benefit (1/ratio).
+        restricted_net.push(rr / rratio);
+    }
+    let best_local = local_net.iter().copied().fold(0.0f64, f64::max);
+    let best_restricted = restricted_net.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "11b: best net benefit (rate x compression benefit): local {:.0}, restricted {:.0} (+{:.0}%)",
+        best_local,
+        best_restricted,
+        (best_restricted / best_local - 1.0) * 100.0
+    );
+
+    println!("\n== Figure 11c: memory reference energy (1MB, 64 banks) ==");
+    for (name, mode) in [
+        ("local", AddressingMode::Local),
+        ("restricted", AddressingMode::Restricted),
+        ("global", AddressingMode::Global),
+    ] {
+        println!(
+            "{name:<12} {:.1} pJ/ref",
+            mem_energy_pj(1 << 20, 64, mode)
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Figure 13: CSV parsing (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::csv();
+    udp_bench::print_comparison_table("Figure 13: CSV parsing", &rows);
+}

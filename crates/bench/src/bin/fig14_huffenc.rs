@@ -1,0 +1,6 @@
+//! Figure 14: Huffman encoding (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::huffman_encode();
+    udp_bench::print_comparison_table("Figure 14: Huffman encoding", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 15: Huffman decoding (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::huffman_decode();
+    udp_bench::print_comparison_table("Figure 15: Huffman decoding", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 16: Pattern matching (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::patterns();
+    udp_bench::print_comparison_table("Figure 16: Pattern matching", &rows);
+}

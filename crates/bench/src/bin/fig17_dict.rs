@@ -1,0 +1,10 @@
+//! Figure 17: dictionary and dictionary-RLE encoding on Crimes
+//! attributes (the paper prints only the RLE panel for space; both are
+//! reproduced here).
+
+fn main() {
+    let rows = udp_bench::suite::dictionary();
+    udp_bench::print_comparison_table("Figure 17: Dictionary encoding", &rows);
+    let rows = udp_bench::suite::dictionary_rle();
+    udp_bench::print_comparison_table("Figure 17: Dictionary-RLE encoding", &rows);
+}

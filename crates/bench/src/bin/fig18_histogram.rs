@@ -1,0 +1,6 @@
+//! Figure 18: Histogram (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::histogram();
+    udp_bench::print_comparison_table("Figure 18: Histogram", &rows);
+}

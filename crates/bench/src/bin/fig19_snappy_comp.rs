@@ -1,0 +1,6 @@
+//! Figure 19: Snappy compression (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::snappy_compress();
+    udp_bench::print_comparison_table("Figure 19: Snappy compression", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 20: Snappy decompression (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::snappy_decompress();
+    udp_bench::print_comparison_table("Figure 20: Snappy decompression", &rows);
+}

@@ -1,0 +1,29 @@
+//! Figures 21 and 22: overall UDP speedup vs 8 CPU threads and overall
+//! throughput-per-watt vs CPU, across every workload kernel.
+
+use udp_bench::{geomean, suite, Comparison};
+
+fn main() {
+    let all = suite::run_all();
+    println!("== Figure 21 / Figure 22: overall speedup and performance/watt ==");
+    println!(
+        "{:<24} {:>14} {:>16}",
+        "workload", "speedup vs 8t", "perf/W vs CPU"
+    );
+    let mut speedups = Vec::new();
+    let mut perfwatts = Vec::new();
+    for (name, rows) in &all {
+        let sp = geomean(&rows.iter().map(Comparison::device_speedup).collect::<Vec<_>>());
+        let pw = geomean(&rows.iter().map(Comparison::perf_per_watt_ratio).collect::<Vec<_>>());
+        println!("{name:<24} {sp:>14.1} {pw:>16.0}");
+        speedups.push(sp);
+        perfwatts.push(pw);
+    }
+    println!(
+        "{:<24} {:>14.1} {:>16.0}",
+        "GEOMEAN",
+        geomean(&speedups),
+        geomean(&perfwatts)
+    );
+    println!("\npaper: 20x geomean speedup (range 8-197x), 1,900x geomean perf/W (276-18,300x)");
+}

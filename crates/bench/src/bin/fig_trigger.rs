@@ -1,0 +1,6 @@
+//! Section 5.7: Signal triggering (one UDP lane vs one CPU thread; full device vs 8 threads).
+
+fn main() {
+    let rows = udp_bench::suite::trigger();
+    udp_bench::print_comparison_table("Section 5.7: Signal triggering", &rows);
+}

@@ -1,0 +1,37 @@
+//! Table 1 (accelerator coverage) and Table 5 (UAP vs UDP features).
+
+use udp::coverage::{Capability, TABLE1, TABLE5};
+
+fn main() {
+    println!("== Table 1: coverage of transformation/encoding algorithms ==");
+    let caps = [
+        ("compress", Capability::Compression),
+        ("encode", Capability::Encoding),
+        ("parse", Capability::Parsing),
+        ("patterns", Capability::PatternMatching),
+        ("histogram", Capability::Histogram),
+    ];
+    print!("{:<28}", "accelerator");
+    for (label, _) in &caps {
+        print!(" {label:>12}");
+    }
+    println!();
+    for row in TABLE1 {
+        print!("{:<28}", row.name);
+        for (_, cap) in &caps {
+            let cell = row
+                .coverage
+                .iter()
+                .find(|(c, _)| c == cap)
+                .map_or("-", |(_, what)| what);
+            let short: String = cell.chars().take(12).collect();
+            print!(" {short:>12}");
+        }
+        println!();
+    }
+
+    println!("\n== Table 5: UAP vs UDP highlighted differences ==");
+    for row in TABLE5 {
+        println!("{:<16} | UAP: {:<38} | UDP: {}", row.dimension, row.uap, row.udp);
+    }
+}

@@ -1,0 +1,52 @@
+//! Table 3: UDP power and area breakdown (28nm model).
+
+use udp_sim::energy::{
+    AreaModel, LANE_COMPONENTS, SYSTEM_COMPONENTS, X86_CORE,
+};
+
+fn main() {
+    println!("== Table 3: UDP power and area breakdown ==");
+    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "component", "mW", "%", "mm^2", "%");
+    let lane_mw = AreaModel::lane_mw();
+    let lane_mm2 = AreaModel::lane_mm2();
+    for c in LANE_COMPONENTS {
+        println!(
+            "{:<22} {:>10.2} {:>9.1}% {:>10.3} {:>9.1}%",
+            c.name,
+            c.power_mw,
+            c.power_mw / lane_mw * 100.0,
+            c.area_mm2,
+            c.area_mm2 / lane_mm2 * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>10.2} {:>10} {:>10.3}",
+        "UDP Lane", lane_mw, "100%", lane_mm2
+    );
+    println!();
+    let sys_mw = AreaModel::system_mw();
+    let sys_mm2 = AreaModel::system_mm2();
+    for c in SYSTEM_COMPONENTS {
+        println!(
+            "{:<22} {:>10.2} {:>9.1}% {:>10.3} {:>9.1}%",
+            c.name,
+            c.power_mw,
+            c.power_mw / sys_mw * 100.0,
+            c.area_mm2,
+            c.area_mm2 / sys_mm2 * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>10.2} {:>10} {:>10.3}",
+        "UDP System", sys_mw, "100%", sys_mm2
+    );
+    println!(
+        "\n{:<22} {:>10.0} {:>10} {:>10.1}  ({}x power, {:.1}x area vs UDP system)",
+        X86_CORE.name,
+        X86_CORE.power_mw,
+        "",
+        X86_CORE.area_mm2,
+        (X86_CORE.power_mw / sys_mw).round(),
+        X86_CORE.area_mm2 / sys_mm2
+    );
+}

@@ -1,0 +1,108 @@
+//! Bit-packing of integer codes (the DAX-Pack encoding family of
+//! Table 1): dictionary codes stored in exactly `width` bits each,
+//! MSB-first.
+
+/// Minimum bits needed to represent every value in `codes`.
+pub fn bits_needed(codes: &[u32]) -> u8 {
+    let max = codes.iter().copied().max().unwrap_or(0);
+    (32 - max.leading_zeros()).max(1) as u8
+}
+
+/// Packs `codes` at `width` bits each, MSB-first, zero-padded to a
+/// whole byte.
+///
+/// # Panics
+///
+/// Panics if a code does not fit `width` bits or `width` is 0/>32.
+pub fn bitpack_encode(codes: &[u32], width: u8) -> Vec<u8> {
+    assert!((1..=32).contains(&width));
+    let mut out = Vec::with_capacity((codes.len() * width as usize).div_ceil(8));
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &c in codes {
+        assert!(
+            width == 32 || c < (1u32 << width),
+            "code {c} exceeds {width} bits"
+        );
+        acc = (acc << width) | u64::from(c);
+        nbits += u32::from(width);
+        while nbits >= 8 {
+            out.push((acc >> (nbits - 8)) as u8);
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(((acc << (8 - nbits)) & 0xFF) as u8);
+    }
+    out
+}
+
+/// Unpacks `count` codes of `width` bits.
+///
+/// Returns `None` if `bytes` is too short.
+pub fn bitpack_decode(bytes: &[u8], width: u8, count: usize) -> Option<Vec<u32>> {
+    assert!((1..=32).contains(&width));
+    let need_bits = count as u64 * u64::from(width);
+    if (bytes.len() as u64) * 8 < need_bits {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut pos: u64 = 0;
+    for _ in 0..count {
+        let mut v: u32 = 0;
+        for _ in 0..width {
+            let byte = bytes[(pos / 8) as usize];
+            let bit = (byte >> (7 - (pos % 8))) & 1;
+            v = (v << 1) | u32::from(bit);
+            pos += 1;
+        }
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(bits_needed(&[0]), 1);
+        assert_eq!(bits_needed(&[1]), 1);
+        assert_eq!(bits_needed(&[2]), 2);
+        assert_eq!(bits_needed(&[255]), 8);
+        assert_eq!(bits_needed(&[256]), 9);
+    }
+
+    #[test]
+    fn pack_3bit() {
+        // 0b101, 0b010, 0b111 -> 1010_1011 1000_0000
+        let packed = bitpack_encode(&[0b101, 0b010, 0b111], 3);
+        assert_eq!(packed, vec![0b1010_1011, 0b1000_0000]);
+        assert_eq!(
+            bitpack_decode(&packed, 3, 3).unwrap(),
+            vec![0b101, 0b010, 0b111]
+        );
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert_eq!(bitpack_decode(&[0xFF], 5, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_code_panics() {
+        bitpack_encode(&[8], 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(codes in proptest::collection::vec(0u32..5000, 0..300)) {
+            let w = bits_needed(&codes);
+            let packed = bitpack_encode(&codes, w);
+            prop_assert_eq!(bitpack_decode(&packed, w, codes.len()).unwrap(), codes);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! CSV parsing with the libcsv state machine.
+//!
+//! The parser is the exact four-state FSM libcsv uses (and which the UDP
+//! program reimplements, §4.1): field start, unquoted field, quoted
+//! field, and quote-inside-quoted-field; `""` escapes a quote inside a
+//! quoted field. Delimiters, record terminators, and quoting are
+//! byte-oriented.
+
+/// Parser events delivered in input order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvEvent {
+    /// A field's decoded bytes (quotes stripped, `""` unescaped).
+    Field(Vec<u8>),
+    /// End of a record.
+    EndRecord,
+}
+
+/// The libcsv-equivalent streaming parser.
+#[derive(Debug, Clone)]
+pub struct CsvParser {
+    delimiter: u8,
+    quote: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum S {
+    FieldStart,
+    Unquoted,
+    Quoted,
+    QuoteInQuoted,
+}
+
+impl Default for CsvParser {
+    fn default() -> Self {
+        CsvParser {
+            delimiter: b',',
+            quote: b'"',
+        }
+    }
+}
+
+impl CsvParser {
+    /// A comma/double-quote parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the field delimiter.
+    pub fn with_delimiter(mut self, d: u8) -> Self {
+        self.delimiter = d;
+        self
+    }
+
+    /// Parses `input`, invoking `sink` per event. Implements the libcsv
+    /// FSM; a final unterminated record is flushed at end of input.
+    pub fn parse_events<F: FnMut(CsvEvent)>(&self, input: &[u8], mut sink: F) {
+        let mut state = S::FieldStart;
+        let mut field: Vec<u8> = Vec::new();
+        let mut any_in_record = false;
+        for &b in input {
+            state = self.step(state, b, &mut field, &mut any_in_record, &mut sink);
+        }
+        if any_in_record || !field.is_empty() || state != S::FieldStart {
+            sink(CsvEvent::Field(std::mem::take(&mut field)));
+            sink(CsvEvent::EndRecord);
+        }
+    }
+
+    fn step<F: FnMut(CsvEvent)>(
+        &self,
+        state: S,
+        b: u8,
+        field: &mut Vec<u8>,
+        any_in_record: &mut bool,
+        sink: &mut F,
+    ) -> S {
+        let d = self.delimiter;
+        let q = self.quote;
+        match state {
+            S::FieldStart => {
+                if b == q {
+                    *any_in_record = true;
+                    S::Quoted
+                } else if b == d {
+                    *any_in_record = true;
+                    sink(CsvEvent::Field(std::mem::take(field)));
+                    S::FieldStart
+                } else if b == b'\n' {
+                    if *any_in_record {
+                        sink(CsvEvent::Field(std::mem::take(field)));
+                        sink(CsvEvent::EndRecord);
+                    }
+                    *any_in_record = false;
+                    S::FieldStart
+                } else if b == b'\r' {
+                    S::FieldStart
+                } else {
+                    *any_in_record = true;
+                    field.push(b);
+                    S::Unquoted
+                }
+            }
+            S::Unquoted => {
+                if b == d {
+                    sink(CsvEvent::Field(std::mem::take(field)));
+                    S::FieldStart
+                } else if b == b'\n' {
+                    sink(CsvEvent::Field(std::mem::take(field)));
+                    sink(CsvEvent::EndRecord);
+                    *any_in_record = false;
+                    S::FieldStart
+                } else if b == b'\r' {
+                    S::Unquoted
+                } else {
+                    field.push(b);
+                    S::Unquoted
+                }
+            }
+            S::Quoted => {
+                if b == q {
+                    S::QuoteInQuoted
+                } else {
+                    field.push(b);
+                    S::Quoted
+                }
+            }
+            S::QuoteInQuoted => {
+                if b == q {
+                    // Escaped quote.
+                    field.push(q);
+                    S::Quoted
+                } else if b == d {
+                    sink(CsvEvent::Field(std::mem::take(field)));
+                    S::FieldStart
+                } else if b == b'\n' {
+                    sink(CsvEvent::Field(std::mem::take(field)));
+                    sink(CsvEvent::EndRecord);
+                    *any_in_record = false;
+                    S::FieldStart
+                } else if b == b'\r' {
+                    S::QuoteInQuoted
+                } else {
+                    // libcsv tolerates stray bytes after a closing quote.
+                    field.push(b);
+                    S::Unquoted
+                }
+            }
+        }
+    }
+
+    /// Parses into rows of fields.
+    pub fn parse(&self, input: &[u8]) -> Vec<Vec<Vec<u8>>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        self.parse_events(input, |e| match e {
+            CsvEvent::Field(f) => row.push(f),
+            CsvEvent::EndRecord => rows.push(std::mem::take(&mut row)),
+        });
+        rows
+    }
+
+    /// Counts `(records, fields, field_bytes)` without materializing —
+    /// the throughput-measurement entry point.
+    pub fn parse_stats(&self, input: &[u8]) -> (u64, u64, u64) {
+        let mut records = 0u64;
+        let mut fields = 0u64;
+        let mut bytes = 0u64;
+        self.parse_events(input, |e| match e {
+            CsvEvent::Field(f) => {
+                fields += 1;
+                bytes += f.len() as u64;
+            }
+            CsvEvent::EndRecord => records += 1,
+        });
+        (records, fields, bytes)
+    }
+}
+
+/// Serializes rows back to CSV, quoting where needed (test helper and
+/// workload-generator support).
+pub fn write_csv(rows: &[Vec<Vec<u8>>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for row in rows {
+        for (i, f) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            let needs_quote = f
+                .iter()
+                .any(|&b| b == b',' || b == b'"' || b == b'\n' || b == b'\r');
+            if needs_quote {
+                out.push(b'"');
+                for &b in f {
+                    if b == b'"' {
+                        out.push(b'"');
+                    }
+                    out.push(b);
+                }
+                out.push(b'"');
+            } else {
+                out.extend_from_slice(f);
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rows(input: &[u8]) -> Vec<Vec<Vec<u8>>> {
+        CsvParser::new().parse(input)
+    }
+
+    #[test]
+    fn simple_rows() {
+        let r = rows(b"a,b,c\nd,e,f\n");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let r = rows(b"\"a,b\",\"line1\nline2\",x\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0][0], b"a,b");
+        assert_eq!(r[0][1], b"line1\nline2");
+        assert_eq!(r[0][2], b"x");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let r = rows(b"\"he said \"\"hi\"\"\",y\n");
+        assert_eq!(r[0][0], b"he said \"hi\"");
+    }
+
+    #[test]
+    fn empty_fields_and_trailing_record() {
+        let r = rows(b"a,,c");
+        assert_eq!(r, vec![vec![b"a".to_vec(), b"".to_vec(), b"c".to_vec()]]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let r = rows(b"a,b\r\nc,d\r\n");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec![b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let r = rows(b"a\n\n\nb\n");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn stats_match_parse() {
+        let input = b"a,bb,ccc\nx,y\n";
+        let (rec, fld, byt) = CsvParser::new().parse_stats(input);
+        assert_eq!((rec, fld, byt), (2, 5, 8));
+    }
+
+    fn arb_field() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![
+                Just(b'a'),
+                Just(b'b'),
+                Just(b','),
+                Just(b'"'),
+                Just(b'\n'),
+                Just(b' '),
+            ],
+            0..8,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_then_parse_round_trips(
+            table in proptest::collection::vec(
+                proptest::collection::vec(arb_field(), 1..5), 1..6)
+        ) {
+            // Skip rows that serialize to a fully empty line (blank-line
+            // skipping makes them unrepresentable — as in libcsv).
+            let table: Vec<Vec<Vec<u8>>> = table
+                .into_iter()
+                .filter(|row| !(row.len() == 1 && row[0].is_empty()))
+                .collect();
+            prop_assume!(!table.is_empty());
+            let bytes = write_csv(&table);
+            let parsed = CsvParser::new().parse(&bytes);
+            prop_assert_eq!(table, parsed);
+        }
+    }
+}

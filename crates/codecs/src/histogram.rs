@@ -1,0 +1,201 @@
+//! Histogramming (the GSL baseline, §4.1, §5.5).
+//!
+//! Bins are defined by ascending edges; value lookup is the GSL binary
+//! search. The paper's experiments run 1) uniform-size bins and
+//! 2) percentile bins sized from a sample, over IEEE-754 attribute
+//! streams (Crimes.Latitude/Longitude, Taxi.Fare).
+
+/// A fixed-edge histogram over `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// `n_bins + 1` ascending edges; bin `i` is `[edges[i], edges[i+1])`.
+    edges: Vec<f32>,
+    counts: Vec<u64>,
+    /// Values outside `[edges[0], edges[n])`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// A histogram with explicit ascending edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two edges are given or they are not strictly
+    /// ascending.
+    pub fn with_edges(edges: Vec<f32>) -> Histogram {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let bins = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// `n` uniform bins over `[lo, hi)`.
+    pub fn uniform(lo: f32, hi: f32, n: usize) -> Histogram {
+        assert!(n >= 1 && hi > lo);
+        let step = (hi - lo) / n as f32;
+        let mut edges: Vec<f32> = (0..=n).map(|i| lo + step * i as f32).collect();
+        // Guard against FP rounding producing a non-ascending tail.
+        edges[n] = hi;
+        Histogram::with_edges(edges)
+    }
+
+    /// Percentile (equi-depth) bins estimated from a sample — the
+    /// "non-uniform size based on sampling" variant of §4.1.
+    pub fn percentile(sample: &[f32], n: usize) -> Histogram {
+        assert!(n >= 1 && !sample.is_empty());
+        let mut s: Vec<f32> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        s.sort_by(f32::total_cmp);
+        let mut edges = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let idx = (i * (s.len() - 1)) / n;
+            edges.push(s[idx]);
+        }
+        // Widen the last edge so the max lands inside, and dedupe.
+        edges.dedup_by(|a, b| a == b);
+        if edges.len() < 2 {
+            edges.push(edges[0] + 1.0);
+        }
+        let last = edges.len() - 1;
+        edges[last] = f32::from_bits(edges[last].to_bits() + 1);
+        Histogram::with_edges(edges)
+    }
+
+    /// GSL-style binary-search bin lookup.
+    pub fn bin_of(&self, v: f32) -> Option<usize> {
+        let n = self.edges.len() - 1;
+        if !(v >= self.edges[0] && v < self.edges[n]) {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut hi = n;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if v >= self.edges[mid] {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Accumulates one value.
+    pub fn add(&mut self, v: f32) {
+        match self.bin_of(v) {
+            Some(b) => self.counts[b] += 1,
+            None => self.outliers += 1,
+        }
+    }
+
+    /// Accumulates a slice.
+    pub fn add_all(&mut self, values: &[f32]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Accumulates values from their little-endian IEEE-754 byte stream
+    /// (the comparison-rate entry point: input measured in bytes).
+    pub fn add_le_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks_exact(4) {
+            self.add(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of out-of-range values.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f32] {
+        &self.edges
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_binning() {
+        let mut h = Histogram::uniform(0.0, 10.0, 10);
+        h.add_all(&[0.0, 0.5, 5.0, 9.99]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let mut h = Histogram::uniform(0.0, 1.0, 4);
+        h.add_all(&[-0.1, 1.0, 55.0, f32::NAN]);
+        assert_eq!(h.outliers(), 4);
+    }
+
+    #[test]
+    fn edge_inclusivity() {
+        let h = Histogram::uniform(0.0, 4.0, 4);
+        assert_eq!(h.bin_of(1.0), Some(1), "left edges are inclusive");
+        assert_eq!(h.bin_of(4.0), None, "right edge is exclusive");
+    }
+
+    #[test]
+    fn percentile_bins_balance_counts() {
+        let sample: Vec<f32> = (0..1000).map(|i| (i as f32).sqrt()).collect();
+        let mut h = Histogram::percentile(&sample, 4);
+        h.add_all(&sample);
+        let total: u64 = h.counts().iter().sum();
+        assert!(total >= 999);
+        for &c in h.counts() {
+            assert!(c >= 150, "equi-depth bins should be roughly balanced: {:?}", h.counts());
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_values() {
+        let vals = [1.5f32, 2.5, 3.5];
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut a = Histogram::uniform(0.0, 4.0, 4);
+        a.add_le_bytes(&bytes);
+        let mut b = Histogram::uniform(0.0, 4.0, 4);
+        b.add_all(&vals);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_finite_value_lands_once(vals in proptest::collection::vec(-1e6f32..1e6, 0..300)) {
+            let mut h = Histogram::uniform(-1e6, 1e6 + 1.0, 13);
+            h.add_all(&vals);
+            let total: u64 = h.counts().iter().sum::<u64>() + h.outliers();
+            prop_assert_eq!(total, vals.len() as u64);
+        }
+
+        #[test]
+        fn prop_binary_search_matches_linear(v in -10f32..20f32) {
+            let h = Histogram::uniform(0.0, 10.0, 7);
+            let linear = (0..7).find(|&i| v >= h.edges()[i] && v < h.edges()[i + 1]);
+            prop_assert_eq!(h.bin_of(v), linear);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Canonical Huffman coding (the libhuffman baseline, §4.1).
+//!
+//! Encoding walks a per-byte code table and emits variable-length codes
+//! MSB-first; decoding walks the binary code tree bit-by-bit — the
+//! branch-intensive structure that makes this kernel 5× worse than the
+//! PARSEC mean in mispredicted branches (Table 2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A byte's code: up to 32 bits, MSB-first in the low bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HuffmanCode {
+    /// The code bits (left-aligned at bit `len-1`).
+    pub bits: u32,
+    /// Code length in bits (0 = symbol absent).
+    pub len: u8,
+}
+
+/// A decode-tree node: either an internal node or a leaf symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffmanNode {
+    /// `(zero_child, one_child)` indexes into the node table.
+    Internal(u32, u32),
+    /// Decoded byte.
+    Leaf(u8),
+}
+
+/// A canonical Huffman code over bytes.
+#[derive(Clone)]
+pub struct HuffmanTree {
+    codes: [HuffmanCode; 256],
+    nodes: Vec<HuffmanNode>,
+    root: u32,
+}
+
+impl fmt::Debug for HuffmanTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HuffmanTree{{{} symbols, {} nodes}}",
+            self.codes.iter().filter(|c| c.len > 0).count(),
+            self.nodes.len()
+        )
+    }
+}
+
+impl HuffmanTree {
+    /// Builds a canonical code from byte frequencies.
+    ///
+    /// Symbols with zero frequency get no code. With a single distinct
+    /// symbol, it receives a 1-bit code.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> HuffmanTree {
+        // Package the Huffman algorithm over a min-heap of (freq, tie, id).
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Item(Reverse<u64>, Reverse<u32>, i32); // freq, tiebreak, node
+        let mut lengths = [0u8; 256];
+        let present: Vec<u8> = (0..256u16)
+            .filter(|&b| freqs[b as usize] > 0)
+            .map(|b| b as u8)
+            .collect();
+        match present.len() {
+            0 => {}
+            1 => lengths[present[0] as usize] = 1,
+            _ => {
+                // Build the tree shape to extract depths.
+                struct Tmp {
+                    sym: i16,
+                    kids: Option<(usize, usize)>,
+                }
+                let mut tmp: Vec<Tmp> = Vec::new();
+                let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+                for &s in &present {
+                    tmp.push(Tmp {
+                        sym: i16::from(s),
+                        kids: None,
+                    });
+                    heap.push(Item(
+                        Reverse(freqs[s as usize]),
+                        Reverse(tmp.len() as u32),
+                        (tmp.len() - 1) as i32,
+                    ));
+                }
+                while heap.len() > 1 {
+                    let a = heap.pop().expect("len>1");
+                    let b = heap.pop().expect("len>1");
+                    tmp.push(Tmp {
+                        sym: -1,
+                        kids: Some((a.2 as usize, b.2 as usize)),
+                    });
+                    heap.push(Item(
+                        Reverse(a.0 .0 + b.0 .0),
+                        Reverse(tmp.len() as u32),
+                        (tmp.len() - 1) as i32,
+                    ));
+                }
+                let root = heap.pop().expect("root").2 as usize;
+                let mut stack = vec![(root, 0u8)];
+                while let Some((n, d)) = stack.pop() {
+                    match tmp[n].kids {
+                        Some((a, b)) => {
+                            stack.push((a, d + 1));
+                            stack.push((b, d + 1));
+                        }
+                        None => lengths[tmp[n].sym as usize] = d.max(1),
+                    }
+                }
+            }
+        }
+        Self::from_lengths(&lengths)
+    }
+
+    /// Builds the canonical code from per-symbol code lengths.
+    pub fn from_lengths(lengths: &[u8; 256]) -> HuffmanTree {
+        // Canonical assignment: sort by (length, symbol).
+        let mut symbols: Vec<u8> = (0..256u16)
+            .filter(|&b| lengths[b as usize] > 0)
+            .map(|b| b as u8)
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut codes = [HuffmanCode::default(); 256];
+        let mut code: u32 = 0;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            let len = lengths[s as usize];
+            code <<= len - prev_len;
+            codes[s as usize] = HuffmanCode { bits: code, len };
+            code += 1;
+            prev_len = len;
+        }
+        // Decode tree.
+        let mut nodes: Vec<HuffmanNode> = Vec::new();
+        let mut root = u32::MAX;
+        if !symbols.is_empty() {
+            nodes.push(HuffmanNode::Internal(u32::MAX, u32::MAX));
+            root = 0;
+            for &s in &symbols {
+                let c = codes[s as usize];
+                let mut cur = 0usize;
+                for i in (0..c.len).rev() {
+                    let bit = (c.bits >> i) & 1;
+                    let leaf = i == 0;
+                    let HuffmanNode::Internal(z, o) = nodes[cur] else {
+                        unreachable!("prefix property violated");
+                    };
+                    let slot = if bit == 0 { z } else { o };
+                    let nxt = if slot == u32::MAX {
+                        let id = nodes.len() as u32;
+                        nodes.push(if leaf {
+                            HuffmanNode::Leaf(s)
+                        } else {
+                            HuffmanNode::Internal(u32::MAX, u32::MAX)
+                        });
+                        if let HuffmanNode::Internal(z, o) = &mut nodes[cur] {
+                            if bit == 0 {
+                                *z = id;
+                            } else {
+                                *o = id;
+                            }
+                        }
+                        id
+                    } else {
+                        slot
+                    };
+                    cur = nxt as usize;
+                }
+            }
+        }
+        HuffmanTree { codes, nodes, root }
+    }
+
+    /// Convenience: code built from the content of `data`.
+    pub fn from_data(data: &[u8]) -> HuffmanTree {
+        let mut freqs = [0u64; 256];
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+        Self::from_frequencies(&freqs)
+    }
+
+    /// The code table.
+    pub fn code(&self, symbol: u8) -> HuffmanCode {
+        self.codes[symbol as usize]
+    }
+
+    /// Decode-tree nodes (UDP compiler input).
+    pub fn nodes(&self) -> &[HuffmanNode] {
+        &self.nodes
+    }
+
+    /// Decode-tree root index.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Longest code length in bits.
+    pub fn max_len(&self) -> u8 {
+        self.codes.iter().map(|c| c.len).max().unwrap_or(0)
+    }
+
+    /// Encodes `data`, returning `(bits, bit_length)` packed MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` contains a symbol absent from the code.
+    pub fn encode(&self, data: &[u8]) -> (Vec<u8>, u64) {
+        let mut out: Vec<u8> = Vec::with_capacity(data.len());
+        let mut acc: u64 = 0;
+        let mut nbits: u32 = 0;
+        let mut total: u64 = 0;
+        for &b in data {
+            let c = self.codes[b as usize];
+            assert!(c.len > 0, "symbol {b:#x} has no code");
+            acc = (acc << c.len) | u64::from(c.bits);
+            nbits += u32::from(c.len);
+            total += u64::from(c.len);
+            while nbits >= 8 {
+                out.push((acc >> (nbits - 8)) as u8);
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push(((acc << (8 - nbits)) & 0xFF) as u8);
+        }
+        (out, total)
+    }
+
+    /// Decodes `nbits` of `bits` by walking the tree bit-by-bit (the
+    /// libhuffman structure).
+    ///
+    /// Returns `None` on a truncated or invalid stream.
+    pub fn decode(&self, bits: &[u8], nbits: u64) -> Option<Vec<u8>> {
+        if self.root == u32::MAX {
+            return if nbits == 0 { Some(Vec::new()) } else { None };
+        }
+        let mut out = Vec::new();
+        let mut cur = self.root as usize;
+        for i in 0..nbits {
+            let byte = *bits.get((i / 8) as usize)?;
+            let bit = (byte >> (7 - (i % 8))) & 1;
+            let HuffmanNode::Internal(z, o) = self.nodes[cur] else {
+                return None;
+            };
+            let nxt = if bit == 0 { z } else { o };
+            if nxt == u32::MAX {
+                return None;
+            }
+            cur = nxt as usize;
+            if let HuffmanNode::Leaf(s) = self.nodes[cur] {
+                out.push(s);
+                cur = self.root as usize;
+            }
+        }
+        if cur == self.root as usize {
+            Some(out)
+        } else {
+            None // truncated mid-code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let data = b"abracadabra";
+        let t = HuffmanTree::from_data(data);
+        let (bits, n) = t.encode(data);
+        assert_eq!(t.decode(&bits, n).unwrap(), data);
+        // 'a' is most frequent: shortest code.
+        assert!(t.code(b'a').len <= t.code(b'c').len);
+    }
+
+    #[test]
+    fn single_symbol_input() {
+        let data = b"aaaaaa";
+        let t = HuffmanTree::from_data(data);
+        assert_eq!(t.code(b'a').len, 1);
+        let (bits, n) = t.encode(data);
+        assert_eq!(n, 6);
+        assert_eq!(t.decode(&bits, n).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = HuffmanTree::from_data(b"");
+        let (bits, n) = t.encode(b"");
+        assert_eq!(n, 0);
+        assert_eq!(t.decode(&bits, 0).unwrap(), b"");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let t = HuffmanTree::from_data(b"the quick brown fox jumps over the lazy dog");
+        let codes: Vec<HuffmanCode> = (0..=255u8)
+            .map(|b| t.code(b))
+            .filter(|c| c.len > 0)
+            .collect();
+        for (i, a) in codes.iter().enumerate() {
+            for b in codes.iter().skip(i + 1) {
+                let min = a.len.min(b.len);
+                let pa = a.bits >> (a.len - min);
+                let pb = b.bits >> (b.len - min);
+                assert_ne!(pa, pb, "prefix collision");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_fails() {
+        let data = b"hello world";
+        let t = HuffmanTree::from_data(data);
+        let (bits, n) = t.encode(data);
+        assert!(t.decode(&bits, n - 1).is_none());
+    }
+
+    #[test]
+    fn compression_beats_raw_on_skewed_data() {
+        let mut data = vec![b'a'; 10_000];
+        data.extend_from_slice(&[b'b'; 100]);
+        data.extend_from_slice(b"cdefg");
+        let t = HuffmanTree::from_data(&data);
+        let (bits, _) = t.encode(&data);
+        assert!(bits.len() < data.len() / 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let t = HuffmanTree::from_data(&data);
+            let (bits, n) = t.encode(&data);
+            prop_assert_eq!(t.decode(&bits, n).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_kraft_inequality(data in proptest::collection::vec(any::<u8>(), 1..500)) {
+            let t = HuffmanTree::from_data(&data);
+            let kraft: f64 = (0..=255u8)
+                .map(|b| t.code(b))
+                .filter(|c| c.len > 0)
+                .map(|c| 2f64.powi(-i32::from(c.len)))
+                .sum();
+            prop_assert!(kraft <= 1.0 + 1e-9, "kraft = {}", kraft);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! JSON tokenization and validation (Table 1 lists JSON among UDP's
+//! parsing targets; this is the CPU baseline and functional oracle).
+//!
+//! Two modes:
+//!
+//! * **strict** — escapes fully decoded (including `\uXXXX` to UTF-8),
+//!   numbers validated against the JSON grammar;
+//! * **compat** — the framing the UDP tokenizer program produces:
+//!   `\uXXXX` kept raw, numbers kept as their lexical text. Used for
+//!   UDP-vs-CPU equivalence checks.
+
+use std::fmt;
+
+/// A JSON token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonToken {
+    /// `{`
+    ObjOpen,
+    /// `}`
+    ObjClose,
+    /// `[`
+    ArrOpen,
+    /// `]`
+    ArrClose,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// A string's decoded (strict) or compat-raw content bytes.
+    Str(Vec<u8>),
+    /// A number's lexical text.
+    Num(Vec<u8>),
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+}
+
+/// Tokenizer/validator failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// The streaming tokenizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonTokenizer {
+    /// Compat mode: keep `\uXXXX` raw and skip number-grammar checks.
+    pub compat: bool,
+}
+
+impl JsonTokenizer {
+    /// A strict tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The UDP-framing-compatible tokenizer.
+    pub fn compat() -> Self {
+        JsonTokenizer { compat: true }
+    }
+
+    /// Tokenizes `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on lexical errors (bad escapes, bare
+    /// words, unterminated strings).
+    pub fn tokenize(&self, input: &[u8]) -> Result<Vec<JsonToken>, JsonError> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let err = |pos: usize, m: &str| JsonError {
+            pos,
+            message: m.to_string(),
+        };
+        while i < input.len() {
+            let b = input[i];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+                b'{' => {
+                    out.push(JsonToken::ObjOpen);
+                    i += 1;
+                }
+                b'}' => {
+                    out.push(JsonToken::ObjClose);
+                    i += 1;
+                }
+                b'[' => {
+                    out.push(JsonToken::ArrOpen);
+                    i += 1;
+                }
+                b']' => {
+                    out.push(JsonToken::ArrClose);
+                    i += 1;
+                }
+                b':' => {
+                    out.push(JsonToken::Colon);
+                    i += 1;
+                }
+                b',' => {
+                    out.push(JsonToken::Comma);
+                    i += 1;
+                }
+                b'"' => {
+                    let (s, next) = self.string(input, i)?;
+                    out.push(JsonToken::Str(s));
+                    i = next;
+                }
+                b'-' | b'0'..=b'9' => {
+                    let start = i;
+                    while i < input.len()
+                        && matches!(input[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    if !self.compat {
+                        validate_number(text).map_err(|m| err(start, &m))?;
+                    }
+                    out.push(JsonToken::Num(text.to_vec()));
+                }
+                b't' => {
+                    expect_word(input, i, b"true").map_err(|m| err(i, &m))?;
+                    out.push(JsonToken::True);
+                    i += 4;
+                }
+                b'f' => {
+                    expect_word(input, i, b"false").map_err(|m| err(i, &m))?;
+                    out.push(JsonToken::False);
+                    i += 5;
+                }
+                b'n' => {
+                    expect_word(input, i, b"null").map_err(|m| err(i, &m))?;
+                    out.push(JsonToken::Null);
+                    i += 4;
+                }
+                other => return Err(err(i, &format!("unexpected byte {:?}", other as char))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn string(&self, input: &[u8], open: usize) -> Result<(Vec<u8>, usize), JsonError> {
+        let err = |pos: usize, m: &str| JsonError {
+            pos,
+            message: m.to_string(),
+        };
+        let mut s = Vec::new();
+        let mut i = open + 1;
+        loop {
+            let Some(&b) = input.get(i) else {
+                return Err(err(open, "unterminated string"));
+            };
+            match b {
+                b'"' => return Ok((s, i + 1)),
+                b'\\' => {
+                    let Some(&e) = input.get(i + 1) else {
+                        return Err(err(i, "dangling escape"));
+                    };
+                    match e {
+                        b'"' => s.push(b'"'),
+                        b'\\' => s.push(b'\\'),
+                        b'/' => s.push(b'/'),
+                        b'n' => s.push(b'\n'),
+                        b't' => s.push(b'\t'),
+                        b'r' => s.push(b'\r'),
+                        b'b' => s.push(0x08),
+                        b'f' => s.push(0x0C),
+                        b'u' => {
+                            if i + 6 > input.len() {
+                                return Err(err(i, "truncated \\u escape"));
+                            }
+                            let hex = &input[i + 2..i + 6];
+                            if self.compat {
+                                s.extend_from_slice(b"\\u");
+                                s.extend_from_slice(hex);
+                            } else {
+                                let cp = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| err(i, "non-ascii \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| err(i, "bad \\u escape"))?;
+                                let c = char::from_u32(cp).unwrap_or('\u{FFFD}');
+                                let mut buf = [0u8; 4];
+                                s.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            }
+                            i += 4;
+                        }
+                        other => {
+                            return Err(err(i, &format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                    i += 2;
+                }
+                _ => {
+                    s.push(b);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_word(input: &[u8], i: usize, word: &[u8]) -> Result<(), String> {
+    if input[i..].starts_with(word) {
+        Ok(())
+    } else {
+        Err(format!(
+            "bare word is not {:?}",
+            String::from_utf8_lossy(word)
+        ))
+    }
+}
+
+fn validate_number(text: &[u8]) -> Result<(), String> {
+    let s = std::str::from_utf8(text).map_err(|_| "non-ascii number".to_string())?;
+    s.parse::<f64>()
+        .map_err(|e| format!("bad number {s:?}: {e}"))?;
+    // JSON forbids leading '+', leading zeros, and trailing dots.
+    if s.starts_with('+') || s.ends_with('.') {
+        return Err(format!("non-JSON number {s:?}"));
+    }
+    let digits = s.strip_prefix('-').unwrap_or(s);
+    if digits.len() > 1 && digits.starts_with('0') && !digits.starts_with("0.") {
+        return Err(format!("leading zero in {s:?}"));
+    }
+    Ok(())
+}
+
+/// Structural validation: token stream must form a sequence of complete
+/// JSON values (NDJSON-friendly: several top-level values allowed).
+pub fn validate(tokens: &[JsonToken]) -> Result<usize, JsonError> {
+    #[derive(PartialEq)]
+    enum Ctx {
+        Obj,
+        Arr,
+    }
+    let err = |i: usize, m: &str| JsonError {
+        pos: i,
+        message: m.to_string(),
+    };
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut values = 0usize;
+    let mut expect_value = true;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t {
+            JsonToken::ObjOpen => {
+                if !expect_value {
+                    return Err(err(i, "unexpected '{'"));
+                }
+                stack.push(Ctx::Obj);
+                // Expect a key or immediate close.
+            }
+            JsonToken::ArrOpen => {
+                if !expect_value {
+                    return Err(err(i, "unexpected '['"));
+                }
+                stack.push(Ctx::Arr);
+            }
+            JsonToken::ObjClose => {
+                if stack.pop() != Some(Ctx::Obj) {
+                    return Err(err(i, "unbalanced '}'"));
+                }
+                expect_value = false;
+            }
+            JsonToken::ArrClose => {
+                if stack.pop() != Some(Ctx::Arr) {
+                    return Err(err(i, "unbalanced ']'"));
+                }
+                expect_value = false;
+            }
+            JsonToken::Colon | JsonToken::Comma => expect_value = true,
+            _ => expect_value = false,
+        }
+        if stack.is_empty() && !expect_value {
+            values += 1;
+            expect_value = true;
+        }
+        i += 1;
+    }
+    if !stack.is_empty() {
+        return Err(err(tokens.len(), "unclosed container"));
+    }
+    Ok(values)
+}
+
+/// Serializes tokens in the UDP tokenizer's output framing: structural
+/// bytes verbatim; `S`/`N` + content + `0x1F` for strings/numbers;
+/// `T`/`F`/`Z` for literals.
+pub fn compat_framing(tokens: &[JsonToken]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match t {
+            JsonToken::ObjOpen => out.push(b'{'),
+            JsonToken::ObjClose => out.push(b'}'),
+            JsonToken::ArrOpen => out.push(b'['),
+            JsonToken::ArrClose => out.push(b']'),
+            JsonToken::Colon => out.push(b':'),
+            JsonToken::Comma => out.push(b','),
+            JsonToken::Str(s) => {
+                out.push(b'S');
+                out.extend_from_slice(s);
+                out.push(0x1F);
+            }
+            JsonToken::Num(n) => {
+                out.push(b'N');
+                out.extend_from_slice(n);
+                out.push(0x1F);
+            }
+            JsonToken::True => out.push(b'T'),
+            JsonToken::False => out.push(b'F'),
+            JsonToken::Null => out.push(b'Z'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<JsonToken> {
+        JsonTokenizer::new().tokenize(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn basic_object() {
+        let t = toks(r#"{"a": 1, "b": [true, null]}"#);
+        assert_eq!(t[0], JsonToken::ObjOpen);
+        assert_eq!(t[1], JsonToken::Str(b"a".to_vec()));
+        assert_eq!(t[3], JsonToken::Num(b"1".to_vec()));
+        assert!(t.contains(&JsonToken::True));
+        assert!(t.contains(&JsonToken::Null));
+        assert_eq!(validate(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn escapes_strict_vs_compat() {
+        let input = br#""a\nb\u0041c""#;
+        let strict = JsonTokenizer::new().tokenize(input).unwrap();
+        assert_eq!(strict[0], JsonToken::Str(b"a\nbAc".to_vec()));
+        let compat = JsonTokenizer::compat().tokenize(input).unwrap();
+        assert_eq!(compat[0], JsonToken::Str(b"a\nb\\u0041c".to_vec()));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = toks("[-1.5e3, 0.25, 42]");
+        assert_eq!(t[1], JsonToken::Num(b"-1.5e3".to_vec()));
+        assert!(JsonTokenizer::new().tokenize(b"01").is_err());
+        assert!(JsonTokenizer::new().tokenize(b"+1").is_err());
+        assert!(JsonTokenizer::compat().tokenize(b"01").is_ok(), "compat is lexical");
+    }
+
+    #[test]
+    fn lexical_errors() {
+        assert!(JsonTokenizer::new().tokenize(b"\"unterminated").is_err());
+        assert!(JsonTokenizer::new().tokenize(b"tru").is_err());
+        assert!(JsonTokenizer::new().tokenize(br#""bad \q escape""#).is_err());
+        assert!(JsonTokenizer::new().tokenize(b"@").is_err());
+    }
+
+    #[test]
+    fn validation_catches_structure_errors() {
+        let bad = toks("[1, 2");
+        // tokenize succeeds lexically; structure fails.
+        assert!(validate(&bad).is_err());
+        let t = JsonTokenizer::new().tokenize(b"}").unwrap();
+        assert!(validate(&t).is_err());
+    }
+
+    #[test]
+    fn ndjson_counts_values() {
+        let t = toks("{\"a\":1}\n{\"b\":2}\n[3]");
+        assert_eq!(validate(&t).unwrap(), 3);
+    }
+
+    #[test]
+    fn framing_round_trips_tokens() {
+        let input = br#"{"k":"v","n":[1,2.5],"ok":false}"#;
+        let t = JsonTokenizer::compat().tokenize(input).unwrap();
+        let framed = compat_framing(&t);
+        assert!(framed.starts_with(b"{Sk\x1F:Sv\x1F,"));
+        assert!(framed.ends_with(b"F}"));
+    }
+}

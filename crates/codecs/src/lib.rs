@@ -1,0 +1,38 @@
+//! # udp-codecs — CPU reference implementations of the paper's kernels
+//!
+//! Every comparison in the paper pits a UDP program against a CPU library
+//! (Table 2): libcsv, libhuffman, Google Snappy, Parquet's dictionary
+//! encoder, the GSL histogram, Boost Regex, and Keysight's trigger
+//! lookup table. This crate reimplements each from scratch in Rust with
+//! the same algorithmic structure, serving as:
+//!
+//! 1. the CPU side of every benchmark (measured wall-clock), and
+//! 2. the functional oracle the UDP-compiled programs are tested against.
+//!
+//! The pattern-matching baseline lives in `udp-automata` (the DFA
+//! table-scanner); everything else is here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitpack;
+pub mod csv;
+pub mod dict;
+pub mod histogram;
+pub mod huffman;
+pub mod json;
+pub mod rle;
+pub mod snappy;
+pub mod trigger;
+pub mod xml;
+
+pub use bitpack::{bitpack_decode, bitpack_encode, bits_needed};
+pub use csv::{CsvEvent, CsvParser};
+pub use dict::{DictRleEncoder, DictionaryEncoder};
+pub use json::{JsonToken, JsonTokenizer};
+pub use histogram::Histogram;
+pub use huffman::{HuffmanCode, HuffmanTree};
+pub use rle::{rle_decode, rle_encode, Run};
+pub use snappy::{snappy_compress, snappy_decompress, SnappyError};
+pub use trigger::{TriggerFsm, TriggerLut};
+pub use xml::{XmlToken, XmlTokenizer};

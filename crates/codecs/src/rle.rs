@@ -1,0 +1,70 @@
+//! Run-length encoding over arbitrary `Eq` values.
+
+/// One run: `length` repetitions of `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run<T> {
+    /// The repeated value.
+    pub value: T,
+    /// Repetition count (≥ 1).
+    pub length: u32,
+}
+
+/// Run-length encodes a slice.
+pub fn rle_encode<T: Eq + Clone>(values: &[T]) -> Vec<Run<T>> {
+    let mut runs: Vec<Run<T>> = Vec::new();
+    for v in values {
+        match runs.last_mut() {
+            Some(r) if r.value == *v && r.length < u32::MAX => r.length += 1,
+            _ => runs.push(Run {
+                value: v.clone(),
+                length: 1,
+            }),
+        }
+    }
+    runs
+}
+
+/// Expands runs back to a flat vector.
+pub fn rle_decode<T: Clone>(runs: &[Run<T>]) -> Vec<T> {
+    let mut out = Vec::new();
+    for r in runs {
+        for _ in 0..r.length {
+            out.push(r.value.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_basic() {
+        let runs = rle_encode(&[1, 1, 2, 3, 3, 3]);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[2], Run { value: 3, length: 3 });
+    }
+
+    #[test]
+    fn empty() {
+        assert!(rle_encode::<u8>(&[]).is_empty());
+        assert!(rle_decode::<u8>(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(vals in proptest::collection::vec(0u8..4, 0..200)) {
+            prop_assert_eq!(rle_decode(&rle_encode(&vals)), vals);
+        }
+
+        #[test]
+        fn prop_adjacent_runs_differ(vals in proptest::collection::vec(0u8..3, 0..200)) {
+            let runs = rle_encode(&vals);
+            for w in runs.windows(2) {
+                prop_assert_ne!(w[0].value, w[1].value);
+            }
+        }
+    }
+}

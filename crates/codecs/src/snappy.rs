@@ -1,0 +1,352 @@
+//! A block-compatible Snappy codec (the §4.1 compression baseline).
+//!
+//! Implements the Snappy raw format: a varint uncompressed length
+//! followed by literal and copy elements. Tag byte low two bits select
+//! the element type:
+//!
+//! * `00` literal — length in the tag (≤ 60) or in 1–4 trailing bytes;
+//! * `01` copy, 1-byte offset — length 4–11 and offset 0–2047;
+//! * `10` copy, 2-byte offset — length 1–64, 16-bit LE offset;
+//! * `11` copy, 4-byte offset — length 1–64, 32-bit LE offset.
+//!
+//! Compression uses the reference greedy hash-of-4-bytes scheme. This is
+//! the same match/emit control structure the UDP program expresses with
+//! flagged dispatch plus `Hash`/`LoopCmp`/`LoopCpy` actions (§5.6).
+
+use std::fmt;
+
+/// Decompression failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnappyError {
+    /// Input ended mid-element.
+    Truncated,
+    /// A copy reaches before the output start.
+    BadOffset,
+    /// Output length disagrees with the header.
+    LengthMismatch {
+        /// Header value.
+        expected: u64,
+        /// Actual decoded length.
+        actual: u64,
+    },
+    /// A varint ran past 10 bytes.
+    BadVarint,
+}
+
+impl fmt::Display for SnappyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnappyError::Truncated => write!(f, "truncated snappy stream"),
+            SnappyError::BadOffset => write!(f, "copy offset out of range"),
+            SnappyError::LengthMismatch { expected, actual } => {
+                write!(f, "decoded {actual} bytes, header said {expected}")
+            }
+            SnappyError::BadVarint => write!(f, "malformed varint"),
+        }
+    }
+}
+
+impl std::error::Error for SnappyError {}
+
+const MIN_MATCH: usize = 4;
+const MAX_COPY_LEN: usize = 64;
+const HASH_BITS: u32 = 14;
+
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(0x1E35_A7BD) >> (32 - HASH_BITS)) as usize
+}
+
+fn load32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, SnappyError> {
+    let mut v: u64 = 0;
+    for i in 0..10 {
+        let b = *data.get(*pos).ok_or(SnappyError::Truncated)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7F) << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(SnappyError::BadVarint)
+}
+
+fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
+    let n = lit.len();
+    if n == 0 {
+        return;
+    }
+    let len = n - 1;
+    if len < 60 {
+        out.push((len as u8) << 2);
+    } else if len < 0x100 {
+        out.push(60 << 2);
+        out.push(len as u8);
+    } else if len < 0x10000 {
+        out.push(61 << 2);
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+    } else if len < 0x1000000 {
+        out.push(62 << 2);
+        out.extend_from_slice(&(len as u32).to_le_bytes()[..3]);
+    } else {
+        out.push(63 << 2);
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+    }
+    out.extend_from_slice(lit);
+}
+
+fn emit_copy(out: &mut Vec<u8>, offset: usize, mut len: usize) {
+    // Long matches: chunks of ≤64.
+    while len > 0 {
+        let this = len.min(MAX_COPY_LEN);
+        // Prefer the compact 1-byte-offset form.
+        if (4..=11).contains(&this) && offset < 2048 {
+            out.push(0b01 | (((this - 4) as u8) << 2) | (((offset >> 8) as u8) << 5));
+            out.push(offset as u8);
+        } else if offset < 0x10000 {
+            out.push(0b10 | (((this - 1) as u8) << 2));
+            out.extend_from_slice(&(offset as u16).to_le_bytes());
+        } else {
+            out.push(0b11 | (((this - 1) as u8) << 2));
+            out.extend_from_slice(&(offset as u32).to_le_bytes());
+        }
+        len -= this;
+    }
+}
+
+/// Compresses `input` into the Snappy raw format.
+///
+/// ```
+/// use udp_codecs::{snappy_compress, snappy_decompress};
+/// let data = b"repeat repeat repeat repeat".to_vec();
+/// let stream = snappy_compress(&data);
+/// assert!(stream.len() < data.len());
+/// assert_eq!(snappy_decompress(&stream)?, data);
+/// # Ok::<(), udp_codecs::SnappyError>(())
+/// ```
+pub fn snappy_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    put_varint(&mut out, input.len() as u64);
+    let n = input.len();
+    if n < MIN_MATCH + 1 {
+        emit_literal(&mut out, input);
+        return out;
+    }
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 1usize;
+    // Seed position 0 so offsets are never 0.
+    table[hash4(load32(input, 0))] = 0;
+    let limit = n - MIN_MATCH;
+    while i <= limit {
+        let h = hash4(load32(input, i));
+        let cand = table[h] as usize;
+        table[h] = i as u32;
+        if cand < i
+            && i - cand <= 0xFFFF_FFFF
+            && load32(input, cand) == load32(input, i)
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            while i + len < n && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            emit_literal(&mut out, &input[lit_start..i]);
+            emit_copy(&mut out, i - cand, len);
+            // Re-seed a couple of positions inside the match.
+            let end = i + len;
+            let mut j = i + 1;
+            while j < end.min(limit + 1) && j < i + 3 {
+                table[hash4(load32(input, j))] = j as u32;
+                j += 1;
+            }
+            i = end;
+            lit_start = end;
+        } else {
+            i += 1;
+        }
+    }
+    emit_literal(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses a Snappy raw stream.
+///
+/// # Errors
+///
+/// Returns [`SnappyError`] on malformed input.
+pub fn snappy_decompress(data: &[u8]) -> Result<Vec<u8>, SnappyError> {
+    let mut pos = 0usize;
+    let expected = get_varint(data, &mut pos)?;
+    let mut out: Vec<u8> = Vec::with_capacity(expected as usize);
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag & 0b11 {
+            0b00 => {
+                let mut len = (tag >> 2) as usize;
+                if len >= 60 {
+                    let extra = len - 59;
+                    if pos + extra > data.len() {
+                        return Err(SnappyError::Truncated);
+                    }
+                    len = 0;
+                    for k in (0..extra).rev() {
+                        len = (len << 8) | data[pos + k] as usize;
+                    }
+                    pos += extra;
+                }
+                let len = len + 1;
+                if pos + len > data.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            0b01 => {
+                if pos >= data.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0x7) as usize;
+                let offset = (((tag >> 5) as usize) << 8) | data[pos] as usize;
+                pos += 1;
+                copy_back(&mut out, offset, len)?;
+            }
+            0b10 => {
+                if pos + 2 > data.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+                pos += 2;
+                copy_back(&mut out, offset, len)?;
+            }
+            _ => {
+                if pos + 4 > data.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset =
+                    u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+                        as usize;
+                pos += 4;
+                copy_back(&mut out, offset, len)?;
+            }
+        }
+    }
+    if out.len() as u64 != expected {
+        return Err(SnappyError::LengthMismatch {
+            expected,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), SnappyError> {
+    if offset == 0 || offset > out.len() {
+        return Err(SnappyError::BadOffset);
+    }
+    let start = out.len() - offset;
+    for k in 0..len {
+        let b = out[start + k];
+        out.push(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!";
+        let c = snappy_compress(data);
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data: Vec<u8> = b"abcdefgh".repeat(1000);
+        let c = snappy_compress(&data);
+        assert!(c.len() < data.len() / 10, "{} vs {}", c.len(), data.len());
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_grows_slightly() {
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = snappy_compress(&data);
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+        assert!(c.len() <= data.len() + data.len() / 32 + 16);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"abcd"] {
+            let c = snappy_compress(data);
+            assert_eq!(snappy_decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_use_chunked_copies() {
+        let data = vec![b'x'; 100_000];
+        let c = snappy_compress(&data);
+        // Copies cap at 64 bytes → ~3 bytes per 64-byte chunk.
+        assert!(c.len() < 6000, "len = {}", c.len());
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_offset() {
+        // Varint length 4, then a copy reaching before the start.
+        let bad = vec![4u8, 0b01, 0x05];
+        assert_eq!(snappy_decompress(&bad), Err(SnappyError::BadOffset));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data = b"hello hello hello hello";
+        let c = snappy_compress(data);
+        for cut in 1..c.len() - 1 {
+            // Either a hard error or a length mismatch — never a panic or
+            // a silent wrong answer of the right length.
+            match snappy_decompress(&c[..cut]) {
+                Ok(out) => assert_ne!(out.len(), data.len()),
+                Err(_) => {}
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_random(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            let c = snappy_compress(&data);
+            prop_assert_eq!(snappy_decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_round_trip_lowentropy(data in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..4000)) {
+            let c = snappy_compress(&data);
+            prop_assert_eq!(snappy_decompress(&c).unwrap(), &data[..]);
+            if data.len() > 200 {
+                prop_assert!(c.len() < data.len());
+            }
+        }
+    }
+}

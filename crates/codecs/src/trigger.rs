@@ -1,0 +1,237 @@
+//! Signal triggering: pulsed-waveform transition localization (§5.7).
+//!
+//! The kernel localizes pulses of a given width in an oscilloscope
+//! sample stream (Fang et al., I2MTC'16 [53]; FSMs p2–p13 detect pulse
+//! widths 2–13). Samples quantize against low/high thresholds into
+//! three symbols (Low / Mid / High); the FSM arms on a rising
+//! transition, counts the high run, and fires an event on the falling
+//! transition when the run length matches.
+//!
+//! The CPU baseline is the paper's: a lookup table that unrolls the
+//! automaton four symbols per lookup ("mem indirect, address, cond,
+//! 9 cycles" per Table 2). [`TriggerFsm`] is the reference automaton;
+//! [`TriggerLut`] is that unrolled table.
+
+/// Quantized waveform symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// At or below the low threshold.
+    Low,
+    /// Between thresholds (hysteresis band; holds state).
+    Mid,
+    /// At or above the high threshold.
+    High,
+}
+
+/// The pulse-width transition-localization FSM (`pN` for width `N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerFsm {
+    /// Low threshold (inclusive).
+    pub low: u8,
+    /// High threshold (inclusive).
+    pub high: u8,
+    /// Pulse width to localize, in samples (the `N` of `pN`, 2–13 in the
+    /// paper).
+    pub width: u32,
+}
+
+impl TriggerFsm {
+    /// A detector for pulses of exactly `width` high samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low < high` and `width >= 1`.
+    pub fn new(low: u8, high: u8, width: u32) -> TriggerFsm {
+        assert!(low < high && width >= 1);
+        TriggerFsm { low, high, width }
+    }
+
+    /// Quantizes one sample.
+    pub fn quantize(&self, sample: u8) -> Level {
+        if sample >= self.high {
+            Level::High
+        } else if sample <= self.low {
+            Level::Low
+        } else {
+            Level::Mid
+        }
+    }
+
+    /// State count: idle + high-run counts 1..=width+1 (overlong cap).
+    pub fn state_count(&self) -> u32 {
+        self.width + 2
+    }
+
+    /// One FSM step: `(next_state, event_fired)`. State 0 is idle; state
+    /// `j >= 1` means a high run of `j` samples (capped at `width + 1`).
+    pub fn step(&self, state: u32, level: Level) -> (u32, bool) {
+        match (state, level) {
+            (0, Level::High) => (1, false),
+            (0, _) => (0, false),
+            (j, Level::High) => ((j + 1).min(self.width + 1), false),
+            (j, Level::Mid) => (j, false),
+            (j, Level::Low) => (0, j == self.width),
+        }
+    }
+
+    /// Reference run: event positions (sample index of the falling edge).
+    pub fn run_reference(&self, samples: &[u8]) -> Vec<usize> {
+        let mut events = Vec::new();
+        let mut s = 0u32;
+        for (i, &x) in samples.iter().enumerate() {
+            let (ns, fire) = self.step(s, self.quantize(x));
+            if fire {
+                events.push(i);
+            }
+            s = ns;
+        }
+        events
+    }
+}
+
+/// The unrolled 4-symbols-per-lookup table (the Keysight-style CPU code).
+#[derive(Debug, Clone)]
+pub struct TriggerLut {
+    fsm: TriggerFsm,
+    /// `table[state * 256 + packed4]` = next_state(8) | events(4 bits<<8):
+    /// bit `8+k` set when an event fires at sub-position `k`.
+    table: Vec<u16>,
+    states: u32,
+}
+
+impl TriggerLut {
+    /// Builds the table by unrolling `fsm` four quantized symbols deep.
+    pub fn build(fsm: TriggerFsm) -> TriggerLut {
+        let states = fsm.state_count();
+        let mut table = vec![0u16; states as usize * 256];
+        for s0 in 0..states {
+            for packed in 0..256u32 {
+                let mut s = s0;
+                let mut events: u16 = 0;
+                for k in 0..4 {
+                    let sym = (packed >> (k * 2)) & 0b11;
+                    let level = match sym {
+                        0 => Level::Low,
+                        1 => Level::Mid,
+                        _ => Level::High,
+                    };
+                    let (ns, fire) = fsm.step(s, level);
+                    if fire {
+                        events |= 1 << (8 + k);
+                    }
+                    s = ns;
+                }
+                table[(s0 * 256 + packed) as usize] = events | s as u16;
+            }
+        }
+        TriggerLut { fsm, table, states }
+    }
+
+    /// Quantizes and packs samples, 4 per byte (2 bits each, little-end
+    /// first) — the preprocessed form the scope hardware delivers.
+    pub fn pack(&self, samples: &[u8]) -> Vec<u8> {
+        samples
+            .chunks(4)
+            .map(|chunk| {
+                let mut b = 0u8;
+                for (k, &x) in chunk.iter().enumerate() {
+                    let sym = match self.fsm.quantize(x) {
+                        Level::Low => 0u8,
+                        Level::Mid => 1,
+                        Level::High => 2,
+                    };
+                    b |= sym << (k * 2);
+                }
+                b
+            })
+            .collect()
+    }
+
+    /// Runs over packed symbols: one table lookup per 4 samples.
+    pub fn run_packed(&self, packed: &[u8], n_samples: usize) -> Vec<usize> {
+        let mut events = Vec::new();
+        let mut s: u16 = 0;
+        for (i, &b) in packed.iter().enumerate() {
+            let e = self.table[(u32::from(s) * 256 + u32::from(b)) as usize];
+            for k in 0..4 {
+                let pos = i * 4 + k;
+                if pos < n_samples && e & (1 << (8 + k)) != 0 {
+                    events.push(pos);
+                }
+            }
+            s = e & 0xFF;
+        }
+        events
+    }
+
+    /// End-to-end: quantize, pack, scan.
+    pub fn run(&self, samples: &[u8]) -> Vec<usize> {
+        let packed = self.pack(samples);
+        self.run_packed(&packed, samples.len())
+    }
+
+    /// Number of FSM states.
+    pub fn states(&self) -> u32 {
+        self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fsm(width: u32) -> TriggerFsm {
+        TriggerFsm::new(64, 192, width)
+    }
+
+    #[test]
+    fn detects_exact_width_pulse() {
+        let f = fsm(3);
+        // low low high high high low ...
+        let samples = [0, 0, 255, 255, 255, 0, 0];
+        assert_eq!(f.run_reference(&samples), vec![5]);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let f = fsm(3);
+        assert!(f.run_reference(&[0, 255, 255, 0]).is_empty(), "too short");
+        assert!(
+            f.run_reference(&[0, 255, 255, 255, 255, 0]).is_empty(),
+            "too long"
+        );
+    }
+
+    #[test]
+    fn mid_band_holds_state() {
+        let f = fsm(2);
+        // high high mid mid low: run of 2 highs, mids hold, then fall.
+        assert_eq!(f.run_reference(&[255, 255, 128, 128, 0]), vec![4]);
+    }
+
+    #[test]
+    fn multiple_pulses() {
+        let f = fsm(2);
+        let samples = [0, 255, 255, 0, 0, 255, 255, 0, 255, 0];
+        assert_eq!(f.run_reference(&samples), vec![3, 7]);
+    }
+
+    #[test]
+    fn lut_matches_reference() {
+        let f = fsm(4);
+        let lut = TriggerLut::build(f);
+        let samples = [0, 255, 255, 255, 255, 0, 255, 255, 0, 128, 255, 255, 255, 255, 64, 0];
+        assert_eq!(lut.run(&samples), f.run_reference(&samples));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lut_equals_fsm(width in 2u32..=13,
+                               samples in proptest::collection::vec(any::<u8>(), 0..500)) {
+            let f = fsm(width);
+            let lut = TriggerLut::build(f);
+            prop_assert_eq!(lut.run(&samples), f.run_reference(&samples));
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! XML tokenization and validation (Table 1's third parsing format;
+//! the IBM PowerEN comparison row parses XML at 1.5 GB/s).
+//!
+//! The supported subset covers data-interchange XML: elements,
+//! attributes (double- or single-quoted), text content, and
+//! self-closing tags. Strict mode decodes the five predefined entities
+//! and checks tag nesting; compat mode keeps entities raw and treats
+//! text as the byte run from its first non-whitespace character to the
+//! next `<` — exactly what the UDP tokenizer program emits.
+
+use std::fmt;
+
+/// An XML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlToken {
+    /// `<name` — element open.
+    OpenTag(Vec<u8>),
+    /// `name="value"` inside a tag.
+    Attr(Vec<u8>, Vec<u8>),
+    /// `>` ending an open tag.
+    OpenEnd,
+    /// `/>` — self-closing.
+    SelfClose,
+    /// `</name>`.
+    CloseTag(Vec<u8>),
+    /// Text content (entity-decoded in strict mode, raw in compat).
+    Text(Vec<u8>),
+}
+
+/// Tokenizer failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.')
+}
+
+fn is_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r')
+}
+
+/// The streaming tokenizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XmlTokenizer {
+    /// Compat mode: keep entities raw (the UDP program's framing).
+    pub compat: bool,
+}
+
+impl XmlTokenizer {
+    /// A strict tokenizer (entities decoded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The UDP-framing-compatible tokenizer.
+    pub fn compat() -> Self {
+        XmlTokenizer { compat: true }
+    }
+
+    /// Tokenizes `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed markup (bad names, unterminated
+    /// tags or values, unsupported constructs like comments/CDATA).
+    pub fn tokenize(&self, input: &[u8]) -> Result<Vec<XmlToken>, XmlError> {
+        let err = |pos: usize, m: &str| XmlError {
+            pos,
+            message: m.to_string(),
+        };
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < input.len() {
+            if input[i] == b'<' {
+                i += 1;
+                match input.get(i) {
+                    Some(b'/') => {
+                        i += 1;
+                        let start = i;
+                        while i < input.len() && is_name_char(input[i]) {
+                            i += 1;
+                        }
+                        if start == i {
+                            return Err(err(i, "empty close-tag name"));
+                        }
+                        if input.get(i) != Some(&b'>') {
+                            return Err(err(i, "close tag must end with '>'"));
+                        }
+                        out.push(XmlToken::CloseTag(input[start..i].to_vec()));
+                        i += 1;
+                    }
+                    Some(&b) if is_name_start(b) => {
+                        let start = i;
+                        while i < input.len() && is_name_char(input[i]) {
+                            i += 1;
+                        }
+                        out.push(XmlToken::OpenTag(input[start..i].to_vec()));
+                        i = self.tag_rest(input, i, &mut out)?;
+                    }
+                    Some(b'!') | Some(b'?') => {
+                        return Err(err(i, "comments/PI/CDATA are outside the subset"))
+                    }
+                    _ => return Err(err(i, "bad tag start")),
+                }
+            } else if is_ws(input[i]) {
+                i += 1;
+            } else {
+                // Text run: first non-ws byte up to the next '<'.
+                let start = i;
+                while i < input.len() && input[i] != b'<' {
+                    i += 1;
+                }
+                let raw = &input[start..i];
+                let text = if self.compat {
+                    raw.to_vec()
+                } else {
+                    decode_entities(raw).map_err(|m| err(start, &m))?
+                };
+                out.push(XmlToken::Text(text));
+            }
+        }
+        Ok(out)
+    }
+
+    fn tag_rest(
+        &self,
+        input: &[u8],
+        mut i: usize,
+        out: &mut Vec<XmlToken>,
+    ) -> Result<usize, XmlError> {
+        let err = |pos: usize, m: &str| XmlError {
+            pos,
+            message: m.to_string(),
+        };
+        loop {
+            while i < input.len() && is_ws(input[i]) {
+                i += 1;
+            }
+            match input.get(i) {
+                Some(b'>') => {
+                    out.push(XmlToken::OpenEnd);
+                    return Ok(i + 1);
+                }
+                Some(b'/') => {
+                    if input.get(i + 1) != Some(&b'>') {
+                        return Err(err(i, "expected '/>'"));
+                    }
+                    out.push(XmlToken::SelfClose);
+                    return Ok(i + 2);
+                }
+                Some(&b) if is_name_start(b) => {
+                    let start = i;
+                    while i < input.len() && is_name_char(input[i]) {
+                        i += 1;
+                    }
+                    let name = input[start..i].to_vec();
+                    if input.get(i) != Some(&b'=') {
+                        return Err(err(i, "attribute needs '='"));
+                    }
+                    i += 1;
+                    let quote = match input.get(i) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return Err(err(i, "attribute value must be quoted")),
+                    };
+                    i += 1;
+                    let vstart = i;
+                    while i < input.len() && input[i] != quote {
+                        i += 1;
+                    }
+                    if i >= input.len() {
+                        return Err(err(vstart, "unterminated attribute value"));
+                    }
+                    let raw = &input[vstart..i];
+                    let value = if self.compat {
+                        raw.to_vec()
+                    } else {
+                        decode_entities(raw).map_err(|m| err(vstart, &m))?
+                    };
+                    out.push(XmlToken::Attr(name, value));
+                    i += 1;
+                }
+                _ => return Err(err(i, "unterminated tag")),
+            }
+        }
+    }
+}
+
+fn decode_entities(raw: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i] == b'&' {
+            let end = raw[i..]
+                .iter()
+                .position(|&b| b == b';')
+                .ok_or("unterminated entity")?;
+            let name = &raw[i + 1..i + end];
+            match name {
+                b"amp" => out.push(b'&'),
+                b"lt" => out.push(b'<'),
+                b"gt" => out.push(b'>'),
+                b"quot" => out.push(b'"'),
+                b"apos" => out.push(b'\''),
+                other => {
+                    return Err(format!(
+                        "unknown entity &{};",
+                        String::from_utf8_lossy(other)
+                    ))
+                }
+            }
+            i += end + 1;
+        } else {
+            out.push(raw[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Nesting validation: every close matches the innermost open; returns
+/// the number of top-level elements.
+pub fn validate(tokens: &[XmlToken]) -> Result<usize, XmlError> {
+    let mut stack: Vec<&[u8]> = Vec::new();
+    let mut roots = 0usize;
+    let mut last_open: Option<&[u8]> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        let err = |m: String| XmlError { pos: i, message: m };
+        match t {
+            XmlToken::OpenTag(n) => {
+                last_open = Some(n);
+                stack.push(n);
+            }
+            XmlToken::SelfClose => {
+                stack.pop();
+                let _ = last_open.take();
+                if stack.is_empty() {
+                    roots += 1;
+                }
+            }
+            XmlToken::OpenEnd | XmlToken::Attr(..) => {}
+            XmlToken::CloseTag(n) => match stack.pop() {
+                Some(open) if open == &n[..] => {
+                    if stack.is_empty() {
+                        roots += 1;
+                    }
+                }
+                Some(open) => {
+                    return Err(err(format!(
+                        "mismatched </{}> for <{}>",
+                        String::from_utf8_lossy(n),
+                        String::from_utf8_lossy(open)
+                    )))
+                }
+                None => {
+                    return Err(err(format!(
+                        "close tag </{}> without open",
+                        String::from_utf8_lossy(n)
+                    )))
+                }
+            },
+            XmlToken::Text(_) => {}
+        }
+    }
+    if !stack.is_empty() {
+        return Err(XmlError {
+            pos: tokens.len(),
+            message: "unclosed elements at end of input".to_string(),
+        });
+    }
+    Ok(roots)
+}
+
+/// Serializes tokens in the UDP tokenizer's framing: `O`/`C` + name +
+/// `0x1F`; `A` + name + `0x1F` + value + `0x1F`; `>` / `E` for open-end
+/// and self-close; `X` + text + `0x1F`.
+pub fn compat_framing(tokens: &[XmlToken]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match t {
+            XmlToken::OpenTag(n) => {
+                out.push(b'O');
+                out.extend_from_slice(n);
+                out.push(0x1F);
+            }
+            XmlToken::Attr(n, v) => {
+                out.push(b'A');
+                out.extend_from_slice(n);
+                out.push(0x1F);
+                out.extend_from_slice(v);
+                out.push(0x1F);
+            }
+            XmlToken::OpenEnd => out.push(b'>'),
+            XmlToken::SelfClose => out.push(b'E'),
+            XmlToken::CloseTag(n) => {
+                out.push(b'C');
+                out.extend_from_slice(n);
+                out.push(0x1F);
+            }
+            XmlToken::Text(x) => {
+                out.push(b'X');
+                out.extend_from_slice(x);
+                out.push(0x1F);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<XmlToken> {
+        XmlTokenizer::new().tokenize(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn element_with_attrs_and_text() {
+        let t = toks(r#"<row id="7" kind='x'>hello</row>"#);
+        assert_eq!(t[0], XmlToken::OpenTag(b"row".to_vec()));
+        assert_eq!(t[1], XmlToken::Attr(b"id".to_vec(), b"7".to_vec()));
+        assert_eq!(t[2], XmlToken::Attr(b"kind".to_vec(), b"x".to_vec()));
+        assert_eq!(t[3], XmlToken::OpenEnd);
+        assert_eq!(t[4], XmlToken::Text(b"hello".to_vec()));
+        assert_eq!(t[5], XmlToken::CloseTag(b"row".to_vec()));
+        assert_eq!(validate(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn self_closing_and_nesting() {
+        let t = toks("<a><b/><c>t</c></a>");
+        assert!(t.contains(&XmlToken::SelfClose));
+        assert_eq!(validate(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn entities_strict_vs_compat() {
+        let input = b"<v>a &amp; b &lt;c&gt;</v>";
+        let strict = XmlTokenizer::new().tokenize(input).unwrap();
+        assert_eq!(strict[2], XmlToken::Text(b"a & b <c>".to_vec()));
+        let compat = XmlTokenizer::compat().tokenize(input).unwrap();
+        assert_eq!(compat[2], XmlToken::Text(b"a &amp; b &lt;c&gt;".to_vec()));
+    }
+
+    #[test]
+    fn mismatched_nesting_fails_validation() {
+        let t = toks("<a><b></a></b>");
+        assert!(validate(&t).is_err());
+        let t = toks("<a>");
+        assert!(validate(&t).is_err());
+    }
+
+    #[test]
+    fn lexical_errors() {
+        let tz = XmlTokenizer::new();
+        assert!(tz.tokenize(b"<1bad/>").is_err());
+        assert!(tz.tokenize(b"<a foo>").is_err());
+        assert!(tz.tokenize(b"<a foo=bar>").is_err());
+        assert!(tz.tokenize(b"<a foo=\"unterminated").is_err());
+        assert!(tz.tokenize(b"<!-- comment -->").is_err());
+        assert!(tz.tokenize(b"<v>bad &entity;</v>").is_err());
+    }
+
+    #[test]
+    fn text_whitespace_handling_matches_compat_rule() {
+        // Leading whitespace before text is skipped; internal/trailing
+        // whitespace up to '<' is kept.
+        let t = XmlTokenizer::compat().tokenize(b"<a>  hi there </a>").unwrap();
+        assert_eq!(t[2], XmlToken::Text(b"hi there ".to_vec()));
+        // Pure-whitespace gaps produce no text token.
+        let t = XmlTokenizer::compat().tokenize(b"<a>\n  </a>").unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn multiple_roots_counted() {
+        let t = toks("<a/><b/><c>x</c>");
+        assert_eq!(validate(&t).unwrap(), 3);
+    }
+}

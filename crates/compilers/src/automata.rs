@@ -1,0 +1,423 @@
+//! Pattern matching translators: DFA, ADFA, and NFA to UDP programs.
+//!
+//! * DFA states become consuming states whose 256-way rows are
+//!   compressed with the *majority* fallback: the most common target
+//!   goes in the fallback slot, exceptions stay labeled (paper §3.2.1).
+//! * ADFA (Aho–Corasick) failure links become fallback arcs through a
+//!   shared *refill* pass state that puts the whole symbol back, so the
+//!   fail target re-reads it — default-transition ("delta") storage at
+//!   a 2-cycle fail-hop cost.
+//! * NFA byte-states become consuming states; multi-successor epsilon
+//!   closures become fork states executed by `udp_sim::engine::run_nfa`
+//!   in multi-activation mode.
+
+use std::collections::HashMap;
+use udp_asm::{Arc, ProgramBuilder, StateId, Target};
+use udp_automata::dfa::DEAD;
+use udp_automata::{Adfa, Dfa, Nfa};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+fn report(id: u16) -> Action {
+    Action::imm(Opcode::Report, Reg::R0, Reg::R0, id)
+}
+
+/// Compiles a scanning DFA into a UDP program that `Report`s every
+/// `(pattern, end_position)` match, exactly like [`Dfa::find_all`]
+/// (matches at position 0 excepted — the lane reports on transitions).
+pub fn dfa_to_udp(dfa: &Dfa) -> ProgramBuilder {
+    dfa_to_udp_opts(dfa, true)
+}
+
+/// [`dfa_to_udp`] without the majority-fallback compression: every live
+/// transition stored labeled. Bigger code, but no +1-cycle signature
+/// misses — the ablation counterpart.
+pub fn dfa_to_udp_full(dfa: &Dfa) -> ProgramBuilder {
+    dfa_to_udp_opts(dfa, false)
+}
+
+fn dfa_to_udp_opts(dfa: &Dfa, compress: bool) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let states: Vec<StateId> = (0..dfa.len()).map(|_| b.add_consuming_state()).collect();
+    b.set_entry(states[dfa.start() as usize]);
+
+    for (s, &sid) in states.iter().enumerate() {
+        let row = dfa.row(s as u32);
+        // Majority target (ignoring DEAD).
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &t in row {
+            if t != DEAD {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        let majority = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&t, &c)| (t, c));
+        // Use a fallback only when it actually compresses.
+        let use_fallback = compress && matches!(majority, Some((_, c)) if c >= 8);
+        let actions_into = |t: u32| -> Vec<Action> {
+            dfa.accepts(t).iter().map(|&id| report(id)).collect()
+        };
+        if use_fallback {
+            let (maj, _) = majority.expect("checked");
+            b.fallback_arc(sid, Target::State(states[maj as usize]), actions_into(maj));
+            for (byte, &t) in row.iter().enumerate() {
+                if t == maj {
+                    continue;
+                }
+                if t == DEAD {
+                    b.labeled_arc(sid, byte as u16, Target::Halt, vec![]);
+                } else {
+                    b.labeled_arc(
+                        sid,
+                        byte as u16,
+                        Target::State(states[t as usize]),
+                        actions_into(t),
+                    );
+                }
+            }
+        } else {
+            for (byte, &t) in row.iter().enumerate() {
+                if t != DEAD {
+                    b.labeled_arc(
+                        sid,
+                        byte as u16,
+                        Target::State(states[t as usize]),
+                        actions_into(t),
+                    );
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Compiles a D²FA into a UDP program: stored edges become labeled
+/// transitions; deferment pointers become fallback arcs through shared
+/// refill pass states (re-reading the byte at the deferred state), the
+/// same mechanism ADFA failure links use.
+pub fn d2fa_to_udp(d2fa: &udp_automata::D2fa) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let states: Vec<StateId> = (0..d2fa.len()).map(|_| b.add_consuming_state()).collect();
+    b.set_entry(states[d2fa.start() as usize]);
+
+    let mut refill_to: HashMap<u32, StateId> = HashMap::new();
+    for (s, &sid) in states.iter().enumerate() {
+        let st = d2fa.state(s as u32);
+        let mut edges: Vec<(u8, u32)> = st.edges.iter().map(|(&b2, &t)| (b2, t)).collect();
+        edges.sort_unstable();
+        for (byte, t) in edges {
+            let acts = d2fa
+                .state(t)
+                .accepts
+                .iter()
+                .map(|&id| report(id))
+                .collect();
+            b.labeled_arc(sid, u16::from(byte), Target::State(states[t as usize]), acts);
+        }
+        if let Some(d) = st.defer {
+            let helper = *refill_to.entry(d).or_insert_with(|| {
+                b.add_pass_state(
+                    8,
+                    Arc {
+                        target: Target::State(states[d as usize]),
+                        actions: vec![],
+                    },
+                )
+            });
+            b.fallback_arc(sid, Target::State(helper), vec![]);
+        }
+    }
+    b
+}
+
+/// Compiles an Aho–Corasick automaton into a UDP program using
+/// default-transition (failure-link) storage.
+pub fn adfa_to_udp(adfa: &Adfa) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let states: Vec<StateId> = (0..adfa.len()).map(|_| b.add_consuming_state()).collect();
+    b.set_entry(states[0]);
+
+    // One shared refill-pass helper per distinct fail target.
+    let mut refill_to: HashMap<u32, StateId> = HashMap::new();
+
+    for (u, &sid) in states.iter().enumerate() {
+        let node = adfa.node(u as u32);
+        let mut gotos: Vec<(u8, u32)> = node.goto.iter().map(|(&b2, &v)| (b2, v)).collect();
+        gotos.sort_unstable();
+        for (byte, v) in gotos {
+            let acts = adfa
+                .node(v)
+                .outputs
+                .iter()
+                .map(|&id| report(id))
+                .collect();
+            b.labeled_arc(sid, u16::from(byte), Target::State(states[v as usize]), acts);
+        }
+        if u == 0 {
+            // Root consumes and stays on a miss.
+            b.fallback_arc(sid, Target::State(states[0]), vec![]);
+        } else {
+            let fail = adfa.node(u as u32).fail;
+            let helper = *refill_to.entry(fail).or_insert_with(|| {
+                b.add_pass_state(
+                    8,
+                    Arc {
+                        target: Target::State(states[fail as usize]),
+                        actions: vec![],
+                    },
+                )
+            });
+            b.fallback_arc(sid, Target::State(helper), vec![]);
+        }
+    }
+    b
+}
+
+/// Compiles a (scanner) NFA into a UDP multi-activation program for
+/// [`udp_sim::engine::run_nfa`].
+pub fn nfa_to_udp(nfa: &Nfa) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+
+    // Match states: NFA states carrying a byte edge.
+    let mut match_state: HashMap<u32, StateId> = HashMap::new();
+    for (i, st) in nfa.states.iter().enumerate() {
+        if st.byte.is_some() {
+            match_state.insert(i as u32, b.add_consuming_state());
+        }
+    }
+
+    // Bundle of an NFA state: its epsilon closure's byte-states and
+    // accept ids.
+    let bundle = |s: u32| -> (Vec<u32>, Vec<u16>) {
+        let mut set = vec![s];
+        nfa.closure(&mut set);
+        let mut bytes: Vec<u32> = set
+            .iter()
+            .copied()
+            .filter(|&q| nfa.states[q as usize].byte.is_some())
+            .collect();
+        bytes.sort_unstable();
+        let mut ids: Vec<u16> = set
+            .iter()
+            .filter_map(|&q| nfa.states[q as usize].accept)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        (bytes, ids)
+    };
+
+    // Representative target for a bundle: the single match state, a
+    // shared fork, or Halt when the activation dies.
+    let mut forks: HashMap<Vec<u32>, StateId> = HashMap::new();
+    let mut target_of = |b: &mut ProgramBuilder, bytes: &[u32]| -> Target {
+        match bytes.len() {
+            0 => Target::Halt,
+            1 => Target::State(match_state[&bytes[0]]),
+            _ => {
+                let key = bytes.to_vec();
+                if let Some(&f) = forks.get(&key) {
+                    return Target::State(f);
+                }
+                let arcs: Vec<Arc> = bytes
+                    .iter()
+                    .map(|q| Arc {
+                        target: Target::State(match_state[q]),
+                        actions: vec![],
+                    })
+                    .collect();
+                let f = b.add_fork_state(arcs);
+                forks.insert(key, f);
+                Target::State(f)
+            }
+        }
+    };
+
+    for (i, st) in nfa.states.iter().enumerate() {
+        let Some((ref class, t)) = st.byte else { continue };
+        let sid = match_state[&(i as u32)];
+        let (bytes, ids) = bundle(t);
+        let acts: Vec<Action> = ids.iter().map(|&id| report(id)).collect();
+        let tgt = target_of(&mut b, &bytes);
+        if class.len() > 128 {
+            // Majority form: fallback carries the transition; the
+            // complement dies explicitly.
+            b.fallback_arc(sid, tgt, acts.clone());
+            for byte in class.negate().iter() {
+                b.labeled_arc(sid, u16::from(byte), Target::Halt, vec![]);
+            }
+        } else {
+            for byte in class.iter() {
+                b.labeled_arc(sid, u16::from(byte), tgt, acts.clone());
+            }
+        }
+    }
+
+    // Entry: the start closure's bundle.
+    let (bytes, _) = bundle(nfa.start);
+    match bytes.len() {
+        0 => {
+            // Degenerate: no byte edges at all; a lone dead state.
+            let s = b.add_consuming_state();
+            b.set_entry(s);
+        }
+        1 => b.set_entry(match_state[&bytes[0]]),
+        _ => {
+            let tgt = target_of(&mut b, &bytes);
+            let Target::State(f) = tgt else { unreachable!() };
+            b.set_entry(f);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_automata::Regex;
+    use udp_sim::engine::run_nfa;
+    use udp_sim::{Lane, LaneConfig};
+
+    fn scanner_dfa(patterns: &[&str]) -> Dfa {
+        let asts: Vec<Regex> = patterns.iter().map(|p| Regex::parse(p).unwrap()).collect();
+        Dfa::determinize(&Nfa::scanner(&asts)).minimize()
+    }
+
+    fn sorted(mut v: Vec<(u16, u32)>) -> Vec<(u16, u32)> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn dfa_program_reports_matches() {
+        let dfa = scanner_dfa(&["ab+c", "ca"]);
+        let img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(4)).unwrap();
+        let input = b"zabbcxcay";
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        let expect: Vec<(u16, u32)> = dfa
+            .find_all(input)
+            .into_iter()
+            .filter(|&(_, e)| e > 0)
+            .map(|(id, e)| (id, e as u32))
+            .collect();
+        assert_eq!(sorted(rep.reports), sorted(expect));
+    }
+
+    #[test]
+    fn dfa_program_uses_fallback_compression() {
+        let dfa = scanner_dfa(&["needle"]);
+        let pb = dfa_to_udp(&dfa);
+        let img = pb.assemble(&LayoutOptions::with_banks(4)).unwrap();
+        // Far fewer transition words than states × 256.
+        assert!(
+            img.stats.n_transition_words < dfa.len() * 64,
+            "{} words for {} states",
+            img.stats.n_transition_words,
+            dfa.len()
+        );
+    }
+
+    #[test]
+    fn adfa_program_matches_reference() {
+        let pats: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let adfa = Adfa::build(&pats);
+        let img = adfa_to_udp(&adfa)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let input = b"ushers and hisses, she said";
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        let expect: Vec<(u16, u32)> = adfa
+            .find_all(input)
+            .into_iter()
+            .map(|(id, e)| (id, e as u32))
+            .collect();
+        assert_eq!(sorted(rep.reports), sorted(expect));
+    }
+
+    #[test]
+    fn adfa_fail_hops_cost_extra_cycles() {
+        let pats: Vec<&[u8]> = vec![b"aab"];
+        let adfa = Adfa::build(&pats);
+        let img = adfa_to_udp(&adfa)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        // "aaa" repeatedly fails from depth 2 back to depth 1+refill.
+        let rep = Lane::run_program(&img, b"aaaaaa", &LaneConfig::default());
+        assert!(rep.cycles > 6, "fail hops must add cycles: {}", rep.cycles);
+        assert!(rep.reports.is_empty());
+    }
+
+    #[test]
+    fn d2fa_program_matches_dfa_program() {
+        let dfa = scanner_dfa(&["needle", "haystack", "hay"]);
+        let d2 = udp_automata::D2fa::from_dfa(&dfa);
+        let input = b"find the needle in the haystack of hay";
+
+        let dfa_img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(8)).unwrap();
+        let d2_img = d2fa_to_udp(&d2).assemble(&LayoutOptions::with_banks(8)).unwrap();
+        let a = Lane::run_program(&dfa_img, input, &LaneConfig::default());
+        let c = Lane::run_program(&d2_img, input, &LaneConfig::default());
+        assert_eq!(sorted(a.reports), sorted(c.reports));
+        // Deferment trades cycles for memory against the fully-labeled
+        // table (the UDP's own majority fallback is the tighter encoding
+        // of the same idea, so compare against the uncompressed form).
+        let full_img = dfa_to_udp_full(&dfa)
+            .assemble(&LayoutOptions::with_banks(32))
+            .unwrap();
+        assert!(
+            d2_img.stats.n_transition_words < full_img.stats.n_transition_words / 4,
+            "D2FA {} vs full DFA {} words",
+            d2_img.stats.n_transition_words,
+            full_img.stats.n_transition_words
+        );
+        assert!(c.cycles >= a.cycles);
+    }
+
+    #[test]
+    fn nfa_program_matches_nfa_simulation() {
+        let asts = vec![
+            Regex::parse("ab+c").unwrap(),
+            Regex::parse("b(x|y)d").unwrap(),
+        ];
+        let nfa = Nfa::scanner(&asts);
+        let img = nfa_to_udp(&nfa)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let input = b"qabbbc bxd byd";
+        let rep = run_nfa(&img, input, &LaneConfig::default());
+        let expect: Vec<(u16, u32)> = nfa
+            .find_all(input)
+            .into_iter()
+            .filter(|&(_, e)| e > 0)
+            .map(|(id, e)| (id, e as u32))
+            .collect();
+        assert_eq!(sorted(rep.reports), sorted(expect));
+    }
+
+    #[test]
+    fn nfa_is_smaller_but_slower_than_dfa() {
+        // The classic blow-up: unanchored "a.{6}b" forces the DFA to
+        // remember 6 bits of history while the NFA stays linear-size.
+        let asts = vec![Regex::parse("a.{6}b").unwrap()];
+        let nfa = Nfa::scanner(&asts);
+        let dfa = Dfa::determinize(&nfa).minimize();
+        assert!(dfa.len() > 4 * nfa.len());
+
+        let nfa_img = nfa_to_udp(&nfa).assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let dfa_img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(32)).unwrap();
+        assert!(nfa_img.stats.span_words < dfa_img.stats.span_words);
+
+        // Lots of 'a's keep many NFA activations alive.
+        let input = b"aaaaaaaabaaaaaaab aaaab";
+        let n = run_nfa(&nfa_img, input, &LaneConfig::default());
+        let d = Lane::run_program(&dfa_img, input, &LaneConfig::default());
+        assert!(n.cycles > d.cycles, "NFA {} vs DFA {}", n.cycles, d.cycles);
+        // And they agree on the matches.
+        assert_eq!(sorted(n.reports), sorted(
+            d.reports.into_iter().collect()
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Bit-pack encoding/decoding on the UDP (the DAX-Pack family of
+//! Table 1).
+//!
+//! * **Encode**: dispatch each input byte (a dictionary code ≤ 255) and
+//!   `EmitBits` its low `width` bits — one dispatch + one action per
+//!   code.
+//! * **Decode**: set the symbol-size register to `width` and dispatch
+//!   each packed field directly — the variable-size-symbol machinery
+//!   doing its day job — emitting the value byte per field.
+
+use udp_asm::{ProgramBuilder, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Builds the packer for byte-sized codes at `width` bits (1–8).
+///
+/// # Panics
+///
+/// Panics unless `1 <= width <= 8`.
+pub fn bitpack_encode_to_udp(width: u8) -> ProgramBuilder {
+    assert!((1..=8).contains(&width));
+    let mut b = ProgramBuilder::new();
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    let max = if width == 8 { 255u16 } else { (1 << width) - 1 };
+    for sym in 0..=max {
+        b.labeled_arc(
+            s,
+            sym,
+            Target::State(s),
+            // The dispatched code sits in the symbol latch (R13).
+            vec![Action::imm2(Opcode::EmitBits, Reg::R0, Reg::R13, width, 0)],
+        );
+    }
+    // Codes above the width: dispatch miss → NoTransition.
+    b
+}
+
+/// Builds the unpacker: `width`-bit dispatch, one output byte per field.
+pub fn bitpack_decode_to_udp(width: u8) -> ProgramBuilder {
+    assert!((1..=8).contains(&width));
+    let mut b = ProgramBuilder::new();
+    b.set_symbol_bits(width);
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    let max = if width == 8 { 255u16 } else { (1 << width) - 1 };
+    for sym in 0..=max {
+        b.labeled_arc(
+            s,
+            sym,
+            Target::State(s),
+            vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R13, 0)],
+        );
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use udp_asm::LayoutOptions;
+    use udp_codecs::{bitpack_decode, bitpack_encode, bits_needed};
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn run(pb: &ProgramBuilder, input: &[u8]) -> (Vec<u8>, LaneStatus) {
+        let img = pb.assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        (rep.output, rep.status)
+    }
+
+    #[test]
+    fn udp_packer_matches_cpu_packer() {
+        let codes: Vec<u32> = vec![5, 2, 7, 0, 3, 6, 1];
+        let w = bits_needed(&codes); // 3
+        let bytes: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+        let (out, _) = run(&bitpack_encode_to_udp(w), &bytes);
+        assert_eq!(out, bitpack_encode(&codes, w));
+    }
+
+    #[test]
+    fn udp_unpacker_matches_cpu_unpacker() {
+        let codes: Vec<u32> = (0..60).map(|i| (i * 7) % 16).collect();
+        let packed = bitpack_encode(&codes, 4);
+        let (out, _) = run(&bitpack_decode_to_udp(4), &packed);
+        let got: Vec<u32> = out.iter().map(|&b| u32::from(b)).collect();
+        // Zero padding may decode into trailing spurious fields.
+        assert_eq!(&got[..codes.len()], &codes[..]);
+        assert_eq!(
+            bitpack_decode(&packed, 4, codes.len()).unwrap(),
+            codes
+        );
+    }
+
+    #[test]
+    fn oversized_code_is_a_dispatch_miss() {
+        let (_, status) = run(&bitpack_encode_to_udp(3), &[9]);
+        assert_eq!(status, LaneStatus::NoTransition);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_udp_round_trip(codes in proptest::collection::vec(0u32..64, 1..200)) {
+            let w = bits_needed(&codes).max(2);
+            let bytes: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+            let (packed, _) = run(&bitpack_encode_to_udp(w), &bytes);
+            let (unpacked, _) = run(&bitpack_decode_to_udp(w), &packed);
+            prop_assert_eq!(&unpacked[..codes.len()], &bytes[..]);
+        }
+    }
+}

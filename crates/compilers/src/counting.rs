@@ -1,0 +1,319 @@
+//! Counting automata on the UDP (the c-NFA column of Table 1).
+//!
+//! Patterns like `P x{min,max} Q` explode when expanded into plain DFA
+//! states — one state per count value. A counting automaton keeps *one*
+//! counting state plus a scalar counter, which is exactly what flagged
+//! dispatch enables: the counter lives in a register, the count check is
+//! an action chain, and the three-way outcome (keep counting / try the
+//! suffix / reset) steers a register-sourced dispatch.
+//!
+//! Determinism restriction (documented): the counted byte class and the
+//! suffix's first byte must be disjoint, so the automaton never has to
+//! guess where the run ends — the shape of bounded-repetition NIDS rules
+//! like `evil[0-9]{4,12}payload`.
+
+use udp_asm::{ProgramBuilder, StateId, Target};
+use udp_automata::ByteSet;
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// A `prefix class{min,max} suffix` pattern.
+#[derive(Debug, Clone)]
+pub struct CountedPattern {
+    /// Literal prefix (may be empty).
+    pub prefix: Vec<u8>,
+    /// The counted byte class.
+    pub class: ByteSet,
+    /// Minimum repetitions.
+    pub min: u32,
+    /// Maximum repetitions.
+    pub max: u32,
+    /// Literal suffix (non-empty; its first byte must not be in `class`).
+    pub suffix: Vec<u8>,
+}
+
+impl CountedPattern {
+    /// Validates the determinism restriction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suffix is empty, bounds are inverted, or the suffix
+    /// start overlaps the counted class.
+    pub fn validated(self) -> CountedPattern {
+        assert!(!self.suffix.is_empty(), "suffix must be non-empty");
+        assert!(self.min <= self.max && self.max >= 1, "bad bounds");
+        assert!(
+            !self.class.contains(self.suffix[0]),
+            "suffix start must leave the counted class"
+        );
+        assert!(!self.prefix.is_empty(), "prefix must be non-empty");
+        self
+    }
+
+    /// Reference scan: the exact single-pass (restart-after-reject, no
+    /// backtracking) counting machine the UDP program implements,
+    /// returning each match's end position.
+    pub fn find_all(&self, input: &[u8]) -> Vec<usize> {
+        #[derive(Clone, Copy)]
+        enum S {
+            Prefix(usize),
+            Count(u32),
+            Suffix(usize),
+        }
+        let mut out = Vec::new();
+        let mut s = S::Prefix(0);
+        for (i, &b) in input.iter().enumerate() {
+            s = match s {
+                S::Prefix(k) => {
+                    if b == self.prefix[k] {
+                        if k + 1 == self.prefix.len() {
+                            S::Count(0)
+                        } else {
+                            S::Prefix(k + 1)
+                        }
+                    } else {
+                        // Single-pass: the mismatched byte is consumed
+                        // (the compiled fallback arc), no re-arming.
+                        S::Prefix(0)
+                    }
+                }
+                S::Count(c) => {
+                    if self.class.contains(b) {
+                        S::Count(c.saturating_add(1))
+                    } else if b == self.suffix[0] && (self.min..=self.max).contains(&c) {
+                        if self.suffix.len() == 1 {
+                            out.push(i + 1);
+                            S::Prefix(0)
+                        } else {
+                            S::Suffix(1)
+                        }
+                    } else {
+                        S::Prefix(0)
+                    }
+                }
+                S::Suffix(k) => {
+                    if b == self.suffix[k] {
+                        if k + 1 == self.suffix.len() {
+                            out.push(i + 1);
+                            S::Prefix(0)
+                        } else {
+                            S::Suffix(k + 1)
+                        }
+                    } else {
+                        S::Prefix(0)
+                    }
+                }
+            };
+        }
+        out
+    }
+
+    /// States a plain DFA expansion would need (the blow-up the counter
+    /// avoids): prefix + one state per count value + suffix.
+    pub fn expanded_state_estimate(&self) -> usize {
+        self.prefix.len() + self.max as usize + self.suffix.len() + 1
+    }
+}
+
+/// Compiles the counting automaton. Matches `Report(0)` at their end
+/// position; the program scans the whole input.
+pub fn counted_to_udp(p: &CountedPattern) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let r_cnt = Reg::new(1);
+    let r_ok = Reg::new(2);
+    let r_t = Reg::new(3);
+
+    // Prefix chain (restart-on-mismatch via fallback to start).
+    let start = b.add_consuming_state();
+    b.set_entry(start);
+    let mut chain: Vec<StateId> = vec![start];
+    for _ in 1..p.prefix.len() {
+        chain.push(b.add_consuming_state());
+    }
+    let count_state = b.add_consuming_state();
+    let check = b.add_flagged_state();
+    let mut suffix_chain: Vec<StateId> = Vec::new();
+    for _ in 0..p.suffix.len() {
+        suffix_chain.push(b.add_consuming_state());
+    }
+
+    let reset = vec![Action::imm(Opcode::MovI, r_cnt, Reg::R0, 0)];
+    // Prefix arcs.
+    for (k, &byte) in p.prefix.iter().enumerate() {
+        let next = if k + 1 < p.prefix.len() {
+            Target::State(chain[k + 1])
+        } else {
+            Target::State(count_state)
+        };
+        let acts = if k + 1 == p.prefix.len() {
+            reset.clone()
+        } else {
+            vec![]
+        };
+        b.labeled_arc(chain[k], u16::from(byte), next, acts);
+        b.fallback_arc(chain[k], Target::State(start), vec![]);
+    }
+    // Counting state: class bytes bump the counter (bounded by max+1);
+    // the suffix's first byte goes to the flagged check; anything else
+    // resets.
+    for sym in 0u16..256 {
+        let byte = sym as u8;
+        if p.class.contains(byte) {
+            b.labeled_arc(
+                count_state,
+                sym,
+                Target::State(count_state),
+                vec![Action::imm(Opcode::AddI, r_cnt, r_cnt, 1)],
+            );
+        } else if byte == p.suffix[0] {
+            // flag = (min <= count <= max) ? 1 : 0
+            b.labeled_arc(
+                count_state,
+                sym,
+                Target::State(check),
+                vec![
+                    Action::imm(Opcode::SLtUI, r_ok, r_cnt, (p.max + 1).min(65535) as u16),
+                    Action::imm(Opcode::SLtUI, r_t, r_cnt, p.min.min(65535) as u16),
+                    Action::reg(Opcode::Sub, Reg::R0, r_ok, r_t),
+                ],
+            );
+        } else {
+            b.labeled_arc(count_state, sym, Target::State(start), reset.clone());
+        }
+    }
+
+    // Check: count in range → continue the suffix (its first byte is
+    // already consumed); else restart.
+    let after_first = if p.suffix.len() == 1 {
+        Target::Halt // replaced below by report arc
+    } else {
+        Target::State(suffix_chain[1])
+    };
+    let report = vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 0)];
+    if p.suffix.len() == 1 {
+        b.labeled_arc(check, 1, Target::State(start), report.clone());
+    } else {
+        b.labeled_arc(check, 1, after_first, vec![]);
+    }
+    b.labeled_arc(check, 0, Target::State(start), reset.clone());
+
+    // Remaining suffix bytes.
+    for k in 1..p.suffix.len() {
+        let last = k + 1 == p.suffix.len();
+        let next = if last {
+            Target::State(start)
+        } else {
+            Target::State(suffix_chain[k + 1])
+        };
+        let acts = if last { report.clone() } else { vec![] };
+        b.labeled_arc(suffix_chain[k], u16::from(p.suffix[k]), next, acts);
+        b.fallback_arc(suffix_chain[k], Target::State(start), reset.clone());
+    }
+    if !suffix_chain.is_empty() {
+        // suffix_chain[0] is unreachable (first byte handled by check);
+        // give it a harmless fallback so the layout stays valid.
+        b.fallback_arc(suffix_chain[0], Target::State(start), vec![]);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_sim::{Lane, LaneConfig};
+
+    fn digits() -> ByteSet {
+        ByteSet::range(b'0', b'9')
+    }
+
+    fn pattern(min: u32, max: u32) -> CountedPattern {
+        CountedPattern {
+            prefix: b"id=".to_vec(),
+            class: digits(),
+            min,
+            max,
+            suffix: b";".to_vec(),
+        }
+        .validated()
+    }
+
+    fn run(p: &CountedPattern, input: &[u8]) -> Vec<usize> {
+        let img = counted_to_udp(p)
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        rep.reports.iter().map(|&(_, pos)| pos as usize).collect()
+    }
+
+    #[test]
+    fn matches_counts_in_range() {
+        let p = pattern(2, 4);
+        let input = b"id=12; id=1; id=12345; id=999;";
+        assert_eq!(run(&p, input), p.find_all(input));
+        assert_eq!(p.find_all(input), vec![6, 30]);
+    }
+
+    #[test]
+    fn prefixless_class_runs() {
+        let p = CountedPattern {
+            prefix: b"x".to_vec(),
+            class: ByteSet::single(b'a'),
+            min: 3,
+            max: 5,
+            suffix: b"!".to_vec(),
+        }
+        .validated();
+        let input = b"xaaa! xaa! xaaaaa! xaaaaaa!";
+        assert_eq!(run(&p, input), p.find_all(input));
+        assert_eq!(p.find_all(input).len(), 2);
+    }
+
+    #[test]
+    fn counter_beats_state_expansion() {
+        let p = pattern(4, 4000);
+        let img = counted_to_udp(&p)
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        assert!(
+            img.stats.n_states < 12,
+            "counting keeps {} states vs ~{} expanded",
+            img.stats.n_states,
+            p.expanded_state_estimate()
+        );
+        assert!(p.expanded_state_estimate() > 4000);
+        // And it still matches.
+        let mut input = b"id=".to_vec();
+        input.extend(std::iter::repeat(b'7').take(1000));
+        input.push(b';');
+        assert_eq!(run(&p, &input), vec![input.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix start")]
+    fn overlapping_class_is_rejected() {
+        let _ = CountedPattern {
+            prefix: vec![],
+            class: digits(),
+            min: 1,
+            max: 2,
+            suffix: b"5x".to_vec(),
+        }
+        .validated();
+    }
+
+    #[test]
+    fn multi_byte_suffix() {
+        let p = CountedPattern {
+            prefix: b"v".to_vec(),
+            class: digits(),
+            min: 1,
+            max: 3,
+            suffix: b"end".to_vec(),
+        }
+        .validated();
+        let input = b"v12end v1234end vend v9end";
+        assert_eq!(run(&p, input), p.find_all(input));
+        assert_eq!(p.find_all(input).len(), 2);
+    }
+}

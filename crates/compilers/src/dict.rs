@@ -1,0 +1,399 @@
+//! Dictionary and dictionary-RLE encoding on the UDP (§5.4).
+//!
+//! "UDP program performs encoding, using a defined dictionary" (§4.1):
+//! the host builds the dictionary (as Parquet does) and stages an
+//! open-addressing hash table plus the entry strings into each lane's
+//! window. The program then scans newline-separated tokens, folds an
+//! FNV-1a hash byte-by-byte through the symbol latch (R13), and probes
+//! the staged table with **flagged dispatch** — multi-way dispatch on a
+//! computed flag in R0 steering the probe loop (§3.2.3), with the
+//! `Hash` and `LoopCmpM` customized actions doing the heavy lifting.
+//!
+//! Output: one little-endian `u32` code per token (dictionary mode), or
+//! `(code, run_length)` `u32` pairs (dictionary-RLE mode; the final run
+//! rests in lane memory — [`finish_dict_rle`] retrieves it).
+
+use udp_asm::{ProgramBuilder, Target};
+use udp_codecs::dict::dict_hash;
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Window-relative byte offset of the staged hash table (the program
+/// itself stays under 4 KB; entry strings follow the table).
+pub const TABLE_OFFSET: u32 = 4096;
+/// Scratch: previous code + 1 (RLE mode).
+pub const SCRATCH_PREV: u16 = 4088;
+/// Scratch: current run length (RLE mode).
+pub const SCRATCH_COUNT: u16 = 4092;
+
+const FNV_INIT: u32 = 0x811C_9DC5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// Staged memory segments + registers for a prebuilt dictionary.
+#[derive(Debug, Clone)]
+pub struct DictStaging {
+    /// Memory segments for [`udp_sim::Staging`].
+    pub segments: Vec<(u32, Vec<u8>)>,
+    /// Register presets.
+    pub regs: Vec<(Reg, u32)>,
+    /// Hash index width (table has `2^k` slots).
+    pub k: u32,
+}
+
+/// Builds the staging image for `dictionary` (code = index).
+///
+/// # Panics
+///
+/// Panics if the entries overflow the staging areas or a value contains
+/// the `\n` separator.
+pub fn stage_dictionary(dictionary: &[Vec<u8>]) -> DictStaging {
+    // k ≤ 11 keeps the 2^k × 8-byte table bounded at 16 KB.
+    let k = (usize::BITS - dictionary.len().next_power_of_two().leading_zeros() + 1).clamp(4, 11);
+    let slots = 1usize << k;
+    let entry_offset = TABLE_OFFSET + (slots * 8) as u32;
+    let mut table = vec![0u8; slots * 8];
+    let mut entries: Vec<u8> = Vec::new();
+    for (code, v) in dictionary.iter().enumerate() {
+        assert!(!v.contains(&b'\n'), "dictionary value contains separator");
+        let addr = entry_offset + entries.len() as u32;
+        entries.extend_from_slice(v);
+        entries.push(b'\n');
+        let mut slot = (dict_hash(v) >> (32 - k)) as usize;
+        loop {
+            let off = slot * 8;
+            if u32::from_le_bytes(table[off..off + 4].try_into().expect("4")) == 0 {
+                table[off..off + 4].copy_from_slice(&(code as u32 + 1).to_le_bytes());
+                table[off + 4..off + 8].copy_from_slice(&addr.to_le_bytes());
+                break;
+            }
+            slot = (slot + 1) & (slots - 1);
+        }
+    }
+    assert!(
+        dictionary.len() * 2 <= slots,
+        "dictionary overflows the staged table"
+    );
+    assert!(
+        (entry_offset as usize + entries.len()) < 64 * 1024,
+        "entries overflow the staging window"
+    );
+    DictStaging {
+        segments: vec![(TABLE_OFFSET, table), (entry_offset, entries)],
+        regs: vec![
+            (Reg::new(1), FNV_INIT),
+            (Reg::new(2), FNV_PRIME),
+            (Reg::new(4), 0),
+        ],
+        k,
+    }
+}
+
+// Register map (all 16 in use — see the module docs of udp_isa::reg):
+//   r0 flag  r1 fnv-hash   r2 fnv-prime  r3 code+1   r4 token-start
+//   r5 slot  r6 entry-addr r7 tmp        r8 token-len r9 entry-ptr
+//   r10 cmp  r11 match     r12 zero      r13 symbol   r14 loop-limit
+//   r15 stream index
+
+fn scan_actions() -> Vec<Action> {
+    // One FNV-1a step per byte via the hardware hash unit (§3.2.5).
+    vec![Action::imm(Opcode::FnvB, Reg::new(1), Reg::R13, 0)]
+}
+
+fn newline_actions(k: u32) -> Vec<Action> {
+    vec![
+        // token length r8 = (idx - 1) - r4; compare limit r14 = len + 1.
+        Action::imm(Opcode::InIdx, Reg::new(7), Reg::R0, 0u16.wrapping_sub(1)),
+        Action::reg(Opcode::Sub, Reg::new(8), Reg::new(7), Reg::new(4)),
+        Action::imm(Opcode::AddI, Reg::R14, Reg::new(8), 1),
+        Action::imm(Opcode::Hash, Reg::new(5), Reg::new(1), k as u16),
+        Action::imm(Opcode::MovI, Reg::R0, Reg::R0, 1),
+    ]
+}
+
+fn probe_actions(k: u32) -> Vec<Action> {
+    let mask = ((1u32 << k) - 1) as u16;
+    vec![
+        Action::imm(Opcode::ShlI, Reg::new(7), Reg::new(5), 3),
+        Action::imm(Opcode::AddI, Reg::new(6), Reg::new(7), TABLE_OFFSET as u16),
+        Action::imm(Opcode::LoadW, Reg::new(3), Reg::new(6), 0),
+        Action::imm(Opcode::LoadW, Reg::new(9), Reg::new(6), 4),
+        Action::imm(Opcode::AddI, Reg::new(5), Reg::new(5), 1),
+        Action::imm(Opcode::AndI, Reg::new(5), Reg::new(5), mask),
+        Action::reg(Opcode::LoopCmpM, Reg::new(10), Reg::new(9), Reg::new(4)),
+        Action::reg(Opcode::SEq, Reg::new(11), Reg::new(10), Reg::R14),
+        Action::imm(Opcode::SEqI, Reg::new(7), Reg::new(3), 0),
+        // flag = empty ? 2 : (match ? 0 : 1)
+        Action::imm(Opcode::MovI, Reg::R0, Reg::R0, 1),
+        Action::reg(Opcode::Sub, Reg::R0, Reg::R0, Reg::new(11)),
+        Action::imm(Opcode::MovI, Reg::new(6), Reg::R0, 2),
+        Action::reg(Opcode::Sel, Reg::R0, Reg::new(7), Reg::new(6)),
+    ]
+}
+
+fn reset_actions() -> Vec<Action> {
+    vec![
+        Action::imm(Opcode::MovI, Reg::new(1), Reg::R0, (FNV_INIT & 0xFFFF) as u16),
+        Action::imm(Opcode::MovIH, Reg::new(1), Reg::R0, (FNV_INIT >> 16) as u16),
+        Action::imm(Opcode::InIdx, Reg::new(4), Reg::R0, 0),
+    ]
+}
+
+/// Compiles the plain dictionary encoder for a table of `2^k` slots.
+pub fn dict_to_udp(k: u32) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let scan = b.add_consuming_state();
+    let probe = b.add_flagged_state();
+    b.set_entry(scan);
+
+    for sym in 0u16..256 {
+        if sym == u16::from(b'\n') {
+            b.labeled_arc(scan, sym, Target::State(probe), newline_actions(k));
+        } else {
+            b.labeled_arc(scan, sym, Target::State(scan), scan_actions());
+        }
+    }
+
+    // flag 1: probe the next slot.
+    b.labeled_arc(probe, 1, Target::State(probe), probe_actions(k));
+    // flag 0: hit — emit the code and resume scanning.
+    let mut emit = vec![
+        Action::imm(Opcode::SubI, Reg::new(7), Reg::new(3), 1),
+        Action::imm(Opcode::EmitW, Reg::R0, Reg::new(7), 0),
+    ];
+    emit.extend(reset_actions());
+    b.labeled_arc(probe, 0, Target::State(scan), emit);
+    // flag 2: miss — not in the staged dictionary.
+    b.labeled_arc(
+        probe,
+        2,
+        Target::Halt,
+        vec![Action::imm(Opcode::Halt, Reg::R0, Reg::R0, 99)],
+    );
+    b
+}
+
+/// Compiles the dictionary-RLE encoder (§5.4's second kernel).
+pub fn dict_rle_to_udp(k: u32) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let scan = b.add_consuming_state();
+    let probe = b.add_flagged_state();
+    let rle = b.add_flagged_state();
+    b.set_entry(scan);
+
+    for sym in 0u16..256 {
+        if sym == u16::from(b'\n') {
+            b.labeled_arc(scan, sym, Target::State(probe), newline_actions(k));
+        } else {
+            b.labeled_arc(scan, sym, Target::State(scan), scan_actions());
+        }
+    }
+    b.labeled_arc(probe, 1, Target::State(probe), probe_actions(k));
+    b.labeled_arc(
+        probe,
+        2,
+        Target::Halt,
+        vec![Action::imm(Opcode::Halt, Reg::R0, Reg::R0, 99)],
+    );
+    // flag 0: hit — classify against the previous code:
+    //   r0 = same ? 1 : (first-token ? 2 : 0)
+    b.labeled_arc(
+        probe,
+        0,
+        Target::State(rle),
+        vec![
+            Action::imm(Opcode::LoadW, Reg::new(7), Reg::new(12), SCRATCH_PREV),
+            Action::imm(Opcode::SEqI, Reg::new(11), Reg::new(7), 0),
+            Action::reg(Opcode::SEq, Reg::new(7), Reg::new(3), Reg::new(7)),
+            Action::reg(Opcode::Add, Reg::R0, Reg::new(7), Reg::new(11)),
+            Action::reg(Opcode::Add, Reg::R0, Reg::R0, Reg::new(11)),
+        ],
+    );
+    // rle flag 1: same code — bump the run counter.
+    let mut bump = vec![
+        Action::imm(Opcode::LoadW, Reg::new(7), Reg::new(12), SCRATCH_COUNT),
+        Action::imm(Opcode::AddI, Reg::new(7), Reg::new(7), 1),
+        Action::imm(Opcode::StoreW, Reg::new(12), Reg::new(7), SCRATCH_COUNT),
+    ];
+    bump.extend(reset_actions());
+    b.labeled_arc(rle, 1, Target::State(scan), bump);
+    // rle flag 0: run break — emit (prev code, count), start a new run.
+    let mut flush = vec![
+        Action::imm(Opcode::LoadW, Reg::new(7), Reg::new(12), SCRATCH_PREV),
+        Action::imm(Opcode::SubI, Reg::new(7), Reg::new(7), 1),
+        Action::imm(Opcode::EmitW, Reg::R0, Reg::new(7), 0),
+        Action::imm(Opcode::LoadW, Reg::new(7), Reg::new(12), SCRATCH_COUNT),
+        Action::imm(Opcode::EmitW, Reg::R0, Reg::new(7), 0),
+    ];
+    flush.extend(start_run_actions());
+    b.labeled_arc(rle, 0, Target::State(scan), flush);
+    // rle flag 2: first token — just start the run.
+    b.labeled_arc(rle, 2, Target::State(scan), start_run_actions());
+    b
+}
+
+fn start_run_actions() -> Vec<Action> {
+    let mut v = vec![
+        Action::imm(Opcode::StoreW, Reg::new(12), Reg::new(3), SCRATCH_PREV),
+        Action::imm(Opcode::MovI, Reg::new(7), Reg::R0, 1),
+        Action::imm(Opcode::StoreW, Reg::new(12), Reg::new(7), SCRATCH_COUNT),
+    ];
+    v.extend(reset_actions());
+    v
+}
+
+/// Reads the trailing unflushed run after a dictionary-RLE run.
+pub fn finish_dict_rle(mem: &udp_sim::LocalMemory) -> Option<(u32, u32)> {
+    let prev = mem.peek_word(u32::from(SCRATCH_PREV) / 4);
+    let count = mem.peek_word(u32::from(SCRATCH_COUNT) / 4);
+    (prev != 0).then_some((prev - 1, count))
+}
+
+/// Decodes the dictionary program's output (`u32` codes, LE).
+pub fn decode_codes(out: &[u8]) -> Vec<u32> {
+    out.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Joins column values with the `\n` separator the programs expect.
+pub fn join_tokens<V: AsRef<[u8]>>(values: &[V]) -> Vec<u8> {
+    let mut v = Vec::new();
+    for t in values {
+        v.extend_from_slice(t.as_ref());
+        v.push(b'\n');
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_codecs::{rle_decode, DictionaryEncoder, Run};
+    use udp_sim::engine::Staging;
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn staging_of(d: &DictStaging) -> Staging {
+        Staging {
+            segments: d.segments.clone(),
+            regs: d.regs.clone(),
+        }
+    }
+
+    fn run_dict(values: &[&str]) -> (Vec<u32>, Vec<u32>) {
+        let mut enc = DictionaryEncoder::default();
+        let expect = enc.encode_column(values);
+        let staging = stage_dictionary(enc.dictionary());
+        let img = dict_to_udp(staging.k)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let input = join_tokens(values);
+        let (rep, _) = Lane::run_program_capture(
+            &img,
+            &input,
+            &staging_of(&staging),
+            &LaneConfig::default(),
+        );
+        assert_eq!(rep.status, LaneStatus::InputExhausted, "{:?}", rep.status);
+        (decode_codes(&rep.output), expect)
+    }
+
+    #[test]
+    fn codes_match_cpu_encoder() {
+        let vals = ["NY", "LA", "NY", "SF", "LA", "NY", "SF"];
+        let (got, expect) = run_dict(&vals);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_value_column() {
+        let vals = ["xyz"; 20];
+        let (got, expect) = run_dict(&vals);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        // Enough distinct values to force probe chains in a small table.
+        let vals: Vec<String> = (0..40).map(|i| format!("value-{i}")).collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        let mut seq = Vec::new();
+        for i in 0..200 {
+            seq.push(refs[(i * 7) % refs.len()]);
+        }
+        let (got, expect) = run_dict(&seq);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn miss_halts_with_code_99() {
+        let mut enc = DictionaryEncoder::default();
+        enc.encode_column(&["a", "b"]);
+        let staging = stage_dictionary(enc.dictionary());
+        let img = dict_to_udp(staging.k)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let (rep, _) = Lane::run_program_capture(
+            &img,
+            &join_tokens(&["a", "zzz"]),
+            &staging_of(&staging),
+            &LaneConfig::default(),
+        );
+        assert_eq!(rep.status, LaneStatus::Halted(99));
+    }
+
+    #[test]
+    fn dict_rle_matches_cpu_encoder() {
+        let vals = ["x", "x", "x", "y", "y", "x", "z", "z", "z", "z"];
+        let mut enc = DictionaryEncoder::default();
+        let codes = enc.encode_column(&vals);
+        let expect = udp_codecs::rle_encode(&codes);
+
+        let staging = stage_dictionary(enc.dictionary());
+        let img = dict_rle_to_udp(staging.k)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let (rep, mem) = Lane::run_program_capture(
+            &img,
+            &join_tokens(&vals),
+            &staging_of(&staging),
+            &LaneConfig::default(),
+        );
+        assert_eq!(rep.status, LaneStatus::InputExhausted);
+        let flat = decode_codes(&rep.output);
+        let mut runs: Vec<Run<u32>> = flat
+            .chunks_exact(2)
+            .map(|p| Run {
+                value: p[0],
+                length: p[1],
+            })
+            .collect();
+        let (v, l) = finish_dict_rle(&mem).expect("trailing run");
+        runs.push(Run {
+            value: v,
+            length: l,
+        });
+        assert_eq!(runs, expect);
+        assert_eq!(rle_decode(&runs), codes);
+    }
+
+    #[test]
+    fn crimes_attribute_matches_cpu() {
+        let data = udp_workloads::crimes_csv(30_000, 21);
+        let rows = udp_codecs::CsvParser::new().parse(&data);
+        let col: Vec<Vec<u8>> = rows.iter().skip(1).map(|r| r[6].clone()).collect();
+        let mut enc = DictionaryEncoder::default();
+        let expect = enc.encode_column(&col);
+        let staging = stage_dictionary(enc.dictionary());
+        let img = dict_to_udp(staging.k)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let (rep, _) = Lane::run_program_capture(
+            &img,
+            &join_tokens(&col),
+            &staging_of(&staging),
+            &LaneConfig::default(),
+        );
+        assert_eq!(decode_codes(&rep.output), expect);
+    }
+}

@@ -1,0 +1,239 @@
+//! Histogramming on the UDP (§5.5).
+//!
+//! "The dividers are compiled into an automata scans of 4 bits a time,
+//! with acceptance states updating the appropriate bin" (§4.1). The
+//! translator builds a nibble-classification trie over the IEEE-754 bit
+//! pattern of each value: as soon as a bit prefix pins the value to a
+//! single bin, the arc bumps that bin's counter (`BumpW`), skips the
+//! value's remaining bits, and returns to the root.
+//!
+//! The stream carries *big-endian* `f32` words so the most significant
+//! nibble arrives first — the byte swap is the DLT engine's job in the
+//! real system ([`to_big_endian`] models it).
+
+use udp_asm::{ProgramBuilder, StateId, Target};
+use udp_codecs::Histogram;
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Byte offset of the bin-counter table inside each lane window.
+pub const BIN_TABLE_OFFSET: u32 = 12 * 1024;
+
+/// Where the compiled program keeps its counters.
+#[derive(Debug, Clone, Copy)]
+pub struct HistLayout {
+    /// Window-relative byte offset of the `u32` counter table.
+    pub table_offset: u32,
+    /// Counter slots: one per bin plus a trailing outlier slot.
+    pub slots: usize,
+}
+
+/// Total-order key of a float's raw bits (monotone in float order for
+/// all non-NaN values; NaNs land outside every bin).
+fn order_key(raw: u32) -> u32 {
+    if raw == 0x8000_0000 {
+        // -0.0 compares equal to +0.0 in IEEE-754.
+        0x8000_0000
+    } else if raw & 0x8000_0000 != 0 {
+        !raw
+    } else {
+        raw | 0x8000_0000
+    }
+}
+
+/// Classifies raw bits: `0` = below all edges, `1..=E-1` = bin index + 1,
+/// `E` = at/above the last edge (E = number of edges).
+fn class_of(raw: u32, edge_keys: &[u32]) -> usize {
+    let k = order_key(raw);
+    edge_keys.partition_point(|&e| e <= k)
+}
+
+fn slot_of(class: usize, n_edges: usize, n_bins: usize) -> usize {
+    if class == 0 || class >= n_edges {
+        n_bins // outlier slot
+    } else {
+        class - 1
+    }
+}
+
+/// Compiles a [`Histogram`]'s edges into the nibble-scan (4-bit) UDP
+/// program — the paper's design point.
+pub fn histogram_to_udp(hist: &Histogram) -> (ProgramBuilder, HistLayout) {
+    histogram_to_udp_width(hist, 4)
+}
+
+/// Compiles the classification trie at dispatch width `w` bits
+/// (`w ∈ {2, 4, 8}`): the static-symbol-size study of Figure 8 — wider
+/// symbols mean fewer dispatches per value but exponentially larger
+/// states.
+pub fn histogram_to_udp_width(hist: &Histogram, w: u8) -> (ProgramBuilder, HistLayout) {
+    assert!(matches!(w, 2 | 4 | 8), "width must divide 32");
+    let edge_keys: Vec<u32> = hist
+        .edges()
+        .iter()
+        .map(|e| order_key(e.to_bits()))
+        .collect();
+    let n_bins = hist.bins();
+    let layout = HistLayout {
+        table_offset: BIN_TABLE_OFFSET,
+        slots: n_bins + 1,
+    };
+
+    let mut b = ProgramBuilder::new();
+    b.set_symbol_bits(w);
+    let root = b.add_consuming_state();
+    b.set_entry(root);
+
+    // Recursive trie construction over (depth, prefix).
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        b: &mut ProgramBuilder,
+        root: StateId,
+        edge_keys: &[u32],
+        n_bins: usize,
+        layout: &HistLayout,
+        w: u8,
+        state: StateId,
+        depth: u8,
+        prefix: u32,
+    ) {
+        let max_depth = 32 / w;
+        for sym in 0..(1u32 << w) {
+            let p = (prefix << w) | sym;
+            let d = depth + 1;
+            let shift = 32 - u32::from(w) * u32::from(d);
+            let lo = p << shift;
+            let hi = lo | ((1u64 << shift) - 1) as u32;
+            let same_half = (lo & 0x8000_0000) == (hi & 0x8000_0000);
+            let c_lo = class_of(lo, edge_keys);
+            let c_hi = class_of(hi, edge_keys);
+            if same_half && c_lo == c_hi {
+                // Leaf: bump the bin, skip the value's remaining bits.
+                let slot = slot_of(c_lo, edge_keys.len(), n_bins);
+                let mut acts = vec![Action::imm(
+                    Opcode::BumpW,
+                    Reg::R0,
+                    Reg::new(12),
+                    (layout.table_offset + slot as u32 * 4) as u16,
+                )];
+                let skip = 32 - u16::from(w) * u16::from(d);
+                if skip > 0 {
+                    acts.push(Action::imm(Opcode::ReadBits, Reg::new(11), Reg::R0, skip));
+                }
+                b.labeled_arc(state, sym as u16, Target::State(root), acts);
+            } else {
+                debug_assert!(d < max_depth, "full-depth prefixes are single values");
+                let child = b.add_consuming_state();
+                b.labeled_arc(state, sym as u16, Target::State(child), vec![]);
+                build(b, root, edge_keys, n_bins, layout, w, child, d, p);
+            }
+        }
+    }
+    build(&mut b, root, &edge_keys, n_bins, &layout, w, root, 0, 0);
+    (b, layout)
+}
+
+/// Byte-swaps a little-endian `f32` stream to big-endian (the DLT
+/// staging step).
+pub fn to_big_endian(le: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(le.len());
+    for c in le.chunks_exact(4) {
+        out.extend_from_slice(&[c[3], c[2], c[1], c[0]]);
+    }
+    out
+}
+
+/// Reads the counters back from a lane memory.
+pub fn read_bins(mem: &udp_sim::LocalMemory, layout: &HistLayout) -> Vec<u64> {
+    (0..layout.slots)
+        .map(|i| u64::from(mem.peek_word((layout.table_offset + i as u32 * 4) / 4)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_sim::engine::Staging;
+    use udp_sim::{Lane, LaneConfig};
+
+    fn run_hist(hist: &Histogram, le_bytes: &[u8], banks: usize) -> (Vec<u64>, u64) {
+        let (pb, layout) = histogram_to_udp(hist);
+        let img = pb.assemble(&LayoutOptions::with_banks(banks)).unwrap();
+        let be = to_big_endian(le_bytes);
+        let (rep, mem) =
+            Lane::run_program_capture(&img, &be, &Staging::default(), &LaneConfig::default());
+        assert_eq!(rep.status, udp_sim::LaneStatus::InputExhausted);
+        (read_bins(&mem, &layout), rep.cycles)
+    }
+
+    fn check_against_baseline(edges: Vec<f32>, values: &[f32]) {
+        let mut base = Histogram::with_edges(edges.clone());
+        base.add_all(values);
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (bins, _) = run_hist(&Histogram::with_edges(edges), &bytes, 2);
+        let mut expect: Vec<u64> = base.counts().to_vec();
+        expect.push(base.outliers());
+        assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn uniform_bins_match_baseline() {
+        let vals: Vec<f32> = (0..500).map(|i| (i as f32 * 0.937).rem_euclid(12.0) - 1.0).collect();
+        check_against_baseline(
+            Histogram::uniform(0.0, 10.0, 10).edges().to_vec(),
+            &vals,
+        );
+    }
+
+    #[test]
+    fn negative_values_and_outliers() {
+        check_against_baseline(
+            vec![-5.0, -1.0, 0.0, 2.5, 7.0],
+            &[-10.0, -5.0, -2.0, -0.5, 0.0, 1.0, 2.5, 6.9, 7.0, 100.0, f32::NAN, -0.0],
+        );
+    }
+
+    #[test]
+    fn latitude_workload_matches_baseline() {
+        let le = udp_workloads::latitude_stream(2000, 8);
+        let vals: Vec<f32> = le
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let hist = Histogram::uniform(41.6, 42.0, 10);
+        let mut base = Histogram::uniform(41.6, 42.0, 10);
+        base.add_all(&vals);
+        let (bins, _) = run_hist(&hist, &le, 2);
+        let mut expect: Vec<u64> = base.counts().to_vec();
+        expect.push(base.outliers());
+        assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn percentile_bins_compile_too() {
+        let le = udp_workloads::fare_stream(1000, 9);
+        let vals: Vec<f32> = le
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let hist = Histogram::percentile(&vals, 4);
+        let mut base = Histogram::with_edges(hist.edges().to_vec());
+        base.add_all(&vals);
+        let (bins, _) = run_hist(&hist, &le, 2);
+        let mut expect: Vec<u64> = base.counts().to_vec();
+        expect.push(base.outliers());
+        assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn rate_is_a_few_cycles_per_value() {
+        let le = udp_workloads::fare_stream(2000, 10);
+        let hist = Histogram::uniform(0.0, 100.0, 4);
+        let (_, cycles) = run_hist(&hist, &le, 2);
+        let per_value = cycles as f64 / 2000.0;
+        // ≤ 8 nibble dispatches + bump + skip.
+        assert!(per_value < 12.0, "cycles/value = {per_value}");
+        assert!(per_value > 2.0);
+    }
+}

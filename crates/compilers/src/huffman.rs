@@ -1,0 +1,437 @@
+//! Huffman coding on the UDP (§5.2), in all four variable-size-symbol
+//! designs of §3.2.2:
+//!
+//! * **SsF** (fixed 8-bit, the UAP design): the decode tree is unrolled
+//!   into byte-residual states — fastest, but the program explodes
+//!   (Figure 8's 508 KB bar).
+//! * **SsT** (size per transition): strides are exact (`mindepth` of the
+//!   node) and width changes ride the transitions at zero cycle cost;
+//!   the encoding overhead is charged as 1.25× words in the size model.
+//! * **SsReg** (size register): same strides, but width changes are
+//!   explicit `SetSym` actions costing a cycle each.
+//! * **SsRef** (register + refill, the UDP design): one global stride
+//!   `W = min(8, max code length)`; over-consumed bits are put back by
+//!   refill pass states.
+//!
+//! Decoding with SsRef requires the bit stream to be zero-padded to a
+//! multiple of `W` plus lookahead ([`pad_for_stride`]); spurious trailing
+//! symbols are truncated by the caller, which knows the symbol count
+//! ([`truncate_decoded`]).
+
+use std::collections::HashMap;
+use udp_asm::{Arc, ProgramBuilder, StateId, Target};
+use udp_codecs::huffman::{HuffmanNode, HuffmanTree};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// The four §3.2.2 designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolMode {
+    /// UAP fixed 8-bit symbols (unrolled).
+    Fixed8,
+    /// Per-transition width (hardware-folded `SetSymT`).
+    PerTransition,
+    /// Width via explicit `SetSym` actions.
+    Register,
+    /// Global stride + refill transitions (the UDP design).
+    RegisterRefill,
+}
+
+/// Per-transition width encoding overhead for the SsT size model
+/// (extra bits in every transition word, §3.2.2 challenge 1).
+pub const SST_SIZE_FACTOR: f64 = 1.25;
+
+fn emit_byte(sym: u8) -> Action {
+    Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(sym))
+}
+
+/// Tree-shape metrics: (min, max) leaf depth below each node.
+fn depths(tree: &HuffmanTree) -> Vec<(u8, u8)> {
+    let n = tree.nodes().len();
+    let mut memo = vec![(0u8, 0u8); n];
+    fn go(tree: &HuffmanTree, memo: &mut Vec<(u8, u8)>, done: &mut Vec<bool>, i: usize) -> (u8, u8) {
+        if done[i] {
+            return memo[i];
+        }
+        let r = match tree.nodes()[i] {
+            HuffmanNode::Leaf(_) => (0, 0),
+            HuffmanNode::Internal(z, o) => {
+                // Single-symbol trees have one missing child.
+                let kids: Vec<(u8, u8)> = [z, o]
+                    .into_iter()
+                    .filter(|&k| k != u32::MAX)
+                    .map(|k| go(tree, memo, done, k as usize))
+                    .collect();
+                let min = kids.iter().map(|k| k.0).min().unwrap_or(0);
+                let max = kids.iter().map(|k| k.1).max().unwrap_or(0);
+                (min + 1, max + 1)
+            }
+        };
+        memo[i] = r;
+        done[i] = true;
+        r
+    }
+    let mut done = vec![false; n];
+    for i in 0..n {
+        go(tree, &mut memo, &mut done, i);
+    }
+    memo
+}
+
+/// Walks `width` bits of value `v` (MSB-first) from node `from`,
+/// stopping at the first leaf: returns `(Leaf(sym, depth) | Node(id))`.
+enum Walk {
+    Leaf { sym: u8, depth: u8 },
+    Node(u32),
+    /// An invalid code prefix (only possible in single-symbol trees).
+    Dead,
+}
+
+fn walk(tree: &HuffmanTree, from: u32, v: u32, width: u8) -> Walk {
+    let mut cur = from;
+    for k in 0..width {
+        let bit = (v >> (width - 1 - k)) & 1;
+        let HuffmanNode::Internal(z, o) = tree.nodes()[cur as usize] else {
+            unreachable!("walk starts at internal nodes only");
+        };
+        cur = if bit == 0 { z } else { o };
+        if cur == u32::MAX {
+            return Walk::Dead;
+        }
+        if let HuffmanNode::Leaf(sym) = tree.nodes()[cur as usize] {
+            return Walk::Leaf { sym, depth: k + 1 };
+        }
+    }
+    Walk::Node(cur)
+}
+
+/// Compiles a Huffman decoder. The program `EmitB`s each decoded byte.
+///
+/// # Panics
+///
+/// Panics on an empty tree.
+pub fn huffman_decode_to_udp(tree: &HuffmanTree, mode: SymbolMode) -> ProgramBuilder {
+    assert!(tree.root() != u32::MAX, "empty Huffman tree");
+    match mode {
+        SymbolMode::Fixed8 => decode_fixed8(tree),
+        SymbolMode::RegisterRefill => decode_refill(tree),
+        SymbolMode::Register => decode_strided(tree, false),
+        SymbolMode::PerTransition => decode_strided(tree, true),
+    }
+}
+
+/// SsRef: global stride + refill pass states.
+fn decode_refill(tree: &HuffmanTree) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let d = depths(tree);
+    let width = d[tree.root() as usize].1.min(8).max(1);
+    b.set_symbol_bits(width);
+
+    // Special case: single-symbol tree (1-bit codes at the root).
+    if let HuffmanNode::Leaf(_) = tree.nodes()[tree.root() as usize] {
+        unreachable!("root is internal for >=2 symbols; single-symbol trees have depth-1 roots");
+    }
+
+    let mut states: HashMap<u32, StateId> = HashMap::new();
+    let mut passes: HashMap<(u8, u8), StateId> = HashMap::new();
+    let mut work = vec![tree.root()];
+    let root_sid = b.add_consuming_state();
+    states.insert(tree.root(), root_sid);
+    b.set_entry(root_sid);
+
+    while let Some(node) = work.pop() {
+        let sid = states[&node];
+        for v in 0..(1u32 << width) {
+            match walk(tree, node, v, width) {
+                Walk::Leaf { sym, depth } => {
+                    let refill = width - depth;
+                    let pass = *passes.entry((sym, refill)).or_insert_with(|| {
+                        b.add_pass_state(
+                            refill,
+                            Arc {
+                                target: Target::State(root_sid),
+                                actions: vec![emit_byte(sym)],
+                            },
+                        )
+                    });
+                    b.labeled_arc(sid, v as u16, Target::State(pass), vec![]);
+                }
+                Walk::Node(m) => {
+                    let tgt = *states.entry(m).or_insert_with(|| {
+                        work.push(m);
+                        b.add_consuming_state()
+                    });
+                    b.labeled_arc(sid, v as u16, Target::State(tgt), vec![]);
+                }
+                Walk::Dead => {}
+            }
+        }
+    }
+    b
+}
+
+/// SsT / SsReg: exact per-node strides; width changes via SetSym(T).
+fn decode_strided(tree: &HuffmanTree, folded: bool) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let d = depths(tree);
+    let stride = |n: u32| d[n as usize].0.min(8).max(1);
+    let root = tree.root();
+    b.set_symbol_bits(stride(root));
+
+    let setsym_op = if folded { Opcode::SetSymT } else { Opcode::SetSym };
+    let mut states: HashMap<u32, StateId> = HashMap::new();
+    let root_sid = b.add_consuming_state();
+    states.insert(root, root_sid);
+    b.set_entry(root_sid);
+    let mut work = vec![root];
+
+    while let Some(node) = work.pop() {
+        let sid = states[&node];
+        let w = stride(node);
+        for v in 0..(1u32 << w) {
+            match walk(tree, node, v, w) {
+                Walk::Leaf { sym, depth } => {
+                    debug_assert_eq!(depth, w, "stride = mindepth ⇒ exact leaf hit");
+                    let mut acts = vec![emit_byte(sym)];
+                    if stride(root) != w {
+                        acts.push(Action::imm(setsym_op, Reg::R0, Reg::R0, u16::from(stride(root))));
+                    }
+                    b.labeled_arc(sid, v as u16, Target::State(root_sid), acts);
+                }
+                Walk::Node(m) => {
+                    let tgt = *states.entry(m).or_insert_with(|| {
+                        work.push(m);
+                        b.add_consuming_state()
+                    });
+                    let mut acts = vec![];
+                    if stride(m) != w {
+                        acts.push(Action::imm(setsym_op, Reg::R0, Reg::R0, u16::from(stride(m))));
+                    }
+                    b.labeled_arc(sid, v as u16, Target::State(tgt), acts);
+                }
+                Walk::Dead => {}
+            }
+        }
+    }
+    b
+}
+
+/// SsF: byte-residual unrolling (the UAP rendition).
+fn decode_fixed8(tree: &HuffmanTree) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    b.set_symbol_bits(8);
+    let root = tree.root();
+    let mut states: HashMap<u32, StateId> = HashMap::new();
+    let root_sid = b.add_consuming_state();
+    states.insert(root, root_sid);
+    b.set_entry(root_sid);
+    let mut work = vec![root];
+
+    while let Some(node) = work.pop() {
+        let sid = states[&node];
+        for v in 0..256u32 {
+            // Walk all 8 bits, emitting every leaf passed.
+            let mut cur = node;
+            let mut acts: Vec<Action> = Vec::new();
+            let mut dead = false;
+            for k in 0..8 {
+                let bit = (v >> (7 - k)) & 1;
+                let HuffmanNode::Internal(z, o) = tree.nodes()[cur as usize] else {
+                    unreachable!()
+                };
+                cur = if bit == 0 { z } else { o };
+                if cur == u32::MAX {
+                    dead = true;
+                    break;
+                }
+                if let HuffmanNode::Leaf(sym) = tree.nodes()[cur as usize] {
+                    acts.push(emit_byte(sym));
+                    cur = root;
+                }
+            }
+            if dead {
+                continue;
+            }
+            let tgt = *states.entry(cur).or_insert_with(|| {
+                work.push(cur);
+                b.add_consuming_state()
+            });
+            b.labeled_arc(sid, v as u16, Target::State(tgt), acts);
+        }
+    }
+    b
+}
+
+/// Compiles a Huffman encoder: dispatches input bytes and `EmitBits`
+/// their codes (≤ 30 bits, split across two actions past 15).
+///
+/// # Panics
+///
+/// Panics if any code exceeds 30 bits.
+pub fn huffman_encode_to_udp(tree: &HuffmanTree) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    let r1 = Reg::new(1);
+    for sym in 0..=255u8 {
+        let c = tree.code(sym);
+        if c.len == 0 {
+            continue; // absent symbol: dispatch miss = NoTransition
+        }
+        assert!(c.len <= 30, "code longer than 30 bits");
+        let mut acts = Vec::new();
+        if c.len <= 15 {
+            acts.push(Action::imm(Opcode::MovI, r1, Reg::R0, c.bits as u16));
+            acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, c.len, 0));
+        } else {
+            let hi_len = c.len - 15;
+            acts.push(Action::imm(Opcode::MovI, r1, Reg::R0, (c.bits >> 15) as u16));
+            acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, hi_len, 0));
+            acts.push(Action::imm(Opcode::MovI, r1, Reg::R0, (c.bits & 0x7FFF) as u16));
+            acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, 15, 0));
+        }
+        b.labeled_arc(s, u16::from(sym), Target::State(s), acts);
+    }
+    b
+}
+
+/// Zero-pads an encoded stream so every SsRef dispatch has `stride` bits
+/// available. Returns the padded bytes.
+pub fn pad_for_stride(bits: &[u8], nbits: u64, stride: u8) -> Vec<u8> {
+    let need_bits = nbits + u64::from(stride);
+    let need_bytes = need_bits.div_ceil(8) as usize;
+    let mut v = bits.to_vec();
+    v.resize(need_bytes.max(bits.len()), 0);
+    v
+}
+
+/// Truncates decoder output to the expected symbol count (padding can
+/// produce spurious trailing symbols).
+pub fn truncate_decoded(mut out: Vec<u8>, expected: usize) -> Vec<u8> {
+    out.truncate(expected);
+    out
+}
+
+/// The global SsRef stride for a tree.
+pub fn ssref_stride(tree: &HuffmanTree) -> u8 {
+    depths(tree)[tree.root() as usize].1.min(8).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_sim::{Lane, LaneConfig};
+
+    fn decode_with(mode: SymbolMode, data: &[u8], banks: usize) -> (Vec<u8>, u64) {
+        let tree = HuffmanTree::from_data(data);
+        let (bits, nbits) = tree.encode(data);
+        let input = match mode {
+            SymbolMode::RegisterRefill => pad_for_stride(&bits, nbits, ssref_stride(&tree)),
+            _ => bits.clone(),
+        };
+        let img = huffman_decode_to_udp(&tree, mode)
+            .assemble(&LayoutOptions::with_banks(banks))
+            .unwrap();
+        let rep = Lane::run_program(&img, &input, &LaneConfig::default());
+        (truncate_decoded(rep.output, data.len()), rep.cycles)
+    }
+
+    const SAMPLE: &[u8] = b"abracadabra alakazam, the quick brown fox jumps over the lazy dog";
+
+    #[test]
+    fn ssref_decodes() {
+        let (out, _) = decode_with(SymbolMode::RegisterRefill, SAMPLE, 4);
+        assert_eq!(out, SAMPLE);
+    }
+
+    #[test]
+    fn ssreg_decodes() {
+        let (out, _) = decode_with(SymbolMode::Register, SAMPLE, 4);
+        assert_eq!(out, SAMPLE);
+    }
+
+    #[test]
+    fn sst_decodes() {
+        let (out, _) = decode_with(SymbolMode::PerTransition, SAMPLE, 4);
+        assert_eq!(out, SAMPLE);
+    }
+
+    #[test]
+    fn ssf_decodes_small_tree() {
+        // A small alphabet keeps the SsF unrolling assembleable.
+        let data = b"aaabbbcccddaabbccbbaaaddccbbaa".repeat(4);
+        let (out, _) = decode_with(SymbolMode::Fixed8, &data, 16);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn sst_is_not_slower_than_ssreg() {
+        let (_, sst) = decode_with(SymbolMode::PerTransition, SAMPLE, 4);
+        let (_, ssreg) = decode_with(SymbolMode::Register, SAMPLE, 4);
+        assert!(sst <= ssreg, "SsT {sst} vs SsReg {ssreg}");
+    }
+
+    #[test]
+    fn ssf_code_size_dwarfs_ssref() {
+        let data = b"the quick brown fox jumps over the lazy dog 0123456789".repeat(3);
+        let tree = HuffmanTree::from_data(&data);
+        let ssf = huffman_decode_to_udp(&tree, SymbolMode::Fixed8);
+        let ssref = huffman_decode_to_udp(&tree, SymbolMode::RegisterRefill);
+        let opts = LayoutOptions {
+            window_words: 64 * 4096,
+            share_actions: true,
+            uap_attach: true, // size model only: SsF action fan-out is huge
+        };
+        let a = ssf.assemble(&opts).unwrap().stats;
+        let c = ssref
+            .assemble(&LayoutOptions::with_banks(8))
+            .unwrap()
+            .stats;
+        assert!(
+            a.code_bytes() > 4 * c.code_bytes(),
+            "SsF {} vs SsRef {}",
+            a.code_bytes(),
+            c.code_bytes()
+        );
+    }
+
+    #[test]
+    fn encoder_matches_baseline_bits() {
+        let tree = HuffmanTree::from_data(SAMPLE);
+        let (expect_bits, nbits) = tree.encode(SAMPLE);
+        let img = huffman_encode_to_udp(&tree)
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let rep = Lane::run_program(&img, SAMPLE, &LaneConfig::default());
+        assert_eq!(rep.output.len() as u64, nbits.div_ceil(8));
+        assert_eq!(rep.output, expect_bits);
+    }
+
+    #[test]
+    fn encoder_rejects_unknown_symbols() {
+        let tree = HuffmanTree::from_data(b"aaabbb");
+        let img = huffman_encode_to_udp(&tree)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let rep = Lane::run_program(&img, b"aaz", &LaneConfig::default());
+        assert_eq!(rep.status, udp_sim::LaneStatus::NoTransition);
+    }
+
+    #[test]
+    fn round_trip_through_udp_encoder_and_decoder() {
+        let data = udp_workloads::canterbury_like(udp_workloads::Entropy::Medium, 4000, 5);
+        let tree = HuffmanTree::from_data(&data);
+        let enc_img = huffman_encode_to_udp(&tree)
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let enc = Lane::run_program(&enc_img, &data, &LaneConfig::default());
+        let (_, nbits) = tree.encode(&data);
+        let padded = pad_for_stride(&enc.output, nbits, ssref_stride(&tree));
+        let dec_img = huffman_decode_to_udp(&tree, SymbolMode::RegisterRefill)
+            .assemble(&LayoutOptions::with_banks(8))
+            .unwrap();
+        let dec = Lane::run_program(&dec_img, &padded, &LaneConfig::default());
+        assert_eq!(truncate_decoded(dec.output, data.len()), data);
+    }
+}

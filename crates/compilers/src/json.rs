@@ -1,0 +1,269 @@
+//! JSON tokenization on the UDP — the Table 1 parsing claim beyond CSV.
+//!
+//! One 256-way dispatch classifies every byte (structural characters,
+//! whitespace, string/number/literal starts); strings and numbers are
+//! extracted with segmented `LoopIn` copies exactly like the CSV field
+//! copier, and escape sequences flush the pending segment and emit the
+//! decoded byte (`\uXXXX` stays raw — the compat mode of
+//! `udp_codecs::json`).
+//!
+//! Output framing (= [`udp_codecs::json::compat_framing`]): structural
+//! bytes verbatim, `S`/`N` + content + `0x1F` for strings and numbers,
+//! `T`/`F`/`Z` for `true`/`false`/`null`. Lexical errors (bad escapes,
+//! bare words) end the lane with `NoTransition`.
+//!
+//! Input must end at a token boundary (NDJSON's trailing newline
+//! suffices); a number running into end-of-input is not flushed.
+
+use udp_asm::{ProgramBuilder, StateId, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Content terminator in the output framing.
+pub const CONTENT_SEP: u8 = 0x1F;
+
+const WS: [u8; 4] = [b' ', b'\t', b'\n', b'\r'];
+const STRUCTURAL: [u8; 6] = [b'{', b'}', b'[', b']', b':', b','];
+
+fn emit(b: u8) -> Action {
+    Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(b))
+}
+
+fn mark_start(offset: i16) -> Action {
+    Action::imm(Opcode::InIdx, Reg::new(1), Reg::R0, offset as u16)
+}
+
+/// Flush `[r1, idx - 1 - strip)` to the output.
+fn flush_segment(strip: u16) -> Vec<Action> {
+    vec![
+        Action::imm(Opcode::InIdx, Reg::new(3), Reg::R0, 0u16.wrapping_sub(1 + strip)),
+        Action::reg(Opcode::Sub, Reg::new(2), Reg::new(3), Reg::new(1)),
+        Action::reg(Opcode::LoopIn, Reg::R0, Reg::new(1), Reg::new(2)),
+    ]
+}
+
+/// Builds the UDP JSON tokenizer.
+pub fn json_to_udp() -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let top = b.add_consuming_state();
+    let in_string = b.add_consuming_state();
+    let esc = b.add_consuming_state();
+    let in_number = b.add_consuming_state();
+    b.set_entry(top);
+
+    // Literal chains: remaining letters after the first, then the tag.
+    let literal_chain = |b: &mut ProgramBuilder, rest: &[u8], tag: u8, top: StateId| -> StateId {
+        let first = b.add_consuming_state();
+        let mut cur = first;
+        for (i, &byte) in rest.iter().enumerate() {
+            let lastc = i + 1 == rest.len();
+            if lastc {
+                b.labeled_arc(cur, u16::from(byte), Target::State(top), vec![emit(tag)]);
+            } else {
+                let next = b.add_consuming_state();
+                b.labeled_arc(cur, u16::from(byte), Target::State(next), vec![]);
+                cur = next;
+            }
+        }
+        first
+    };
+    let lit_true = literal_chain(&mut b, b"rue", b'T', top);
+    let lit_false = literal_chain(&mut b, b"alse", b'F', top);
+    let lit_null = literal_chain(&mut b, b"ull", b'Z', top);
+
+    // ---- top ------------------------------------------------------
+    for &s in &STRUCTURAL {
+        b.labeled_arc(top, u16::from(s), Target::State(top), vec![emit(s)]);
+    }
+    for &s in &WS {
+        b.labeled_arc(top, u16::from(s), Target::State(top), vec![]);
+    }
+    b.labeled_arc(
+        top,
+        u16::from(b'"'),
+        Target::State(in_string),
+        vec![emit(b'S'), mark_start(0)],
+    );
+    for d in b'0'..=b'9' {
+        b.labeled_arc(
+            top,
+            u16::from(d),
+            Target::State(in_number),
+            vec![emit(b'N'), mark_start(-1)],
+        );
+    }
+    b.labeled_arc(
+        top,
+        u16::from(b'-'),
+        Target::State(in_number),
+        vec![emit(b'N'), mark_start(-1)],
+    );
+    b.labeled_arc(top, u16::from(b't'), Target::State(lit_true), vec![]);
+    b.labeled_arc(top, u16::from(b'f'), Target::State(lit_false), vec![]);
+    b.labeled_arc(top, u16::from(b'n'), Target::State(lit_null), vec![]);
+    // Any other byte: dispatch miss → NoTransition (lexical error).
+
+    // ---- in_string -------------------------------------------------
+    for sym in 0u16..256 {
+        let byte = sym as u8;
+        if byte == b'"' {
+            let mut acts = flush_segment(0);
+            acts.push(emit(CONTENT_SEP));
+            b.labeled_arc(in_string, sym, Target::State(top), acts);
+        } else if byte == b'\\' {
+            b.labeled_arc(in_string, sym, Target::State(esc), flush_segment(0));
+        } else {
+            b.labeled_arc(in_string, sym, Target::State(in_string), vec![]);
+        }
+    }
+
+    // ---- esc --------------------------------------------------------
+    for (escape, decoded) in [
+        (b'"', b'"'),
+        (b'\\', b'\\'),
+        (b'/', b'/'),
+        (b'n', b'\n'),
+        (b't', b'\t'),
+        (b'r', b'\r'),
+        (b'b', 0x08),
+        (b'f', 0x0C),
+    ] {
+        b.labeled_arc(
+            esc,
+            u16::from(escape),
+            Target::State(in_string),
+            vec![emit(decoded), mark_start(0)],
+        );
+    }
+    // \uXXXX: keep raw — restart the segment at the backslash so the
+    // escape and its four hex digits are copied verbatim.
+    b.labeled_arc(
+        esc,
+        u16::from(b'u'),
+        Target::State(in_string),
+        vec![mark_start(-2)],
+    );
+    // Bad escapes: miss → NoTransition.
+
+    // ---- in_number --------------------------------------------------
+    let number_bytes: Vec<u8> = (b'0'..=b'9')
+        .chain([b'+', b'-', b'.', b'e', b'E'])
+        .collect();
+    for &d in &number_bytes {
+        b.labeled_arc(in_number, u16::from(d), Target::State(in_number), vec![]);
+    }
+    let flush_number = || {
+        let mut acts = flush_segment(0);
+        acts.push(emit(CONTENT_SEP));
+        acts
+    };
+    for &s in &STRUCTURAL {
+        if s == b'-' {
+            continue;
+        }
+        let mut acts = flush_number();
+        acts.push(emit(s));
+        b.labeled_arc(in_number, u16::from(s), Target::State(top), acts);
+    }
+    for &s in &WS {
+        b.labeled_arc(in_number, u16::from(s), Target::State(top), flush_number());
+    }
+    {
+        let mut acts = flush_number();
+        acts.push(emit(b'S'));
+        acts.push(mark_start(0));
+        b.labeled_arc(in_number, u16::from(b'"'), Target::State(in_string), acts);
+    }
+    for (byte, chain) in [(b't', lit_true), (b'f', lit_false), (b'n', lit_null)] {
+        b.labeled_arc(in_number, u16::from(byte), Target::State(chain), flush_number());
+    }
+
+    b
+}
+
+/// The CPU-side reference framing for equivalence tests.
+///
+/// # Panics
+///
+/// Panics if `input` is not lexically valid JSON (compat mode).
+pub fn baseline_framing(input: &[u8]) -> Vec<u8> {
+    let toks = udp_codecs::json::JsonTokenizer::compat()
+        .tokenize(input)
+        .expect("valid JSON input");
+    udp_codecs::json::compat_framing(&toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn run(input: &[u8]) -> (Vec<u8>, LaneStatus) {
+        let img = json_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        (rep.output, rep.status)
+    }
+
+    #[test]
+    fn simple_object_matches_baseline() {
+        let input = br#"{"k":"v","n":[1,2.5],"ok":false,"x":null} "#;
+        let (out, status) = run(input);
+        assert_eq!(status, LaneStatus::InputExhausted);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn escapes_match_compat_baseline() {
+        let input = b"\"a\\n b\\\" c\\\\ d\\u0041 e\\t\" ";
+        let (out, _) = run(input);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        let input = b"[-1.5e3,0.25,42,7e-2] ";
+        let (out, _) = run(input);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn literals_and_whitespace() {
+        let input = b" true \n false\tnull ";
+        let (out, _) = run(input);
+        assert_eq!(out, b"TFZ");
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn lexical_error_stops_the_lane() {
+        let (_, status) = run(b"{\"a\": @}");
+        assert_eq!(status, LaneStatus::NoTransition);
+        let (_, status) = run(b"\"bad \\q escape\"");
+        assert_eq!(status, LaneStatus::NoTransition);
+        let (_, status) = run(b"trve ");
+        assert_eq!(status, LaneStatus::NoTransition);
+    }
+
+    #[test]
+    fn ndjson_workload_matches_baseline() {
+        let data = udp_workloads::ndjson_events(30_000, 9);
+        let (out, status) = run(&data);
+        assert_eq!(status, LaneStatus::InputExhausted);
+        assert_eq!(out, baseline_framing(&data));
+    }
+
+    #[test]
+    fn string_bytes_cost_one_cycle() {
+        let img = json_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let input = br#""abcdefghijklmnop" "#;
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        assert_eq!(rep.fallback_misses, 0);
+        // 19 dispatches + open (2) + close (4) actions.
+        assert!(rep.cycles <= 19 + 8, "{}", rep.cycles);
+    }
+}

@@ -1,0 +1,40 @@
+//! # udp-compilers — domain translators to UDP programs
+//!
+//! The UDP software stack (paper §4.3, Figure 12) has "a number of
+//! domain-specific translators and a shared backend". The backend is
+//! `udp-asm`; this crate is the translators, one per kernel family:
+//!
+//! | module | paper kernel | UDP features exercised |
+//! |--------|--------------|------------------------|
+//! | [`automata`] | pattern matching (DFA / ADFA / NFA, §5.3) | multi-way dispatch, majority/default fallback, refill for failure links, epsilon forks |
+//! | [`csv`] | CSV parsing (§5.1) | multi-way dispatch, loop-copy field extraction |
+//! | [`huffman`] | Huffman coding (§5.2) | variable-size symbols in all four designs of §3.2.2 (SsF / SsT / SsReg / SsRef) |
+//! | [`histogram`] | histogramming (§5.5) | 4-bit nibble dispatch over IEEE-754 words, `BumpW` bin update |
+//! | [`dict`] | dictionary & dictionary-RLE (§5.4) | flagged (scalar-register) dispatch, `Hash`, `LoopCmpM` probing |
+//! | [`snappy`] | Snappy (de)compression (§5.6) | flagged dispatch, `Hash`, `LoopCmp`, `LoopIn`/`LoopBack` |
+//! | [`trigger`] | signal triggering (§5.7) | full-fanout labeled dispatch, `Report` |
+//!
+//! Every translator produces a [`udp_asm::ProgramBuilder`]; callers
+//! assemble with their chosen [`udp_asm::LayoutOptions`] and run the
+//! image on `udp-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automata;
+pub mod bitpack;
+pub mod counting;
+pub mod csv;
+pub mod dict;
+pub mod histogram;
+pub mod huffman;
+pub mod json;
+pub mod rle;
+pub mod snappy;
+pub mod trigger;
+pub mod xml;
+
+/// Field separator byte in UDP CSV output (ASCII unit separator).
+pub const FIELD_SEP: u8 = 0x1F;
+/// Record separator byte in UDP CSV output (ASCII record separator).
+pub const RECORD_SEP: u8 = 0x1E;

@@ -1,0 +1,135 @@
+//! Run-length decoding on the UDP (the Oracle DAX-RLE family of
+//! Table 1). Input: `(value u32, count u32)` little-endian pairs (the
+//! dictionary-RLE program's output format); output: the expanded byte
+//! stream. The expansion itself is a single 1-byte-distance `LoopBack`
+//! — the overlap-replicating copy primitive decompressors use.
+
+use udp_asm::{ProgramBuilder, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+fn a(op: Opcode, dst: u8, src: u8, imm: u16) -> Action {
+    Action::imm(op, Reg::new(dst), Reg::new(src), imm)
+}
+
+fn r(op: Opcode, dst: u8, rref: u8, src: u8) -> Action {
+    Action::reg(op, Reg::new(dst), Reg::new(rref), Reg::new(src))
+}
+
+/// Builds the RLE expander. Values must fit a byte (dictionary codes);
+/// zero-length runs are tolerated and emit nothing.
+pub fn rle_decode_to_udp() -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_flagged_state();
+    b.set_entry(main);
+
+    // flag 0 → read one (value, count) pair and expand it.
+    b.labeled_arc(
+        main,
+        0,
+        Target::State(main),
+        vec![
+            // value: 4 LE bytes (only the low byte is meaningful).
+            a(Opcode::ReadBits, 1, 0, 8),
+            a(Opcode::ReadBits, 10, 0, 8),
+            a(Opcode::ReadBits, 10, 0, 8),
+            a(Opcode::ReadBits, 10, 0, 8),
+            // count: 4 LE bytes.
+            a(Opcode::ReadBits, 2, 0, 8),
+            a(Opcode::ReadBits, 10, 0, 8),
+            a(Opcode::ShlI, 10, 10, 8),
+            r(Opcode::Or, 2, 2, 10),
+            a(Opcode::ReadBits, 10, 0, 8),
+            a(Opcode::ShlI, 10, 10, 16),
+            r(Opcode::Or, 2, 2, 10),
+            a(Opcode::ReadBits, 10, 0, 8),
+            a(Opcode::ShlI, 10, 10, 24),
+            r(Opcode::Or, 2, 2, 10),
+            // Emit the first byte, then replicate count-1 more.
+            Action::imm2(Opcode::SkipIfZ, Reg::R0, Reg::new(2), 5, 0),
+            a(Opcode::EmitB, 0, 1, 0),
+            a(Opcode::SubI, 3, 2, 1),
+            a(Opcode::MovI, 10, 0, 1),
+            Action::imm2(Opcode::SkipIfZ, Reg::R0, Reg::new(3), 1, 0),
+            r(Opcode::LoopBack, 0, 10, 3),
+            // Loop while input remains.
+            a(Opcode::AtEof, 0, 0, 0),
+        ],
+    );
+    // flag 1 → done.
+    b.labeled_arc(main, 1, Target::Halt, vec![]);
+    b
+}
+
+/// Serializes runs in the program's input format.
+pub fn encode_runs(runs: &[(u8, u32)]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(runs.len() * 8);
+    for &(value, count) in runs {
+        v.extend_from_slice(&u32::from(value).to_le_bytes());
+        v.extend_from_slice(&count.to_le_bytes());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use udp_asm::LayoutOptions;
+    use udp_isa::Reg;
+    use udp_sim::engine::Staging;
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn run(runs: &[(u8, u32)]) -> Vec<u8> {
+        let img = rle_decode_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let input = encode_runs(runs);
+        let staging = Staging {
+            segments: vec![],
+            regs: vec![(Reg::new(0), u32::from(input.is_empty()))],
+        };
+        let (rep, _) = Lane::run_program_capture(&img, &input, &staging, &LaneConfig::default());
+        assert_eq!(rep.status, LaneStatus::Halted(0), "{:?}", rep.status);
+        rep.output
+    }
+
+    #[test]
+    fn expands_runs() {
+        assert_eq!(run(&[(b'a', 3), (b'b', 1), (b'c', 4)]), b"aaabcccc");
+    }
+
+    #[test]
+    fn zero_length_runs_emit_nothing() {
+        assert_eq!(run(&[(b'x', 0), (b'y', 2)]), b"yy");
+    }
+
+    #[test]
+    fn empty_input_halts_cleanly() {
+        assert_eq!(run(&[]), b"");
+    }
+
+    #[test]
+    fn long_runs_use_the_loopback_datapath() {
+        let img = rle_decode_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let input = encode_runs(&[(b'z', 8000)]);
+        let rep = Lane::run_program(&img, &input, &LaneConfig::default());
+        assert_eq!(rep.output.len(), 8000);
+        // 8 bytes/cycle replication: far fewer cycles than bytes out.
+        assert!(rep.cycles < 1200, "{}", rep.cycles);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_matches_cpu_rle_decode(runs in proptest::collection::vec((any::<u8>(), 0u32..50), 0..40)) {
+            let expect: Vec<u8> = runs
+                .iter()
+                .flat_map(|&(v, n)| std::iter::repeat(v).take(n as usize))
+                .collect();
+            prop_assert_eq!(run(&runs), expect);
+        }
+    }
+}

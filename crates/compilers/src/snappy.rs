@@ -1,0 +1,400 @@
+//! Snappy compression and decompression on the UDP (§5.6).
+//!
+//! The decompressor is a pure multi-way-dispatch machine: one 256-way
+//! dispatch classifies each tag byte, and shared action blocks derive
+//! lengths/offsets from the symbol latch (R13) and move bytes with
+//! `LoopIn` / `LoopBack` — "multi-way dispatch to deal with complex
+//! pattern detection and encoding choice" (§5.6).
+//!
+//! The compressor is a flagged-dispatch loop: each iteration consumes a
+//! byte, `PeekW`s the 4-byte window, `Hash`-probes the in-window hash
+//! table, and steers on a computed flag (0 = literal step, 1 = match
+//! found, 2 = end of input). Match extension uses `LoopCmp`; literals
+//! flush through a chunking sub-loop. Emitted streams are raw-Snappy
+//! body bytes — the host prepends the uncompressed-length varint
+//! ([`frame_compressed`]), as block framing is host-side in real
+//! deployments.
+//!
+//! Input blocks must be ≤ 64 KB (2-byte copy offsets), the paper's
+//! block granularity (Figure 11a sweeps 1–64 KB).
+
+use udp_asm::{ProgramBuilder, StateId, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Default window-relative byte offset of the compressor's hash table
+/// (the program itself is well under 4 KB).
+pub const HTAB_OFFSET: u32 = 4 * 1024;
+/// Default hash index width (table = `2^K` × 4 bytes).
+pub const HASH_BITS: u32 = 11;
+/// Maximum compressible block (2-byte copy offsets).
+pub const MAX_BLOCK: usize = 64 * 1024 - 1;
+
+const R0: Reg = Reg::R0;
+
+fn a(op: Opcode, dst: u8, src: u8, imm: u16) -> Action {
+    Action::imm(op, Reg::new(dst), Reg::new(src), imm)
+}
+
+fn r(op: Opcode, dst: u8, rref: u8, src: u8) -> Action {
+    Action::reg(op, Reg::new(dst), Reg::new(rref), Reg::new(src))
+}
+
+/// Builds the Snappy **decompressor**. Feed it a framed stream (varint
+/// header included — the varint state skips it); the output is the
+/// uncompressed data.
+pub fn snappy_decompress_to_udp() -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let varint = b.add_consuming_state();
+    let tag = b.add_consuming_state();
+    b.set_entry(varint);
+
+    // Varint: continuation bytes loop, final byte enters tag dispatch.
+    for sym in 0u16..256 {
+        let t = if sym < 128 { tag } else { varint };
+        b.labeled_arc(varint, sym, Target::State(t), vec![]);
+    }
+
+    // Shared literal-copy tail: r1 = length; copies from the cursor and
+    // advances past it.
+    let lit_tail = |acts: &mut Vec<Action>| {
+        acts.push(a(Opcode::InIdx, 2, 0, 0));
+        acts.push(r(Opcode::LoopIn, 0, 2, 1));
+        acts.push(a(Opcode::SkipB, 0, 1, 0));
+    };
+
+    for sym in 0u16..256 {
+        let t = sym as u8;
+        let mut acts: Vec<Action> = Vec::new();
+        match t & 0b11 {
+            0b00 => {
+                let len6 = t >> 2;
+                match len6 {
+                    0..=59 => {
+                        // len = (tag >> 2) + 1, from the symbol latch.
+                        acts.push(a(Opcode::ShrI, 1, 13, 2));
+                        acts.push(a(Opcode::AddI, 1, 1, 1));
+                        lit_tail(&mut acts);
+                    }
+                    60 => {
+                        acts.push(a(Opcode::ReadBits, 1, 0, 8));
+                        acts.push(a(Opcode::AddI, 1, 1, 1));
+                        lit_tail(&mut acts);
+                    }
+                    61 => {
+                        acts.push(a(Opcode::ReadBits, 1, 0, 8));
+                        acts.push(a(Opcode::ReadBits, 3, 0, 8));
+                        acts.push(a(Opcode::ShlI, 3, 3, 8));
+                        acts.push(r(Opcode::Or, 1, 1, 3));
+                        acts.push(a(Opcode::AddI, 1, 1, 1));
+                        lit_tail(&mut acts);
+                    }
+                    62 | 63 => {
+                        let extra = if len6 == 62 { 3 } else { 4 };
+                        acts.push(a(Opcode::ReadBits, 1, 0, 8));
+                        for k in 1..extra {
+                            acts.push(a(Opcode::ReadBits, 3, 0, 8));
+                            acts.push(a(Opcode::ShlI, 3, 3, 8 * k));
+                            acts.push(r(Opcode::Or, 1, 1, 3));
+                        }
+                        acts.push(a(Opcode::AddI, 1, 1, 1));
+                        lit_tail(&mut acts);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            0b01 => {
+                // len = 4 + ((tag>>2)&7); offset = ((tag>>5)<<8) | next.
+                acts.push(a(Opcode::ShrI, 1, 13, 2));
+                acts.push(a(Opcode::AndI, 1, 1, 7));
+                acts.push(a(Opcode::AddI, 1, 1, 4));
+                acts.push(a(Opcode::ShrI, 2, 13, 5));
+                acts.push(a(Opcode::ShlI, 2, 2, 8));
+                acts.push(a(Opcode::ReadBits, 3, 0, 8));
+                acts.push(r(Opcode::Or, 2, 2, 3));
+                acts.push(r(Opcode::LoopBack, 0, 2, 1));
+            }
+            0b10 | 0b11 => {
+                let extra = if t & 0b11 == 0b10 { 2 } else { 4 };
+                acts.push(a(Opcode::ShrI, 1, 13, 2));
+                acts.push(a(Opcode::AddI, 1, 1, 1));
+                acts.push(a(Opcode::ReadBits, 2, 0, 8));
+                for k in 1..extra {
+                    acts.push(a(Opcode::ReadBits, 3, 0, 8));
+                    acts.push(a(Opcode::ShlI, 3, 3, 8 * k));
+                    acts.push(r(Opcode::Or, 2, 2, 3));
+                }
+                acts.push(r(Opcode::LoopBack, 0, 2, 1));
+            }
+            _ => unreachable!(),
+        }
+        b.labeled_arc(tag, sym, Target::State(tag), acts);
+    }
+    b
+}
+
+// Compressor register map:
+//   r0 flag    r1 window(4B)  r2 input-len (preset)  r3 tmp/lit-len
+//   r4 lit-start r5 hash slot r6 table addr  r7 position
+//   r8 match len r9 cand/offset r10 tmp r11 found r12 zero
+//   r13 symbol  r14 loop cap   r15 stream index
+
+/// Appends a literal-flush chain: entry expects `r3` = literal length,
+/// `r4` = literal start, `r0` = (r3 > 60). On exit (`cont`), runs
+/// `tail` actions.
+fn literal_flush(b: &mut ProgramBuilder, cont: Target, tail: Vec<Action>) -> StateId {
+    let lf = b.add_flagged_state();
+    // flag 1: emit a full 60-byte chunk and loop.
+    b.labeled_arc(
+        lf,
+        1,
+        Target::State(lf),
+        vec![
+            a(Opcode::EmitB, 0, 12, u16::from(59u8 << 2)),
+            a(Opcode::MovI, 10, 0, 60),
+            r(Opcode::LoopIn, 0, 4, 10),
+            a(Opcode::AddI, 4, 4, 60),
+            a(Opcode::SubI, 3, 3, 60),
+            a(Opcode::SLtUI, 10, 3, 61),
+            a(Opcode::MovI, 0, 0, 1),
+            r(Opcode::Sub, 0, 0, 10),
+        ],
+    );
+    // flag 0: emit the remainder (if any) then the tail.
+    let mut acts = vec![
+        Action::imm2(Opcode::SkipIfZ, R0, Reg::new(3), 4, 0),
+        a(Opcode::SubI, 10, 3, 1),
+        a(Opcode::ShlI, 10, 10, 2),
+        a(Opcode::EmitB, 0, 10, 0),
+        r(Opcode::LoopIn, 0, 4, 3),
+    ];
+    acts.extend(tail);
+    b.labeled_arc(lf, 0, cont, acts);
+    lf
+}
+
+/// Sets `r0 = (r3 > 60)` — the literal-flush entry flag.
+fn flush_entry_flag(acts: &mut Vec<Action>) {
+    acts.push(a(Opcode::SLtUI, 10, 3, 61));
+    acts.push(a(Opcode::MovI, 0, 0, 1));
+    acts.push(r(Opcode::Sub, 0, 0, 10));
+}
+
+/// Builds the Snappy **compressor** with the default hash-table
+/// geometry. See [`snappy_compress_to_udp_with`].
+pub fn snappy_compress_to_udp() -> ProgramBuilder {
+    snappy_compress_to_udp_with(HASH_BITS, HTAB_OFFSET)
+}
+
+/// Builds the Snappy **compressor** for blocks of at most
+/// [`MAX_BLOCK`] bytes, with a `2^hash_bits`-slot hash table at
+/// `htab_offset`. Bigger tables need bigger lane windows — the
+/// local-vs-restricted addressing trade of Figure 11. Staging: `r2` =
+/// input length; the engine zeroes the table area. Output: the raw
+/// body — frame it with [`frame_compressed`].
+pub fn snappy_compress_to_udp_with(hash_bits: u32, htab_offset: u32) -> ProgramBuilder {
+    assert!((8..=14).contains(&hash_bits));
+    let mut b = ProgramBuilder::new();
+    let main = b.add_flagged_state();
+    b.set_entry(main);
+    let k = hash_bits as u16;
+
+    // flag 2 → flush trailing literals and halt.
+    let mut eof_entry = vec![
+        a(Opcode::InIdx, 10, 0, 0),
+        r(Opcode::Sub, 3, 10, 4),
+    ];
+    flush_entry_flag(&mut eof_entry);
+    let lf_eof = literal_flush(
+        &mut b,
+        Target::Halt,
+        vec![a(Opcode::Halt, 0, 0, 0)],
+    );
+    b.labeled_arc(main, 2, Target::State(lf_eof), eof_entry);
+
+    // flag 1 → match: extend, flush literals, emit the copy, skip ahead.
+    let mut match_entry = vec![
+        r(Opcode::Sub, 14, 2, 7),
+        a(Opcode::MovI, 10, 0, 64),
+        r(Opcode::Min, 14, 14, 10),
+        a(Opcode::SubI, 10, 9, 1), // cand
+        r(Opcode::LoopCmp, 8, 10, 7),
+        r(Opcode::Sub, 9, 7, 10), // offset
+        r(Opcode::Sub, 3, 7, 4),  // literal length
+    ];
+    flush_entry_flag(&mut match_entry);
+    let copy_tail = vec![
+        a(Opcode::SubI, 10, 8, 1),
+        a(Opcode::ShlI, 10, 10, 2),
+        a(Opcode::OrI, 10, 10, 2),
+        a(Opcode::EmitB, 0, 10, 0),
+        a(Opcode::EmitB, 0, 9, 0),
+        a(Opcode::ShrI, 10, 9, 8),
+        a(Opcode::EmitB, 0, 10, 0),
+        a(Opcode::SubI, 10, 8, 1),
+        a(Opcode::SkipB, 0, 10, 0),
+        a(Opcode::InIdx, 4, 0, 0),
+        a(Opcode::AtEof, 10, 0, 0),
+        a(Opcode::ShlI, 10, 10, 1),
+        r(Opcode::Mov, 0, 0, 10),
+    ];
+    let lf_match = literal_flush(&mut b, Target::State(main), copy_tail);
+    b.labeled_arc(main, 1, Target::State(lf_match), match_entry);
+
+    // flag 0 → scan step: consume one byte, hash-probe, classify.
+    b.labeled_arc(
+        main,
+        0,
+        Target::State(main),
+        vec![
+            a(Opcode::InIdx, 7, 0, 0),
+            a(Opcode::ReadBits, 3, 0, 8),
+            r(Opcode::PeekW, 1, 7, 12),
+            a(Opcode::Hash, 5, 1, k),
+            a(Opcode::ShlI, 6, 5, 2),
+            a(Opcode::AddI, 6, 6, htab_offset as u16),
+            a(Opcode::LoadW, 9, 6, 0),
+            a(Opcode::AddI, 10, 7, 1),
+            a(Opcode::StoreW, 6, 10, 0),
+            r(Opcode::Sub, 14, 2, 7),
+            a(Opcode::MovI, 10, 0, 4),
+            r(Opcode::Min, 14, 14, 10),
+            a(Opcode::SubI, 10, 9, 1),
+            r(Opcode::LoopCmp, 11, 10, 7),
+            a(Opcode::SEqI, 11, 11, 4),
+            a(Opcode::SEqI, 3, 9, 0),
+            a(Opcode::MovI, 10, 0, 0),
+            r(Opcode::Sel, 11, 3, 10),
+            a(Opcode::AtEof, 10, 0, 0),
+            a(Opcode::ShlI, 10, 10, 1),
+            r(Opcode::Mov, 0, 0, 10),
+            a(Opcode::MovI, 3, 0, 1),
+            r(Opcode::Sel, 0, 11, 3),
+        ],
+    );
+    b
+}
+
+/// Prepends the uncompressed-length varint to a compressor body.
+pub fn frame_compressed(uncompressed_len: usize, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 5);
+    let mut v = uncompressed_len as u64;
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_codecs::{snappy_compress, snappy_decompress};
+    use udp_isa::Reg;
+    use udp_sim::engine::Staging;
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn udp_decompress(stream: &[u8]) -> Vec<u8> {
+        let img = snappy_decompress_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let rep = Lane::run_program(&img, stream, &LaneConfig::default());
+        assert!(
+            matches!(rep.status, LaneStatus::InputExhausted),
+            "{:?}",
+            rep.status
+        );
+        rep.output
+    }
+
+    fn udp_compress(data: &[u8]) -> Vec<u8> {
+        assert!(data.len() <= MAX_BLOCK);
+        let img = snappy_compress_to_udp()
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let staging = Staging {
+            segments: vec![],
+            regs: vec![(Reg::new(2), data.len() as u32), (Reg::new(0), 0)],
+        };
+        let (rep, _) =
+            Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
+        assert!(
+            matches!(rep.status, LaneStatus::Halted(0)) || data.is_empty(),
+            "{:?}",
+            rep.status
+        );
+        frame_compressed(data.len(), &rep.output)
+    }
+
+    #[test]
+    fn decompressor_inverts_cpu_compressor() {
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox again!";
+        let stream = snappy_compress(data);
+        assert_eq!(udp_decompress(&stream), data);
+    }
+
+    #[test]
+    fn decompressor_handles_long_literals_and_runs() {
+        let mut data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
+        data.extend(std::iter::repeat(b'z').take(3000));
+        let stream = snappy_compress(&data);
+        assert_eq!(udp_decompress(&stream), data);
+    }
+
+    #[test]
+    fn compressor_output_is_valid_snappy() {
+        let data = b"abcabcabcabcabc hello hello hello world world".repeat(20);
+        let framed = udp_compress(&data);
+        assert_eq!(snappy_decompress(&framed).unwrap(), data);
+        assert!(framed.len() < data.len(), "{} vs {}", framed.len(), data.len());
+    }
+
+    #[test]
+    fn compressor_handles_incompressible_data() {
+        let data: Vec<u8> = (0..2000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let framed = udp_compress(&data);
+        assert_eq!(snappy_decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn compressor_handles_tiny_inputs() {
+        for data in [&b""[..], b"a", b"ab", b"abcd", b"aaaaaaaaaaaa"] {
+            let framed = udp_compress(data);
+            assert_eq!(snappy_decompress(&framed).unwrap(), data, "input {data:?}");
+        }
+    }
+
+    #[test]
+    fn udp_round_trip_through_both_programs() {
+        let data = udp_workloads::canterbury_like(udp_workloads::Entropy::Medium, 8000, 31);
+        let framed = udp_compress(&data);
+        assert_eq!(udp_decompress(&framed), data);
+    }
+
+    #[test]
+    fn compressible_data_runs_faster_per_byte() {
+        let img = snappy_compress_to_udp()
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let run = |data: &[u8]| {
+            let staging = Staging {
+                segments: vec![],
+                regs: vec![(Reg::new(2), data.len() as u32)],
+            };
+            let (rep, _) =
+                Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
+            rep.cycles as f64 / data.len() as f64
+        };
+        let low = udp_workloads::canterbury_like(udp_workloads::Entropy::Low, 10_000, 1);
+        let high = udp_workloads::canterbury_like(udp_workloads::Entropy::High, 10_000, 1);
+        assert!(
+            run(&low) < run(&high),
+            "compressible input should take fewer cycles/byte"
+        );
+    }
+}

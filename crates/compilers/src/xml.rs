@@ -1,0 +1,230 @@
+//! XML tokenization on the UDP — completing Table 1's parsing column
+//! (CSV §5.1, JSON, XML).
+//!
+//! Eleven consuming states cover the element/attribute/text subset of
+//! `udp_codecs::xml`; names, attribute values, and text runs are
+//! extracted with the same `LoopIn` segment copies as the CSV and JSON
+//! tokenizers. Entities stay raw (the compat mode). Malformed markup
+//! ends the lane with `NoTransition`.
+
+use udp_asm::{ProgramBuilder, StateId, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+
+/// Content terminator in the output framing.
+pub const CONTENT_SEP: u8 = 0x1F;
+
+const WS: [u8; 4] = [b' ', b'\t', b'\n', b'\r'];
+
+fn emit(b: u8) -> Action {
+    Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(b))
+}
+
+fn mark_start(offset: i16) -> Action {
+    Action::imm(Opcode::InIdx, Reg::new(1), Reg::R0, offset as u16)
+}
+
+fn flush_segment() -> Vec<Action> {
+    vec![
+        Action::imm(Opcode::InIdx, Reg::new(3), Reg::R0, 0u16.wrapping_sub(1)),
+        Action::reg(Opcode::Sub, Reg::new(2), Reg::new(3), Reg::new(1)),
+        Action::reg(Opcode::LoopIn, Reg::R0, Reg::new(1), Reg::new(2)),
+        emit(CONTENT_SEP),
+    ]
+}
+
+fn name_start_bytes() -> Vec<u8> {
+    (b'a'..=b'z').chain(b'A'..=b'Z').chain([b'_']).collect()
+}
+
+fn name_bytes() -> Vec<u8> {
+    let mut v = name_start_bytes();
+    v.extend(b'0'..=b'9');
+    v.extend([b'-', b':', b'.']);
+    v
+}
+
+/// Builds the UDP XML tokenizer.
+pub fn xml_to_udp() -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let content = b.add_consuming_state();
+    let text = b.add_consuming_state();
+    let tag_start = b.add_consuming_state();
+    let close0 = b.add_consuming_state();
+    let close_name = b.add_consuming_state();
+    let open_name = b.add_consuming_state();
+    let attr_space = b.add_consuming_state();
+    let attr_name = b.add_consuming_state();
+    let attr_eq = b.add_consuming_state();
+    let val_dq = b.add_consuming_state();
+    let val_sq = b.add_consuming_state();
+    let expect_gt = b.add_consuming_state();
+    b.set_entry(content);
+
+    let name_chars = name_bytes();
+
+    // ---- content ----------------------------------------------------
+    for sym in 0u16..256 {
+        let byte = sym as u8;
+        if byte == b'<' {
+            b.labeled_arc(content, sym, Target::State(tag_start), vec![]);
+        } else if WS.contains(&byte) {
+            b.labeled_arc(content, sym, Target::State(content), vec![]);
+        } else {
+            b.labeled_arc(
+                content,
+                sym,
+                Target::State(text),
+                vec![emit(b'X'), mark_start(-1)],
+            );
+        }
+    }
+
+    // ---- text ---------------------------------------------------------
+    for sym in 0u16..256 {
+        if sym as u8 == b'<' {
+            b.labeled_arc(text, sym, Target::State(tag_start), flush_segment());
+        } else {
+            b.labeled_arc(text, sym, Target::State(text), vec![]);
+        }
+    }
+
+    // ---- tag_start / close0 --------------------------------------------
+    b.labeled_arc(tag_start, u16::from(b'/'), Target::State(close0), vec![]);
+    for &s in &name_start_bytes() {
+        b.labeled_arc(
+            tag_start,
+            u16::from(s),
+            Target::State(open_name),
+            vec![emit(b'O'), mark_start(-1)],
+        );
+        b.labeled_arc(
+            close0,
+            u16::from(s),
+            Target::State(close_name),
+            vec![emit(b'C'), mark_start(-1)],
+        );
+    }
+
+    // ---- open_name ------------------------------------------------------
+    let name_continue = |b2: &mut ProgramBuilder, state: StateId| {
+        for &s in &name_chars {
+            b2.labeled_arc(state, u16::from(s), Target::State(state), vec![]);
+        }
+    };
+    name_continue(&mut b, open_name);
+    for &s in &WS {
+        b.labeled_arc(open_name, u16::from(s), Target::State(attr_space), flush_segment());
+    }
+    {
+        let mut acts = flush_segment();
+        acts.push(emit(b'>'));
+        b.labeled_arc(open_name, u16::from(b'>'), Target::State(content), acts);
+    }
+    b.labeled_arc(open_name, u16::from(b'/'), Target::State(expect_gt), flush_segment());
+
+    // ---- attr_space -------------------------------------------------------
+    for &s in &WS {
+        b.labeled_arc(attr_space, u16::from(s), Target::State(attr_space), vec![]);
+    }
+    b.labeled_arc(attr_space, u16::from(b'>'), Target::State(content), vec![emit(b'>')]);
+    b.labeled_arc(attr_space, u16::from(b'/'), Target::State(expect_gt), vec![]);
+    for &s in &name_start_bytes() {
+        b.labeled_arc(
+            attr_space,
+            u16::from(s),
+            Target::State(attr_name),
+            vec![emit(b'A'), mark_start(-1)],
+        );
+    }
+
+    // ---- attr_name ----------------------------------------------------------
+    name_continue(&mut b, attr_name);
+    b.labeled_arc(attr_name, u16::from(b'='), Target::State(attr_eq), flush_segment());
+
+    // ---- attr_eq --------------------------------------------------------------
+    b.labeled_arc(attr_eq, u16::from(b'"'), Target::State(val_dq), vec![mark_start(0)]);
+    b.labeled_arc(attr_eq, u16::from(b'\''), Target::State(val_sq), vec![mark_start(0)]);
+
+    // ---- attribute values ---------------------------------------------------------
+    for (state, quote) in [(val_dq, b'"'), (val_sq, b'\'')] {
+        for sym in 0u16..256 {
+            if sym as u8 == quote {
+                b.labeled_arc(state, sym, Target::State(attr_space), flush_segment());
+            } else {
+                b.labeled_arc(state, sym, Target::State(state), vec![]);
+            }
+        }
+    }
+
+    // ---- close_name ----------------------------------------------------------------
+    name_continue(&mut b, close_name);
+    b.labeled_arc(close_name, u16::from(b'>'), Target::State(content), flush_segment());
+
+    // ---- expect_gt ---------------------------------------------------------------------
+    b.labeled_arc(expect_gt, u16::from(b'>'), Target::State(content), vec![emit(b'E')]);
+    b
+}
+
+/// The CPU-side reference framing for equivalence tests.
+///
+/// # Panics
+///
+/// Panics if `input` is not valid subset-XML.
+pub fn baseline_framing(input: &[u8]) -> Vec<u8> {
+    let toks = udp_codecs::xml::XmlTokenizer::compat()
+        .tokenize(input)
+        .expect("valid XML input");
+    udp_codecs::xml::compat_framing(&toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::LayoutOptions;
+    use udp_sim::{Lane, LaneConfig, LaneStatus};
+
+    fn run(input: &[u8]) -> (Vec<u8>, LaneStatus) {
+        let img = xml_to_udp().assemble(&LayoutOptions::with_banks(2)).unwrap();
+        let rep = Lane::run_program(&img, input, &LaneConfig::default());
+        (rep.output, rep.status)
+    }
+
+    #[test]
+    fn element_matches_baseline() {
+        let input = br#"<row id="7" kind='x'>hello</row>"#;
+        let (out, status) = run(input);
+        assert_eq!(status, LaneStatus::InputExhausted);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn nesting_and_self_close_match_baseline() {
+        let input = b"<a><b/><c n=\"1\">t1</c> tail </a>";
+        let (out, _) = run(input);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn entities_stay_raw_like_compat() {
+        let input = b"<v a=\"x&amp;y\">1 &lt; 2</v>";
+        let (out, _) = run(input);
+        assert_eq!(out, baseline_framing(input));
+    }
+
+    #[test]
+    fn malformed_markup_stops_the_lane() {
+        for bad in [&b"<1tag/>"[..], b"<a foo>", b"<!-- c -->", b"< a>"] {
+            let (_, status) = run(bad);
+            assert_eq!(status, LaneStatus::NoTransition, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn xml_workload_matches_baseline() {
+        let data = udp_workloads::xml_records(30_000, 5);
+        let (out, status) = run(&data);
+        assert_eq!(status, LaneStatus::InputExhausted);
+        assert_eq!(out, baseline_framing(&data));
+    }
+}

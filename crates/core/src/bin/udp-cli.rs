@@ -1,0 +1,82 @@
+//! `udp-cli` — assemble, inspect, and run UDP assembly from the shell.
+//!
+//! ```text
+//! udp-cli asm    <prog.uasm>                 # assemble, print layout stats
+//! udp-cli disasm <prog.uasm>                 # assemble + disassemble
+//! udp-cli run    <prog.uasm> <input-file>    # run one lane over a file
+//! ```
+
+use std::process::ExitCode;
+use udp::{LayoutOptions, ProgramImage};
+use udp_sim::{Lane, LaneConfig};
+
+fn assemble(path: &str) -> Result<ProgramImage, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let builder = udp_asm::parse_asm(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Grow the window until the program fits the device.
+    let mut banks = 1;
+    loop {
+        match builder.assemble(&LayoutOptions::with_banks(banks)) {
+            Ok(img) => return Ok(img),
+            Err(_) if banks < 64 => banks *= 2,
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: udp-cli <asm|disasm|run> <prog.uasm> [input-file]";
+    let result = match args.as_slice() {
+        [cmd, prog] if cmd == "asm" => assemble(prog).map(|img| {
+            let s = img.stats;
+            println!(
+                "states {}, transitions {}, actions {}, span {} words ({} bytes), density {:.0}%",
+                s.n_states,
+                s.n_transition_words,
+                s.n_action_words,
+                s.span_words,
+                s.code_bytes(),
+                s.density() * 100.0
+            );
+            println!(
+                "entry {:#06x} ({:?}), max parallelism {}",
+                img.entry_base,
+                img.entry_kind,
+                s.max_parallelism(udp_isa::mem::TOTAL_WORDS)
+            );
+        }),
+        [cmd, prog] if cmd == "disasm" => assemble(prog).map(|img| {
+            print!("{}", udp_asm::disassemble(&img));
+        }),
+        [cmd, prog, input] if cmd == "run" => assemble(prog).and_then(|img| {
+            let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let rep = Lane::run_program(&img, &data, &LaneConfig::default());
+            eprintln!(
+                "status {:?}; {} bytes in {} cycles ({:.1} MB/s at 1 GHz), {} dispatches, {} misses",
+                rep.status,
+                rep.bytes_consumed,
+                rep.cycles,
+                rep.rate_mbps(1.0),
+                rep.dispatches,
+                rep.fallback_misses
+            );
+            if !rep.reports.is_empty() {
+                eprintln!("reports: {:?}", &rep.reports[..rep.reports.len().min(20)]);
+            }
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&rep.output)
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }),
+        _ => Err(usage.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(m) => {
+            eprintln!("{m}");
+            ExitCode::FAILURE
+        }
+    }
+}

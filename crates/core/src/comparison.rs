@@ -1,0 +1,135 @@
+//! Table 4: published specialized-accelerator operating points, used to
+//! situate measured UDP numbers ("UDP Relative Perf" columns).
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct AcceleratorPoint {
+    /// Accelerator.
+    pub accelerator: &'static str,
+    /// The accelerator's algorithm.
+    pub algorithm: &'static str,
+    /// The UDP algorithm compared against it.
+    pub udp_algorithm: &'static str,
+    /// Published accelerator throughput, GB/s.
+    pub perf_gbps: f64,
+    /// Published power in watts (`None` where the paper compares area
+    /// or FPGA resources instead).
+    pub power_w: Option<f64>,
+    /// The paper's UDP-relative performance (UDP / accelerator).
+    pub paper_udp_relative_perf: f64,
+}
+
+/// Table 4, as published.
+pub const TABLE4: &[AcceleratorPoint] = &[
+    AcceleratorPoint {
+        accelerator: "UAP",
+        algorithm: "String match (ADFA)",
+        udp_algorithm: "String match (ADFA)",
+        perf_gbps: 38.0,
+        power_w: Some(0.56),
+        paper_udp_relative_perf: 0.58,
+    },
+    AcceleratorPoint {
+        accelerator: "UAP",
+        algorithm: "Regex match (NFA)",
+        udp_algorithm: "Regex match (NFA)",
+        perf_gbps: 15.0,
+        power_w: Some(0.56),
+        paper_udp_relative_perf: 0.48,
+    },
+    AcceleratorPoint {
+        accelerator: "Intel Chipset 89xx",
+        algorithm: "DEFLATE",
+        udp_algorithm: "Snappy compress",
+        perf_gbps: 1.4,
+        power_w: Some(0.20),
+        paper_udp_relative_perf: 2.1,
+    },
+    AcceleratorPoint {
+        accelerator: "Microsoft Xpress (FPGA)",
+        algorithm: "Xpress",
+        udp_algorithm: "Snappy compress",
+        perf_gbps: 5.6,
+        power_w: None,
+        paper_udp_relative_perf: 0.54,
+    },
+    AcceleratorPoint {
+        accelerator: "Oracle Sparc M7 DAX",
+        algorithm: "RLE/Huffman/Bit-pack/OZIP",
+        udp_algorithm: "Huffman/RLE/Dictionary",
+        perf_gbps: 1.5,
+        power_w: None,
+        paper_udp_relative_perf: 0.4,
+    },
+    AcceleratorPoint {
+        accelerator: "IBM PowerEN XML",
+        algorithm: "XML parse",
+        udp_algorithm: "CSV parse",
+        perf_gbps: 1.5,
+        power_w: Some(1.95),
+        paper_udp_relative_perf: 2.9,
+    },
+    AcceleratorPoint {
+        accelerator: "IBM PowerEN Compress",
+        algorithm: "DEFLATE",
+        udp_algorithm: "Snappy compress",
+        perf_gbps: 1.0,
+        power_w: Some(0.30),
+        paper_udp_relative_perf: 3.0,
+    },
+    AcceleratorPoint {
+        accelerator: "IBM PowerEN Decomp",
+        algorithm: "INFLATE",
+        udp_algorithm: "Snappy decompress",
+        perf_gbps: 1.0,
+        power_w: Some(0.30),
+        paper_udp_relative_perf: 13.0,
+    },
+    AcceleratorPoint {
+        accelerator: "IBM PowerEN RegX",
+        algorithm: "String match",
+        udp_algorithm: "String match (ADFA)",
+        perf_gbps: 5.0,
+        power_w: Some(1.95),
+        paper_udp_relative_perf: 4.4,
+    },
+    AcceleratorPoint {
+        accelerator: "IBM PowerEN RegX",
+        algorithm: "Regex match",
+        udp_algorithm: "Regex match (NFA)",
+        perf_gbps: 5.0,
+        power_w: Some(1.95),
+        paper_udp_relative_perf: 1.5,
+    },
+];
+
+/// Computes our measured UDP-relative performance for a row.
+pub fn measured_relative_perf(row: &AcceleratorPoint, udp_throughput_mbps: f64) -> f64 {
+    (udp_throughput_mbps / 1000.0) / row.perf_gbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_spans_the_paper_range() {
+        let min = TABLE4
+            .iter()
+            .map(|r| r.paper_udp_relative_perf)
+            .fold(f64::MAX, f64::min);
+        let max = TABLE4
+            .iter()
+            .map(|r| r.paper_udp_relative_perf)
+            .fold(0.0, f64::max);
+        // "at worst nearly 2x slower and up to 13x faster"
+        assert!(min >= 0.3 && min < 1.0);
+        assert!((max - 13.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn relative_perf_math() {
+        let row = &TABLE4[2]; // 1.4 GB/s
+        assert!((measured_relative_perf(row, 2800.0) - 2.0).abs() < 1e-9);
+    }
+}

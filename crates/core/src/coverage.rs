@@ -1,0 +1,150 @@
+//! Capability matrices: Table 1 (accelerator coverage) and Table 5
+//! (UAP vs UDP features), as queryable data.
+
+/// Algorithm families of Table 1's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// DEFLATE / Snappy / Xpress / LZF-class compression.
+    Compression,
+    /// RLE / Huffman / dictionary / bit-pack encodings.
+    Encoding,
+    /// CSV / JSON / XML parsing.
+    Parsing,
+    /// DFA / D2FA / NFA / counting-NFA pattern matching.
+    PatternMatching,
+    /// Fixed- and variable-size-bin histograms.
+    Histogram,
+}
+
+/// One accelerator row of Table 1.
+#[derive(Debug, Clone)]
+pub struct AcceleratorRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// What it supports, with the paper's qualifier.
+    pub coverage: &'static [(Capability, &'static str)],
+}
+
+/// Table 1, as published.
+pub const TABLE1: &[AcceleratorRow] = &[
+    AcceleratorRow {
+        name: "UDP",
+        coverage: &[
+            (Capability::Compression, "all listed"),
+            (Capability::Encoding, "all listed"),
+            (Capability::Parsing, "CSV, JSON, XML"),
+            (Capability::PatternMatching, "all listed"),
+            (Capability::Histogram, "all listed"),
+        ],
+    },
+    AcceleratorRow {
+        name: "UAP",
+        coverage: &[(Capability::PatternMatching, "all listed")],
+    },
+    AcceleratorRow {
+        name: "Intel Chipset 89xx",
+        coverage: &[(Capability::Compression, "DEFLATE")],
+    },
+    AcceleratorRow {
+        name: "Microsoft Xpress (FPGA)",
+        coverage: &[(Capability::Compression, "Xpress")],
+    },
+    AcceleratorRow {
+        name: "Oracle Sparc M7 DAX",
+        coverage: &[(Capability::Encoding, "RLE, Huffman, Bit-pack, OZIP")],
+    },
+    AcceleratorRow {
+        name: "IBM PowerEN",
+        coverage: &[
+            (Capability::Parsing, "XML"),
+            (Capability::PatternMatching, "DFA, D2FA"),
+            (Capability::Compression, "DEFLATE"),
+        ],
+    },
+    AcceleratorRow {
+        name: "Cadence Xtensa TIE Histogram",
+        coverage: &[(Capability::Histogram, "fixed-size bin")],
+    },
+    AcceleratorRow {
+        name: "ETH Histogram (FPGA)",
+        coverage: &[(Capability::Histogram, "all listed")],
+    },
+];
+
+/// One feature row of Table 5 (UAP vs UDP).
+#[derive(Debug, Clone)]
+pub struct FeatureRow {
+    /// Feature dimension.
+    pub dimension: &'static str,
+    /// UAP's design.
+    pub uap: &'static str,
+    /// UDP's design.
+    pub udp: &'static str,
+}
+
+/// Table 5, as published.
+pub const TABLE5: &[FeatureRow] = &[
+    FeatureRow {
+        dimension: "Transitions",
+        uap: "stream only",
+        udp: "control and stream-driven",
+    },
+    FeatureRow {
+        dimension: "Symbol",
+        uap: "8-bit fixed",
+        udp: "symbol size register (1-8, 32 bits)",
+    },
+    FeatureRow {
+        dimension: "Dispatch Source",
+        uap: "stream buffer only",
+        udp: "stream buffer and data register",
+    },
+    FeatureRow {
+        dimension: "Addressing",
+        uap: "single bank, fixed memory per lane",
+        udp: "multi-bank addressing; match data parallelism to memory needs",
+    },
+    FeatureRow {
+        dimension: "Action",
+        uap: "logic and bit-field ops",
+        udp: "rich, flexible arithmetic and memory ops",
+    },
+];
+
+/// Whether a named accelerator covers a capability at all.
+pub fn covers(name: &str, cap: Capability) -> bool {
+    TABLE1
+        .iter()
+        .find(|r| r.name == name)
+        .is_some_and(|r| r.coverage.iter().any(|(c, _)| *c == cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_covers_everything() {
+        for cap in [
+            Capability::Compression,
+            Capability::Encoding,
+            Capability::Parsing,
+            Capability::PatternMatching,
+            Capability::Histogram,
+        ] {
+            assert!(covers("UDP", cap), "{cap:?}");
+        }
+    }
+
+    #[test]
+    fn specialized_accelerators_are_narrow() {
+        assert!(covers("Intel Chipset 89xx", Capability::Compression));
+        assert!(!covers("Intel Chipset 89xx", Capability::Parsing));
+        assert!(!covers("UAP", Capability::Compression));
+    }
+
+    #[test]
+    fn table5_has_five_dimensions() {
+        assert_eq!(TABLE5.len(), 5);
+    }
+}

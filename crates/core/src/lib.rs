@@ -1,0 +1,51 @@
+//! # udp — the Unstructured Data Processor
+//!
+//! A from-scratch Rust reproduction of *"UDP: A Programmable Accelerator
+//! for Extract-Transform-Load Workloads and More"* (Fang, Zou, Elmore,
+//! Chien, MICRO-50, 2017): a software-programmable accelerator built
+//! around multi-way dispatch, variable-size symbols, flexible dispatch
+//! sources, and flexible lane↔memory addressing.
+//!
+//! This crate is the front door. It re-exports the layered stack and
+//! adds the pieces a user actually reaches for:
+//!
+//! * [`kernels`] — one turnkey runner per paper kernel (§5): compile the
+//!   translator output, stage data, run the 64-lane device, verify
+//!   against the CPU baseline, and report rate / throughput /
+//!   throughput-per-watt exactly as the paper's figures do.
+//! * [`coverage`] — the capability matrices of Table 1 and Table 5.
+//! * [`comparison`] — the specialized-accelerator constants of Table 4.
+//!
+//! The layers underneath (each its own crate):
+//!
+//! | crate | role |
+//! |-------|------|
+//! | `udp-isa` | transition/action word encodings (Figure 6) |
+//! | `udp-asm` | assembler + EffCLiP layout (§4.3) |
+//! | `udp-sim` | cycle-accurate lane/device simulator + power model (§4.4, §6) |
+//! | `udp-automata` | regex → NFA → DFA/ADFA substrate |
+//! | `udp-codecs` | CPU baselines (libcsv/libhuffman/Snappy/Parquet-dict/GSL/trigger) |
+//! | `udp-compilers` | domain translators (Figure 12) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use udp::kernels::trigger;
+//!
+//! // Localize width-4 pulses in a synthetic scope trace on one lane.
+//! let (samples, _) = udp_workloads::pulsed_waveform(20_000, &[4], 30, 7);
+//! let report = trigger::run(4, &samples);
+//! assert!(report.lane_rate_mbps > 500.0); // ~1 cycle/sample at 1 GHz
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod coverage;
+pub mod kernels;
+
+pub use kernels::UdpKernelReport;
+pub use udp_asm::{AsmError, LayoutOptions, ProgramBuilder, ProgramImage};
+pub use udp_isa::{Action, Opcode, Reg, TransitionWord};
+pub use udp_sim::{Lane, LaneConfig, LaneReport, PowerModel, Udp, UdpRunOptions};

@@ -1,0 +1,47 @@
+//! Code-size model for the BO / BI bars of Figure 5c.
+//!
+//! x86-flavored byte costs: a compare-immediate + conditional-jump pair
+//! is ~8 bytes; an indirect jump site (address arithmetic + `jmp *`) is
+//! ~10 bytes plus an 8-byte table entry per (state, class) pair; handler
+//! bodies average ~12 bytes. The UAP/UDP bars of the figure come from
+//! real assembled images (`udp_asm::LayoutStats::code_bytes`), not from
+//! this model.
+
+/// Bytes for one compare+branch ladder step.
+pub const BO_CASE_BYTES: usize = 8;
+/// Bytes for an indirect dispatch site.
+pub const BI_SITE_BYTES: usize = 10;
+/// Bytes per jump-table entry.
+pub const BI_TABLE_ENTRY_BYTES: usize = 8;
+/// Average handler body bytes.
+pub const HANDLER_BYTES: usize = 12;
+
+/// BO code size for an FSM with `states` states and an average compare
+/// ladder of `avg_cases` per state.
+pub fn bo_bytes(states: usize, avg_cases: usize) -> usize {
+    states * (avg_cases * BO_CASE_BYTES + HANDLER_BYTES)
+}
+
+/// BI code size for an FSM with `states` states over an alphabet of
+/// `classes` equivalence classes.
+pub fn bi_bytes(states: usize, classes: usize) -> usize {
+    BI_SITE_BYTES + states * classes * BI_TABLE_ENTRY_BYTES + states * HANDLER_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bi_tables_dominate_for_wide_alphabets() {
+        // A 20-state byte-alphabet FSM: the BI jump table dwarfs the BO
+        // ladder when ladders are short.
+        assert!(bi_bytes(20, 256) > bo_bytes(20, 5));
+    }
+
+    #[test]
+    fn bo_ladders_grow_with_case_count() {
+        assert!(bo_bytes(10, 100) > bo_bytes(10, 5));
+        assert_eq!(bo_bytes(1, 4), 4 * BO_CASE_BYTES + HANDLER_BYTES);
+    }
+}

@@ -1,0 +1,141 @@
+//! Branch predictors: gshare (conditional) and a BTB (indirect targets).
+
+/// A gshare conditional-branch predictor: 2-bit counters indexed by
+/// `PC ⊕ global history`.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    counters: Vec<u8>,
+    history: u64,
+    mask: usize,
+    hist_bits: u32,
+}
+
+impl GsharePredictor {
+    /// A predictor with `2^index_bits` counters and `hist_bits` of
+    /// global history.
+    pub fn new(index_bits: u32, hist_bits: u32) -> Self {
+        GsharePredictor {
+            counters: vec![1; 1 << index_bits], // weakly not-taken
+            history: 0,
+            mask: (1 << index_bits) - 1,
+            hist_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc ^ (self.history & ((1 << self.hist_bits) - 1))) as usize) & self.mask
+    }
+
+    /// Predicts taken/not-taken for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Updates with the resolved outcome; returns whether the prediction
+    /// was correct.
+    pub fn update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = self.index(pc);
+        let correct = (self.counters[i] >= 2) == taken;
+        if taken {
+            self.counters[i] = (self.counters[i] + 1).min(3);
+        } else {
+            self.counters[i] = self.counters[i].saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+        correct
+    }
+}
+
+/// A branch-target buffer for indirect branches: direct-mapped,
+/// last-target prediction (the structure whose misses hamper the BI
+/// approach, §3.2.1).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<(u64, u64)>, // (tag, target)
+    mask: usize,
+}
+
+impl Btb {
+    /// A BTB with `2^index_bits` entries.
+    pub fn new(index_bits: u32) -> Self {
+        Btb {
+            entries: vec![(u64::MAX, 0); 1 << index_bits],
+            mask: (1 << index_bits) - 1,
+        }
+    }
+
+    /// Predicted target for the indirect branch at `pc` (`None` on a
+    /// cold/conflict miss).
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.entries[(pc as usize) & self.mask];
+        (tag == pc).then_some(target)
+    }
+
+    /// Updates with the resolved target; returns whether the prediction
+    /// was correct.
+    pub fn update(&mut self, pc: u64, target: u64) -> bool {
+        let i = (pc as usize) & self.mask;
+        let correct = self.entries[i] == (pc, target);
+        self.entries[i] = (pc, target);
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_a_bias() {
+        let mut p = GsharePredictor::new(10, 8);
+        let mut wrong = 0;
+        for _ in 0..1000 {
+            if !p.update(0x400, true) {
+                wrong += 1;
+            }
+        }
+        // Each new history value touches a cold counter during warmup,
+        // so allow ~hist_bits transient misses.
+        assert!(wrong < 15, "always-taken should be learned: {wrong}");
+    }
+
+    #[test]
+    fn gshare_learns_alternation_via_history() {
+        let mut p = GsharePredictor::new(12, 8);
+        let mut wrong_tail = 0;
+        for i in 0..2000 {
+            let taken = i % 2 == 0;
+            let correct = p.update(0x400, taken);
+            if i >= 1000 && !correct {
+                wrong_tail += 1;
+            }
+        }
+        assert!(wrong_tail < 50, "history should capture T/N/T/N: {wrong_tail}");
+    }
+
+    #[test]
+    fn gshare_fails_on_random() {
+        let mut p = GsharePredictor::new(10, 8);
+        let mut wrong = 0;
+        let mut x = 0x12345678u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 62) & 1 == 1;
+            if !p.update(0x400, taken) {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / 4000.0;
+        assert!(rate > 0.35, "random outcomes should mispredict: {rate}");
+    }
+
+    #[test]
+    fn btb_tracks_last_target() {
+        let mut b = Btb::new(8);
+        assert_eq!(b.predict(0x10), None);
+        b.update(0x10, 0x100);
+        assert_eq!(b.predict(0x10), Some(0x100));
+        assert!(b.update(0x10, 0x100));
+        assert!(!b.update(0x10, 0x200), "target change is a miss");
+    }
+}

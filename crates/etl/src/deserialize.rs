@@ -1,0 +1,141 @@
+//! Field deserialization and domain validation — the "costly follow-on
+//! processing (deserialization and validation) which often dominates
+//! execution time" (§7).
+
+use std::fmt;
+
+/// Deserialization failure with field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeserializeFieldError {
+    /// Column index.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DeserializeFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "column {}: {}", self.column, self.message)
+    }
+}
+
+impl std::error::Error for DeserializeFieldError {}
+
+fn err(column: usize, message: impl Into<String>) -> DeserializeFieldError {
+    DeserializeFieldError {
+        column,
+        message: message.into(),
+    }
+}
+
+/// Parses an `i64` without intermediate allocation.
+pub fn parse_i64(field: &[u8], column: usize) -> Result<i64, DeserializeFieldError> {
+    if field.is_empty() {
+        return Err(err(column, "empty integer"));
+    }
+    let (neg, digits) = match field[0] {
+        b'-' => (true, &field[1..]),
+        b'+' => (false, &field[1..]),
+        _ => (false, field),
+    };
+    if digits.is_empty() {
+        return Err(err(column, "sign without digits"));
+    }
+    let mut v: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return Err(err(column, format!("non-digit {:?}", b as char)));
+        }
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(i64::from(b - b'0')))
+            .ok_or_else(|| err(column, "integer overflow"))?;
+    }
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses a fixed-point decimal into `f64`.
+pub fn parse_decimal(field: &[u8], column: usize) -> Result<f64, DeserializeFieldError> {
+    let s = std::str::from_utf8(field).map_err(|_| err(column, "non-UTF8 decimal"))?;
+    s.parse::<f64>()
+        .map_err(|e| err(column, format!("bad decimal: {e}")))
+        .and_then(|v| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(err(column, "non-finite decimal"))
+            }
+        })
+}
+
+/// Days in each month (non-leap).
+const MDAYS: [u16; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Parses and validates `YYYY-MM-DD`, returning days since 1970-01-01.
+pub fn parse_date(field: &[u8], column: usize) -> Result<i32, DeserializeFieldError> {
+    if field.len() != 10 || field[4] != b'-' || field[7] != b'-' {
+        return Err(err(column, "date must be YYYY-MM-DD"));
+    }
+    let y = parse_i64(&field[0..4], column)?;
+    let m = parse_i64(&field[5..7], column)?;
+    let d = parse_i64(&field[8..10], column)?;
+    if !(1..=12).contains(&m) {
+        return Err(err(column, format!("month {m} out of range")));
+    }
+    let dim = i64::from(MDAYS[(m - 1) as usize]) + i64::from(m == 2 && is_leap(y));
+    if !(1..=dim).contains(&d) {
+        return Err(err(column, format!("day {d} out of range")));
+    }
+    // Days from civil date (Howard Hinnant's algorithm).
+    let y2 = y - i64::from(m <= 2);
+    let era = if y2 >= 0 { y2 } else { y2 - 399 } / 400;
+    let yoe = y2 - era * 400;
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Ok((era * 146_097 + doe - 719_468) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers() {
+        assert_eq!(parse_i64(b"12345", 0).unwrap(), 12345);
+        assert_eq!(parse_i64(b"-7", 0).unwrap(), -7);
+        assert!(parse_i64(b"", 0).is_err());
+        assert!(parse_i64(b"12a", 0).is_err());
+        assert!(parse_i64(b"99999999999999999999", 0).is_err());
+    }
+
+    #[test]
+    fn decimals() {
+        assert!((parse_decimal(b"3.14", 1).unwrap() - 3.14).abs() < 1e-12);
+        assert!(parse_decimal(b"x", 1).is_err());
+        assert!(parse_decimal(b"inf", 1).is_err());
+    }
+
+    #[test]
+    fn dates() {
+        assert_eq!(parse_date(b"1970-01-01", 2).unwrap(), 0);
+        assert_eq!(parse_date(b"1970-01-02", 2).unwrap(), 1);
+        assert_eq!(parse_date(b"1969-12-31", 2).unwrap(), -1);
+        assert_eq!(parse_date(b"2000-03-01", 2).unwrap(), 11017);
+        assert!(parse_date(b"1996-02-29", 2).is_ok(), "leap year");
+        assert!(parse_date(b"1997-02-29", 2).is_err());
+        assert!(parse_date(b"1997-13-01", 2).is_err());
+        assert!(parse_date(b"1997-00-10", 2).is_err());
+        assert!(parse_date(b"97-1-1", 2).is_err());
+    }
+
+    #[test]
+    fn errors_carry_column() {
+        let e = parse_i64(b"x", 7).unwrap_err();
+        assert_eq!(e.column, 7);
+        assert!(!e.to_string().is_empty());
+    }
+}

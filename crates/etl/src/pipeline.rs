@@ -1,0 +1,208 @@
+//! The staged ingest pipeline and its timing breakdown (Figure 1).
+
+use crate::deserialize::{parse_date, parse_decimal, parse_i64};
+use crate::store::{lineitem_schema, Column, ColumnStore, ColumnType};
+use std::time::Instant;
+use udp_codecs::{snappy_decompress, CsvEvent, CsvParser};
+
+/// Modeled SSD sequential-read bandwidth (a 2017 SATA3 SSD, ~500 MB/s —
+/// the paper used a 250 GB SATA3 SSD).
+pub const SSD_MBPS: f64 = 500.0;
+
+/// Per-stage wall-clock breakdown of one load.
+#[derive(Debug, Clone, Default)]
+pub struct EtlReport {
+    /// Compressed bytes read (drives the IO model).
+    pub compressed_bytes: usize,
+    /// Raw CSV bytes after decompression.
+    pub raw_bytes: usize,
+    /// Rows loaded.
+    pub rows: usize,
+    /// Modeled IO seconds (`compressed_bytes / SSD_MBPS`).
+    pub io_model_s: f64,
+    /// Measured decompression seconds.
+    pub decompress_s: f64,
+    /// Measured parse/tokenize seconds.
+    pub parse_s: f64,
+    /// Measured deserialize/validate seconds.
+    pub deserialize_s: f64,
+    /// Measured columnar-append seconds.
+    pub load_s: f64,
+}
+
+impl EtlReport {
+    /// Total CPU seconds.
+    pub fn cpu_s(&self) -> f64 {
+        self.decompress_s + self.parse_s + self.deserialize_s + self.load_s
+    }
+
+    /// Fraction of wall time spent on CPU work (Figure 1b: >99.5% in
+    /// the paper's setup).
+    pub fn cpu_fraction(&self) -> f64 {
+        let total = self.cpu_s() + self.io_model_s;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.cpu_s() / total
+    }
+}
+
+/// Loads Snappy-compressed `|`-delimited lineitem CSV into a column
+/// store, timing each stage (the CPU-only pipeline of Figure 1a).
+///
+/// # Panics
+///
+/// Panics on malformed input — ingest of generator output never fails.
+pub fn run_cpu_etl(compressed: &[u8]) -> (ColumnStore, EtlReport) {
+    let mut report = EtlReport {
+        compressed_bytes: compressed.len(),
+        io_model_s: compressed.len() as f64 / (SSD_MBPS * 1e6),
+        ..Default::default()
+    };
+
+    // Stage 1: decompress.
+    let t = Instant::now();
+    let raw = snappy_decompress(compressed).expect("valid snappy stream");
+    report.decompress_s = t.elapsed().as_secs_f64();
+    report.raw_bytes = raw.len();
+
+    // Stage 2: parse / tokenize.
+    let t = Instant::now();
+    let mut fields: Vec<Vec<u8>> = Vec::new();
+    let mut row_bounds: Vec<usize> = Vec::new();
+    CsvParser::new().with_delimiter(b'|').parse_events(&raw, |e| match e {
+        CsvEvent::Field(f) => fields.push(f),
+        CsvEvent::EndRecord => row_bounds.push(fields.len()),
+    });
+    report.parse_s = t.elapsed().as_secs_f64();
+
+    // Stage 3: deserialize + validate.
+    let schema = lineitem_schema();
+    let t = Instant::now();
+    enum Typed {
+        I(i64),
+        F(f64),
+        D(i32),
+        S(usize), // index into `fields`
+    }
+    let mut typed: Vec<Typed> = Vec::with_capacity(fields.len());
+    let mut start = 0usize;
+    for &end in &row_bounds {
+        let row = &fields[start..end];
+        assert_eq!(row.len(), schema.len(), "row arity {}", row.len());
+        for (c, field) in row.iter().enumerate() {
+            let v = match schema[c] {
+                ColumnType::I64 => Typed::I(parse_i64(field, c).expect("int")),
+                ColumnType::F64 => Typed::F(parse_decimal(field, c).expect("decimal")),
+                ColumnType::Date => Typed::D(parse_date(field, c).expect("date")),
+                ColumnType::Str => Typed::S(start + c),
+            };
+            typed.push(v);
+        }
+        start = end;
+    }
+    report.deserialize_s = t.elapsed().as_secs_f64();
+
+    // Stage 4: columnar load.
+    let t = Instant::now();
+    let mut store = ColumnStore::new(&schema);
+    let arity = schema.len();
+    for (i, v) in typed.iter().enumerate() {
+        match (v, &mut store.columns[i % arity]) {
+            (Typed::I(x), Column::I64(col)) => col.push(*x),
+            (Typed::F(x), Column::F64(col)) => col.push(*x),
+            (Typed::D(x), Column::Date(col)) => col.push(*x),
+            (Typed::S(idx), Column::Str { dict, codes }) => {
+                codes.push(dict.encode_value(&fields[*idx]));
+            }
+            _ => unreachable!("schema/typed mismatch"),
+        }
+    }
+    store.rows = row_bounds.len();
+    report.rows = store.rows;
+    report.load_s = t.elapsed().as_secs_f64();
+    (store, report)
+}
+
+/// Measured UDP rates used by the offload model (MB/s).
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadRates {
+    /// UDP Snappy decompression throughput.
+    pub decompress_mbps: f64,
+    /// UDP CSV parse throughput.
+    pub parse_mbps: f64,
+}
+
+/// Models the UDP-offloaded load: decompression and parse/tokenize move
+/// to the accelerator at its measured throughputs (overlapped with IO),
+/// leaving deserialize+load on the CPU. Returns the modeled wall
+/// seconds `(cpu_only, udp_offloaded)`.
+pub fn udp_offload_model(report: &EtlReport, rates: OffloadRates) -> (f64, f64) {
+    let cpu_only = report.cpu_s() + report.io_model_s;
+    let udp_decompress = report.raw_bytes as f64 / (rates.decompress_mbps * 1e6);
+    let udp_parse = report.raw_bytes as f64 / (rates.parse_mbps * 1e6);
+    let offloaded =
+        report.io_model_s + udp_decompress + udp_parse + report.deserialize_s + report.load_s;
+    (cpu_only, offloaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_codecs::snappy_compress;
+
+    fn compressed_lineitem(bytes: usize) -> Vec<u8> {
+        snappy_compress(&udp_workloads::lineitem_csv(bytes, 42))
+    }
+
+    #[test]
+    fn pipeline_loads_rows() {
+        let (store, rep) = run_cpu_etl(&compressed_lineitem(120_000));
+        assert!(store.rows > 100);
+        assert_eq!(store.columns.len(), 17);
+        assert!(store.columns.iter().all(|c| c.len() == store.rows));
+        assert!(rep.raw_bytes >= 120_000);
+        assert!(rep.rows == store.rows);
+    }
+
+    #[test]
+    fn load_is_cpu_bound_like_figure_1b() {
+        let (_, rep) = run_cpu_etl(&compressed_lineitem(400_000));
+        assert!(
+            rep.cpu_fraction() > 0.9,
+            "CPU fraction = {}",
+            rep.cpu_fraction()
+        );
+    }
+
+    #[test]
+    fn offload_model_shrinks_wall_time() {
+        let (_, rep) = run_cpu_etl(&compressed_lineitem(200_000));
+        let (cpu_only, offloaded) = udp_offload_model(
+            &rep,
+            OffloadRates {
+                decompress_mbps: 500.0,
+                parse_mbps: 200.0,
+            },
+        );
+        assert!(offloaded < cpu_only);
+    }
+
+    #[test]
+    fn typed_columns_round_trip_values() {
+        let raw = udp_workloads::lineitem_csv(50_000, 7);
+        let (store, _) = run_cpu_etl(&snappy_compress(&raw));
+        // Quantity column (index 4) is 1..=50 by construction.
+        let Column::I64(qty) = &store.columns[4] else {
+            panic!("quantity should be I64")
+        };
+        assert!(qty.iter().all(|&q| (1..=50).contains(&q)));
+        // Ship date (index 10) is in the 1990s.
+        let Column::Date(dates) = &store.columns[10] else {
+            panic!("shipdate should be Date")
+        };
+        let d1992 = 22 * 365;
+        let d2000 = 30 * 366;
+        assert!(dates.iter().all(|&d| d > d1992 && d < d2000));
+    }
+}

@@ -1,0 +1,106 @@
+//! Memory geometry and addressing models.
+//!
+//! The UDP local memory is 1 MB organized as 64 banks of 16 KB, one read
+//! and one write port per bank (paper §3.2.4, §6). A 16 KB bank holds
+//! exactly 4096 32-bit words — precisely the 12-bit `target` range of a
+//! transition word, which is why local addressing needs no translation at
+//! all.
+
+/// Number of local memory banks (= number of lanes).
+pub const NUM_BANKS: usize = 64;
+/// Bytes per bank (16 KB).
+pub const BANK_BYTES: usize = 16 * 1024;
+/// Words per bank — the 12-bit target range.
+pub const BANK_WORDS: usize = BANK_BYTES / 4;
+/// Total local memory (1 MB).
+pub const TOTAL_BYTES: usize = NUM_BANKS * BANK_BYTES;
+/// Total words.
+pub const TOTAL_WORDS: usize = TOTAL_BYTES / 4;
+
+/// Word offset of a state's fallback slot (majority/default/common
+/// transition for consuming states; the sole outgoing word for
+/// pass-through states). Labeled slots occupy offsets `0..=255`.
+pub const FALLBACK_SLOT: u32 = 256;
+
+/// Per-state footprint stride: labeled slots + fallback slot.
+pub const STATE_SPAN: u32 = FALLBACK_SLOT + 1;
+
+/// The three lane-to-memory coupling schemes of paper §3.2.4 / Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressingMode {
+    /// Each lane is confined to its own 16 KB bank (the UAP scheme):
+    /// no sharing hardware, no flexibility.
+    #[default]
+    Local,
+    /// Every lane addresses the full 1 MB (18-bit word addresses):
+    /// maximum flexibility, roughly double the per-reference energy and
+    /// wider datapaths.
+    Global,
+    /// Each lane addresses a window of `2^k` contiguous banks through a
+    /// software-controlled base register: local-style code generation with
+    /// flexible memory-per-lane (the UDP scheme).
+    Restricted,
+}
+
+impl AddressingMode {
+    /// Memory reference energy in picojoules for a 1 MB / 64-bank memory,
+    /// from the CACTI-modeled comparison of paper Figure 11c.
+    pub fn energy_pj_per_ref(self) -> f64 {
+        match self {
+            AddressingMode::Local | AddressingMode::Restricted => 4.3,
+            AddressingMode::Global => 8.8,
+        }
+    }
+
+    /// Whether two lanes may reference the same bank under this mode
+    /// (requiring conflict detection and stalls).
+    pub fn allows_sharing(self) -> bool {
+        !matches!(self, AddressingMode::Local)
+    }
+}
+
+/// Splits a flat word address into `(bank, offset)`.
+pub fn bank_of_word(addr: u32) -> (usize, usize) {
+    let bank = (addr as usize / BANK_WORDS) % NUM_BANKS;
+    (bank, addr as usize % BANK_WORDS)
+}
+
+/// Splits a flat byte address into `(bank, byte offset)`.
+pub fn bank_of_byte(addr: u32) -> (usize, usize) {
+    let bank = (addr as usize / BANK_BYTES) % NUM_BANKS;
+    (bank, addr as usize % BANK_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(BANK_WORDS, 4096);
+        assert_eq!(TOTAL_BYTES, 1 << 20);
+        assert_eq!(BANK_WORDS, 1 << 12, "bank words must match 12-bit targets");
+    }
+
+    #[test]
+    fn energy_model_matches_paper() {
+        assert_eq!(AddressingMode::Local.energy_pj_per_ref(), 4.3);
+        assert_eq!(AddressingMode::Restricted.energy_pj_per_ref(), 4.3);
+        assert_eq!(AddressingMode::Global.energy_pj_per_ref(), 8.8);
+    }
+
+    #[test]
+    fn bank_split() {
+        assert_eq!(bank_of_word(0), (0, 0));
+        assert_eq!(bank_of_word(4096), (1, 0));
+        assert_eq!(bank_of_word(4097), (1, 1));
+        assert_eq!(bank_of_byte(16 * 1024 * 63 + 5), (63, 5));
+    }
+
+    #[test]
+    fn sharing() {
+        assert!(!AddressingMode::Local.allows_sharing());
+        assert!(AddressingMode::Global.allows_sharing());
+        assert!(AddressingMode::Restricted.allows_sharing());
+    }
+}

@@ -1,0 +1,77 @@
+//! Scalar data registers.
+//!
+//! Each UDP lane has 16 general-purpose 32-bit scalar registers (paper
+//! §3.1). Two have architectural roles:
+//!
+//! * **R0** is the flagged-dispatch source: `Flagged` transitions read
+//!   their symbol from R0 instead of the stream buffer (§3.2.3 — "the
+//!   current UDP design restricts the source to Register 0").
+//! * **R15** aliases the stream-buffer byte index (§3.1 — "Register 15
+//!   stores the stream buffer index"); writes to it are ignored.
+//! * **R14** is the loop-limit convention used by `LoopCmp`.
+//! * **R13** latches the most recently dispatched symbol, so action
+//!   blocks can compute on it (§3.2.5 — "hash action provides fast
+//!   hashes of the input symbol").
+
+use std::fmt;
+
+/// A scalar register name, `r0`–`r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The flagged-dispatch source register.
+    pub const R0: Reg = Reg(0);
+    /// The dispatched-symbol latch.
+    pub const R13: Reg = Reg(13);
+    /// The loop-limit register used by `LoopCmp`.
+    pub const R14: Reg = Reg(14);
+    /// The stream-buffer byte-index alias (read-only).
+    pub const R15: Reg = Reg(15);
+    /// Number of scalar registers per lane.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register number, `0..16`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_registers() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::R14.index(), 14);
+        assert_eq!(Reg::R15.index(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+}

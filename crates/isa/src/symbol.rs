@@ -1,0 +1,80 @@
+//! Variable-size symbol support.
+//!
+//! The symbol-size register holds the current dispatch width: 1–8 bits for
+//! multi-way dispatch, or 32 bits for word-granular register loads (paper
+//! Table 5: "symbol size register (1–8, 32 bits)"). The stream-buffer
+//! prefetch unit reads exactly this many bits per dispatch, and `Refill`
+//! transitions put unconsumed bits back (§3.2.2).
+
+use std::fmt;
+
+/// A validated symbol width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolSize(u8);
+
+impl SymbolSize {
+    /// The UAP-compatible fixed width: one byte.
+    pub const BYTE: SymbolSize = SymbolSize(8);
+    /// The word width used for register-granular stream loads.
+    pub const WORD: SymbolSize = SymbolSize(32);
+
+    /// Creates a symbol size; valid widths are 1–8 and 32 bits.
+    pub fn new(bits: u8) -> Option<SymbolSize> {
+        match bits {
+            1..=8 | 32 => Some(SymbolSize(bits)),
+            _ => None,
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of distinct symbol values at this width (dispatch fan-out).
+    ///
+    /// Only meaningful for dispatch widths (1–8).
+    pub fn alphabet(self) -> usize {
+        1usize << self.0.min(31)
+    }
+}
+
+impl Default for SymbolSize {
+    fn default() -> Self {
+        SymbolSize::BYTE
+    }
+}
+
+impl fmt::Display for SymbolSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_widths() {
+        for w in 1..=8 {
+            assert_eq!(SymbolSize::new(w).unwrap().bits(), w);
+        }
+        assert_eq!(SymbolSize::new(32), Some(SymbolSize::WORD));
+    }
+
+    #[test]
+    fn invalid_widths() {
+        assert_eq!(SymbolSize::new(0), None);
+        assert_eq!(SymbolSize::new(9), None);
+        assert_eq!(SymbolSize::new(16), None);
+        assert_eq!(SymbolSize::new(33), None);
+    }
+
+    #[test]
+    fn alphabet_sizes() {
+        assert_eq!(SymbolSize::new(1).unwrap().alphabet(), 2);
+        assert_eq!(SymbolSize::new(4).unwrap().alphabet(), 16);
+        assert_eq!(SymbolSize::BYTE.alphabet(), 256);
+    }
+}

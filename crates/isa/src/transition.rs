@@ -1,0 +1,286 @@
+//! Transition words: the multi-way-dispatch half of the UDP ISA.
+//!
+//! A UDP *state* is a base word-address `B`. Dispatching from `B` on a
+//! symbol `s` reads the word at `B + s` — integer addition is the entire
+//! hash function (the EffCLiP layout guarantees that a signature check
+//! suffices to detect placement collisions). Each state also owns a
+//! *fallback slot* at `B + 256` holding its majority/default/common
+//! transition (consuming states) or its sole outgoing transition
+//! (pass-through states: epsilon forks, refill states, emit states).
+//!
+//! The `type` nibble of a stored transition describes how the **target**
+//! state dispatches next — the assembler back-propagates this along
+//! dispatch arcs (paper §3.2.1), so states need no headers. The nibble
+//! packs an [`ExecKind`] (3 bits) and an [`AttachMode`] (1 bit).
+//!
+//! The 8-bit `attach` field addresses this transition's action block,
+//! except on *refill* fallback words, where the `signature` field (unused
+//! for matching at the fallback slot) carries the put-back bit count
+//! (paper §3.2.2: "the use of attach varies by scenario").
+
+use crate::{Word, WordAddr};
+
+/// How the *target* state of a transition performs its next dispatch.
+///
+/// This realizes the paper's seven transition types at runtime:
+///
+/// * *labeled / majority / default / common* are all [`ExecKind::Consume`]
+///   dispatches — the distinction between them is a property of **where**
+///   the word is stored (labeled words live at `base + symbol`;
+///   majority/default/common words live in the fallback slot) and is
+///   exploited by the compiler for code compression, not by the lane.
+/// * *flagged* is [`ExecKind::Flagged`]: the next symbol is read from
+///   scalar register `R0` instead of the stream (paper §3.2.3).
+/// * *epsilon* is [`ExecKind::Pass`] + the epsilon chain in the target's
+///   fallback slots: multi-state activation for NFA execution.
+/// * *refill* is [`ExecKind::Pass`] into a state whose fallback word has
+///   [`TransitionWord::refill_bits`] set (paper §3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecKind {
+    /// Target reads the next `symbol_size` bits from the stream buffer and
+    /// dispatches on them.
+    Consume,
+    /// Target dispatches on the low bits of scalar register `R0`
+    /// (control-flow driven state transfer — the paper's *flagged* kind).
+    Flagged,
+    /// Target is a pass-through state: it immediately takes the word in its
+    /// fallback slot without consuming input (epsilon forks, refill states,
+    /// shared emit states).
+    Pass,
+    /// Target terminates the lane: `Halt` marks an accepting terminal for
+    /// find-first automata and end-of-program transitions.
+    Halt,
+}
+
+impl ExecKind {
+    const ALL: [ExecKind; 4] = [
+        ExecKind::Consume,
+        ExecKind::Flagged,
+        ExecKind::Pass,
+        ExecKind::Halt,
+    ];
+
+    fn code(self) -> u32 {
+        match self {
+            ExecKind::Consume => 0,
+            ExecKind::Flagged => 1,
+            ExecKind::Pass => 2,
+            ExecKind::Halt => 3,
+        }
+    }
+}
+
+/// Addressing mode for the `attach` action-block reference.
+///
+/// The UDP improves on the UAP's offset-only attach addressing with two
+/// modes that together enable global sharing *and* private code blocks,
+/// halving program size on some ETL kernels (paper §3.2.1, Figure 5c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum AttachMode {
+    /// `action address = attach` — indexes the shared low region
+    /// (words 1..=255 of the window): global sharing.
+    #[default]
+    Direct,
+    /// `action address = ABASE + (attach << ASCALE)` — relative to the
+    /// per-lane action-base register: private, relocatable blocks.
+    Scaled,
+}
+
+/// Marker value stored in the signature field of fallback-slot words that
+/// do not use it as a refill count.
+pub const FALLBACK_SIGNATURE: u8 = 0xFF;
+
+/// A decoded transition word.
+///
+/// Encoding (paper Figure 6): `signature(8) | target(12) | type(4) | attach(8)`
+/// laid out MSB-first: bits `[31:24]` signature, `[23:12]` target,
+/// `[11:8]` type, `[7:0]` attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransitionWord {
+    signature: u8,
+    target: u16,
+    kind: ExecKind,
+    attach_mode: AttachMode,
+    attach: u8,
+}
+
+impl TransitionWord {
+    /// Maximum encodable target (12 bits).
+    pub const TARGET_MAX: u16 = 0xFFF;
+
+    /// Creates a transition word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` exceeds [`Self::TARGET_MAX`] (the assembler is
+    /// responsible for windowing larger addresses through the base
+    /// register).
+    pub fn new(
+        signature: u8,
+        target: u16,
+        kind: ExecKind,
+        attach_mode: AttachMode,
+        attach: u8,
+    ) -> Self {
+        assert!(
+            target <= Self::TARGET_MAX,
+            "transition target {target:#x} exceeds 12-bit range"
+        );
+        TransitionWord {
+            signature,
+            target,
+            kind,
+            attach_mode,
+            attach,
+        }
+    }
+
+    /// The signature: the expected symbol for labeled slots, the
+    /// [`FALLBACK_SIGNATURE`] marker or a refill bit-count for fallback
+    /// slots.
+    pub fn signature(&self) -> u8 {
+        self.signature
+    }
+
+    /// The base word-address of the next state (12 bits, window-relative).
+    pub fn target(&self) -> u16 {
+        self.target
+    }
+
+    /// How the target state dispatches next.
+    pub fn kind(&self) -> ExecKind {
+        self.kind
+    }
+
+    /// Addressing mode of [`Self::attach`].
+    pub fn attach_mode(&self) -> AttachMode {
+        self.attach_mode
+    }
+
+    /// Action-block reference; `0` means this transition has no actions.
+    pub fn attach(&self) -> u8 {
+        self.attach
+    }
+
+    /// For refill fallback words the signature field carries the number of
+    /// bits to put back into the stream (0–8).
+    pub fn refill_bits(&self) -> u8 {
+        self.signature
+    }
+
+    /// Resolves the action-block address given the lane's action base and
+    /// scale configuration. Returns `None` when the transition carries no
+    /// actions (`attach == 0`).
+    pub fn action_addr(&self, abase: WordAddr, ascale: u8) -> Option<WordAddr> {
+        if self.attach == 0 {
+            return None;
+        }
+        Some(match self.attach_mode {
+            AttachMode::Direct => WordAddr::from(self.attach),
+            AttachMode::Scaled => abase + (WordAddr::from(self.attach) << ascale),
+        })
+    }
+
+    /// Packs into the 32-bit machine encoding.
+    pub fn encode(&self) -> Word {
+        let nibble = (self.kind.code() << 1)
+            | match self.attach_mode {
+                AttachMode::Direct => 0,
+                AttachMode::Scaled => 1,
+            };
+        (u32::from(self.signature) << 24)
+            | (u32::from(self.target) << 12)
+            | (nibble << 8)
+            | u32::from(self.attach)
+    }
+
+    /// Unpacks from the 32-bit machine encoding.
+    pub fn decode(raw: Word) -> Self {
+        let nibble = (raw >> 8) & 0xF;
+        TransitionWord {
+            signature: (raw >> 24) as u8,
+            target: ((raw >> 12) & 0xFFF) as u16,
+            kind: ExecKind::ALL[((nibble >> 1) & 0x3) as usize],
+            attach_mode: if nibble & 1 == 0 {
+                AttachMode::Direct
+            } else {
+                AttachMode::Scaled
+            },
+            attach: (raw & 0xFF) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let t = TransitionWord::new(0x41, 0x7FF, ExecKind::Flagged, AttachMode::Scaled, 0x33);
+        assert_eq!(TransitionWord::decode(t.encode()), t);
+    }
+
+    #[test]
+    fn field_extraction() {
+        let t = TransitionWord::new(0xAB, 0xCDE, ExecKind::Pass, AttachMode::Direct, 0x12);
+        let raw = t.encode();
+        assert_eq!(raw >> 24, 0xAB);
+        assert_eq!((raw >> 12) & 0xFFF, 0xCDE);
+        assert_eq!(raw & 0xFF, 0x12);
+    }
+
+    #[test]
+    #[should_panic(expected = "12-bit range")]
+    fn target_overflow_panics() {
+        let _ = TransitionWord::new(0, 0x1000, ExecKind::Consume, AttachMode::Direct, 0);
+    }
+
+    #[test]
+    fn no_attach_means_no_actions() {
+        let t = TransitionWord::new(0, 5, ExecKind::Consume, AttachMode::Direct, 0);
+        assert_eq!(t.action_addr(0, 0), None);
+    }
+
+    #[test]
+    fn direct_attach_addresses_shared_region() {
+        let t = TransitionWord::new(0, 5, ExecKind::Consume, AttachMode::Direct, 17);
+        assert_eq!(t.action_addr(4096, 3), Some(17));
+    }
+
+    #[test]
+    fn scaled_attach_uses_base_and_scale() {
+        let t = TransitionWord::new(0, 5, ExecKind::Consume, AttachMode::Scaled, 10);
+        assert_eq!(t.action_addr(1000, 2), Some(1000 + 40));
+    }
+
+    #[test]
+    fn zero_word_is_distinguishable() {
+        // All-zero memory decodes to a Consume/Direct word with target 0 and
+        // no attach; the simulator treats raw == 0 as empty.
+        let t = TransitionWord::decode(0);
+        assert_eq!(t.target(), 0);
+        assert_eq!(t.attach(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(sig in 0u8..=255, target in 0u16..=0xFFF,
+                           kind_idx in 0usize..4, scaled in proptest::bool::ANY,
+                           attach in 0u8..=255) {
+            let kind = ExecKind::ALL[kind_idx];
+            let mode = if scaled { AttachMode::Scaled } else { AttachMode::Direct };
+            let t = TransitionWord::new(sig, target, kind, mode, attach);
+            prop_assert_eq!(TransitionWord::decode(t.encode()), t);
+        }
+
+        #[test]
+        fn prop_encode_is_injective(a in 0u32..=u32::MAX) {
+            // decode . encode == id on the 28 meaningful bits we use
+            let t = TransitionWord::decode(a & 0xFFFF_FFFF);
+            let b = t.encode();
+            prop_assert_eq!(TransitionWord::decode(b), t);
+        }
+    }
+}

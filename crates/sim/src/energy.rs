@@ -1,0 +1,189 @@
+//! Power, area, and energy models.
+//!
+//! Constants come from the paper's 28nm TSMC synthesis (Table 3) and its
+//! CACTI 6.5 memory modeling (Figure 11c); the run-dependent part charges
+//! per-reference memory energy and per-cycle lane power. The CPU
+//! comparison constants follow §4.4: a Xeon E5620 at 80 W TDP, with the
+//! 8-thread throughput estimated as 8 × single-thread.
+
+use udp_isa::mem::AddressingMode;
+
+/// UDP system power in watts (Table 3: 863.68 mW).
+pub const UDP_SYSTEM_WATTS: f64 = 0.86368;
+/// Comparison CPU TDP in watts (Xeon E5620).
+pub const CPU_TDP_WATTS: f64 = 80.0;
+/// UDP clock in GHz (§6: 0.97 ns timing closure → 1 GHz).
+pub const UDP_CLOCK_GHZ: f64 = 1.0;
+
+/// Per-component power/area line items (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Power in milliwatts.
+    pub power_mw: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+/// The lane-level breakdown of Table 3 (top half).
+pub const LANE_COMPONENTS: [Component; 4] = [
+    Component { name: "Dispatch Unit", power_mw: 0.71, area_mm2: 0.022 },
+    Component { name: "SBP Unit", power_mw: 0.24, area_mm2: 0.008 },
+    Component { name: "Stream Buffer", power_mw: 0.22, area_mm2: 0.002 },
+    Component { name: "Action Unit", power_mw: 0.68, area_mm2: 0.021 },
+];
+
+/// The system-level breakdown of Table 3 (bottom half).
+pub const SYSTEM_COMPONENTS: [Component; 4] = [
+    Component { name: "64 Lanes", power_mw: 120.56, area_mm2: 3.430 },
+    Component { name: "Vector Registers", power_mw: 8.47, area_mm2: 0.256 },
+    Component { name: "DLT Engine", power_mw: 19.29, area_mm2: 0.138 },
+    Component { name: "1MB Local Memory", power_mw: 715.36, area_mm2: 4.864 },
+];
+
+/// Reference x86 core for the comparison row of Table 3 (Westmere EP
+/// core + L1, scaled to 28nm).
+pub const X86_CORE: Component = Component {
+    name: "x86 Core+L1",
+    power_mw: 9700.0,
+    area_mm2: 19.0,
+};
+
+/// The UDP power model.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Lane logic power at full activity, mW.
+    pub lane_mw: f64,
+    /// System power (lanes + memory + infrastructure), W.
+    pub system_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            lane_mw: 1.88,
+            system_w: UDP_SYSTEM_WATTS,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Run energy in joules: cycles × lane power + references × memory
+    /// energy (the activity-based view; figure-level comparisons use the
+    /// fixed system power like the paper does).
+    pub fn run_energy_j(
+        &self,
+        lane_cycles: u64,
+        mem_refs: u64,
+        mode: AddressingMode,
+        clock_ghz: f64,
+    ) -> f64 {
+        let lane_j = self.lane_mw * 1e-3 * (lane_cycles as f64 / (clock_ghz * 1e9));
+        let mem_j = mem_refs as f64 * mode.energy_pj_per_ref() * 1e-12;
+        lane_j + mem_j
+    }
+
+    /// Paper-style power efficiency: MB/s per watt at fixed system power.
+    pub fn throughput_per_watt(&self, throughput_mbps: f64) -> f64 {
+        throughput_mbps / self.system_w
+    }
+
+    /// CPU-side power efficiency at TDP.
+    pub fn cpu_throughput_per_watt(throughput_mbps: f64) -> f64 {
+        throughput_mbps / CPU_TDP_WATTS
+    }
+}
+
+/// The UDP area model (Table 3 sums).
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel;
+
+impl AreaModel {
+    /// One lane, mm².
+    pub fn lane_mm2() -> f64 {
+        LANE_COMPONENTS.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Full system, mm².
+    pub fn system_mm2() -> f64 {
+        SYSTEM_COMPONENTS.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Lane power, mW.
+    pub fn lane_mw() -> f64 {
+        LANE_COMPONENTS.iter().map(|c| c.power_mw).sum()
+    }
+
+    /// System power, mW.
+    pub fn system_mw() -> f64 {
+        SYSTEM_COMPONENTS.iter().map(|c| c.power_mw).sum()
+    }
+}
+
+/// CACTI-lite: per-reference energy of a banked scratchpad.
+///
+/// Calibrated to the paper's Figure 11c endpoints: a 64-bank 1 MB memory
+/// costs 4.3 pJ/ref with private-bank access (local/restricted) and
+/// 8.8 pJ/ref when every lane can reach every bank (global), the
+/// difference being the full-fanout interconnect.
+pub fn mem_energy_pj(capacity_bytes: usize, banks: usize, mode: AddressingMode) -> f64 {
+    let bank_kb = capacity_bytes as f64 / banks as f64 / 1024.0;
+    // Bank access energy grows ~sqrt(capacity); 4.3 pJ at 16 KB.
+    let bank_pj = 4.3 * (bank_kb / 16.0).sqrt();
+    match mode {
+        AddressingMode::Local | AddressingMode::Restricted => bank_pj,
+        AddressingMode::Global => {
+            // Full crossbar fanout: +17.5% per doubling of bank count.
+            let factor = 1.0 + 0.175 * (banks as f64).log2();
+            bank_pj * factor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_sums_match_paper() {
+        assert!((AreaModel::lane_mw() - 1.85).abs() < 0.1, "lane ≈ 1.88 mW");
+        assert!((AreaModel::lane_mm2() - 0.053).abs() < 0.005);
+        assert!((AreaModel::system_mw() - 863.68).abs() < 0.5);
+        assert!((AreaModel::system_mm2() - 8.688).abs() < 0.01);
+    }
+
+    #[test]
+    fn udp_is_an_order_cheaper_than_a_core() {
+        assert!(AreaModel::system_mw() < X86_CORE.power_mw / 10.0);
+        assert!(AreaModel::system_mm2() < X86_CORE.area_mm2);
+    }
+
+    #[test]
+    fn cacti_lite_hits_figure_11c_endpoints() {
+        let local = mem_energy_pj(1 << 20, 64, AddressingMode::Local);
+        let global = mem_energy_pj(1 << 20, 64, AddressingMode::Global);
+        assert!((local - 4.3).abs() < 0.05, "local = {local}");
+        assert!((global - 8.8).abs() < 0.15, "global = {global}");
+        assert!(global > 2.0 * local * 0.99);
+    }
+
+    #[test]
+    fn run_energy_scales_with_activity() {
+        let pm = PowerModel::default();
+        let e1 = pm.run_energy_j(1_000_000, 1_000_000, AddressingMode::Local, 1.0);
+        let e2 = pm.run_energy_j(2_000_000, 2_000_000, AddressingMode::Local, 1.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        // Global references cost more.
+        let eg = pm.run_energy_j(1_000_000, 1_000_000, AddressingMode::Global, 1.0);
+        assert!(eg > e1);
+    }
+
+    #[test]
+    fn throughput_per_watt_uses_system_power() {
+        let pm = PowerModel::default();
+        let eff = pm.throughput_per_watt(864.0);
+        assert!((eff - 1000.35).abs() < 1.0);
+        assert!((PowerModel::cpu_throughput_per_watt(80.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,572 @@
+//! The 64-lane UDP device: program loading, data-parallel execution,
+//! NFA multi-activation mode, and bank-conflict accounting.
+
+use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
+use crate::memory::LocalMemory;
+use crate::stream::{BitStream, OutputSink};
+use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
+use udp_asm::ProgramImage;
+use udp_isa::mem::{AddressingMode, BANK_WORDS, NUM_BANKS};
+use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
+use udp_isa::Reg;
+
+/// Data staged into each lane's window before a run (dictionaries,
+/// histogram bin tables, output areas) — the DLT engine's job in the real
+/// system.
+#[derive(Debug, Clone, Default)]
+pub struct Staging {
+    /// `(window-relative byte offset, bytes)` segments.
+    pub segments: Vec<(u32, Vec<u8>)>,
+    /// Scalar registers preset before the run.
+    pub regs: Vec<(Reg, u32)>,
+}
+
+/// Options for a device run.
+#[derive(Debug, Clone)]
+pub struct UdpRunOptions {
+    /// Addressing mode (affects energy and conflict accounting).
+    pub addressing: AddressingMode,
+    /// Banks per lane window. Code + staged data must fit.
+    pub banks_per_lane: usize,
+    /// Per-lane cycle cap.
+    pub lane: LaneConfig,
+}
+
+impl Default for UdpRunOptions {
+    fn default() -> Self {
+        UdpRunOptions {
+            addressing: AddressingMode::Local,
+            banks_per_lane: 1,
+            lane: LaneConfig::default(),
+        }
+    }
+}
+
+/// Aggregate results of a device run.
+#[derive(Debug, Clone)]
+pub struct UdpRunReport {
+    /// Per-lane reports, one per input chunk actually executed.
+    pub lanes: Vec<LaneReport>,
+    /// Lanes that ran (≤ 64, limited by code size / banks_per_lane).
+    pub lanes_used: usize,
+    /// Wall cycles: the slowest lane (data-parallel barrier) plus
+    /// modeled bank-conflict stalls.
+    pub wall_cycles: u64,
+    /// Modeled conflict stall cycles included in `wall_cycles`.
+    pub conflict_stalls: u64,
+    /// Total input bytes consumed across lanes.
+    pub bytes_in: u64,
+    /// Total local-memory references across lanes.
+    pub mem_refs: u64,
+    /// Addressing mode used (for the energy model).
+    pub addressing: AddressingMode,
+}
+
+impl UdpRunReport {
+    /// Aggregate throughput in MB/s at `clock_ghz` (paper metric:
+    /// Throughput).
+    pub fn throughput_mbps(&self, clock_ghz: f64) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / self.wall_cycles as f64 * clock_ghz * 1000.0
+    }
+
+    /// All lane outputs concatenated in lane order.
+    pub fn concat_output(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for l in &self.lanes {
+            v.extend_from_slice(&l.output);
+        }
+        v
+    }
+}
+
+/// The UDP device: 64 lanes over a 1 MB multi-bank local memory.
+#[derive(Debug)]
+pub struct Udp {
+    mem: LocalMemory,
+}
+
+impl Udp {
+    /// A device with a zeroed 1 MB local memory.
+    pub fn new() -> Self {
+        Udp {
+            mem: LocalMemory::new(),
+        }
+    }
+
+    /// How many lanes can run `image` given a window of
+    /// `banks_per_lane` banks each.
+    pub fn max_lanes(image: &ProgramImage, banks_per_lane: usize) -> usize {
+        let window_words = banks_per_lane * BANK_WORDS;
+        if image.stats.span_words > window_words {
+            return 0;
+        }
+        NUM_BANKS / banks_per_lane.max(1)
+    }
+
+    /// Runs `image` data-parallel over `inputs`, one chunk per lane, with
+    /// optional per-lane staging. Chunks beyond lane capacity are executed
+    /// in additional waves (wall cycles accumulate).
+    pub fn run_data_parallel(
+        &mut self,
+        image: &ProgramImage,
+        inputs: &[&[u8]],
+        staging: &Staging,
+        opts: &UdpRunOptions,
+    ) -> UdpRunReport {
+        let window_words = opts.banks_per_lane * BANK_WORDS;
+        assert!(
+            image.stats.span_words <= window_words,
+            "program ({} words) exceeds the {}-bank window",
+            image.stats.span_words,
+            opts.banks_per_lane
+        );
+        let lanes_cap = (NUM_BANKS / opts.banks_per_lane.max(1)).max(1);
+
+        let mut lane_reports = Vec::with_capacity(inputs.len());
+        let mut wall_cycles = 0u64;
+        let mut total_conflict = 0u64;
+        let mut chunk = 0usize;
+        while chunk < inputs.len() {
+            let wave: Vec<&[u8]> = inputs[chunk..(chunk + lanes_cap).min(inputs.len())].to_vec();
+            let mut wave_cycles = 0u64;
+            let refs_before = self.mem.refs();
+            let mut wave_bank_refs = [0u64; NUM_BANKS];
+            for (i, input) in wave.iter().enumerate() {
+                let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
+                self.mem.load_words(origin, &image.words);
+                // Zero the data area above the code within the window.
+                for w in image.stats.span_words..window_words {
+                    self.mem.load_words(origin + w as u32, &[0]);
+                }
+                for (off, bytes) in &staging.segments {
+                    self.mem.load_bytes(origin * 4 + off, bytes);
+                }
+                let mut lane = Lane::new(image, origin);
+                for (r, v) in &staging.regs {
+                    lane.preset_reg(*r, *v);
+                }
+                let mut stream = BitStream::new(input);
+                let mut out = OutputSink::new();
+                let before = self.mem.refs();
+                let bank_before = *self.mem.bank_refs();
+                let mut rep = lane.run(&mut self.mem, &mut stream, &mut out, &opts.lane);
+                rep.mem_refs = rep.mem_refs - before; // per-lane delta
+                for (b, (after, before)) in self
+                    .mem
+                    .bank_refs()
+                    .iter()
+                    .zip(bank_before.iter())
+                    .enumerate()
+                {
+                    wave_bank_refs[b] += after - before;
+                }
+                wave_cycles = wave_cycles.max(rep.cycles);
+                lane_reports.push(rep);
+            }
+            // Bank-conflict model: under local addressing, windows are
+            // disjoint so conflicts are zero. Under restricted/global,
+            // banks referenced by multiple lanes serialize round-robin:
+            // the slowest lane waits for its share of the shared-bank
+            // service. We charge the wave with the excess of the busiest
+            // shared bank over an even split.
+            let conflict = if opts.addressing.allows_sharing() {
+                conflict_stall_model(&wave_bank_refs, wave.len(), opts.banks_per_lane)
+            } else {
+                0
+            };
+            total_conflict += conflict;
+            wall_cycles += wave_cycles + conflict;
+            let _ = refs_before;
+            chunk += wave.len();
+        }
+
+        UdpRunReport {
+            lanes_used: lanes_cap.min(inputs.len()),
+            wall_cycles,
+            conflict_stalls: total_conflict,
+            bytes_in: lane_reports.iter().map(|r| r.bytes_consumed).sum(),
+            mem_refs: lane_reports.iter().map(|r| r.mem_refs).sum(),
+            addressing: opts.addressing,
+            lanes: lane_reports,
+        }
+    }
+
+    /// Reads back a window-relative byte range of lane `lane_idx`'s
+    /// window after a run.
+    pub fn read_lane_bytes(
+        &self,
+        lane_idx: usize,
+        banks_per_lane: usize,
+        offset: u32,
+        len: usize,
+    ) -> Vec<u8> {
+        let origin = (lane_idx * banks_per_lane * BANK_WORDS) as u32;
+        self.mem.dump_bytes(origin * 4 + offset, len)
+    }
+
+    /// The device memory (diagnostics).
+    pub fn memory(&self) -> &LocalMemory {
+        &self.mem
+    }
+}
+
+impl Default for Udp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Excess references to over-subscribed banks beyond an even split —
+/// the cycles the round-robin arbiter adds to the critical path.
+fn conflict_stall_model(bank_refs: &[u64; NUM_BANKS], lanes: usize, banks_per_lane: usize) -> u64 {
+    if lanes <= 1 {
+        return 0;
+    }
+    // Banks inside a single lane's window see only that lane: no conflict.
+    // With disjoint windows (the data-parallel layout used here) this is
+    // all banks, so the model contributes zero — shared-window runs (e.g.
+    // a shared dictionary bank) see a positive charge.
+    let window_banks = banks_per_lane.max(1);
+    let mut stall = 0u64;
+    for (b, &refs) in bank_refs.iter().enumerate() {
+        let owners = if b / window_banks < lanes { 1 } else { 0 };
+        if owners == 0 && refs > 0 {
+            // A bank outside every private window is shared by all lanes.
+            stall = stall.max(refs - refs / lanes as u64);
+        }
+    }
+    stall
+}
+
+/// Runs an NFA program in lockstep multi-activation mode on one lane.
+///
+/// The frontier of active states all dispatch on the same input symbol
+/// each step (UAP-style NFA execution); epsilon forks activate several
+/// targets. Cycle cost is one dispatch per active state per symbol,
+/// which is what makes large NFAs slower but smaller than DFAs.
+pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneReport {
+    assert!(image.executable);
+    let words = (image.stats.span_words + 1024).max(8192);
+    let mut mem = LocalMemory::with_words(words);
+    mem.load_words(0, &image.words);
+
+    let mut dispatches = 0u64;
+    let mut fallback_misses = 0u64;
+    let entry = image.entry_base;
+
+    // Frontier of consuming-state bases. A Pass entry (initial epsilon
+    // closure with several byte-states) is expanded before scanning.
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut accepted = false;
+    let mut reports: Vec<(u16, u32)> = Vec::new();
+    let mut cycles = 0u64;
+    if image.entry_kind == ExecKind::Pass {
+        let seed = TransitionWord::new(
+            FALLBACK_SIGNATURE,
+            (entry & 0xFFF) as u16,
+            ExecKind::Pass,
+            udp_isa::AttachMode::Direct,
+            0,
+        );
+        resolve_activation(
+            &seed,
+            &mut mem,
+            &mut cycles,
+            &mut reports,
+            &mut accepted,
+            0,
+            &mut frontier,
+        );
+        frontier.sort_unstable();
+        frontier.dedup();
+    } else {
+        frontier.push(entry);
+    }
+    let mut status = LaneStatus::InputExhausted;
+
+    'outer: for (pos, &byte) in input.iter().enumerate() {
+        let s = u32::from(byte);
+        let mut next: Vec<u32> = Vec::with_capacity(frontier.len() + 1);
+        for &base in &frontier {
+            if cycles >= cfg.max_cycles {
+                status = LaneStatus::CycleLimit;
+                break 'outer;
+            }
+            cycles += 1;
+            dispatches += 1;
+            let raw = mem.read_word(base + s);
+            let taken = if raw != 0 && TransitionWord::decode(raw).signature() == byte {
+                Some(TransitionWord::decode(raw))
+            } else {
+                cycles += 1;
+                fallback_misses += 1;
+                let fb = mem.read_word(base + udp_isa::FALLBACK_SLOT);
+                if fb == 0 {
+                    None // this activation dies
+                } else {
+                    Some(TransitionWord::decode(fb))
+                }
+            };
+            let Some(t) = taken else { continue };
+            resolve_activation(
+                &t,
+                &mut mem,
+                &mut cycles,
+                &mut reports,
+                &mut accepted,
+                pos as u32 + 1,
+                &mut next,
+            );
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+        if frontier.is_empty() {
+            status = LaneStatus::NoTransition;
+            break;
+        }
+    }
+
+    LaneReport {
+        status,
+        cycles,
+        dispatches,
+        fallback_misses,
+        actions: reports.len() as u64,
+        mem_refs: mem.refs(),
+        bytes_consumed: input.len() as u64,
+        output: Vec::new(),
+        reports,
+        accepted,
+        regs: [0; 16],
+    }
+}
+
+/// Follows a taken transition to consuming successors, expanding epsilon
+/// forks and running Report/Accept side effects (the only actions NFA
+/// programs attach).
+fn resolve_activation(
+    t: &TransitionWord,
+    mem: &mut LocalMemory,
+    cycles: &mut u64,
+    reports: &mut Vec<(u16, u32)>,
+    accepted: &mut bool,
+    pos: u32,
+    next: &mut Vec<u32>,
+) {
+    // Run attached Report/Accept actions.
+    if let Some(addr) = t.action_addr(0, 0) {
+        let flat = match t.attach_mode() {
+            udp_isa::AttachMode::Direct => addr,
+            udp_isa::AttachMode::Scaled => addr, // abase = 0 in NFA programs
+        };
+        let mut a = flat;
+        for _ in 0..64 {
+            let raw = mem.read_word(a);
+            let Some(act) = udp_isa::Action::decode(raw) else { break };
+            *cycles += 1;
+            match act.op {
+                udp_isa::Opcode::Report => reports.push((act.imm, pos)),
+                udp_isa::Opcode::Accept => *accepted = act.imm != 0,
+                _ => {}
+            }
+            if act.last {
+                break;
+            }
+            a += 1;
+        }
+    }
+    match t.kind() {
+        ExecKind::Halt => {}
+        ExecKind::Consume => next.push(u32::from(t.target())),
+        ExecKind::Flagged => {}
+        ExecKind::Pass => {
+            // Expand the fork chain.
+            let base = u32::from(t.target());
+            let mut k = 0u32;
+            loop {
+                *cycles += 1;
+                let raw = mem.read_word(base + udp_isa::FALLBACK_SLOT + k);
+                if raw == 0 {
+                    break;
+                }
+                let w = TransitionWord::decode(raw);
+                resolve_activation(&w, mem, cycles, reports, accepted, pos, next);
+                if w.signature() != CHAIN_CONTINUE_SIGNATURE {
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    let _ = FALLBACK_SIGNATURE;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::{Arc, LayoutOptions, ProgramBuilder, Target};
+    use udp_isa::action::{Action, Opcode};
+
+    fn emit(b: u8) -> Vec<Action> {
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, u16::from(b))]
+    }
+
+    fn scanner() -> ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, b'a' as u16, Target::State(s), emit(b'!'));
+        b.fallback_arc(s, Target::State(s), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn data_parallel_runs_every_chunk() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"aa", b"ba", b"bb"];
+        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        assert_eq!(rep.lanes.len(), 3);
+        assert_eq!(rep.concat_output(), b"aa!a!".iter().map(|_| b'!').take(3).collect::<Vec<_>>());
+        assert_eq!(rep.bytes_in, 6);
+        // Wall cycles = slowest lane.
+        let max = rep.lanes.iter().map(|l| l.cycles).max().unwrap();
+        assert_eq!(rep.wall_cycles, max);
+    }
+
+    #[test]
+    fn more_chunks_than_lanes_run_in_waves() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let chunk: &[u8] = b"aaaa";
+        let inputs: Vec<&[u8]> = vec![chunk; 70]; // > 64 lanes
+        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        assert_eq!(rep.lanes.len(), 70);
+        // Two waves: wall = 2 × single-chunk cycles.
+        let one = rep.lanes[0].cycles;
+        assert_eq!(rep.wall_cycles, 2 * one);
+    }
+
+    #[test]
+    fn multi_bank_windows_reduce_lane_count() {
+        let img = scanner();
+        assert_eq!(Udp::max_lanes(&img, 1), 64);
+        assert_eq!(Udp::max_lanes(&img, 2), 32);
+        assert_eq!(Udp::max_lanes(&img, 64), 1);
+    }
+
+    #[test]
+    fn staging_lands_in_each_lane_window() {
+        // Program reads staged byte at window offset 2048 and emits it.
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        let r1 = Reg::new(1);
+        b.labeled_arc(
+            s,
+            b'.' as u16,
+            Target::Halt,
+            vec![
+                Action::imm(Opcode::MovI, r1, Reg::R0, 2048),
+                Action::imm(Opcode::LoadB, r1, r1, 0),
+                Action::imm(Opcode::EmitB, Reg::R0, r1, 0),
+            ],
+        );
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let mut udp = Udp::new();
+        let staging = Staging {
+            segments: vec![(2048, vec![b'S'])],
+            regs: vec![],
+        };
+        let inputs: Vec<&[u8]> = vec![b".", b"."];
+        let rep = udp.run_data_parallel(&img, &inputs, &staging, &UdpRunOptions::default());
+        assert_eq!(rep.concat_output(), b"SS");
+    }
+
+    #[test]
+    fn shared_bank_references_charge_conflict_stalls() {
+        // Lanes that BumpW a location outside every private window model
+        // a shared structure (e.g. a global statistics bank).
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.fallback_arc(
+            s,
+            Target::State(s),
+            vec![Action::imm(
+                Opcode::BumpW,
+                Reg::R0,
+                Reg::new(12),
+                1024,
+            )],
+        );
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"xxxxxxxx"; 4];
+        let local = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        assert_eq!(local.conflict_stalls, 0, "local windows are disjoint");
+        // Under restricted addressing the model can charge stalls for
+        // genuinely shared banks; with disjoint windows it stays zero.
+        let mut udp = Udp::new();
+        let restricted = udp.run_data_parallel(
+            &img,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions {
+                addressing: udp_isa::mem::AddressingMode::Restricted,
+                ..Default::default()
+            },
+        );
+        assert_eq!(restricted.lanes.len(), 4);
+        assert!(restricted.wall_cycles >= local.wall_cycles);
+    }
+
+    #[test]
+    fn throughput_accounts_for_all_lanes() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"aaaaaaaaaaaaaaaa"; 8];
+        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        let lane_rate = rep.lanes[0].rate_mbps(1.0);
+        let tput = rep.throughput_mbps(1.0);
+        assert!((tput / lane_rate - 8.0).abs() < 0.01, "{tput} vs {lane_rate}");
+    }
+
+    #[test]
+    fn nfa_mode_tracks_multiple_activations() {
+        // Patterns "ab" and "ac" as an NFA with a fork after 'a'.
+        // start --a--> fork{p1, p2}; p1 --b--> report 1; p2 --c--> report 2.
+        let mut b = ProgramBuilder::new();
+        let start = b.add_consuming_state();
+        let p1 = b.add_consuming_state();
+        let p2 = b.add_consuming_state();
+        b.set_entry(start);
+        let fork = b.add_fork_state(vec![
+            Arc { target: Target::State(p1), actions: vec![] },
+            Arc { target: Target::State(p2), actions: vec![] },
+        ]);
+        b.labeled_arc(start, b'a' as u16, Target::State(fork), vec![]);
+        b.fallback_arc(start, Target::State(start), vec![]);
+        // p1/p2 die on mismatch (no fallback) — but the start state keeps
+        // scanning via the fork? No: real scanners fork the start state
+        // too. Here we just check activation mechanics on exact input.
+        b.labeled_arc(p1, b'b' as u16, Target::State(start),
+                      vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 1)]);
+        b.labeled_arc(p2, b'c' as u16, Target::State(start),
+                      vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 2)]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+
+        let rep = run_nfa(&img, b"ab", &LaneConfig::default());
+        assert_eq!(rep.reports, vec![(1, 2)]);
+
+        let rep = run_nfa(&img, b"ac", &LaneConfig::default());
+        assert_eq!(rep.reports, vec![(2, 2)]);
+
+        // NFA cost: after 'a', two states are active on the second symbol.
+        assert!(rep.dispatches >= 3);
+    }
+}

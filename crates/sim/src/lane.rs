@@ -1,0 +1,909 @@
+//! The UDP lane interpreter: dispatch unit + stream-prefetch unit +
+//! action unit (paper Figure 23), cycle-accurately.
+
+use crate::memory::LocalMemory;
+use crate::stream::{BitStream, OutputSink};
+use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
+use udp_asm::ProgramImage;
+use udp_isa::action::{Action, Opcode};
+use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
+use udp_isa::Reg;
+
+/// Per-run lane configuration.
+#[derive(Debug, Clone)]
+pub struct LaneConfig {
+    /// Safety cap on simulated cycles (runaway-program guard).
+    pub max_cycles: u64,
+}
+
+impl Default for LaneConfig {
+    fn default() -> Self {
+        LaneConfig {
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// Why a lane stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// Still runnable (only observable mid-stepping).
+    Running,
+    /// The stream had too few bits for the next dispatch — the normal end
+    /// of a scan.
+    InputExhausted,
+    /// A `Halt` action or terminal arc stopped the lane with this code.
+    Halted(u16),
+    /// Dispatch missed and the state had no fallback.
+    NoTransition,
+    /// The cycle cap was hit.
+    CycleLimit,
+    /// Malformed program (undecodable word, epsilon fork outside NFA
+    /// mode, invalid configuration value).
+    Fault(String),
+}
+
+/// Everything a lane run produces.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// Termination cause.
+    pub status: LaneStatus,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Multi-way dispatches performed.
+    pub dispatches: u64,
+    /// Dispatches that fell back after a signature miss (+1 cycle each).
+    pub fallback_misses: u64,
+    /// Actions executed.
+    pub actions: u64,
+    /// Local-memory references attributable to this lane (code fetches +
+    /// data accesses, including the modeled loop-datapath accesses).
+    pub mem_refs: u64,
+    /// Input bytes consumed.
+    pub bytes_consumed: u64,
+    /// The output stream.
+    pub output: Vec<u8>,
+    /// `(pattern, byte position)` match reports.
+    pub reports: Vec<(u16, u32)>,
+    /// Final accept flag.
+    pub accepted: bool,
+    /// Final register file (diagnostics).
+    pub regs: [u32; 16],
+}
+
+impl LaneReport {
+    /// Input processing rate in MB/s at `clock_ghz` (paper metric: Rate).
+    pub fn rate_mbps(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.bytes_consumed as f64 / self.cycles as f64 * clock_ghz * 1000.0
+    }
+}
+
+/// One UDP lane.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    regs: [u32; 16],
+    /// Flat word address of the lane's window origin.
+    origin: u32,
+    /// Flat window-base register (restricted addressing).
+    wbase: u32,
+    /// Flat action-base register.
+    abase: u32,
+    ascale: u8,
+    sym_bits: u8,
+    /// Flat base of the current state.
+    base: u32,
+    kind: ExecKind,
+    status: LaneStatus,
+    accept: bool,
+    reports: Vec<(u16, u32)>,
+    cycles: u64,
+    dispatches: u64,
+    fallback_misses: u64,
+    actions_run: u64,
+    extra_refs: u64,
+}
+
+impl Lane {
+    /// Creates a lane positioned at a program image loaded at
+    /// `origin_words`.
+    pub fn new(image: &ProgramImage, origin_words: u32) -> Self {
+        assert!(image.executable, "size-model-only image cannot run");
+        Lane {
+            regs: [0; 16],
+            origin: origin_words,
+            wbase: origin_words + image.init.wbase,
+            abase: origin_words + image.init.abase,
+            ascale: image.init.ascale,
+            sym_bits: image.init.symbol_bits,
+            base: origin_words + image.entry_base,
+            kind: image.entry_kind,
+            status: LaneStatus::Running,
+            accept: false,
+            reports: Vec::new(),
+            cycles: 0,
+            dispatches: 0,
+            fallback_misses: 0,
+            actions_run: 0,
+            extra_refs: 0,
+        }
+    }
+
+    /// Presets a scalar register (host staging before the run).
+    pub fn preset_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::R15 {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// Convenience: allocate a memory just big enough, load the image at
+    /// origin 0, and run the lane over `input`.
+    pub fn run_program(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneReport {
+        Self::run_program_capture(image, input, &crate::engine::Staging::default(), cfg).0
+    }
+
+    /// Like [`Lane::run_program`], but stages data segments/registers
+    /// first and returns the final memory (bin tables, scratch output).
+    pub fn run_program_capture(
+        image: &ProgramImage,
+        input: &[u8],
+        staging: &crate::engine::Staging,
+        cfg: &LaneConfig,
+    ) -> (LaneReport, LocalMemory) {
+        // Leave generous data headroom above the code for program scratch.
+        let words = (image.stats.span_words + 16384).max(32768);
+        let mut mem = LocalMemory::with_words(words);
+        mem.load_words(0, &image.words);
+        for (off, bytes) in &staging.segments {
+            mem.load_bytes(*off, bytes);
+        }
+        let mut lane = Lane::new(image, 0);
+        for (r, v) in &staging.regs {
+            lane.preset_reg(*r, *v);
+        }
+        let mut stream = BitStream::new(input);
+        let mut out = OutputSink::new();
+        let rep = lane.run(&mut mem, &mut stream, &mut out, cfg);
+        (rep, mem)
+    }
+
+    /// Runs the lane to completion in single-activation (DFA) mode.
+    pub fn run(
+        &mut self,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+        cfg: &LaneConfig,
+    ) -> LaneReport {
+        while self.status == LaneStatus::Running {
+            if self.cycles >= cfg.max_cycles {
+                self.status = LaneStatus::CycleLimit;
+                break;
+            }
+            self.step(mem, stream, out);
+        }
+        LaneReport {
+            status: self.status.clone(),
+            cycles: self.cycles,
+            dispatches: self.dispatches,
+            fallback_misses: self.fallback_misses,
+            actions: self.actions_run,
+            mem_refs: mem.refs() + self.extra_refs,
+            bytes_consumed: u64::from(stream.byte_index()),
+            output: std::mem::take(out).into_bytes(),
+            reports: std::mem::take(&mut self.reports),
+            accepted: self.accept,
+            regs: self.regs,
+        }
+    }
+
+    /// Executes one dispatch (and its attached actions).
+    pub fn step(&mut self, mem: &mut LocalMemory, stream: &mut BitStream, out: &mut OutputSink) {
+        match self.kind {
+            ExecKind::Halt => {
+                self.status = LaneStatus::Halted(0);
+            }
+            ExecKind::Consume => {
+                if stream.remaining_bits() < u64::from(self.sym_bits) {
+                    self.status = LaneStatus::InputExhausted;
+                    return;
+                }
+                let s = stream.read(self.sym_bits).expect("checked remaining");
+                self.dispatch_on(s, mem, stream, out);
+            }
+            ExecKind::Flagged => {
+                let s = self.regs[0] & 0xFF;
+                self.dispatch_on(s, mem, stream, out);
+            }
+            ExecKind::Pass => {
+                // Pass-through state: take the fallback-slot word,
+                // refilling the bit count carried in its signature.
+                self.cycles += 1;
+                self.dispatches += 1;
+                let raw = mem.read_word(self.base + udp_isa::FALLBACK_SLOT);
+                if raw == 0 {
+                    self.status = LaneStatus::NoTransition;
+                    return;
+                }
+                let t = TransitionWord::decode(raw);
+                match t.signature() {
+                    CHAIN_CONTINUE_SIGNATURE => {
+                        self.status = LaneStatus::Fault(
+                            "epsilon fork outside NFA mode".to_string(),
+                        );
+                        return;
+                    }
+                    FALLBACK_SIGNATURE => {}
+                    refill if refill <= 8 => {
+                        if u64::from(refill) > stream.bit_index() {
+                            self.status = LaneStatus::Fault(format!(
+                                "refill of {refill} bits underflows the stream"
+                            ));
+                            return;
+                        }
+                        stream.putback(refill);
+                    }
+                    other => {
+                        self.status =
+                            LaneStatus::Fault(format!("bad pass signature {other:#x}"));
+                        return;
+                    }
+                }
+                self.take(&t, mem, stream, out);
+            }
+        }
+    }
+
+    fn dispatch_on(
+        &mut self,
+        s: u32,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+    ) {
+        self.cycles += 1;
+        self.dispatches += 1;
+        self.regs[13] = s; // symbol latch (R13)
+        let raw = mem.read_word(self.base + s);
+        let hit = raw != 0 && TransitionWord::decode(raw).signature() == (s & 0xFF) as u8;
+        let t = if hit {
+            TransitionWord::decode(raw)
+        } else {
+            // Signature miss: one extra cycle to read the fallback slot.
+            self.cycles += 1;
+            self.fallback_misses += 1;
+            let fb = mem.read_word(self.base + udp_isa::FALLBACK_SLOT);
+            if fb == 0 {
+                self.status = LaneStatus::NoTransition;
+                return;
+            }
+            TransitionWord::decode(fb)
+        };
+        self.take(&t, mem, stream, out);
+    }
+
+    fn take(
+        &mut self,
+        t: &TransitionWord,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+    ) {
+        if let Some(rel) = t.action_addr(0, self.ascale) {
+            // `action_addr` gives either the direct attach (window-
+            // relative low region) or needs the abase added; recompute
+            // flat here so both modes land in this lane's window.
+            let flat = match t.attach_mode() {
+                udp_isa::AttachMode::Direct => self.origin + rel,
+                udp_isa::AttachMode::Scaled => {
+                    self.abase + (u32::from(t.attach()) << self.ascale)
+                }
+            };
+            self.run_action_block(flat, mem, stream, out);
+            if self.status != LaneStatus::Running {
+                return;
+            }
+        }
+        if t.kind() == ExecKind::Halt {
+            self.status = LaneStatus::Halted(0);
+            return;
+        }
+        self.base = self.wbase + u32::from(t.target());
+        self.kind = t.kind();
+    }
+
+    fn run_action_block(
+        &mut self,
+        mut addr: u32,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+    ) {
+        const BLOCK_CAP: usize = 4096;
+        for _ in 0..BLOCK_CAP {
+            let raw = mem.read_word(addr);
+            let Some(a) = Action::decode(raw) else {
+                self.status = LaneStatus::Fault(format!(
+                    "undecodable action word {raw:#010x} at {addr:#x}"
+                ));
+                return;
+            };
+            let skip = self.exec(&a, mem, stream, out);
+            self.actions_run += 1;
+            if self.status != LaneStatus::Running {
+                return;
+            }
+            if a.last {
+                return;
+            }
+            addr += 1 + skip;
+        }
+        self.status = LaneStatus::Fault("action block exceeds 4096 words".to_string());
+    }
+
+    fn rd(&self, r: Reg, stream: &BitStream) -> u32 {
+        if r == Reg::R15 {
+            stream.byte_index()
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    fn wr(&mut self, r: Reg, v: u32) {
+        if r != Reg::R15 {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// Executes one action; returns how many following actions to skip.
+    fn exec(
+        &mut self,
+        a: &Action,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+    ) -> u32 {
+        use Opcode::*;
+        let imm = u32::from(a.imm);
+        let simm = i32::from(a.imm as i16) as u32;
+        let sv = self.rd(a.src, stream);
+        let rv = self.rd(a.rref, stream);
+        let byte_origin = self.origin * 4;
+        self.cycles += 1; // default; adjusted below for multi-cycle ops
+        match a.op {
+            Nop => {}
+            MovI => self.wr(a.dst, imm),
+            MovIH => {
+                let old = self.rd(a.dst, stream);
+                self.wr(a.dst, (old & 0xFFFF) | (imm << 16));
+            }
+            AddI => self.wr(a.dst, sv.wrapping_add(simm)),
+            SubI => self.wr(a.dst, sv.wrapping_sub(simm)),
+            AndI => self.wr(a.dst, sv & imm),
+            OrI => self.wr(a.dst, sv | imm),
+            XorI => self.wr(a.dst, sv ^ imm),
+            ShlI => self.wr(a.dst, sv << (imm & 31)),
+            ShrI => self.wr(a.dst, sv >> (imm & 31)),
+            SarI => self.wr(a.dst, ((sv as i32) >> (imm & 31)) as u32),
+            LoadW => {
+                let v = mem.read_word(byte_origin.wrapping_add(sv.wrapping_add(simm)) / 4);
+                self.wr(a.dst, v);
+            }
+            StoreW => {
+                let addr = byte_origin.wrapping_add(self.rd(a.dst, stream).wrapping_add(simm));
+                mem.write_word(addr / 4, sv);
+            }
+            LoadB => {
+                let v = mem.read_byte(byte_origin.wrapping_add(sv.wrapping_add(simm)));
+                self.wr(a.dst, u32::from(v));
+            }
+            StoreB => {
+                let addr = byte_origin.wrapping_add(self.rd(a.dst, stream).wrapping_add(simm));
+                mem.write_byte(addr, sv as u8);
+            }
+            SetSym => {
+                if (1..=8).contains(&a.imm) {
+                    self.sym_bits = a.imm as u8;
+                } else {
+                    self.status = LaneStatus::Fault(format!("SetSym {}", a.imm));
+                }
+            }
+            SetSymT => {
+                // Hardware-folded per-transition width (SsT model): free.
+                self.cycles -= 1;
+                if (1..=8).contains(&a.imm) {
+                    self.sym_bits = a.imm as u8;
+                } else {
+                    self.status = LaneStatus::Fault(format!("SetSymT {}", a.imm));
+                }
+            }
+            SetBase => self.wbase = self.origin + imm,
+            SetABase => self.abase = self.origin + sv.wrapping_add(imm),
+            SetAScale => self.ascale = (imm & 7) as u8,
+            SEqI => self.wr(a.dst, u32::from(sv == imm)),
+            SLtI => self.wr(a.dst, u32::from((sv as i32) < simm as i32)),
+            SLtUI => self.wr(a.dst, u32::from(sv < imm)),
+            ReadBits => match stream.read((imm & 31).max(1) as u8) {
+                Some(v) => self.wr(a.dst, v),
+                None => self.status = LaneStatus::InputExhausted,
+            },
+            PeekBits => {
+                let v = stream.peek((imm & 31).max(1) as u8).unwrap_or(0);
+                self.wr(a.dst, v);
+            }
+            BumpW => {
+                // Read-modify-write: 2 cycles, 2 references.
+                self.cycles += 1;
+                let addr = byte_origin.wrapping_add(imm.wrapping_add(sv.wrapping_mul(4))) / 4;
+                let v = mem.read_word(addr).wrapping_add(1);
+                mem.write_word(addr, v);
+                self.wr(a.dst, v);
+            }
+            EmitB => out.push_byte(sv.wrapping_add(imm) as u8),
+            EmitW => {
+                let v = sv;
+                for b in v.to_le_bytes() {
+                    out.push_byte(b);
+                }
+            }
+            SkipB => stream.skip_bytes(sv.wrapping_add(imm)),
+            RefillI => {
+                let bits = (imm & 15).min(8) as u8;
+                if u64::from(bits) > stream.bit_index() {
+                    self.status =
+                        LaneStatus::Fault("RefillI underflows the stream".to_string());
+                } else {
+                    stream.putback(bits);
+                }
+            }
+            Report => self.reports.push((a.imm, stream.byte_index())),
+            Accept => self.accept = a.imm != 0,
+            Halt => self.status = LaneStatus::Halted(a.imm),
+            Crc => {
+                let mut crc = self.rd(a.dst, stream) ^ (sv & 0xFF);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0x82F6_3B78 & mask);
+                }
+                self.wr(a.dst, crc);
+            }
+            FnvB => {
+                let h = (self.rd(a.dst, stream) ^ sv).wrapping_mul(0x0100_0193);
+                self.wr(a.dst, h);
+            }
+            Hash => {
+                let h = sv.wrapping_mul(0x9E37_79B1);
+                let v = if (1..32).contains(&a.imm) {
+                    h >> (32 - a.imm as u32)
+                } else {
+                    h
+                };
+                self.wr(a.dst, v);
+            }
+            InIdx => self.wr(a.dst, stream.byte_index().wrapping_add(simm)),
+            Clz => self.wr(a.dst, sv.leading_zeros()),
+            Popcnt => self.wr(a.dst, sv.count_ones()),
+            OutIdx => self.wr(a.dst, (out.len() as u32).wrapping_add(simm)),
+            AtEof => self.wr(a.dst, u32::from(stream.at_end())),
+            EmitBits => out.push_bits(sv, a.imm1.max(1).min(16)),
+            Extract => {
+                let width = (a.imm & 0x1F).max(1);
+                let mask = if width >= 32 { u32::MAX } else { (1 << width) - 1 };
+                self.wr(a.dst, (sv >> a.imm1) & mask);
+            }
+            Deposit => {
+                let old = self.rd(a.dst, stream);
+                self.wr(a.dst, (old << a.imm1) | (sv & ((1 << a.imm1.max(1)) - 1)));
+            }
+            SkipIfZ => {
+                if sv == 0 {
+                    return u32::from(a.imm1);
+                }
+            }
+            SkipIfNz => {
+                if sv != 0 {
+                    return u32::from(a.imm1);
+                }
+            }
+            Mov => self.wr(a.dst, sv),
+            Add => self.wr(a.dst, rv.wrapping_add(sv)),
+            Sub => self.wr(a.dst, rv.wrapping_sub(sv)),
+            And => self.wr(a.dst, rv & sv),
+            Or => self.wr(a.dst, rv | sv),
+            Xor => self.wr(a.dst, rv ^ sv),
+            Shl => self.wr(a.dst, rv << (sv & 31)),
+            Shr => self.wr(a.dst, rv >> (sv & 31)),
+            Mul => self.wr(a.dst, rv.wrapping_mul(sv)),
+            Min => self.wr(a.dst, rv.min(sv)),
+            Max => self.wr(a.dst, rv.max(sv)),
+            SEq => self.wr(a.dst, u32::from(rv == sv)),
+            SLt => self.wr(a.dst, u32::from((rv as i32) < (sv as i32))),
+            SLtU => self.wr(a.dst, u32::from(rv < sv)),
+            Sel => {
+                if rv != 0 {
+                    self.wr(a.dst, sv);
+                }
+            }
+            LoopCmp => {
+                // Stream-window vs stream-window compare, 8 bytes/cycle.
+                let limit = self.regs[14].min(1 << 26);
+                let mut n = 0u32;
+                while n < limit
+                    && stream.byte_at(rv.wrapping_add(n)) == stream.byte_at(sv.wrapping_add(n))
+                {
+                    n += 1;
+                }
+                self.charge_loop(n);
+                self.wr(a.dst, n);
+            }
+            LoopCmpM => {
+                let limit = self.regs[14].min(1 << 26);
+                let mut n = 0u32;
+                while n < limit
+                    && mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(n))
+                        == stream.byte_at(sv.wrapping_add(n))
+                {
+                    n += 1;
+                }
+                self.charge_loop(n);
+                self.extra_refs += u64::from(n.div_ceil(8));
+                self.wr(a.dst, n);
+            }
+            LoopCpy => {
+                let Some(n) = self.loop_len(sv) else { return 0 };
+                let dst_addr = self.rd(a.dst, stream);
+                for i in 0..n {
+                    let b = mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i));
+                    mem.write_byte(byte_origin.wrapping_add(dst_addr).wrapping_add(i), b);
+                }
+                // The counted writes above already charge n refs; fold the
+                // reads into the 8-byte datapath model.
+                self.charge_loop(n);
+            }
+            LoopOut => {
+                let Some(n) = self.loop_len(sv) else { return 0 };
+                for i in 0..n {
+                    out.push_byte(mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i)));
+                }
+                self.extra_refs += u64::from(n.div_ceil(8));
+                self.charge_loop(n);
+            }
+            LoopBack => {
+                let Some(n) = self.loop_len(sv) else { return 0 };
+                if rv == 0 || (rv as usize) > out.len() {
+                    self.status = LaneStatus::Fault(format!("LoopBack distance {rv}"));
+                    return 0;
+                }
+                out.copy_back(rv, n);
+                self.charge_loop(n);
+            }
+            LoopIn => {
+                let Some(n) = self.loop_len(sv) else { return 0 };
+                for i in 0..n {
+                    out.push_byte(stream.byte_at(rv.wrapping_add(i)));
+                }
+                self.charge_loop(n);
+            }
+            PeekAt => self.wr(a.dst, u32::from(stream.byte_at(rv.wrapping_add(sv)))),
+            PeekW => {
+                let base = rv.wrapping_add(sv);
+                let v = u32::from_le_bytes([
+                    stream.byte_at(base),
+                    stream.byte_at(base + 1),
+                    stream.byte_at(base + 2),
+                    stream.byte_at(base + 3),
+                ]);
+                self.wr(a.dst, v);
+            }
+            SubSat => self.wr(a.dst, rv.saturating_sub(sv)),
+            Hash2 => {
+                let h = (rv ^ sv.wrapping_mul(0x9E37_79B9)).wrapping_mul(0x9E37_79B1);
+                self.wr(a.dst, h);
+            }
+        }
+        0
+    }
+
+    /// Loop actions move 8 bytes per cycle after issue.
+    fn charge_loop(&mut self, n: u32) {
+        self.cycles += u64::from(n.div_ceil(8));
+    }
+
+    /// Validates a loop-action length; absurd values (beyond any lane
+    /// window) fault instead of spinning for minutes.
+    fn loop_len(&mut self, n: u32) -> Option<u32> {
+        const LOOP_CAP: u32 = 1 << 26;
+        if n > LOOP_CAP {
+            self.status = LaneStatus::Fault(format!("loop length {n} exceeds {LOOP_CAP}"));
+            None
+        } else {
+            Some(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::{LayoutOptions, ProgramBuilder, Target};
+    use udp_isa::action::{Action, Opcode};
+
+    fn cfg() -> LaneConfig {
+        LaneConfig { max_cycles: 100_000 }
+    }
+
+    fn emit(b: u8) -> Vec<Action> {
+        // r12 is never written in these tests, so src + imm == imm.
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(b))]
+    }
+
+    /// One-state scanner that emits '!' on 'a' and loops otherwise.
+    fn scanner() -> udp_asm::ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, b'a' as u16, Target::State(s), emit(b'!'));
+        b.fallback_arc(s, Target::State(s), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn scans_and_emits() {
+        let r = Lane::run_program(&scanner(), b"banana", &cfg());
+        assert_eq!(r.status, LaneStatus::InputExhausted);
+        assert_eq!(r.output, b"!!!");
+        assert_eq!(r.bytes_consumed, 6);
+        assert_eq!(r.dispatches, 6);
+    }
+
+    #[test]
+    fn fallback_costs_one_extra_cycle() {
+        let r = Lane::run_program(&scanner(), b"bbbb", &cfg());
+        // 4 dispatches, all misses: 4 + 4 fallback cycles.
+        assert_eq!(r.fallback_misses, 4);
+        assert_eq!(r.cycles, 8);
+    }
+
+    #[test]
+    fn hit_costs_one_cycle_plus_action() {
+        let r = Lane::run_program(&scanner(), b"aaaa", &cfg());
+        assert_eq!(r.fallback_misses, 0);
+        // 4 dispatches + 4 emit actions.
+        assert_eq!(r.cycles, 8);
+    }
+
+    #[test]
+    fn no_transition_when_fallback_missing() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, b'x' as u16, Target::State(s), vec![]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, b"q", &cfg());
+        assert_eq!(r.status, LaneStatus::NoTransition);
+    }
+
+    #[test]
+    fn halt_arc_stops_the_lane() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, 0, Target::Halt, emit(b'E'));
+        b.fallback_arc(s, Target::State(s), vec![]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, &[7, 7, 0, 7], &cfg());
+        assert_eq!(r.status, LaneStatus::Halted(0));
+        assert_eq!(r.output, b"E");
+        assert_eq!(r.bytes_consumed, 3);
+    }
+
+    #[test]
+    fn sub_byte_symbols_dispatch() {
+        // 2-bit symbols: emit the symbol value as a digit.
+        let mut b = ProgramBuilder::new();
+        b.set_symbol_bits(2);
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        for sym in 0u16..4 {
+            b.labeled_arc(s, sym, Target::State(s), emit(b'0' + sym as u8));
+        }
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        // 0b00_01_10_11 = 0x1B
+        let r = Lane::run_program(&img, &[0x1B], &cfg());
+        assert_eq!(r.output, b"0123");
+    }
+
+    #[test]
+    fn refill_state_puts_bits_back() {
+        // Dispatch 3 bits; a pass state refills 1 bit and the next
+        // dispatch re-reads it.
+        let mut b = ProgramBuilder::new();
+        b.set_symbol_bits(3);
+        let done = b.add_consuming_state(); // consumes remaining symbol
+        let refill = b.add_pass_state(
+            1,
+            udp_asm::Arc {
+                target: Target::State(done),
+                actions: emit(b'R'),
+            },
+        );
+        let start = b.add_consuming_state();
+        b.set_entry(start);
+        // Any 3-bit symbol goes to the refill state.
+        b.fallback_arc(start, Target::State(refill), vec![]);
+        for sym in 0u16..8 {
+            b.labeled_arc(done, sym, Target::Halt, emit(b'0' + sym as u8));
+        }
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        // Input bits: 101 101 -> start consumes 101, refill puts back 1,
+        // done consumes 110 -> digit '6'... byte = 0b101_101_00 = 0xB4;
+        // after refill cursor is at bit 2, reading bits 2..5 = 110.
+        let r = Lane::run_program(&img, &[0xB4], &cfg());
+        assert_eq!(r.status, LaneStatus::Halted(0));
+        assert_eq!(r.output, b"R6");
+    }
+
+    #[test]
+    fn flagged_dispatch_reads_r0() {
+        // First state consumes a byte into R0 via actions? Simpler:
+        // preset R0 and enter a flagged state directly.
+        let mut b = ProgramBuilder::new();
+        let f = b.add_flagged_state();
+        b.set_entry(f);
+        b.labeled_arc(f, 42, Target::Halt, emit(b'Y'));
+        b.fallback_arc(f, Target::Halt, emit(b'N'));
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+
+        let words = (img.stats.span_words + 1024).max(8192);
+        let mut mem = LocalMemory::with_words(words);
+        mem.load_words(0, &img.words);
+        let mut lane = Lane::new(&img, 0);
+        lane.preset_reg(Reg::new(0), 42);
+        let mut stream = BitStream::new(b"");
+        let mut out = OutputSink::new();
+        let r = lane.run(&mut mem, &mut stream, &mut out, &cfg());
+        assert_eq!(r.output, b"Y");
+    }
+
+    #[test]
+    fn action_arithmetic_and_memory() {
+        // On byte 'g': r1 = 5; r2 = r1 + 10; store r2 at byte 512; load it
+        // back into r3; emit r3.
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let r3 = Reg::new(3);
+        let r4 = Reg::new(4);
+        b.labeled_arc(
+            s,
+            b'g' as u16,
+            Target::Halt,
+            vec![
+                Action::imm(Opcode::MovI, r1, Reg::R0, 5),
+                Action::imm(Opcode::AddI, r2, r1, 10),
+                Action::imm(Opcode::MovI, r4, Reg::R0, 2048),
+                Action::imm(Opcode::StoreW, r4, r2, 0),
+                Action::imm(Opcode::LoadW, r3, r4, 0),
+                Action::imm(Opcode::EmitB, Reg::R0, r3, 50),
+            ],
+        );
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, b"g", &cfg());
+        assert_eq!(r.status, LaneStatus::Halted(0));
+        assert_eq!(r.output, &[65]); // 15 + 50
+        assert_eq!(r.regs[2], 15);
+    }
+
+    #[test]
+    fn skip_if_zero_predication() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        let r1 = Reg::new(1);
+        b.labeled_arc(
+            s,
+            b'x' as u16,
+            Target::Halt,
+            vec![
+                Action::imm(Opcode::MovI, r1, Reg::R0, 0),
+                Action::imm2(Opcode::SkipIfZ, Reg::R0, r1, 1, 0),
+                Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, u16::from(b'A')),
+                Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, u16::from(b'B')),
+            ],
+        );
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, b"x", &cfg());
+        assert_eq!(r.output, b"B", "the skipped action must not run");
+    }
+
+    #[test]
+    fn cycle_limit_fires() {
+        // Flagged self-loop never consumes input: infinite.
+        let mut b = ProgramBuilder::new();
+        let f = b.add_flagged_state();
+        b.set_entry(f);
+        b.fallback_arc(f, Target::State(f), vec![]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, b"", &LaneConfig { max_cycles: 100 });
+        assert_eq!(r.status, LaneStatus::CycleLimit);
+    }
+
+    #[test]
+    fn report_action_records_positions() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(
+            s,
+            b'z' as u16,
+            Target::State(s),
+            vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 3)],
+        );
+        b.fallback_arc(s, Target::State(s), vec![]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let r = Lane::run_program(&img, b"azbz", &cfg());
+        assert_eq!(r.reports, vec![(3, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn rate_is_bytes_per_cycle_scaled() {
+        let r = Lane::run_program(&scanner(), b"aaaa", &cfg());
+        // 8 cycles for 4 bytes at 1 GHz = 500 MB/s.
+        assert!((r.rate_mbps(1.0) - 500.0).abs() < 1e-9);
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+        use udp_asm::{LaneInit, LayoutStats, ProgramImage};
+        use udp_isa::transition::ExecKind;
+
+        /// A lane fed arbitrary garbage as a program must terminate with
+        /// a status — never panic, never hang past the cycle cap.
+        fn garbage_image(words: Vec<u32>, entry: u32, kind_sel: u8) -> ProgramImage {
+            let kind = [
+                ExecKind::Consume,
+                ExecKind::Flagged,
+                ExecKind::Pass,
+                ExecKind::Halt,
+            ][(kind_sel & 3) as usize];
+            let span = words.len();
+            ProgramImage {
+                words,
+                entry_base: entry % span.max(1) as u32,
+                entry_kind: kind,
+                init: LaneInit {
+                    symbol_bits: (kind_sel % 8) + 1,
+                    abase: 0,
+                    ascale: kind_sel & 3,
+                    wbase: 0,
+                },
+                state_bases: vec![],
+                stats: LayoutStats {
+                    span_words: span,
+                    ..Default::default()
+                },
+                executable: true,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn prop_garbage_programs_never_panic(
+                words in proptest::collection::vec(any::<u32>(), 8..600),
+                entry in any::<u32>(),
+                kind_sel in any::<u8>(),
+                input in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let img = garbage_image(words, entry, kind_sel);
+                let rep = Lane::run_program(&img, &input, &LaneConfig { max_cycles: 20_000 });
+                prop_assert_ne!(rep.status, LaneStatus::Running);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The multi-bank local memory.
+//!
+//! 1 MB in 64 × 16 KB banks, one read and one write port each (paper §6).
+//! The simulator keeps the memory flat and counts per-bank references so
+//! the engine can account bank-conflict stalls (restricted/global modes)
+//! and the energy model can charge per-reference picojoules.
+
+use udp_isa::mem::{bank_of_word, BANK_WORDS, NUM_BANKS, TOTAL_WORDS};
+
+/// The UDP local memory.
+#[derive(Debug, Clone)]
+pub struct LocalMemory {
+    words: Vec<u32>,
+    reads: u64,
+    writes: u64,
+    bank_refs: [u64; NUM_BANKS],
+}
+
+impl LocalMemory {
+    /// A zeroed full-size (1 MB) memory.
+    pub fn new() -> Self {
+        Self::with_words(TOTAL_WORDS)
+    }
+
+    /// A zeroed memory of `words` 32-bit words (tests and small runs).
+    pub fn with_words(words: usize) -> Self {
+        LocalMemory {
+            words: vec![0; words],
+            reads: 0,
+            writes: 0,
+            bank_refs: [0; NUM_BANKS],
+        }
+    }
+
+    /// Capacity in words.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads a word at a flat word address (counted).
+    pub fn read_word(&mut self, addr: u32) -> u32 {
+        self.reads += 1;
+        self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes a word at a flat word address (counted; out-of-range writes
+    /// are dropped, matching a lane whose window exceeded its allocation).
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        self.writes += 1;
+        self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        if let Some(w) = self.words.get_mut(addr as usize) {
+            *w = value;
+        }
+    }
+
+    /// Reads a byte at a flat byte address (counted as one reference).
+    pub fn read_byte(&mut self, byte_addr: u32) -> u8 {
+        let w = self.read_word(byte_addr / 4);
+        (w >> ((byte_addr % 4) * 8)) as u8
+    }
+
+    /// Writes a byte at a flat byte address (counted as one reference).
+    pub fn write_byte(&mut self, byte_addr: u32, value: u8) {
+        let word_addr = byte_addr / 4;
+        let shift = (byte_addr % 4) * 8;
+        let old = self.words.get(word_addr as usize).copied().unwrap_or(0);
+        let new = (old & !(0xFFu32 << shift)) | (u32::from(value) << shift);
+        self.write_word(word_addr, new);
+    }
+
+    /// Uncounted inspection (host/driver access).
+    pub fn peek_word(&self, addr: u32) -> u32 {
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Uncounted byte inspection.
+    pub fn peek_byte(&self, byte_addr: u32) -> u8 {
+        (self.peek_word(byte_addr / 4) >> ((byte_addr % 4) * 8)) as u8
+    }
+
+    /// Host/driver bulk load of words at `origin` (uncounted, like DLT
+    /// staging).
+    pub fn load_words(&mut self, origin: u32, data: &[u32]) {
+        for (i, &w) in data.iter().enumerate() {
+            if let Some(slot) = self.words.get_mut(origin as usize + i) {
+                *slot = w;
+            }
+        }
+    }
+
+    /// Host/driver bulk load of bytes at a byte address (uncounted).
+    pub fn load_bytes(&mut self, byte_origin: u32, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let addr = byte_origin + i as u32;
+            let word_addr = (addr / 4) as usize;
+            let shift = (addr % 4) * 8;
+            if let Some(w) = self.words.get_mut(word_addr) {
+                *w = (*w & !(0xFFu32 << shift)) | (u32::from(b) << shift);
+            }
+        }
+    }
+
+    /// Host/driver bulk read of bytes (uncounted).
+    pub fn dump_bytes(&self, byte_origin: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.peek_byte(byte_origin + i as u32))
+            .collect()
+    }
+
+    /// Total counted references (reads + writes).
+    pub fn refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counted reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Counted writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Per-bank reference counts (conflict accounting).
+    pub fn bank_refs(&self) -> &[u64; NUM_BANKS] {
+        &self.bank_refs
+    }
+
+    /// Resets the reference counters (not the contents).
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.bank_refs = [0; NUM_BANKS];
+    }
+
+    /// Which banks a window of `span` words starting at `origin` touches.
+    pub fn banks_of_window(origin: u32, span: usize) -> std::ops::Range<usize> {
+        let first = origin as usize / BANK_WORDS;
+        let last = (origin as usize + span.max(1) - 1) / BANK_WORDS;
+        first..last + 1
+    }
+}
+
+impl Default for LocalMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = LocalMemory::with_words(16);
+        m.write_word(3, 0xDEADBEEF);
+        assert_eq!(m.read_word(3), 0xDEADBEEF);
+        assert_eq!(m.refs(), 2);
+    }
+
+    #[test]
+    fn byte_access_is_little_endian_within_words() {
+        let mut m = LocalMemory::with_words(4);
+        m.write_word(0, 0x04030201);
+        assert_eq!(m.read_byte(0), 1);
+        assert_eq!(m.read_byte(3), 4);
+        m.write_byte(1, 0xAA);
+        assert_eq!(m.peek_word(0), 0x0403AA01);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut m = LocalMemory::with_words(8);
+        m.load_bytes(5, b"hello");
+        assert_eq!(m.dump_bytes(5, 5), b"hello");
+        assert_eq!(m.refs(), 0, "host access is uncounted");
+    }
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let mut m = LocalMemory::with_words(2);
+        assert_eq!(m.read_word(100), 0);
+    }
+
+    #[test]
+    fn window_bank_mapping() {
+        let r = LocalMemory::banks_of_window(0, 4096);
+        assert_eq!(r, 0..1);
+        let r = LocalMemory::banks_of_window(4000, 200);
+        assert_eq!(r, 0..2);
+    }
+}

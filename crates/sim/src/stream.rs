@@ -1,0 +1,313 @@
+//! The stream buffer and output sink.
+//!
+//! Each lane owns a stream buffer with "automatic indexing management and
+//! stream prefetching logic" (paper §3.1). Streams are constructed from
+//! vector registers by the host; the simulator models the fully-staged
+//! window: bit-granular MSB-first reads of 1–8 or 32 bits, put-back for
+//! refill transitions, and random access (`PeekAt`) into the staged
+//! window for compression history.
+
+/// A bit-granular input stream over a byte buffer.
+///
+/// Reads are MSB-first within each byte, matching the transition-word
+/// symbol numbering: reading 3 bits of `0b1010_0000` yields `0b101`.
+#[derive(Debug, Clone)]
+pub struct BitStream<'a> {
+    data: &'a [u8],
+    /// Cursor in bits from the start of `data`.
+    pos_bits: u64,
+}
+
+impl<'a> BitStream<'a> {
+    /// Wraps a staged byte window.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitStream { data, pos_bits: 0 }
+    }
+
+    /// Total length in bits.
+    pub fn len_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Bits left to read.
+    pub fn remaining_bits(&self) -> u64 {
+        self.len_bits().saturating_sub(self.pos_bits)
+    }
+
+    /// True when no bits remain.
+    pub fn at_end(&self) -> bool {
+        self.remaining_bits() == 0
+    }
+
+    /// Current cursor in whole bytes (the value of register R15).
+    pub fn byte_index(&self) -> u32 {
+        (self.pos_bits / 8) as u32
+    }
+
+    /// Current cursor in bits.
+    pub fn bit_index(&self) -> u64 {
+        self.pos_bits
+    }
+
+    /// Reads `bits` (1–32) MSB-first. Returns `None` if the stream is
+    /// short; the cursor is unchanged in that case.
+    pub fn read(&mut self, bits: u8) -> Option<u32> {
+        let v = self.peek(bits)?;
+        self.pos_bits += u64::from(bits);
+        Some(v)
+    }
+
+    /// Reads `bits` without consuming.
+    pub fn peek(&self, bits: u8) -> Option<u32> {
+        debug_assert!(bits >= 1 && bits <= 32);
+        if self.remaining_bits() < u64::from(bits) {
+            return None;
+        }
+        let mut v: u32 = 0;
+        let mut p = self.pos_bits;
+        for _ in 0..bits {
+            let byte = self.data[(p / 8) as usize];
+            let bit = (byte >> (7 - (p % 8))) & 1;
+            v = (v << 1) | u32::from(bit);
+            p += 1;
+        }
+        Some(v)
+    }
+
+    /// Puts `bits` back (refill transition / `RefillI`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bits are put back than were consumed.
+    pub fn putback(&mut self, bits: u8) {
+        assert!(
+            u64::from(bits) <= self.pos_bits,
+            "refill of {bits} bits underflows the stream"
+        );
+        self.pos_bits -= u64::from(bits);
+    }
+
+    /// Advances the cursor by whole bytes (aligning to a byte boundary
+    /// first, as the byte-oriented actions do).
+    pub fn skip_bytes(&mut self, n: u32) {
+        self.align_byte();
+        self.pos_bits = (self.pos_bits + u64::from(n) * 8).min(self.len_bits());
+    }
+
+    /// Rounds the cursor up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos_bits = (self.pos_bits + 7) & !7;
+    }
+
+    /// Random access into the staged window (`PeekAt`): byte at absolute
+    /// offset `idx`, or 0 past the end.
+    pub fn byte_at(&self, idx: u32) -> u8 {
+        self.data.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Reads one aligned byte, or `None` at end.
+    pub fn read_byte(&mut self) -> Option<u8> {
+        self.align_byte();
+        let v = self.data.get((self.pos_bits / 8) as usize).copied()?;
+        self.pos_bits += 8;
+        Some(v)
+    }
+
+    /// The staged window.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+}
+
+/// The lane output stream: byte-oriented with a bit-packing head for
+/// `EmitBits`, and history access for decompression back-copies.
+#[derive(Debug, Clone, Default)]
+pub struct OutputSink {
+    bytes: Vec<u8>,
+    /// Pending sub-byte bits (MSB-first), `< 8` of them.
+    bit_acc: u16,
+    bit_count: u8,
+}
+
+impl OutputSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte (flushes any pending bits first, zero-padded).
+    pub fn push_byte(&mut self, b: u8) {
+        self.flush_bits();
+        self.bytes.push(b);
+    }
+
+    /// Appends the low `bits` of `v`, MSB-first.
+    pub fn push_bits(&mut self, v: u32, bits: u8) {
+        debug_assert!(bits <= 16);
+        for i in (0..bits).rev() {
+            let bit = ((v >> i) & 1) as u16;
+            self.bit_acc = (self.bit_acc << 1) | bit;
+            self.bit_count += 1;
+            if self.bit_count == 8 {
+                self.bytes.push((self.bit_acc & 0xFF) as u8);
+                self.bit_acc = 0;
+                self.bit_count = 0;
+            }
+        }
+    }
+
+    /// Zero-pads and flushes any pending bits to a whole byte.
+    pub fn flush_bits(&mut self) {
+        if self.bit_count > 0 {
+            let b = (self.bit_acc << (8 - self.bit_count)) as u8;
+            self.bytes.push(b);
+            self.bit_acc = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Bytes emitted so far (pending bits not included).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty() && self.bit_count == 0
+    }
+
+    /// Copies `n` bytes starting `back` bytes before the cursor onto the
+    /// end, replicating on overlap (the LZ decompression primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `back` is zero or exceeds the emitted length.
+    pub fn copy_back(&mut self, back: u32, n: u32) {
+        self.flush_bits();
+        let back = back as usize;
+        assert!(
+            back >= 1 && back <= self.bytes.len(),
+            "back-copy distance {back} out of range (len {})",
+            self.bytes.len()
+        );
+        let start = self.bytes.len() - back;
+        for i in 0..n as usize {
+            let b = self.bytes[start + i];
+            self.bytes.push(b);
+        }
+    }
+
+    /// Finishes the sink, returning the bytes (pending bits flushed).
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.flush_bits();
+        self.bytes
+    }
+
+    /// The bytes emitted so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn msb_first_reads() {
+        let mut s = BitStream::new(&[0b1010_1100, 0b0101_0011]);
+        assert_eq!(s.read(3), Some(0b101));
+        assert_eq!(s.read(5), Some(0b01100));
+        assert_eq!(s.byte_index(), 1);
+        assert_eq!(s.read(8), Some(0b0101_0011));
+        assert_eq!(s.read(1), None);
+    }
+
+    #[test]
+    fn putback_rewinds() {
+        let mut s = BitStream::new(&[0xFF, 0x00]);
+        assert_eq!(s.read(6), Some(0b111111));
+        s.putback(4);
+        assert_eq!(s.read(4), Some(0b1111));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows")]
+    fn putback_underflow_panics() {
+        let mut s = BitStream::new(&[0xFF]);
+        s.read(2);
+        s.putback(3);
+    }
+
+    #[test]
+    fn skip_and_align() {
+        let mut s = BitStream::new(&[1, 2, 3, 4]);
+        s.read(3);
+        s.skip_bytes(1); // aligns to byte 1, then skips to byte 2
+        assert_eq!(s.read_byte(), Some(3));
+    }
+
+    #[test]
+    fn peek_at_is_random_access() {
+        let s = BitStream::new(b"hello");
+        assert_eq!(s.byte_at(1), b'e');
+        assert_eq!(s.byte_at(99), 0);
+    }
+
+    #[test]
+    fn sink_bit_packing() {
+        let mut o = OutputSink::new();
+        o.push_bits(0b101, 3);
+        o.push_bits(0b01100, 5);
+        assert_eq!(o.bytes(), &[0b1010_1100]);
+        o.push_bits(0b1, 1);
+        let v = o.into_bytes();
+        assert_eq!(v, vec![0b1010_1100, 0b1000_0000]);
+    }
+
+    #[test]
+    fn sink_copy_back_replicates() {
+        let mut o = OutputSink::new();
+        o.push_byte(b'a');
+        o.push_byte(b'b');
+        o.copy_back(2, 5);
+        assert_eq!(o.bytes(), b"ababababa".get(..7).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bits_round_trip_through_sink(chunks in proptest::collection::vec((0u32..65536, 1u8..=16), 0..64)) {
+            // Writing bits then reading them back yields the same values.
+            let mut o = OutputSink::new();
+            let mut total_bits = 0u64;
+            for (v, w) in &chunks {
+                o.push_bits(v & ((1u32 << w) - 1), *w);
+                total_bits += u64::from(*w);
+            }
+            let bytes = o.into_bytes();
+            prop_assert_eq!(bytes.len() as u64, (total_bits + 7) / 8);
+            let mut s = BitStream::new(&bytes);
+            for (v, w) in &chunks {
+                prop_assert_eq!(s.read(*w), Some(v & ((1u32 << w) - 1)));
+            }
+        }
+
+        #[test]
+        fn prop_stream_read_matches_manual_extraction(data in proptest::collection::vec(any::<u8>(), 1..32), width in 1u8..=8) {
+            let mut s = BitStream::new(&data);
+            let mut pos = 0u64;
+            while s.remaining_bits() >= u64::from(width) {
+                let got = s.read(width).unwrap();
+                let mut expect = 0u32;
+                for i in 0..width {
+                    let p = pos + u64::from(i);
+                    let bit = (data[(p / 8) as usize] >> (7 - (p % 8))) & 1;
+                    expect = (expect << 1) | u32::from(bit);
+                }
+                prop_assert_eq!(got, expect);
+                pos += u64::from(width);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! CSV table generators with the paper datasets' shapes (§4.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PRIMARY_TYPES: &[&str] = &[
+    "THEFT", "BATTERY", "CRIMINAL DAMAGE", "NARCOTICS", "ASSAULT", "BURGLARY",
+    "MOTOR VEHICLE THEFT", "ROBBERY", "DECEPTIVE PRACTICE", "CRIMINAL TRESPASS",
+];
+
+const LOCATION_DESCRIPTIONS: &[&str] = &[
+    "STREET", "RESIDENCE", "APARTMENT", "SIDEWALK", "OTHER", "PARKING LOT/GARAGE(NON.RESID.)",
+    "ALLEY", "SCHOOL, PUBLIC, BUILDING", "RESIDENCE-GARAGE", "SMALL RETAIL STORE",
+    "RESTAURANT", "VEHICLE NON-COMMERCIAL", "GROCERY FOOD STORE", "DEPARTMENT STORE",
+    "GAS STATION", "RESIDENTIAL YARD (FRONT/BACK)", "PARK PROPERTY", "CHA PARKING LOT/GROUNDS",
+    "BAR OR TAVERN", "DRUG STORE",
+];
+
+/// Crimes-like rows: the dictionary-encoding attributes (Arrest,
+/// District, Location Description) have realistic low cardinalities.
+///
+/// Returns CSV bytes of roughly `target_bytes`.
+pub fn crimes_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC21);
+    let mut out = Vec::with_capacity(target_bytes + 256);
+    out.extend_from_slice(
+        b"ID,Case Number,Date,Block,IUCR,Primary Type,Location Description,Arrest,Domestic,District,Latitude,Longitude\n",
+    );
+    let mut id = 10_000_000u64;
+    while out.len() < target_bytes {
+        id += rng.gen_range(1..5);
+        let lat = 41.6 + rng.gen::<f64>() * 0.4;
+        let lon = -87.9 + rng.gen::<f64>() * 0.4;
+        let loc = LOCATION_DESCRIPTIONS[zipf(&mut rng, LOCATION_DESCRIPTIONS.len())];
+        let loc = if loc.contains(',') {
+            format!("\"{loc}\"")
+        } else {
+            loc.to_string()
+        };
+        let row = format!(
+            "{id},HZ{:06},{:02}/{:02}/20{:02} {:02}:{:02}:{:02} PM,0{:02}XX N {} ST,{:04},{},{},{},{},{:03},{:.9},{:.9}\n",
+            rng.gen_range(100_000..999_999u32),
+            rng.gen_range(1..13u8),
+            rng.gen_range(1..29u8),
+            rng.gen_range(10..24u8),
+            rng.gen_range(1..13u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(1..100u8),
+            ["STATE", "CLARK", "MICHIGAN", "HALSTED", "WESTERN"][rng.gen_range(0..5)],
+            rng.gen_range(110..2900u16),
+            PRIMARY_TYPES[zipf(&mut rng, PRIMARY_TYPES.len())],
+            loc,
+            if rng.gen_ratio(1, 4) { "true" } else { "false" },
+            if rng.gen_ratio(1, 8) { "true" } else { "false" },
+            rng.gen_range(1..26u8),
+            lat,
+            lon,
+        );
+        out.extend_from_slice(row.as_bytes());
+    }
+    out
+}
+
+/// NYC-taxi-like trip rows.
+pub fn taxi_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7A_11);
+    let mut out = Vec::with_capacity(target_bytes + 256);
+    out.extend_from_slice(
+        b"medallion,hack_license,pickup_datetime,dropoff_datetime,passenger_count,trip_distance,fare_amount,tip_amount,total_amount\n",
+    );
+    while out.len() < target_bytes {
+        let fare = fare_sample(&mut rng);
+        let tip = fare * rng.gen_range(0.0..0.3);
+        let row = format!(
+            "{:032X},{:032X},2013-{:02}-{:02} {:02}:{:02}:{:02},2013-{:02}-{:02} {:02}:{:02}:{:02},{},{:.2},{:.2},{:.2},{:.2}\n",
+            rng.gen::<u128>(),
+            rng.gen::<u128>(),
+            rng.gen_range(1..13u8),
+            rng.gen_range(1..29u8),
+            rng.gen_range(0..24u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(1..13u8),
+            rng.gen_range(1..29u8),
+            rng.gen_range(0..24u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(0..60u8),
+            rng.gen_range(1..6u8),
+            rng.gen_range(0.3..30.0f64),
+            fare,
+            tip,
+            fare + tip,
+        );
+        out.extend_from_slice(row.as_bytes());
+    }
+    out
+}
+
+/// Food-Inspection-like rows: "multiple fields contain escape quotes,
+/// including long comments and location coordinates" (§4.1) — the
+/// quoting-stress CSV case.
+pub fn food_inspection_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+    let mut out = Vec::with_capacity(target_bytes + 512);
+    out.extend_from_slice(
+        b"Inspection ID,DBA Name,AKA Name,Facility Type,Risk,Address,Results,Violations,Location\n",
+    );
+    let violations = [
+        "OBSERVED TORN DOOR GASKET ON DOOR OF 'COOLER'",
+        "MUST PROVIDE THERMOMETERS IN ALL COOLERS",
+        "INSTRUCTED TO CLEAN INTERIOR OF ICE MACHINE",
+        "ALL FOOD NOT STORED IN THE ORIGINAL CONTAINER SHALL BE STORED IN PROPERLY LABELED CONTAINERS",
+    ];
+    while out.len() < target_bytes {
+        let n_viol = rng.gen_range(1..5);
+        let mut comment = String::new();
+        for k in 0..n_viol {
+            if k > 0 {
+                comment.push_str(" | ");
+            }
+            comment.push_str(&format!(
+                "{}. {} - Comments: \"{}\" noted by inspector",
+                rng.gen_range(1..70),
+                violations[rng.gen_range(0..violations.len())],
+                violations[rng.gen_range(0..violations.len())]
+            ));
+        }
+        let lat = 41.6 + rng.gen::<f64>() * 0.4;
+        let lon = -87.9 + rng.gen::<f64>() * 0.4;
+        let row = format!(
+            "{},\"{} \"\"THE\"\" GRILL #{}\",\"CAFE {}\",Restaurant,Risk {} (High),{} W MADISON ST,{},\"{}\",\"({:.10}, {:.10})\"\n",
+            rng.gen_range(1_000_000..2_000_000u32),
+            ["JOE'S", "MARIA'S", "THE CORNER", "GOLDEN"][rng.gen_range(0..4)],
+            rng.gen_range(1..40u8),
+            rng.gen_range(1..999u16),
+            rng.gen_range(1..4u8),
+            rng.gen_range(1..9999u16),
+            ["Pass", "Fail", "Pass w/ Conditions"][rng.gen_range(0..3)],
+            comment.replace('"', "\"\""),
+            lat,
+            lon,
+        );
+        out.extend_from_slice(row.as_bytes());
+    }
+    out
+}
+
+/// TPC-H-lineitem-like rows for the Figure 1 ETL experiment.
+pub fn lineitem_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x11E1);
+    let mut out = Vec::with_capacity(target_bytes + 256);
+    let comments = ["carefully final deposits", "quickly ironic packages", "slyly regular accounts", "furiously even theodolites"];
+    let mut orderkey = 1u64;
+    while out.len() < target_bytes {
+        orderkey += rng.gen_range(1..4);
+        for line in 1..=rng.gen_range(1..7) {
+            let qty = rng.gen_range(1..51u8);
+            let price = rng.gen_range(900.0..105_000.0f64);
+            let row = format!(
+                "{orderkey}|{}|{}|{line}|{qty}|{price:.2}|0.{:02}|0.0{}|{}|{}|19{:02}-{:02}-{:02}|19{:02}-{:02}-{:02}|19{:02}-{:02}-{:02}|DELIVER IN PERSON|{}|{}|\n",
+                rng.gen_range(1..200_001u32),
+                rng.gen_range(1..10_001u32),
+                rng.gen_range(0..11u8),
+                rng.gen_range(0..9u8),
+                ["N", "R", "A"][rng.gen_range(0..3)],
+                ["O", "F"][rng.gen_range(0..2)],
+                rng.gen_range(92..99u8),
+                rng.gen_range(1..13u8),
+                rng.gen_range(1..29u8),
+                rng.gen_range(92..99u8),
+                rng.gen_range(1..13u8),
+                rng.gen_range(1..29u8),
+                rng.gen_range(92..99u8),
+                rng.gen_range(1..13u8),
+                rng.gen_range(1..29u8),
+                ["TRUCK", "MAIL", "SHIP", "RAIL", "AIR"][rng.gen_range(0..5)],
+                comments[rng.gen_range(0..comments.len())],
+            );
+            out.extend_from_slice(row.as_bytes());
+            if out.len() >= target_bytes {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn fare_sample(rng: &mut SmallRng) -> f64 {
+    // Skewed fares: mostly short trips, a heavy tail.
+    let base: f64 = rng.gen_range(2.5..15.0);
+    if rng.gen_ratio(1, 10) {
+        base * rng.gen_range(2.0..6.0)
+    } else {
+        base
+    }
+}
+
+fn zipf(rng: &mut SmallRng, n: usize) -> usize {
+    let u: f64 = rng.gen();
+    let idx = ((n as f64 + 1.0).powf(u) - 1.0) as usize;
+    idx.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_codecs::CsvParser;
+
+    #[test]
+    fn crimes_parses_with_consistent_arity() {
+        let data = crimes_csv(40_000, 1);
+        let rows = CsvParser::new().parse(&data);
+        assert!(rows.len() > 50);
+        let arity = rows[0].len();
+        assert_eq!(arity, 12);
+        assert!(rows.iter().all(|r| r.len() == arity));
+    }
+
+    #[test]
+    fn food_inspection_has_escaped_quotes() {
+        let data = food_inspection_csv(30_000, 2);
+        assert!(data.windows(2).any(|w| w == b"\"\""), "needs escaped quotes");
+        let rows = CsvParser::new().parse(&data);
+        assert!(rows.iter().all(|r| r.len() == 9), "quoting must not break arity");
+    }
+
+    #[test]
+    fn taxi_and_lineitem_generate() {
+        let t = taxi_csv(20_000, 3);
+        assert!(t.len() >= 20_000);
+        let l = lineitem_csv(20_000, 3);
+        assert!(l.len() >= 20_000);
+        // lineitem uses '|' delimiters.
+        let rows = CsvParser::new().with_delimiter(b'|').parse(&l[..5000]);
+        assert!(rows.iter().take(5).all(|r| r.len() == 17), "{:?}", rows[0].len());
+    }
+
+    #[test]
+    fn low_cardinality_dictionary_attributes() {
+        let data = crimes_csv(100_000, 4);
+        let rows = CsvParser::new().parse(&data);
+        let mut locs: Vec<Vec<u8>> = rows.iter().skip(1).map(|r| r[6].clone()).collect();
+        locs.sort();
+        locs.dedup();
+        assert!(
+            locs.len() <= LOCATION_DESCRIPTIONS.len(),
+            "location description cardinality: {}",
+            locs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(crimes_csv(5000, 9), crimes_csv(5000, 9));
+        assert_ne!(crimes_csv(5000, 9), crimes_csv(5000, 10));
+    }
+}

@@ -1,0 +1,84 @@
+//! NDJSON event-record generation (the JSON-parsing workload).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const USERS: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy",
+];
+const TAGS: &[&str] = &[
+    "etl", "udp", "parser", "bigdata", "stream", "query", "nids", "scope", "column",
+];
+const NOTES: &[&str] = &[
+    "loaded without errors",
+    "field contains a \\\"quoted\\\" phrase",
+    "path C:\\\\data\\\\in",
+    "newline\\nencoded",
+    "tab\\tseparated",
+    "unicode snow\\u2603man",
+];
+
+/// Generates roughly `target_bytes` of newline-delimited JSON event
+/// records with strings, escapes, numbers, arrays, and literals.
+pub fn ndjson_events(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x150);
+    let mut out = Vec::with_capacity(target_bytes + 256);
+    let mut id = 1_000u64;
+    while out.len() < target_bytes {
+        id += rng.gen_range(1..7);
+        let n_tags = rng.gen_range(0..4);
+        let mut tags = String::new();
+        for k in 0..n_tags {
+            if k > 0 {
+                tags.push(',');
+            }
+            tags.push_str(&format!("\"{}\"", TAGS[rng.gen_range(0..TAGS.len())]));
+        }
+        let rec = format!(
+            "{{\"id\":{id},\"user\":\"{}\",\"score\":{:.2},\"ratio\":{:.4}e{},\"tags\":[{tags}],\"active\":{},\"parent\":{},\"note\":\"{}\"}}\n",
+            USERS[rng.gen_range(0..USERS.len())],
+            rng.gen_range(0.0..100.0f64),
+            rng.gen_range(1.0..9.9f64),
+            rng.gen_range(-3..4i8),
+            if rng.gen_ratio(2, 3) { "true" } else { "false" },
+            if rng.gen_ratio(1, 5) {
+                "null".to_string()
+            } else {
+                rng.gen_range(1..1000u32).to_string()
+            },
+            NOTES[rng.gen_range(0..NOTES.len())],
+        );
+        out.extend_from_slice(rec.as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_codecs::json::{validate, JsonTokenizer};
+
+    #[test]
+    fn generated_ndjson_is_valid_json() {
+        let data = ndjson_events(30_000, 1);
+        let toks = JsonTokenizer::new()
+            .tokenize(&data)
+            .expect("generator output tokenizes strictly");
+        let values = validate(&toks).expect("generator output validates");
+        assert!(values > 20, "several records: {values}");
+    }
+
+    #[test]
+    fn contains_escapes_and_exponents() {
+        let data = ndjson_events(30_000, 2);
+        let s = String::from_utf8_lossy(&data);
+        assert!(s.contains("\\\""), "escaped quotes present");
+        assert!(s.contains("\\u"), "unicode escapes present");
+        assert!(s.contains('e'), "exponent numbers present");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ndjson_events(5_000, 3), ndjson_events(5_000, 3));
+    }
+}

@@ -1,0 +1,38 @@
+//! # udp-workloads — deterministic synthetic datasets
+//!
+//! The paper evaluates on Chicago Crimes, NYC Taxi, Food Inspection,
+//! the Canterbury Corpus, Berkeley Big Data blocks, the IBM PowerEN
+//! NIDS pattern set, and a proprietary Keysight scope trace (Table 2).
+//! None of those ship with this repository, so this crate generates
+//! synthetic equivalents that reproduce the statistics the kernels are
+//! actually sensitive to (DESIGN.md §4 documents each substitution):
+//!
+//! * [`csvgen`] — CSV tables with matched schemas, field-length
+//!   distributions, quote/escape density, and attribute cardinalities;
+//! * [`text`] — entropy-controlled text for Huffman/Snappy;
+//! * [`patterns`] — NIDS-like literal and regex rule sets plus traffic
+//!   with planted matches;
+//! * [`waveform`] — pulsed scope traces;
+//! * [`values`] — IEEE-754 attribute streams (lat/lon clusters, skewed
+//!   fares).
+//!
+//! Everything is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvgen;
+pub mod jsongen;
+pub mod patterns;
+pub mod text;
+pub mod values;
+pub mod waveform;
+pub mod xmlgen;
+
+pub use csvgen::{crimes_csv, food_inspection_csv, lineitem_csv, taxi_csv};
+pub use jsongen::ndjson_events;
+pub use xmlgen::xml_records;
+pub use patterns::{nids_literals, nids_regexes, traffic_with_matches};
+pub use text::{bdbench_block, canterbury_like, Entropy};
+pub use values::{fare_stream, latitude_stream, longitude_stream};
+pub use waveform::pulsed_waveform;

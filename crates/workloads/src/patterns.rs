@@ -1,0 +1,149 @@
+//! NIDS-like pattern sets (the PowerEN dataset stand-in, §4.1, §5.3).
+//!
+//! Two families match the paper's "simple" (string matching) and
+//! "complex" (regular expression) workloads: literal byte signatures of
+//! realistic lengths, and regexes built from classes, alternation, and
+//! bounded repetition — the shapes in Snort/PowerEN rule sets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SHELL_WORDS: &[&str] = &[
+    "GET /", "POST /", "cmd.exe", "/bin/sh", "passwd", "SELECT", "UNION", "admin.php",
+    "wget http", "eval(", "base64_", "powershell", "xp_cmdshell", "etc/shadow", "0wned",
+    "\\x90\\x90", "login.cgi", "%c0%af", "Authorization:", "Content-Length:",
+];
+
+/// `n` literal signatures, 4–20 bytes, mixing protocol keywords, paths,
+/// and binary shellcode-ish prefixes.
+pub fn nids_literals(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x51D5);
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let mut sig: Vec<u8> = Vec::new();
+        match rng.gen_range(0..3) {
+            0 => {
+                sig.extend_from_slice(SHELL_WORDS[rng.gen_range(0..SHELL_WORDS.len())].as_bytes());
+                for _ in 0..rng.gen_range(0..8) {
+                    sig.push(rng.gen_range(b'a'..=b'z'));
+                }
+            }
+            1 => {
+                // Binary signature.
+                for _ in 0..rng.gen_range(4..12) {
+                    sig.push(rng.gen());
+                }
+            }
+            _ => {
+                sig.extend_from_slice(b"/");
+                for _ in 0..rng.gen_range(4..16) {
+                    sig.push(*b"abcdefghij.-_/".get(rng.gen_range(0..14)).expect("idx"));
+                }
+            }
+        }
+        sig.truncate(20);
+        if sig.len() >= 4 && seen.insert(sig.clone()) {
+            out.push(sig);
+        }
+    }
+    out
+}
+
+/// `n` complex regex patterns (as strings parseable by
+/// `udp_automata::Regex`).
+pub fn nids_regexes(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x2E6E);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shape = rng.gen_range(0..4);
+        let kw = |rng: &mut SmallRng| {
+            SHELL_WORDS[rng.gen_range(0..SHELL_WORDS.len())]
+                .replace(['\\', '(', ')', '[', ']', '%', '{', '}'], "x")
+        };
+        let p = match shape {
+            0 => format!("{}[a-z0-9]{{2,6}}{}", kw(&mut rng), kw(&mut rng)),
+            1 => format!("({}|{})\\d+", kw(&mut rng), kw(&mut rng)),
+            2 => format!("{}\\s?=\\s?[\"']?[a-zA-Z0-9_]+", kw(&mut rng)),
+            _ => format!("{}(\\.\\w+)+/", kw(&mut rng)),
+        };
+        out.push(p);
+    }
+    out
+}
+
+/// A traffic trace of `size` bytes with `plant_every`-byte spaced planted
+/// occurrences of the given patterns (round-robin), over an HTTP-ish
+/// background. Returns `(trace, planted_count)`.
+pub fn traffic_with_matches(
+    patterns: &[Vec<u8>],
+    size: usize,
+    plant_every: usize,
+    seed: u64,
+) -> (Vec<u8>, usize) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7F4C);
+    let mut out = Vec::with_capacity(size + 64);
+    let mut planted = 0usize;
+    let mut next_plant = plant_every.max(8);
+    while out.len() < size {
+        if !patterns.is_empty() && out.len() >= next_plant {
+            out.extend_from_slice(&patterns[planted % patterns.len()]);
+            planted += 1;
+            next_plant += plant_every.max(8);
+        }
+        // Background: header-ish lines with random payloads.
+        out.extend_from_slice(b"Host: srv");
+        for _ in 0..rng.gen_range(2..9) {
+            out.push(rng.gen_range(b'a'..=b'z'));
+        }
+        out.extend_from_slice(b".example\r\n");
+        for _ in 0..rng.gen_range(8..40) {
+            out.push(rng.gen_range(32..127));
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+    out.truncate(size);
+    (out, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_have_realistic_lengths() {
+        let pats = nids_literals(100, 1);
+        assert_eq!(pats.len(), 100);
+        assert!(pats.iter().all(|p| (4..=20).contains(&p.len())));
+        // All distinct.
+        let set: std::collections::HashSet<_> = pats.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn regexes_parse() {
+        for p in nids_regexes(50, 2) {
+            udp_automata::Regex::parse(&p).unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn planted_matches_are_found() {
+        let pats = nids_literals(10, 3);
+        let (trace, planted) = traffic_with_matches(&pats, 50_000, 500, 3);
+        assert!(planted > 50);
+        let adfa = udp_automata::Adfa::build(&pats);
+        let found = adfa.find_all(&trace);
+        assert!(
+            found.len() >= planted * 9 / 10,
+            "found {} of {planted} planted",
+            found.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(nids_literals(20, 5), nids_literals(20, 5));
+        assert_eq!(nids_regexes(20, 5), nids_regexes(20, 5));
+    }
+}

@@ -1,0 +1,210 @@
+//! Entropy-controlled text generation (Canterbury / BDBench stand-ins).
+//!
+//! Huffman and Snappy throughput depend on symbol entropy and on LZ
+//! match structure. The generator mixes a Zipf-weighted word vocabulary
+//! (low entropy, long repeats) with uniform random bytes (high entropy)
+//! in a tunable ratio.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Entropy regimes matching the Canterbury corpus spread (the corpus
+/// files "range from 3KB to 1MB with different entropy", §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entropy {
+    /// Highly repetitive (like `ptt5` / `kennedy.xls`): ~2 bits/byte.
+    Low,
+    /// English-like (like `alice29.txt`): ~4.5 bits/byte.
+    Medium,
+    /// Near-random (like compressed or encrypted payloads): ~8 bits/byte.
+    High,
+}
+
+const VOCAB: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
+    "are", "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one",
+    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can",
+    "said", "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will",
+    "up", "other", "about", "out", "many", "then", "them", "these", "so", "some", "her",
+    "would", "make", "like", "him", "into", "time", "has", "look", "two", "more", "write",
+    "go", "see", "number", "no", "way", "could", "people", "my", "than", "first", "water",
+    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get",
+    "come", "made", "may", "part",
+];
+
+/// Generates `size` bytes at the requested entropy, seeded.
+pub fn canterbury_like(entropy: Entropy, size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut out = Vec::with_capacity(size + 16);
+    match entropy {
+        Entropy::Low => {
+            // A few phrases repeated with occasional mutation.
+            let phrases: Vec<String> = (0..4)
+                .map(|i| {
+                    (0..8)
+                        .map(|_| VOCAB[rng.gen_range(0..8 + i * 4)])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            while out.len() < size {
+                let p = &phrases[zipf(&mut rng, 4)];
+                out.extend_from_slice(p.as_bytes());
+                out.push(if rng.gen_ratio(1, 20) { b'.' } else { b' ' });
+            }
+        }
+        Entropy::Medium => {
+            while out.len() < size {
+                let w = VOCAB[zipf(&mut rng, VOCAB.len())];
+                out.extend_from_slice(w.as_bytes());
+                out.push(b' ');
+                if rng.gen_ratio(1, 12) {
+                    out.pop();
+                    out.extend_from_slice(b".\n");
+                }
+            }
+        }
+        Entropy::High => {
+            while out.len() < size {
+                out.push(rng.gen());
+            }
+        }
+    }
+    out.truncate(size);
+    out
+}
+
+/// A BDBench-like HDFS block: `kind` 0 = crawl (HTML-ish, medium
+/// entropy, high byte diversity), 1 = rank (URL + numbers, low
+/// cardinality), 2 = user-visits (log records). Sizes are scaled down
+/// ×8 from the paper's 64/22/64 MB for tractable runs.
+pub fn bdbench_block(kind: usize, size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBDBE_4C);
+    let mut out = Vec::with_capacity(size + 64);
+    match kind % 3 {
+        0 => {
+            // crawl: markup-heavy documents. Large Huffman tree (byte-
+            // diverse) — the case that forces 2 banks/lane in §5.2.
+            while out.len() < size {
+                out.extend_from_slice(b"<div class=\"");
+                for _ in 0..rng.gen_range(3..10) {
+                    out.push(rng.gen_range(b'a'..=b'z'));
+                }
+                out.extend_from_slice(b"\"><p>");
+                for _ in 0..rng.gen_range(5..25) {
+                    let w = VOCAB[zipf(&mut rng, VOCAB.len())];
+                    out.extend_from_slice(w.as_bytes());
+                    out.push(b' ');
+                }
+                // Sprinkle high bytes so all 256 symbols get codes.
+                if rng.gen_ratio(1, 3) {
+                    out.push(rng.gen());
+                }
+                out.extend_from_slice(b"</p></div>\n");
+            }
+        }
+        1 => {
+            while out.len() < size {
+                let rank = rng.gen_range(1..100_000u32);
+                let dur = rng.gen_range(1..500u32);
+                out.extend_from_slice(
+                    format!("{rank},http://site{}.example/page{}\n", rank % 971, dur).as_bytes(),
+                );
+            }
+        }
+        _ => {
+            while out.len() < size {
+                let ip = format!(
+                    "{}.{}.{}.{}",
+                    rng.gen_range(1..255),
+                    rng.gen_range(0..255),
+                    rng.gen_range(0..255),
+                    rng.gen_range(1..255)
+                );
+                out.extend_from_slice(
+                    format!(
+                        "{ip},1997-{:02}-{:02},0.{:05},page{}\n",
+                        rng.gen_range(1..13),
+                        rng.gen_range(1..29),
+                        rng.gen_range(0..99999),
+                        rng.gen_range(0..5000)
+                    )
+                    .as_bytes(),
+                );
+            }
+        }
+    }
+    out.truncate(size);
+    out
+}
+
+/// Zipf-ish index in `0..n`: rank 0 most likely.
+fn zipf(rng: &mut SmallRng, n: usize) -> usize {
+    // Inverse-CDF approximation for s≈1: index ∝ exp(u · ln n) − 1.
+    let u: f64 = rng.gen();
+    let idx = ((n as f64 + 1.0).powf(u) - 1.0) as usize;
+    idx.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shannon_bits(data: &[u8]) -> f64 {
+        let mut f = [0u64; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        let n = data.len() as f64;
+        f.iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn entropy_regimes_are_ordered() {
+        let lo = shannon_bits(&canterbury_like(Entropy::Low, 50_000, 1));
+        let med = shannon_bits(&canterbury_like(Entropy::Medium, 50_000, 1));
+        let hi = shannon_bits(&canterbury_like(Entropy::High, 50_000, 1));
+        assert!(lo < med && med < hi, "{lo} < {med} < {hi}");
+        assert!(hi > 7.9);
+        assert!(lo < 4.5);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(
+            canterbury_like(Entropy::Medium, 1000, 7),
+            canterbury_like(Entropy::Medium, 1000, 7)
+        );
+        assert_ne!(
+            canterbury_like(Entropy::Medium, 1000, 7),
+            canterbury_like(Entropy::Medium, 1000, 8)
+        );
+    }
+
+    #[test]
+    fn exact_sizes() {
+        for size in [0, 1, 3000, 65_536] {
+            assert_eq!(canterbury_like(Entropy::Low, size, 0).len(), size);
+            assert_eq!(bdbench_block(0, size, 0).len(), size);
+        }
+    }
+
+    #[test]
+    fn crawl_block_is_byte_diverse() {
+        let data = bdbench_block(0, 200_000, 3);
+        let distinct = {
+            let mut seen = [false; 256];
+            for &b in &data {
+                seen[b as usize] = true;
+            }
+            seen.iter().filter(|&&s| s).count()
+        };
+        assert!(distinct > 200, "crawl should exercise most byte values: {distinct}");
+    }
+}

@@ -1,0 +1,98 @@
+//! IEEE-754 attribute streams for the histogram kernel (§4.1, §5.5).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Chicago-latitude-like values: clustered around 41.6–42.0 with a few
+/// null-island zeros, as little-endian `f32` bytes.
+pub fn latitude_stream(n_values: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1A7);
+    stream(n_values, |_| {
+        if rng.gen_ratio(1, 200) {
+            0.0
+        } else {
+            41.6 + gaussianish(&mut rng) * 0.4
+        }
+    })
+}
+
+/// Chicago-longitude-like values around −87.9…−87.5.
+pub fn longitude_stream(n_values: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x10F);
+    stream(n_values, |_| {
+        if rng.gen_ratio(1, 200) {
+            0.0
+        } else {
+            -87.9 + gaussianish(&mut rng) * 0.4
+        }
+    })
+}
+
+/// Taxi-fare-like values: short-trip mass plus a heavy tail.
+pub fn fare_stream(n_values: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA4E);
+    stream(n_values, |_| {
+        let base = 2.5 + rng.gen::<f32>() * 12.5;
+        if rng.gen_ratio(1, 10) {
+            base * (2.0 + rng.gen::<f32>() * 4.0)
+        } else {
+            base
+        }
+    })
+}
+
+/// Decodes a little-endian `f32` stream back to values (test helper).
+pub fn decode_f32_stream(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn gaussianish(rng: &mut SmallRng) -> f32 {
+    // Irwin–Hall(4) ≈ normal on [0,1].
+    let s: f32 = (0..4).map(|_| rng.gen::<f32>()).sum();
+    (s / 4.0).clamp(0.0, 1.0)
+}
+
+fn stream<F: FnMut(usize) -> f32>(n: usize, mut f: F) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        out.extend_from_slice(&f(i).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latitudes_are_in_chicago() {
+        let vals = decode_f32_stream(&latitude_stream(1000, 1));
+        assert_eq!(vals.len(), 1000);
+        let in_range = vals.iter().filter(|&&v| (41.6..=42.0).contains(&v)).count();
+        assert!(in_range > 950);
+    }
+
+    #[test]
+    fn longitudes_are_negative() {
+        let vals = decode_f32_stream(&longitude_stream(500, 2));
+        assert!(vals.iter().filter(|&&v| v < -87.0).count() > 450);
+    }
+
+    #[test]
+    fn fares_are_skewed() {
+        let vals = decode_f32_stream(&fare_stream(5000, 3));
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        let above = vals.iter().filter(|&&v| v > mean).count();
+        // Heavy tail: fewer than half the values exceed the mean.
+        assert!(above < vals.len() / 2, "above-mean = {above}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fare_stream(100, 4), fare_stream(100, 4));
+        assert_ne!(fare_stream(100, 4), fare_stream(100, 5));
+    }
+}

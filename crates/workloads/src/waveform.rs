@@ -1,0 +1,69 @@
+//! Pulsed-waveform traces (the Keysight scope-trace stand-in, §5.7).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n_samples` 8-bit samples: a noisy low baseline with pulses
+/// of width drawn from `widths`, spaced `gap`±jitter apart. Returns
+/// `(samples, positions_of_falling_edges_by_width)` where entry `i`
+/// lists the falling-edge sample indexes of pulses with `widths[i]`.
+pub fn pulsed_waveform(
+    n_samples: usize,
+    widths: &[u32],
+    gap: usize,
+    seed: u64,
+) -> (Vec<u8>, Vec<Vec<usize>>) {
+    assert!(!widths.is_empty() && gap >= 4);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5C0B);
+    let mut samples = Vec::with_capacity(n_samples);
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); widths.len()];
+    let mut k = 0usize;
+    while samples.len() < n_samples {
+        // Baseline low run with noise.
+        let low_run = gap / 2 + rng.gen_range(0..gap / 2 + 1);
+        for _ in 0..low_run {
+            samples.push(rng.gen_range(0..40));
+        }
+        // One pulse.
+        let wi = k % widths.len();
+        let w = widths[wi] as usize;
+        k += 1;
+        for _ in 0..w {
+            samples.push(rng.gen_range(215..=255));
+        }
+        if samples.len() < n_samples {
+            edges[wi].push(samples.len());
+            samples.push(rng.gen_range(0..40)); // falling-edge sample
+        }
+    }
+    samples.truncate(n_samples);
+    for e in edges.iter_mut() {
+        e.retain(|&p| p < n_samples);
+    }
+    (samples, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_codecs::TriggerFsm;
+
+    #[test]
+    fn planted_pulses_are_detected() {
+        let widths = [3u32, 5];
+        let (samples, edges) = pulsed_waveform(20_000, &widths, 20, 1);
+        for (i, &w) in widths.iter().enumerate() {
+            let fsm = TriggerFsm::new(64, 192, w);
+            let found = fsm.run_reference(&samples);
+            assert_eq!(found, edges[i], "width {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let (a, _) = pulsed_waveform(5000, &[4], 30, 7);
+        let (b, _) = pulsed_waveform(5000, &[4], 30, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+    }
+}

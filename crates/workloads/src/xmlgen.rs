@@ -1,0 +1,69 @@
+//! XML record generation (the PowerEN-XML-comparison workload shape:
+//! data-interchange documents of repeated records).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CITIES: &[&str] = &["chicago", "nyc", "sf", "boston", "austin", "seattle"];
+const STATUSES: &[&str] = &["ok", "late", "failed", "retry"];
+
+/// Generates roughly `target_bytes` of `<batch>` documents containing
+/// `<order>` records with attributes, nested elements, text (including
+/// raw entities), and self-closing tags.
+pub fn xml_records(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234_5678);
+    let mut out = Vec::with_capacity(target_bytes + 512);
+    let mut id = 5_000u64;
+    while out.len() < target_bytes {
+        out.extend_from_slice(b"<batch>\n");
+        for _ in 0..rng.gen_range(2..6) {
+            id += rng.gen_range(1..9);
+            let city = CITIES[rng.gen_range(0..CITIES.len())];
+            let status = STATUSES[rng.gen_range(0..STATUSES.len())];
+            let rec = format!(
+                "  <order id=\"{id}\" city='{city}' status=\"{status}\">\n    <qty>{}</qty>\n    <price>{}.{:02}</price>\n    <note>item {} &amp; co &lt;expedited&gt;</note>\n    <flag v=\"{}\"/>\n  </order>\n",
+                rng.gen_range(1..100),
+                rng.gen_range(1..500),
+                rng.gen_range(0..100),
+                rng.gen_range(1..50),
+                rng.gen_range(0..2),
+            );
+            out.extend_from_slice(rec.as_bytes());
+            if out.len() >= target_bytes {
+                break;
+            }
+        }
+        out.extend_from_slice(b"</batch>\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_codecs::xml::{validate, XmlTokenizer};
+
+    #[test]
+    fn generated_xml_is_valid() {
+        let data = xml_records(20_000, 1);
+        let toks = XmlTokenizer::new()
+            .tokenize(&data)
+            .expect("generator output tokenizes strictly");
+        let roots = validate(&toks).expect("generator output nests correctly");
+        assert!(roots >= 1);
+    }
+
+    #[test]
+    fn contains_entities_and_self_closing() {
+        let data = xml_records(10_000, 2);
+        let s = String::from_utf8_lossy(&data);
+        assert!(s.contains("&amp;"));
+        assert!(s.contains("/>"));
+        assert!(s.contains('\''), "single-quoted attributes present");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(xml_records(5_000, 3), xml_records(5_000, 3));
+    }
+}

@@ -1,0 +1,59 @@
+//! The Figure 1 scenario as an application: ingest Snappy-compressed
+//! TPC-H-like lineitem CSV into a columnar store, then model offloading
+//! the transformation stages to the UDP.
+//!
+//! ```text
+//! cargo run --release --example etl_ingest
+//! ```
+
+use udp_codecs::snappy_compress;
+use udp_etl::{run_cpu_etl, udp_offload_model, OffloadRates, SSD_MBPS};
+use udp_workloads::lineitem_csv;
+
+fn main() {
+    // ~7 MB of raw rows, compressed like a warehouse drop.
+    let raw = lineitem_csv(7_000_000, 1);
+    let compressed = snappy_compress(&raw);
+    println!(
+        "input: {:.1} MB raw -> {:.1} MB compressed ({:.0}% of raw)",
+        raw.len() as f64 / 1e6,
+        compressed.len() as f64 / 1e6,
+        compressed.len() as f64 / raw.len() as f64 * 100.0
+    );
+
+    let (store, rep) = run_cpu_etl(&compressed);
+    println!("\nloaded {} rows x {} columns", store.rows, store.columns.len());
+    println!("stage breakdown (CPU pipeline):");
+    println!("  io (modeled {SSD_MBPS:.0} MB/s SSD): {:>8.3}s", rep.io_model_s);
+    println!("  decompress:                   {:>8.3}s", rep.decompress_s);
+    println!("  parse/tokenize:               {:>8.3}s", rep.parse_s);
+    println!("  deserialize/validate:         {:>8.3}s", rep.deserialize_s);
+    println!("  columnar load:                {:>8.3}s", rep.load_s);
+    println!(
+        "  => CPU work is {:.1}% of wall time (the Figure 1b point)",
+        rep.cpu_fraction() * 100.0
+    );
+
+    // Offload decompression + parsing to the UDP at measured rates.
+    let sample = lineitem_csv(100_000, 2);
+    let cut = sample[..24 * 1024]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(24 * 1024);
+    let parse = udp::kernels::csv::run(&sample[..cut]);
+    let decomp = udp::kernels::snappy::run_decompress(&sample[..24 * 1024]);
+    let (cpu_only, offloaded) = udp_offload_model(
+        &rep,
+        OffloadRates {
+            decompress_mbps: decomp.throughput_mbps,
+            parse_mbps: parse.throughput_mbps,
+        },
+    );
+    println!(
+        "\nUDP offload model: {:.3}s -> {:.3}s ({:.2}x end-to-end, with the CPU freed)",
+        cpu_only,
+        offloaded,
+        cpu_only / offloaded
+    );
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the extension experiments,
+# saving outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p udp-bench
+
+mkdir -p results
+bins=(
+  fig01_etl_load tab01_coverage fig05_branches fig08_symbols fig09_sources
+  fig11_addressing fig13_csv fig14_huffenc fig15_huffdec fig16_patterns
+  fig17_dict fig18_histogram fig19_snappy_comp fig20_snappy_decomp
+  fig_trigger fig21_overall tab03_power_area tab04_accelerators
+  ext_json_parse ablate_layout
+)
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  ./target/release/"$b" | tee "results/$b.txt"
+done
+echo "done: results/ holds one file per experiment"

@@ -1,0 +1,135 @@
+//! Integration tests for the beyond-the-paper capabilities: JSON/XML
+//! tokenization, bit-pack, RLE decode, D²FA, counting automata, the
+//! text assembler, and the disassembler — each exercised across crates.
+
+use udp_asm::{disassemble, parse_asm, LayoutOptions};
+use udp_sim::{Lane, LaneConfig, LaneStatus};
+use udp_workloads as w;
+
+#[test]
+fn json_device_run_matches_baseline() {
+    let data = w::ndjson_events(20_000, 200);
+    let report = udp::kernels::json::run(&data); // verifies internally
+    assert_eq!(report.lanes, 64);
+    assert!(report.lane_rate_mbps > 200.0);
+}
+
+#[test]
+fn xml_device_run_matches_baseline() {
+    let data = w::xml_records(20_000, 201);
+    let report = udp::kernels::xml::run(&data);
+    assert!(report.lane_rate_mbps > 200.0);
+}
+
+#[test]
+fn bitpack_round_trips_dictionary_codes() {
+    // Full chain: dictionary-encode a CSV column, bit-pack the codes on
+    // the UDP, unpack them on the UDP, decode back to values.
+    let table = w::crimes_csv(30_000, 202);
+    let rows = udp_codecs::CsvParser::new().parse(&table);
+    let col: Vec<Vec<u8>> = rows.iter().skip(1).map(|r| r[5].clone()).collect();
+    let mut enc = udp_codecs::DictionaryEncoder::default();
+    let codes = enc.encode_column(&col);
+    let width = udp_codecs::bits_needed(&codes);
+    assert!(width <= 8, "crimes attributes are low-cardinality");
+
+    let bytes: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+    let packed = udp::kernels::bitpack::run_encode(&bytes, width);
+    assert!(packed.bytes_in > 0);
+    let cpu_packed = udp_codecs::bitpack_encode(&codes, width);
+    let unpacked = udp::kernels::bitpack::run_decode(&cpu_packed, width, codes.len());
+    assert!(unpacked.lane_rate_mbps > 0.0);
+}
+
+#[test]
+fn dict_rle_output_expands_on_the_udp() {
+    // dictionary-RLE runs → RLE-decode program → original code stream.
+    let runs: Vec<(u8, u32)> = vec![(0, 3), (1, 1), (0, 2), (2, 5)];
+    let input = udp_compilers::rle::encode_runs(&runs);
+    let img = udp_compilers::rle::rle_decode_to_udp()
+        .assemble(&LayoutOptions::with_banks(1))
+        .unwrap();
+    let rep = Lane::run_program(&img, &input, &LaneConfig::default());
+    assert_eq!(rep.status, LaneStatus::Halted(0));
+    assert_eq!(rep.output, vec![0, 0, 0, 1, 0, 0, 2, 2, 2, 2, 2]);
+}
+
+#[test]
+fn d2fa_scans_nids_traffic_like_the_dfa() {
+    let pats = w::nids_literals(16, 203);
+    let asts: Vec<udp_automata::Regex> =
+        pats.iter().map(|p| udp_automata::Regex::literal(p)).collect();
+    let dfa = udp_automata::Dfa::determinize(&udp_automata::Nfa::scanner(&asts)).minimize();
+    let d2 = udp_automata::D2fa::from_dfa(&dfa);
+    let (trace, _) = w::traffic_with_matches(&pats, 12_000, 700, 203);
+    assert_eq!(d2.find_all(&trace), dfa.find_all(&trace));
+
+    let img = udp_compilers::automata::d2fa_to_udp(&d2)
+        .assemble(&LayoutOptions::with_banks(16))
+        .unwrap();
+    let rep = Lane::run_program(&img, &trace, &LaneConfig::default());
+    let mut got = rep.reports;
+    got.sort_unstable();
+    got.dedup();
+    let mut expect: Vec<(u16, u32)> = dfa
+        .find_all(&trace)
+        .into_iter()
+        .filter(|&(_, e)| e > 0)
+        .map(|(id, e)| (id, e as u32))
+        .collect();
+    expect.sort_unstable();
+    expect.dedup();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn counting_pattern_on_real_traffic_shape() {
+    let p = udp_compilers::counting::CountedPattern {
+        prefix: b"Host: srv".to_vec(),
+        class: udp_automata::ByteSet::range(b'a', b'z'),
+        min: 2,
+        max: 8,
+        suffix: b".example".to_vec(),
+    }
+    .validated();
+    let (trace, _) = w::traffic_with_matches(&[], 12_000, 1000, 204);
+    let expect = p.find_all(&trace);
+    assert!(!expect.is_empty(), "background traffic contains hosts");
+
+    let img = udp_compilers::counting::counted_to_udp(&p)
+        .assemble(&LayoutOptions::with_banks(2))
+        .unwrap();
+    let rep = Lane::run_program(&img, &trace, &LaneConfig::default());
+    let got: Vec<usize> = rep.reports.iter().map(|&(_, pos)| pos as usize).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn text_assembly_through_the_whole_stack() {
+    let src = r#"
+; classify digits vs others
+symbols 8
+state s:
+  '0'-'9'  -> s { EmitB r0, r12, #68 }   ; 'D'
+  fallback -> s { EmitB r0, r12, #46 }   ; '.'
+entry s
+"#;
+    let b = parse_asm(src).unwrap();
+    let img = b.assemble(&LayoutOptions::default()).unwrap();
+    let rep = Lane::run_program(&img, b"a1b22", &LaneConfig::default());
+    assert_eq!(rep.output, b".D.DD");
+    // Disassembly names the arcs we wrote.
+    let text = disassemble(&img);
+    assert!(text.contains("EmitB"));
+    assert!(text.contains("['0']"));
+}
+
+#[test]
+fn disassembly_of_generated_programs_is_well_formed() {
+    let img = udp_compilers::csv::csv_to_udp()
+        .assemble(&LayoutOptions::with_banks(1))
+        .unwrap();
+    let text = disassemble(&img);
+    assert!(text.lines().count() > 100);
+    assert!(udp_asm::disasm::transition_targets_in_range(&img));
+}

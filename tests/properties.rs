@@ -1,0 +1,150 @@
+//! Cross-crate property tests: UDP-compiled kernels are extensionally
+//! equal to their CPU baselines on randomized inputs.
+
+use proptest::prelude::*;
+use udp_asm::LayoutOptions;
+use udp_codecs::csv::write_csv;
+use udp_codecs::HuffmanTree;
+use udp_sim::{Lane, LaneConfig};
+
+fn arb_csv_table() -> impl Strategy<Value = Vec<Vec<Vec<u8>>>> {
+    let field = proptest::collection::vec(
+        prop_oneof![
+            Just(b'a'),
+            Just(b'b'),
+            Just(b'z'),
+            Just(b','),
+            Just(b'"'),
+            Just(b'\n'),
+            Just(b' '),
+        ],
+        0..6,
+    );
+    proptest::collection::vec(proptest::collection::vec(field, 1..5), 1..6).prop_map(|t| {
+        t.into_iter()
+            .filter(|row| !(row.len() == 1 && row[0].is_empty()))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn udp_csv_equals_libcsv_baseline(table in arb_csv_table()) {
+        prop_assume!(!table.is_empty());
+        let bytes = write_csv(&table);
+        let img = udp_compilers::csv::csv_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let rep = Lane::run_program(&img, &bytes, &LaneConfig::default());
+        prop_assert_eq!(rep.output, udp_compilers::csv::baseline_framing(&bytes));
+    }
+
+    #[test]
+    fn udp_huffman_decode_inverts_encode(data in proptest::collection::vec(any::<u8>(), 2..1500)) {
+        let tree = HuffmanTree::from_data(&data);
+        let (bits, nbits) = tree.encode(&data);
+        let stride = udp_compilers::huffman::ssref_stride(&tree);
+        let padded = udp_compilers::huffman::pad_for_stride(&bits, nbits, stride);
+        let img = udp_compilers::huffman::huffman_decode_to_udp(
+            &tree,
+            udp_compilers::huffman::SymbolMode::RegisterRefill,
+        )
+        .assemble(&LayoutOptions::with_banks(64))
+        .unwrap();
+        let rep = Lane::run_program(&img, &padded, &LaneConfig::default());
+        prop_assert_eq!(
+            udp_compilers::huffman::truncate_decoded(rep.output, data.len()),
+            data
+        );
+    }
+
+    #[test]
+    fn udp_snappy_compressor_streams_are_always_valid(
+        data in proptest::collection::vec(prop_oneof![4 => Just(b'a'), 2 => Just(b'b'), 1 => any::<u8>()], 0..3000)
+    ) {
+        let img = udp_compilers::snappy::snappy_compress_to_udp()
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let staging = udp_sim::engine::Staging {
+            segments: vec![],
+            regs: vec![(udp_isa::Reg::new(2), data.len() as u32)],
+        };
+        let (rep, _) = Lane::run_program_capture(&img, &data, &staging, &LaneConfig::default());
+        let framed = udp_compilers::snappy::frame_compressed(data.len(), &rep.output);
+        prop_assert_eq!(udp_codecs::snappy_decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn udp_decompressor_accepts_cpu_streams(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        let stream = udp_codecs::snappy_compress(&data);
+        let img = udp_compilers::snappy::snappy_decompress_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let rep = Lane::run_program(&img, &stream, &LaneConfig::default());
+        prop_assert_eq!(rep.output, data);
+    }
+
+    #[test]
+    fn udp_histogram_equals_gsl_baseline(
+        vals in proptest::collection::vec(-100f32..100f32, 1..400),
+        bins in 2usize..12,
+    ) {
+        let hist = udp_codecs::Histogram::uniform(-50.0, 50.0, bins);
+        let le: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (pb, layout) = udp_compilers::histogram::histogram_to_udp(&hist);
+        let img = pb.assemble(&LayoutOptions::with_banks(2)).unwrap();
+        let be = udp_compilers::histogram::to_big_endian(&le);
+        let (_, mem) = Lane::run_program_capture(
+            &img, &be, &udp_sim::engine::Staging::default(), &LaneConfig::default());
+        let got = udp_compilers::histogram::read_bins(&mem, &layout);
+        let mut base = udp_codecs::Histogram::with_edges(hist.edges().to_vec());
+        base.add_all(&vals);
+        let mut expect: Vec<u64> = base.counts().to_vec();
+        expect.push(base.outliers());
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn udp_trigger_equals_lut_baseline(
+        width in 2u32..=13,
+        samples in proptest::collection::vec(any::<u8>(), 0..800),
+    ) {
+        let fsm = udp_codecs::TriggerFsm::new(64, 192, width);
+        let img = udp_compilers::trigger::trigger_to_udp(&fsm)
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
+        let rep = Lane::run_program(&img, &samples, &LaneConfig::default());
+        let got: Vec<usize> = rep.reports.iter().map(|&(_, p)| p as usize - 1).collect();
+        let lut = udp_codecs::TriggerLut::build(fsm);
+        prop_assert_eq!(got, lut.run(&samples));
+    }
+
+    #[test]
+    fn udp_dfa_equals_cpu_dfa(
+        input in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..200),
+    ) {
+        let asts = vec![
+            udp_automata::Regex::parse("ab+c").unwrap(),
+            udp_automata::Regex::parse("(a|b)c").unwrap(),
+        ];
+        let dfa = udp_automata::Dfa::determinize(&udp_automata::Nfa::scanner(&asts)).minimize();
+        let img = udp_compilers::automata::dfa_to_udp(&dfa)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
+        let rep = Lane::run_program(&img, &input, &LaneConfig::default());
+        let mut got = rep.reports;
+        got.sort_unstable();
+        got.dedup();
+        let mut expect: Vec<(u16, u32)> = dfa
+            .find_all(&input)
+            .into_iter()
+            .filter(|&(_, e)| e > 0)
+            .map(|(id, e)| (id, e as u32))
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+    }
+}
