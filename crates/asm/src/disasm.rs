@@ -80,15 +80,15 @@ pub fn disassemble(image: &ProgramImage) -> String {
         }
     }
     for start in action_starts {
-        let mut addr = start;
-        for _ in 0..64 {
-            let Some(&raw) = image.words.get(addr as usize) else { break };
+        for addr in start..start.saturating_add(64) {
+            let Some(&raw) = image.words.get(addr as usize) else {
+                break;
+            };
             let Some(a) = Action::decode(raw) else { break };
             kinds.insert(addr, WordKind::ActionWord);
             if a.last {
                 break;
             }
-            addr += 1;
         }
     }
 

@@ -1,6 +1,8 @@
-//! Assembled program images and layout statistics.
+//! Assembled program images, layout statistics, and the predecoded
+//! execution table the simulator's hot path indexes into.
 
-use udp_isa::transition::ExecKind;
+use udp_isa::action::Action;
+use udp_isa::transition::{ExecKind, TransitionWord};
 use udp_isa::Word;
 
 /// Per-lane register initialization shipped with a program (performed by
@@ -81,6 +83,98 @@ pub struct ProgramImage {
     /// False for size-model-only layouts (UAP attach mode), which may
     /// alias attach fields and must not be executed.
     pub executable: bool,
+}
+
+impl ProgramImage {
+    /// Decodes the whole image once into a [`DecodedProgram`] lookup
+    /// table, so a lane can execute without re-decoding the 32-bit
+    /// transition/action words on every consumed symbol.
+    pub fn predecode(&self) -> DecodedProgram {
+        DecodedProgram::from_words(&self.words)
+    }
+}
+
+/// Decode-once / execute-many representation of a program image.
+///
+/// Every word offset gets both interpretations decoded up front: the
+/// [`TransitionWord`] view (total — every `u32` decodes) and the
+/// [`Action`] view (`None` for undecodable action words, which the
+/// lane turns into a fault exactly as the lazy path does). The raw
+/// words are kept alongside so the table can be *validated* against
+/// live memory: restricted/global addressing lets a program write into
+/// its own code words, and a lookup whose raw word no longer matches
+/// simply misses, sending the lane back to the decode-on-read slow
+/// path. Cycle, reference, and conflict accounting are unaffected —
+/// this is purely a host-side representation change.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// `(raw word, transition view)` pairs — interleaved so a validated
+    /// lookup touches one slot (one bounds check, one cache line).
+    transitions: Vec<(Word, TransitionWord)>,
+    /// `(raw word, action view)` pairs, same layout.
+    actions: Vec<(Word, Option<Action>)>,
+}
+
+impl DecodedProgram {
+    /// Decodes every word of `words` both ways.
+    pub fn from_words(words: &[Word]) -> Self {
+        DecodedProgram {
+            transitions: words
+                .iter()
+                .map(|&w| (w, TransitionWord::decode(w)))
+                .collect(),
+            actions: words.iter().map(|&w| (w, Action::decode(w))).collect(),
+        }
+    }
+
+    /// Table length in words.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True for an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The whole `(raw word, transition view)` table, unvalidated — for
+    /// callers that already know the live memory words match the image
+    /// (pristine code window) and want the slice hoisted into a local
+    /// so the hot loop skips the pointer chase.
+    #[inline]
+    pub fn transitions(&self) -> &[(Word, TransitionWord)] {
+        &self.transitions
+    }
+
+    /// The `(raw word, action view)` table, unvalidated.
+    #[inline]
+    pub fn actions(&self) -> &[(Word, Option<Action>)] {
+        &self.actions
+    }
+
+    /// The predecoded transition at window offset `off`, provided the
+    /// live memory word `raw` still matches the image (i.e. the code
+    /// word was not overwritten since load).
+    #[inline]
+    pub fn transition(&self, off: usize, raw: Word) -> Option<TransitionWord> {
+        match self.transitions.get(off) {
+            Some(&(cached, t)) if cached == raw => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The predecoded action view at window offset `off`, under the
+    /// same raw-word validity rule. The outer `Option` is table
+    /// applicability; the inner one is decodability (`None` = fault,
+    /// as with [`Action::decode`]).
+    #[inline]
+    #[allow(clippy::option_option)]
+    pub fn action(&self, off: usize, raw: Word) -> Option<Option<Action>> {
+        match self.actions.get(off) {
+            Some(&(cached, a)) if cached == raw => Some(a),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -108,11 +108,9 @@ impl StateNode {
     /// All outgoing arcs, for traversal.
     pub fn arcs(&self) -> Vec<&Arc> {
         match self {
-            StateNode::Consuming { arcs, fallback, .. } => arcs
-                .iter()
-                .map(|(_, a)| a)
-                .chain(fallback.iter())
-                .collect(),
+            StateNode::Consuming { arcs, fallback, .. } => {
+                arcs.iter().map(|(_, a)| a).chain(fallback.iter()).collect()
+            }
             StateNode::Pass { arc, .. } => vec![arc],
             StateNode::Fork { arcs } => arcs.iter().collect(),
         }
@@ -216,7 +214,13 @@ impl ProgramBuilder {
     ///
     /// Panics if `from` is not a consuming state, `symbol >= 256`, or the
     /// symbol already has an arc.
-    pub fn labeled_arc(&mut self, from: StateId, symbol: u16, target: Target, actions: Vec<Action>) {
+    pub fn labeled_arc(
+        &mut self,
+        from: StateId,
+        symbol: u16,
+        target: Target,
+        actions: Vec<Action>,
+    ) {
         assert!(symbol < 256, "symbol {symbol} out of 8-bit dispatch range");
         match &mut self.states[from.index()] {
             StateNode::Consuming { arcs, .. } => {

@@ -95,7 +95,10 @@ impl fmt::Display for AsmError {
                 write!(f, "{blocks} action blocks exceed the 255-slot attach range")
             }
             AsmError::ActionBlockTooLong { len } => {
-                write!(f, "action block of {len} words exceeds the scaled slot size")
+                write!(
+                    f,
+                    "action block of {len} words exceeds the scaled slot size"
+                )
             }
         }
     }
@@ -182,8 +185,7 @@ impl ProgramBuilder {
             // Append SetBase to arcs that change segments, then intern.
             // (SetBase is idempotent, so self-loops never need it.)
             let mut table = BlockTable::new();
-            let mut arc_places: Vec<Vec<Option<usize>>> =
-                Vec::with_capacity(self.states.len());
+            let mut arc_places: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.states.len());
             for (sid, node) in self.states.iter().enumerate() {
                 let from_seg = seg_of(bases[sid]);
                 let mut per_arc = Vec::new();
@@ -329,8 +331,14 @@ impl ProgramBuilder {
                     BlockPlace::Scaled { attach } => (AttachMode::Scaled, attach),
                 },
             };
-            TransitionWord::new(sig, target_field(arc.target), kind_of(arc.target), mode, attach)
-                .encode()
+            TransitionWord::new(
+                sig,
+                target_field(arc.target),
+                kind_of(arc.target),
+                mode,
+                attach,
+            )
+            .encode()
         };
 
         for (sid, node) in self.states.iter().enumerate() {
@@ -663,7 +671,10 @@ mod tests {
     fn error_messages_are_displayable() {
         for e in [
             AsmError::NoEntry,
-            AsmError::ProgramTooLarge { needed: 5000, window: 4096 },
+            AsmError::ProgramTooLarge {
+                needed: 5000,
+                window: 4096,
+            },
             AsmError::TooManyActionBlocks { blocks: 300 },
             AsmError::ActionBlockTooLong { len: 99 },
         ] {

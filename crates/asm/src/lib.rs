@@ -49,7 +49,7 @@ pub mod layout;
 pub mod text;
 
 pub use disasm::disassemble;
-pub use image::{LaneInit, LayoutStats, ProgramImage};
-pub use text::{parse_asm, ParseAsmError};
+pub use image::{DecodedProgram, LaneInit, LayoutStats, ProgramImage};
 pub use ir::{Arc, DispatchSource, ProgramBuilder, StateId, StateNode, Target};
 pub use layout::{AsmError, LayoutOptions};
+pub use text::{parse_asm, ParseAsmError};

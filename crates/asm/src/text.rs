@@ -280,7 +280,11 @@ pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
         let Some(&sid) = ids.get(&a.state) else {
             return Err(err(a.line, format!("unknown state {:?}", a.state)));
         };
-        let decl = &decls.iter().find(|(n, _, _)| *n == a.state).expect("pass 1").1;
+        let decl = &decls
+            .iter()
+            .find(|(n, _, _)| *n == a.state)
+            .expect("pass 1")
+            .1;
         if !matches!(decl, Decl::Consuming { .. }) {
             continue; // handled above
         }
@@ -408,7 +412,12 @@ pub fn parse_action(s: &str) -> Result<Action, String> {
             if parts.len() != 3 {
                 return Err(format!("{name} needs dst, src, #imm"));
             }
-            Ok(Action::imm(op, parse_reg(parts[0])?, parse_reg(parts[1])?, parse_imm(parts[2])?))
+            Ok(Action::imm(
+                op,
+                parse_reg(parts[0])?,
+                parse_reg(parts[1])?,
+                parse_imm(parts[2])?,
+            ))
         }
         ActionFormat::Imm2 => {
             if parts.len() != 4 {
@@ -430,7 +439,12 @@ pub fn parse_action(s: &str) -> Result<Action, String> {
             if parts.len() != 3 {
                 return Err(format!("{name} needs dst, ref, src"));
             }
-            Ok(Action::reg(op, parse_reg(parts[0])?, parse_reg(parts[1])?, parse_reg(parts[2])?))
+            Ok(Action::reg(
+                op,
+                parse_reg(parts[0])?,
+                parse_reg(parts[1])?,
+                parse_reg(parts[2])?,
+            ))
         }
     }
 }
@@ -506,7 +520,10 @@ entry start
         assert_eq!(e.line, 2);
         let e = parse_asm("state a:\n  'q' -> nowhere\nentry a").unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(parse_asm("state a:\n  'q' -> a\n").unwrap_err().message.contains("entry"));
+        assert!(parse_asm("state a:\n  'q' -> a\n")
+            .unwrap_err()
+            .message
+            .contains("entry"));
         let e = parse_asm("state a: pass refill 9\n  -> halt\nentry a").unwrap_err();
         assert!(e.message.contains("refill"));
     }

@@ -39,7 +39,7 @@ impl Adfa {
     /// ```
     pub fn build<P: AsRef<[u8]>>(patterns: &[P]) -> Adfa {
         let mut nodes = vec![AdfaNode::default()]; // root
-        // Trie phase.
+                                                   // Trie phase.
         for (id, p) in patterns.iter().enumerate() {
             let mut cur = 0u32;
             for &b in p.as_ref() {
@@ -61,11 +61,7 @@ impl Adfa {
             nodes[cur as usize].outputs.push(id as u16);
         }
         // Failure-link phase (BFS).
-        let mut queue: std::collections::VecDeque<u32> = nodes[0]
-            .goto
-            .values()
-            .copied()
-            .collect();
+        let mut queue: std::collections::VecDeque<u32> = nodes[0].goto.values().copied().collect();
         while let Some(u) = queue.pop_front() {
             let edges: Vec<(u8, u32)> = nodes[u as usize]
                 .goto

@@ -72,7 +72,9 @@ impl ByteSet {
 
     /// Iterates members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
-        (0u16..256).filter(|&b| self.contains(b as u8)).map(|b| b as u8)
+        (0u16..256)
+            .filter(|&b| self.contains(b as u8))
+            .map(|b| b as u8)
     }
 }
 

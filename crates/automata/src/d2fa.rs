@@ -55,10 +55,7 @@ impl D2fa {
             let mut best: Vec<(usize, u32)> = (0..n as u32).map(|s| (shared(s, 0), 0)).collect();
             for _ in 1..n {
                 // Pick the out-of-tree state with the best attachment.
-                let Some(s) = (0..n)
-                    .filter(|&s| !in_tree[s])
-                    .max_by_key(|&s| best[s].0)
-                else {
+                let Some(s) = (0..n).filter(|&s| !in_tree[s]).max_by_key(|&s| best[s].0) else {
                     break;
                 };
                 in_tree[s] = true;
@@ -235,8 +232,10 @@ mod tests {
     fn roots_store_full_rows() {
         let dfa = scanner(&["ab"]);
         let d2 = D2fa::from_dfa(&dfa);
-        let roots: Vec<&D2faState> =
-            (0..d2.len() as u32).map(|s| d2.state(s)).filter(|s| s.defer.is_none()).collect();
+        let roots: Vec<&D2faState> = (0..d2.len() as u32)
+            .map(|s| d2.state(s))
+            .filter(|s| s.defer.is_none())
+            .collect();
         assert!(!roots.is_empty());
         for r in roots {
             assert_eq!(r.edges.len(), 256, "complete scanner rows");

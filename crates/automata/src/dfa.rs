@@ -43,7 +43,7 @@ impl Dfa {
             }
             let id = sets.len() as u32;
             ids.insert(set.clone(), id);
-            trans.extend(std::iter::repeat(DEAD).take(256));
+            trans.extend(std::iter::repeat_n(DEAD, 256));
             accepts.push(Vec::new());
             sets.push(set);
             id
@@ -124,10 +124,9 @@ impl Dfa {
         let mut class: Vec<u32> = vec![0; n];
         {
             let mut sig: HashMap<&[u16], u32> = HashMap::new();
-            for s in 0..n {
+            for (s, cl) in class.iter_mut().enumerate().take(n) {
                 let next = sig.len() as u32;
-                let c = *sig.entry(self.accepts[s].as_slice()).or_insert(next);
-                class[s] = c;
+                *cl = *sig.entry(self.accepts[s].as_slice()).or_insert(next);
             }
         }
         loop {

@@ -139,7 +139,7 @@ mod tests {
             let oracle: std::collections::BTreeSet<usize> =
                 find_all_spans(&ast, &input).into_iter().map(|(_, e)| e).collect();
 
-            let nfa = Nfa::scanner(&[ast.clone()]);
+            let nfa = Nfa::scanner(std::slice::from_ref(&ast));
             let nfa_ends: std::collections::BTreeSet<usize> =
                 nfa.find_all(&input).into_iter().map(|(_, e)| e).collect();
             prop_assert_eq!(&oracle, &nfa_ends, "pattern {} input {:?}", pattern, input);

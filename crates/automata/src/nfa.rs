@@ -237,10 +237,7 @@ mod tests {
 
     #[test]
     fn multi_pattern_ids() {
-        let nfa = Nfa::scanner(&[
-            Regex::parse("aa").unwrap(),
-            Regex::parse("ab").unwrap(),
-        ]);
+        let nfa = Nfa::scanner(&[Regex::parse("aa").unwrap(), Regex::parse("ab").unwrap()]);
         let m = nfa.find_all(b"aab");
         assert!(m.contains(&(0, 2)));
         assert!(m.contains(&(1, 3)));

@@ -65,7 +65,11 @@ impl Regex {
 
     /// A literal byte-string pattern.
     pub fn literal(s: &[u8]) -> Regex {
-        Regex::Concat(s.iter().map(|&b| Regex::Class(ByteSet::single(b))).collect())
+        Regex::Concat(
+            s.iter()
+                .map(|&b| Regex::Class(ByteSet::single(b)))
+                .collect(),
+        )
     }
 }
 
@@ -227,7 +231,9 @@ impl<'a> Parser<'a> {
             b'D' => ByteSet::range(b'0', b'9').negate(),
             b'w' => word_set(),
             b'W' => word_set().negate(),
-            b's' => [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C].into_iter().collect(),
+            b's' => [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C]
+                .into_iter()
+                .collect(),
             b'S' => [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C]
                 .into_iter()
                 .collect::<ByteSet>()
@@ -278,7 +284,9 @@ impl<'a> Parser<'a> {
                 b => ByteSet::single(b),
             };
             // Range only when the left side was a single byte.
-            if lo_set.len() == 1 && self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']')
+            if lo_set.len() == 1
+                && self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1) != Some(&b']')
             {
                 self.bump(); // '-'
                 let hi = match self.bump() {
@@ -288,11 +296,7 @@ impl<'a> Parser<'a> {
                         let (first, extra) = (bytes.next(), bytes.next());
                         match (first, extra) {
                             (Some(b), None) => b,
-                            _ => {
-                                return Err(
-                                    self.err("class range bound must be a single byte")
-                                )
-                            }
+                            _ => return Err(self.err("class range bound must be a single byte")),
                         }
                     }
                     Some(b) => b,

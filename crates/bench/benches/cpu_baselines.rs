@@ -46,7 +46,9 @@ fn bench_snappy(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress", |b| b.iter(|| snappy_compress(&data)));
     g.throughput(Throughput::Bytes(stream.len() as u64));
-    g.bench_function("decompress", |b| b.iter(|| snappy_decompress(&stream).unwrap()));
+    g.bench_function("decompress", |b| {
+        b.iter(|| snappy_decompress(&stream).unwrap())
+    });
     g.finish();
 }
 

@@ -52,5 +52,10 @@ fn bench_assembler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lane_dispatch, bench_lane_actions, bench_assembler);
+criterion_group!(
+    benches,
+    bench_lane_dispatch,
+    bench_lane_actions,
+    bench_assembler
+);
 criterion_main!(benches);

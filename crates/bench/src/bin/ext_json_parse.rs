@@ -66,7 +66,11 @@ fn main() {
         &codes.iter().map(|&c| u32::from(c)).collect::<Vec<_>>(),
         width,
     );
-    let dec = udp::kernels::bitpack::run_decode(&packed[..12 * 1024], width, 12 * 1024 * 8 / width as usize);
+    let dec = udp::kernels::bitpack::run_decode(
+        &packed[..12 * 1024],
+        width,
+        12 * 1024 * 8 / width as usize,
+    );
     println!(
         "\nExtension: bit-pack ({width}-bit codes): encode {:.0} MB/s/lane, decode {:.0} MB/s/lane",
         enc.lane_rate_mbps, dec.lane_rate_mbps

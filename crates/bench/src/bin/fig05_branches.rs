@@ -27,10 +27,7 @@ fn dfa_rows(dfa: &udp_automata::Dfa) -> Vec<(Vec<(u8, u32)>, u32)> {
                     *counts.entry(t).or_insert(0usize) += 1;
                 }
             }
-            let default = counts
-                .iter()
-                .max_by_key(|(_, &c)| c)
-                .map_or(0, |(&t, _)| t);
+            let default = counts.iter().max_by_key(|(_, &c)| c).map_or(0, |(&t, _)| t);
             let edges: Vec<(u8, u32)> = row
                 .iter()
                 .enumerate()
@@ -49,8 +46,10 @@ fn main() {
     let hist = Histogram::uniform(0.0, 100.0, 16);
     let pats = w::nids_literals(48, 4);
     let (trace, _) = w::traffic_with_matches(&pats, 512 * 1024, 700, 4);
-    let asts: Vec<udp_automata::Regex> =
-        pats.iter().map(|p| udp_automata::Regex::literal(p)).collect();
+    let asts: Vec<udp_automata::Regex> = pats
+        .iter()
+        .map(|p| udp_automata::Regex::literal(p))
+        .collect();
     let dfa = udp_automata::Dfa::determinize(&udp_automata::Nfa::scanner(&asts)).minimize();
     let rows = dfa_rows(&dfa);
 
@@ -58,11 +57,31 @@ fn main() {
     println!("== Figure 5a: % cycles lost to branch misprediction (modeled Westmere) ==");
     println!("{:<16} {:>8} {:>8}", "kernel", "BO", "BI");
     let runs = [
-        ("csv", run_csv(Approach::BranchOffset, &csv_data), run_csv(Approach::BranchIndirect, &csv_data)),
-        ("huffman-dec", run_huffman_decode(Approach::BranchOffset, &text), run_huffman_decode(Approach::BranchIndirect, &text)),
-        ("patterns", run_pattern_match(Approach::BranchOffset, &rows, dfa.start(), &trace), run_pattern_match(Approach::BranchIndirect, &rows, dfa.start(), &trace)),
-        ("snappy-comp", run_snappy_compress(Approach::BranchOffset, &text), run_snappy_compress(Approach::BranchIndirect, &text)),
-        ("histogram", run_histogram(Approach::BranchOffset, &fares, &hist), run_histogram(Approach::BranchIndirect, &fares, &hist)),
+        (
+            "csv",
+            run_csv(Approach::BranchOffset, &csv_data),
+            run_csv(Approach::BranchIndirect, &csv_data),
+        ),
+        (
+            "huffman-dec",
+            run_huffman_decode(Approach::BranchOffset, &text),
+            run_huffman_decode(Approach::BranchIndirect, &text),
+        ),
+        (
+            "patterns",
+            run_pattern_match(Approach::BranchOffset, &rows, dfa.start(), &trace),
+            run_pattern_match(Approach::BranchIndirect, &rows, dfa.start(), &trace),
+        ),
+        (
+            "snappy-comp",
+            run_snappy_compress(Approach::BranchOffset, &text),
+            run_snappy_compress(Approach::BranchIndirect, &text),
+        ),
+        (
+            "histogram",
+            run_histogram(Approach::BranchOffset, &fares, &hist),
+            run_histogram(Approach::BranchIndirect, &fares, &hist),
+        ),
     ];
     for (name, bo, bi) in &runs {
         println!(
@@ -123,7 +142,9 @@ fn main() {
         v.push(rep.cycles as f64 / block.len() as f64);
         // Histogram
         let (pb, _) = udp_compilers::histogram::histogram_to_udp(&hist);
-        let img = pb.assemble(&LayoutOptions::with_banks(1)).expect("hist fits");
+        let img = pb
+            .assemble(&LayoutOptions::with_banks(1))
+            .expect("hist fits");
         let be = udp_compilers::histogram::to_big_endian(&fares);
         let rep = Lane::run_program(&img, &be, &cfg);
         v.push(rep.cycles as f64 / rep.bytes_consumed as f64);
@@ -152,29 +173,58 @@ fn main() {
     // from assembled images.
     let images = [
         ("csv", udp_compilers::csv::csv_to_udp(), 1usize),
-        ("huffman-dec", {
-            let tree = HuffmanTree::from_data(&text);
-            udp_compilers::huffman::huffman_decode_to_udp(
-                &tree,
-                udp_compilers::huffman::SymbolMode::RegisterRefill,
-            )
-        }, 16),
+        (
+            "huffman-dec",
+            {
+                let tree = HuffmanTree::from_data(&text);
+                udp_compilers::huffman::huffman_decode_to_udp(
+                    &tree,
+                    udp_compilers::huffman::SymbolMode::RegisterRefill,
+                )
+            },
+            16,
+        ),
         ("patterns", udp_compilers::automata::dfa_to_udp(&dfa), 64),
-        ("snappy-comp", udp_compilers::snappy::snappy_compress_to_udp(), 2),
-        ("histogram", udp_compilers::histogram::histogram_to_udp(&hist).0, 1),
+        (
+            "snappy-comp",
+            udp_compilers::snappy::snappy_compress_to_udp(),
+            2,
+        ),
+        (
+            "histogram",
+            udp_compilers::histogram::histogram_to_udp(&hist).0,
+            1,
+        ),
     ];
-    let avg_edges =
-        rows.iter().map(|(e, _)| e.len()).sum::<usize>() / rows.len().max(1) + 1;
+    let avg_edges = rows.iter().map(|(e, _)| e.len()).sum::<usize>() / rows.len().max(1) + 1;
     let model_sizes = [
         // (states, avg BO cases, BI classes)
         ("csv", codesize::bo_bytes(4, 5), codesize::bi_bytes(4, 256)),
-        ("huffman-dec", codesize::bo_bytes(300, 2), codesize::bi_bytes(300, 2)),
-        ("patterns", codesize::bo_bytes(dfa.len(), avg_edges), codesize::bi_bytes(dfa.len(), 256)),
-        ("snappy-comp", codesize::bo_bytes(8, 6), codesize::bi_bytes(8, 8)),
-        ("histogram", codesize::bo_bytes(17, 5), codesize::bi_bytes(17, 16)),
+        (
+            "huffman-dec",
+            codesize::bo_bytes(300, 2),
+            codesize::bi_bytes(300, 2),
+        ),
+        (
+            "patterns",
+            codesize::bo_bytes(dfa.len(), avg_edges),
+            codesize::bi_bytes(dfa.len(), 256),
+        ),
+        (
+            "snappy-comp",
+            codesize::bo_bytes(8, 6),
+            codesize::bi_bytes(8, 8),
+        ),
+        (
+            "histogram",
+            codesize::bo_bytes(17, 5),
+            codesize::bi_bytes(17, 16),
+        ),
     ];
     for ((name, pb, banks), (_, bo_b, bi_b)) in images.into_iter().zip(model_sizes) {
-        let udp_img = pb.assemble(&LayoutOptions::with_banks(banks)).expect("fits");
+        let udp_img = pb
+            .assemble(&LayoutOptions::with_banks(banks))
+            .expect("fits");
         let uap_img = pb
             .assemble(&LayoutOptions {
                 window_words: banks * 4096 * 4,

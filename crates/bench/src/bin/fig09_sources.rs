@@ -34,7 +34,12 @@ fn main() {
     let mut stream_only = Vec::new();
     let mut with_scalar = Vec::new();
     for (name, rows) in &kernels {
-        let sp = geomean(&rows.iter().map(Comparison::device_speedup).collect::<Vec<_>>());
+        let sp = geomean(
+            &rows
+                .iter()
+                .map(Comparison::device_speedup)
+                .collect::<Vec<_>>(),
+        );
         let so = if needs_scalar_dispatch(name) { 1.0 } else { sp };
         println!("{name:<22} {so:>14.2} {sp:>18.2}");
         stream_only.push(so);

@@ -110,9 +110,6 @@ fn main() {
         ("restricted", AddressingMode::Restricted),
         ("global", AddressingMode::Global),
     ] {
-        println!(
-            "{name:<12} {:.1} pJ/ref",
-            mem_energy_pj(1 << 20, 64, mode)
-        );
+        println!("{name:<12} {:.1} pJ/ref", mem_energy_pj(1 << 20, 64, mode));
     }
 }

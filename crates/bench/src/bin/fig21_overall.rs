@@ -13,8 +13,18 @@ fn main() {
     let mut speedups = Vec::new();
     let mut perfwatts = Vec::new();
     for (name, rows) in &all {
-        let sp = geomean(&rows.iter().map(Comparison::device_speedup).collect::<Vec<_>>());
-        let pw = geomean(&rows.iter().map(Comparison::perf_per_watt_ratio).collect::<Vec<_>>());
+        let sp = geomean(
+            &rows
+                .iter()
+                .map(Comparison::device_speedup)
+                .collect::<Vec<_>>(),
+        );
+        let pw = geomean(
+            &rows
+                .iter()
+                .map(Comparison::perf_per_watt_ratio)
+                .collect::<Vec<_>>(),
+        );
         println!("{name:<24} {sp:>14.1} {pw:>16.0}");
         speedups.push(sp);
         perfwatts.push(pw);

@@ -32,6 +32,9 @@ fn main() {
 
     println!("\n== Table 5: UAP vs UDP highlighted differences ==");
     for row in TABLE5 {
-        println!("{:<16} | UAP: {:<38} | UDP: {}", row.dimension, row.uap, row.udp);
+        println!(
+            "{:<16} | UAP: {:<38} | UDP: {}",
+            row.dimension, row.uap, row.udp
+        );
     }
 }

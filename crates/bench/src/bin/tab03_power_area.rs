@@ -1,12 +1,13 @@
 //! Table 3: UDP power and area breakdown (28nm model).
 
-use udp_sim::energy::{
-    AreaModel, LANE_COMPONENTS, SYSTEM_COMPONENTS, X86_CORE,
-};
+use udp_sim::energy::{AreaModel, LANE_COMPONENTS, SYSTEM_COMPONENTS, X86_CORE};
 
 fn main() {
     println!("== Table 3: UDP power and area breakdown ==");
-    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "component", "mW", "%", "mm^2", "%");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "component", "mW", "%", "mm^2", "%"
+    );
     let lane_mw = AreaModel::lane_mw();
     let lane_mm2 = AreaModel::lane_mm2();
     for c in LANE_COMPONENTS {

@@ -18,7 +18,14 @@
 //! ```
 //!
 //! Criterion benches (`cargo bench`) cover the CPU baselines and the
-//! simulator's own speed.
+//! simulator's own speed, and `--bin hostperf` reports the *host-side*
+//! simulation throughput (how fast the simulator itself chews input,
+//! as opposed to the modeled device rates above).
+//!
+//! Setting `UDP_PARALLEL=1` makes every kernel runner execute each
+//! wave's lanes on host threads (`UdpRunOptions::parallel`); modeled
+//! cycles/energy/conflict numbers are bit-identical, only host
+//! wall-clock changes.
 //!
 //! Methodology (paper §4.4): CPU rates are wall-clock single-thread on
 //! the host; the 8-thread figure is the paper's own optimistic 8×
@@ -28,8 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use udp::kernels::UdpKernelReport;
+
+pub use udp::kernels::parallel_from_env;
 
 /// CPU threads assumed for device-level comparisons (§4.4).
 pub const CPU_THREADS: f64 = 8.0;
@@ -52,6 +61,17 @@ pub fn cpu_rate_mbps<F: FnMut()>(bytes: usize, min_seconds: f64, mut f: F) -> f6
         runs += 1;
     }
     let s = start.elapsed().as_secs_f64() / f64::from(runs);
+    bytes as f64 / s / 1e6
+}
+
+/// Host-side simulation throughput: `bytes` of modeled input chewed in
+/// `elapsed` of host wall-clock, in MB/s. This measures the simulator
+/// itself (the `hostperf` binary), not the modeled device.
+pub fn host_rate_mbps(bytes: usize, elapsed: Duration) -> f64 {
+    let s = elapsed.as_secs_f64();
+    if s <= 0.0 {
+        return 0.0;
+    }
     bytes as f64 / s / 1e6
 }
 
@@ -190,8 +210,14 @@ pub mod suite {
 
     fn text_corpora() -> Vec<(&'static str, Vec<u8>)> {
         vec![
-            ("canterbury-low", w::canterbury_like(w::Entropy::Low, CPU_BYTES, 4)),
-            ("canterbury-med", w::canterbury_like(w::Entropy::Medium, CPU_BYTES, 5)),
+            (
+                "canterbury-low",
+                w::canterbury_like(w::Entropy::Low, CPU_BYTES, 4),
+            ),
+            (
+                "canterbury-med",
+                w::canterbury_like(w::Entropy::Medium, CPU_BYTES, 5),
+            ),
             ("bdbench-crawl", w::bdbench_block(0, CPU_BYTES, 6)),
             ("bdbench-rank", w::bdbench_block(1, CPU_BYTES, 7)),
             ("bdbench-user", w::bdbench_block(2, CPU_BYTES, 8)),
@@ -332,9 +358,21 @@ pub mod suite {
     pub fn histogram() -> Vec<Comparison> {
         let n = CPU_BYTES / 4;
         let cases = [
-            ("crimes.latitude/10", w::latitude_stream(n, 13), Histogram::uniform(41.6, 42.0, 10)),
-            ("crimes.longitude/10", w::longitude_stream(n, 14), Histogram::uniform(-87.9, -87.5, 10)),
-            ("taxi.fare/4", w::fare_stream(n, 15), Histogram::uniform(0.0, 100.0, 4)),
+            (
+                "crimes.latitude/10",
+                w::latitude_stream(n, 13),
+                Histogram::uniform(41.6, 42.0, 10),
+            ),
+            (
+                "crimes.longitude/10",
+                w::longitude_stream(n, 14),
+                Histogram::uniform(-87.9, -87.5, 10),
+            ),
+            (
+                "taxi.fare/4",
+                w::fare_stream(n, 15),
+                Histogram::uniform(0.0, 100.0, 4),
+            ),
         ];
         cases
             .into_iter()

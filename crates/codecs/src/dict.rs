@@ -89,7 +89,10 @@ impl DictionaryEncoder {
 
     /// Encodes a column of values.
     pub fn encode_column<V: AsRef<[u8]>>(&mut self, values: &[V]) -> Vec<u32> {
-        values.iter().map(|v| self.encode_value(v.as_ref())).collect()
+        values
+            .iter()
+            .map(|v| self.encode_value(v.as_ref()))
+            .collect()
     }
 
     /// The interned dictionary.
@@ -159,7 +162,12 @@ mod tests {
         let vals = vec!["a", "bb", "a", "ccc", "bb"];
         let codes = e.encode_column(&vals);
         let back = e.decode_column(&codes);
-        assert_eq!(back, vals.iter().map(|v| v.as_bytes().to_vec()).collect::<Vec<_>>());
+        assert_eq!(
+            back,
+            vals.iter()
+                .map(|v| v.as_bytes().to_vec())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -180,9 +188,18 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run { value: 0, length: 3 },
-                Run { value: 1, length: 2 },
-                Run { value: 0, length: 1 },
+                Run {
+                    value: 0,
+                    length: 3
+                },
+                Run {
+                    value: 1,
+                    length: 2
+                },
+                Run {
+                    value: 0,
+                    length: 1
+                },
             ]
         );
         assert_eq!(rle_decode(&runs), vec![0, 0, 0, 1, 1, 0]);

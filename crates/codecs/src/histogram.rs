@@ -167,7 +167,11 @@ mod tests {
         let total: u64 = h.counts().iter().sum();
         assert!(total >= 999);
         for &c in h.counts() {
-            assert!(c >= 150, "equi-depth bins should be roughly balanced: {:?}", h.counts());
+            assert!(
+                c >= 150,
+                "equi-depth bins should be roughly balanced: {:?}",
+                h.counts()
+            );
         }
     }
 

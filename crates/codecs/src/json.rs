@@ -200,9 +200,7 @@ impl JsonTokenizer {
                             }
                             i += 4;
                         }
-                        other => {
-                            return Err(err(i, &format!("bad escape \\{}", other as char)))
-                        }
+                        other => return Err(err(i, &format!("bad escape \\{}", other as char))),
                     }
                     i += 2;
                 }
@@ -365,14 +363,19 @@ mod tests {
         assert_eq!(t[1], JsonToken::Num(b"-1.5e3".to_vec()));
         assert!(JsonTokenizer::new().tokenize(b"01").is_err());
         assert!(JsonTokenizer::new().tokenize(b"+1").is_err());
-        assert!(JsonTokenizer::compat().tokenize(b"01").is_ok(), "compat is lexical");
+        assert!(
+            JsonTokenizer::compat().tokenize(b"01").is_ok(),
+            "compat is lexical"
+        );
     }
 
     #[test]
     fn lexical_errors() {
         assert!(JsonTokenizer::new().tokenize(b"\"unterminated").is_err());
         assert!(JsonTokenizer::new().tokenize(b"tru").is_err());
-        assert!(JsonTokenizer::new().tokenize(br#""bad \q escape""#).is_err());
+        assert!(JsonTokenizer::new()
+            .tokenize(br#""bad \q escape""#)
+            .is_err());
         assert!(JsonTokenizer::new().tokenize(b"@").is_err());
     }
 

@@ -29,9 +29,9 @@ pub mod xml;
 pub use bitpack::{bitpack_decode, bitpack_encode, bits_needed};
 pub use csv::{CsvEvent, CsvParser};
 pub use dict::{DictRleEncoder, DictionaryEncoder};
-pub use json::{JsonToken, JsonTokenizer};
 pub use histogram::Histogram;
 pub use huffman::{HuffmanCode, HuffmanTree};
+pub use json::{JsonToken, JsonTokenizer};
 pub use rle::{rle_decode, rle_encode, Run};
 pub use snappy::{snappy_compress, snappy_decompress, SnappyError};
 pub use trigger::{TriggerFsm, TriggerLut};

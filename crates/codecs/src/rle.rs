@@ -44,7 +44,13 @@ mod tests {
     fn encode_basic() {
         let runs = rle_encode(&[1, 1, 2, 3, 3, 3]);
         assert_eq!(runs.len(), 3);
-        assert_eq!(runs[2], Run { value: 3, length: 3 });
+        assert_eq!(
+            runs[2],
+            Run {
+                value: 3,
+                length: 3
+            }
+        );
     }
 
     #[test]

@@ -221,7 +221,9 @@ mod tests {
     fn lut_matches_reference() {
         let f = fsm(4);
         let lut = TriggerLut::build(f);
-        let samples = [0, 255, 255, 255, 255, 0, 255, 255, 0, 128, 255, 255, 255, 255, 64, 0];
+        let samples = [
+            0, 255, 255, 255, 255, 0, 255, 255, 0, 128, 255, 255, 255, 255, 64, 0,
+        ];
         assert_eq!(lut.run(&samples), f.run_reference(&samples));
     }
 

@@ -382,7 +382,9 @@ mod tests {
     fn text_whitespace_handling_matches_compat_rule() {
         // Leading whitespace before text is skipped; internal/trailing
         // whitespace up to '<' is kept.
-        let t = XmlTokenizer::compat().tokenize(b"<a>  hi there </a>").unwrap();
+        let t = XmlTokenizer::compat()
+            .tokenize(b"<a>  hi there </a>")
+            .unwrap();
         assert_eq!(t[2], XmlToken::Text(b"hi there ".to_vec()));
         // Pure-whitespace gaps produce no text token.
         let t = XmlTokenizer::compat().tokenize(b"<a>\n  </a>").unwrap();

@@ -50,15 +50,11 @@ fn dfa_to_udp_opts(dfa: &Dfa, compress: bool) -> ProgramBuilder {
                 *counts.entry(t).or_insert(0) += 1;
             }
         }
-        let majority = counts
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(&t, &c)| (t, c));
+        let majority = counts.iter().max_by_key(|(_, &c)| c).map(|(&t, &c)| (t, c));
         // Use a fallback only when it actually compresses.
         let use_fallback = compress && matches!(majority, Some((_, c)) if c >= 8);
-        let actions_into = |t: u32| -> Vec<Action> {
-            dfa.accepts(t).iter().map(|&id| report(id)).collect()
-        };
+        let actions_into =
+            |t: u32| -> Vec<Action> { dfa.accepts(t).iter().map(|&id| report(id)).collect() };
         if use_fallback {
             let (maj, _) = majority.expect("checked");
             b.fallback_arc(sid, Target::State(states[maj as usize]), actions_into(maj));
@@ -108,13 +104,13 @@ pub fn d2fa_to_udp(d2fa: &udp_automata::D2fa) -> ProgramBuilder {
         let mut edges: Vec<(u8, u32)> = st.edges.iter().map(|(&b2, &t)| (b2, t)).collect();
         edges.sort_unstable();
         for (byte, t) in edges {
-            let acts = d2fa
-                .state(t)
-                .accepts
-                .iter()
-                .map(|&id| report(id))
-                .collect();
-            b.labeled_arc(sid, u16::from(byte), Target::State(states[t as usize]), acts);
+            let acts = d2fa.state(t).accepts.iter().map(|&id| report(id)).collect();
+            b.labeled_arc(
+                sid,
+                u16::from(byte),
+                Target::State(states[t as usize]),
+                acts,
+            );
         }
         if let Some(d) = st.defer {
             let helper = *refill_to.entry(d).or_insert_with(|| {
@@ -147,13 +143,13 @@ pub fn adfa_to_udp(adfa: &Adfa) -> ProgramBuilder {
         let mut gotos: Vec<(u8, u32)> = node.goto.iter().map(|(&b2, &v)| (b2, v)).collect();
         gotos.sort_unstable();
         for (byte, v) in gotos {
-            let acts = adfa
-                .node(v)
-                .outputs
-                .iter()
-                .map(|&id| report(id))
-                .collect();
-            b.labeled_arc(sid, u16::from(byte), Target::State(states[v as usize]), acts);
+            let acts = adfa.node(v).outputs.iter().map(|&id| report(id)).collect();
+            b.labeled_arc(
+                sid,
+                u16::from(byte),
+                Target::State(states[v as usize]),
+                acts,
+            );
         }
         if u == 0 {
             // Root consumes and stays on a miss.
@@ -235,7 +231,9 @@ pub fn nfa_to_udp(nfa: &Nfa) -> ProgramBuilder {
     };
 
     for (i, st) in nfa.states.iter().enumerate() {
-        let Some((ref class, t)) = st.byte else { continue };
+        let Some((ref class, t)) = st.byte else {
+            continue;
+        };
         let sid = match_state[&(i as u32)];
         let (bytes, ids) = bundle(t);
         let acts: Vec<Action> = ids.iter().map(|&id| report(id)).collect();
@@ -265,7 +263,9 @@ pub fn nfa_to_udp(nfa: &Nfa) -> ProgramBuilder {
         1 => b.set_entry(match_state[&bytes[0]]),
         _ => {
             let tgt = target_of(&mut b, &bytes);
-            let Target::State(f) = tgt else { unreachable!() };
+            let Target::State(f) = tgt else {
+                unreachable!()
+            };
             b.set_entry(f);
         }
     }
@@ -294,7 +294,9 @@ mod tests {
     #[test]
     fn dfa_program_reports_matches() {
         let dfa = scanner_dfa(&["ab+c", "ca"]);
-        let img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(4)).unwrap();
+        let img = dfa_to_udp(&dfa)
+            .assemble(&LayoutOptions::with_banks(4))
+            .unwrap();
         let input = b"zabbcxcay";
         let rep = Lane::run_program(&img, input, &LaneConfig::default());
         let expect: Vec<(u16, u32)> = dfa
@@ -356,8 +358,12 @@ mod tests {
         let d2 = udp_automata::D2fa::from_dfa(&dfa);
         let input = b"find the needle in the haystack of hay";
 
-        let dfa_img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(8)).unwrap();
-        let d2_img = d2fa_to_udp(&d2).assemble(&LayoutOptions::with_banks(8)).unwrap();
+        let dfa_img = dfa_to_udp(&dfa)
+            .assemble(&LayoutOptions::with_banks(8))
+            .unwrap();
+        let d2_img = d2fa_to_udp(&d2)
+            .assemble(&LayoutOptions::with_banks(8))
+            .unwrap();
         let a = Lane::run_program(&dfa_img, input, &LaneConfig::default());
         let c = Lane::run_program(&d2_img, input, &LaneConfig::default());
         assert_eq!(sorted(a.reports), sorted(c.reports));
@@ -406,8 +412,12 @@ mod tests {
         let dfa = Dfa::determinize(&nfa).minimize();
         assert!(dfa.len() > 4 * nfa.len());
 
-        let nfa_img = nfa_to_udp(&nfa).assemble(&LayoutOptions::with_banks(1)).unwrap();
-        let dfa_img = dfa_to_udp(&dfa).assemble(&LayoutOptions::with_banks(32)).unwrap();
+        let nfa_img = nfa_to_udp(&nfa)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
+        let dfa_img = dfa_to_udp(&dfa)
+            .assemble(&LayoutOptions::with_banks(32))
+            .unwrap();
         assert!(nfa_img.stats.span_words < dfa_img.stats.span_words);
 
         // Lots of 'a's keep many NFA activations alive.
@@ -416,8 +426,6 @@ mod tests {
         let d = Lane::run_program(&dfa_img, input, &LaneConfig::default());
         assert!(n.cycles > d.cycles, "NFA {} vs DFA {}", n.cycles, d.cycles);
         // And they agree on the matches.
-        assert_eq!(sorted(n.reports), sorted(
-            d.reports.into_iter().collect()
-        ));
+        assert_eq!(sorted(n.reports), sorted(d.reports.into_iter().collect()));
     }
 }

@@ -86,10 +86,7 @@ mod tests {
         let got: Vec<u32> = out.iter().map(|&b| u32::from(b)).collect();
         // Zero padding may decode into trailing spurious fields.
         assert_eq!(&got[..codes.len()], &codes[..]);
-        assert_eq!(
-            bitpack_decode(&packed, 4, codes.len()).unwrap(),
-            codes
-        );
+        assert_eq!(bitpack_decode(&packed, 4, codes.len()).unwrap(), codes);
     }
 
     #[test]

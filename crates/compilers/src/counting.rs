@@ -284,7 +284,7 @@ mod tests {
         assert!(p.expanded_state_estimate() > 4000);
         // And it still matches.
         let mut input = b"id=".to_vec();
-        input.extend(std::iter::repeat(b'7').take(1000));
+        input.extend(std::iter::repeat_n(b'7', 1000));
         input.push(b';');
         assert_eq!(run(&p, &input), vec![input.len()]);
     }

@@ -102,7 +102,12 @@ pub fn csv_to_udp_with(delim: u8, quote: u8) -> ProgramBuilder {
             );
         } else if byte == delim {
             // Closing quote then delimiter: field = [r_start, idx-2).
-            b.labeled_arc(quote_q, sym, Target::State(record), emit_field(1, FIELD_SEP));
+            b.labeled_arc(
+                quote_q,
+                sym,
+                Target::State(record),
+                emit_field(1, FIELD_SEP),
+            );
         } else if byte == b'\n' {
             let mut acts = emit_field(1, FIELD_SEP);
             acts.push(Action::imm(
@@ -142,7 +147,9 @@ mod tests {
     use udp_sim::{Lane, LaneConfig};
 
     fn run(input: &[u8]) -> Vec<u8> {
-        let img = csv_to_udp().assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let img = csv_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
         Lane::run_program(&img, input, &LaneConfig::default()).output
     }
 
@@ -172,7 +179,9 @@ mod tests {
 
     #[test]
     fn regular_bytes_cost_one_cycle() {
-        let img = csv_to_udp().assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let img = csv_to_udp()
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
         let input = b"abcdefgh\n";
         let rep = Lane::run_program(&img, input, &LaneConfig::default());
         assert_eq!(rep.fallback_misses, 0, "full labeled dispatch never misses");

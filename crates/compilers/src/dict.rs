@@ -132,7 +132,12 @@ fn probe_actions(k: u32) -> Vec<Action> {
 
 fn reset_actions() -> Vec<Action> {
     vec![
-        Action::imm(Opcode::MovI, Reg::new(1), Reg::R0, (FNV_INIT & 0xFFFF) as u16),
+        Action::imm(
+            Opcode::MovI,
+            Reg::new(1),
+            Reg::R0,
+            (FNV_INIT & 0xFFFF) as u16,
+        ),
         Action::imm(Opcode::MovIH, Reg::new(1), Reg::R0, (FNV_INIT >> 16) as u16),
         Action::imm(Opcode::InIdx, Reg::new(4), Reg::R0, 0),
     ]
@@ -288,12 +293,8 @@ mod tests {
             .assemble(&LayoutOptions::with_banks(4))
             .unwrap();
         let input = join_tokens(values);
-        let (rep, _) = Lane::run_program_capture(
-            &img,
-            &input,
-            &staging_of(&staging),
-            &LaneConfig::default(),
-        );
+        let (rep, _) =
+            Lane::run_program_capture(&img, &input, &staging_of(&staging), &LaneConfig::default());
         assert_eq!(rep.status, LaneStatus::InputExhausted, "{:?}", rep.status);
         (decode_codes(&rep.output), expect)
     }

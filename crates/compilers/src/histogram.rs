@@ -179,18 +179,30 @@ mod tests {
 
     #[test]
     fn uniform_bins_match_baseline() {
-        let vals: Vec<f32> = (0..500).map(|i| (i as f32 * 0.937).rem_euclid(12.0) - 1.0).collect();
-        check_against_baseline(
-            Histogram::uniform(0.0, 10.0, 10).edges().to_vec(),
-            &vals,
-        );
+        let vals: Vec<f32> = (0..500)
+            .map(|i| (i as f32 * 0.937).rem_euclid(12.0) - 1.0)
+            .collect();
+        check_against_baseline(Histogram::uniform(0.0, 10.0, 10).edges().to_vec(), &vals);
     }
 
     #[test]
     fn negative_values_and_outliers() {
         check_against_baseline(
             vec![-5.0, -1.0, 0.0, 2.5, 7.0],
-            &[-10.0, -5.0, -2.0, -0.5, 0.0, 1.0, 2.5, 6.9, 7.0, 100.0, f32::NAN, -0.0],
+            &[
+                -10.0,
+                -5.0,
+                -2.0,
+                -0.5,
+                0.0,
+                1.0,
+                2.5,
+                6.9,
+                7.0,
+                100.0,
+                f32::NAN,
+                -0.0,
+            ],
         );
     }
 

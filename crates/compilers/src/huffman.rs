@@ -49,7 +49,12 @@ fn emit_byte(sym: u8) -> Action {
 fn depths(tree: &HuffmanTree) -> Vec<(u8, u8)> {
     let n = tree.nodes().len();
     let mut memo = vec![(0u8, 0u8); n];
-    fn go(tree: &HuffmanTree, memo: &mut Vec<(u8, u8)>, done: &mut Vec<bool>, i: usize) -> (u8, u8) {
+    fn go(
+        tree: &HuffmanTree,
+        memo: &mut Vec<(u8, u8)>,
+        done: &mut Vec<bool>,
+        i: usize,
+    ) -> (u8, u8) {
         if done[i] {
             return memo[i];
         }
@@ -81,7 +86,10 @@ fn depths(tree: &HuffmanTree) -> Vec<(u8, u8)> {
 /// Walks `width` bits of value `v` (MSB-first) from node `from`,
 /// stopping at the first leaf: returns `(Leaf(sym, depth) | Node(id))`.
 enum Walk {
-    Leaf { sym: u8, depth: u8 },
+    Leaf {
+        sym: u8,
+        depth: u8,
+    },
     Node(u32),
     /// An invalid code prefix (only possible in single-symbol trees).
     Dead,
@@ -124,7 +132,7 @@ pub fn huffman_decode_to_udp(tree: &HuffmanTree, mode: SymbolMode) -> ProgramBui
 fn decode_refill(tree: &HuffmanTree) -> ProgramBuilder {
     let mut b = ProgramBuilder::new();
     let d = depths(tree);
-    let width = d[tree.root() as usize].1.min(8).max(1);
+    let width = d[tree.root() as usize].1.clamp(1, 8);
     b.set_symbol_bits(width);
 
     // Special case: single-symbol tree (1-bit codes at the root).
@@ -174,11 +182,15 @@ fn decode_refill(tree: &HuffmanTree) -> ProgramBuilder {
 fn decode_strided(tree: &HuffmanTree, folded: bool) -> ProgramBuilder {
     let mut b = ProgramBuilder::new();
     let d = depths(tree);
-    let stride = |n: u32| d[n as usize].0.min(8).max(1);
+    let stride = |n: u32| d[n as usize].0.clamp(1, 8);
     let root = tree.root();
     b.set_symbol_bits(stride(root));
 
-    let setsym_op = if folded { Opcode::SetSymT } else { Opcode::SetSym };
+    let setsym_op = if folded {
+        Opcode::SetSymT
+    } else {
+        Opcode::SetSym
+    };
     let mut states: HashMap<u32, StateId> = HashMap::new();
     let root_sid = b.add_consuming_state();
     states.insert(root, root_sid);
@@ -194,7 +206,12 @@ fn decode_strided(tree: &HuffmanTree, folded: bool) -> ProgramBuilder {
                     debug_assert_eq!(depth, w, "stride = mindepth ⇒ exact leaf hit");
                     let mut acts = vec![emit_byte(sym)];
                     if stride(root) != w {
-                        acts.push(Action::imm(setsym_op, Reg::R0, Reg::R0, u16::from(stride(root))));
+                        acts.push(Action::imm(
+                            setsym_op,
+                            Reg::R0,
+                            Reg::R0,
+                            u16::from(stride(root)),
+                        ));
                     }
                     b.labeled_arc(sid, v as u16, Target::State(root_sid), acts);
                 }
@@ -205,7 +222,12 @@ fn decode_strided(tree: &HuffmanTree, folded: bool) -> ProgramBuilder {
                     });
                     let mut acts = vec![];
                     if stride(m) != w {
-                        acts.push(Action::imm(setsym_op, Reg::R0, Reg::R0, u16::from(stride(m))));
+                        acts.push(Action::imm(
+                            setsym_op,
+                            Reg::R0,
+                            Reg::R0,
+                            u16::from(stride(m)),
+                        ));
                     }
                     b.labeled_arc(sid, v as u16, Target::State(tgt), acts);
                 }
@@ -285,9 +307,19 @@ pub fn huffman_encode_to_udp(tree: &HuffmanTree) -> ProgramBuilder {
             acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, c.len, 0));
         } else {
             let hi_len = c.len - 15;
-            acts.push(Action::imm(Opcode::MovI, r1, Reg::R0, (c.bits >> 15) as u16));
+            acts.push(Action::imm(
+                Opcode::MovI,
+                r1,
+                Reg::R0,
+                (c.bits >> 15) as u16,
+            ));
             acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, hi_len, 0));
-            acts.push(Action::imm(Opcode::MovI, r1, Reg::R0, (c.bits & 0x7FFF) as u16));
+            acts.push(Action::imm(
+                Opcode::MovI,
+                r1,
+                Reg::R0,
+                (c.bits & 0x7FFF) as u16,
+            ));
             acts.push(Action::imm2(Opcode::EmitBits, Reg::R0, r1, 15, 0));
         }
         b.labeled_arc(s, u16::from(sym), Target::State(s), acts);
@@ -314,7 +346,7 @@ pub fn truncate_decoded(mut out: Vec<u8>, expected: usize) -> Vec<u8> {
 
 /// The global SsRef stride for a tree.
 pub fn ssref_stride(tree: &HuffmanTree) -> u8 {
-    depths(tree)[tree.root() as usize].1.min(8).max(1)
+    depths(tree)[tree.root() as usize].1.clamp(1, 8)
 }
 
 #[cfg(test)]
@@ -384,10 +416,7 @@ mod tests {
             uap_attach: true, // size model only: SsF action fan-out is huge
         };
         let a = ssf.assemble(&opts).unwrap().stats;
-        let c = ssref
-            .assemble(&LayoutOptions::with_banks(8))
-            .unwrap()
-            .stats;
+        let c = ssref.assemble(&LayoutOptions::with_banks(8)).unwrap().stats;
         assert!(
             a.code_bytes() > 4 * c.code_bytes(),
             "SsF {} vs SsRef {}",

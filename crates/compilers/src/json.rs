@@ -36,7 +36,12 @@ fn mark_start(offset: i16) -> Action {
 /// Flush `[r1, idx - 1 - strip)` to the output.
 fn flush_segment(strip: u16) -> Vec<Action> {
     vec![
-        Action::imm(Opcode::InIdx, Reg::new(3), Reg::R0, 0u16.wrapping_sub(1 + strip)),
+        Action::imm(
+            Opcode::InIdx,
+            Reg::new(3),
+            Reg::R0,
+            0u16.wrapping_sub(1 + strip),
+        ),
         Action::reg(Opcode::Sub, Reg::new(2), Reg::new(3), Reg::new(1)),
         Action::reg(Opcode::LoopIn, Reg::R0, Reg::new(1), Reg::new(2)),
     ]
@@ -175,7 +180,12 @@ pub fn json_to_udp() -> ProgramBuilder {
         b.labeled_arc(in_number, u16::from(b'"'), Target::State(in_string), acts);
     }
     for (byte, chain) in [(b't', lit_true), (b'f', lit_false), (b'n', lit_null)] {
-        b.labeled_arc(in_number, u16::from(byte), Target::State(chain), flush_number());
+        b.labeled_arc(
+            in_number,
+            u16::from(byte),
+            Target::State(chain),
+            flush_number(),
+        );
     }
 
     b

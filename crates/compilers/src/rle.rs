@@ -127,7 +127,7 @@ mod tests {
         fn prop_matches_cpu_rle_decode(runs in proptest::collection::vec((any::<u8>(), 0u32..50), 0..40)) {
             let expect: Vec<u8> = runs
                 .iter()
-                .flat_map(|&(v, n)| std::iter::repeat(v).take(n as usize))
+                .flat_map(|&(v, n)| std::iter::repeat_n(v, n as usize))
                 .collect();
             prop_assert_eq!(run(&runs), expect);
         }

@@ -200,16 +200,9 @@ pub fn snappy_compress_to_udp_with(hash_bits: u32, htab_offset: u32) -> ProgramB
     let k = hash_bits as u16;
 
     // flag 2 → flush trailing literals and halt.
-    let mut eof_entry = vec![
-        a(Opcode::InIdx, 10, 0, 0),
-        r(Opcode::Sub, 3, 10, 4),
-    ];
+    let mut eof_entry = vec![a(Opcode::InIdx, 10, 0, 0), r(Opcode::Sub, 3, 10, 4)];
     flush_entry_flag(&mut eof_entry);
-    let lf_eof = literal_flush(
-        &mut b,
-        Target::Halt,
-        vec![a(Opcode::Halt, 0, 0, 0)],
-    );
+    let lf_eof = literal_flush(&mut b, Target::Halt, vec![a(Opcode::Halt, 0, 0, 0)]);
     b.labeled_arc(main, 2, Target::State(lf_eof), eof_entry);
 
     // flag 1 → match: extend, flush literals, emit the copy, skip ahead.
@@ -319,8 +312,7 @@ mod tests {
             segments: vec![],
             regs: vec![(Reg::new(2), data.len() as u32), (Reg::new(0), 0)],
         };
-        let (rep, _) =
-            Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
+        let (rep, _) = Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
         assert!(
             matches!(rep.status, LaneStatus::Halted(0)) || data.is_empty(),
             "{:?}",
@@ -341,7 +333,7 @@ mod tests {
         let mut data: Vec<u8> = (0..5000u32)
             .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
             .collect();
-        data.extend(std::iter::repeat(b'z').take(3000));
+        data.extend(std::iter::repeat_n(b'z', 3000));
         let stream = snappy_compress(&data);
         assert_eq!(udp_decompress(&stream), data);
     }
@@ -351,12 +343,19 @@ mod tests {
         let data = b"abcabcabcabcabc hello hello hello world world".repeat(20);
         let framed = udp_compress(&data);
         assert_eq!(snappy_decompress(&framed).unwrap(), data);
-        assert!(framed.len() < data.len(), "{} vs {}", framed.len(), data.len());
+        assert!(
+            framed.len() < data.len(),
+            "{} vs {}",
+            framed.len(),
+            data.len()
+        );
     }
 
     #[test]
     fn compressor_handles_incompressible_data() {
-        let data: Vec<u8> = (0..2000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let data: Vec<u8> = (0..2000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
         let framed = udp_compress(&data);
         assert_eq!(snappy_decompress(&framed).unwrap(), data);
     }
@@ -386,8 +385,7 @@ mod tests {
                 segments: vec![],
                 regs: vec![(Reg::new(2), data.len() as u32)],
             };
-            let (rep, _) =
-                Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
+            let (rep, _) = Lane::run_program_capture(&img, data, &staging, &LaneConfig::default());
             rep.cycles as f64 / data.len() as f64
         };
         let low = udp_workloads::canterbury_like(udp_workloads::Entropy::Low, 10_000, 1);

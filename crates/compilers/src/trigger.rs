@@ -29,7 +29,12 @@ pub fn trigger_to_udp(fsm: &TriggerFsm) -> ProgramBuilder {
             } else {
                 vec![]
             };
-            b.labeled_arc(states[s as usize], sym, Target::State(states[next as usize]), actions);
+            b.labeled_arc(
+                states[s as usize],
+                sym,
+                Target::State(states[next as usize]),
+                actions,
+            );
         }
     }
     b
@@ -44,7 +49,9 @@ mod tests {
     #[test]
     fn udp_trigger_matches_reference() {
         let fsm = TriggerFsm::new(64, 192, 3);
-        let img = trigger_to_udp(&fsm).assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let img = trigger_to_udp(&fsm)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
         let (samples, edges) = udp_workloads::pulsed_waveform(5_000, &[3], 25, 1);
         let rep = Lane::run_program(&img, &samples, &LaneConfig::default());
         let got: Vec<usize> = rep.reports.iter().map(|&(_, p)| p as usize - 1).collect();
@@ -55,7 +62,9 @@ mod tests {
     #[test]
     fn rate_is_one_cycle_per_sample() {
         let fsm = TriggerFsm::new(64, 192, 5);
-        let img = trigger_to_udp(&fsm).assemble(&LayoutOptions::with_banks(1)).unwrap();
+        let img = trigger_to_udp(&fsm)
+            .assemble(&LayoutOptions::with_banks(1))
+            .unwrap();
         let (samples, _) = udp_workloads::pulsed_waveform(10_000, &[5], 40, 2);
         let rep = Lane::run_program(&img, &samples, &LaneConfig::default());
         // Constant rate: ~1 cycle/sample plus rare report actions.

@@ -114,21 +114,41 @@ pub fn xml_to_udp() -> ProgramBuilder {
     };
     name_continue(&mut b, open_name);
     for &s in &WS {
-        b.labeled_arc(open_name, u16::from(s), Target::State(attr_space), flush_segment());
+        b.labeled_arc(
+            open_name,
+            u16::from(s),
+            Target::State(attr_space),
+            flush_segment(),
+        );
     }
     {
         let mut acts = flush_segment();
         acts.push(emit(b'>'));
         b.labeled_arc(open_name, u16::from(b'>'), Target::State(content), acts);
     }
-    b.labeled_arc(open_name, u16::from(b'/'), Target::State(expect_gt), flush_segment());
+    b.labeled_arc(
+        open_name,
+        u16::from(b'/'),
+        Target::State(expect_gt),
+        flush_segment(),
+    );
 
     // ---- attr_space -------------------------------------------------------
     for &s in &WS {
         b.labeled_arc(attr_space, u16::from(s), Target::State(attr_space), vec![]);
     }
-    b.labeled_arc(attr_space, u16::from(b'>'), Target::State(content), vec![emit(b'>')]);
-    b.labeled_arc(attr_space, u16::from(b'/'), Target::State(expect_gt), vec![]);
+    b.labeled_arc(
+        attr_space,
+        u16::from(b'>'),
+        Target::State(content),
+        vec![emit(b'>')],
+    );
+    b.labeled_arc(
+        attr_space,
+        u16::from(b'/'),
+        Target::State(expect_gt),
+        vec![],
+    );
     for &s in &name_start_bytes() {
         b.labeled_arc(
             attr_space,
@@ -140,11 +160,26 @@ pub fn xml_to_udp() -> ProgramBuilder {
 
     // ---- attr_name ----------------------------------------------------------
     name_continue(&mut b, attr_name);
-    b.labeled_arc(attr_name, u16::from(b'='), Target::State(attr_eq), flush_segment());
+    b.labeled_arc(
+        attr_name,
+        u16::from(b'='),
+        Target::State(attr_eq),
+        flush_segment(),
+    );
 
     // ---- attr_eq --------------------------------------------------------------
-    b.labeled_arc(attr_eq, u16::from(b'"'), Target::State(val_dq), vec![mark_start(0)]);
-    b.labeled_arc(attr_eq, u16::from(b'\''), Target::State(val_sq), vec![mark_start(0)]);
+    b.labeled_arc(
+        attr_eq,
+        u16::from(b'"'),
+        Target::State(val_dq),
+        vec![mark_start(0)],
+    );
+    b.labeled_arc(
+        attr_eq,
+        u16::from(b'\''),
+        Target::State(val_sq),
+        vec![mark_start(0)],
+    );
 
     // ---- attribute values ---------------------------------------------------------
     for (state, quote) in [(val_dq, b'"'), (val_sq, b'\'')] {
@@ -159,10 +194,20 @@ pub fn xml_to_udp() -> ProgramBuilder {
 
     // ---- close_name ----------------------------------------------------------------
     name_continue(&mut b, close_name);
-    b.labeled_arc(close_name, u16::from(b'>'), Target::State(content), flush_segment());
+    b.labeled_arc(
+        close_name,
+        u16::from(b'>'),
+        Target::State(content),
+        flush_segment(),
+    );
 
     // ---- expect_gt ---------------------------------------------------------------------
-    b.labeled_arc(expect_gt, u16::from(b'>'), Target::State(content), vec![emit(b'E')]);
+    b.labeled_arc(
+        expect_gt,
+        u16::from(b'>'),
+        Target::State(content),
+        vec![emit(b'E')],
+    );
     b
 }
 
@@ -185,7 +230,9 @@ mod tests {
     use udp_sim::{Lane, LaneConfig, LaneStatus};
 
     fn run(input: &[u8]) -> (Vec<u8>, LaneStatus) {
-        let img = xml_to_udp().assemble(&LayoutOptions::with_banks(2)).unwrap();
+        let img = xml_to_udp()
+            .assemble(&LayoutOptions::with_banks(2))
+            .unwrap();
         let rep = Lane::run_program(&img, input, &LaneConfig::default());
         (rep.output, rep.status)
     }

@@ -123,7 +123,7 @@ mod tests {
             .map(|r| r.paper_udp_relative_perf)
             .fold(0.0, f64::max);
         // "at worst nearly 2x slower and up to 13x faster"
-        assert!(min >= 0.3 && min < 1.0);
+        assert!((0.3..1.0).contains(&min));
         assert!((max - 13.0).abs() < f64::EPSILON);
     }
 

@@ -44,6 +44,16 @@ impl UdpKernelReport {
     }
 }
 
+/// Reads the `UDP_PARALLEL` environment knob: set to anything other
+/// than `0`/`false` to execute each wave's lanes on host threads. The
+/// modeled results are bit-identical either way (see
+/// `UdpRunOptions::parallel`); the knob only changes host wall-clock.
+pub fn parallel_from_env() -> bool {
+    std::env::var("UDP_PARALLEL")
+        .map(|v| v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false)
+}
+
 /// Banks needed to cover both code and the staged data segments.
 fn banks_for(image: &ProgramImage, staging: &Staging) -> usize {
     let code = image.stats.span_words.div_ceil(BANK_WORDS);
@@ -53,7 +63,7 @@ fn banks_for(image: &ProgramImage, staging: &Staging) -> usize {
         .map(|(off, bytes)| (*off as usize + bytes.len()).div_ceil(BANK_WORDS * 4))
         .max()
         .unwrap_or(0);
-    code.max(data).max(1).min(64)
+    code.max(data).clamp(1, 64)
 }
 
 /// Runs `image` on the device with `input` duplicated across every
@@ -75,6 +85,7 @@ fn run_duplicated(
         staging,
         &UdpRunOptions {
             banks_per_lane: banks,
+            parallel: parallel_from_env(),
             ..Default::default()
         },
     );
@@ -147,9 +158,11 @@ pub mod huffman {
         let tree = HuffmanTree::from_data(data);
         let (bits, nbits) = tree.encode(data);
         let padded = pad_for_stride(&bits, nbits, ssref_stride(&tree));
-        let img = assemble(&huffman_decode_to_udp(&tree, SymbolMode::RegisterRefill), 64);
-        let (rep, kr) =
-            run_duplicated("huffman-decode", &img, &padded, &Staging::default(), 1);
+        let img = assemble(
+            &huffman_decode_to_udp(&tree, SymbolMode::RegisterRefill),
+            64,
+        );
+        let (rep, kr) = run_duplicated("huffman-decode", &img, &padded, &Staging::default(), 1);
         assert_eq!(
             truncate_decoded(rep.lanes[0].output.clone(), data.len()),
             data,
@@ -308,8 +321,7 @@ pub mod dict {
     use super::*;
     use udp_codecs::{DictionaryEncoder, Run};
     use udp_compilers::dict::{
-        decode_codes, dict_rle_to_udp, dict_to_udp, finish_dict_rle, join_tokens,
-        stage_dictionary,
+        decode_codes, dict_rle_to_udp, dict_to_udp, finish_dict_rle, join_tokens, stage_dictionary,
     };
 
     fn staging_of(d: &udp_compilers::dict::DictStaging) -> Staging {
@@ -358,6 +370,7 @@ pub mod dict {
             &staging_of(&stg),
             &UdpRunOptions {
                 banks_per_lane: banks,
+                parallel: parallel_from_env(),
                 ..Default::default()
             },
         );
@@ -365,13 +378,20 @@ pub mod dict {
         let flat = decode_codes(&rep.lanes[0].output);
         let mut runs: Vec<Run<u32>> = flat
             .chunks_exact(2)
-            .map(|p| Run { value: p[0], length: p[1] })
+            .map(|p| Run {
+                value: p[0],
+                length: p[1],
+            })
             .collect();
-        let scratch = udp.read_lane_bytes(0, banks, u32::from(udp_compilers::dict::SCRATCH_PREV), 8);
+        let scratch =
+            udp.read_lane_bytes(0, banks, u32::from(udp_compilers::dict::SCRATCH_PREV), 8);
         let prev = u32::from_le_bytes(scratch[0..4].try_into().expect("4"));
         let count = u32::from_le_bytes(scratch[4..8].try_into().expect("4"));
         if prev != 0 {
-            runs.push(Run { value: prev - 1, length: count });
+            runs.push(Run {
+                value: prev - 1,
+                length: count,
+            });
         }
         assert_eq!(runs, expect, "dict-rle mismatch");
         let _ = finish_dict_rle;
@@ -406,12 +426,8 @@ pub mod histogram {
 
         // Verify on a dedicated single-lane run (bin tables of the
         // duplicated lanes all hold identical counts).
-        let (_, mem) = Lane::run_program_capture(
-            &img,
-            &be,
-            &Staging::default(),
-            &LaneConfig::default(),
-        );
+        let (_, mem) =
+            Lane::run_program_capture(&img, &be, &Staging::default(), &LaneConfig::default());
         let bins = read_bins(&mem, &layout);
         let mut base = Histogram::with_edges(hist.edges().to_vec());
         base.add_le_bytes(le_bytes);
@@ -457,8 +473,7 @@ pub mod snappy {
     pub fn run_decompress(block: &[u8]) -> UdpKernelReport {
         let stream = snappy_compress(block);
         let img = assemble(&snappy_decompress_to_udp(), 8);
-        let (rep, kr) =
-            run_duplicated("snappy-decompress", &img, &stream, &Staging::default(), 1);
+        let (rep, kr) = run_duplicated("snappy-decompress", &img, &stream, &Staging::default(), 1);
         assert_eq!(rep.lanes[0].output, block, "snappy decompress mismatch");
         kr
     }
@@ -627,6 +642,9 @@ mod tests {
         let refs: Vec<&str> = regexes.iter().map(String::as_str).collect();
         let d = patterns::run_dfa(&refs, &trace[..8000]);
         let n = patterns::run_nfa_model(&refs, &trace[..8000]);
-        assert!(d.lane_rate_mbps > n.lane_rate_mbps, "DFA should outpace NFA");
+        assert!(
+            d.lane_rate_mbps > n.lane_rate_mbps,
+            "DFA should outpace NFA"
+        );
     }
 }

@@ -167,9 +167,7 @@ pub fn run_snappy_compress(approach: Approach, data: &[u8]) -> KernelRun {
         return KernelRun::finish(BranchKernel::SnappyCompress, approach, m);
     }
     let mut table = vec![0u32; 1 << 14];
-    let load32 = |i: usize| {
-        u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
-    };
+    let load32 = |i: usize| u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
     let hash = |v: u32| (v.wrapping_mul(0x1E35_A7BD) >> 18) as usize;
     let mut i = 1usize;
     let limit = data.len() - 4;

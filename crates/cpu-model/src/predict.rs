@@ -110,7 +110,10 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail < 50, "history should capture T/N/T/N: {wrong_tail}");
+        assert!(
+            wrong_tail < 50,
+            "history should capture T/N/T/N: {wrong_tail}"
+        );
     }
 
     #[test]
@@ -119,7 +122,9 @@ mod tests {
         let mut wrong = 0;
         let mut x = 0x12345678u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if !p.update(0x400, taken) {
                 wrong += 1;

@@ -70,10 +70,12 @@ pub fn run_cpu_etl(compressed: &[u8]) -> (ColumnStore, EtlReport) {
     let t = Instant::now();
     let mut fields: Vec<Vec<u8>> = Vec::new();
     let mut row_bounds: Vec<usize> = Vec::new();
-    CsvParser::new().with_delimiter(b'|').parse_events(&raw, |e| match e {
-        CsvEvent::Field(f) => fields.push(f),
-        CsvEvent::EndRecord => row_bounds.push(fields.len()),
-    });
+    CsvParser::new()
+        .with_delimiter(b'|')
+        .parse_events(&raw, |e| match e {
+            CsvEvent::Field(f) => fields.push(f),
+            CsvEvent::EndRecord => row_bounds.push(fields.len()),
+        });
     report.parse_s = t.elapsed().as_secs_f64();
 
     // Stage 3: deserialize + validate.

@@ -87,10 +87,10 @@ pub fn lineitem_schema() -> Vec<ColumnType> {
     vec![
         I64, I64, I64, I64, I64, // orderkey..quantity
         F64, F64, F64, // extendedprice, discount, tax
-        Str, Str,  // returnflag, linestatus
+        Str, Str, // returnflag, linestatus
         Date, Date, Date, // ship/commit/receipt
         Str, Str, Str, // shipinstruct, shipmode, comment
-        Str,  // trailing empty
+        Str, // trailing empty
     ]
 }
 

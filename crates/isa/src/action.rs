@@ -327,17 +327,14 @@ impl Action {
             | (u32::from(self.last) << 24)
             | (u32::from(self.dst.index()) << 20);
         match self.op.format() {
-            ActionFormat::Imm => {
-                base | (u32::from(self.src.index()) << 16) | u32::from(self.imm)
-            }
+            ActionFormat::Imm => base | (u32::from(self.src.index()) << 16) | u32::from(self.imm),
             ActionFormat::Imm2 => {
                 base | (u32::from(self.src.index()) << 16)
                     | (u32::from(self.imm1) << 12)
                     | u32::from(self.imm & 0xFFF)
             }
             ActionFormat::Reg => {
-                base | (u32::from(self.rref.index()) << 16)
-                    | (u32::from(self.src.index()) << 12)
+                base | (u32::from(self.rref.index()) << 16) | (u32::from(self.src.index()) << 12)
             }
         }
     }
@@ -384,7 +381,9 @@ impl Action {
 impl fmt::Display for Action {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op.format() {
-            ActionFormat::Imm => write!(f, "{} {}, {}, #{}", self.op, self.dst, self.src, self.imm)?,
+            ActionFormat::Imm => {
+                write!(f, "{} {}, {}, #{}", self.op, self.dst, self.src, self.imm)?
+            }
             ActionFormat::Imm2 => write!(
                 f,
                 "{} {}, {}, #{}, #{}",

@@ -54,18 +54,21 @@ impl AddressingMode {
 
     /// Whether two lanes may reference the same bank under this mode
     /// (requiring conflict detection and stalls).
+    #[inline]
     pub fn allows_sharing(self) -> bool {
         !matches!(self, AddressingMode::Local)
     }
 }
 
 /// Splits a flat word address into `(bank, offset)`.
+#[inline]
 pub fn bank_of_word(addr: u32) -> (usize, usize) {
     let bank = (addr as usize / BANK_WORDS) % NUM_BANKS;
     (bank, addr as usize % BANK_WORDS)
 }
 
 /// Splits a flat byte address into `(bank, byte offset)`.
+#[inline]
 pub fn bank_of_byte(addr: u32) -> (usize, usize) {
     let bank = (addr as usize / BANK_BYTES) % NUM_BANKS;
     (bank, addr as usize % BANK_BYTES)

@@ -42,6 +42,7 @@ impl Reg {
     }
 
     /// The register number, `0..16`.
+    #[inline]
     pub fn index(self) -> u8 {
         self.0
     }

@@ -138,32 +138,38 @@ impl TransitionWord {
     /// The signature: the expected symbol for labeled slots, the
     /// [`FALLBACK_SIGNATURE`] marker or a refill bit-count for fallback
     /// slots.
+    #[inline]
     pub fn signature(&self) -> u8 {
         self.signature
     }
 
     /// The base word-address of the next state (12 bits, window-relative).
+    #[inline]
     pub fn target(&self) -> u16 {
         self.target
     }
 
     /// How the target state dispatches next.
+    #[inline]
     pub fn kind(&self) -> ExecKind {
         self.kind
     }
 
     /// Addressing mode of [`Self::attach`].
+    #[inline]
     pub fn attach_mode(&self) -> AttachMode {
         self.attach_mode
     }
 
     /// Action-block reference; `0` means this transition has no actions.
+    #[inline]
     pub fn attach(&self) -> u8 {
         self.attach
     }
 
     /// For refill fallback words the signature field carries the number of
     /// bits to put back into the stream (0–8).
+    #[inline]
     pub fn refill_bits(&self) -> u8 {
         self.signature
     }
@@ -171,6 +177,7 @@ impl TransitionWord {
     /// Resolves the action-block address given the lane's action base and
     /// scale configuration. Returns `None` when the transition carries no
     /// actions (`attach == 0`).
+    #[inline]
     pub fn action_addr(&self, abase: WordAddr, ascale: u8) -> Option<WordAddr> {
         if self.attach == 0 {
             return None;
@@ -278,7 +285,7 @@ mod tests {
         #[test]
         fn prop_encode_is_injective(a in 0u32..=u32::MAX) {
             // decode . encode == id on the 28 meaningful bits we use
-            let t = TransitionWord::decode(a & 0xFFFF_FFFF);
+            let t = TransitionWord::decode(a);
             let b = t.encode();
             prop_assert_eq!(TransitionWord::decode(b), t);
         }

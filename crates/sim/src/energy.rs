@@ -28,18 +28,50 @@ pub struct Component {
 
 /// The lane-level breakdown of Table 3 (top half).
 pub const LANE_COMPONENTS: [Component; 4] = [
-    Component { name: "Dispatch Unit", power_mw: 0.71, area_mm2: 0.022 },
-    Component { name: "SBP Unit", power_mw: 0.24, area_mm2: 0.008 },
-    Component { name: "Stream Buffer", power_mw: 0.22, area_mm2: 0.002 },
-    Component { name: "Action Unit", power_mw: 0.68, area_mm2: 0.021 },
+    Component {
+        name: "Dispatch Unit",
+        power_mw: 0.71,
+        area_mm2: 0.022,
+    },
+    Component {
+        name: "SBP Unit",
+        power_mw: 0.24,
+        area_mm2: 0.008,
+    },
+    Component {
+        name: "Stream Buffer",
+        power_mw: 0.22,
+        area_mm2: 0.002,
+    },
+    Component {
+        name: "Action Unit",
+        power_mw: 0.68,
+        area_mm2: 0.021,
+    },
 ];
 
 /// The system-level breakdown of Table 3 (bottom half).
 pub const SYSTEM_COMPONENTS: [Component; 4] = [
-    Component { name: "64 Lanes", power_mw: 120.56, area_mm2: 3.430 },
-    Component { name: "Vector Registers", power_mw: 8.47, area_mm2: 0.256 },
-    Component { name: "DLT Engine", power_mw: 19.29, area_mm2: 0.138 },
-    Component { name: "1MB Local Memory", power_mw: 715.36, area_mm2: 4.864 },
+    Component {
+        name: "64 Lanes",
+        power_mw: 120.56,
+        area_mm2: 3.430,
+    },
+    Component {
+        name: "Vector Registers",
+        power_mw: 8.47,
+        area_mm2: 0.256,
+    },
+    Component {
+        name: "DLT Engine",
+        power_mw: 19.29,
+        area_mm2: 0.138,
+    },
+    Component {
+        name: "1MB Local Memory",
+        power_mw: 715.36,
+        area_mm2: 4.864,
+    },
 ];
 
 /// Reference x86 core for the comparison row of Table 3 (Westmere EP

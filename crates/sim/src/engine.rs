@@ -4,8 +4,9 @@
 use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 use crate::memory::LocalMemory;
 use crate::stream::{BitStream, OutputSink};
+use std::sync::Arc;
 use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
-use udp_asm::ProgramImage;
+use udp_asm::{DecodedProgram, ProgramImage};
 use udp_isa::mem::{AddressingMode, BANK_WORDS, NUM_BANKS};
 use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
 use udp_isa::Reg;
@@ -30,6 +31,14 @@ pub struct UdpRunOptions {
     pub banks_per_lane: usize,
     /// Per-lane cycle cap.
     pub lane: LaneConfig,
+    /// Execute each wave's lanes on host threads instead of one after
+    /// another. Only a host-side speed knob: the modeled cycles,
+    /// stalls, references, and outputs are bit-identical to the
+    /// sequential path. Honored under [`AddressingMode::Local`]
+    /// (disjoint lane windows); sharing modes fall back to sequential
+    /// execution because their lanes may genuinely communicate through
+    /// memory.
+    pub parallel: bool,
 }
 
 impl Default for UdpRunOptions {
@@ -38,12 +47,17 @@ impl Default for UdpRunOptions {
             addressing: AddressingMode::Local,
             banks_per_lane: 1,
             lane: LaneConfig::default(),
+            parallel: false,
         }
     }
 }
 
 /// Aggregate results of a device run.
-#[derive(Debug, Clone)]
+///
+/// Compares equal field-by-field, which is how the determinism tests
+/// check that the parallel wave path reproduces the sequential model
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdpRunReport {
     /// Per-lane reports, one per input chunk actually executed.
     pub lanes: Vec<LaneReport>,
@@ -109,6 +123,13 @@ impl Udp {
     /// Runs `image` data-parallel over `inputs`, one chunk per lane, with
     /// optional per-lane staging. Chunks beyond lane capacity are executed
     /// in additional waves (wall cycles accumulate).
+    ///
+    /// The program is predecoded once into a [`DecodedProgram`] shared by
+    /// every lane, so the per-symbol hot path indexes a table instead of
+    /// re-decoding transition/action words. With [`UdpRunOptions::parallel`]
+    /// set (and local addressing), each wave's lanes execute on host
+    /// threads over private window memories and the results are merged in
+    /// lane order, keeping the report bit-identical to sequential runs.
     pub fn run_data_parallel(
         &mut self,
         image: &ProgramImage,
@@ -124,6 +145,48 @@ impl Udp {
             opts.banks_per_lane
         );
         let lanes_cap = (NUM_BANKS / opts.banks_per_lane.max(1)).max(1);
+        let decoded = Arc::new(image.predecode());
+        // Per-bank counts only feed the conflict model, which local
+        // (disjoint-window) addressing never consults.
+        self.mem.set_bank_tracking(opts.addressing.allows_sharing());
+        // Threaded execution is only correct when lane windows are
+        // provably disjoint, i.e. local addressing. Sharing modes keep
+        // the sequential path (their lanes may communicate through
+        // shared banks, and the conflict model needs the merged
+        // per-bank reference counts anyway).
+        let use_threads =
+            opts.parallel && opts.addressing == AddressingMode::Local && inputs.len() > 1;
+        // Local addressing means provably disjoint windows, so every
+        // lane can execute against a private window-sized memory and be
+        // copied back — sequentially this keeps one hot window-sized
+        // buffer in cache instead of striding the full 1 MB device
+        // memory; with `parallel` it is what makes threading safe.
+        // Sharing modes stay on the shared device memory: their lanes
+        // may genuinely communicate, and the conflict model needs the
+        // merged per-bank reference counts.
+        let use_private = opts.addressing == AddressingMode::Local;
+
+        // Private window memories, allocated once and reused across
+        // waves (one per concurrent lane when threading, one total when
+        // sequential).
+        let mut slots: Vec<LocalMemory> = if use_private {
+            let n = if use_threads {
+                lanes_cap.min(inputs.len())
+            } else {
+                1
+            };
+            (0..n)
+                .map(|_| {
+                    let mut m = LocalMemory::with_words(window_words);
+                    // Local-addressing only, so the conflict model
+                    // never reads per-bank counts.
+                    m.set_bank_tracking(false);
+                    m
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut lane_reports = Vec::with_capacity(inputs.len());
         let mut wall_cycles = 0u64;
@@ -132,28 +195,102 @@ impl Udp {
         while chunk < inputs.len() {
             let wave: Vec<&[u8]> = inputs[chunk..(chunk + lanes_cap).min(inputs.len())].to_vec();
             let mut wave_cycles = 0u64;
-            let refs_before = self.mem.refs();
+            if use_threads {
+                // One host thread per lane, each over its own private
+                // window memory. Join in lane order so the merged report
+                // is deterministic regardless of thread scheduling.
+                let reports: Vec<LaneReport> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .zip(slots.iter_mut())
+                        .map(|(input, slot)| {
+                            let decoded = Arc::clone(&decoded);
+                            let lane_cfg = &opts.lane;
+                            scope.spawn(move || {
+                                run_lane_private(
+                                    image,
+                                    decoded,
+                                    staging,
+                                    lane_cfg,
+                                    window_words,
+                                    slot,
+                                    input,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("lane thread panicked"))
+                        .collect()
+                });
+                // Copy each private window back into the device memory at
+                // its lane origin so `read_lane_bytes` sees the same
+                // post-run state as a sequential run.
+                for (i, slot) in slots.iter().take(wave.len()).enumerate() {
+                    let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
+                    self.mem.load_words(origin, slot.words());
+                }
+                for rep in reports {
+                    wave_cycles = wave_cycles.max(rep.cycles);
+                    lane_reports.push(rep);
+                }
+                // Local addressing: disjoint windows, zero conflicts.
+                wall_cycles += wave_cycles;
+                chunk += wave.len();
+                continue;
+            }
+            if use_private {
+                // Sequential but still on a private window: one slot,
+                // reused lane after lane, copied back after each run.
+                let slot = &mut slots[0];
+                for (i, input) in wave.iter().enumerate() {
+                    let rep = run_lane_private(
+                        image,
+                        Arc::clone(&decoded),
+                        staging,
+                        &opts.lane,
+                        window_words,
+                        slot,
+                        input,
+                    );
+                    let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
+                    self.mem.load_words(origin, slot.words());
+                    wave_cycles = wave_cycles.max(rep.cycles);
+                    lane_reports.push(rep);
+                }
+                wall_cycles += wave_cycles;
+                chunk += wave.len();
+                continue;
+            }
             let mut wave_bank_refs = [0u64; NUM_BANKS];
             for (i, input) in wave.iter().enumerate() {
                 let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
                 self.mem.load_words(origin, &image.words);
                 // Zero the data area above the code within the window.
-                for w in image.stats.span_words..window_words {
-                    self.mem.load_words(origin + w as u32, &[0]);
-                }
+                self.mem.clear_words(
+                    origin + image.stats.span_words as u32,
+                    window_words - image.stats.span_words,
+                );
                 for (off, bytes) in &staging.segments {
                     self.mem.load_bytes(origin * 4 + off, bytes);
                 }
-                let mut lane = Lane::new(image, origin);
+                let mut lane = Lane::with_decoded(image, origin, Arc::clone(&decoded));
+                // The window was loaded fresh just above, so unless a
+                // staging segment overwrote code words the lane may
+                // serve fetches from the predecoded table directly.
+                if staging_clears_code(staging, image.stats.span_words) {
+                    lane.mark_code_clean();
+                }
                 for (r, v) in &staging.regs {
                     lane.preset_reg(*r, *v);
                 }
                 let mut stream = BitStream::new(input);
-                let mut out = OutputSink::new();
+                let mut out = OutputSink::with_capacity(input.len());
                 let before = self.mem.refs();
                 let bank_before = *self.mem.bank_refs();
                 let mut rep = lane.run(&mut self.mem, &mut stream, &mut out, &opts.lane);
-                rep.mem_refs = rep.mem_refs - before; // per-lane delta
+                rep.mem_refs -= before; // per-lane delta
                 for (b, (after, before)) in self
                     .mem
                     .bank_refs()
@@ -179,7 +316,6 @@ impl Udp {
             };
             total_conflict += conflict;
             wall_cycles += wave_cycles + conflict;
-            let _ = refs_before;
             chunk += wave.len();
         }
 
@@ -217,6 +353,55 @@ impl Default for Udp {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Executes one lane of a wave against a private window-sized memory
+/// (threaded path). The lane runs at origin 0 of its own memory, which
+/// under local addressing is indistinguishable from running at its slot
+/// origin in the shared device memory: same counted reference sequence,
+/// same cycles, same output. The caller copies the window back into
+/// device memory afterwards.
+fn run_lane_private(
+    image: &ProgramImage,
+    decoded: Arc<DecodedProgram>,
+    staging: &Staging,
+    cfg: &LaneConfig,
+    window_words: usize,
+    mem: &mut LocalMemory,
+    input: &[u8],
+) -> LaneReport {
+    mem.reset_counters();
+    mem.load_words(0, &image.words);
+    mem.clear_words(
+        image.stats.span_words as u32,
+        window_words - image.stats.span_words,
+    );
+    for (off, bytes) in &staging.segments {
+        mem.load_bytes(*off, bytes);
+    }
+    let mut lane = Lane::with_decoded(image, 0, decoded);
+    if staging_clears_code(staging, image.stats.span_words) {
+        lane.mark_code_clean();
+    }
+    for (r, v) in &staging.regs {
+        lane.preset_reg(*r, *v);
+    }
+    let mut stream = BitStream::new(input);
+    let mut out = OutputSink::with_capacity(input.len());
+    lane.run(mem, &mut stream, &mut out, cfg)
+    // `mem_refs` in the report is the memory's total counted references,
+    // which — counters having been reset above — is exactly the per-lane
+    // delta the sequential path computes.
+}
+
+/// True when no staging segment lands inside the code span, i.e. the
+/// freshly loaded window still matches the predecoded image and the
+/// lane may take the pristine-code fetch fast path.
+pub(crate) fn staging_clears_code(staging: &Staging, span_words: usize) -> bool {
+    staging
+        .segments
+        .iter()
+        .all(|(off, bytes)| bytes.is_empty() || *off as usize >= span_words * 4)
 }
 
 /// Excess references to over-subscribed banks beyond an even split —
@@ -363,10 +548,11 @@ fn resolve_activation(
             udp_isa::AttachMode::Direct => addr,
             udp_isa::AttachMode::Scaled => addr, // abase = 0 in NFA programs
         };
-        let mut a = flat;
-        for _ in 0..64 {
+        for a in flat..flat.saturating_add(64) {
             let raw = mem.read_word(a);
-            let Some(act) = udp_isa::Action::decode(raw) else { break };
+            let Some(act) = udp_isa::Action::decode(raw) else {
+                break;
+            };
             *cycles += 1;
             match act.op {
                 udp_isa::Opcode::Report => reports.push((act.imm, pos)),
@@ -376,7 +562,6 @@ fn resolve_activation(
             if act.last {
                 break;
             }
-            a += 1;
         }
     }
     match t.kind() {
@@ -429,9 +614,17 @@ mod tests {
         let img = scanner();
         let mut udp = Udp::new();
         let inputs: Vec<&[u8]> = vec![b"aa", b"ba", b"bb"];
-        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        let rep = udp.run_data_parallel(
+            &img,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions::default(),
+        );
         assert_eq!(rep.lanes.len(), 3);
-        assert_eq!(rep.concat_output(), b"aa!a!".iter().map(|_| b'!').take(3).collect::<Vec<_>>());
+        assert_eq!(
+            rep.concat_output(),
+            b"aa!a!".iter().map(|_| b'!').take(3).collect::<Vec<_>>()
+        );
         assert_eq!(rep.bytes_in, 6);
         // Wall cycles = slowest lane.
         let max = rep.lanes.iter().map(|l| l.cycles).max().unwrap();
@@ -444,7 +637,12 @@ mod tests {
         let mut udp = Udp::new();
         let chunk: &[u8] = b"aaaa";
         let inputs: Vec<&[u8]> = vec![chunk; 70]; // > 64 lanes
-        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        let rep = udp.run_data_parallel(
+            &img,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions::default(),
+        );
         assert_eq!(rep.lanes.len(), 70);
         // Two waves: wall = 2 × single-chunk cycles.
         let one = rep.lanes[0].cycles;
@@ -497,17 +695,17 @@ mod tests {
         b.fallback_arc(
             s,
             Target::State(s),
-            vec![Action::imm(
-                Opcode::BumpW,
-                Reg::R0,
-                Reg::new(12),
-                1024,
-            )],
+            vec![Action::imm(Opcode::BumpW, Reg::R0, Reg::new(12), 1024)],
         );
         let img = b.assemble(&LayoutOptions::default()).unwrap();
         let mut udp = Udp::new();
         let inputs: Vec<&[u8]> = vec![b"xxxxxxxx"; 4];
-        let local = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        let local = udp.run_data_parallel(
+            &img,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions::default(),
+        );
         assert_eq!(local.conflict_stalls, 0, "local windows are disjoint");
         // Under restricted addressing the model can charge stalls for
         // genuinely shared banks; with disjoint windows it stays zero.
@@ -530,10 +728,18 @@ mod tests {
         let img = scanner();
         let mut udp = Udp::new();
         let inputs: Vec<&[u8]> = vec![b"aaaaaaaaaaaaaaaa"; 8];
-        let rep = udp.run_data_parallel(&img, &inputs, &Staging::default(), &UdpRunOptions::default());
+        let rep = udp.run_data_parallel(
+            &img,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions::default(),
+        );
         let lane_rate = rep.lanes[0].rate_mbps(1.0);
         let tput = rep.throughput_mbps(1.0);
-        assert!((tput / lane_rate - 8.0).abs() < 0.01, "{tput} vs {lane_rate}");
+        assert!(
+            (tput / lane_rate - 8.0).abs() < 0.01,
+            "{tput} vs {lane_rate}"
+        );
     }
 
     #[test]
@@ -546,18 +752,32 @@ mod tests {
         let p2 = b.add_consuming_state();
         b.set_entry(start);
         let fork = b.add_fork_state(vec![
-            Arc { target: Target::State(p1), actions: vec![] },
-            Arc { target: Target::State(p2), actions: vec![] },
+            Arc {
+                target: Target::State(p1),
+                actions: vec![],
+            },
+            Arc {
+                target: Target::State(p2),
+                actions: vec![],
+            },
         ]);
         b.labeled_arc(start, b'a' as u16, Target::State(fork), vec![]);
         b.fallback_arc(start, Target::State(start), vec![]);
         // p1/p2 die on mismatch (no fallback) — but the start state keeps
         // scanning via the fork? No: real scanners fork the start state
         // too. Here we just check activation mechanics on exact input.
-        b.labeled_arc(p1, b'b' as u16, Target::State(start),
-                      vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 1)]);
-        b.labeled_arc(p2, b'c' as u16, Target::State(start),
-                      vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 2)]);
+        b.labeled_arc(
+            p1,
+            b'b' as u16,
+            Target::State(start),
+            vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 1)],
+        );
+        b.labeled_arc(
+            p2,
+            b'c' as u16,
+            Target::State(start),
+            vec![Action::imm(Opcode::Report, Reg::R0, Reg::R0, 2)],
+        );
         let img = b.assemble(&LayoutOptions::default()).unwrap();
 
         let rep = run_nfa(&img, b"ab", &LaneConfig::default());

@@ -3,11 +3,33 @@
 
 use crate::memory::LocalMemory;
 use crate::stream::{BitStream, OutputSink};
+use std::sync::Arc;
 use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
-use udp_asm::ProgramImage;
+use udp_asm::{DecodedProgram, ProgramImage};
 use udp_isa::action::{Action, Opcode};
 use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
-use udp_isa::Reg;
+use udp_isa::{Reg, Word};
+
+/// The predecoded code tables, hoisted out of the `Arc` into plain
+/// slices held in locals for the duration of a run — the fetch fast
+/// path then costs one bounds check and one load instead of a pointer
+/// chase through `Arc` and `Vec` headers that memory writes would keep
+/// invalidating.
+#[derive(Clone, Copy)]
+struct CodeTables<'a> {
+    transitions: &'a [(Word, TransitionWord)],
+    actions: &'a [(Word, Option<Action>)],
+}
+
+impl CodeTables<'static> {
+    /// The no-table table: every lookup misses, so fetches take the
+    /// plain memory path. Saves an `Option` discriminant check on the
+    /// hot path.
+    const EMPTY: CodeTables<'static> = CodeTables {
+        transitions: &[],
+        actions: &[],
+    };
+}
 
 /// Per-run lane configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +47,19 @@ impl Default for LaneConfig {
 }
 
 /// Why a lane stopped.
+///
+/// # Lifecycle
+///
+/// A lane is born [`LaneStatus::Running`] and stays there for its whole
+/// execution; [`Lane::step`] transitions it *at most once* to a
+/// terminal variant (anything but `Running`), after which stepping is a
+/// no-op contract violation — [`Lane::run`] polls the status after
+/// every step and stops on the first terminal value. The status is
+/// *moved* (not cloned) into the final [`LaneReport`]; the lane object
+/// is left `Running` again but must be considered consumed: its
+/// registers, stream position, and cycle counters still hold their
+/// final values, so re-running it would double-count. Build a fresh
+/// lane per run instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LaneStatus {
     /// Still runnable (only observable mid-stepping).
@@ -44,7 +79,7 @@ pub enum LaneStatus {
 }
 
 /// Everything a lane run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaneReport {
     /// Termination cause.
     pub status: LaneStatus,
@@ -104,11 +139,24 @@ pub struct Lane {
     fallback_misses: u64,
     actions_run: u64,
     extra_refs: u64,
+    /// Predecoded view of the loaded image, window-relative. Lookups
+    /// are validated against the raw memory word, so self-modifying
+    /// programs (restricted/global addressing writes into code) fall
+    /// back to decode-on-read with identical semantics.
+    decoded: Option<Arc<DecodedProgram>>,
+    /// True while the code span at `origin` is known to hold the
+    /// pristine image (set by [`Lane::mark_code_clean`], cleared on any
+    /// lane write into the span). While clean, code fetches come
+    /// straight from the predecoded table — counted as memory
+    /// references but without re-reading and re-validating the word.
+    code_clean: bool,
+    /// Image span in words (the region `code_clean` covers).
+    code_len: u32,
 }
 
 impl Lane {
     /// Creates a lane positioned at a program image loaded at
-    /// `origin_words`.
+    /// `origin_words`, decoding words lazily as they are fetched.
     pub fn new(image: &ProgramImage, origin_words: u32) -> Self {
         assert!(image.executable, "size-model-only image cannot run");
         Lane {
@@ -128,7 +176,116 @@ impl Lane {
             fallback_misses: 0,
             actions_run: 0,
             extra_refs: 0,
+            decoded: None,
+            code_clean: false,
+            code_len: image.stats.span_words as u32,
         }
+    }
+
+    /// Like [`Lane::new`], but executing out of a shared predecoded
+    /// table (decode-once / execute-many). The table must come from
+    /// the same `image`; simulated cycles, references, and outputs are
+    /// bit-identical to the lazy-decoding lane.
+    pub fn with_decoded(
+        image: &ProgramImage,
+        origin_words: u32,
+        decoded: Arc<DecodedProgram>,
+    ) -> Self {
+        let mut lane = Self::new(image, origin_words);
+        lane.decoded = Some(decoded);
+        lane
+    }
+
+    /// Looks up the transition at flat address `addr` whose raw memory
+    /// word is `raw`: predecoded table when valid, decode otherwise.
+    #[inline]
+    fn transition_at(&self, addr: u32, raw: u32) -> TransitionWord {
+        if let Some(dp) = &self.decoded {
+            if let Some(t) = addr
+                .checked_sub(self.origin)
+                .and_then(|off| dp.transition(off as usize, raw))
+            {
+                return t;
+            }
+        }
+        TransitionWord::decode(raw)
+    }
+
+    /// Action-view twin of [`Lane::transition_at`].
+    #[inline]
+    fn action_at(&self, addr: u32, raw: u32) -> Option<Action> {
+        if let Some(dp) = &self.decoded {
+            if let Some(a) = addr
+                .checked_sub(self.origin)
+                .and_then(|off| dp.action(off as usize, raw))
+            {
+                return a;
+            }
+        }
+        Action::decode(raw)
+    }
+
+    /// Declares that the memory this lane will run against holds the
+    /// pristine image at `origin` (freshly loaded, fully in bounds, no
+    /// staging segment overlapping the code span). While that holds,
+    /// code fetches are served from the predecoded table directly —
+    /// still counted as memory references, but without the re-read and
+    /// raw-word validation. The lane clears the flag itself the moment
+    /// it writes into its own code span, so self-modifying programs
+    /// keep decode-on-read semantics. Cycle, reference, and conflict
+    /// numbers are identical either way.
+    pub fn mark_code_clean(&mut self) {
+        if self.decoded.is_some() {
+            self.code_clean = true;
+        }
+    }
+
+    /// Records a lane write of word address `word_addr`; a write into
+    /// the code span invalidates the pristine-code fast path.
+    #[inline]
+    fn note_write(&mut self, word_addr: u32) {
+        if word_addr.wrapping_sub(self.origin) < self.code_len {
+            self.code_clean = false;
+        }
+    }
+
+    /// Fetches the transition word at `addr`: the raw bits plus, when
+    /// the pristine-code fast path applies, the predecoded view.
+    /// Counts exactly one memory reference either way.
+    #[inline]
+    fn fetch_transition(
+        &self,
+        addr: u32,
+        mem: &mut LocalMemory,
+        tables: CodeTables,
+    ) -> (u32, Option<TransitionWord>) {
+        if self.code_clean {
+            let off = addr.wrapping_sub(self.origin) as usize;
+            if let Some(&(raw, t)) = tables.transitions.get(off) {
+                mem.count_read(addr);
+                return (raw, Some(t));
+            }
+        }
+        (mem.read_word(addr), None)
+    }
+
+    /// Action-view twin of [`Lane::fetch_transition`].
+    #[inline]
+    #[allow(clippy::option_option)]
+    fn fetch_action(
+        &self,
+        addr: u32,
+        mem: &mut LocalMemory,
+        tables: CodeTables,
+    ) -> (u32, Option<Option<Action>>) {
+        if self.code_clean {
+            let off = addr.wrapping_sub(self.origin) as usize;
+            if let Some(&(raw, a)) = tables.actions.get(off) {
+                mem.count_read(addr);
+                return (raw, Some(a));
+            }
+        }
+        (mem.read_word(addr), None)
     }
 
     /// Presets a scalar register (host staging before the run).
@@ -159,7 +316,10 @@ impl Lane {
         for (off, bytes) in &staging.segments {
             mem.load_bytes(*off, bytes);
         }
-        let mut lane = Lane::new(image, 0);
+        let mut lane = Lane::with_decoded(image, 0, Arc::new(image.predecode()));
+        if crate::engine::staging_clears_code(staging, image.stats.span_words) {
+            lane.mark_code_clean();
+        }
         for (r, v) in &staging.regs {
             lane.preset_reg(*r, *v);
         }
@@ -177,15 +337,98 @@ impl Lane {
         out: &mut OutputSink,
         cfg: &LaneConfig,
     ) -> LaneReport {
+        // Hoist the predecoded tables out of the `Arc` into plain
+        // slice locals for the whole run (see `CodeTables`).
+        let dp = self.decoded.clone();
+        let tables = dp.as_deref().map_or(CodeTables::EMPTY, |d| CodeTables {
+            transitions: d.transitions(),
+            actions: d.actions(),
+        });
+        let max_cycles = cfg.max_cycles;
         while self.status == LaneStatus::Running {
-            if self.cycles >= cfg.max_cycles {
+            if self.cycles >= max_cycles {
                 self.status = LaneStatus::CycleLimit;
                 break;
             }
-            self.step(mem, stream, out);
+            // Most dispatches in the common workloads are "trivial": a
+            // consuming state hits a predecoded slot whose transition
+            // carries no actions and lands in another consuming state.
+            // Handle runs of those in a tight loop; anything else —
+            // signature miss, attached actions, mode change, dirty code
+            // — drops to the general `step` machinery. All modeled
+            // counters (cycles, dispatches, reads, the R13 symbol
+            // latch) advance exactly as the general path would.
+            if self.kind == ExecKind::Consume && self.code_clean {
+                let trans = tables.transitions;
+                // With bank tracking off there is no per-address work
+                // in a read count, so batch the slot-fetch accounting
+                // in a register and credit it in one step on exit.
+                let batch = !mem.tracks_banks();
+                let mut batched = 0u64;
+                loop {
+                    if self.cycles >= max_cycles {
+                        self.status = LaneStatus::CycleLimit;
+                        break;
+                    }
+                    let Some(s) = stream.read(self.sym_bits) else {
+                        self.status = LaneStatus::InputExhausted;
+                        break;
+                    };
+                    let slot = self.base + s;
+                    match trans.get(slot.wrapping_sub(self.origin) as usize) {
+                        Some(&(raw, t)) if raw != 0 && (raw >> 24) as u8 == (s & 0xFF) as u8 => {
+                            // Signature hit: same bookkeeping as
+                            // `dispatch_on`, minus the refetch.
+                            self.cycles += 1;
+                            self.dispatches += 1;
+                            self.regs[13] = s;
+                            if batch {
+                                batched += 1;
+                            } else {
+                                mem.count_read(slot);
+                            }
+                            if t.attach() == 0 && t.kind() == ExecKind::Consume {
+                                // Trivial: no actions, next state also
+                                // consumes — stay in the tight loop.
+                                self.base = self.wbase + u32::from(t.target());
+                            } else {
+                                self.take(&t, mem, stream, out, tables);
+                                if self.status != LaneStatus::Running
+                                    || self.kind != ExecKind::Consume
+                                    || !self.code_clean
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {
+                            // Signature miss (or slot outside the
+                            // predecoded span): full dispatch. It
+                            // re-fetches — and counts — the slot word
+                            // itself; the peek above was uncounted, so
+                            // the read tally stays exact.
+                            self.dispatch_on(s, mem, stream, out, tables);
+                            if self.status != LaneStatus::Running
+                                || self.kind != ExecKind::Consume
+                                || !self.code_clean
+                            {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if batched > 0 {
+                    mem.add_reads(batched);
+                }
+                continue;
+            }
+            self.step(mem, stream, out, tables);
         }
         LaneReport {
-            status: self.status.clone(),
+            // Move the status out (it can carry a fault String); the
+            // lane is consumed by this run — see the LaneStatus
+            // lifecycle notes.
+            status: std::mem::replace(&mut self.status, LaneStatus::Running),
             cycles: self.cycles,
             dispatches: self.dispatches,
             fallback_misses: self.fallback_misses,
@@ -200,39 +443,46 @@ impl Lane {
     }
 
     /// Executes one dispatch (and its attached actions).
-    pub fn step(&mut self, mem: &mut LocalMemory, stream: &mut BitStream, out: &mut OutputSink) {
+    #[inline]
+    fn step(
+        &mut self,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+        tables: CodeTables,
+    ) {
         match self.kind {
             ExecKind::Halt => {
                 self.status = LaneStatus::Halted(0);
             }
             ExecKind::Consume => {
-                if stream.remaining_bits() < u64::from(self.sym_bits) {
-                    self.status = LaneStatus::InputExhausted;
-                    return;
+                // `read` returns None (cursor unchanged) exactly when
+                // fewer than `sym_bits` bits remain.
+                match stream.read(self.sym_bits) {
+                    Some(s) => self.dispatch_on(s, mem, stream, out, tables),
+                    None => self.status = LaneStatus::InputExhausted,
                 }
-                let s = stream.read(self.sym_bits).expect("checked remaining");
-                self.dispatch_on(s, mem, stream, out);
             }
             ExecKind::Flagged => {
                 let s = self.regs[0] & 0xFF;
-                self.dispatch_on(s, mem, stream, out);
+                self.dispatch_on(s, mem, stream, out, tables);
             }
             ExecKind::Pass => {
                 // Pass-through state: take the fallback-slot word,
                 // refilling the bit count carried in its signature.
                 self.cycles += 1;
                 self.dispatches += 1;
-                let raw = mem.read_word(self.base + udp_isa::FALLBACK_SLOT);
+                let addr = self.base + udp_isa::FALLBACK_SLOT;
+                let (raw, pre) = self.fetch_transition(addr, mem, tables);
                 if raw == 0 {
                     self.status = LaneStatus::NoTransition;
                     return;
                 }
-                let t = TransitionWord::decode(raw);
+                let t = pre.unwrap_or_else(|| self.transition_at(addr, raw));
                 match t.signature() {
                     CHAIN_CONTINUE_SIGNATURE => {
-                        self.status = LaneStatus::Fault(
-                            "epsilon fork outside NFA mode".to_string(),
-                        );
+                        self.status =
+                            LaneStatus::Fault("epsilon fork outside NFA mode".to_string());
                         return;
                     }
                     FALLBACK_SIGNATURE => {}
@@ -246,50 +496,57 @@ impl Lane {
                         stream.putback(refill);
                     }
                     other => {
-                        self.status =
-                            LaneStatus::Fault(format!("bad pass signature {other:#x}"));
+                        self.status = LaneStatus::Fault(format!("bad pass signature {other:#x}"));
                         return;
                     }
                 }
-                self.take(&t, mem, stream, out);
+                self.take(&t, mem, stream, out, tables);
             }
         }
     }
 
+    #[inline]
     fn dispatch_on(
         &mut self,
         s: u32,
         mem: &mut LocalMemory,
         stream: &mut BitStream,
         out: &mut OutputSink,
+        tables: CodeTables,
     ) {
         self.cycles += 1;
         self.dispatches += 1;
         self.regs[13] = s; // symbol latch (R13)
-        let raw = mem.read_word(self.base + s);
-        let hit = raw != 0 && TransitionWord::decode(raw).signature() == (s & 0xFF) as u8;
+        let slot = self.base + s;
+        let (raw, pre) = self.fetch_transition(slot, mem, tables);
+        // The signature lives in the top byte of the raw encoding, so
+        // the hit check needs no decode at all.
+        let hit = raw != 0 && (raw >> 24) as u8 == (s & 0xFF) as u8;
         let t = if hit {
-            TransitionWord::decode(raw)
+            pre.unwrap_or_else(|| self.transition_at(slot, raw))
         } else {
             // Signature miss: one extra cycle to read the fallback slot.
             self.cycles += 1;
             self.fallback_misses += 1;
-            let fb = mem.read_word(self.base + udp_isa::FALLBACK_SLOT);
+            let fb_slot = self.base + udp_isa::FALLBACK_SLOT;
+            let (fb, fb_pre) = self.fetch_transition(fb_slot, mem, tables);
             if fb == 0 {
                 self.status = LaneStatus::NoTransition;
                 return;
             }
-            TransitionWord::decode(fb)
+            fb_pre.unwrap_or_else(|| self.transition_at(fb_slot, fb))
         };
-        self.take(&t, mem, stream, out);
+        self.take(&t, mem, stream, out, tables);
     }
 
+    #[inline]
     fn take(
         &mut self,
         t: &TransitionWord,
         mem: &mut LocalMemory,
         stream: &mut BitStream,
         out: &mut OutputSink,
+        tables: CodeTables,
     ) {
         if let Some(rel) = t.action_addr(0, self.ascale) {
             // `action_addr` gives either the direct attach (window-
@@ -297,11 +554,9 @@ impl Lane {
             // flat here so both modes land in this lane's window.
             let flat = match t.attach_mode() {
                 udp_isa::AttachMode::Direct => self.origin + rel,
-                udp_isa::AttachMode::Scaled => {
-                    self.abase + (u32::from(t.attach()) << self.ascale)
-                }
+                udp_isa::AttachMode::Scaled => self.abase + (u32::from(t.attach()) << self.ascale),
             };
-            self.run_action_block(flat, mem, stream, out);
+            self.run_action_block(flat, mem, stream, out, tables);
             if self.status != LaneStatus::Running {
                 return;
             }
@@ -320,14 +575,18 @@ impl Lane {
         mem: &mut LocalMemory,
         stream: &mut BitStream,
         out: &mut OutputSink,
+        tables: CodeTables,
     ) {
         const BLOCK_CAP: usize = 4096;
         for _ in 0..BLOCK_CAP {
-            let raw = mem.read_word(addr);
-            let Some(a) = Action::decode(raw) else {
-                self.status = LaneStatus::Fault(format!(
-                    "undecodable action word {raw:#010x} at {addr:#x}"
-                ));
+            let (raw, pre) = self.fetch_action(addr, mem, tables);
+            let decoded = match pre {
+                Some(a) => a,
+                None => self.action_at(addr, raw),
+            };
+            let Some(a) = decoded else {
+                self.status =
+                    LaneStatus::Fault(format!("undecodable action word {raw:#010x} at {addr:#x}"));
                 return;
             };
             let skip = self.exec(&a, mem, stream, out);
@@ -369,7 +628,14 @@ impl Lane {
         let imm = u32::from(a.imm);
         let simm = i32::from(a.imm as i16) as u32;
         let sv = self.rd(a.src, stream);
-        let rv = self.rd(a.rref, stream);
+        // `rref` is only consulted by the two-operand ALU and loop ops;
+        // reading it eagerly would put an extra (R15-branching)
+        // register fetch on every action, so rv-using arms expand this.
+        macro_rules! rv {
+            () => {
+                self.rd(a.rref, stream)
+            };
+        }
         let byte_origin = self.origin * 4;
         self.cycles += 1; // default; adjusted below for multi-cycle ops
         match a.op {
@@ -393,6 +659,7 @@ impl Lane {
             }
             StoreW => {
                 let addr = byte_origin.wrapping_add(self.rd(a.dst, stream).wrapping_add(simm));
+                self.note_write(addr / 4);
                 mem.write_word(addr / 4, sv);
             }
             LoadB => {
@@ -401,6 +668,7 @@ impl Lane {
             }
             StoreB => {
                 let addr = byte_origin.wrapping_add(self.rd(a.dst, stream).wrapping_add(simm));
+                self.note_write(addr / 4);
                 mem.write_byte(addr, sv as u8);
             }
             SetSym => {
@@ -437,6 +705,7 @@ impl Lane {
                 // Read-modify-write: 2 cycles, 2 references.
                 self.cycles += 1;
                 let addr = byte_origin.wrapping_add(imm.wrapping_add(sv.wrapping_mul(4))) / 4;
+                self.note_write(addr);
                 let v = mem.read_word(addr).wrapping_add(1);
                 mem.write_word(addr, v);
                 self.wr(a.dst, v);
@@ -452,8 +721,7 @@ impl Lane {
             RefillI => {
                 let bits = (imm & 15).min(8) as u8;
                 if u64::from(bits) > stream.bit_index() {
-                    self.status =
-                        LaneStatus::Fault("RefillI underflows the stream".to_string());
+                    self.status = LaneStatus::Fault("RefillI underflows the stream".to_string());
                 } else {
                     stream.putback(bits);
                 }
@@ -487,10 +755,14 @@ impl Lane {
             Popcnt => self.wr(a.dst, sv.count_ones()),
             OutIdx => self.wr(a.dst, (out.len() as u32).wrapping_add(simm)),
             AtEof => self.wr(a.dst, u32::from(stream.at_end())),
-            EmitBits => out.push_bits(sv, a.imm1.max(1).min(16)),
+            EmitBits => out.push_bits(sv, a.imm1.clamp(1, 16)),
             Extract => {
                 let width = (a.imm & 0x1F).max(1);
-                let mask = if width >= 32 { u32::MAX } else { (1 << width) - 1 };
+                let mask = if width >= 32 {
+                    u32::MAX
+                } else {
+                    (1 << width) - 1
+                };
                 self.wr(a.dst, (sv >> a.imm1) & mask);
             }
             Deposit => {
@@ -508,26 +780,27 @@ impl Lane {
                 }
             }
             Mov => self.wr(a.dst, sv),
-            Add => self.wr(a.dst, rv.wrapping_add(sv)),
-            Sub => self.wr(a.dst, rv.wrapping_sub(sv)),
-            And => self.wr(a.dst, rv & sv),
-            Or => self.wr(a.dst, rv | sv),
-            Xor => self.wr(a.dst, rv ^ sv),
-            Shl => self.wr(a.dst, rv << (sv & 31)),
-            Shr => self.wr(a.dst, rv >> (sv & 31)),
-            Mul => self.wr(a.dst, rv.wrapping_mul(sv)),
-            Min => self.wr(a.dst, rv.min(sv)),
-            Max => self.wr(a.dst, rv.max(sv)),
-            SEq => self.wr(a.dst, u32::from(rv == sv)),
-            SLt => self.wr(a.dst, u32::from((rv as i32) < (sv as i32))),
-            SLtU => self.wr(a.dst, u32::from(rv < sv)),
+            Add => self.wr(a.dst, rv!().wrapping_add(sv)),
+            Sub => self.wr(a.dst, rv!().wrapping_sub(sv)),
+            And => self.wr(a.dst, rv!() & sv),
+            Or => self.wr(a.dst, rv!() | sv),
+            Xor => self.wr(a.dst, rv!() ^ sv),
+            Shl => self.wr(a.dst, rv!() << (sv & 31)),
+            Shr => self.wr(a.dst, rv!() >> (sv & 31)),
+            Mul => self.wr(a.dst, rv!().wrapping_mul(sv)),
+            Min => self.wr(a.dst, rv!().min(sv)),
+            Max => self.wr(a.dst, rv!().max(sv)),
+            SEq => self.wr(a.dst, u32::from(rv!() == sv)),
+            SLt => self.wr(a.dst, u32::from((rv!() as i32) < (sv as i32))),
+            SLtU => self.wr(a.dst, u32::from(rv!() < sv)),
             Sel => {
-                if rv != 0 {
+                if rv!() != 0 {
                     self.wr(a.dst, sv);
                 }
             }
             LoopCmp => {
                 // Stream-window vs stream-window compare, 8 bytes/cycle.
+                let rv = rv!();
                 let limit = self.regs[14].min(1 << 26);
                 let mut n = 0u32;
                 while n < limit
@@ -539,6 +812,7 @@ impl Lane {
                 self.wr(a.dst, n);
             }
             LoopCmpM => {
+                let rv = rv!();
                 let limit = self.regs[14].min(1 << 26);
                 let mut n = 0u32;
                 while n < limit
@@ -552,7 +826,11 @@ impl Lane {
                 self.wr(a.dst, n);
             }
             LoopCpy => {
+                let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
+                // Bulk writes anywhere end the pristine-code fast path
+                // (conservative; re-validation keeps semantics exact).
+                self.code_clean = false;
                 let dst_addr = self.rd(a.dst, stream);
                 for i in 0..n {
                     let b = mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i));
@@ -563,6 +841,7 @@ impl Lane {
                 self.charge_loop(n);
             }
             LoopOut => {
+                let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
                 for i in 0..n {
                     out.push_byte(mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i)));
@@ -571,6 +850,7 @@ impl Lane {
                 self.charge_loop(n);
             }
             LoopBack => {
+                let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
                 if rv == 0 || (rv as usize) > out.len() {
                     self.status = LaneStatus::Fault(format!("LoopBack distance {rv}"));
@@ -580,15 +860,16 @@ impl Lane {
                 self.charge_loop(n);
             }
             LoopIn => {
+                let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
                 for i in 0..n {
                     out.push_byte(stream.byte_at(rv.wrapping_add(i)));
                 }
                 self.charge_loop(n);
             }
-            PeekAt => self.wr(a.dst, u32::from(stream.byte_at(rv.wrapping_add(sv)))),
+            PeekAt => self.wr(a.dst, u32::from(stream.byte_at(rv!().wrapping_add(sv)))),
             PeekW => {
-                let base = rv.wrapping_add(sv);
+                let base = rv!().wrapping_add(sv);
                 let v = u32::from_le_bytes([
                     stream.byte_at(base),
                     stream.byte_at(base + 1),
@@ -597,9 +878,9 @@ impl Lane {
                 ]);
                 self.wr(a.dst, v);
             }
-            SubSat => self.wr(a.dst, rv.saturating_sub(sv)),
+            SubSat => self.wr(a.dst, rv!().saturating_sub(sv)),
             Hash2 => {
-                let h = (rv ^ sv.wrapping_mul(0x9E37_79B9)).wrapping_mul(0x9E37_79B1);
+                let h = (rv!() ^ sv.wrapping_mul(0x9E37_79B9)).wrapping_mul(0x9E37_79B1);
                 self.wr(a.dst, h);
             }
         }
@@ -631,12 +912,19 @@ mod tests {
     use udp_isa::action::{Action, Opcode};
 
     fn cfg() -> LaneConfig {
-        LaneConfig { max_cycles: 100_000 }
+        LaneConfig {
+            max_cycles: 100_000,
+        }
     }
 
     fn emit(b: u8) -> Vec<Action> {
         // r12 is never written in these tests, so src + imm == imm.
-        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(b))]
+        vec![Action::imm(
+            Opcode::EmitB,
+            Reg::R0,
+            Reg::new(12),
+            u16::from(b),
+        )]
     }
 
     /// One-state scanner that emits '!' on 'a' and loops otherwise.

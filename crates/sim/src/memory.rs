@@ -14,6 +14,12 @@ pub struct LocalMemory {
     reads: u64,
     writes: u64,
     bank_refs: [u64; NUM_BANKS],
+    /// When false, per-bank counts are not maintained (total `reads`/
+    /// `writes` still are). The engine turns this off for addressing
+    /// modes whose conflict model never reads them (local windows are
+    /// disjoint by construction), sparing the hot path the per-access
+    /// array update.
+    track_banks: bool,
 }
 
 impl LocalMemory {
@@ -29,6 +35,7 @@ impl LocalMemory {
             reads: 0,
             writes: 0,
             bank_refs: [0; NUM_BANKS],
+            track_banks: true,
         }
     }
 
@@ -38,35 +45,78 @@ impl LocalMemory {
     }
 
     /// Reads a word at a flat word address (counted).
+    #[inline]
     pub fn read_word(&mut self, addr: u32) -> u32 {
-        self.reads += 1;
-        self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        self.count_read(addr);
         self.words.get(addr as usize).copied().unwrap_or(0)
     }
 
     /// Writes a word at a flat word address (counted; out-of-range writes
     /// are dropped, matching a lane whose window exceeded its allocation).
+    #[inline]
     pub fn write_word(&mut self, addr: u32, value: u32) {
         self.writes += 1;
-        self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        if self.track_banks {
+            self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        }
         if let Some(w) = self.words.get_mut(addr as usize) {
             *w = value;
         }
     }
 
     /// Reads a byte at a flat byte address (counted as one reference).
+    #[inline]
     pub fn read_byte(&mut self, byte_addr: u32) -> u8 {
         let w = self.read_word(byte_addr / 4);
         (w >> ((byte_addr % 4) * 8)) as u8
     }
 
     /// Writes a byte at a flat byte address (counted as one reference).
+    #[inline]
     pub fn write_byte(&mut self, byte_addr: u32, value: u8) {
         let word_addr = byte_addr / 4;
         let shift = (byte_addr % 4) * 8;
         let old = self.words.get(word_addr as usize).copied().unwrap_or(0);
         let new = (old & !(0xFFu32 << shift)) | (u32::from(value) << shift);
         self.write_word(word_addr, new);
+    }
+
+    /// The accounting half of [`LocalMemory::read_word`] — counts a word
+    /// read at `addr` without touching the data, for callers that
+    /// already hold the value (e.g. a validated predecoded-code fetch).
+    #[inline]
+    pub fn count_read(&mut self, addr: u32) {
+        self.reads += 1;
+        if self.track_banks {
+            self.bank_refs[bank_of_word(addr).0 % NUM_BANKS] += 1;
+        }
+    }
+
+    /// Enables or disables per-bank reference tracking (totals are
+    /// always kept). Leave enabled whenever the conflict model might
+    /// consult [`LocalMemory::bank_refs`].
+    pub fn set_bank_tracking(&mut self, on: bool) {
+        self.track_banks = on;
+    }
+
+    /// Whether per-bank tracking is on (see
+    /// [`LocalMemory::set_bank_tracking`]).
+    #[inline]
+    pub fn tracks_banks(&self) -> bool {
+        self.track_banks
+    }
+
+    /// Credits `n` already-performed word reads in one step — the bulk
+    /// form of [`LocalMemory::count_read`] for callers that batched
+    /// their accounting locally. Only valid while bank tracking is off
+    /// (there are no per-access addresses to attribute).
+    #[inline]
+    pub fn add_reads(&mut self, n: u64) {
+        debug_assert!(
+            !self.track_banks,
+            "bulk read credit needs per-bank addresses"
+        );
+        self.reads += n;
     }
 
     /// Uncounted inspection (host/driver access).
@@ -80,13 +130,11 @@ impl LocalMemory {
     }
 
     /// Host/driver bulk load of words at `origin` (uncounted, like DLT
-    /// staging).
+    /// staging). Data past the end of memory is clipped.
     pub fn load_words(&mut self, origin: u32, data: &[u32]) {
-        for (i, &w) in data.iter().enumerate() {
-            if let Some(slot) = self.words.get_mut(origin as usize + i) {
-                *slot = w;
-            }
-        }
+        let start = (origin as usize).min(self.words.len());
+        let n = data.len().min(self.words.len() - start);
+        self.words[start..start + n].copy_from_slice(&data[..n]);
     }
 
     /// Host/driver bulk load of bytes at a byte address (uncounted).
@@ -99,6 +147,19 @@ impl LocalMemory {
                 *w = (*w & !(0xFFu32 << shift)) | (u32::from(b) << shift);
             }
         }
+    }
+
+    /// Host/driver bulk zeroing of a word range (uncounted). Ranges
+    /// past the end are clipped, like the bulk loads.
+    pub fn clear_words(&mut self, origin: u32, len: usize) {
+        let start = (origin as usize).min(self.words.len());
+        let end = start.saturating_add(len).min(self.words.len());
+        self.words[start..end].fill(0);
+    }
+
+    /// The full backing store (host/driver bulk copy-out, uncounted).
+    pub fn words(&self) -> &[u32] {
+        &self.words
     }
 
     /// Host/driver bulk read of bytes (uncounted).

@@ -16,12 +16,32 @@ pub struct BitStream<'a> {
     data: &'a [u8],
     /// Cursor in bits from the start of `data`.
     pos_bits: u64,
+    /// Use the bit-at-a-time reference extraction (see
+    /// [`BitStream::reference`]).
+    reference: bool,
 }
 
 impl<'a> BitStream<'a> {
     /// Wraps a staged byte window.
     pub fn new(data: &'a [u8]) -> Self {
-        BitStream { data, pos_bits: 0 }
+        BitStream {
+            data,
+            pos_bits: 0,
+            reference: false,
+        }
+    }
+
+    /// Like [`BitStream::new`], but reads extract one bit per loop
+    /// iteration instead of using the windowed fast path. The two are
+    /// value-identical (property-tested); this form is kept as the
+    /// executable specification and as the pre-optimization baseline
+    /// for the `hostperf` harness.
+    pub fn reference(data: &'a [u8]) -> Self {
+        BitStream {
+            data,
+            pos_bits: 0,
+            reference: true,
+        }
     }
 
     /// Total length in bits.
@@ -51,7 +71,15 @@ impl<'a> BitStream<'a> {
 
     /// Reads `bits` (1–32) MSB-first. Returns `None` if the stream is
     /// short; the cursor is unchanged in that case.
+    #[inline]
     pub fn read(&mut self, bits: u8) -> Option<u32> {
+        // Byte-aligned whole-byte reads dominate (8-bit symbols); skip
+        // the window assembly entirely for them.
+        if bits == 8 && self.pos_bits & 7 == 0 && !self.reference {
+            let b = *self.data.get((self.pos_bits >> 3) as usize)?;
+            self.pos_bits += 8;
+            return Some(u32::from(b));
+        }
         let v = self.peek(bits)?;
         self.pos_bits += u64::from(bits);
         Some(v)
@@ -59,19 +87,36 @@ impl<'a> BitStream<'a> {
 
     /// Reads `bits` without consuming.
     pub fn peek(&self, bits: u8) -> Option<u32> {
-        debug_assert!(bits >= 1 && bits <= 32);
+        debug_assert!((1..=32).contains(&bits));
         if self.remaining_bits() < u64::from(bits) {
             return None;
         }
+        if self.reference {
+            return Some(self.peek_reference(bits));
+        }
+        // Gather the covering bytes (≤ 5 for a misaligned 32-bit read)
+        // into one window and extract in a single shift.
+        let first = (self.pos_bits / 8) as usize;
+        let shift = (self.pos_bits % 8) as u32;
+        let span = (shift as usize + bits as usize).div_ceil(8);
+        let mut window: u64 = 0;
+        for &b in &self.data[first..first + span] {
+            window = (window << 8) | u64::from(b);
+        }
+        let v = window >> (span as u32 * 8 - shift - u32::from(bits));
+        Some((v & ((1u64 << bits) - 1)) as u32)
+    }
+
+    /// One bit per iteration — the executable specification of
+    /// MSB-first extraction. Caller has checked the length.
+    fn peek_reference(&self, bits: u8) -> u32 {
         let mut v: u32 = 0;
-        let mut p = self.pos_bits;
-        for _ in 0..bits {
+        for p in self.pos_bits..self.pos_bits + u64::from(bits) {
             let byte = self.data[(p / 8) as usize];
             let bit = (byte >> (7 - (p % 8))) & 1;
             v = (v << 1) | u32::from(bit);
-            p += 1;
         }
-        Some(v)
+        v
     }
 
     /// Puts `bits` back (refill transition / `RefillI`).
@@ -127,6 +172,9 @@ pub struct OutputSink {
     /// Pending sub-byte bits (MSB-first), `< 8` of them.
     bit_acc: u16,
     bit_count: u8,
+    /// Use the bit-at-a-time reference packing (see
+    /// [`OutputSink::reference`]).
+    reference: bool,
 }
 
 impl OutputSink {
@@ -135,15 +183,58 @@ impl OutputSink {
         Self::default()
     }
 
+    /// An empty sink with room for `bytes` output bytes, so steady
+    /// emission does not regrow the buffer mid-run.
+    pub fn with_capacity(bytes: usize) -> Self {
+        OutputSink {
+            bytes: Vec::with_capacity(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// An empty sink whose bit packing runs one bit per iteration — the
+    /// executable specification, value-identical to the default bulk
+    /// path (property-tested) and the pre-optimization baseline for the
+    /// `hostperf` harness.
+    pub fn reference() -> Self {
+        OutputSink {
+            reference: true,
+            ..Self::default()
+        }
+    }
+
     /// Appends one byte (flushes any pending bits first, zero-padded).
+    #[inline]
     pub fn push_byte(&mut self, b: u8) {
-        self.flush_bits();
+        if self.bit_count > 0 {
+            self.flush_bits();
+        }
         self.bytes.push(b);
     }
 
     /// Appends the low `bits` of `v`, MSB-first.
+    #[inline]
     pub fn push_bits(&mut self, v: u32, bits: u8) {
         debug_assert!(bits <= 16);
+        if self.reference {
+            return self.push_bits_reference(v, bits);
+        }
+        // At most 7 pending + 16 new = 23 bits: accumulate in one word
+        // and drain whole bytes.
+        let mut acc = (u32::from(self.bit_acc) << bits) | (v & ((1u32 << bits) - 1));
+        let mut count = u32::from(self.bit_count) + u32::from(bits);
+        while count >= 8 {
+            count -= 8;
+            self.bytes.push((acc >> count) as u8);
+        }
+        acc &= (1u32 << count) - 1;
+        self.bit_acc = acc as u16;
+        self.bit_count = count as u8;
+    }
+
+    /// One bit per iteration — the executable specification of MSB-first
+    /// packing.
+    fn push_bits_reference(&mut self, v: u32, bits: u8) {
         for i in (0..bits).rev() {
             let bit = ((v >> i) & 1) as u16;
             self.bit_acc = (self.bit_acc << 1) | bit;
@@ -286,11 +377,37 @@ mod tests {
                 total_bits += u64::from(*w);
             }
             let bytes = o.into_bytes();
-            prop_assert_eq!(bytes.len() as u64, (total_bits + 7) / 8);
+            prop_assert_eq!(bytes.len() as u64, total_bits.div_ceil(8));
             let mut s = BitStream::new(&bytes);
             for (v, w) in &chunks {
                 prop_assert_eq!(s.read(*w), Some(v & ((1u32 << w) - 1)));
             }
+        }
+
+        #[test]
+        fn prop_fast_stream_matches_reference(
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+            widths in proptest::collection::vec(1u8..=32, 1..64),
+        ) {
+            // The windowed fast path and the bit-at-a-time reference
+            // must agree read-for-read, including the None at the end.
+            let mut fast = BitStream::new(&data);
+            let mut slow = BitStream::reference(&data);
+            for w in widths {
+                prop_assert_eq!(fast.read(w), slow.read(w));
+                prop_assert_eq!(fast.bit_index(), slow.bit_index());
+            }
+        }
+
+        #[test]
+        fn prop_fast_sink_matches_reference(chunks in proptest::collection::vec((any::<u32>(), 1u8..=16), 0..64)) {
+            let mut fast = OutputSink::new();
+            let mut slow = OutputSink::reference();
+            for (v, w) in &chunks {
+                fast.push_bits(*v, *w);
+                slow.push_bits(*v, *w);
+            }
+            prop_assert_eq!(fast.into_bytes(), slow.into_bytes());
         }
 
         #[test]

@@ -4,16 +4,39 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 const PRIMARY_TYPES: &[&str] = &[
-    "THEFT", "BATTERY", "CRIMINAL DAMAGE", "NARCOTICS", "ASSAULT", "BURGLARY",
-    "MOTOR VEHICLE THEFT", "ROBBERY", "DECEPTIVE PRACTICE", "CRIMINAL TRESPASS",
+    "THEFT",
+    "BATTERY",
+    "CRIMINAL DAMAGE",
+    "NARCOTICS",
+    "ASSAULT",
+    "BURGLARY",
+    "MOTOR VEHICLE THEFT",
+    "ROBBERY",
+    "DECEPTIVE PRACTICE",
+    "CRIMINAL TRESPASS",
 ];
 
 const LOCATION_DESCRIPTIONS: &[&str] = &[
-    "STREET", "RESIDENCE", "APARTMENT", "SIDEWALK", "OTHER", "PARKING LOT/GARAGE(NON.RESID.)",
-    "ALLEY", "SCHOOL, PUBLIC, BUILDING", "RESIDENCE-GARAGE", "SMALL RETAIL STORE",
-    "RESTAURANT", "VEHICLE NON-COMMERCIAL", "GROCERY FOOD STORE", "DEPARTMENT STORE",
-    "GAS STATION", "RESIDENTIAL YARD (FRONT/BACK)", "PARK PROPERTY", "CHA PARKING LOT/GROUNDS",
-    "BAR OR TAVERN", "DRUG STORE",
+    "STREET",
+    "RESIDENCE",
+    "APARTMENT",
+    "SIDEWALK",
+    "OTHER",
+    "PARKING LOT/GARAGE(NON.RESID.)",
+    "ALLEY",
+    "SCHOOL, PUBLIC, BUILDING",
+    "RESIDENCE-GARAGE",
+    "SMALL RETAIL STORE",
+    "RESTAURANT",
+    "VEHICLE NON-COMMERCIAL",
+    "GROCERY FOOD STORE",
+    "DEPARTMENT STORE",
+    "GAS STATION",
+    "RESIDENTIAL YARD (FRONT/BACK)",
+    "PARK PROPERTY",
+    "CHA PARKING LOT/GROUNDS",
+    "BAR OR TAVERN",
+    "DRUG STORE",
 ];
 
 /// Crimes-like rows: the dictionary-encoding attributes (Arrest,
@@ -150,7 +173,12 @@ pub fn food_inspection_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
 pub fn lineitem_csv(target_bytes: usize, seed: u64) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x11E1);
     let mut out = Vec::with_capacity(target_bytes + 256);
-    let comments = ["carefully final deposits", "quickly ironic packages", "slyly regular accounts", "furiously even theodolites"];
+    let comments = [
+        "carefully final deposits",
+        "quickly ironic packages",
+        "slyly regular accounts",
+        "furiously even theodolites",
+    ];
     let mut orderkey = 1u64;
     while out.len() < target_bytes {
         orderkey += rng.gen_range(1..4);
@@ -220,9 +248,15 @@ mod tests {
     #[test]
     fn food_inspection_has_escaped_quotes() {
         let data = food_inspection_csv(30_000, 2);
-        assert!(data.windows(2).any(|w| w == b"\"\""), "needs escaped quotes");
+        assert!(
+            data.windows(2).any(|w| w == b"\"\""),
+            "needs escaped quotes"
+        );
         let rows = CsvParser::new().parse(&data);
-        assert!(rows.iter().all(|r| r.len() == 9), "quoting must not break arity");
+        assert!(
+            rows.iter().all(|r| r.len() == 9),
+            "quoting must not break arity"
+        );
     }
 
     #[test]
@@ -233,7 +267,11 @@ mod tests {
         assert!(l.len() >= 20_000);
         // lineitem uses '|' delimiters.
         let rows = CsvParser::new().with_delimiter(b'|').parse(&l[..5000]);
-        assert!(rows.iter().take(5).all(|r| r.len() == 17), "{:?}", rows[0].len());
+        assert!(
+            rows.iter().take(5).all(|r| r.len() == 17),
+            "{:?}",
+            rows[0].len()
+        );
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod xmlgen;
 
 pub use csvgen::{crimes_csv, food_inspection_csv, lineitem_csv, taxi_csv};
 pub use jsongen::ndjson_events;
-pub use xmlgen::xml_records;
 pub use patterns::{nids_literals, nids_regexes, traffic_with_matches};
 pub use text::{bdbench_block, canterbury_like, Entropy};
 pub use values::{fare_stream, latitude_stream, longitude_stream};
 pub use waveform::pulsed_waveform;
+pub use xmlgen::xml_records;

@@ -9,9 +9,26 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 const SHELL_WORDS: &[&str] = &[
-    "GET /", "POST /", "cmd.exe", "/bin/sh", "passwd", "SELECT", "UNION", "admin.php",
-    "wget http", "eval(", "base64_", "powershell", "xp_cmdshell", "etc/shadow", "0wned",
-    "\\x90\\x90", "login.cgi", "%c0%af", "Authorization:", "Content-Length:",
+    "GET /",
+    "POST /",
+    "cmd.exe",
+    "/bin/sh",
+    "passwd",
+    "SELECT",
+    "UNION",
+    "admin.php",
+    "wget http",
+    "eval(",
+    "base64_",
+    "powershell",
+    "xp_cmdshell",
+    "etc/shadow",
+    "0wned",
+    "\\x90\\x90",
+    "login.cgi",
+    "%c0%af",
+    "Authorization:",
+    "Content-Length:",
 ];
 
 /// `n` literal signatures, 4–20 bytes, mixing protocol keywords, paths,

@@ -23,13 +23,12 @@ pub enum Entropy {
 const VOCAB: &[&str] = &[
     "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
     "are", "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one",
-    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can",
-    "said", "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will",
-    "up", "other", "about", "out", "many", "then", "them", "these", "so", "some", "her",
-    "would", "make", "like", "him", "into", "time", "has", "look", "two", "more", "write",
-    "go", "see", "number", "no", "way", "could", "people", "my", "than", "first", "water",
-    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get",
-    "come", "made", "may", "part",
+    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would", "make",
+    "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see", "number",
+    "no", "way", "could", "people", "my", "than", "first", "water", "been", "call", "who", "oil",
+    "its", "now", "find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
 ];
 
 /// Generates `size` bytes at the requested entropy, seeded.
@@ -79,7 +78,7 @@ pub fn canterbury_like(entropy: Entropy, size: usize, seed: u64) -> Vec<u8> {
 /// cardinality), 2 = user-visits (log records). Sizes are scaled down
 /// ×8 from the paper's 64/22/64 MB for tractable runs.
 pub fn bdbench_block(kind: usize, size: usize, seed: u64) -> Vec<u8> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBDBE_4C);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00BD_BE4C);
     let mut out = Vec::with_capacity(size + 64);
     match kind % 3 {
         0 => {
@@ -205,6 +204,9 @@ mod tests {
             }
             seen.iter().filter(|&&s| s).count()
         };
-        assert!(distinct > 200, "crawl should exercise most byte values: {distinct}");
+        assert!(
+            distinct > 200,
+            "crawl should exercise most byte values: {distinct}"
+        );
     }
 }

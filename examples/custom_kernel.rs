@@ -53,11 +53,7 @@ fn main() {
         String::from_utf8_lossy(input),
         rep.cycles
     );
-    let mut pairs: Vec<(u8, u8)> = rep
-        .output
-        .chunks_exact(2)
-        .map(|c| (c[0], c[1]))
-        .collect();
+    let mut pairs: Vec<(u8, u8)> = rep.output.chunks_exact(2).map(|c| (c[0], c[1])).collect();
     // The final run rests in the registers (like the dictionary-RLE
     // kernel); the host flushes it.
     pairs.push((rep.regs[1] as u8, rep.regs[2] as u8));

@@ -22,12 +22,22 @@ fn main() {
     );
 
     let (store, rep) = run_cpu_etl(&compressed);
-    println!("\nloaded {} rows x {} columns", store.rows, store.columns.len());
+    println!(
+        "\nloaded {} rows x {} columns",
+        store.rows,
+        store.columns.len()
+    );
     println!("stage breakdown (CPU pipeline):");
-    println!("  io (modeled {SSD_MBPS:.0} MB/s SSD): {:>8.3}s", rep.io_model_s);
+    println!(
+        "  io (modeled {SSD_MBPS:.0} MB/s SSD): {:>8.3}s",
+        rep.io_model_s
+    );
     println!("  decompress:                   {:>8.3}s", rep.decompress_s);
     println!("  parse/tokenize:               {:>8.3}s", rep.parse_s);
-    println!("  deserialize/validate:         {:>8.3}s", rep.deserialize_s);
+    println!(
+        "  deserialize/validate:         {:>8.3}s",
+        rep.deserialize_s
+    );
     println!("  columnar load:                {:>8.3}s", rep.load_s);
     println!(
         "  => CPU work is {:.1}% of wall time (the Figure 1b point)",

@@ -43,5 +43,8 @@ fn main() {
     // scan; show the first few.
     let adfa = udp_automata::Adfa::build(&rules);
     let hits = adfa.find_all(&trace);
-    println!("first matches (rule, end offset): {:?}", &hits[..hits.len().min(5)]);
+    println!(
+        "first matches (rule, end offset): {:?}",
+        &hits[..hits.len().min(5)]
+    );
 }

@@ -60,6 +60,9 @@ fn main() {
         report.rate_mbps(1.0)
     );
     println!("matches at byte offsets: {:?}", report.reports);
-    println!("emitted markers: {:?}", String::from_utf8_lossy(&report.output));
+    println!(
+        "emitted markers: {:?}",
+        String::from_utf8_lossy(&report.output)
+    );
     assert_eq!(report.output, b"!!");
 }

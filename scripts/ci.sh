@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, and the full test suite.
+# Everything runs offline (external crates are vendored under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --release =="
+cargo test --workspace --release -q
+
+echo "CI green."

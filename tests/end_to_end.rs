@@ -29,8 +29,7 @@ fn udp_snappy_stream_decompresses_with_udp_decompressor() {
         segments: vec![],
         regs: vec![(Reg::new(2), block.len() as u32)],
     };
-    let (comp, _) =
-        Lane::run_program_capture(&comp_img, &block, &staging, &LaneConfig::default());
+    let (comp, _) = Lane::run_program_capture(&comp_img, &block, &staging, &LaneConfig::default());
     let framed = udp_compilers::snappy::frame_compressed(block.len(), &comp.output);
     assert_eq!(snappy_decompress(&framed).unwrap(), block);
 

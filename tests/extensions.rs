@@ -57,8 +57,10 @@ fn dict_rle_output_expands_on_the_udp() {
 #[test]
 fn d2fa_scans_nids_traffic_like_the_dfa() {
     let pats = w::nids_literals(16, 203);
-    let asts: Vec<udp_automata::Regex> =
-        pats.iter().map(|p| udp_automata::Regex::literal(p)).collect();
+    let asts: Vec<udp_automata::Regex> = pats
+        .iter()
+        .map(|p| udp_automata::Regex::literal(p))
+        .collect();
     let dfa = udp_automata::Dfa::determinize(&udp_automata::Nfa::scanner(&asts)).minimize();
     let d2 = udp_automata::D2fa::from_dfa(&dfa);
     let (trace, _) = w::traffic_with_matches(&pats, 12_000, 700, 203);

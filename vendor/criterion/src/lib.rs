@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the criterion API surface its benches use — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, and
+//! the `criterion_group!` / `criterion_main!` macros — on top of a
+//! plain [`std::time::Instant`] harness. No statistics beyond
+//! min/mean over a fixed sample count; results print one line per
+//! benchmark:
+//!
+//! ```text
+//! cpu/huffman/encode            time: 1.234 ms   thrpt: 212.5 MB/s
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-volume annotation used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the best sample, filled by `iter`.
+    best: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the fastest sample's per-iteration mean.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up and per-sample iteration-count calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+            best = best.min(per_iter);
+        }
+        self.best = best;
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work volume for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            best: f64::NAN,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    /// Runs one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            best: f64::NAN,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    fn report(&self, id: &str, secs_per_iter: f64) {
+        let label = format!("{}/{}", self.name, id);
+        let time = format_secs(secs_per_iter);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / secs_per_iter / 1e6;
+                println!("{label:<42} time: {time:>10}   thrpt: {mbps:9.1} MB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / secs_per_iter;
+                println!("{label:<42} time: {time:>10}   thrpt: {eps:9.0} elem/s");
+            }
+            None => println!("{label:<42} time: {time:>10}"),
+        }
+    }
+
+    /// Ends the group (upstream-compatibility no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let name = id.to_string();
+        self.benchmark_group(&name).bench_function("", f);
+    }
+}
+
+/// Bundles bench functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 1024];
+        g.bench_function("sum", |b| {
+            b.iter(|| data.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        g.finish();
+    }
+}
