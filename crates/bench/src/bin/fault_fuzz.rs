@@ -1,0 +1,77 @@
+//! Seeded fault-injection fuzzer (DESIGN.md §8).
+//!
+//! Replays a deterministic [`udp_fault::FaultPlan`] against the full
+//! stack — corrupted program images through `Lane` and `Udp` waves,
+//! damaged Snappy streams and dirty CSV/JSON through the codecs and
+//! the recovering ETL pipeline, hostile run configs, and chaos lane
+//! panics — and checks the one invariant: every run terminates within
+//! its cycle budget and reports a typed error or `LaneStatus::Fault`,
+//! never a panic and never a hang.
+//!
+//! ```text
+//! fault_fuzz [--iters N] [--seed 0xHEX|N]
+//! ```
+//!
+//! Prints a machine-readable `key=value` summary and exits nonzero if
+//! any case panicked; `scripts/ci.sh` runs it as a smoke gate with
+//! `--iters 200 --seed 0xDEC0DE`.
+
+use udp_fault::run_plan;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut iters: u64 = 1000;
+    let mut seed: u64 = 0xDEC0DE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number (decimal or 0x-hex)");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: fault_fuzz [--iters N] [--seed 0xHEX|N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let summary = run_plan(seed, iters);
+    print!("{summary}");
+    if summary.panics() > 0 {
+        eprintln!(
+            "FAIL: {} invariant violation(s) — replay with --seed {:#x} and the case indices above",
+            summary.panics(),
+            seed
+        );
+        std::process::exit(1);
+    }
+    println!("ok: invariant held for all {iters} cases");
+}

@@ -51,6 +51,10 @@ impl HuffmanTree {
     ///
     /// Symbols with zero frequency get no code. With a single distinct
     /// symbol, it receives a 1-bit code.
+    // The heap pops below run under a `heap.len() > 1` guard (and the
+    // ≥2-symbol match arm), so the expects encode a local invariant,
+    // not an input-dependent failure path.
+    #[allow(clippy::expect_used)]
     pub fn from_frequencies(freqs: &[u64; 256]) -> HuffmanTree {
         // Package the Huffman algorithm over a min-heap of (freq, tie, id).
         #[derive(PartialEq, Eq, PartialOrd, Ord)]

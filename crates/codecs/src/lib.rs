@@ -14,6 +14,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-free degradation discipline (DESIGN.md §8): codecs parse
+// hostile bytes, so malformed input must come back as a typed error,
+// never a panic. Documented invariant panics are allowlisted locally.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bitpack;
 pub mod csv;

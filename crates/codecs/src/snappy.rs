@@ -177,7 +177,23 @@ pub fn snappy_compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
+/// A stream element can expand its input bytes at most this much: the
+/// densest element is a 2-byte-offset copy — 3 stream bytes producing
+/// up to 64 output bytes, i.e. ~22× per input byte. 32× is a safe
+/// ceiling used to cap the up-front allocation: a hostile header
+/// declaring a huge uncompressed length cannot make the decoder
+/// reserve more than the stream could ever produce.
+const MAX_EXPANSION: usize = 32;
+
 /// Decompresses a Snappy raw stream.
+///
+/// Robustness contract (the fault harness fuzzes this): arbitrary
+/// input bytes either decode or return a typed error — never a panic,
+/// a hang, or an allocation beyond what the stream itself can justify.
+/// The declared uncompressed length is capped at `32 × input` before
+/// reserving, and decoding bails out with
+/// [`SnappyError::LengthMismatch`] as soon as the output exceeds the
+/// declared length.
 ///
 /// # Errors
 ///
@@ -185,8 +201,18 @@ pub fn snappy_compress(input: &[u8]) -> Vec<u8> {
 pub fn snappy_decompress(data: &[u8]) -> Result<Vec<u8>, SnappyError> {
     let mut pos = 0usize;
     let expected = get_varint(data, &mut pos)?;
-    let mut out: Vec<u8> = Vec::with_capacity(expected as usize);
+    let cap = (expected as usize).min(data.len().saturating_mul(MAX_EXPANSION));
+    let mut out: Vec<u8> = Vec::with_capacity(cap);
     while pos < data.len() {
+        if out.len() as u64 > expected {
+            // Already longer than the header promised: the final
+            // length check below can only fail, so stop doing work
+            // (and allocating) now.
+            return Err(SnappyError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
         let tag = data[pos];
         pos += 1;
         match tag & 0b11 {
@@ -329,7 +355,90 @@ mod tests {
         }
     }
 
+    #[test]
+    fn every_error_variant_is_constructible_from_bytes() {
+        // Truncated: stream ends inside the length varint.
+        assert_eq!(snappy_decompress(&[0x80]), Err(SnappyError::Truncated));
+        // Truncated: literal promises more bytes than remain.
+        assert_eq!(
+            snappy_decompress(&[4, 60 << 2]),
+            Err(SnappyError::Truncated)
+        );
+        // Truncated: copy tag with missing offset bytes.
+        assert_eq!(snappy_decompress(&[4, 0b10]), Err(SnappyError::Truncated));
+        assert_eq!(snappy_decompress(&[4, 0b11]), Err(SnappyError::Truncated));
+        // BadOffset: offset reaches before the output start.
+        assert_eq!(
+            snappy_decompress(&[4, 0b01, 0x05]),
+            Err(SnappyError::BadOffset)
+        );
+        // BadOffset: zero offset.
+        assert_eq!(
+            snappy_decompress(&[4, 0, b'x', 0b10, 0, 0]),
+            Err(SnappyError::BadOffset)
+        );
+        // LengthMismatch: header says 4, body provides 1.
+        assert_eq!(
+            snappy_decompress(&[4, 0, b'x']),
+            Err(SnappyError::LengthMismatch {
+                expected: 4,
+                actual: 1
+            })
+        );
+        // BadVarint: 10 continuation bytes.
+        assert_eq!(snappy_decompress(&[0x80; 11]), Err(SnappyError::BadVarint));
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_reserve_huge() {
+        // Header declares ~4 GB; the 3-byte stream can never produce
+        // it. Before the allocation cap this call would try to reserve
+        // 4 GB up front.
+        let mut bad = vec![0xFF, 0xFF, 0xFF, 0xFF, 0x0F]; // varint ≈ 2^32
+        bad.extend_from_slice(&[0, b'x']); // one 1-byte literal
+        match snappy_decompress(&bad) {
+            Err(SnappyError::LengthMismatch { .. }) | Err(SnappyError::Truncated) => {}
+            other => panic!("expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_length_body_bails_early() {
+        // Header says 1 byte, body emits many: the decoder must stop
+        // with LengthMismatch instead of decoding the whole stream.
+        let mut bad = vec![1u8];
+        for _ in 0..50 {
+            bad.extend_from_slice(&[(3 << 2), b'a', b'b', b'c', b'd']);
+        }
+        let err = snappy_decompress(&bad).unwrap_err();
+        assert!(matches!(
+            err,
+            SnappyError::LengthMismatch { expected: 1, .. }
+        ));
+    }
+
     proptest! {
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            // Decode result is irrelevant; the contract is a clean
+            // Result on every input.
+            let _ = snappy_decompress(&data);
+        }
+
+        #[test]
+        fn prop_corrupted_valid_streams_never_panic(
+            data in proptest::collection::vec(any::<u8>(), 1..1500),
+            flip_pos in any::<u16>(),
+            flip_bit in any::<u8>(),
+            cut in any::<u16>(),
+        ) {
+            let mut c = snappy_compress(&data);
+            let i = usize::from(flip_pos) % c.len();
+            c[i] ^= 1 << (flip_bit % 8);
+            c.truncate(usize::from(cut) % (c.len() + 1));
+            let _ = snappy_decompress(&c);
+        }
+
         #[test]
         fn prop_round_trip_random(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
             let c = snappy_compress(&data);

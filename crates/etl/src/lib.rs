@@ -19,10 +19,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-free degradation discipline (DESIGN.md §8): the pipeline
+// ingests external bytes, so damage must degrade per record (or come
+// back as a typed error), never panic the host. `run_cpu_etl` keeps
+// its documented panic contract as a wrapper for trusted inputs.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod deserialize;
 pub mod pipeline;
 pub mod store;
 
-pub use pipeline::{run_cpu_etl, udp_offload_model, EtlReport, OffloadRates, SSD_MBPS};
+pub use pipeline::{
+    run_cpu_etl, run_cpu_etl_recovering, udp_offload_model, EtlError, EtlReport, OffloadRates,
+    SSD_MBPS,
+};
 pub use store::{Column, ColumnStore};

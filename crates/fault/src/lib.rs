@@ -1,0 +1,42 @@
+//! # udp-fault — fault injection and graceful-degradation harness
+//!
+//! The UDP is pitched as a production ETL accelerator ingesting
+//! arbitrary external data (paper §2, Figure 1). A service in that
+//! position is fed corrupt program images, damaged compressed streams,
+//! and dirty CSV/JSON feeds as a matter of course, so the stack must
+//! obey one invariant (DESIGN.md §8):
+//!
+//! > **Every run terminates within its cycle/fuel budget and returns a
+//! > typed error or `LaneStatus::Fault` — never a panic and never a
+//! > hang.**
+//!
+//! This crate *tries to break that invariant* deterministically:
+//!
+//! * [`FaultPlan`] derives a reproducible stream of [`FaultCase`]s
+//!   from a single seed (the vendored xoshiro `SmallRng`), cycling
+//!   through every [`FaultMode`];
+//! * [`mutate`] holds the pure corruption primitives — bit flips in
+//!   transition/action words, image truncation, stream truncation and
+//!   byte flips, invalid Snappy framing, malformed CSV/JSON records,
+//!   hostile run configs;
+//! * [`harness`] drives each case through the real stack — `Lane`,
+//!   `Udp` sequential and parallel waves, the codecs, and the
+//!   recovering ETL pipeline — under `catch_unwind`, and classifies
+//!   the outcome as [`Outcome::Clean`], [`Outcome::Degraded`]
+//!   (the designed response), or [`Outcome::Panicked`] (an invariant
+//!   violation).
+//!
+//! The `fault_fuzz` binary in `udp-bench` runs N seeded iterations and
+//! prints a machine-readable summary; `scripts/ci.sh` gates on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod harness;
+pub mod mutate;
+pub mod plan;
+
+pub use harness::{run_case, run_plan, CaseReport, FuzzSummary, ModeStats, Outcome};
+pub use plan::{FaultCase, FaultMode, FaultPlan};

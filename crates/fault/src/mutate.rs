@@ -1,0 +1,172 @@
+//! Pure corruption primitives.
+//!
+//! Every mutator takes the case RNG so damage is a deterministic
+//! function of the [`crate::FaultCase`] seed. Mutators never validate
+//! what they produce — producing *invalid* artifacts is the point.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use udp_asm::ProgramImage;
+
+/// Flips `flips` random bits across `words` (transition and action
+/// words alike — the dispatch path must survive either).
+pub fn flip_word_bits(words: &mut [u32], flips: usize, rng: &mut SmallRng) {
+    if words.is_empty() {
+        return;
+    }
+    for _ in 0..flips {
+        let i = rng.gen_range(0..words.len());
+        let bit = rng.gen_range(0..32u32);
+        words[i] ^= 1 << bit;
+    }
+}
+
+/// Truncates an image to a random prefix, keeping `stats.span_words`
+/// consistent with the shortened word list (the window-fit check sees
+/// the real size; dangling entry/targets now read zero words).
+pub fn truncate_image(image: &mut ProgramImage, rng: &mut SmallRng) {
+    let keep = rng.gen_range(0..=image.words.len());
+    image.words.truncate(keep);
+    image.stats.span_words = keep;
+}
+
+/// Flips `flips` random bits across a byte buffer.
+pub fn flip_byte_bits(data: &mut [u8], flips: usize, rng: &mut SmallRng) {
+    if data.is_empty() {
+        return;
+    }
+    for _ in 0..flips {
+        let i = rng.gen_range(0..data.len());
+        let bit = rng.gen_range(0..8u32);
+        data[i] ^= 1 << bit;
+    }
+}
+
+/// Truncates a buffer to a random prefix (possibly empty).
+pub fn truncate_vec(data: &mut Vec<u8>, rng: &mut SmallRng) {
+    let keep = rng.gen_range(0..=data.len());
+    data.truncate(keep);
+}
+
+/// A buffer of uniformly random bytes — what "invalid framing" looks
+/// like to a codec expecting a varint header and tagged elements.
+pub fn garbage_bytes(len: usize, rng: &mut SmallRng) -> Vec<u8> {
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// Damages one CSV feed in place: garbles a field into non-numeric
+/// junk, deletes a delimiter (arity shrinks), duplicates one (arity
+/// grows), or splices a whole junk row. Record framing bytes outside
+/// the victim row are left alone, so recovery must be per record.
+pub fn malform_csv(raw: &mut Vec<u8>, delimiter: u8, rng: &mut SmallRng) {
+    if raw.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // Garble a random in-row position with letters.
+            let i = rng.gen_range(0..raw.len());
+            if raw[i] != b'\n' {
+                raw[i] = b'Z';
+            }
+        }
+        1 => {
+            // Delete the first delimiter after a random position.
+            let start = rng.gen_range(0..raw.len());
+            if let Some(p) = raw[start..].iter().position(|&b| b == delimiter) {
+                raw.remove(start + p);
+            }
+        }
+        2 => {
+            // Duplicate a delimiter (an extra empty field).
+            let start = rng.gen_range(0..raw.len());
+            if let Some(p) = raw[start..].iter().position(|&b| b == delimiter) {
+                raw.insert(start + p, delimiter);
+            }
+        }
+        _ => {
+            // Splice a junk row at a record boundary.
+            let start = rng.gen_range(0..raw.len());
+            let at = raw[start..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(raw.len(), |p| start + p + 1);
+            let junk = b"###|garbage|row\n";
+            for (k, &b) in junk.iter().enumerate() {
+                raw.insert(at + k, b);
+            }
+        }
+    }
+}
+
+/// Damages NDJSON bytes: truncates mid-record, flips structural
+/// characters, or splices unbalanced brackets.
+pub fn malform_json(raw: &mut Vec<u8>, rng: &mut SmallRng) {
+    if raw.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => truncate_vec(raw, rng),
+        1 => {
+            let i = rng.gen_range(0..raw.len());
+            raw[i] = *[b'{', b'}', b'[', b']', b':', b',', b'"']
+                .get(rng.gen_range(0..7usize))
+                .unwrap_or(&b'{');
+        }
+        _ => flip_byte_bits(raw, 1 + rng.gen_range(0..8usize), rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn bit_flips_change_words() {
+        let mut w = vec![0u32; 64];
+        flip_word_bits(&mut w, 16, &mut rng());
+        assert!(w.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn truncation_keeps_span_consistent() {
+        let mut b = udp_asm::ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.fallback_arc(s, udp_asm::Target::State(s), vec![]);
+        let mut img = b.assemble(&udp_asm::LayoutOptions::default()).unwrap();
+        for seed in 0..20 {
+            let mut m = SmallRng::seed_from_u64(seed);
+            let mut t = img.clone();
+            truncate_image(&mut t, &mut m);
+            assert_eq!(t.stats.span_words, t.words.len());
+        }
+        truncate_image(&mut img, &mut rng());
+    }
+
+    #[test]
+    fn mutators_are_deterministic() {
+        let base: Vec<u8> = (0..200u8).collect();
+        let (mut a, mut b) = (base.clone(), base.clone());
+        flip_byte_bits(&mut a, 9, &mut rng());
+        flip_byte_bits(&mut b, 9, &mut rng());
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let mut v: Vec<u8> = Vec::new();
+        flip_byte_bits(&mut v, 5, &mut rng());
+        truncate_vec(&mut v, &mut rng());
+        malform_csv(&mut v, b'|', &mut rng());
+        malform_json(&mut v, &mut rng());
+        let mut w: Vec<u32> = Vec::new();
+        flip_word_bits(&mut w, 5, &mut rng());
+    }
+}

@@ -1,0 +1,155 @@
+//! Seeded, deterministic fault planning.
+//!
+//! A [`FaultPlan`] is a pure function from `(seed, index)` to a
+//! [`FaultCase`]: the same seed always yields the same corruption
+//! sequence, so any violation the fuzzer finds is replayable from its
+//! case index alone (the ISS-simulator discipline — a fault report
+//! must be a coordinate, not an anecdote).
+
+/// One way to hurt the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Flip random bits in a compiled image's transition/action words.
+    ImageBitFlip,
+    /// Cut a compiled image short (span shrinks with the words).
+    ImageTruncate,
+    /// Truncate a valid Snappy stream mid-element.
+    StreamTruncate,
+    /// Flip random bits in a valid Snappy stream.
+    StreamByteFlip,
+    /// Feed raw garbage where Snappy framing is expected.
+    SnappyFraming,
+    /// Damage individual CSV records inside a valid feed.
+    CsvMalformed,
+    /// Damage NDJSON bytes and tokenize them.
+    JsonMalformed,
+    /// Run a clean program under a starvation-level cycle cap.
+    ConfigTinyCycles,
+    /// Run with hostile bank splits (zero, over-subscribed, too small
+    /// for the program).
+    ConfigBadBanks,
+    /// Panic one lane of a parallel wave (chaos hook) and demand the
+    /// siblings' reports survive.
+    LanePanic,
+}
+
+impl FaultMode {
+    /// Every mode, in plan cycling order.
+    pub const ALL: [FaultMode; 10] = [
+        FaultMode::ImageBitFlip,
+        FaultMode::ImageTruncate,
+        FaultMode::StreamTruncate,
+        FaultMode::StreamByteFlip,
+        FaultMode::SnappyFraming,
+        FaultMode::CsvMalformed,
+        FaultMode::JsonMalformed,
+        FaultMode::ConfigTinyCycles,
+        FaultMode::ConfigBadBanks,
+        FaultMode::LanePanic,
+    ];
+
+    /// Stable kebab-case name (machine-readable summaries, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::ImageBitFlip => "image-bit-flip",
+            FaultMode::ImageTruncate => "image-truncate",
+            FaultMode::StreamTruncate => "stream-truncate",
+            FaultMode::StreamByteFlip => "stream-byte-flip",
+            FaultMode::SnappyFraming => "snappy-framing",
+            FaultMode::CsvMalformed => "csv-malformed",
+            FaultMode::JsonMalformed => "json-malformed",
+            FaultMode::ConfigTinyCycles => "config-tiny-cycles",
+            FaultMode::ConfigBadBanks => "config-bad-banks",
+            FaultMode::LanePanic => "lane-panic",
+        }
+    }
+}
+
+/// One reproducible corruption experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCase {
+    /// Position in the plan (for replay and reporting).
+    pub index: u64,
+    /// What kind of damage to inject.
+    pub mode: FaultMode,
+    /// Seed for this case's private RNG.
+    pub seed: u64,
+}
+
+/// A deterministic schedule of fault cases.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    modes: Vec<FaultMode>,
+}
+
+impl FaultPlan {
+    /// A plan over every [`FaultMode`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            modes: FaultMode::ALL.to_vec(),
+        }
+    }
+
+    /// A plan restricted to `modes` (replaying one injection family).
+    pub fn with_modes(seed: u64, modes: Vec<FaultMode>) -> Self {
+        assert!(!modes.is_empty(), "a plan needs at least one mode");
+        FaultPlan { seed, modes }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `i`-th case: modes cycle round-robin; the case seed mixes
+    /// the plan seed with the index (SplitMix64's odd constant) so
+    /// neighboring cases get unrelated random streams.
+    pub fn case(&self, i: u64) -> FaultCase {
+        FaultCase {
+            index: i,
+            mode: self.modes[(i % self.modes.len() as u64) as usize],
+            seed: self
+                .seed
+                .wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The first `n` cases.
+    pub fn cases(&self, n: u64) -> impl Iterator<Item = FaultCase> + '_ {
+        (0..n).map(|i| self.case(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a: Vec<_> = FaultPlan::new(42).cases(30).collect();
+        let b: Vec<_> = FaultPlan::new(42).cases(30).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mode, y.mode);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn modes_cycle_and_seeds_differ() {
+        let p = FaultPlan::new(7);
+        assert_eq!(p.case(0).mode, FaultMode::ImageBitFlip);
+        assert_eq!(p.case(10).mode, FaultMode::ImageBitFlip);
+        assert_ne!(p.case(0).seed, p.case(10).seed);
+        let other = FaultPlan::new(8);
+        assert_ne!(p.case(0).seed, other.case(0).seed);
+    }
+
+    #[test]
+    fn names_are_stable_kebab() {
+        for m in FaultMode::ALL {
+            assert!(m.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -481,5 +481,18 @@ mod tests {
             a.last = last;
             prop_assert_eq!(Action::decode(a.encode()), Some(a));
         }
+
+        #[test]
+        fn prop_decode_is_total(raw in 0u32..=u32::MAX) {
+            // Decode totality: every 32-bit word either decodes to an
+            // action whose re-encoding is a decode fixpoint, or is
+            // rejected as an undefined opcode — never a panic. This is
+            // what lets a lane treat corrupted action words (fault
+            // injection, bad images) as LaneStatus::Fault data.
+            match Action::decode(raw) {
+                Some(a) => prop_assert_eq!(Action::decode(a.encode()), Some(a)),
+                None => prop_assert!(Opcode::from_code((raw >> 25) as u8).is_none()),
+            }
+        }
     }
 }

@@ -1,9 +1,11 @@
 //! The 64-lane UDP device: program loading, data-parallel execution,
 //! NFA multi-activation mode, and bank-conflict accounting.
 
+use crate::error::SimError;
 use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 use crate::memory::LocalMemory;
 use crate::stream::{BitStream, OutputSink};
+use std::any::Any;
 use std::sync::Arc;
 use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
 use udp_asm::{DecodedProgram, ProgramImage};
@@ -124,12 +126,14 @@ impl Udp {
     /// optional per-lane staging. Chunks beyond lane capacity are executed
     /// in additional waves (wall cycles accumulate).
     ///
-    /// The program is predecoded once into a [`DecodedProgram`] shared by
-    /// every lane, so the per-symbol hot path indexes a table instead of
-    /// re-decoding transition/action words. With [`UdpRunOptions::parallel`]
-    /// set (and local addressing), each wave's lanes execute on host
-    /// threads over private window memories and the results are merged in
-    /// lane order, keeping the report bit-identical to sequential runs.
+    /// Thin wrapper over [`Udp::try_run_data_parallel`] for callers whose
+    /// programs are known to fit (compiled kernels, benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`] — an oversized program, a bad bank
+    /// split, or a non-executable image. Use
+    /// [`Udp::try_run_data_parallel`] to handle those as values.
     pub fn run_data_parallel(
         &mut self,
         image: &ProgramImage,
@@ -137,14 +141,47 @@ impl Udp {
         staging: &Staging,
         opts: &UdpRunOptions,
     ) -> UdpRunReport {
+        self.try_run_data_parallel(image, inputs, staging, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Udp::run_data_parallel`]: pre-flight
+    /// misconfiguration comes back as a [`SimError`] instead of a
+    /// panic, and a lane whose host thread panics (under
+    /// [`UdpRunOptions::parallel`]) degrades to
+    /// [`LaneStatus::Fault`] in its own report while the sibling
+    /// lanes' reports survive.
+    ///
+    /// The program is predecoded once into a [`DecodedProgram`] shared by
+    /// every lane, so the per-symbol hot path indexes a table instead of
+    /// re-decoding transition/action words. With [`UdpRunOptions::parallel`]
+    /// set (and local addressing), each wave's lanes execute on host
+    /// threads over private window memories and the results are merged in
+    /// lane order, keeping the report bit-identical to sequential runs.
+    pub fn try_run_data_parallel(
+        &mut self,
+        image: &ProgramImage,
+        inputs: &[&[u8]],
+        staging: &Staging,
+        opts: &UdpRunOptions,
+    ) -> Result<UdpRunReport, SimError> {
+        if !image.executable {
+            return Err(SimError::NotExecutable);
+        }
+        if opts.banks_per_lane == 0 || opts.banks_per_lane > NUM_BANKS {
+            return Err(SimError::BadBankSplit {
+                banks_per_lane: opts.banks_per_lane,
+            });
+        }
         let window_words = opts.banks_per_lane * BANK_WORDS;
-        assert!(
-            image.stats.span_words <= window_words,
-            "program ({} words) exceeds the {}-bank window",
-            image.stats.span_words,
-            opts.banks_per_lane
-        );
-        let lanes_cap = (NUM_BANKS / opts.banks_per_lane.max(1)).max(1);
+        if image.stats.span_words > window_words {
+            return Err(SimError::ProgramTooLarge {
+                span_words: image.stats.span_words,
+                window_words,
+                banks_per_lane: opts.banks_per_lane,
+            });
+        }
+        let lanes_cap = (NUM_BANKS / opts.banks_per_lane).max(1);
         let decoded = Arc::new(image.predecode());
         // Per-bank counts only feed the conflict model, which local
         // (disjoint-window) addressing never consults.
@@ -221,7 +258,13 @@ impl Udp {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("lane thread panicked"))
+                        .map(|h| match h.join() {
+                            Ok(rep) => rep,
+                            // A panicking lane degrades to a Fault
+                            // report; the sibling lanes' reports (and
+                            // the rest of the run) survive.
+                            Err(payload) => fault_lane_report(&panic_message(payload.as_ref())),
+                        })
                         .collect()
                 });
                 // Copy each private window back into the device memory at
@@ -319,7 +362,7 @@ impl Udp {
             chunk += wave.len();
         }
 
-        UdpRunReport {
+        Ok(UdpRunReport {
             lanes_used: lanes_cap.min(inputs.len()),
             wall_cycles,
             conflict_stalls: total_conflict,
@@ -327,7 +370,7 @@ impl Udp {
             mem_refs: lane_reports.iter().map(|r| r.mem_refs).sum(),
             addressing: opts.addressing,
             lanes: lane_reports,
-        }
+        })
     }
 
     /// Reads back a window-relative byte range of lane `lane_idx`'s
@@ -392,6 +435,38 @@ fn run_lane_private(
     // `mem_refs` in the report is the memory's total counted references,
     // which — counters having been reset above — is exactly the per-lane
     // delta the sequential path computes.
+}
+
+/// Extracts the human-readable message from a panic payload (the two
+/// shapes `panic!` produces: a `&'static str` or a formatted `String`).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The report a lane gets when its host thread panicked mid-run: a
+/// [`LaneStatus::Fault`] carrying the panic message, zero counters.
+/// The lane's modeled state (cycles, output) died with the thread, so
+/// nothing else can honestly be reported.
+fn fault_lane_report(msg: &str) -> LaneReport {
+    LaneReport {
+        status: LaneStatus::Fault(format!("lane panicked: {msg}")),
+        cycles: 0,
+        dispatches: 0,
+        fallback_misses: 0,
+        actions: 0,
+        mem_refs: 0,
+        bytes_consumed: 0,
+        output: Vec::new(),
+        reports: Vec::new(),
+        accepted: false,
+        regs: [0; 16],
+    }
 }
 
 /// True when no staging segment lands inside the code span, i.e. the
@@ -647,6 +722,96 @@ mod tests {
         // Two waves: wall = 2 × single-chunk cycles.
         let one = rep.lanes[0].cycles;
         assert_eq!(rep.wall_cycles, 2 * one);
+    }
+
+    #[test]
+    fn oversized_program_is_a_typed_error() {
+        // Pack enough dense states that the image cannot fit one bank.
+        let mut b = ProgramBuilder::new();
+        let states: Vec<_> = (0..40).map(|_| b.add_consuming_state()).collect();
+        b.set_entry(states[0]);
+        for (i, &s) in states.iter().enumerate() {
+            let next = states[(i + 1) % states.len()];
+            for sym in 0..200u16 {
+                b.labeled_arc(s, sym, Target::State(next), vec![]);
+            }
+            b.fallback_arc(s, Target::State(s), vec![]);
+        }
+        let img = b
+            .assemble(&udp_asm::LayoutOptions::with_banks(64))
+            .expect("fits the full memory");
+        assert!(img.stats.span_words > BANK_WORDS);
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"aaa"];
+        let err = udp
+            .try_run_data_parallel(
+                &img,
+                &inputs,
+                &Staging::default(),
+                &UdpRunOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::ProgramTooLarge {
+                banks_per_lane: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_banks_is_a_typed_error() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"a"];
+        let opts = UdpRunOptions {
+            banks_per_lane: 0,
+            ..Default::default()
+        };
+        let err = udp
+            .try_run_data_parallel(&img, &inputs, &Staging::default(), &opts)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SimError::BadBankSplit { banks_per_lane: 0 }
+        );
+    }
+
+    #[test]
+    fn panicking_lane_degrades_to_fault_and_siblings_survive() {
+        // Lane 1's input is long enough to cross the chaos threshold;
+        // lanes 0 and 2 finish well under it. The panic must surface as
+        // a Fault report for lane 1 only.
+        let img = scanner();
+        let mut udp = Udp::new();
+        let long: Vec<u8> = vec![b'a'; 200];
+        let inputs: Vec<&[u8]> = vec![b"aa", &long, b"aaa"];
+        let opts = UdpRunOptions {
+            parallel: true,
+            lane: LaneConfig {
+                chaos_panic_at: Some(50),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Silence the default panic hook for the deliberate panic, then
+        // restore it so unrelated test failures keep their messages.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let rep = udp.try_run_data_parallel(&img, &inputs, &Staging::default(), &opts);
+        std::panic::set_hook(hook);
+        let rep = rep.expect("pre-flight config is valid");
+        assert_eq!(rep.lanes.len(), 3);
+        assert_eq!(rep.lanes[0].status, LaneStatus::InputExhausted);
+        assert_eq!(rep.lanes[0].output, b"!!");
+        assert!(
+            matches!(&rep.lanes[1].status, LaneStatus::Fault(m) if m.contains("lane panicked")),
+            "lane 1 should carry the panic: {:?}",
+            rep.lanes[1].status
+        );
+        assert_eq!(rep.lanes[2].status, LaneStatus::InputExhausted);
+        assert_eq!(rep.lanes[2].output, b"!!!");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Typed simulator errors — the "report, don't abort" half of the
+//! fault model (DESIGN.md §8).
+//!
+//! Host-visible misconfiguration (a program that cannot fit its lane
+//! window, an impossible bank split) surfaces as a [`SimError`] from
+//! [`crate::Udp::try_run_data_parallel`]; faults *inside* a running
+//! lane surface as [`crate::LaneStatus::Fault`] in that lane's report.
+//! Neither path panics the host.
+
+use std::fmt;
+use udp_isa::mem::NUM_BANKS;
+
+/// Why a device run could not start (or could not be configured).
+///
+/// These are pre-flight errors: no lane has executed when one is
+/// returned. Runtime faults inside a lane degrade to
+/// [`crate::LaneStatus::Fault`] in the per-lane report instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program image spans more words than one lane window holds.
+    ProgramTooLarge {
+        /// Image span in words (code + attached action blocks).
+        span_words: usize,
+        /// Window capacity in words at the requested bank split.
+        window_words: usize,
+        /// Banks per lane the caller asked for.
+        banks_per_lane: usize,
+    },
+    /// `banks_per_lane` must be in `1..=NUM_BANKS`.
+    BadBankSplit {
+        /// The rejected value.
+        banks_per_lane: usize,
+    },
+    /// The image was assembled size-model-only and cannot execute.
+    NotExecutable,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ProgramTooLarge {
+                span_words,
+                window_words,
+                banks_per_lane,
+            } => write!(
+                f,
+                "program ({span_words} words) exceeds the {banks_per_lane}-bank \
+                 window ({window_words} words)"
+            ),
+            SimError::BadBankSplit { banks_per_lane } => write!(
+                f,
+                "banks_per_lane must be in 1..={NUM_BANKS}, got {banks_per_lane}"
+            ),
+            SimError::NotExecutable => {
+                write!(f, "size-model-only image cannot run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_limit() {
+        let e = SimError::ProgramTooLarge {
+            span_words: 9000,
+            window_words: 4096,
+            banks_per_lane: 1,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4096"));
+        let e = SimError::BadBankSplit { banks_per_lane: 0 };
+        assert!(e.to_string().contains("1..=64"));
+    }
+}

@@ -36,12 +36,21 @@ impl CodeTables<'static> {
 pub struct LaneConfig {
     /// Safety cap on simulated cycles (runaway-program guard).
     pub max_cycles: u64,
+    /// Fault-injection hook: when set, the lane *panics* the moment its
+    /// cycle counter reaches this value. Only the fault harness and the
+    /// engine's panic-recovery tests set this — it exists so the
+    /// "one poisoned lane must not take down the wave" path can be
+    /// exercised deterministically. `None` (the default) costs nothing
+    /// on the dispatch hot path: the check is folded into the existing
+    /// cycle-cap compare.
+    pub chaos_panic_at: Option<u64>,
 }
 
 impl Default for LaneConfig {
     fn default() -> Self {
         LaneConfig {
             max_cycles: 2_000_000_000,
+            chaos_panic_at: None,
         }
     }
 }
@@ -344,9 +353,17 @@ impl Lane {
             transitions: d.transitions(),
             actions: d.actions(),
         });
+        // The chaos hook shares the cycle-cap compare: `cap` is the
+        // nearer of the two limits, and which one fired is only sorted
+        // out on the (cold) exit path.
         let max_cycles = cfg.max_cycles;
+        let chaos_at = cfg.chaos_panic_at.unwrap_or(u64::MAX);
+        let cap = max_cycles.min(chaos_at);
         while self.status == LaneStatus::Running {
-            if self.cycles >= max_cycles {
+            if self.cycles >= cap {
+                if self.cycles >= chaos_at {
+                    panic!("chaos: injected lane panic at cycle {}", self.cycles);
+                }
                 self.status = LaneStatus::CycleLimit;
                 break;
             }
@@ -366,7 +383,10 @@ impl Lane {
                 let batch = !mem.tracks_banks();
                 let mut batched = 0u64;
                 loop {
-                    if self.cycles >= max_cycles {
+                    if self.cycles >= cap {
+                        if self.cycles >= chaos_at {
+                            panic!("chaos: injected lane panic at cycle {}", self.cycles);
+                        }
                         self.status = LaneStatus::CycleLimit;
                         break;
                     }
@@ -914,6 +934,7 @@ mod tests {
     fn cfg() -> LaneConfig {
         LaneConfig {
             max_cycles: 100_000,
+            ..Default::default()
         }
     }
 
@@ -1116,7 +1137,14 @@ mod tests {
         b.set_entry(f);
         b.fallback_arc(f, Target::State(f), vec![]);
         let img = b.assemble(&LayoutOptions::default()).unwrap();
-        let r = Lane::run_program(&img, b"", &LaneConfig { max_cycles: 100 });
+        let r = Lane::run_program(
+            &img,
+            b"",
+            &LaneConfig {
+                max_cycles: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.status, LaneStatus::CycleLimit);
     }
 
@@ -1189,7 +1217,10 @@ mod tests {
                 input in proptest::collection::vec(any::<u8>(), 0..64),
             ) {
                 let img = garbage_image(words, entry, kind_sel);
-                let rep = Lane::run_program(&img, &input, &LaneConfig { max_cycles: 20_000 });
+                let rep = Lane::run_program(&img, &input, &LaneConfig {
+                    max_cycles: 20_000,
+                    ..Default::default()
+                });
                 prop_assert_ne!(rep.status, LaneStatus::Running);
             }
         }

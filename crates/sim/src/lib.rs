@@ -42,15 +42,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-free degradation discipline (DESIGN.md §8): corrupt state must
+// surface as a typed error or LaneStatus::Fault, never a host abort.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod energy;
 pub mod engine;
+pub mod error;
 pub mod lane;
 pub mod memory;
 pub mod stream;
 
 pub use energy::{AreaModel, PowerModel, CPU_TDP_WATTS, UDP_SYSTEM_WATTS};
 pub use engine::{Staging, Udp, UdpRunOptions, UdpRunReport};
+pub use error::SimError;
 pub use lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 pub use memory::LocalMemory;
 pub use stream::{BitStream, OutputSink};

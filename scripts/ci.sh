@@ -16,4 +16,7 @@ cargo build --release
 echo "== cargo test --release =="
 cargo test --workspace --release -q
 
+echo "== fault_fuzz smoke gate (DESIGN.md §8) =="
+cargo run --release -q -p udp-bench --bin fault_fuzz -- --iters 200 --seed 0xDEC0DE
+
 echo "CI green."
