@@ -31,12 +31,14 @@ pub enum WordKind {
     Unknown,
 }
 
-/// Disassembles an image into human-readable lines.
+/// Classifies every nonzero word of an image.
 ///
 /// Classification walks the recorded state bases: every labeled slot and
 /// fallback slot is attributed to its owner; words reachable through
-/// attach references are decoded as actions; the rest print raw.
-pub fn disassemble(image: &ProgramImage) -> String {
+/// attach references are decoded as actions. Words absent from the map
+/// are empty or unreferenced. This is the disassembler's independent
+/// view of the image, cross-checked by `udp-verify`'s graph decode.
+pub fn classify_words(image: &ProgramImage) -> HashMap<u32, WordKind> {
     let mut kinds: HashMap<u32, WordKind> = HashMap::new();
     let mut action_starts: Vec<u32> = Vec::new();
 
@@ -91,7 +93,13 @@ pub fn disassemble(image: &ProgramImage) -> String {
             }
         }
     }
+    kinds
+}
 
+/// Disassembles an image into human-readable lines using the
+/// [`classify_words`] attribution.
+pub fn disassemble(image: &ProgramImage) -> String {
+    let kinds = classify_words(image);
     let mut out = String::new();
     let _ = writeln!(
         out,

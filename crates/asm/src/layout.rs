@@ -37,6 +37,12 @@ pub struct LayoutOptions {
     /// per-arc action copies. Produces a size-model-only image
     /// (`executable == false`) used for the Figure 5c comparison.
     pub uap_attach: bool,
+    /// Run a structural self-check over the emitted image (dispatch-slot
+    /// integrity and alias freedom) and fail assembly with
+    /// [`AsmError::SelfCheck`] if it trips. The full static analysis
+    /// lives in `udp-verify`; this native check is the assembler's own
+    /// last line of defence and needs no extra dependency.
+    pub self_check: bool,
 }
 
 impl Default for LayoutOptions {
@@ -45,6 +51,7 @@ impl Default for LayoutOptions {
             window_words: BANK_WORDS,
             share_actions: true,
             uap_attach: false,
+            self_check: false,
         }
     }
 }
@@ -82,6 +89,20 @@ pub enum AsmError {
         /// Offending block length.
         len: usize,
     },
+    /// A cross-segment arc targets a segment beyond the 16 the implicit
+    /// `SetBase` immediate can express (64 KB of window).
+    TargetSegmentOutOfRange {
+        /// The unreachable segment index.
+        segment: u32,
+    },
+    /// The post-emission structural self-check found a broken image
+    /// (enabled by [`LayoutOptions::self_check`]).
+    SelfCheck {
+        /// Word offset of the offending slot.
+        addr: u32,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AsmError {
@@ -99,6 +120,15 @@ impl fmt::Display for AsmError {
                     f,
                     "action block of {len} words exceeds the scaled slot size"
                 )
+            }
+            AsmError::TargetSegmentOutOfRange { segment } => {
+                write!(
+                    f,
+                    "arc target in segment {segment} exceeds the SetBase immediate range"
+                )
+            }
+            AsmError::SelfCheck { addr, detail } => {
+                write!(f, "layout self-check failed at {addr:#06x}: {detail}")
             }
         }
     }
@@ -194,6 +224,14 @@ impl ProgramBuilder {
                     if let Target::State(t) = arc.target {
                         let to_seg = seg_of(bases[t.index()]);
                         if to_seg != from_seg {
+                            if to_seg > 0xF && !opts.uap_attach {
+                                // The 16-bit SetBase immediate holds at
+                                // most segment 15; silently truncating
+                                // would mis-dispatch the whole arc. Size
+                                // models (uap_attach) are never executed,
+                                // so only their word counts matter.
+                                return Err(AsmError::TargetSegmentOutOfRange { segment: to_seg });
+                            }
                             actions.push(Action::imm(
                                 Opcode::SetBase,
                                 Reg::R0,
@@ -210,7 +248,9 @@ impl ProgramBuilder {
                         for a in actions.iter_mut() {
                             a.last = false;
                         }
-                        actions.last_mut().expect("non-empty").last = true;
+                        if let Some(last) = actions.last_mut() {
+                            last.last = true;
+                        }
                         per_arc.push(Some(table.intern(&actions, share)));
                     }
                 }
@@ -270,6 +310,19 @@ impl ProgramBuilder {
         let abase = (scaled_region_start as i64 - slot as i64).max(0) as u32;
         let reserved = scaled_region_start + scaled_region_words;
 
+        // Every block was assigned a place in the fixpoint loop above;
+        // collapse the Options so the emit path cannot observe a hole.
+        let places: Vec<BlockPlace> = places
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.ok_or_else(|| AsmError::SelfCheck {
+                    addr: i as u32,
+                    detail: "action block was never placed".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
         // ---- Pass 5: emit.
         let mut span = reserved;
         for (sid, node) in self.states.iter().enumerate() {
@@ -287,7 +340,7 @@ impl ProgramBuilder {
 
         // Action regions.
         for (i, block) in table.blocks.iter().enumerate() {
-            let addr = match places[i].unwrap() {
+            let addr = match places[i] {
                 BlockPlace::Direct { attach } => attach as usize,
                 BlockPlace::Scaled { attach } => abase as usize + (attach as usize) * slot,
             };
@@ -326,7 +379,7 @@ impl ProgramBuilder {
         let encode_arc = |sig: u8, arc: &Arc, place: Option<usize>| -> u32 {
             let (mode, attach) = match place {
                 None => (AttachMode::Direct, 0u8),
-                Some(b) => match places[b].unwrap() {
+                Some(b) => match places[b] {
                     BlockPlace::Direct { attach } => (AttachMode::Direct, attach),
                     BlockPlace::Scaled { attach } => (AttachMode::Scaled, attach),
                 },
@@ -374,6 +427,10 @@ impl ProgramBuilder {
             }
         }
 
+        if opts.self_check && !opts.uap_attach {
+            self.self_check_image(&words, &bases)?;
+        }
+
         let words_used = words.iter().filter(|&&w| w != 0).count();
         let entry_base = bases[entry.index()];
         Ok(ProgramImage {
@@ -400,7 +457,46 @@ impl ProgramBuilder {
         })
     }
 
+    /// The fallback-slot-family words a state will emit, as
+    /// `(offset, signature)` pairs. These signatures (`0xFF`, `0xFE`,
+    /// refill counts) are *not* tied to the word's address the way
+    /// labeled signatures are, so they can alias another state's
+    /// `base + symbol` read — the packer must keep them out of foreign
+    /// dispatch windows.
+    fn sig_words(node: &StateNode) -> Vec<(u32, u8)> {
+        match node {
+            StateNode::Consuming { fallback, .. } => fallback
+                .as_ref()
+                .map(|_| (FALLBACK_SLOT, FALLBACK_SIGNATURE))
+                .into_iter()
+                .collect(),
+            StateNode::Pass { refill, .. } => vec![(FALLBACK_SLOT, *refill)],
+            StateNode::Fork { arcs } => (0..arcs.len())
+                .map(|k| {
+                    let sig = if k + 1 < arcs.len() {
+                        CHAIN_CONTINUE_SIGNATURE
+                    } else {
+                        FALLBACK_SIGNATURE
+                    };
+                    (FALLBACK_SLOT + k as u32, sig)
+                })
+                .collect(),
+        }
+    }
+
     /// First-fit EffCLiP packing of state footprints above `reserved`.
+    ///
+    /// Beyond plain occupancy, placement maintains *alias freedom*: a
+    /// dispatching (consuming/flagged) state based at `B` reads `B + s`
+    /// for any symbol `s` and trusts the signature byte to reject
+    /// foreign words — but fallback-family words (signature `0xFF`,
+    /// chain `0xFE`, refill counts) and action-region words carry
+    /// signatures unrelated to their address, so one landing at `B + s`
+    /// with top byte `s` would be a false dispatch hit. The packer
+    /// therefore (a) keeps dispatch windows above the action regions,
+    /// (b) never bases a dispatching state where an existing
+    /// fallback-family word aliases it, and (c) never emits a
+    /// fallback-family word that aliases an existing dispatching base.
     fn pack_states(&self, window: usize, reserved: usize) -> Result<Vec<u32>, AsmError> {
         let mut occupied = vec![false; window];
         for cell in occupied.iter_mut().take(reserved.min(window)) {
@@ -409,6 +505,11 @@ impl ProgramBuilder {
         if window > 0 {
             occupied[0] = true; // empty-word detection
         }
+        // alias_forbidden[b]: some placed fallback-family word sits at
+        // b + sig for its signature, so no dispatching state may use b.
+        let mut alias_forbidden = vec![false; window];
+        // dispatch_base[b]: a dispatching state is based at b.
+        let mut dispatch_base = vec![false; window];
 
         // Densest footprints first.
         let mut order: Vec<usize> = (0..self.states.len()).collect();
@@ -419,41 +520,76 @@ impl ProgramBuilder {
         // symbol 0 with no actions would encode as the all-zero word the
         // lane treats as empty.
         let usable = |base: usize| base & 0xFFF != 0;
+        let reserved_floor = reserved.min(window);
         let mut bases = vec![0u32; self.states.len()];
         let mut hint = 0usize;
         for &sid in &order {
-            let fp = self.states[sid].footprint();
+            let node = &self.states[sid];
+            let fp = node.footprint();
+            let dispatches = matches!(node, StateNode::Consuming { .. });
+            let swords = Self::sig_words(node);
             let top = *fp.last().unwrap_or(&0) as usize;
-            let mut base = hint;
-            let placed = loop {
-                if base + top >= window {
-                    break false;
+            let fits = |base: usize| -> bool {
+                if !usable(base) || fp.iter().any(|&off| occupied[base + off as usize]) {
+                    return false;
                 }
-                if usable(base) && fp.iter().all(|&off| !occupied[base + off as usize]) {
-                    break true;
+                // (a)+(b): a dispatch window must sit above the action
+                // regions and clear of aliasing fallback words.
+                if dispatches && (base < reserved_floor || alias_forbidden[base]) {
+                    return false;
                 }
-                base += 1;
+                // (c): our own fallback-family words must not alias an
+                // already-placed dispatching base.
+                for &(off, sig) in &swords {
+                    let addr = base + off as usize;
+                    if let Some(rb) = addr.checked_sub(sig as usize) {
+                        if rb != base && rb < window && dispatch_base[rb] {
+                            return false;
+                        }
+                    }
+                }
+                true
             };
-            if !placed {
-                // Retry from 0 in case the hint skipped usable gaps.
-                base = 0;
-                let mut ok = false;
+            let found = 'search: {
+                let mut base = if dispatches {
+                    hint.max(reserved_floor)
+                } else {
+                    hint
+                };
                 while base + top < window {
-                    if usable(base) && fp.iter().all(|&off| !occupied[base + off as usize]) {
-                        ok = true;
-                        break;
+                    if fits(base) {
+                        break 'search Some(base);
                     }
                     base += 1;
                 }
-                if !ok {
-                    return Err(AsmError::ProgramTooLarge {
-                        needed: window + fp.len(),
-                        window,
-                    });
+                // Retry from the bottom in case the hint skipped gaps.
+                base = if dispatches { reserved_floor } else { 0 };
+                while base + top < window {
+                    if fits(base) {
+                        break 'search Some(base);
+                    }
+                    base += 1;
                 }
-            }
+                None
+            };
+            let Some(base) = found else {
+                return Err(AsmError::ProgramTooLarge {
+                    needed: window + fp.len(),
+                    window,
+                });
+            };
             for &off in &fp {
                 occupied[base + off as usize] = true;
+            }
+            for &(off, sig) in &swords {
+                if let Some(rb) = (base + off as usize).checked_sub(sig as usize) {
+                    if rb < window {
+                        alias_forbidden[rb] = true;
+                    }
+                }
+            }
+            if dispatches {
+                dispatch_base[base] = true;
             }
             bases[sid] = base as u32;
             // Advance the hint past fully dense prefixes cheaply.
@@ -462,6 +598,48 @@ impl ProgramBuilder {
             }
         }
         Ok(bases)
+    }
+
+    /// Structural self-check over an emitted image (see
+    /// [`LayoutOptions::self_check`]): every labeled slot's signature
+    /// echoes its offset, and no dispatching state's `base + symbol`
+    /// read can false-hit a foreign word.
+    fn self_check_image(&self, words: &[u32], bases: &[u32]) -> Result<(), AsmError> {
+        for (sid, node) in self.states.iter().enumerate() {
+            let base = bases[sid] as usize;
+            let StateNode::Consuming { arcs, .. } = node else {
+                continue;
+            };
+            let owned: std::collections::HashSet<usize> =
+                arcs.iter().map(|(sym, _)| *sym as usize).collect();
+            for sym in 0..FALLBACK_SLOT as usize {
+                let Some(&raw) = words.get(base + sym) else {
+                    break;
+                };
+                if raw == 0 {
+                    continue;
+                }
+                let sig = (raw >> 24) as usize;
+                if owned.contains(&sym) {
+                    if sig != sym {
+                        return Err(AsmError::SelfCheck {
+                            addr: (base + sym) as u32,
+                            detail: format!(
+                                "labeled slot for symbol {sym} carries signature {sig}"
+                            ),
+                        });
+                    }
+                } else if sig == sym {
+                    return Err(AsmError::SelfCheck {
+                        addr: (base + sym) as u32,
+                        detail: format!(
+                            "foreign word aliases symbol {sym} of the state at {base:#x}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -677,9 +855,33 @@ mod tests {
             },
             AsmError::TooManyActionBlocks { blocks: 300 },
             AsmError::ActionBlockTooLong { len: 99 },
+            AsmError::TargetSegmentOutOfRange { segment: 18 },
+            AsmError::SelfCheck {
+                addr: 0x123,
+                detail: "synthetic".into(),
+            },
         ] {
             assert!(!format!("{e}").is_empty());
         }
+    }
+
+    #[test]
+    fn self_check_accepts_assembled_programs() {
+        let mut b = ProgramBuilder::new();
+        let states: Vec<_> = (0..6).map(|_| b.add_consuming_state()).collect();
+        b.set_entry(states[0]);
+        for (i, &s) in states.iter().enumerate() {
+            let next = states[(i + 1) % states.len()];
+            for sym in 0..32u16 {
+                b.labeled_arc(s, sym * 8, Target::State(next), vec![]);
+            }
+            b.fallback_arc(s, Target::State(s), vec![]);
+        }
+        let opts = LayoutOptions {
+            self_check: true,
+            ..LayoutOptions::default()
+        };
+        b.assemble(&opts).expect("self-check must pass");
     }
 
     proptest! {
@@ -704,6 +906,73 @@ mod tests {
                         prop_assert_eq!(w.signature(), *sym as u8);
                     }
                 }
+            }
+        }
+
+        /// EffCLiP integrity under load: random IRs with attached action
+        /// blocks, fallbacks, and pass states pack with zero word
+        /// collisions (the native `self_check` re-derives every claim)
+        /// and never report more words used than the span holds.
+        #[test]
+        fn prop_effclip_packs_action_blocks_without_collisions(
+            seed_arcs in proptest::collection::vec((0u16..256, 0usize..10, 0usize..4), 1..100)
+        ) {
+            let mut b = ProgramBuilder::new();
+            let states: Vec<_> = (0..8).map(|_| b.add_consuming_state()).collect();
+            // Two pass states widen the shape mix: their slot-256 words
+            // are the fallback-family aliases the packer must dodge.
+            let p0 = b.add_pass_state(0, crate::ir::Arc { target: Target::State(states[0]), actions: vec![] });
+            let p1 = b.add_pass_state(3, crate::ir::Arc { target: Target::State(p0), actions: emit(b'.') });
+            b.set_entry(states[0]);
+            let mut seen = std::collections::HashSet::new();
+            for (i, (sym, tgt, n_act)) in seed_arcs.iter().enumerate() {
+                let from = states[i % states.len()];
+                if !seen.insert((from, *sym)) {
+                    continue;
+                }
+                let target = if tgt % 9 == 8 { Target::State(p1) } else { Target::State(states[tgt % states.len()]) };
+                let actions: Vec<Action> = (0..*n_act)
+                    .map(|k| Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, (*sym + k as u16) & 0xFF))
+                    .collect();
+                b.labeled_arc(from, *sym, target, actions);
+            }
+            for (i, &s) in states.iter().enumerate() {
+                if i % 2 == 0 {
+                    b.fallback_arc(s, Target::Halt, emit(b'F'));
+                }
+            }
+            let opts = LayoutOptions { self_check: true, ..LayoutOptions::default() };
+            let img = b.assemble(&opts).unwrap();
+            prop_assert!(
+                img.stats.words_used <= img.stats.span_words,
+                "used {} > span {}", img.stats.words_used, img.stats.span_words
+            );
+        }
+
+        /// The accounting invariant holds at every window size the
+        /// fixpoint settles into, not just the roomy default.
+        #[test]
+        fn prop_words_used_never_exceeds_span(
+            seed_arcs in proptest::collection::vec((0u16..256, 0usize..6), 1..60),
+            banks in 1usize..5
+        ) {
+            let mut b = ProgramBuilder::new();
+            let states: Vec<_> = (0..6).map(|_| b.add_consuming_state()).collect();
+            b.set_entry(states[0]);
+            let mut seen = std::collections::HashSet::new();
+            for (i, (sym, tgt)) in seed_arcs.iter().enumerate() {
+                let from = states[i % states.len()];
+                if seen.insert((from, *sym)) {
+                    b.labeled_arc(from, *sym, Target::State(states[tgt % states.len()]), emit(*sym as u8));
+                }
+            }
+            let opts = LayoutOptions {
+                self_check: true,
+                ..LayoutOptions::with_banks(banks)
+            };
+            if let Ok(img) = b.assemble(&opts) {
+                prop_assert!(img.stats.words_used <= img.stats.span_words);
+                prop_assert!(img.stats.span_words <= banks * udp_isa::mem::BANK_WORDS);
             }
         }
     }

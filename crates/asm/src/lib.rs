@@ -41,6 +41,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod disasm;
 pub mod image;
@@ -48,8 +50,8 @@ pub mod ir;
 pub mod layout;
 pub mod text;
 
-pub use disasm::disassemble;
+pub use disasm::{classify_words, disassemble, WordKind};
 pub use image::{DecodedProgram, LaneInit, LayoutStats, ProgramImage};
 pub use ir::{Arc, DispatchSource, ProgramBuilder, StateId, StateNode, Target};
 pub use layout::{AsmError, LayoutOptions};
-pub use text::{parse_asm, ParseAsmError};
+pub use text::{emit_asm, parse_asm, ParseAsmError};

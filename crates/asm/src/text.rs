@@ -24,9 +24,10 @@
 //! fork states omit the symbol (`-> TARGET`). Actions use the
 //! `Display` syntax of [`udp_isa::Action`] separated by `;`.
 
-use crate::ir::{Arc, ProgramBuilder, StateId, Target};
+use crate::ir::{Arc, DispatchSource, ProgramBuilder, StateId, StateNode, Target};
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 use udp_isa::action::{Action, ActionFormat, Opcode};
 use udp_isa::Reg;
 
@@ -164,13 +165,17 @@ pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
         } else if let Some(rest) = line.strip_prefix("entry ") {
             entry = Some(rest.trim().to_string());
         } else if let Some(rest) = line.strip_prefix("state ") {
-            let (name, _) = rest.split_once(':').expect("validated in pass 1");
+            let (name, _) = rest
+                .split_once(':')
+                .ok_or_else(|| err(ln, "state header needs ':'".to_string()))?;
             current = Some(name.trim().to_string());
         } else if line.contains("->") {
             let state = current
                 .clone()
                 .ok_or_else(|| err(ln, "arc before any state header".to_string()))?;
-            let (lhs, rhs) = line.split_once("->").expect("checked");
+            let (lhs, rhs) = line
+                .split_once("->")
+                .ok_or_else(|| err(ln, "arc line needs '->'".to_string()))?;
             let lhs = lhs.trim();
             let symbol = if lhs.is_empty() {
                 None
@@ -240,17 +245,18 @@ pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
         let before = remaining.len();
         remaining.retain(|(name, decl, decl_line)| {
             let my_arcs: Vec<&SymArc> = arcs.iter().filter(|a| a.state == *name).collect();
-            let ready = my_arcs.iter().all(|a| resolve(&ids, &a.target).is_some());
-            if !ready {
-                return true;
-            }
-            let built: Vec<Arc> = my_arcs
+            let resolved: Option<Vec<Arc>> = my_arcs
                 .iter()
-                .map(|a| Arc {
-                    target: resolve(&ids, &a.target).expect("checked ready"),
-                    actions: a.actions.clone(),
+                .map(|a| {
+                    resolve(&ids, &a.target).map(|target| Arc {
+                        target,
+                        actions: a.actions.clone(),
+                    })
                 })
                 .collect();
+            let Some(built) = resolved else {
+                return true; // a target isn't materialized yet; retry next pass
+            };
             let id = match decl {
                 Decl::Pass { refill } => {
                     let arc = built.first().cloned().unwrap_or(Arc {
@@ -283,7 +289,7 @@ pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
         let decl = &decls
             .iter()
             .find(|(n, _, _)| *n == a.state)
-            .expect("pass 1")
+            .ok_or_else(|| err(a.line, format!("undeclared state {:?}", a.state)))?
             .1;
         if !matches!(decl, Decl::Consuming { .. }) {
             continue; // handled above
@@ -313,6 +319,101 @@ pub fn parse_asm(text: &str) -> Result<ProgramBuilder, ParseAsmError> {
         .ok_or_else(|| err(1, format!("unknown entry state {entry:?}")))?;
     b.set_entry(eid);
     Ok(b)
+}
+
+/// Renders a symbol for an arc line: printable ASCII becomes a char
+/// literal, everything else decimal.
+fn emit_symbol(s: u16) -> String {
+    match u8::try_from(s) {
+        // '\'' would collide with the literal syntax; ';' with comments;
+        // braces with the comment-stripper's action-block tracking.
+        Ok(b) if b.is_ascii_graphic() && !b"';{}".contains(&b) => {
+            format!("'{}'", b as char)
+        }
+        _ => s.to_string(),
+    }
+}
+
+fn emit_arc_line(out: &mut String, lhs: &str, arc: &Arc, names: &[String]) {
+    let target = match arc.target {
+        Target::Halt => "halt".to_string(),
+        Target::State(id) => names[id.index()].clone(),
+    };
+    let _ = write!(out, "  {lhs:<10} -> {target}");
+    if !arc.actions.is_empty() {
+        let body: Vec<String> = arc.actions.iter().map(|a| a.to_string()).collect();
+        let _ = write!(out, " {{ {} }}", body.join("; "));
+    }
+    out.push('\n');
+}
+
+/// Emits a [`ProgramBuilder`] as assembly text that [`parse_asm`]
+/// accepts, closing the translator → text → builder loop.
+///
+/// States are named `s0..sN` in builder order. Reparsing yields an
+/// equivalent program — same state, arc, and action counts, and an
+/// image that verifies identically — though not necessarily identical
+/// word placement, because `parse_asm` materializes pass/fork states
+/// after consuming ones.
+///
+/// ```
+/// use udp_asm::{emit_asm, parse_asm, ProgramBuilder, Target};
+/// let mut b = ProgramBuilder::new();
+/// let s = b.add_consuming_state();
+/// b.set_entry(s);
+/// b.labeled_arc(s, b'a' as u16, Target::State(s), vec![]);
+/// b.fallback_arc(s, Target::Halt, vec![]);
+/// let text = emit_asm(&b);
+/// let b2 = parse_asm(&text).unwrap();
+/// assert_eq!(b2.state_count(), 1);
+/// assert_eq!(b2.arc_count(), 2);
+/// ```
+pub fn emit_asm(builder: &ProgramBuilder) -> String {
+    let names: Vec<String> = (0..builder.state_count())
+        .map(|i| format!("s{i}"))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "symbols {}", builder.symbol_bits());
+    for (i, name) in names.iter().enumerate() {
+        let node = builder.state(StateId(i as u32));
+        out.push('\n');
+        match node {
+            StateNode::Consuming {
+                source,
+                arcs,
+                fallback,
+            } => {
+                let qual = match source {
+                    DispatchSource::Stream => "",
+                    DispatchSource::Register => " flagged",
+                };
+                let _ = writeln!(out, "state {name}:{qual}");
+                let mut sorted: Vec<&(u16, Arc)> = arcs.iter().collect();
+                sorted.sort_by_key(|(s, _)| *s);
+                for (sym, arc) in sorted {
+                    emit_arc_line(&mut out, &emit_symbol(*sym), arc, &names);
+                }
+                if let Some(fb) = fallback {
+                    emit_arc_line(&mut out, "fallback", fb, &names);
+                }
+            }
+            StateNode::Pass { refill, arc } => {
+                let _ = writeln!(out, "state {name}: pass refill {refill}");
+                emit_arc_line(&mut out, "", arc, &names);
+            }
+            StateNode::Fork { arcs } => {
+                let _ = writeln!(out, "state {name}: fork");
+                for arc in arcs {
+                    emit_arc_line(&mut out, "", arc, &names);
+                }
+            }
+        }
+    }
+    if let Some(entry) = builder.entry() {
+        out.push('\n');
+        let _ = writeln!(out, "entry {}", names[entry.index()]);
+    }
+    out
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -533,6 +634,50 @@ entry start
         let src = "state s:\n  ';' -> s ; the semicolon byte\n  fallback -> s\nentry s";
         let b = parse_asm(src).unwrap();
         assert_eq!(b.arc_count(), 2);
+    }
+
+    #[test]
+    fn emit_round_trips_all_state_shapes() {
+        let src = r#"
+symbols 3
+state start:
+  0        -> leaf { AddI r3, r3, #1 }
+  1-2      -> start
+  fallback -> leaf
+state leaf: pass refill 1
+  -> probe { EmitB r0, r12, #82 }
+state probe: flagged
+  0 -> start
+  1 -> halt { Halt r0, r0, #5 }
+entry start
+"#;
+        let b = parse_asm(src).unwrap();
+        let text = emit_asm(&b);
+        let b2 = parse_asm(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(b2.state_count(), b.state_count());
+        assert_eq!(b2.arc_count(), b.arc_count());
+        assert_eq!(b2.symbol_bits(), b.symbol_bits());
+        // Emitting the reparse reproduces the text exactly: the emitter
+        // is a normal form.
+        assert_eq!(emit_asm(&b2), text);
+    }
+
+    #[test]
+    fn emit_quotes_printable_symbols_and_escapes_awkward_ones() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, b'a' as u16, Target::State(s), vec![]);
+        b.labeled_arc(s, b'\'' as u16, Target::State(s), vec![]);
+        b.labeled_arc(s, b';' as u16, Target::State(s), vec![]);
+        b.labeled_arc(s, 7, Target::State(s), vec![]);
+        b.fallback_arc(s, Target::Halt, vec![]);
+        let text = emit_asm(&b);
+        assert!(text.contains("'a'"));
+        assert!(text.contains("39 ")); // '\'' as decimal
+        assert!(text.contains("59 ")); // ';' as decimal
+        let b2 = parse_asm(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(b2.arc_count(), 5);
     }
 
     #[test]

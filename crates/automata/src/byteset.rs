@@ -70,6 +70,15 @@ impl ByteSet {
         self.limbs.iter().all(|&l| l == 0)
     }
 
+    /// The sole member, when the set holds exactly one byte.
+    pub fn single_byte(&self) -> Option<u8> {
+        if self.len() == 1 {
+            self.iter().next()
+        } else {
+            None
+        }
+    }
+
     /// Iterates members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
         (0u16..256)

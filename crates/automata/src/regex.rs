@@ -97,14 +97,16 @@ impl<'a> Parser<'a> {
     }
 
     fn alternation(&mut self) -> Result<Regex, ParseRegexError> {
-        let mut branches = vec![self.concat()?];
+        let first = self.concat()?;
+        let mut branches = Vec::new();
         while self.peek() == Some(b'|') {
             self.bump();
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 {
-            branches.pop().expect("one branch")
+        Ok(if branches.is_empty() {
+            first
         } else {
+            branches.insert(0, first);
             Regex::Alt(branches)
         })
     }
@@ -117,10 +119,13 @@ impl<'a> Parser<'a> {
             }
             items.push(self.repeat()?);
         }
-        Ok(match items.len() {
-            0 => Regex::Empty,
-            1 => items.pop().expect("one item"),
-            _ => Regex::Concat(items),
+        Ok(match items.pop() {
+            None => Regex::Empty,
+            Some(only) if items.is_empty() => only,
+            Some(last) => {
+                items.push(last);
+                Regex::Concat(items)
+            }
         })
     }
 
@@ -181,10 +186,13 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Ok(match items.len() {
-            0 => Regex::Empty,
-            1 => items.pop().expect("one item"),
-            _ => Regex::Concat(items),
+        Ok(match items.pop() {
+            None => Regex::Empty,
+            Some(only) if items.is_empty() => only,
+            Some(last) => {
+                items.push(last);
+                Regex::Concat(items)
+            }
         })
     }
 
@@ -196,10 +204,14 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected a number"));
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits")
-            .parse()
-            .map_err(|_| self.err("repetition count too large"))
+        let mut value: u32 = 0;
+        for &b in &self.bytes[start..self.pos] {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u32::from(b - b'0')))
+                .ok_or_else(|| self.err("repetition count too large"))?;
+        }
+        Ok(value)
     }
 
     fn atom(&mut self) -> Result<Regex, ParseRegexError> {
@@ -279,30 +291,31 @@ impl<'a> Parser<'a> {
                 _ => {}
             }
             first = false;
-            let lo_set = match self.bump().expect("peeked") {
-                b'\\' => self.escape()?,
-                b => ByteSet::single(b),
+            let lo_set = match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(b'\\') => self.escape()?,
+                Some(b) => ByteSet::single(b),
             };
             // Range only when the left side was a single byte.
-            if lo_set.len() == 1
-                && self.peek() == Some(b'-')
-                && self.bytes.get(self.pos + 1) != Some(&b']')
-            {
+            let range_lo =
+                if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                    lo_set.single_byte()
+                } else {
+                    None
+                };
+            if let Some(lo) = range_lo {
                 self.bump(); // '-'
                 let hi = match self.bump() {
                     Some(b'\\') => {
                         let s = self.escape()?;
-                        let mut bytes = s.iter();
-                        let (first, extra) = (bytes.next(), bytes.next());
-                        match (first, extra) {
-                            (Some(b), None) => b,
-                            _ => return Err(self.err("class range bound must be a single byte")),
+                        match s.single_byte() {
+                            Some(b) => b,
+                            None => return Err(self.err("class range bound must be a single byte")),
                         }
                     }
                     Some(b) => b,
                     None => return Err(self.err("unterminated class range")),
                 };
-                let lo = lo_set.iter().next().expect("single");
                 if hi < lo {
                     return Err(self.err("inverted class range"));
                 }

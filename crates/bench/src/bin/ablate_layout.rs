@@ -85,6 +85,7 @@ fn main() {
                 window_words: 64 * 4096,
                 share_actions: false,
                 uap_attach: true,
+                ..LayoutOptions::default()
             })
             .expect("size model");
         println!(

@@ -9,12 +9,15 @@
 //! never a panic and never a hang.
 //!
 //! ```text
-//! fault_fuzz [--iters N] [--seed 0xHEX|N]
+//! fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N]
 //! ```
 //!
 //! Prints a machine-readable `key=value` summary and exits nonzero if
-//! any case panicked; `scripts/ci.sh` runs it as a smoke gate with
-//! `--iters 200 --seed 0xDEC0DE`.
+//! any case panicked — or, with `--min-static-reject N`, if the
+//! `udp-verify` oracle rejected fewer than `N` corrupted images before
+//! execution (the usefulness invariant from DESIGN.md §9);
+//! `scripts/ci.sh` runs it as a smoke gate with `--iters 200
+//! --seed 0xDEC0DE --min-static-reject 1`.
 
 use udp_fault::run_plan;
 
@@ -29,9 +32,20 @@ fn parse_u64(s: &str) -> Option<u64> {
 fn main() {
     let mut iters: u64 = 1000;
     let mut seed: u64 = 0xDEC0DE;
+    let mut min_static_reject: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--min-static-reject" => {
+                min_static_reject =
+                    args.next()
+                        .as_deref()
+                        .and_then(parse_u64)
+                        .unwrap_or_else(|| {
+                            eprintln!("--min-static-reject needs a number");
+                            std::process::exit(2);
+                        });
+            }
             "--iters" => {
                 iters = args
                     .next()
@@ -53,7 +67,7 @@ fn main() {
                     });
             }
             "--help" | "-h" => {
-                eprintln!("usage: fault_fuzz [--iters N] [--seed 0xHEX|N]");
+                eprintln!("usage: fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N]");
                 return;
             }
             other => {
@@ -70,6 +84,14 @@ fn main() {
             "FAIL: {} invariant violation(s) — replay with --seed {:#x} and the case indices above",
             summary.panics(),
             seed
+        );
+        std::process::exit(1);
+    }
+    if summary.static_rejects() < min_static_reject {
+        eprintln!(
+            "FAIL: verifier statically rejected {} image mutation(s), below the --min-static-reject {} floor",
+            summary.static_rejects(),
+            min_static_reject
         );
         std::process::exit(1);
     }

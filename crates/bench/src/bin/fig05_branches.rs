@@ -230,6 +230,7 @@ fn main() {
                 window_words: banks * 4096 * 4,
                 share_actions: false,
                 uap_attach: true,
+                ..LayoutOptions::default()
             })
             .expect("size model");
         println!(

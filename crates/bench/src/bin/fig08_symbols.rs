@@ -69,6 +69,7 @@ fn main() {
                     window_words: 64 * 4096,
                     share_actions: true,
                     uap_attach: true,
+                    ..LayoutOptions::default()
                 })
                 .expect("size model fits device")
                 .stats

@@ -1,0 +1,104 @@
+//! Static-verification sweep over the full compiler corpus
+//! (DESIGN.md §9).
+//!
+//! Assembles every `udp_compilers::corpus` program at its smallest
+//! bank split, runs `udp-verify` over the image, and prints one
+//! machine-readable `key=value` line per program plus per-check and
+//! aggregate totals. Any `Error`-severity finding is a soundness
+//! violation — every corpus backend must verify clean — and the binary
+//! exits nonzero so `scripts/ci.sh` can gate on it.
+//!
+//! ```text
+//! verify [--annotate NAME]
+//! ```
+//!
+//! `--annotate NAME` additionally dumps the named program's annotated
+//! disassembly (findings attached to their words) for debugging.
+
+use udp_compilers::corpus::{assemble_smallest, corpus};
+use udp_verify::{annotate, verify_image, Check, Severity, VerifyOptions};
+
+fn main() {
+    let mut annotate_name: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--annotate" => {
+                annotate_name = args.next().or_else(|| {
+                    eprintln!("--annotate needs a program name");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: verify [--annotate NAME]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let entries = corpus();
+    let mut total_errors = 0usize;
+    let mut total_warns = 0usize;
+    let mut per_check = [(0usize, 0usize); Check::ALL.len()];
+    let mut failed: Vec<String> = Vec::new();
+
+    for (name, pb) in &entries {
+        let img = match assemble_smallest(pb, 64) {
+            Ok(img) => img,
+            Err(e) => {
+                println!("program={name} assemble_error=\"{e}\"");
+                failed.push(name.clone());
+                continue;
+            }
+        };
+        let report = verify_image(&img, &VerifyOptions::default());
+        let errors = report.errors();
+        let warns = report.warnings();
+        total_errors += errors;
+        total_warns += warns;
+        for (i, check) in Check::ALL.iter().enumerate() {
+            for f in report.by_check(*check) {
+                match f.severity {
+                    Severity::Error => per_check[i].0 += 1,
+                    Severity::Warn => per_check[i].1 += 1,
+                }
+            }
+        }
+        println!(
+            "program={name} words={} states={} errors={errors} warns={warns}",
+            img.stats.words_used,
+            img.state_bases.len()
+        );
+        if errors > 0 {
+            failed.push(name.clone());
+            for f in &report.findings {
+                println!("  {f}");
+            }
+        }
+        if annotate_name.as_deref() == Some(name.as_str()) {
+            println!("{}", annotate(&img, &report));
+        }
+    }
+
+    for (i, check) in Check::ALL.iter().enumerate() {
+        println!(
+            "check={} errors={} warns={}",
+            check.name(),
+            per_check[i].0,
+            per_check[i].1
+        );
+    }
+    println!(
+        "verify programs={} errors={total_errors} warns={total_warns}",
+        entries.len()
+    );
+    if total_errors > 0 || !failed.is_empty() {
+        eprintln!("FAIL: corpus programs failed verification: {failed:?}");
+        std::process::exit(1);
+    }
+    println!("ok: all {} corpus programs verify clean", entries.len());
+}

@@ -52,11 +52,10 @@ fn dfa_to_udp_opts(dfa: &Dfa, compress: bool) -> ProgramBuilder {
         }
         let majority = counts.iter().max_by_key(|(_, &c)| c).map(|(&t, &c)| (t, c));
         // Use a fallback only when it actually compresses.
-        let use_fallback = compress && matches!(majority, Some((_, c)) if c >= 8);
+        let fallback_majority = majority.filter(|&(_, c)| compress && c >= 8);
         let actions_into =
             |t: u32| -> Vec<Action> { dfa.accepts(t).iter().map(|&id| report(id)).collect() };
-        if use_fallback {
-            let (maj, _) = majority.expect("checked");
+        if let Some((maj, _)) = fallback_majority {
             b.fallback_arc(sid, Target::State(states[maj as usize]), actions_into(maj));
             for (byte, &t) in row.iter().enumerate() {
                 if t == maj {

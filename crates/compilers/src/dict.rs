@@ -61,7 +61,8 @@ pub fn stage_dictionary(dictionary: &[Vec<u8>]) -> DictStaging {
         let mut slot = (dict_hash(v) >> (32 - k)) as usize;
         loop {
             let off = slot * 8;
-            if u32::from_le_bytes(table[off..off + 4].try_into().expect("4")) == 0 {
+            if u32::from_le_bytes([table[off], table[off + 1], table[off + 2], table[off + 3]]) == 0
+            {
                 table[off..off + 4].copy_from_slice(&(code as u32 + 1).to_le_bytes());
                 table[off + 4..off + 8].copy_from_slice(&addr.to_le_bytes());
                 break;

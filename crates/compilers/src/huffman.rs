@@ -414,6 +414,7 @@ mod tests {
             window_words: 64 * 4096,
             share_actions: true,
             uap_attach: true, // size model only: SsF action fan-out is huge
+            ..LayoutOptions::default()
         };
         let a = ssf.assemble(&opts).unwrap().stats;
         let c = ssref.assemble(&LayoutOptions::with_banks(8)).unwrap().stats;

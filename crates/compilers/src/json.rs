@@ -196,6 +196,9 @@ pub fn json_to_udp() -> ProgramBuilder {
 /// # Panics
 ///
 /// Panics if `input` is not lexically valid JSON (compat mode).
+// Allowlisted from the crate's `expect_used` gate: the panic is this
+// reference helper's documented contract for invalid test inputs.
+#[allow(clippy::expect_used)]
 pub fn baseline_framing(input: &[u8]) -> Vec<u8> {
     let toks = udp_codecs::json::JsonTokenizer::compat()
         .tokenize(input)

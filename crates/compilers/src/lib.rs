@@ -20,9 +20,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod automata;
 pub mod bitpack;
+pub mod corpus;
 pub mod counting;
 pub mod csv;
 pub mod dict;

@@ -216,6 +216,9 @@ pub fn xml_to_udp() -> ProgramBuilder {
 /// # Panics
 ///
 /// Panics if `input` is not valid subset-XML.
+// Allowlisted from the crate's `expect_used` gate: the panic is this
+// reference helper's documented contract for invalid test inputs.
+#[allow(clippy::expect_used)]
 pub fn baseline_framing(input: &[u8]) -> Vec<u8> {
     let toks = udp_codecs::xml::XmlTokenizer::compat()
         .tokenize(input)

@@ -1,0 +1,78 @@
+//! Text round-trip over every translator backend: builder → `emit_asm`
+//! → `parse_asm` → assemble must preserve the program.
+//!
+//! `parse_asm` materializes pass/fork states after consuming ones, so
+//! word placement may differ between the two assemblies; the invariants
+//! that must hold are IR shape (state/arc counts, symbol width), layout
+//! statistics that don't depend on placement order, and the verifier's
+//! verdict on both images.
+
+use udp_asm::{emit_asm, parse_asm};
+use udp_compilers::corpus::{assemble_smallest, corpus};
+use udp_verify::{verify_image, VerifyOptions};
+
+#[test]
+fn every_corpus_program_round_trips_through_text() {
+    let entries = corpus();
+    assert!(entries.len() >= 20);
+    for (name, pb) in &entries {
+        let text = emit_asm(pb);
+        let reparsed =
+            parse_asm(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{text}"));
+
+        assert_eq!(
+            reparsed.state_count(),
+            pb.state_count(),
+            "{name}: state count drifted through text"
+        );
+        assert_eq!(
+            reparsed.arc_count(),
+            pb.arc_count(),
+            "{name}: arc count drifted through text"
+        );
+        assert_eq!(
+            reparsed.symbol_bits(),
+            pb.symbol_bits(),
+            "{name}: symbol width drifted through text"
+        );
+
+        let img = assemble_smallest(pb, 64).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let img2 =
+            assemble_smallest(&reparsed, 64).unwrap_or_else(|e| panic!("{name} reparsed: {e}"));
+        assert_eq!(
+            img2.stats.n_states, img.stats.n_states,
+            "{name}: assembled state count drifted"
+        );
+        assert_eq!(
+            img2.stats.n_transition_words, img.stats.n_transition_words,
+            "{name}: transition word count drifted"
+        );
+        assert_eq!(
+            img2.stats.n_action_words, img.stats.n_action_words,
+            "{name}: action word count drifted"
+        );
+
+        let report = verify_image(&img2, &VerifyOptions::default());
+        assert!(
+            report.errors() == 0,
+            "{name}: reparsed image fails verification:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn emitted_text_is_a_normal_form() {
+    // emit(parse(emit(pb))) == emit(pb): one hop into text is enough to
+    // reach the emitter's canonical spelling.
+    for (name, pb) in &corpus() {
+        let text = emit_asm(pb);
+        let reparsed = parse_asm(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let text2 = emit_asm(&reparsed);
+        let reparsed2 = parse_asm(&text2).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            emit_asm(&reparsed2),
+            text2,
+            "{name}: emitter did not reach a fixpoint"
+        );
+    }
+}

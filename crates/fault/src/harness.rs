@@ -49,6 +49,10 @@ pub struct CaseReport {
     pub case: FaultCase,
     /// How it ended.
     pub outcome: Outcome,
+    /// Whether `udp-verify` flagged the corrupted image with at least
+    /// one `Error` finding before the dynamic run. Only image-mutation
+    /// modes consult the oracle; always `false` elsewhere.
+    pub static_reject: bool,
     /// Host wall time for the case, microseconds (hang telemetry).
     pub micros: u128,
 }
@@ -62,6 +66,9 @@ pub struct ModeStats {
     pub degraded: u64,
     /// Cases that panicked (invariant violations).
     pub panicked: u64,
+    /// Cases the static verifier rejected before execution (the
+    /// usefulness half of `udp-verify`'s tested invariants).
+    pub static_reject: u64,
 }
 
 /// Aggregate result of a fuzzing run, printable as the
@@ -85,6 +92,11 @@ impl FuzzSummary {
     pub fn panics(&self) -> u64 {
         self.stats.iter().map(|(_, s)| s.panicked).sum()
     }
+
+    /// Total cases the static verifier rejected before execution.
+    pub fn static_rejects(&self) -> u64 {
+        self.stats.iter().map(|(_, s)| s.static_reject).sum()
+    }
 }
 
 impl std::fmt::Display for FuzzSummary {
@@ -100,11 +112,12 @@ impl std::fmt::Display for FuzzSummary {
         for (mode, s) in &self.stats {
             writeln!(
                 f,
-                "mode={} clean={} degraded={} panicked={}",
+                "mode={} clean={} degraded={} panicked={} static_reject={}",
                 mode.name(),
                 s.clean,
                 s.degraded,
-                s.panicked
+                s.panicked,
+                s.static_reject
             )?;
         }
         for v in &self.violations {
@@ -221,18 +234,29 @@ fn drive_compressed(bytes: &[u8]) -> Outcome {
     codec.max_with(etl)
 }
 
-fn run_case_inner(case: &FaultCase) -> Outcome {
+/// Static-verification oracle: does `udp-verify` reject this image
+/// with at least one `Error` finding? Warnings don't count — a clean
+/// program carries warnings (dead states) under mutation too rarely to
+/// be a rejection signal, and the run invariant only concerns errors.
+fn static_oracle(image: &ProgramImage) -> bool {
+    udp_verify::verify_image(image, &udp_verify::VerifyOptions::default()).errors() > 0
+}
+
+fn run_case_inner(case: &FaultCase) -> (Outcome, bool) {
     let mut rng = SmallRng::seed_from_u64(case.seed);
-    match case.mode {
+    let mut static_reject = false;
+    let outcome = match case.mode {
         FaultMode::ImageBitFlip => {
             let mut img = base_image().clone();
             let flips = 1 + rng.gen_range(0..16usize);
             mutate::flip_word_bits(&mut img.words, flips, &mut rng);
+            static_reject = static_oracle(&img);
             drive_image(&img, b"alpha|beta|1234\ngamma|delta|5678\n")
         }
         FaultMode::ImageTruncate => {
             let mut img = base_image().clone();
             mutate::truncate_image(&mut img, &mut rng);
+            static_reject = static_oracle(&img);
             drive_image(&img, b"alpha|beta|1234\ngamma|delta|5678\n")
         }
         FaultMode::StreamTruncate => {
@@ -352,27 +376,30 @@ fn run_case_inner(case: &FaultCase) -> Outcome {
                 Err(e) => Outcome::Degraded(format!("sim error: {e}")),
             }
         }
-    }
+    };
+    (outcome, static_reject)
 }
 
 /// Executes one case under `catch_unwind`, classifying any escaped
 /// panic as [`Outcome::Panicked`]. Deterministic given `case.seed`.
 pub fn run_case(case: &FaultCase) -> CaseReport {
     let start = Instant::now();
-    let outcome = match panic::catch_unwind(AssertUnwindSafe(|| run_case_inner(case))) {
-        Ok(outcome) => outcome,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Outcome::Panicked(msg)
-        }
-    };
+    let (outcome, static_reject) =
+        match panic::catch_unwind(AssertUnwindSafe(|| run_case_inner(case))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                (Outcome::Panicked(msg), false)
+            }
+        };
     CaseReport {
         case: *case,
         outcome,
+        static_reject,
         micros: start.elapsed().as_micros(),
     }
 }
@@ -399,6 +426,9 @@ pub fn run_plan(seed: u64, iters: u64) -> FuzzSummary {
                 Outcome::Clean => s.clean += 1,
                 Outcome::Degraded(_) => s.degraded += 1,
                 Outcome::Panicked(_) => s.panicked += 1,
+            }
+            if report.static_reject {
+                s.static_reject += 1;
             }
         }
         if matches!(report.outcome, Outcome::Panicked(_)) {
@@ -439,6 +469,24 @@ mod tests {
             assert_eq!(sa.clean, sb.clean);
             assert_eq!(sa.degraded, sb.degraded);
             assert_eq!(sa.panicked, sb.panicked);
+        }
+    }
+
+    #[test]
+    fn verifier_statically_rejects_image_mutations() {
+        // The usefulness invariant: at the CI seed, a nonzero fraction
+        // of corrupted images is rejected by udp-verify before any lane
+        // executes — and the oracle only ever fires on image modes.
+        let summary = run_plan(0xDEC0DE, 40);
+        assert!(
+            summary.static_rejects() > 0,
+            "expected static rejects at seed 0xDEC0DE:\n{summary}"
+        );
+        for (mode, s) in &summary.stats {
+            let image_mode = matches!(mode, FaultMode::ImageBitFlip | FaultMode::ImageTruncate);
+            if !image_mode {
+                assert_eq!(s.static_reject, 0, "oracle fired on {}", mode.name());
+            }
         }
     }
 

@@ -41,6 +41,9 @@ pub struct UdpRunOptions {
     /// execution because their lanes may genuinely communicate through
     /// memory.
     pub parallel: bool,
+    /// Run `udp-verify`'s static checks over the image before loading
+    /// it; a report with errors aborts the run as [`SimError::Verify`].
+    pub verify: bool,
 }
 
 impl Default for UdpRunOptions {
@@ -50,6 +53,7 @@ impl Default for UdpRunOptions {
             banks_per_lane: 1,
             lane: LaneConfig::default(),
             parallel: false,
+            verify: false,
         }
     }
 }
@@ -180,6 +184,13 @@ impl Udp {
                 window_words,
                 banks_per_lane: opts.banks_per_lane,
             });
+        }
+        if opts.verify {
+            let vopts = udp_verify::VerifyOptions::with_banks(opts.banks_per_lane);
+            let report = udp_verify::verify_image(image, &vopts);
+            if !report.is_clean() {
+                return Err(SimError::Verify(report));
+            }
         }
         let lanes_cap = (NUM_BANKS / opts.banks_per_lane).max(1);
         let decoded = Arc::new(image.predecode());
@@ -704,6 +715,36 @@ mod tests {
         // Wall cycles = slowest lane.
         let max = rep.lanes.iter().map(|l| l.cycles).max().unwrap();
         assert_eq!(rep.wall_cycles, max);
+    }
+
+    #[test]
+    fn verify_preflight_accepts_clean_and_rejects_corrupt_images() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let opts = UdpRunOptions {
+            verify: true,
+            ..UdpRunOptions::default()
+        };
+        let inputs: Vec<&[u8]> = vec![b"aa"];
+        udp.try_run_data_parallel(&img, &inputs, &Staging::default(), &opts)
+            .expect("clean image passes pre-flight");
+
+        let mut broken = img.clone();
+        let dup = broken.state_bases[0];
+        broken.state_bases.push(dup);
+        match udp.try_run_data_parallel(&broken, &inputs, &Staging::default(), &opts) {
+            Err(SimError::Verify(report)) => assert!(report.errors() > 0),
+            other => panic!("expected SimError::Verify, got {other:?}"),
+        }
+        // Without the flag the same image still loads (dynamic behavior
+        // is the fault harness's business, not the loader's).
+        udp.try_run_data_parallel(
+            &broken,
+            &inputs,
+            &Staging::default(),
+            &UdpRunOptions::default(),
+        )
+        .expect("pre-flight is opt-in");
     }
 
     #[test]

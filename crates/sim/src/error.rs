@@ -33,6 +33,9 @@ pub enum SimError {
     },
     /// The image was assembled size-model-only and cannot execute.
     NotExecutable,
+    /// Pre-flight static verification (requested via
+    /// [`crate::UdpRunOptions::verify`]) found errors in the image.
+    Verify(udp_verify::Report),
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +56,9 @@ impl fmt::Display for SimError {
             ),
             SimError::NotExecutable => {
                 write!(f, "size-model-only image cannot run")
+            }
+            SimError::Verify(report) => {
+                write!(f, "static verification rejected the image: {report}")
             }
         }
     }

@@ -1,0 +1,777 @@
+//! The six check passes (DESIGN.md §9).
+//!
+//! Every pass is a pure function from the decoded [`ProgramGraph`] (plus
+//! the shared reachability solution) to findings. Severity policy: a
+//! condition that the engine would turn into a fault, a wrong dispatch,
+//! or an unbounded loop is an `Error`; stylistic or possibly-intentional
+//! conditions (dead states, reads of architecturally-zero registers that
+//! are assigned elsewhere, truncated immediates) are `Warn`. The
+//! soundness invariant — tested over the full `udp-compilers` corpus —
+//! is that assembler output never produces an `Error`.
+
+use crate::finding::{Check, Report};
+use crate::graph::{action_reads, action_write, ArcInfo, Claim, ProgramGraph, Slot};
+use crate::VerifyOptions;
+use std::collections::{HashMap, HashSet, VecDeque};
+use udp_asm::disasm::{classify_words, WordKind};
+use udp_asm::ProgramImage;
+use udp_isa::action::Opcode;
+use udp_isa::transition::ExecKind;
+use udp_isa::{AddressingMode, Reg, BANK_WORDS, FALLBACK_SLOT, NUM_BANKS};
+
+/// The reachability solution shared by several passes.
+pub struct ReachInfo {
+    /// Per state: reachable from the entry by some dispatch path.
+    pub reached: Vec<bool>,
+    /// Per state: the [`ExecKind`] incoming arcs enter it with (first
+    /// kind seen; conflicts are recorded separately).
+    pub entered: Vec<Option<ExecKind>>,
+    /// States entered with two different kinds: `(state, first, second)`.
+    pub kind_conflicts: Vec<(usize, ExecKind, ExecKind)>,
+    /// Reachable arcs whose flat target is inside the image but not a
+    /// state base.
+    pub bad_targets: Vec<(usize, u32)>,
+    /// Reachable arcs whose flat target lies outside the image.
+    pub oob_targets: Vec<(usize, u32)>,
+    /// Per arc: a *phantom* — a labeled-slot word decoded under a state
+    /// that is never entered by symbol dispatch. EffCLiP interleaves
+    /// state footprints, so a foreign word (another state's fallback, a
+    /// refill link) may land where `base + symbol` of a Pass-entered
+    /// neighbour would read it — but that slot is never read, so the
+    /// alias is benign and every pass must ignore the arc.
+    pub phantom: Vec<bool>,
+}
+
+/// True when a state's labeled range is actually read at runtime.
+fn symbol_entered(entered: Option<ExecKind>) -> bool {
+    matches!(entered, Some(ExecKind::Consume | ExecKind::Flagged))
+}
+
+/// The number of words a lane can address given the options.
+pub fn window_words(image: &ProgramImage, opts: &VerifyOptions) -> usize {
+    let banks = match opts.addressing {
+        AddressingMode::Local => 1,
+        AddressingMode::Global => NUM_BANKS,
+        AddressingMode::Restricted => {
+            if opts.banks_per_lane == 0 {
+                image.words.len().div_ceil(BANK_WORDS).clamp(1, NUM_BANKS)
+            } else {
+                opts.banks_per_lane.min(NUM_BANKS)
+            }
+        }
+    };
+    banks * BANK_WORDS
+}
+
+/// Breadth-first dispatch walk from the entry state.
+pub fn compute_reach(image: &ProgramImage, graph: &ProgramGraph) -> ReachInfo {
+    let n = graph.states.len();
+    let mut info = ReachInfo {
+        reached: vec![false; n],
+        entered: vec![None; n],
+        kind_conflicts: Vec::new(),
+        bad_targets: Vec::new(),
+        oob_targets: Vec::new(),
+        phantom: vec![false; graph.arcs.len()],
+    };
+    let mark_phantoms = |info: &mut ReachInfo| {
+        for (ai, arc) in graph.arcs.iter().enumerate() {
+            info.phantom[ai] =
+                matches!(arc.slot, Slot::Labeled(_)) && !symbol_entered(info.entered[arc.state]);
+        }
+    };
+    let Some(&entry) = graph.base_index.get(&image.entry_base) else {
+        mark_phantoms(&mut info);
+        return info;
+    };
+    let mut queue = VecDeque::new();
+    info.reached[entry] = true;
+    info.entered[entry] = Some(image.entry_kind);
+    queue.push_back(entry);
+    while let Some(s) = queue.pop_front() {
+        let follow_labeled = symbol_entered(info.entered[s]);
+        for &ai in &graph.states[s].arcs {
+            let arc = &graph.arcs[ai];
+            if matches!(arc.slot, Slot::Labeled(_)) && !follow_labeled {
+                continue;
+            }
+            let Some(t) = arc.flat_target else { continue };
+            if t as usize >= image.words.len() {
+                info.oob_targets.push((ai, t));
+                continue;
+            }
+            let Some(&ti) = graph.base_index.get(&t) else {
+                info.bad_targets.push((ai, t));
+                continue;
+            };
+            let kind = arc.word.kind();
+            match info.entered[ti] {
+                None => info.entered[ti] = Some(kind),
+                Some(prev)
+                    if prev != kind && !info.kind_conflicts.iter().any(|&(st, _, _)| st == ti) =>
+                {
+                    info.kind_conflicts.push((ti, prev, kind));
+                }
+                _ => {}
+            }
+            if !info.reached[ti] {
+                info.reached[ti] = true;
+                queue.push_back(ti);
+            }
+        }
+    }
+    mark_phantoms(&mut info);
+    info
+}
+
+/// Check 1 — decode totality and word-kind consistency.
+pub fn totality(
+    image: &ProgramImage,
+    graph: &ProgramGraph,
+    reach: &ReachInfo,
+    report: &mut Report,
+) {
+    // Cross-check the graph's claims against the disassembler's
+    // independent classification: a word both passes agree is used must
+    // be used *the same way*. Phantom labeled slots (never read — their
+    // state is not symbol-entered) are exempt: both decoders attribute
+    // them eagerly, but the engine never will.
+    let phantom_addrs: HashSet<u32> = graph
+        .arcs
+        .iter()
+        .enumerate()
+        .filter(|&(ai, _)| reach.phantom[ai])
+        .map(|(_, a)| a.addr)
+        .collect();
+    let kinds = classify_words(image);
+    for (&addr, kind) in &kinds {
+        if phantom_addrs.contains(&addr) {
+            continue;
+        }
+        match (kind, graph.claims.get(&addr)) {
+            (WordKind::Labeled { .. } | WordKind::Fallback { .. }, Some(Claim::ActionWord)) => {
+                report.error(
+                    Check::Totality,
+                    Some(addr),
+                    "word classified as a transition but executed as an action".into(),
+                );
+            }
+            (WordKind::ActionWord, Some(Claim::Transition(_))) => {
+                report.error(
+                    Check::Totality,
+                    Some(addr),
+                    "word classified as an action but dispatched as a transition".into(),
+                );
+            }
+            _ => {}
+        }
+    }
+    // Unreferenced nonzero words: the assembler emits nothing it does
+    // not own, so orphans indicate corruption (or hand-patched images).
+    for (addr, &raw) in image.words.iter().enumerate() {
+        if raw != 0 && !graph.claims.contains_key(&(addr as u32)) {
+            report.warn(
+                Check::Totality,
+                Some(addr as u32),
+                format!("unreferenced word {raw:#010x}"),
+            );
+        }
+    }
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] {
+            continue;
+        }
+        if let Some(block) = &arc.block {
+            if let Some(addr) = block.undecodable {
+                report.error(
+                    Check::Totality,
+                    Some(addr),
+                    format!(
+                        "undecodable action word in block at {:#06x} (arc at {:#06x})",
+                        block.start, arc.addr
+                    ),
+                );
+            }
+            if block.unterminated {
+                report.error(
+                    Check::Totality,
+                    Some(block.start),
+                    format!(
+                        "action block at {:#06x} has no `last` terminator inside the image",
+                        block.start
+                    ),
+                );
+            }
+        }
+        // Symbol-width reconfiguration outside the architectural 1..=8
+        // range faults the lane the moment it executes.
+        for &(addr, a) in arc.block.iter().flat_map(|b| &b.actions) {
+            if matches!(a.op, Opcode::SetSym | Opcode::SetSymT) && !(1..=8).contains(&a.imm) {
+                report.error(
+                    Check::Totality,
+                    Some(addr),
+                    format!(
+                        "{} {} is outside the architectural 1..=8 range",
+                        a.op, a.imm
+                    ),
+                );
+            }
+        }
+    }
+    for (si, st) in graph.states.iter().enumerate() {
+        if st.chain_unterminated {
+            report.error(
+                Check::Totality,
+                Some(st.base + FALLBACK_SLOT),
+                format!("epsilon chain of state {:#06x} never terminates", st.base),
+            );
+        }
+        match reach.entered[si] {
+            Some(ExecKind::Pass) if st.chain_len == 0 => {
+                report.error(
+                    Check::Totality,
+                    Some(st.base + FALLBACK_SLOT),
+                    format!(
+                        "state {:#06x} is entered as Pass but its fallback slot is empty",
+                        st.base
+                    ),
+                );
+            }
+            Some(ExecKind::Consume | ExecKind::Flagged) if !st.has_labeled && st.chain_len == 0 => {
+                report.warn(
+                    Check::Totality,
+                    Some(st.base),
+                    format!(
+                        "state {:#06x} dispatches but owns no transition words (dead end)",
+                        st.base
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    for &(si, a, b) in &reach.kind_conflicts {
+        report.error(
+            Check::Totality,
+            Some(graph.states[si].base),
+            format!(
+                "state {:#06x} is entered both as {a:?} and as {b:?}",
+                graph.states[si].base
+            ),
+        );
+    }
+}
+
+/// Check 2 — dispatch-target bounds and reachability.
+pub fn reachability(
+    image: &ProgramImage,
+    graph: &ProgramGraph,
+    reach: &ReachInfo,
+    report: &mut Report,
+) {
+    if !graph.base_index.contains_key(&image.entry_base) {
+        report.error(
+            Check::Reachability,
+            Some(image.entry_base),
+            format!("entry {:#06x} is not a placed state", image.entry_base),
+        );
+        return;
+    }
+    for &(ai, t) in &reach.oob_targets {
+        let arc = &graph.arcs[ai];
+        report.error(
+            Check::Reachability,
+            Some(arc.addr),
+            format!("dispatch target {t:#06x} lies outside the image"),
+        );
+    }
+    for &(ai, t) in &reach.bad_targets {
+        let arc = &graph.arcs[ai];
+        report.error(
+            Check::Reachability,
+            Some(arc.addr),
+            format!("dispatch target {t:#06x} is not a state base"),
+        );
+    }
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] {
+            continue;
+        }
+        if arc.set_base_ambiguous && reach.reached[arc.state] {
+            report.warn(
+                Check::Reachability,
+                Some(arc.addr),
+                "target depends on a conditionally-executed SetBase; not statically resolvable"
+                    .into(),
+            );
+        }
+    }
+    for (si, st) in graph.states.iter().enumerate() {
+        if !reach.reached[si] {
+            report.warn(
+                Check::Reachability,
+                Some(st.base),
+                format!("state {:#06x} is unreachable from the entry", st.base),
+            );
+        }
+    }
+}
+
+/// Check 3 — livelock: cycles of forced pass-through states where no
+/// edge can consume stream input or halt.
+///
+/// Restricted to states entered *only* as `Pass` with a single forced
+/// successor: flagged-dispatch loops (dictionary/compressor probing) and
+/// consuming self-loops are legitimate and excluded.
+pub fn livelock(graph: &ProgramGraph, reach: &ReachInfo, report: &mut Report) {
+    let n = graph.states.len();
+    // succ[s] = forced successor state index, when s qualifies as a node.
+    let mut succ: Vec<Option<usize>> = vec![None; n];
+    for (si, st) in graph.states.iter().enumerate() {
+        if !reach.reached[si]
+            || reach.entered[si] != Some(ExecKind::Pass)
+            || reach.kind_conflicts.iter().any(|&(s, _, _)| s == si)
+            || st.chain_len != 1
+        {
+            continue;
+        }
+        let Some(&ai) = st
+            .arcs
+            .iter()
+            .find(|&&a| graph.arcs[a].slot == Slot::Fallback)
+        else {
+            continue;
+        };
+        let arc = &graph.arcs[ai];
+        if arc.word.kind() == ExecKind::Halt || arc.may_consume || arc.may_halt {
+            continue;
+        }
+        succ[si] = arc
+            .flat_target
+            .and_then(|t| graph.base_index.get(&t).copied());
+    }
+    // Cycle detection over the forced-successor partial function.
+    let mut color = vec![0u8; n]; // 0 unvisited, 1 on path, 2 done
+    for start in 0..n {
+        if color[start] != 0 || succ[start].is_none() {
+            continue;
+        }
+        let mut path: Vec<usize> = Vec::new();
+        let mut s = start;
+        loop {
+            if color[s] == 1 {
+                // Found a cycle: report it once, rooted at `s`.
+                let pos = path.iter().position(|&p| p == s).unwrap_or(0);
+                let cycle: Vec<String> = path[pos..]
+                    .iter()
+                    .map(|&p| format!("{:#06x}", graph.states[p].base))
+                    .collect();
+                report.error(
+                    Check::Livelock,
+                    Some(graph.states[s].base + FALLBACK_SLOT),
+                    format!(
+                        "pass-through cycle consumes no input and never halts: {}",
+                        cycle.join(" -> ")
+                    ),
+                );
+                break;
+            }
+            if color[s] == 2 {
+                break;
+            }
+            color[s] = 1;
+            path.push(s);
+            match succ[s] {
+                Some(next) => s = next,
+                None => break,
+            }
+        }
+        for p in path {
+            color[p] = 2;
+        }
+    }
+}
+
+/// Per-arc definite (unpredicated) register writes, as a bitmask.
+fn arc_defs(arc: &ArcInfo) -> u16 {
+    let mut defs = 0u16;
+    let mut shadow = 0u8;
+    for &(_, a) in arc.block.iter().flat_map(|b| &b.actions) {
+        let conditional = shadow > 0;
+        shadow = shadow.saturating_sub(1);
+        if matches!(a.op, Opcode::SkipIfZ | Opcode::SkipIfNz) {
+            shadow = a.imm1;
+        }
+        if !conditional {
+            if let Some(w) = action_write(&a) {
+                defs |= 1 << w.index();
+            }
+        }
+    }
+    defs
+}
+
+/// Check 4 — scalar-register use-before-def dataflow.
+///
+/// All registers power on as zero, and kernels deliberately read
+/// never-assigned registers as a zero source — so a read only warns when
+/// the register *is* assigned somewhere in the program but no definition
+/// reaches this use on some path (definite-assignment meet-over-paths).
+pub fn use_before_def(
+    image: &ProgramImage,
+    graph: &ProgramGraph,
+    reach: &ReachInfo,
+    report: &mut Report,
+) {
+    let n = graph.states.len();
+    let mut ever_written = ever_written_mask(graph, reach);
+    // R13 is latched by every Consume/Flagged dispatch.
+    if reach
+        .entered
+        .iter()
+        .flatten()
+        .any(|k| matches!(k, ExecKind::Consume | ExecKind::Flagged))
+    {
+        ever_written |= 1 << Reg::R13.index();
+    }
+
+    let start_defined = |inn: u16, si: usize| -> u16 {
+        match reach.entered[si] {
+            Some(ExecKind::Consume | ExecKind::Flagged) => inn | (1 << Reg::R13.index()),
+            _ => inn,
+        }
+    };
+
+    // Meet-over-paths definite assignment: IN starts at ⊤ (all defined)
+    // everywhere except the entry, which starts with only the R15 alias.
+    let all = u16::MAX;
+    let mut inn: Vec<u16> = vec![all; n];
+    let Some(&entry) = graph.base_index.get(&image.entry_base) else {
+        return;
+    };
+    inn[entry] = 1 << Reg::R15.index();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(entry);
+    while let Some(s) = queue.pop_front() {
+        let out_base = start_defined(inn[s], s);
+        for &ai in &graph.states[s].arcs {
+            if reach.phantom[ai] {
+                continue;
+            }
+            let arc = &graph.arcs[ai];
+            let out = out_base | arc_defs(arc);
+            let Some(ti) = arc
+                .flat_target
+                .and_then(|t| graph.base_index.get(&t).copied())
+            else {
+                continue;
+            };
+            let met = inn[ti] & out;
+            if met != inn[ti] {
+                inn[ti] = met;
+                queue.push_back(ti);
+            }
+        }
+    }
+
+    // Walk every reachable block against its final IN set.
+    let mut seen: HashSet<(u32, u8)> = HashSet::new();
+    for (si, st) in graph.states.iter().enumerate() {
+        if !reach.reached[si] {
+            continue;
+        }
+        if reach.entered[si] == Some(ExecKind::Flagged) {
+            let r0 = 1 << Reg::R0.index();
+            if inn[si] & r0 == 0 && ever_written & r0 != 0 {
+                report.warn(
+                    Check::UseBeforeDef,
+                    Some(st.base),
+                    format!(
+                        "flagged dispatch at {:#06x} reads r0 before any definition reaches it",
+                        st.base
+                    ),
+                );
+            }
+        }
+        for &ai in &st.arcs {
+            if reach.phantom[ai] {
+                continue;
+            }
+            let arc = &graph.arcs[ai];
+            let mut defined = start_defined(inn[si], si);
+            let mut shadow = 0u8;
+            for &(addr, a) in arc.block.iter().flat_map(|b| &b.actions) {
+                let conditional = shadow > 0;
+                shadow = shadow.saturating_sub(1);
+                if matches!(a.op, Opcode::SkipIfZ | Opcode::SkipIfNz) {
+                    shadow = a.imm1;
+                }
+                for r in action_reads(&a) {
+                    let bit = 1u16 << r.index();
+                    if r != Reg::R15
+                        && defined & bit == 0
+                        && ever_written & bit != 0
+                        && seen.insert((addr, r.index()))
+                    {
+                        report.warn(
+                            Check::UseBeforeDef,
+                            Some(addr),
+                            format!("{} reads {r} before any definition reaches it", a.op),
+                        );
+                    }
+                }
+                if !conditional {
+                    if let Some(w) = action_write(&a) {
+                        defined |= 1 << w.index();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Union of every register the program assigns through action blocks
+/// (phantom arcs excluded — their blocks are never executed).
+fn ever_written_mask(graph: &ProgramGraph, reach: &ReachInfo) -> u16 {
+    let mut mask = 0u16;
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] {
+            continue;
+        }
+        for &(_, a) in arc.block.iter().flat_map(|b| &b.actions) {
+            if let Some(w) = action_write(&a) {
+                mask |= 1 << w.index();
+            }
+        }
+    }
+    mask
+}
+
+/// Check 5 — memory-addressing legality against the lane window.
+pub fn addressing(
+    image: &ProgramImage,
+    graph: &ProgramGraph,
+    reach: &ReachInfo,
+    opts: &VerifyOptions,
+    report: &mut Report,
+) {
+    let window = window_words(image, opts);
+    if image.words.len() > window {
+        report.error(
+            Check::Addressing,
+            None,
+            format!(
+                "image spans {} words but the {:?} window holds {window}",
+                image.words.len(),
+                opts.addressing
+            ),
+        );
+    }
+    if image.init.wbase != image.entry_base & !0xFFF {
+        report.error(
+            Check::Addressing,
+            None,
+            format!(
+                "LaneInit.wbase {:#06x} does not cover the entry segment ({:#06x})",
+                image.init.wbase,
+                image.entry_base & !0xFFF
+            ),
+        );
+    }
+    if !(1..=8).contains(&image.init.symbol_bits) {
+        report.error(
+            Check::Addressing,
+            None,
+            format!(
+                "LaneInit.symbol_bits {} is outside the architectural 1..=8 range",
+                image.init.symbol_bits
+            ),
+        );
+    }
+    if image.init.ascale >= 32 {
+        report.error(
+            Check::Addressing,
+            None,
+            format!(
+                "LaneInit.ascale {} would overflow the attach shift",
+                image.init.ascale
+            ),
+        );
+    } else if image.init.ascale > 6 {
+        report.warn(
+            Check::Addressing,
+            None,
+            format!(
+                "LaneInit.ascale {} exceeds the assembler's 6-bit block budget",
+                image.init.ascale
+            ),
+        );
+    }
+    let never_written = !ever_written_mask(graph, reach);
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] {
+            continue;
+        }
+        for &(addr, a) in arc.block.iter().flat_map(|b| &b.actions) {
+            match a.op {
+                Opcode::SetBase => {
+                    if u32::from(a.imm) & 0xFFF != 0 {
+                        report.warn(
+                            Check::Addressing,
+                            Some(addr),
+                            format!(
+                                "SetBase {:#06x} is not segment-aligned; dispatch bases will drift",
+                                a.imm
+                            ),
+                        );
+                    }
+                    if usize::from(a.imm) >= window {
+                        report.error(
+                            Check::Addressing,
+                            Some(addr),
+                            format!(
+                                "SetBase {:#06x} selects a segment outside the {window}-word window",
+                                a.imm
+                            ),
+                        );
+                    }
+                }
+                Opcode::SetAScale if a.imm > 7 => {
+                    report.warn(
+                        Check::Addressing,
+                        Some(addr),
+                        format!("SetAScale {} is truncated to 3 bits by the lane", a.imm),
+                    );
+                }
+                Opcode::LoadW | Opcode::StoreW | Opcode::LoadB | Opcode::StoreB | Opcode::BumpW => {
+                    // Byte address = src + imm. Only decidable when the
+                    // base register is the architectural zero.
+                    let src = if a.op == Opcode::StoreW || a.op == Opcode::StoreB {
+                        a.dst
+                    } else {
+                        a.src
+                    };
+                    let src_is_zero = never_written & (1 << src.index()) != 0;
+                    if src_is_zero && usize::from(a.imm) >= window * 4 {
+                        report.warn(
+                            Check::Addressing,
+                            Some(addr),
+                            format!(
+                                "{} addresses byte {} beyond the {}-byte window",
+                                a.op,
+                                a.imm,
+                                window * 4
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Check 6 — EffCLiP layout integrity.
+pub fn layout(image: &ProgramImage, graph: &ProgramGraph, reach: &ReachInfo, report: &mut Report) {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for (si, st) in graph.states.iter().enumerate() {
+        if let Some(prev) = seen.insert(st.base, si) {
+            report.error(
+                Check::Layout,
+                Some(st.base),
+                format!(
+                    "states #{prev} and #{si} are both placed at base {:#06x}",
+                    st.base
+                ),
+            );
+        }
+        if st.base & 0xFFF == 0 {
+            report.error(
+                Check::Layout,
+                Some(st.base),
+                format!(
+                    "state base {:#06x} sits on a segment boundary (reserved)",
+                    st.base
+                ),
+            );
+        }
+        if st.base as usize >= image.words.len() {
+            report.error(
+                Check::Layout,
+                Some(st.base),
+                format!("state base {:#06x} lies outside the image", st.base),
+            );
+        }
+    }
+    // Collisions at phantom labeled slots are benign interleaving (the
+    // slot is never read); everything else is a genuine double-claim.
+    let phantom_addrs: HashSet<u32> = graph
+        .arcs
+        .iter()
+        .enumerate()
+        .filter(|&(ai, _)| reach.phantom[ai])
+        .map(|(_, a)| a.addr)
+        .collect();
+    let mut reported: HashSet<u32> = HashSet::new();
+    for &(addr, a, b) in &graph.collisions {
+        if phantom_addrs.contains(&addr) || !reported.insert(addr) {
+            continue;
+        }
+        report.error(
+            Check::Layout,
+            Some(addr),
+            format!(
+                "word claimed twice: {} vs {}",
+                claim_str(graph, a),
+                claim_str(graph, b)
+            ),
+        );
+    }
+    // Attach references must resolve inside their regions.
+    let direct_end = image.stats.direct_region_words.max(1) as u32;
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] {
+            continue;
+        }
+        let Some(block) = &arc.block else { continue };
+        if block.start as usize >= image.words.len() {
+            report.error(
+                Check::Layout,
+                Some(arc.addr),
+                format!(
+                    "attach of arc at {:#06x} resolves to {:#06x}, outside the image",
+                    arc.addr, block.start
+                ),
+            );
+        } else if arc.word.attach_mode() == udp_isa::AttachMode::Direct
+            && u32::from(arc.word.attach()) >= direct_end
+        {
+            report.warn(
+                Check::Layout,
+                Some(arc.addr),
+                format!(
+                    "direct attach {} points past the {}-word shared region",
+                    arc.word.attach(),
+                    image.stats.direct_region_words
+                ),
+            );
+        }
+    }
+    if image.stats.words_used > image.stats.span_words {
+        report.error(
+            Check::Layout,
+            None,
+            format!(
+                "stats claim {} words used in a {}-word span",
+                image.stats.words_used, image.stats.span_words
+            ),
+        );
+    }
+}
+
+fn claim_str(graph: &ProgramGraph, c: Claim) -> String {
+    match c {
+        Claim::Transition(s) => format!("transition word of state {:#06x}", graph.states[s].base),
+        Claim::ActionWord => "action block member".into(),
+    }
+}

@@ -1,0 +1,206 @@
+//! Finding and report types shared by every check pass.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; the image may still run.
+    Warn,
+    /// The image violates an invariant the engine relies on.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => f.write_str("WARN"),
+            Severity::Error => f.write_str("ERROR"),
+        }
+    }
+}
+
+/// Which check pass produced a finding (DESIGN.md §9 catalogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Check {
+    /// Decode totality and word-kind consistency.
+    Totality,
+    /// Dispatch-target bounds, dead states, unreachable code.
+    Reachability,
+    /// Cycles that can never consume stream bits.
+    Livelock,
+    /// Scalar-register use-before-def dataflow.
+    UseBeforeDef,
+    /// Memory-addressing legality against the lane window.
+    Addressing,
+    /// EffCLiP layout integrity (collisions, aliasing, attach bounds).
+    Layout,
+}
+
+impl Check {
+    /// Every check, in report order.
+    pub const ALL: [Check; 6] = [
+        Check::Totality,
+        Check::Reachability,
+        Check::Livelock,
+        Check::UseBeforeDef,
+        Check::Addressing,
+        Check::Layout,
+    ];
+
+    /// Stable kebab-case name used in machine-readable summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Totality => "totality",
+            Check::Reachability => "reachability",
+            Check::Livelock => "livelock",
+            Check::UseBeforeDef => "use-before-def",
+            Check::Addressing => "addressing",
+            Check::Layout => "layout",
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic produced by the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced this finding.
+    pub check: Check,
+    /// Severity class.
+    pub severity: Severity,
+    /// Word offset inside the image the finding points at, when one exists.
+    pub addr: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(
+                f,
+                "{}[{}] @{:#06x}: {}",
+                self.severity, self.check, a, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.check, self.message),
+        }
+    }
+}
+
+/// The verifier's output: every finding from every pass, in pass order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, grouped by check in [`Check::ALL`] order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of `Error`-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warn`-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when no `Error`-severity finding exists (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Findings attributed to one check.
+    pub fn by_check(&self, check: Check) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.check == check)
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        check: Check,
+        severity: Severity,
+        addr: Option<u32>,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            check,
+            severity,
+            addr,
+            message,
+        });
+    }
+
+    pub(crate) fn error(&mut self, check: Check, addr: Option<u32>, message: String) {
+        self.push(check, Severity::Error, addr, message);
+    }
+
+    pub(crate) fn warn(&mut self, check: Check, addr: Option<u32>, message: String) {
+        self.push(check, Severity::Warn, addr, message);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return writeln!(f, "verify: clean");
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        writeln!(
+            f,
+            "verify: {} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        assert_eq!(format!("{r}"), "verify: clean\n");
+        r.warn(Check::UseBeforeDef, Some(0x10), "r5 read before def".into());
+        r.error(Check::Layout, None, "duplicate base".into());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        let text = format!("{r}");
+        assert!(text.contains("WARN[use-before-def] @0x0010: r5 read before def"));
+        assert!(text.contains("ERROR[layout]: duplicate base"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn check_names_are_stable() {
+        let names: Vec<&str> = Check::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "totality",
+                "reachability",
+                "livelock",
+                "use-before-def",
+                "addressing",
+                "layout"
+            ]
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! # udp-verify — static verification of UDP program images
+//!
+//! A load-time lint and verification pass over assembled
+//! [`ProgramImage`]s (DESIGN.md §9). Where PR 2's fault harness
+//! discovers broken images *dynamically* — by running them under
+//! `catch_unwind` until a cycle budget expires — this crate rejects
+//! them *statically*, by abstract interpretation over the decoded
+//! transition/action graph, the way ISA-model checkers validate an
+//! instruction stream before simulation.
+//!
+//! Six layered checks (see [`Check`]):
+//!
+//! 1. **totality** — every referenced word decodes, action blocks
+//!    terminate, word kinds agree with the disassembler's classification;
+//! 2. **reachability** — dispatch targets land on placed states inside
+//!    the image; dead states are reported;
+//! 3. **livelock** — no forced pass-through cycle can spin without
+//!    consuming input or halting;
+//! 4. **use-before-def** — definite-assignment dataflow over scalar
+//!    registers (reads of architecturally-zero registers are idiomatic
+//!    and stay silent);
+//! 5. **addressing** — lane-window legality per [`AddressingMode`];
+//! 6. **layout** — EffCLiP integrity: no word collisions, attach
+//!    references resolve inside their regions.
+//!
+//! Two invariants are tested in CI: *soundness* (every program emitted
+//! by every `udp-compilers` backend verifies with zero errors) and
+//! *usefulness* (a measured fraction of `udp-fault` image mutations is
+//! rejected before execution).
+//!
+//! ## Example
+//!
+//! ```
+//! use udp_asm::{LayoutOptions, ProgramBuilder, Target};
+//! use udp_verify::{verify_image, VerifyOptions};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let s = b.add_consuming_state();
+//! b.set_entry(s);
+//! b.labeled_arc(s, b'a' as u16, Target::State(s), vec![]);
+//! b.fallback_arc(s, Target::Halt, vec![]);
+//! let image = b.assemble(&LayoutOptions::default()).unwrap();
+//!
+//! let report = verify_image(&image, &VerifyOptions::default());
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod checks;
+pub mod finding;
+pub mod graph;
+
+pub use finding::{Check, Finding, Report, Severity};
+pub use graph::ProgramGraph;
+
+use std::fmt;
+use udp_asm::{disassemble, AsmError, LayoutOptions, ProgramBuilder, ProgramImage};
+use udp_isa::AddressingMode;
+
+/// Context the verifier judges an image against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Addressing mode the image will run under (window size).
+    pub addressing: AddressingMode,
+    /// Banks per lane for [`AddressingMode::Restricted`]; `0` infers the
+    /// smallest bank count that holds the image (mirroring the bench
+    /// harnesses' sizing).
+    pub banks_per_lane: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            addressing: AddressingMode::Restricted,
+            banks_per_lane: 0,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Restricted addressing with an explicit bank split — the shape
+    /// `Udp::try_run_data_parallel` runs under.
+    pub fn with_banks(banks_per_lane: usize) -> Self {
+        VerifyOptions {
+            addressing: AddressingMode::Restricted,
+            banks_per_lane,
+        }
+    }
+}
+
+/// Runs every check pass over an image and collects the findings.
+///
+/// Non-executable images (UAP-compatibility size models assembled with
+/// `LayoutOptions::uap_attach`) use a different attach encoding the
+/// engine refuses to run; the verifier refuses them the same way.
+pub fn verify_image(image: &ProgramImage, opts: &VerifyOptions) -> Report {
+    let mut report = Report::default();
+    if !image.executable {
+        report.error(
+            Check::Totality,
+            None,
+            "image is a size model (uap_attach), not executable".into(),
+        );
+        return report;
+    }
+    let graph = ProgramGraph::decode(image);
+    let reach = checks::compute_reach(image, &graph);
+    checks::totality(image, &graph, &reach, &mut report);
+    checks::reachability(image, &graph, &reach, &mut report);
+    checks::livelock(&graph, &reach, &mut report);
+    checks::use_before_def(image, &graph, &reach, &mut report);
+    checks::addressing(image, &graph, &reach, opts, &mut report);
+    checks::layout(image, &graph, &reach, &mut report);
+    report
+}
+
+/// Renders the disassembly with findings attached to their words, and
+/// image-level findings appended at the end.
+pub fn annotate(image: &ProgramImage, report: &Report) -> String {
+    use std::collections::HashMap;
+    let mut by_addr: HashMap<u32, Vec<&Finding>> = HashMap::new();
+    let mut global: Vec<&Finding> = Vec::new();
+    for f in &report.findings {
+        match f.addr {
+            Some(a) => by_addr.entry(a).or_default().push(f),
+            None => global.push(f),
+        }
+    }
+    let mut out = String::new();
+    for line in disassemble(image).lines() {
+        out.push_str(line);
+        out.push('\n');
+        let addr = line
+            .split(':')
+            .next()
+            .and_then(|p| u32::from_str_radix(p.trim().trim_start_matches("0x"), 16).ok());
+        if let Some(fs) = addr.and_then(|a| by_addr.get(&a)) {
+            for f in fs {
+                out.push_str(&format!(
+                    "        ; ^ {} {}: {}\n",
+                    f.severity, f.check, f.message
+                ));
+            }
+        }
+    }
+    for f in global {
+        out.push_str(&format!("; {f}\n"));
+    }
+    out
+}
+
+/// Why [`assemble_verified`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyAssembleError {
+    /// Assembly itself failed.
+    Asm(AsmError),
+    /// The assembled image did not pass static verification.
+    Verify(Report),
+}
+
+impl fmt::Display for VerifyAssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyAssembleError::Asm(e) => write!(f, "assembly failed: {e}"),
+            VerifyAssembleError::Verify(r) => {
+                write!(f, "assembled image failed verification: {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyAssembleError {}
+
+impl From<AsmError> for VerifyAssembleError {
+    fn from(e: AsmError) -> Self {
+        VerifyAssembleError::Asm(e)
+    }
+}
+
+/// Assembles a builder and rejects the image unless it verifies with
+/// zero `Error` findings — the belt-and-braces path for new translators.
+pub fn assemble_verified(
+    builder: &ProgramBuilder,
+    layout: &LayoutOptions,
+    opts: &VerifyOptions,
+) -> Result<ProgramImage, VerifyAssembleError> {
+    let image = builder.assemble(layout)?;
+    let report = verify_image(&image, opts);
+    if report.is_clean() {
+        Ok(image)
+    } else {
+        Err(VerifyAssembleError::Verify(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udp_asm::{LayoutOptions, ProgramBuilder, Target};
+    use udp_isa::action::{Action, Opcode};
+    use udp_isa::Reg;
+
+    fn sample() -> ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(
+            s,
+            b'a' as u16,
+            Target::State(s),
+            vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, b'x' as u16)],
+        );
+        b.fallback_arc(s, Target::Halt, vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn assembled_sample_is_clean() {
+        let report = verify_image(&sample(), &VerifyOptions::default());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn assemble_verified_round_trips() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, 0, Target::State(s), vec![]);
+        b.fallback_arc(s, Target::Halt, vec![]);
+        let img =
+            assemble_verified(&b, &LayoutOptions::default(), &VerifyOptions::default()).unwrap();
+        assert!(img.stats.words_used > 0);
+    }
+
+    #[test]
+    fn size_models_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        b.labeled_arc(s, 0, Target::State(s), vec![]);
+        b.fallback_arc(s, Target::Halt, vec![]);
+        let opts = LayoutOptions {
+            uap_attach: true,
+            ..LayoutOptions::default()
+        };
+        let img = b.assemble(&opts).unwrap();
+        assert!(!img.executable);
+        let report = verify_image(&img, &VerifyOptions::default());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn annotate_attaches_findings_to_lines() {
+        let mut img = sample();
+        // Corrupt the attached action word to an undefined opcode.
+        let g = ProgramGraph::decode(&img);
+        let (addr, _) = g
+            .arcs
+            .iter()
+            .find_map(|a| a.block.as_ref())
+            .unwrap()
+            .actions[0];
+        img.words[addr as usize] = 0x7F << 25;
+        let report = verify_image(&img, &VerifyOptions::default());
+        assert!(!report.is_clean());
+        let text = annotate(&img, &report);
+        assert!(text.contains("; ^ ERROR"), "{text}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Soundness suite: the verifier accepts every program the translator
+//! corpus produces, and each check category fires on a dedicated
+//! hand-broken image.
+
+use udp_asm::{LayoutOptions, ProgramBuilder, ProgramImage, Target};
+use udp_compilers::corpus::{assemble_smallest, corpus};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::transition::{AttachMode, ExecKind, TransitionWord};
+use udp_isa::{Reg, FALLBACK_SLOT};
+use udp_verify::{verify_image, Check, ProgramGraph, Severity, VerifyOptions};
+
+/// The soundness invariant: every corpus backend, swept over its
+/// parameters, assembles to an image the verifier accepts with zero
+/// errors.
+#[test]
+fn verifier_accepts_the_full_compiler_corpus() {
+    let entries = corpus();
+    assert!(entries.len() >= 20);
+    for (name, pb) in &entries {
+        let img = assemble_smallest(pb, 64).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = verify_image(&img, &VerifyOptions::default());
+        assert!(
+            report.errors() == 0,
+            "{name} must verify clean, got:\n{report}"
+        );
+    }
+}
+
+fn sample() -> ProgramImage {
+    let mut b = ProgramBuilder::new();
+    let a = b.add_consuming_state();
+    let z = b.add_consuming_state();
+    b.set_entry(a);
+    b.labeled_arc(
+        a,
+        b'x' as u16,
+        Target::State(z),
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, 1)],
+    );
+    b.fallback_arc(a, Target::State(a), vec![]);
+    b.labeled_arc(z, b'y' as u16, Target::State(a), vec![]);
+    b.fallback_arc(z, Target::Halt, vec![]);
+    b.assemble(&LayoutOptions::default()).unwrap()
+}
+
+fn errors_in(img: &ProgramImage, check: Check) -> usize {
+    verify_image(img, &VerifyOptions::default())
+        .findings
+        .iter()
+        .filter(|f| f.check == check && f.severity == Severity::Error)
+        .count()
+}
+
+#[test]
+fn totality_rejects_undecodable_action_words() {
+    let mut img = sample();
+    let g = ProgramGraph::decode(&img);
+    let (addr, _) = g
+        .arcs
+        .iter()
+        .find_map(|a| a.block.as_ref())
+        .expect("sample has one block")
+        .actions[0];
+    img.words[addr as usize] = 0x7F << 25; // undefined opcode
+    assert!(errors_in(&img, Check::Totality) > 0);
+}
+
+#[test]
+fn totality_rejects_out_of_range_symbol_widths() {
+    let mut b = ProgramBuilder::new();
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    b.labeled_arc(
+        s,
+        b'a' as u16,
+        Target::State(s),
+        vec![Action::imm(Opcode::SetSym, Reg::R0, Reg::R0, 9)],
+    );
+    b.fallback_arc(s, Target::Halt, vec![]);
+    let img = b.assemble(&LayoutOptions::default()).unwrap();
+    assert!(errors_in(&img, Check::Totality) > 0);
+}
+
+#[test]
+fn reachability_rejects_targets_that_are_not_states() {
+    let mut img = sample();
+    let g = ProgramGraph::decode(&img);
+    // Repoint the entry state's fallback at a non-base address.
+    let entry = g.base_index[&img.entry_base];
+    let fb_addr = img.entry_base + FALLBACK_SLOT;
+    let old = TransitionWord::decode(img.words[fb_addr as usize]);
+    let bogus = (g.states[entry].base + 7) as u16 & 0xFFF;
+    assert!(!img.state_bases.contains(&u32::from(bogus)));
+    img.words[fb_addr as usize] =
+        TransitionWord::new(old.signature(), bogus, old.kind(), AttachMode::Direct, 0).encode();
+    assert!(errors_in(&img, Check::Reachability) > 0);
+}
+
+#[test]
+fn reachability_warns_about_dead_states() {
+    let mut b = ProgramBuilder::new();
+    let live = b.add_consuming_state();
+    let dead = b.add_consuming_state();
+    b.set_entry(live);
+    b.labeled_arc(live, b'a' as u16, Target::State(live), vec![]);
+    b.fallback_arc(live, Target::Halt, vec![]);
+    b.labeled_arc(dead, b'b' as u16, Target::State(dead), vec![]);
+    b.fallback_arc(dead, Target::Halt, vec![]);
+    let img = b.assemble(&LayoutOptions::default()).unwrap();
+    let report = verify_image(&img, &VerifyOptions::default());
+    assert_eq!(report.errors(), 0, "{report}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.check == Check::Reachability && f.message.contains("unreachable")));
+}
+
+#[test]
+fn livelock_rejects_forced_pass_cycles() {
+    use udp_asm::Arc as IrArc;
+    let mut b = ProgramBuilder::new();
+    let p = b.add_pass_state(
+        0,
+        IrArc {
+            target: Target::Halt, // patched below into a self-loop
+            actions: vec![],
+        },
+    );
+    let q = b.add_pass_state(
+        0,
+        IrArc {
+            target: Target::State(p),
+            actions: vec![],
+        },
+    );
+    let entry = b.add_consuming_state();
+    b.set_entry(entry);
+    b.labeled_arc(entry, b'a' as u16, Target::State(q), vec![]);
+    b.fallback_arc(entry, Target::Halt, vec![]);
+    let mut img = b.assemble(&LayoutOptions::default()).unwrap();
+    // Close the cycle by hand: p's pass slot now loops back to q. p is
+    // the state whose slot-256 word carries the Halt kind.
+    let p_base = img
+        .state_bases
+        .iter()
+        .copied()
+        .find(|&bse| {
+            let w = img.words[(bse + FALLBACK_SLOT) as usize];
+            bse != img.entry_base && w != 0 && TransitionWord::decode(w).kind() == ExecKind::Halt
+        })
+        .expect("p's pass slot halts");
+    let q_base = img
+        .state_bases
+        .iter()
+        .copied()
+        .find(|&bse| bse != p_base && bse != img.entry_base)
+        .expect("three states");
+    let slot = (p_base + FALLBACK_SLOT) as usize;
+    let old = TransitionWord::decode(img.words[slot]);
+    img.words[slot] = TransitionWord::new(
+        old.signature(),
+        (q_base & 0xFFF) as u16,
+        ExecKind::Pass,
+        AttachMode::Direct,
+        0,
+    )
+    .encode();
+    let report = verify_image(&img, &VerifyOptions::default());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::Livelock && f.severity == Severity::Error),
+        "expected a livelock error:\n{report}"
+    );
+}
+
+#[test]
+fn use_before_def_warns_when_a_definition_misses_a_path() {
+    // r4 is written on the 'w' path only, but read on every dispatch of
+    // the downstream state — the 'n' path reaches the read undefined.
+    let mut b = ProgramBuilder::new();
+    let top = b.add_consuming_state();
+    let reader = b.add_consuming_state();
+    b.set_entry(top);
+    b.labeled_arc(
+        top,
+        b'w' as u16,
+        Target::State(reader),
+        vec![Action::imm(Opcode::MovI, Reg::new(4), Reg::R0, 7)],
+    );
+    b.labeled_arc(top, b'n' as u16, Target::State(reader), vec![]);
+    b.fallback_arc(top, Target::Halt, vec![]);
+    b.labeled_arc(
+        reader,
+        b'r' as u16,
+        Target::State(top),
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::new(4), 0)],
+    );
+    b.fallback_arc(reader, Target::Halt, vec![]);
+    let img = b.assemble(&LayoutOptions::default()).unwrap();
+    let report = verify_image(&img, &VerifyOptions::default());
+    assert_eq!(report.errors(), 0, "{report}");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::UseBeforeDef && f.message.contains("r4")),
+        "expected a use-before-def warning for r4:\n{report}"
+    );
+}
+
+#[test]
+fn use_before_def_stays_silent_for_architectural_zeros() {
+    // Reading a register the program never assigns is idiomatic (all
+    // registers power on as zero) and must not warn.
+    let mut b = ProgramBuilder::new();
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    b.labeled_arc(
+        s,
+        b'a' as u16,
+        Target::State(s),
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), 0)],
+    );
+    b.fallback_arc(s, Target::Halt, vec![]);
+    let img = b.assemble(&LayoutOptions::default()).unwrap();
+    let report = verify_image(&img, &VerifyOptions::default());
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::UseBeforeDef),
+        "architectural zero reads must stay silent:\n{report}"
+    );
+}
+
+#[test]
+fn addressing_rejects_wbase_off_the_entry_segment() {
+    let mut img = sample();
+    img.init.wbase = img.entry_base & !0xFFF ^ 0x1000;
+    assert!(errors_in(&img, Check::Addressing) > 0);
+}
+
+#[test]
+fn addressing_rejects_images_larger_than_the_window() {
+    let img = sample();
+    let opts = VerifyOptions {
+        addressing: udp_isa::AddressingMode::Local,
+        banks_per_lane: 0,
+    };
+    let mut big = img.clone();
+    big.words.resize(5000, 0);
+    let report = verify_image(&big, &opts);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.check == Check::Addressing && f.severity == Severity::Error));
+}
+
+#[test]
+fn layout_rejects_duplicate_state_bases() {
+    let mut img = sample();
+    let dup = img.state_bases[0];
+    img.state_bases.push(dup);
+    assert!(errors_in(&img, Check::Layout) > 0);
+}
+
+#[test]
+fn layout_rejects_word_collisions() {
+    // Fabricate a dispatching state one word above the entry: the
+    // entry's 0xFF-signature fallback word then doubles as that state's
+    // labeled arc for symbol 255 — the EffCLiP alias hazard the packer
+    // is hardened against.
+    let mut img = sample();
+    let fake = img.entry_base + 1;
+    let fb = TransitionWord::decode(img.words[(img.entry_base + FALLBACK_SLOT) as usize]);
+    assert_eq!(fb.signature(), 0xFF, "entry fallback word");
+    img.state_bases.push(fake);
+    // Make the fake state symbol-entered: repoint the entry's labeled
+    // 'x' arc (Consume kind) at it.
+    let x_addr = (img.entry_base + u32::from(b'x')) as usize;
+    let old = TransitionWord::decode(img.words[x_addr]);
+    img.words[x_addr] = TransitionWord::new(
+        old.signature(),
+        (fake & 0xFFF) as u16,
+        old.kind(),
+        old.attach_mode(),
+        old.attach(),
+    )
+    .encode();
+    let report = verify_image(&img, &VerifyOptions::default());
+    assert!(
+        report.findings.iter().any(|f| f.check == Check::Layout
+            && f.severity == Severity::Error
+            && f.message.contains("claimed twice")),
+        "expected a layout collision error:\n{report}"
+    );
+}

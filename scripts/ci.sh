@@ -16,7 +16,10 @@ cargo build --release
 echo "== cargo test --release =="
 cargo test --workspace --release -q
 
-echo "== fault_fuzz smoke gate (DESIGN.md §8) =="
-cargo run --release -q -p udp-bench --bin fault_fuzz -- --iters 200 --seed 0xDEC0DE
+echo "== verifier soundness gate (DESIGN.md §9) =="
+cargo run --release -q -p udp-bench --bin verify
+
+echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
+cargo run --release -q -p udp-bench --bin fault_fuzz -- --iters 200 --seed 0xDEC0DE --min-static-reject 1
 
 echo "CI green."
