@@ -1,5 +1,5 @@
 //! Host-side simulator throughput: how fast the simulator itself chews
-//! input, before/after predecoding and with threaded waves.
+//! input, before/after predecoding and with the persistent lane pool.
 //!
 //! Three configurations over the same 64-lane run:
 //!
@@ -7,19 +7,28 @@
 //!   another, decoding every transition/action word as it is read
 //!   (`Lane::new`, no shared table).
 //! * `predecoded-seq` — the engine's sequential path: the program is
-//!   decoded once into a `DecodedProgram` all lanes index.
-//! * `predecoded-par` — `UdpRunOptions::parallel`: predecoded plus one
-//!   host thread per lane within each wave.
+//!   decoded once into a `DecodedProgram` all lanes index, and windows
+//!   reset incrementally between chunks.
+//! * `predecoded-par` — `UdpRunOptions::parallel`: predecoded plus the
+//!   persistent worker pool pulling chunks off a shared counter.
 //!
 //! All three produce bit-identical modeled results (see the
-//! `determinism` test); only host wall-clock differs. Results go to
-//! stdout and `results/hostperf.txt`.
+//! `determinism` test); only host wall-clock differs.
+//!
+//! Two workload shapes: big chunks (64 × 24 KB — the steady-stream
+//! shape) and many small chunks (256 × 4 KB — the ETL shape, where
+//! per-chunk reset and scheduling overhead dominate a naive host loop).
+//!
+//! Results go to stdout and `results/hostperf.txt`; with `--json`, a
+//! machine-readable line per scenario goes to
+//! `results/BENCH_hostperf.json` so the perf trajectory is diffable
+//! across PRs (see `scripts/ci.sh`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use udp_asm::{LayoutOptions, ProgramBuilder, ProgramImage};
 use udp_bench::host_rate_mbps;
-use udp_isa::mem::BANK_WORDS;
+use udp_isa::mem::{BANK_WORDS, NUM_BANKS};
 use udp_sim::engine::Staging;
 use udp_sim::{BitStream, Lane, LaneConfig, LocalMemory, OutputSink, Udp, UdpRunOptions};
 
@@ -38,12 +47,14 @@ fn assemble(pb: &ProgramBuilder, max_banks: usize) -> ProgramImage {
 /// The pre-optimization engine loop: shared device memory, one lane at
 /// a time, decode-on-read (no predecoded table), word-at-a-time window
 /// zeroing, and the bit-at-a-time reference stream/sink routines the
-/// simulator shipped with.
+/// simulator shipped with. Chunks beyond lane capacity wrap onto the
+/// lane origins again, like the engine's waves.
 fn run_lazy_sequential(image: &ProgramImage, inputs: &[&[u8]], banks_per_lane: usize) {
     let window_words = banks_per_lane * BANK_WORDS;
+    let lanes_cap = (NUM_BANKS / banks_per_lane).max(1);
     let mut mem = LocalMemory::new();
     for (i, input) in inputs.iter().enumerate() {
-        let origin = (i * banks_per_lane * BANK_WORDS) as u32;
+        let origin = ((i % lanes_cap) * banks_per_lane * BANK_WORDS) as u32;
         mem.load_words(origin, &image.words);
         for w in image.stats.span_words..window_words {
             mem.load_words(origin + w as u32, &[0]);
@@ -63,7 +74,17 @@ fn time_once<F: FnMut()>(f: &mut F) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]], out: &mut String) {
+/// One scenario's measured rates, for the text table and the JSON log.
+struct ScenarioResult {
+    name: String,
+    chunks: usize,
+    bytes: usize,
+    lazy_seq_mbps: f64,
+    predecoded_seq_mbps: f64,
+    predecoded_par_mbps: f64,
+}
+
+fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]]) -> ScenarioResult {
     let banks = image.stats.span_words.div_ceil(BANK_WORDS).max(1);
     let bytes: usize = inputs.iter().map(|i| i.len()).sum();
     let reps = 7;
@@ -103,23 +124,47 @@ fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]], out: &mut 
         par = par.min(time_once(&mut run_par));
     }
 
-    let lazy_r = host_rate_mbps(bytes, std::time::Duration::from_secs_f64(lazy));
-    let seq_r = host_rate_mbps(bytes, std::time::Duration::from_secs_f64(seq));
-    let par_r = host_rate_mbps(bytes, std::time::Duration::from_secs_f64(par));
+    ScenarioResult {
+        name: name.to_string(),
+        chunks: inputs.len(),
+        bytes,
+        lazy_seq_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(lazy)),
+        predecoded_seq_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(seq)),
+        predecoded_par_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(par)),
+    }
+}
+
+fn render_line(r: &ScenarioResult, out: &mut String) {
     let _ = writeln!(
         out,
-        "{name:<16} lanes={:<3} input={:>8} B  lazy-seq={:>8.1} MB/s  predecoded-seq={:>8.1} MB/s ({:>4.2}x)  predecoded-par={:>8.1} MB/s ({:>5.2}x)",
-        inputs.len(),
-        bytes,
-        lazy_r,
-        seq_r,
-        seq_r / lazy_r,
-        par_r,
-        par_r / lazy_r,
+        "{:<16} lanes={:<3} input={:>8} B  lazy-seq={:>8.1} MB/s  predecoded-seq={:>8.1} MB/s ({:>4.2}x)  predecoded-par={:>8.1} MB/s ({:>5.2}x)",
+        r.name,
+        r.chunks,
+        r.bytes,
+        r.lazy_seq_mbps,
+        r.predecoded_seq_mbps,
+        r.predecoded_seq_mbps / r.lazy_seq_mbps,
+        r.predecoded_par_mbps,
+        r.predecoded_par_mbps / r.lazy_seq_mbps,
     );
 }
 
+/// One JSON object per scenario, one per line — no dependency needed,
+/// trivially greppable/awk-able from CI.
+fn render_json(results: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{{\"name\":\"{}\",\"chunks\":{},\"bytes\":{},\"lazy_seq_mbps\":{:.2},\"predecoded_seq_mbps\":{:.2},\"predecoded_par_mbps\":{:.2}}}",
+            r.name, r.chunks, r.bytes, r.lazy_seq_mbps, r.predecoded_seq_mbps, r.predecoded_par_mbps,
+        );
+    }
+    s
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -128,13 +173,23 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
+    let mut results = Vec::new();
+
     // CSV parsing: dispatch-heavy with per-field actions.
     let csv_img = assemble(&udp_compilers::csv::csv_to_udp(), 8);
     let csv_chunks: Vec<Vec<u8>> = (0..64u64)
         .map(|seed| udp_workloads::crimes_csv(24 * 1024, seed))
         .collect();
     let csv_inputs: Vec<&[u8]> = csv_chunks.iter().map(Vec::as_slice).collect();
-    bench_workload("csv-parse", &csv_img, &csv_inputs, &mut out);
+    results.push(bench_workload("csv-parse", &csv_img, &csv_inputs));
+
+    // Many-small-chunks shape (the ETL figures): per-chunk reset and
+    // scheduling overhead dominate a naive host loop here.
+    let csv_small: Vec<Vec<u8>> = (0..256u64)
+        .map(|seed| udp_workloads::crimes_csv(4 * 1024, seed))
+        .collect();
+    let csv_small_inputs: Vec<&[u8]> = csv_small.iter().map(Vec::as_slice).collect();
+    results.push(bench_workload("csv-small", &csv_img, &csv_small_inputs));
 
     // Huffman encoding: action-loop heavy (EmitBits per symbol).
     let huff_chunks: Vec<Vec<u8>> = (0..64u64)
@@ -144,12 +199,31 @@ fn main() {
     let tree = udp_codecs::HuffmanTree::from_data(&all);
     let huff_img = assemble(&udp_compilers::huffman::huffman_encode_to_udp(&tree), 8);
     let huff_inputs: Vec<&[u8]> = huff_chunks.iter().map(Vec::as_slice).collect();
-    bench_workload("huffman-encode", &huff_img, &huff_inputs, &mut out);
+    results.push(bench_workload("huffman-encode", &huff_img, &huff_inputs));
 
+    let huff_small: Vec<Vec<u8>> = (0..256u64)
+        .map(|seed| udp_workloads::canterbury_like(udp_workloads::Entropy::Medium, 4 * 1024, seed))
+        .collect();
+    let huff_small_inputs: Vec<&[u8]> = huff_small.iter().map(Vec::as_slice).collect();
+    results.push(bench_workload(
+        "huffman-small",
+        &huff_img,
+        &huff_small_inputs,
+    ));
+
+    for r in &results {
+        render_line(r, &mut out);
+    }
     print!("{out}");
     if let Err(e) = std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/hostperf.txt", &out))
     {
         eprintln!("could not write results/hostperf.txt: {e}");
+    }
+    if json {
+        let payload = render_json(&results);
+        if let Err(e) = std::fs::write("results/BENCH_hostperf.json", &payload) {
+            eprintln!("could not write results/BENCH_hostperf.json: {e}");
+        }
     }
 }

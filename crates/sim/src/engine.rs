@@ -4,8 +4,8 @@
 use crate::error::SimError;
 use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 use crate::memory::LocalMemory;
+use crate::pool::{self, RunParams};
 use crate::stream::{BitStream, OutputSink};
-use std::any::Any;
 use std::sync::Arc;
 use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
 use udp_asm::{DecodedProgram, ProgramImage};
@@ -33,13 +33,14 @@ pub struct UdpRunOptions {
     pub banks_per_lane: usize,
     /// Per-lane cycle cap.
     pub lane: LaneConfig,
-    /// Execute each wave's lanes on host threads instead of one after
-    /// another. Only a host-side speed knob: the modeled cycles,
-    /// stalls, references, and outputs are bit-identical to the
-    /// sequential path. Honored under [`AddressingMode::Local`]
-    /// (disjoint lane windows); sharing modes fall back to sequential
-    /// execution because their lanes may genuinely communicate through
-    /// memory.
+    /// Execute chunks on a persistent pool of host worker threads
+    /// instead of one after another. Only a host-side speed knob:
+    /// modeled time is recomputed from the per-lane reports with the
+    /// wave formula (DESIGN.md §2.6.2), so cycles, stalls, references,
+    /// and outputs are bit-identical to the sequential path. Honored
+    /// under [`AddressingMode::Local`] (disjoint lane windows); sharing
+    /// modes fall back to sequential execution because their lanes may
+    /// genuinely communicate through memory.
     pub parallel: bool,
     /// Run `udp-verify`'s static checks over the image before loading
     /// it; a report with errors aborts the run as [`SimError::Verify`].
@@ -94,7 +95,8 @@ impl UdpRunReport {
 
     /// All lane outputs concatenated in lane order.
     pub fn concat_output(&self) -> Vec<u8> {
-        let mut v = Vec::new();
+        let total = self.lanes.iter().map(|l| l.output.len()).sum();
+        let mut v = Vec::with_capacity(total);
         for l in &self.lanes {
             v.extend_from_slice(&l.output);
         }
@@ -151,17 +153,20 @@ impl Udp {
 
     /// Fallible form of [`Udp::run_data_parallel`]: pre-flight
     /// misconfiguration comes back as a [`SimError`] instead of a
-    /// panic, and a lane whose host thread panics (under
+    /// panic, and a chunk whose execution panics (under
     /// [`UdpRunOptions::parallel`]) degrades to
     /// [`LaneStatus::Fault`] in its own report while the sibling
-    /// lanes' reports survive.
+    /// chunks' reports survive.
     ///
     /// The program is predecoded once into a [`DecodedProgram`] shared by
     /// every lane, so the per-symbol hot path indexes a table instead of
-    /// re-decoding transition/action words. With [`UdpRunOptions::parallel`]
-    /// set (and local addressing), each wave's lanes execute on host
-    /// threads over private window memories and the results are merged in
-    /// lane order, keeping the report bit-identical to sequential runs.
+    /// re-decoding transition/action words. Under local addressing the
+    /// run goes through the persistent lane pool (`pool` module): private
+    /// window memories with incremental dirty-prefix resets, and — with
+    /// [`UdpRunOptions::parallel`] set — dynamic chunk scheduling over
+    /// persistent worker threads. Modeled time is recomputed from the
+    /// per-lane reports with the wave formula, keeping the report
+    /// bit-identical to sequential runs.
     pub fn try_run_data_parallel(
         &mut self,
         image: &ProgramImage,
@@ -197,126 +202,58 @@ impl Udp {
         // Per-bank counts only feed the conflict model, which local
         // (disjoint-window) addressing never consults.
         self.mem.set_bank_tracking(opts.addressing.allows_sharing());
-        // Threaded execution is only correct when lane windows are
-        // provably disjoint, i.e. local addressing. Sharing modes keep
-        // the sequential path (their lanes may communicate through
-        // shared banks, and the conflict model needs the merged
-        // per-bank reference counts anyway).
-        let use_threads =
-            opts.parallel && opts.addressing == AddressingMode::Local && inputs.len() > 1;
         // Local addressing means provably disjoint windows, so every
         // lane can execute against a private window-sized memory and be
         // copied back — sequentially this keeps one hot window-sized
         // buffer in cache instead of striding the full 1 MB device
-        // memory; with `parallel` it is what makes threading safe.
-        // Sharing modes stay on the shared device memory: their lanes
-        // may genuinely communicate, and the conflict model needs the
-        // merged per-bank reference counts.
-        let use_private = opts.addressing == AddressingMode::Local;
-
-        // Private window memories, allocated once and reused across
-        // waves (one per concurrent lane when threading, one total when
-        // sequential).
-        let mut slots: Vec<LocalMemory> = if use_private {
-            let n = if use_threads {
-                lanes_cap.min(inputs.len())
-            } else {
-                1
+        // memory; with `parallel` it is what makes the worker pool
+        // safe. Sharing modes stay on the shared device memory: their
+        // lanes may genuinely communicate, and the conflict model needs
+        // the merged per-bank reference counts.
+        if opts.addressing == AddressingMode::Local {
+            let params = RunParams {
+                image,
+                decoded: &decoded,
+                staging,
+                cfg: &opts.lane,
+                window_words,
+                lanes_cap,
+                code_clean: staging_clears_code(staging, image.stats.span_words),
             };
-            (0..n)
-                .map(|_| {
-                    let mut m = LocalMemory::with_words(window_words);
-                    // Local-addressing only, so the conflict model
-                    // never reads per-bank counts.
-                    m.set_bank_tracking(false);
-                    m
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+            let (lane_reports, finals) = if opts.parallel && inputs.len() > 1 {
+                let (results, finals) = pool::run_pooled(&params, inputs);
+                // Chunks whose worker died before reporting (a panic
+                // escaping the per-chunk catch_unwind) degrade to Fault
+                // reports; everything else is index-addressed.
+                let reports = results
+                    .into_iter()
+                    .map(|r| {
+                        r.unwrap_or_else(|| {
+                            pool::fault_lane_report("worker terminated before reporting")
+                        })
+                    })
+                    .collect();
+                (reports, finals)
+            } else {
+                pool::run_sequential(&params, inputs)
+            };
+            // Copy the final occupant of each lane slot's window back
+            // into device memory, so `read_lane_bytes` sees the same
+            // post-run state as running every wave on the device.
+            for (slot, words) in finals {
+                let origin = (slot * opts.banks_per_lane * BANK_WORDS) as u32;
+                self.mem.load_words(origin, &words);
+            }
+            return Ok(Self::merge_report(lane_reports, lanes_cap, opts));
+        }
 
         let mut lane_reports = Vec::with_capacity(inputs.len());
         let mut wall_cycles = 0u64;
         let mut total_conflict = 0u64;
         let mut chunk = 0usize;
         while chunk < inputs.len() {
-            let wave: Vec<&[u8]> = inputs[chunk..(chunk + lanes_cap).min(inputs.len())].to_vec();
+            let wave = &inputs[chunk..(chunk + lanes_cap).min(inputs.len())];
             let mut wave_cycles = 0u64;
-            if use_threads {
-                // One host thread per lane, each over its own private
-                // window memory. Join in lane order so the merged report
-                // is deterministic regardless of thread scheduling.
-                let reports: Vec<LaneReport> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .zip(slots.iter_mut())
-                        .map(|(input, slot)| {
-                            let decoded = Arc::clone(&decoded);
-                            let lane_cfg = &opts.lane;
-                            scope.spawn(move || {
-                                run_lane_private(
-                                    image,
-                                    decoded,
-                                    staging,
-                                    lane_cfg,
-                                    window_words,
-                                    slot,
-                                    input,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(rep) => rep,
-                            // A panicking lane degrades to a Fault
-                            // report; the sibling lanes' reports (and
-                            // the rest of the run) survive.
-                            Err(payload) => fault_lane_report(&panic_message(payload.as_ref())),
-                        })
-                        .collect()
-                });
-                // Copy each private window back into the device memory at
-                // its lane origin so `read_lane_bytes` sees the same
-                // post-run state as a sequential run.
-                for (i, slot) in slots.iter().take(wave.len()).enumerate() {
-                    let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
-                    self.mem.load_words(origin, slot.words());
-                }
-                for rep in reports {
-                    wave_cycles = wave_cycles.max(rep.cycles);
-                    lane_reports.push(rep);
-                }
-                // Local addressing: disjoint windows, zero conflicts.
-                wall_cycles += wave_cycles;
-                chunk += wave.len();
-                continue;
-            }
-            if use_private {
-                // Sequential but still on a private window: one slot,
-                // reused lane after lane, copied back after each run.
-                let slot = &mut slots[0];
-                for (i, input) in wave.iter().enumerate() {
-                    let rep = run_lane_private(
-                        image,
-                        Arc::clone(&decoded),
-                        staging,
-                        &opts.lane,
-                        window_words,
-                        slot,
-                        input,
-                    );
-                    let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
-                    self.mem.load_words(origin, slot.words());
-                    wave_cycles = wave_cycles.max(rep.cycles);
-                    lane_reports.push(rep);
-                }
-                wall_cycles += wave_cycles;
-                chunk += wave.len();
-                continue;
-            }
             let mut wave_bank_refs = [0u64; NUM_BANKS];
             for (i, input) in wave.iter().enumerate() {
                 let origin = (i * opts.banks_per_lane * BANK_WORDS) as u32;
@@ -384,6 +321,34 @@ impl Udp {
         })
     }
 
+    /// Builds the aggregate report from per-lane reports under local
+    /// addressing, recomputing modeled time with the wave formula:
+    /// chunks execute in waves of `lanes_cap` on the modeled device,
+    /// each wave costs its slowest lane, and disjoint windows mean zero
+    /// conflict stalls. This is what decouples host scheduling from
+    /// modeled time — however the pool interleaved chunks across
+    /// workers, the report depends only on the per-lane reports in
+    /// chunk order.
+    fn merge_report(
+        lane_reports: Vec<LaneReport>,
+        lanes_cap: usize,
+        opts: &UdpRunOptions,
+    ) -> UdpRunReport {
+        let wall_cycles = lane_reports
+            .chunks(lanes_cap.max(1))
+            .map(|wave| wave.iter().map(|r| r.cycles).max().unwrap_or(0))
+            .sum();
+        UdpRunReport {
+            lanes_used: lanes_cap.min(lane_reports.len()),
+            wall_cycles,
+            conflict_stalls: 0,
+            bytes_in: lane_reports.iter().map(|r| r.bytes_consumed).sum(),
+            mem_refs: lane_reports.iter().map(|r| r.mem_refs).sum(),
+            addressing: opts.addressing,
+            lanes: lane_reports,
+        }
+    }
+
     /// Reads back a window-relative byte range of lane `lane_idx`'s
     /// window after a run.
     pub fn read_lane_bytes(
@@ -406,77 +371,6 @@ impl Udp {
 impl Default for Udp {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-/// Executes one lane of a wave against a private window-sized memory
-/// (threaded path). The lane runs at origin 0 of its own memory, which
-/// under local addressing is indistinguishable from running at its slot
-/// origin in the shared device memory: same counted reference sequence,
-/// same cycles, same output. The caller copies the window back into
-/// device memory afterwards.
-fn run_lane_private(
-    image: &ProgramImage,
-    decoded: Arc<DecodedProgram>,
-    staging: &Staging,
-    cfg: &LaneConfig,
-    window_words: usize,
-    mem: &mut LocalMemory,
-    input: &[u8],
-) -> LaneReport {
-    mem.reset_counters();
-    mem.load_words(0, &image.words);
-    mem.clear_words(
-        image.stats.span_words as u32,
-        window_words - image.stats.span_words,
-    );
-    for (off, bytes) in &staging.segments {
-        mem.load_bytes(*off, bytes);
-    }
-    let mut lane = Lane::with_decoded(image, 0, decoded);
-    if staging_clears_code(staging, image.stats.span_words) {
-        lane.mark_code_clean();
-    }
-    for (r, v) in &staging.regs {
-        lane.preset_reg(*r, *v);
-    }
-    let mut stream = BitStream::new(input);
-    let mut out = OutputSink::with_capacity(input.len());
-    lane.run(mem, &mut stream, &mut out, cfg)
-    // `mem_refs` in the report is the memory's total counted references,
-    // which — counters having been reset above — is exactly the per-lane
-    // delta the sequential path computes.
-}
-
-/// Extracts the human-readable message from a panic payload (the two
-/// shapes `panic!` produces: a `&'static str` or a formatted `String`).
-fn panic_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// The report a lane gets when its host thread panicked mid-run: a
-/// [`LaneStatus::Fault`] carrying the panic message, zero counters.
-/// The lane's modeled state (cycles, output) died with the thread, so
-/// nothing else can honestly be reported.
-fn fault_lane_report(msg: &str) -> LaneReport {
-    LaneReport {
-        status: LaneStatus::Fault(format!("lane panicked: {msg}")),
-        cycles: 0,
-        dispatches: 0,
-        fallback_misses: 0,
-        actions: 0,
-        mem_refs: 0,
-        bytes_consumed: 0,
-        output: Vec::new(),
-        reports: Vec::new(),
-        accepted: false,
-        regs: [0; 16],
     }
 }
 
@@ -512,13 +406,75 @@ fn conflict_stall_model(bank_refs: &[u64; NUM_BANKS], lanes: usize, banks_per_la
     stall
 }
 
+/// A reusable membership set over small integer keys, for frontier
+/// deduplication without per-symbol sorting. `advance()` starts a new
+/// generation in O(1) — membership is "stamp equals current generation"
+/// — so the backing vector is allocated once and never cleared on the
+/// hot path.
+struct SeenSet {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl SeenSet {
+    fn new() -> Self {
+        SeenSet {
+            stamp: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Starts a new (empty) generation.
+    fn advance(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap (once per 2^32 generations): old stamps could
+            // alias the new generation, so clear them for real.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Inserts `v` into the current generation; true if it was absent.
+    fn insert(&mut self, v: u32) -> bool {
+        let i = v as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] == self.generation {
+            false
+        } else {
+            self.stamp[i] = self.generation;
+            true
+        }
+    }
+}
+
 /// Runs an NFA program in lockstep multi-activation mode on one lane.
 ///
 /// The frontier of active states all dispatch on the same input symbol
 /// each step (UAP-style NFA execution); epsilon forks activate several
 /// targets. Cycle cost is one dispatch per active state per symbol,
 /// which is what makes large NFAs slower but smaller than DFAs.
+///
+/// Predecodes the image first; callers that run the same image over
+/// many inputs should predecode once and use [`run_nfa_decoded`].
 pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneReport {
+    run_nfa_decoded(image, &image.predecode(), input, cfg)
+}
+
+/// [`run_nfa`] over a shared predecoded view of `image` (decode-once /
+/// execute-many). Lookups are validated against the raw memory word, so
+/// the modeled counters are identical to decoding on every dispatch;
+/// frontier states dedup through a reusable generation-stamped set
+/// instead of a per-symbol sort, which changes only the in-`reports`
+/// ordering of simultaneous matches, never their multiset or any count.
+pub fn run_nfa_decoded(
+    image: &ProgramImage,
+    decoded: &DecodedProgram,
+    input: &[u8],
+    cfg: &LaneConfig,
+) -> LaneReport {
     assert!(image.executable);
     let words = (image.stats.span_words + 1024).max(8192);
     let mut mem = LocalMemory::with_words(words);
@@ -531,9 +487,19 @@ pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneRepo
     // Frontier of consuming-state bases. A Pass entry (initial epsilon
     // closure with several byte-states) is expanded before scanning.
     let mut frontier: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+    let mut seen = SeenSet::new();
     let mut accepted = false;
     let mut reports: Vec<(u16, u32)> = Vec::new();
     let mut cycles = 0u64;
+    let mut nfa = NfaCtx {
+        mem: &mut mem,
+        decoded,
+        cycles: &mut cycles,
+        reports: &mut reports,
+        accepted: &mut accepted,
+        seen: &mut seen,
+    };
     if image.entry_kind == ExecKind::Pass {
         let seed = TransitionWord::new(
             FALLBACK_SIGNATURE,
@@ -542,17 +508,8 @@ pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneRepo
             udp_isa::AttachMode::Direct,
             0,
         );
-        resolve_activation(
-            &seed,
-            &mut mem,
-            &mut cycles,
-            &mut reports,
-            &mut accepted,
-            0,
-            &mut frontier,
-        );
-        frontier.sort_unstable();
-        frontier.dedup();
+        nfa.seen.advance();
+        nfa.resolve_activation(&seed, 0, &mut frontier);
     } else {
         frontier.push(entry);
     }
@@ -560,41 +517,34 @@ pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneRepo
 
     'outer: for (pos, &byte) in input.iter().enumerate() {
         let s = u32::from(byte);
-        let mut next: Vec<u32> = Vec::with_capacity(frontier.len() + 1);
+        next.clear();
+        nfa.seen.advance();
         for &base in &frontier {
-            if cycles >= cfg.max_cycles {
+            if *nfa.cycles >= cfg.max_cycles {
                 status = LaneStatus::CycleLimit;
                 break 'outer;
             }
-            cycles += 1;
+            *nfa.cycles += 1;
             dispatches += 1;
-            let raw = mem.read_word(base + s);
-            let taken = if raw != 0 && TransitionWord::decode(raw).signature() == byte {
-                Some(TransitionWord::decode(raw))
+            let raw = nfa.mem.read_word(base + s);
+            let hit = raw != 0 && nfa.transition(base + s, raw).signature() == byte;
+            let taken = if hit {
+                Some(nfa.transition(base + s, raw))
             } else {
-                cycles += 1;
+                *nfa.cycles += 1;
                 fallback_misses += 1;
-                let fb = mem.read_word(base + udp_isa::FALLBACK_SLOT);
+                let fb_addr = base + udp_isa::FALLBACK_SLOT;
+                let fb = nfa.mem.read_word(fb_addr);
                 if fb == 0 {
                     None // this activation dies
                 } else {
-                    Some(TransitionWord::decode(fb))
+                    Some(nfa.transition(fb_addr, fb))
                 }
             };
             let Some(t) = taken else { continue };
-            resolve_activation(
-                &t,
-                &mut mem,
-                &mut cycles,
-                &mut reports,
-                &mut accepted,
-                pos as u32 + 1,
-                &mut next,
-            );
+            nfa.resolve_activation(&t, pos as u32 + 1, &mut next);
         }
-        next.sort_unstable();
-        next.dedup();
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
         if frontier.is_empty() {
             status = LaneStatus::NoTransition;
             break;
@@ -616,64 +566,89 @@ pub fn run_nfa(image: &ProgramImage, input: &[u8], cfg: &LaneConfig) -> LaneRepo
     }
 }
 
-/// Follows a taken transition to consuming successors, expanding epsilon
-/// forks and running Report/Accept side effects (the only actions NFA
-/// programs attach).
-fn resolve_activation(
-    t: &TransitionWord,
-    mem: &mut LocalMemory,
-    cycles: &mut u64,
-    reports: &mut Vec<(u16, u32)>,
-    accepted: &mut bool,
-    pos: u32,
-    next: &mut Vec<u32>,
-) {
-    // Run attached Report/Accept actions.
-    if let Some(addr) = t.action_addr(0, 0) {
-        let flat = match t.attach_mode() {
-            udp_isa::AttachMode::Direct => addr,
-            udp_isa::AttachMode::Scaled => addr, // abase = 0 in NFA programs
-        };
-        for a in flat..flat.saturating_add(64) {
-            let raw = mem.read_word(a);
-            let Some(act) = udp_isa::Action::decode(raw) else {
-                break;
+/// The mutable machinery one NFA run threads through activation
+/// resolution (bundled so the recursion has one argument instead of
+/// six).
+struct NfaCtx<'a> {
+    mem: &'a mut LocalMemory,
+    decoded: &'a DecodedProgram,
+    cycles: &'a mut u64,
+    reports: &'a mut Vec<(u16, u32)>,
+    accepted: &'a mut bool,
+    seen: &'a mut SeenSet,
+}
+
+impl NfaCtx<'_> {
+    /// Transition view of the word at `addr` whose raw bits are `raw`:
+    /// predecoded table when valid (NFA memory is never written after
+    /// load, so this is the steady state), decode otherwise.
+    fn transition(&self, addr: u32, raw: u32) -> TransitionWord {
+        self.decoded
+            .transition(addr as usize, raw)
+            .unwrap_or_else(|| TransitionWord::decode(raw))
+    }
+
+    /// Follows a taken transition to consuming successors, expanding
+    /// epsilon forks and running Report/Accept side effects (the only
+    /// actions NFA programs attach). Successors dedup against the
+    /// current `seen` generation at insertion.
+    fn resolve_activation(&mut self, t: &TransitionWord, pos: u32, next: &mut Vec<u32>) {
+        // Run attached Report/Accept actions.
+        if let Some(addr) = t.action_addr(0, 0) {
+            let flat = match t.attach_mode() {
+                udp_isa::AttachMode::Direct => addr,
+                udp_isa::AttachMode::Scaled => addr, // abase = 0 in NFA programs
             };
-            *cycles += 1;
-            match act.op {
-                udp_isa::Opcode::Report => reports.push((act.imm, pos)),
-                udp_isa::Opcode::Accept => *accepted = act.imm != 0,
-                _ => {}
+            for a in flat..flat.saturating_add(64) {
+                let raw = self.mem.read_word(a);
+                let Some(act) = self
+                    .decoded
+                    .action(a as usize, raw)
+                    .unwrap_or_else(|| udp_isa::Action::decode(raw))
+                else {
+                    break;
+                };
+                *self.cycles += 1;
+                match act.op {
+                    udp_isa::Opcode::Report => self.reports.push((act.imm, pos)),
+                    udp_isa::Opcode::Accept => *self.accepted = act.imm != 0,
+                    _ => {}
+                }
+                if act.last {
+                    break;
+                }
             }
-            if act.last {
-                break;
+        }
+        match t.kind() {
+            ExecKind::Halt => {}
+            ExecKind::Consume => {
+                let tgt = u32::from(t.target());
+                if self.seen.insert(tgt) {
+                    next.push(tgt);
+                }
+            }
+            ExecKind::Flagged => {}
+            ExecKind::Pass => {
+                // Expand the fork chain.
+                let base = u32::from(t.target());
+                let mut k = 0u32;
+                loop {
+                    *self.cycles += 1;
+                    let addr = base + udp_isa::FALLBACK_SLOT + k;
+                    let raw = self.mem.read_word(addr);
+                    if raw == 0 {
+                        break;
+                    }
+                    let w = self.transition(addr, raw);
+                    self.resolve_activation(&w, pos, next);
+                    if w.signature() != CHAIN_CONTINUE_SIGNATURE {
+                        break;
+                    }
+                    k += 1;
+                }
             }
         }
     }
-    match t.kind() {
-        ExecKind::Halt => {}
-        ExecKind::Consume => next.push(u32::from(t.target())),
-        ExecKind::Flagged => {}
-        ExecKind::Pass => {
-            // Expand the fork chain.
-            let base = u32::from(t.target());
-            let mut k = 0u32;
-            loop {
-                *cycles += 1;
-                let raw = mem.read_word(base + udp_isa::FALLBACK_SLOT + k);
-                if raw == 0 {
-                    break;
-                }
-                let w = TransitionWord::decode(raw);
-                resolve_activation(&w, mem, cycles, reports, accepted, pos, next);
-                if w.signature() != CHAIN_CONTINUE_SIGNATURE {
-                    break;
-                }
-                k += 1;
-            }
-        }
-    }
-    let _ = FALLBACK_SIGNATURE;
 }
 
 #[cfg(test)]

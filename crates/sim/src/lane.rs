@@ -249,6 +249,15 @@ impl Lane {
         }
     }
 
+    /// Whether the pristine-code fast path survived the run: true only
+    /// if [`Lane::mark_code_clean`] was called and no write landed in
+    /// the code span since, i.e. the window's code prefix still holds
+    /// the verbatim program image. The pool uses this to skip reloading
+    /// the image on the next window reset.
+    pub(crate) fn code_is_clean(&self) -> bool {
+        self.code_clean
+    }
+
     /// Records a lane write of word address `word_addr`; a write into
     /// the code span invalidates the pristine-code fast path.
     #[inline]
@@ -455,7 +464,7 @@ impl Lane {
             actions: self.actions_run,
             mem_refs: mem.refs() + self.extra_refs,
             bytes_consumed: u64::from(stream.byte_index()),
-            output: std::mem::take(out).into_bytes(),
+            output: out.take_bytes(),
             reports: std::mem::take(&mut self.reports),
             accepted: self.accept,
             regs: self.regs,
@@ -731,12 +740,7 @@ impl Lane {
                 self.wr(a.dst, v);
             }
             EmitB => out.push_byte(sv.wrapping_add(imm) as u8),
-            EmitW => {
-                let v = sv;
-                for b in v.to_le_bytes() {
-                    out.push_byte(b);
-                }
-            }
+            EmitW => out.push_bytes(&sv.to_le_bytes()),
             SkipB => stream.skip_bytes(sv.wrapping_add(imm)),
             RefillI => {
                 let bits = (imm & 15).min(8) as u8;
@@ -852,19 +856,22 @@ impl Lane {
                 // (conservative; re-validation keeps semantics exact).
                 self.code_clean = false;
                 let dst_addr = self.rd(a.dst, stream);
-                for i in 0..n {
-                    let b = mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i));
-                    mem.write_byte(byte_origin.wrapping_add(dst_addr).wrapping_add(i), b);
-                }
-                // The counted writes above already charge n refs; fold the
-                // reads into the 8-byte datapath model.
+                // Counted writes charge n refs; the reads fold into the
+                // 8-byte datapath model.
+                mem.copy_bytes_counted(
+                    byte_origin.wrapping_add(rv),
+                    byte_origin.wrapping_add(dst_addr),
+                    n,
+                );
                 self.charge_loop(n);
             }
             LoopOut => {
                 let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
-                for i in 0..n {
-                    out.push_byte(mem.peek_byte(byte_origin.wrapping_add(rv).wrapping_add(i)));
+                if n > 0 {
+                    out.push_bytes_with(|dst| {
+                        mem.extend_bytes_into(byte_origin.wrapping_add(rv), n as usize, dst);
+                    });
                 }
                 self.extra_refs += u64::from(n.div_ceil(8));
                 self.charge_loop(n);
@@ -882,8 +889,8 @@ impl Lane {
             LoopIn => {
                 let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
-                for i in 0..n {
-                    out.push_byte(stream.byte_at(rv.wrapping_add(i)));
+                if n > 0 {
+                    out.push_bytes_with(|dst| stream.extend_bytes_into(rv, n as usize, dst));
                 }
                 self.charge_loop(n);
             }

@@ -52,6 +52,7 @@ pub mod engine;
 pub mod error;
 pub mod lane;
 pub mod memory;
+mod pool;
 pub mod stream;
 
 pub use energy::{AreaModel, PowerModel, CPU_TDP_WATTS, UDP_SYSTEM_WATTS};

@@ -20,6 +20,15 @@ pub struct LocalMemory {
     /// disjoint by construction), sparing the hot path the per-access
     /// array update.
     track_banks: bool,
+    /// Dirty high-water mark: every word at an index ≥ this is
+    /// guaranteed still zero (nothing has written it since construction
+    /// or the last [`LocalMemory::assume_all_zero`]). Window resets
+    /// between chunks clear only this prefix instead of the full
+    /// window.
+    dirty_words: usize,
+    /// Reusable gather buffer for [`LocalMemory::copy_bytes_counted`],
+    /// so in-window copies do not allocate per action.
+    copy_scratch: Vec<u8>,
 }
 
 impl LocalMemory {
@@ -36,6 +45,8 @@ impl LocalMemory {
             writes: 0,
             bank_refs: [0; NUM_BANKS],
             track_banks: true,
+            dirty_words: 0,
+            copy_scratch: Vec::new(),
         }
     }
 
@@ -61,6 +72,9 @@ impl LocalMemory {
         }
         if let Some(w) = self.words.get_mut(addr as usize) {
             *w = value;
+            if addr as usize >= self.dirty_words {
+                self.dirty_words = addr as usize + 1;
+            }
         }
     }
 
@@ -135,18 +149,152 @@ impl LocalMemory {
         let start = (origin as usize).min(self.words.len());
         let n = data.len().min(self.words.len() - start);
         self.words[start..start + n].copy_from_slice(&data[..n]);
+        if start + n > self.dirty_words {
+            self.dirty_words = start + n;
+        }
     }
 
     /// Host/driver bulk load of bytes at a byte address (uncounted).
     pub fn load_bytes(&mut self, byte_origin: u32, data: &[u8]) {
-        for (i, &b) in data.iter().enumerate() {
-            let addr = byte_origin + i as u32;
-            let word_addr = (addr / 4) as usize;
-            let shift = (addr % 4) * 8;
-            if let Some(w) = self.words.get_mut(word_addr) {
-                *w = (*w & !(0xFFu32 << shift)) | (u32::from(b) << shift);
-            }
+        self.place_bytes(byte_origin, data);
+    }
+
+    /// Word-merged byte placement shared by [`LocalMemory::load_bytes`]
+    /// and the counted bulk stores: whole covered words are written in
+    /// one step instead of a read-modify-write per byte. Out-of-range
+    /// bytes are dropped, as with the per-byte path.
+    fn place_bytes(&mut self, byte_origin: u32, data: &[u8]) {
+        if data.is_empty() {
+            return;
         }
+        if byte_origin as u64 + data.len() as u64 > u64::from(u32::MAX) + 1 {
+            // Address space wrap: byte-at-a-time with wrapping addresses.
+            for (i, &b) in data.iter().enumerate() {
+                let addr = byte_origin.wrapping_add(i as u32);
+                let word_addr = (addr / 4) as usize;
+                let shift = (addr % 4) * 8;
+                if let Some(w) = self.words.get_mut(word_addr) {
+                    *w = (*w & !(0xFFu32 << shift)) | (u32::from(b) << shift);
+                    if word_addr >= self.dirty_words {
+                        self.dirty_words = word_addr + 1;
+                    }
+                }
+            }
+            return;
+        }
+        let start = byte_origin as usize;
+        let data_end = self.words.len() * 4;
+        if start >= data_end {
+            return;
+        }
+        let end = (start + data.len()).min(data_end);
+        let n = end - start;
+        let mut addr = start;
+        let mut i = 0usize;
+        let put_byte = |words: &mut [u32], addr: usize, b: u8| {
+            let shift = (addr % 4) * 8;
+            let w = &mut words[addr / 4];
+            *w = (*w & !(0xFFu32 << shift)) | (u32::from(b) << shift);
+        };
+        while !addr.is_multiple_of(4) && i < n {
+            put_byte(&mut self.words, addr, data[i]);
+            addr += 1;
+            i += 1;
+        }
+        while i + 4 <= n {
+            self.words[addr / 4] =
+                u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+            addr += 4;
+            i += 4;
+        }
+        while i < n {
+            put_byte(&mut self.words, addr, data[i]);
+            addr += 1;
+            i += 1;
+        }
+        let end_word = end.div_ceil(4).min(self.words.len());
+        if end_word > self.dirty_words {
+            self.dirty_words = end_word;
+        }
+    }
+
+    /// Bulk uncounted byte read: appends `len` bytes starting at byte
+    /// address `byte_origin` to `dst` — zeros past the end of memory —
+    /// byte-for-byte what `len` [`LocalMemory::peek_byte`] calls would
+    /// produce, but moving whole words.
+    pub fn extend_bytes_into(&self, byte_origin: u32, len: usize, dst: &mut Vec<u8>) {
+        dst.reserve(len);
+        if byte_origin as u64 + len as u64 > u64::from(u32::MAX) + 1 {
+            // Address space wrap: byte-at-a-time with wrapping addresses.
+            for i in 0..len {
+                dst.push(self.peek_byte(byte_origin.wrapping_add(i as u32)));
+            }
+            return;
+        }
+        let start = byte_origin as usize;
+        let end = start + len;
+        let data_end = self.words.len() * 4;
+        let mut produced = 0usize;
+        if start < data_end {
+            let in_end = end.min(data_end);
+            let mut addr = start;
+            while !addr.is_multiple_of(4) && addr < in_end {
+                dst.push(self.peek_byte(addr as u32));
+                addr += 1;
+            }
+            while addr + 4 <= in_end {
+                dst.extend_from_slice(&self.words[addr / 4].to_le_bytes());
+                addr += 4;
+            }
+            while addr < in_end {
+                dst.push(self.peek_byte(addr as u32));
+                addr += 1;
+            }
+            produced = in_end - start;
+        }
+        dst.resize(dst.len() + (len - produced), 0);
+    }
+
+    /// Counted byte-range copy within the memory — the `LoopCpy`
+    /// datapath. Reads are uncounted peeks and writes are counted,
+    /// exactly like `n` [`LocalMemory::peek_byte`] +
+    /// [`LocalMemory::write_byte`] pairs, including the forward-copy
+    /// replication when the destination starts inside the source range
+    /// (the in-memory LZ primitive).
+    pub fn copy_bytes_counted(&mut self, src: u32, dst: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let wraps = src as u64 + u64::from(n) > u64::from(u32::MAX) + 1
+            || dst as u64 + u64::from(n) > u64::from(u32::MAX) + 1;
+        if self.track_banks || wraps {
+            // Per-byte path: bank attribution needs every address, and
+            // wrapped ranges need the modular arithmetic.
+            for i in 0..n {
+                let b = self.peek_byte(src.wrapping_add(i));
+                self.write_byte(dst.wrapping_add(i), b);
+            }
+            return;
+        }
+        self.writes += u64::from(n);
+        let nn = n as usize;
+        let mut buf = std::mem::take(&mut self.copy_scratch);
+        buf.clear();
+        let replicates = dst > src && u64::from(dst) < src as u64 + u64::from(n);
+        if replicates {
+            // Forward overlapping copy: the classic byte-at-a-time loop
+            // re-reads its own output, replicating the `d`-byte seed.
+            let d = (dst - src) as usize;
+            self.extend_bytes_into(src, d, &mut buf);
+            while buf.len() < nn {
+                let take = (nn - buf.len()).min(buf.len());
+                buf.extend_from_within(0..take);
+            }
+        } else {
+            self.extend_bytes_into(src, nn, &mut buf);
+        }
+        self.place_bytes(dst, &buf);
+        self.copy_scratch = buf;
     }
 
     /// Host/driver bulk zeroing of a word range (uncounted). Ranges
@@ -189,11 +337,38 @@ impl LocalMemory {
         &self.bank_refs
     }
 
-    /// Resets the reference counters (not the contents).
+    /// Resets the reference counters (not the contents, not the dirty
+    /// mark).
     pub fn reset_counters(&mut self) {
         self.reads = 0;
         self.writes = 0;
         self.bank_refs = [0; NUM_BANKS];
+    }
+
+    /// The dirty high-water mark: every word at an index ≥ the returned
+    /// value is guaranteed still zero. A window reset needs to clear
+    /// (or overwrite) only `[0, dirty_words())` — on short-input chunks
+    /// that is a small fraction of the window.
+    pub fn dirty_words(&self) -> usize {
+        self.dirty_words
+    }
+
+    /// Declares the memory all-zero again, resetting the dirty mark.
+    /// Caller contract: every word in `[0, dirty_words())` has just
+    /// been restored to zero (or is immediately reloaded before any
+    /// lane reads it) — the engine's window reset clears the data tail
+    /// and reloads the code prefix right after this call.
+    pub fn assume_all_zero(&mut self) {
+        self.dirty_words = 0;
+    }
+
+    /// Declares everything above word `words` zero, lowering (or
+    /// raising) the dirty mark to exactly `words`. Caller contract:
+    /// every word in `[words, dirty_words())` has just been zeroed and
+    /// `[0, words)` holds live data the caller accounts for — the pool
+    /// uses this when a window reset keeps the code prefix in place.
+    pub(crate) fn assume_zero_above(&mut self, words: usize) {
+        self.dirty_words = words;
     }
 
     /// Which banks a window of `span` words starting at `origin` touches.
@@ -252,5 +427,110 @@ mod tests {
         assert_eq!(r, 0..1);
         let r = LocalMemory::banks_of_window(4000, 200);
         assert_eq!(r, 0..2);
+    }
+
+    #[test]
+    fn dirty_mark_tracks_every_mutation_path() {
+        let mut m = LocalMemory::with_words(64);
+        assert_eq!(m.dirty_words(), 0, "fresh memory is clean");
+        m.write_word(5, 1);
+        assert_eq!(m.dirty_words(), 6);
+        m.write_byte(40, 0xAA); // word 10
+        assert_eq!(m.dirty_words(), 11);
+        m.load_words(20, &[1, 2]);
+        assert_eq!(m.dirty_words(), 22);
+        m.load_bytes(97, b"xyz"); // bytes 97..100 end in word 25
+        assert_eq!(m.dirty_words(), 25);
+        // Out-of-range writes are dropped and must not raise the mark.
+        m.write_word(1000, 7);
+        assert_eq!(m.dirty_words(), 25);
+    }
+
+    #[test]
+    fn dirty_mark_reset_equals_full_clear() {
+        // Dirty a scattering of words, then reset by clearing only the
+        // dirty prefix: the result must be indistinguishable from a
+        // full clear.
+        let mut m = LocalMemory::with_words(256);
+        m.write_word(3, 0xAB);
+        m.load_bytes(100, b"hello world");
+        m.write_byte(401, 9);
+        let dirty = m.dirty_words();
+        assert!(dirty < 256, "only a prefix is dirty");
+        m.clear_words(0, dirty);
+        m.assume_all_zero();
+        let full = LocalMemory::with_words(256);
+        assert_eq!(m.words(), full.words(), "prefix clear missed a word");
+        assert_eq!(m.dirty_words(), 0);
+    }
+
+    #[test]
+    fn bulk_byte_reads_match_peek_loop() {
+        let mut m = LocalMemory::with_words(8);
+        m.load_bytes(0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        for start in 0..20u32 {
+            for len in 0..24usize {
+                let mut bulk = Vec::new();
+                m.extend_bytes_into(start, len, &mut bulk);
+                let slow: Vec<u8> = (0..len).map(|i| m.peek_byte(start + i as u32)).collect();
+                assert_eq!(bulk, slow, "start={start} len={len}");
+            }
+        }
+    }
+
+    /// The per-byte peek+write reference for `copy_bytes_counted`.
+    fn copy_reference(m: &mut LocalMemory, src: u32, dst: u32, n: u32) {
+        for i in 0..n {
+            let b = m.peek_byte(src.wrapping_add(i));
+            m.write_byte(dst.wrapping_add(i), b);
+        }
+    }
+
+    #[test]
+    fn bulk_copy_matches_reference_including_overlap() {
+        let seed: Vec<u8> = (0u8..32).collect();
+        // Forward-overlap distances 1 and n-1 are the LZ edge cases;
+        // also cover disjoint, self, backward-overlap, and past-the-end.
+        for &(src, dst, n) in &[
+            (0u32, 40u32, 16u32), // disjoint
+            (0, 1, 16),           // overlap distance 1: replicate seed byte
+            (0, 15, 16),          // overlap distance n-1
+            (8, 4, 12),           // backward overlap (no replication)
+            (4, 4, 8),            // self copy
+            (20, 60, 16),         // destination clipped by memory end
+            (60, 4, 12),          // source reads zeros past the end
+        ] {
+            let mut fast = LocalMemory::with_words(17); // 68 bytes
+            fast.load_bytes(0, &seed);
+            fast.set_bank_tracking(false);
+            let mut slow = fast.clone();
+            fast.copy_bytes_counted(src, dst, n);
+            copy_reference(&mut slow, src, dst, n);
+            assert_eq!(
+                fast.words(),
+                slow.words(),
+                "bytes diverged for src={src} dst={dst} n={n}"
+            );
+            assert_eq!(fast.writes(), slow.writes(), "write count diverged");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_bulk_copy_matches_reference(
+            seed in proptest::collection::vec(proptest::prelude::any::<u8>(), 1..64),
+            src in 0u32..80,
+            dst in 0u32..80,
+            n in 0u32..96,
+        ) {
+            let mut fast = LocalMemory::with_words(20);
+            fast.load_bytes(0, &seed);
+            fast.set_bank_tracking(false);
+            let mut slow = fast.clone();
+            fast.copy_bytes_counted(src, dst, n);
+            copy_reference(&mut slow, src, dst, n);
+            proptest::prop_assert_eq!(fast.words(), slow.words());
+            proptest::prop_assert_eq!(fast.writes(), slow.writes());
+        }
     }
 }

@@ -1,0 +1,285 @@
+//! Persistent lane-pool execution of data-parallel runs.
+//!
+//! PR 1's parallel path spawned and joined a fresh host thread per lane
+//! per wave and reinitialized the whole window memory per chunk, which
+//! dominates host time on many-small-chunk runs (the shape of every ETL
+//! workload). This module replaces it with a persistent worker pool:
+//!
+//! * workers are created **once per run** and pull chunk indices from a
+//!   shared atomic counter — dynamic scheduling with no host-side wave
+//!   barrier, so a fast lane immediately takes the next chunk;
+//! * each worker owns a [`LaneSlot`] — a private window-sized
+//!   [`LocalMemory`] and a reusable [`OutputSink`] — reused across all
+//!   the chunks it claims;
+//! * window reset between chunks clears only the dirty prefix the
+//!   previous chunk actually touched ([`LocalMemory::dirty_words`])
+//!   instead of rewriting the full window, and skips reloading the
+//!   program image when the previous lane finished with the
+//!   pristine-code flag intact (the code prefix is then provably still
+//!   the verbatim image);
+//! * every chunk body runs under `catch_unwind`, so a panicking lane
+//!   degrades to [`LaneStatus::Fault`] in its own report while sibling
+//!   chunks survive — same contract as the per-wave threads had;
+//! * reports land in an index-addressed results vector, so the merged
+//!   output is deterministic regardless of which worker ran which chunk.
+//!
+//! Host scheduling is decoupled from modeled time: the engine recomputes
+//! `wall_cycles` from the per-lane reports with the wave formula
+//! (DESIGN.md §2.6.2), so the [`crate::engine::UdpRunReport`] stays
+//! bit-identical to the sequential path no matter how chunks were
+//! interleaved on the host.
+
+use crate::engine::Staging;
+use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
+use crate::memory::LocalMemory;
+use crate::stream::{BitStream, OutputSink};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use udp_asm::{DecodedProgram, ProgramImage};
+
+/// Everything shared by every chunk of one data-parallel run.
+pub(crate) struct RunParams<'a> {
+    /// The program image loaded at origin 0 of each private window.
+    pub image: &'a ProgramImage,
+    /// Predecoded view shared by all lanes.
+    pub decoded: &'a Arc<DecodedProgram>,
+    /// Per-lane staging (segments + register presets).
+    pub staging: &'a Staging,
+    /// Lane configuration (cycle cap, chaos hook).
+    pub cfg: &'a LaneConfig,
+    /// Window size in words (`banks_per_lane * BANK_WORDS`).
+    pub window_words: usize,
+    /// Concurrent-lane capacity of the device (`NUM_BANKS /
+    /// banks_per_lane`); chunk `i` occupies device lane slot
+    /// `i % lanes_cap`.
+    pub lanes_cap: usize,
+    /// Precomputed [`crate::engine::staging_clears_code`]: no staging
+    /// segment overlaps the code span, so lanes may take the
+    /// pristine-code fetch fast path.
+    pub code_clean: bool,
+}
+
+/// A final window snapshot: `(device lane slot, window words)` for the
+/// last chunk that occupied that slot. The engine copies these into the
+/// shared device memory so `read_lane_bytes` sees the same post-run
+/// state as a fully sequential run.
+pub(crate) type WindowSnapshot = (usize, Vec<u32>);
+
+/// One worker's private execution state, reused chunk after chunk.
+struct LaneSlot {
+    mem: LocalMemory,
+    out: OutputSink,
+    /// True when `mem[0, image words)` is known to hold the verbatim
+    /// program image: a previous reset loaded it and the lane finished
+    /// with the pristine-code flag still set ([`Lane::code_is_clean`]).
+    /// Lets the next reset skip the image reload entirely.
+    code_pristine: bool,
+}
+
+impl LaneSlot {
+    fn new(window_words: usize) -> Self {
+        let mut mem = LocalMemory::with_words(window_words);
+        // Private windows only exist under local addressing, whose
+        // conflict model never reads per-bank counts.
+        mem.set_bank_tracking(false);
+        LaneSlot {
+            mem,
+            out: OutputSink::new(),
+            code_pristine: false,
+        }
+    }
+}
+
+/// Restores a slot's memory to "freshly zeroed + image + staging":
+/// clears the dirty tail above the code span, reloads the code prefix
+/// and staging segments over the rest, and zeroes the counters. Both
+/// execution paths share this helper so their reset semantics cannot
+/// diverge.
+fn reset_window(p: &RunParams, mem: &mut LocalMemory, code_pristine: bool) {
+    let code_words = p.image.words.len();
+    let dirty = mem.dirty_words();
+    if dirty > code_words {
+        mem.clear_words(code_words as u32, dirty - code_words);
+    }
+    if code_pristine {
+        // The code prefix is already the verbatim image (the previous
+        // lane kept the pristine-code flag), so only the cleared tail
+        // needs accounting — no reload.
+        mem.assume_zero_above(code_words);
+    } else {
+        // Words at or above the old dirty mark were never written; the
+        // range below `code_words` is fully overwritten by the reload.
+        mem.assume_all_zero();
+        mem.load_words(0, &p.image.words);
+    }
+    for (off, bytes) in &p.staging.segments {
+        mem.load_bytes(*off, bytes);
+    }
+    mem.reset_counters();
+}
+
+/// Runs one chunk on a slot. The lane executes at origin 0 of the
+/// private window, which under local addressing is indistinguishable
+/// from running at its slot origin in the shared device memory: same
+/// counted reference sequence, same cycles, same output.
+fn run_chunk(p: &RunParams, slot: &mut LaneSlot, input: &[u8]) -> LaneReport {
+    reset_window(p, &mut slot.mem, slot.code_pristine);
+    slot.out.reserve(input.len());
+    let mut lane = Lane::with_decoded(p.image, 0, Arc::clone(p.decoded));
+    if p.code_clean {
+        lane.mark_code_clean();
+    }
+    for (r, v) in &p.staging.regs {
+        lane.preset_reg(*r, *v);
+    }
+    let mut stream = BitStream::new(input);
+    let rep = lane.run(&mut slot.mem, &mut stream, &mut slot.out, p.cfg);
+    // If the lane never wrote its code span, the image is still in
+    // place verbatim and the next reset can skip reloading it. (A
+    // panicking chunk never reaches this point; its slot is rebuilt.)
+    slot.code_pristine = lane.code_is_clean();
+    rep
+    // `mem_refs` in the report is the slot memory's total counted
+    // references, which — counters having been reset above — is exactly
+    // the per-lane delta the shared-memory path computes.
+}
+
+/// True when chunk `idx` is the last occupant of its device lane slot,
+/// i.e. its final window state is the one a sequential run would leave
+/// in device memory.
+fn is_final_occupant(idx: usize, lanes_cap: usize, total: usize) -> bool {
+    idx + lanes_cap >= total
+}
+
+/// Sequential execution through the same slot/reset machinery as the
+/// pool: one slot, reused chunk after chunk. Panics propagate (the
+/// sequential path has no degradation contract to keep).
+pub(crate) fn run_sequential(
+    p: &RunParams,
+    inputs: &[&[u8]],
+) -> (Vec<LaneReport>, Vec<WindowSnapshot>) {
+    let mut slot = LaneSlot::new(p.window_words);
+    let mut reports = Vec::with_capacity(inputs.len());
+    let mut finals = Vec::new();
+    for (idx, input) in inputs.iter().enumerate() {
+        reports.push(run_chunk(p, &mut slot, input));
+        if is_final_occupant(idx, p.lanes_cap, inputs.len()) {
+            finals.push((idx % p.lanes_cap, slot.mem.words().to_vec()));
+        }
+    }
+    (reports, finals)
+}
+
+/// Pooled execution: `min(host threads, lanes_cap, chunks)` persistent
+/// workers race down the chunk list via a shared atomic counter. Returns
+/// index-addressed reports (every present entry at position `i` is chunk
+/// `i`'s report) plus the final window snapshots.
+///
+/// A chunk whose body panics yields a [`LaneStatus::Fault`] report and a
+/// rebuilt slot; in the (hypothetical) case of a worker dying outside
+/// the `catch_unwind`, its claimed-but-unreported chunks come back as
+/// `None` and the engine substitutes fault reports — degradation never
+/// becomes a host abort.
+pub(crate) fn run_pooled(
+    p: &RunParams,
+    inputs: &[&[u8]],
+) -> (Vec<Option<LaneReport>>, Vec<WindowSnapshot>) {
+    let total = inputs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(p.lanes_cap)
+        .min(total)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<LaneReport>> = (0..total).map(|_| None).collect();
+    let mut finals: Vec<WindowSnapshot> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || worker_loop(p, inputs, next))
+            })
+            .collect();
+        for h in handles {
+            if let Ok((reports, windows)) = h.join() {
+                for (idx, rep) in reports {
+                    results[idx] = Some(rep);
+                }
+                finals.extend(windows);
+            }
+        }
+    });
+    (results, finals)
+}
+
+/// One worker: claim chunks until the counter runs past the end,
+/// running each under `catch_unwind` so a poisoned chunk cannot take
+/// down the pool.
+fn worker_loop(
+    p: &RunParams,
+    inputs: &[&[u8]],
+    next: &AtomicUsize,
+) -> (Vec<(usize, LaneReport)>, Vec<WindowSnapshot>) {
+    let total = inputs.len();
+    let mut slot = LaneSlot::new(p.window_words);
+    let mut reports = Vec::new();
+    let mut finals = Vec::new();
+    loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        if idx >= total {
+            break;
+        }
+        let rep = match catch_unwind(AssertUnwindSafe(|| run_chunk(p, &mut slot, inputs[idx]))) {
+            Ok(rep) => {
+                if is_final_occupant(idx, p.lanes_cap, total) {
+                    finals.push((idx % p.lanes_cap, slot.mem.words().to_vec()));
+                }
+                rep
+            }
+            Err(payload) => {
+                // The slot's memory and sink are in an unknown state
+                // mid-panic; rebuild rather than reason about partial
+                // writes. (Cold path: chaos injection and bugs only.)
+                slot = LaneSlot::new(p.window_words);
+                fault_lane_report(&panic_message(payload.as_ref()))
+            }
+        };
+        reports.push((idx, rep));
+    }
+    (reports, finals)
+}
+
+/// Extracts the human-readable message from a panic payload (the two
+/// shapes `panic!` produces: a `&'static str` or a formatted `String`).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The report a chunk gets when its execution panicked mid-run: a
+/// [`LaneStatus::Fault`] carrying the panic message, zero counters.
+/// The lane's modeled state (cycles, output) died with the panic, so
+/// nothing else can honestly be reported.
+pub(crate) fn fault_lane_report(msg: &str) -> LaneReport {
+    LaneReport {
+        status: LaneStatus::Fault(format!("lane panicked: {msg}")),
+        cycles: 0,
+        dispatches: 0,
+        fallback_misses: 0,
+        actions: 0,
+        mem_refs: 0,
+        bytes_consumed: 0,
+        output: Vec::new(),
+        reports: Vec::new(),
+        accepted: false,
+        regs: [0; 16],
+    }
+}

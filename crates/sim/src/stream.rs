@@ -150,6 +150,24 @@ impl<'a> BitStream<'a> {
         self.data.get(idx as usize).copied().unwrap_or(0)
     }
 
+    /// Bulk [`BitStream::byte_at`]: appends `len` window bytes starting
+    /// at `idx` to `dst`, zero-filled past the end — the `LoopIn`
+    /// literal-copy fast path.
+    pub fn extend_bytes_into(&self, idx: u32, len: usize, dst: &mut Vec<u8>) {
+        if idx as u64 + len as u64 > u64::from(u32::MAX) + 1 {
+            // Address wrap: byte-at-a-time with wrapping offsets.
+            for i in 0..len {
+                dst.push(self.byte_at(idx.wrapping_add(i as u32)));
+            }
+            return;
+        }
+        let start = (idx as usize).min(self.data.len());
+        let end = (idx as usize + len).min(self.data.len());
+        dst.reserve(len);
+        dst.extend_from_slice(&self.data[start..end]);
+        dst.resize(dst.len() + (len - (end - start)), 0);
+    }
+
     /// Reads one aligned byte, or `None` at end.
     pub fn read_byte(&mut self) -> Option<u8> {
         self.align_byte();
@@ -210,6 +228,32 @@ impl OutputSink {
             self.flush_bits();
         }
         self.bytes.push(b);
+    }
+
+    /// Appends a byte slice in one step — byte-for-byte what repeated
+    /// [`OutputSink::push_byte`] would produce (pending bits are
+    /// flushed first; an empty slice is a no-op, flushing nothing).
+    #[inline]
+    pub fn push_bytes(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        if self.bit_count > 0 {
+            self.flush_bits();
+        }
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Appends bytes produced directly into the output buffer by
+    /// `fill` (pending bits are flushed first) — the zero-copy bulk
+    /// twin of [`OutputSink::push_byte`] for memory- and stream-sourced
+    /// block copies (`LoopOut`, `LoopIn`).
+    #[inline]
+    pub fn push_bytes_with<F: FnOnce(&mut Vec<u8>)>(&mut self, fill: F) {
+        if self.bit_count > 0 {
+            self.flush_bits();
+        }
+        fill(&mut self.bytes);
     }
 
     /// Appends the low `bits` of `v`, MSB-first.
@@ -282,9 +326,25 @@ impl OutputSink {
             self.bytes.len()
         );
         let start = self.bytes.len() - back;
-        for i in 0..n as usize {
-            let b = self.bytes[start + i];
-            self.bytes.push(b);
+        if self.reference {
+            // One byte per iteration — the executable specification of
+            // the replicating back-copy.
+            for i in 0..n as usize {
+                let b = self.bytes[start + i];
+                self.bytes.push(b);
+            }
+            return;
+        }
+        // Bulk path: copy in chunks that double as the replicated
+        // region grows — `extend_from_within` keeps it a memcpy even
+        // when `back < n` (overlapping LZ replication).
+        let mut remaining = n as usize;
+        self.bytes.reserve(remaining);
+        while remaining > 0 {
+            let avail = self.bytes.len() - start;
+            let chunk = remaining.min(avail);
+            self.bytes.extend_from_within(start..start + chunk);
+            remaining -= chunk;
         }
     }
 
@@ -292,6 +352,29 @@ impl OutputSink {
     pub fn into_bytes(mut self) -> Vec<u8> {
         self.flush_bits();
         self.bytes
+    }
+
+    /// Takes the emitted bytes out of the sink (pending bits flushed),
+    /// leaving it empty and ready for reuse. Unlike
+    /// [`OutputSink::into_bytes`] the sink object — and its packing
+    /// mode — survives, so a pooled worker can keep one sink across
+    /// chunks.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        self.flush_bits();
+        std::mem::take(&mut self.bytes)
+    }
+
+    /// Clears the sink for reuse: drops emitted bytes and pending bits
+    /// but keeps the allocation and packing mode.
+    pub fn reset(&mut self) {
+        self.bytes.clear();
+        self.bit_acc = 0;
+        self.bit_count = 0;
+    }
+
+    /// Reserves room for at least `n` more output bytes.
+    pub fn reserve(&mut self, n: usize) {
+        self.bytes.reserve(n);
     }
 
     /// The bytes emitted so far.
@@ -366,6 +449,46 @@ mod tests {
         assert_eq!(o.bytes(), b"ababababa".get(..7).unwrap());
     }
 
+    /// Builds a bulk-path and a reference-path sink holding the same
+    /// `seed` bytes, applies the same back-copy to both, and returns
+    /// the pair of results.
+    fn copy_back_pair(seed: &[u8], back: u32, n: u32) -> (Vec<u8>, Vec<u8>) {
+        let mut fast = OutputSink::new();
+        let mut slow = OutputSink::reference();
+        fast.push_bytes(seed);
+        for &b in seed {
+            slow.push_byte(b);
+        }
+        fast.copy_back(back, n);
+        slow.copy_back(back, n);
+        (fast.into_bytes(), slow.into_bytes())
+    }
+
+    #[test]
+    fn sink_copy_back_bulk_matches_reference_overlap_extremes() {
+        // back=1: maximal overlap — every copied byte re-reads the byte
+        // the previous iteration wrote (run-length replication).
+        let (fast, slow) = copy_back_pair(b"xyz", 1, 9);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, b"xyzzzzzzzzzz");
+        // back = n-1: one byte of self-overlap at the very end.
+        let n = 7u32;
+        let (fast, slow) = copy_back_pair(b"abcdefgh", n - 1, n);
+        assert_eq!(fast, slow);
+        // back = n: touching but not overlapping.
+        let (fast, slow) = copy_back_pair(b"abcdefgh", n, n);
+        assert_eq!(fast, slow);
+        // Pending bits are flushed identically before the copy.
+        let mut fast = OutputSink::new();
+        let mut slow = OutputSink::reference();
+        for o in [&mut fast, &mut slow] {
+            o.push_byte(0xAB);
+            o.push_bits(0b101, 3);
+            o.copy_back(2, 5);
+        }
+        assert_eq!(fast.into_bytes(), slow.into_bytes());
+    }
+
     proptest! {
         #[test]
         fn prop_bits_round_trip_through_sink(chunks in proptest::collection::vec((0u32..65536, 1u8..=16), 0..64)) {
@@ -408,6 +531,17 @@ mod tests {
                 slow.push_bits(*v, *w);
             }
             prop_assert_eq!(fast.into_bytes(), slow.into_bytes());
+        }
+
+        #[test]
+        fn prop_copy_back_bulk_matches_reference(
+            seed in proptest::collection::vec(any::<u8>(), 1..48),
+            back in 1u32..48,
+            n in 0u32..160,
+        ) {
+            let back = back.min(seed.len() as u32);
+            let (fast, slow) = copy_back_pair(&seed, back, n);
+            prop_assert_eq!(fast, slow);
         }
 
         #[test]

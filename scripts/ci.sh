@@ -22,4 +22,44 @@ cargo run --release -q -p udp-bench --bin verify
 echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
 cargo run --release -q -p udp-bench --bin fault_fuzz -- --iters 200 --seed 0xDEC0DE --min-static-reject 1
 
+echo "== hostperf smoke (non-gating, DESIGN.md §2.6.2) =="
+# Host-throughput trend check over the chunked scenarios: runs hostperf,
+# prints the MB/s delta against the previous results/BENCH_hostperf.json,
+# and refreshes it. Perf is machine- and load-dependent, so this step
+# reports but never fails the build.
+(
+  set +e
+  prev=""
+  if [ -f results/BENCH_hostperf.json ]; then
+    prev="$(cat results/BENCH_hostperf.json)"
+  fi
+  cargo run --release -q -p udp-bench --bin hostperf -- --json >/dev/null 2>&1
+  if [ -f results/BENCH_hostperf.json ]; then
+    echo "$prev" | awk -v cur="$(cat results/BENCH_hostperf.json)" '
+      function field(line, key,   s) {
+        s = line
+        if (!sub(".*\"" key "\":", "", s)) return ""
+        sub("[,}].*", "", s); gsub("\"", "", s)
+        return s
+      }
+      NF { prev_mbps[field($0, "name")] = field($0, "predecoded_par_mbps") }
+      END {
+        n = split(cur, lines, "\n")
+        for (i = 1; i <= n; i++) {
+          if (lines[i] == "") continue
+          name = field(lines[i], "name")
+          now = field(lines[i], "predecoded_par_mbps") + 0
+          was = (name in prev_mbps) ? prev_mbps[name] + 0 : 0
+          if (was > 0)
+            printf "  %-16s par %8.1f MB/s (prev %8.1f, %+.1f%%)\n", name, now, was, (now / was - 1) * 100
+          else
+            printf "  %-16s par %8.1f MB/s (no previous record)\n", name, now
+        }
+      }'
+  else
+    echo "  hostperf produced no JSON; skipping delta"
+  fi
+  exit 0
+)
+
 echo "CI green."
