@@ -10,16 +10,46 @@
 //!
 //! ```text
 //! fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N]
+//!            [--min-recovery-rate PCT] [--json]
 //! ```
 //!
 //! Prints a machine-readable `key=value` summary and exits nonzero if
 //! any case panicked — or, with `--min-static-reject N`, if the
 //! `udp-verify` oracle rejected fewer than `N` corrupted images before
-//! execution (the usefulness invariant from DESIGN.md §9);
-//! `scripts/ci.sh` runs it as a smoke gate with `--iters 200
-//! --seed 0xDEC0DE --min-static-reject 1`.
+//! execution (the usefulness invariant from DESIGN.md §9) — or, with
+//! `--min-recovery-rate PCT`, if fewer than `PCT`% of the transient
+//! chaos mode's injected faults resolved as Recovered or Fallback on
+//! the supervisor's ladder (DESIGN.md §8). `--json` additionally
+//! writes one JSON object per mode to `results/BENCH_fault_fuzz.json`
+//! (mirroring hostperf's `--json`) so the robustness trajectory is
+//! tracked across PRs like perf is. `scripts/ci.sh` runs it as a smoke
+//! gate with `--iters 200 --seed 0xDEC0DE --min-static-reject 1
+//! --min-recovery-rate 100 --json`.
 
-use udp_fault::run_plan;
+use std::fmt::Write as _;
+use udp_fault::{run_plan, FuzzSummary};
+
+/// One JSON object per injection mode, one per line — no dependency
+/// needed, trivially greppable/awk-able from CI.
+fn render_json(summary: &FuzzSummary) -> String {
+    let mut s = String::new();
+    for (mode, st) in &summary.stats {
+        let _ = writeln!(
+            s,
+            "{{\"mode\":\"{}\",\"clean\":{},\"degraded\":{},\"panicked\":{},\
+             \"static_reject\":{},\"recovered\":{},\"fallback\":{},\"quarantined\":{}}}",
+            mode.name(),
+            st.clean,
+            st.degraded,
+            st.panicked,
+            st.static_reject,
+            st.recovered,
+            st.fallback,
+            st.quarantined,
+        );
+    }
+    s
+}
 
 fn parse_u64(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -33,9 +63,22 @@ fn main() {
     let mut iters: u64 = 1000;
     let mut seed: u64 = 0xDEC0DE;
     let mut min_static_reject: u64 = 0;
+    let mut min_recovery_rate: Option<f64> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--json" => json = true,
+            "--min-recovery-rate" => {
+                min_recovery_rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--min-recovery-rate needs a percentage");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             "--min-static-reject" => {
                 min_static_reject =
                     args.next()
@@ -67,7 +110,10 @@ fn main() {
                     });
             }
             "--help" | "-h" => {
-                eprintln!("usage: fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N]");
+                eprintln!(
+                    "usage: fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N] \
+                     [--min-recovery-rate PCT] [--json]"
+                );
                 return;
             }
             other => {
@@ -79,6 +125,17 @@ fn main() {
 
     let summary = run_plan(seed, iters);
     print!("{summary}");
+    if json {
+        let payload = render_json(&summary);
+        let path = "results/BENCH_fault_fuzz.json";
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &payload))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("json: {path}");
+        }
+    }
     if summary.panics() > 0 {
         eprintln!(
             "FAIL: {} invariant violation(s) — replay with --seed {:#x} and the case indices above",
@@ -94,6 +151,27 @@ fn main() {
             min_static_reject
         );
         std::process::exit(1);
+    }
+    if let Some(floor) = min_recovery_rate {
+        match summary.transient_recovery_rate() {
+            Some(rate) if rate >= floor => {
+                println!("recovery_rate={rate:.1}");
+            }
+            Some(rate) => {
+                eprintln!(
+                    "FAIL: transient recovery rate {rate:.1}% is below the \
+                     --min-recovery-rate {floor}% floor"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "FAIL: --min-recovery-rate set but no transient chaos case faulted \
+                     (raise --iters so the chaos-transient mode runs)"
+                );
+                std::process::exit(1);
+            }
+        }
     }
     println!("ok: invariant held for all {iters} cases");
 }

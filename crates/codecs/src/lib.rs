@@ -23,6 +23,7 @@
 pub mod bitpack;
 pub mod csv;
 pub mod dict;
+pub mod fallback;
 pub mod histogram;
 pub mod huffman;
 pub mod json;
@@ -34,6 +35,7 @@ pub mod xml;
 pub use bitpack::{bitpack_decode, bitpack_encode, bits_needed};
 pub use csv::{CsvEvent, CsvParser};
 pub use dict::{DictRleEncoder, DictionaryEncoder};
+pub use fallback::{CsvFramingFallback, HuffmanSsRefFallback, SnappyFallback};
 pub use histogram::Histogram;
 pub use huffman::{HuffmanCode, HuffmanTree};
 pub use json::{JsonToken, JsonTokenizer};

@@ -1,0 +1,109 @@
+//! Byte-equality between the `udp_codecs::fallback` reference decoders
+//! and the UDP kernels they stand in for.
+//!
+//! The supervisor's fallback rung (DESIGN.md §8) is only sound if the
+//! software reference produces exactly the bytes the kernel would have:
+//! these tests pin that contract for each registered fallback, on the
+//! same workload generators the benches use.
+
+use udp_asm::LayoutOptions;
+use udp_codecs::fallback::{CsvFramingFallback, HuffmanSsRefFallback, SnappyFallback};
+use udp_codecs::huffman::HuffmanTree;
+use udp_codecs::snappy::snappy_compress;
+use udp_compilers::huffman::{huffman_decode_to_udp, pad_for_stride, ssref_stride, SymbolMode};
+use udp_compilers::snappy::frame_compressed;
+use udp_compilers::{FIELD_SEP, RECORD_SEP};
+use udp_sim::{Lane, LaneConfig, ReferenceFallback};
+
+fn run_kernel(pb: udp_asm::ProgramBuilder, input: &[u8], banks: usize) -> Vec<u8> {
+    let img = pb.assemble(&LayoutOptions::with_banks(banks)).unwrap();
+    let rep = Lane::run_program(&img, input, &LaneConfig::default());
+    rep.output
+}
+
+fn csv_fallback() -> CsvFramingFallback {
+    CsvFramingFallback {
+        delimiter: b',',
+        quote: b'"',
+        field_sep: FIELD_SEP,
+        record_sep: RECORD_SEP,
+    }
+}
+
+#[test]
+fn csv_fallback_matches_kernel_and_baseline_on_crimes() {
+    let data = udp_workloads::crimes_csv(20_000, 21);
+    let kernel = run_kernel(udp_compilers::csv::csv_to_udp(), &data, 1);
+    let reference = csv_fallback().reference_output(&data).unwrap();
+    assert_eq!(reference, kernel);
+    assert_eq!(reference, udp_compilers::csv::baseline_framing(&data));
+}
+
+#[test]
+fn csv_fallback_matches_kernel_on_quoted_workload() {
+    let data = udp_workloads::food_inspection_csv(20_000, 22);
+    let kernel = run_kernel(udp_compilers::csv::csv_to_udp(), &data, 1);
+    assert_eq!(csv_fallback().reference_output(&data).unwrap(), kernel);
+}
+
+#[test]
+fn csv_fallback_matches_kernel_on_lineitem() {
+    // The harness's chaos modes swap this fallback in for the CSV
+    // kernel over lineitem chunks; equality here licenses the swap.
+    let data = udp_workloads::lineitem_csv(20_000, 23);
+    let kernel = run_kernel(udp_compilers::csv::csv_to_udp(), &data, 1);
+    assert_eq!(csv_fallback().reference_output(&data).unwrap(), kernel);
+}
+
+#[test]
+fn snappy_fallback_matches_kernel() {
+    let raw = udp_workloads::lineitem_csv(30_000, 24);
+    let compressed = snappy_compress(&raw);
+    let kernel = run_kernel(
+        udp_compilers::snappy::snappy_decompress_to_udp(),
+        &compressed,
+        16,
+    );
+    assert_eq!(kernel, raw, "kernel round-trips the workload");
+    assert_eq!(SnappyFallback.reference_output(&compressed).unwrap(), raw);
+}
+
+#[test]
+fn snappy_fallback_matches_kernel_on_udp_compressed_stream() {
+    // Also over a stream the UDP *compressor* produced (host-framed).
+    let raw = udp_workloads::canterbury_like(udp_workloads::Entropy::Medium, 20_000, 25);
+    let body = run_kernel(udp_compilers::snappy::snappy_compress_to_udp(), &raw, 16);
+    let framed = frame_compressed(raw.len(), &body);
+    let kernel = run_kernel(
+        udp_compilers::snappy::snappy_decompress_to_udp(),
+        &framed,
+        16,
+    );
+    assert_eq!(kernel, raw);
+    assert_eq!(SnappyFallback.reference_output(&framed).unwrap(), raw);
+}
+
+#[test]
+fn huffman_ssref_fallback_matches_kernel_raw_output() {
+    for (seed, entropy) in [
+        (26, udp_workloads::Entropy::Low),
+        (27, udp_workloads::Entropy::Medium),
+        (28, udp_workloads::Entropy::High),
+    ] {
+        let data = udp_workloads::canterbury_like(entropy, 4_000, seed);
+        let tree = HuffmanTree::from_data(&data);
+        let (bits, nbits) = tree.encode(&data);
+        let stride = ssref_stride(&tree);
+        let padded = pad_for_stride(&bits, nbits, stride);
+        let kernel = run_kernel(
+            huffman_decode_to_udp(&tree, SymbolMode::RegisterRefill),
+            &padded,
+            8,
+        );
+        let fb = HuffmanSsRefFallback::new(tree, stride);
+        // Raw (untruncated) outputs must match bit-for-bit, spurious
+        // padding symbols included — that is what the supervisor swaps.
+        assert_eq!(fb.reference_output(&padded).unwrap(), kernel);
+        assert_eq!(&kernel[..data.len()], &data[..]);
+    }
+}

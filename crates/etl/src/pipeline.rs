@@ -28,7 +28,13 @@ impl fmt::Display for EtlError {
     }
 }
 
-impl std::error::Error for EtlError {}
+impl std::error::Error for EtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EtlError::Decompress(e) => Some(e),
+        }
+    }
+}
 
 impl From<SnappyError> for EtlError {
     fn from(e: SnappyError) -> Self {
@@ -333,6 +339,19 @@ mod tests {
     fn trusted_wrapper_panics_on_dirty_rows() {
         let dirty = b"not|a|lineitem|row\n".to_vec();
         let _ = run_cpu_etl(&snappy_compress(&dirty));
+    }
+
+    #[test]
+    fn etl_error_composes_as_box_dyn_error_with_source() {
+        fn load(bytes: &[u8]) -> Result<(), Box<dyn std::error::Error>> {
+            run_cpu_etl_recovering(bytes)?;
+            Ok(())
+        }
+        let e = load(b"\xFF\xFF\xFF garbage").unwrap_err();
+        assert!(e.to_string().starts_with("decompress:"));
+        // The chain bottoms out at the SnappyError that caused it.
+        let source = std::error::Error::source(e.as_ref()).expect("source is the codec error");
+        assert!(source.downcast_ref::<SnappyError>().is_some());
     }
 
     #[test]

@@ -14,14 +14,15 @@ use crate::plan::{FaultCase, FaultMode, FaultPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use udp_asm::{LayoutOptions, ProgramImage};
+use udp_codecs::fallback::CsvFramingFallback;
 use udp_codecs::json::JsonTokenizer;
 use udp_codecs::snappy::{snappy_compress, snappy_decompress};
 use udp_etl::run_cpu_etl_recovering;
 use udp_sim::lane::{Lane, LaneConfig, LaneStatus};
-use udp_sim::{Udp, UdpRunOptions};
+use udp_sim::{ChunkOutcome, FaultKind, ReferenceFallback, SupervisorOptions, Udp, UdpRunOptions};
 use udp_workloads::{lineitem_csv, ndjson_events};
 
 /// Cycle budget for every harness run. Small enough that a million
@@ -42,6 +43,18 @@ pub enum Outcome {
     Panicked(String),
 }
 
+/// Per-chunk recovery counters a supervised case contributes (always
+/// zero for unsupervised modes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Chunks that came back via deterministic replay.
+    pub recovered: u64,
+    /// Chunks served by the software reference fallback.
+    pub fallback: u64,
+    /// Chunks the supervisor had to quarantine.
+    pub quarantined: u64,
+}
+
 /// One executed case.
 #[derive(Debug, Clone)]
 pub struct CaseReport {
@@ -53,6 +66,8 @@ pub struct CaseReport {
     /// one `Error` finding before the dynamic run. Only image-mutation
     /// modes consult the oracle; always `false` elsewhere.
     pub static_reject: bool,
+    /// Recovery-ladder counters (supervised chaos modes only).
+    pub recovery: Recovery,
     /// Host wall time for the case, microseconds (hang telemetry).
     pub micros: u128,
 }
@@ -69,6 +84,12 @@ pub struct ModeStats {
     /// Cases the static verifier rejected before execution (the
     /// usefulness half of `udp-verify`'s tested invariants).
     pub static_reject: u64,
+    /// Chunks recovered by replay across the mode's cases.
+    pub recovered: u64,
+    /// Chunks served by the reference fallback across the mode's cases.
+    pub fallback: u64,
+    /// Chunks quarantined across the mode's cases.
+    pub quarantined: u64,
 }
 
 /// Aggregate result of a fuzzing run, printable as the
@@ -97,6 +118,24 @@ impl FuzzSummary {
     pub fn static_rejects(&self) -> u64 {
         self.stats.iter().map(|(_, s)| s.static_reject).sum()
     }
+
+    /// Recovered-or-fallback percentage over the *transient* injection
+    /// mode's faulted chunks, `None` when no transient chunk faulted
+    /// (e.g. the mode never ran). This is the CI robustness gate: a
+    /// transient fault must resolve on the first two ladder rungs, so
+    /// a healthy run reports 100.
+    pub fn transient_recovery_rate(&self) -> Option<f64> {
+        let s = self
+            .stats
+            .iter()
+            .find(|(m, _)| *m == FaultMode::ChaosTransient)
+            .map(|(_, s)| *s)?;
+        let faulted = s.recovered + s.fallback + s.quarantined;
+        if faulted == 0 {
+            return None;
+        }
+        Some((s.recovered + s.fallback) as f64 / faulted as f64 * 100.0)
+    }
 }
 
 impl std::fmt::Display for FuzzSummary {
@@ -112,12 +151,16 @@ impl std::fmt::Display for FuzzSummary {
         for (mode, s) in &self.stats {
             writeln!(
                 f,
-                "mode={} clean={} degraded={} panicked={} static_reject={}",
+                "mode={} clean={} degraded={} panicked={} static_reject={} \
+                 recovered={} fallback={} quarantined={}",
                 mode.name(),
                 s.clean,
                 s.degraded,
                 s.panicked,
-                s.static_reject
+                s.static_reject,
+                s.recovered,
+                s.fallback,
+                s.quarantined
             )?;
         }
         for v in &self.violations {
@@ -234,6 +277,136 @@ fn drive_compressed(bytes: &[u8]) -> Outcome {
     codec.max_with(etl)
 }
 
+/// The reference fallback matching [`base_image`]'s CSV kernel: comma
+/// delimiter, double quote, the compilers' field/record separators.
+fn csv_reference() -> Arc<dyn ReferenceFallback> {
+    Arc::new(CsvFramingFallback {
+        delimiter: b',',
+        quote: b'"',
+        field_sep: udp_compilers::FIELD_SEP,
+        record_sep: udp_compilers::RECORD_SEP,
+    })
+}
+
+/// Drives a supervised run with a chaos hook injected into one chunk.
+///
+/// `transient` arms [`LaneConfig::chaos_transient`], so replays run
+/// with the hook disarmed and the fault must resolve as `Recovered`
+/// (or `Fallback` — never quarantine); persistent chaos re-fires on
+/// every replay and must land on the reference fallback. Either way
+/// the faulted chunk's final output must be byte-identical to the
+/// software reference and the sibling chunks must come through clean.
+fn drive_supervised(case: &FaultCase, rng: &mut SmallRng, transient: bool) -> (Outcome, Recovery) {
+    let img = base_image();
+    let long = lineitem_csv(1024, case.seed);
+    let inputs: [&[u8]; 3] = [b"a|b\n", &long, b"c|d\n"];
+    // The chaos point sits above the short siblings' total cycle count
+    // and far below the long chunk's, so exactly one chunk faults.
+    let at = Some(200 + rng.gen_range(0..200u64));
+    let inject_panic = rng.gen::<bool>();
+    let reference = csv_reference();
+    let opts = UdpRunOptions {
+        banks_per_lane: banks_for(img),
+        lane: LaneConfig {
+            max_cycles: FUZZ_MAX_CYCLES,
+            chaos_panic_at: if inject_panic { at } else { None },
+            chaos_fault_at: if inject_panic { None } else { at },
+            chaos_transient: transient,
+            ..LaneConfig::default()
+        },
+        parallel: rng.gen::<bool>(),
+        supervise: Some(SupervisorOptions {
+            backoff_base_ms: 0,
+            fallback: Some(Arc::clone(&reference)),
+            differential: true,
+            ..SupervisorOptions::default()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let staging = udp_sim::engine::Staging::default();
+    let rep = match Udp::new().try_run_data_parallel(img, &inputs, &staging, &opts) {
+        Ok(rep) => rep,
+        Err(e) => {
+            return (
+                Outcome::Panicked(format!("sim error: {e}")),
+                Recovery::default(),
+            )
+        }
+    };
+    let recovery = Recovery {
+        recovered: rep.health.recovered(),
+        fallback: rep.health.fallback(),
+        quarantined: rep.health.quarantined(),
+    };
+    let faulted = recovery.recovered + recovery.fallback + recovery.quarantined;
+    if faulted == 0 {
+        return (
+            Outcome::Panicked("chaos injection never surfaced as a fault".into()),
+            recovery,
+        );
+    }
+    if recovery.quarantined > 0 {
+        return (
+            Outcome::Panicked(format!(
+                "chaos fault escalated to quarantine: {:?}",
+                rep.health.outcomes
+            )),
+            recovery,
+        );
+    }
+    if transient && recovery.recovered == 0 {
+        return (
+            Outcome::Panicked("transient fault did not recover by replay".into()),
+            recovery,
+        );
+    }
+    if !transient && recovery.fallback == 0 {
+        return (
+            Outcome::Panicked("persistent fault did not land on the fallback".into()),
+            recovery,
+        );
+    }
+    if rep.health.differential_mismatches > 0 {
+        return (
+            Outcome::Panicked(format!(
+                "{} clean chunk(s) diverged from the software reference",
+                rep.health.differential_mismatches
+            )),
+            recovery,
+        );
+    }
+    // Byte-equality against the reference for every chunk the ladder
+    // touched (and the clean siblings, which differential already
+    // cross-checked — re-assert the faulted chunk explicitly).
+    for (i, outcome) in rep.health.outcomes.iter().enumerate() {
+        if matches!(outcome, ChunkOutcome::Clean) {
+            continue;
+        }
+        match reference.reference_output(inputs[i]) {
+            Ok(expect) if expect == rep.lanes[i].output => {}
+            Ok(_) => {
+                return (
+                    Outcome::Panicked(format!("chunk {i} output diverges from the reference")),
+                    recovery,
+                )
+            }
+            Err(e) => {
+                return (
+                    Outcome::Panicked(format!("reference refused clean input: {e}")),
+                    recovery,
+                )
+            }
+        }
+    }
+    (
+        Outcome::Degraded(format!(
+            "recovered={} fallback={}",
+            recovery.recovered, recovery.fallback
+        )),
+        recovery,
+    )
+}
+
 /// Static-verification oracle: does `udp-verify` reject this image
 /// with at least one `Error` finding? Warnings don't count — a clean
 /// program carries warnings (dead states) under mutation too rarely to
@@ -242,9 +415,10 @@ fn static_oracle(image: &ProgramImage) -> bool {
     udp_verify::verify_image(image, &udp_verify::VerifyOptions::default()).errors() > 0
 }
 
-fn run_case_inner(case: &FaultCase) -> (Outcome, bool) {
+fn run_case_inner(case: &FaultCase) -> (Outcome, bool, Recovery) {
     let mut rng = SmallRng::seed_from_u64(case.seed);
     let mut static_reject = false;
+    let mut recovery = Recovery::default();
     let outcome = match case.mode {
         FaultMode::ImageBitFlip => {
             let mut img = base_image().clone();
@@ -346,6 +520,7 @@ fn run_case_inner(case: &FaultCase) -> (Outcome, bool) {
                 lane: LaneConfig {
                     max_cycles: FUZZ_MAX_CYCLES,
                     chaos_panic_at: Some(200 + rng.gen_range(0..200u64)),
+                    ..LaneConfig::default()
                 },
                 parallel: true,
                 ..UdpRunOptions::default()
@@ -356,7 +531,7 @@ fn run_case_inner(case: &FaultCase) -> (Outcome, bool) {
                     let faulted = rep
                         .lanes
                         .iter()
-                        .filter(|l| matches!(&l.status, LaneStatus::Fault(m) if m.contains("lane panicked")))
+                        .filter(|l| matches!(&l.status, LaneStatus::Fault(FaultKind::HostPanic(_))))
                         .count();
                     let survivors = rep
                         .lanes
@@ -376,15 +551,25 @@ fn run_case_inner(case: &FaultCase) -> (Outcome, bool) {
                 Err(e) => Outcome::Degraded(format!("sim error: {e}")),
             }
         }
+        FaultMode::ChaosTransient => {
+            let (outcome, rec) = drive_supervised(case, &mut rng, true);
+            recovery = rec;
+            outcome
+        }
+        FaultMode::ChaosPersistent => {
+            let (outcome, rec) = drive_supervised(case, &mut rng, false);
+            recovery = rec;
+            outcome
+        }
     };
-    (outcome, static_reject)
+    (outcome, static_reject, recovery)
 }
 
 /// Executes one case under `catch_unwind`, classifying any escaped
 /// panic as [`Outcome::Panicked`]. Deterministic given `case.seed`.
 pub fn run_case(case: &FaultCase) -> CaseReport {
     let start = Instant::now();
-    let (outcome, static_reject) =
+    let (outcome, static_reject, recovery) =
         match panic::catch_unwind(AssertUnwindSafe(|| run_case_inner(case))) {
             Ok(result) => result,
             Err(payload) => {
@@ -393,13 +578,14 @@ pub fn run_case(case: &FaultCase) -> CaseReport {
                     .map(|s| (*s).to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                (Outcome::Panicked(msg), false)
+                (Outcome::Panicked(msg), false, Recovery::default())
             }
         };
     CaseReport {
         case: *case,
         outcome,
         static_reject,
+        recovery,
         micros: start.elapsed().as_micros(),
     }
 }
@@ -430,6 +616,9 @@ pub fn run_plan(seed: u64, iters: u64) -> FuzzSummary {
             if report.static_reject {
                 s.static_reject += 1;
             }
+            s.recovered += report.recovery.recovered;
+            s.fallback += report.recovery.fallback;
+            s.quarantined += report.recovery.quarantined;
         }
         if matches!(report.outcome, Outcome::Panicked(_)) {
             violations.push(report);
@@ -451,13 +640,36 @@ mod tests {
 
     #[test]
     fn every_mode_survives_a_small_plan() {
-        // 30 cases = 3 full cycles through all 10 modes.
-        let summary = run_plan(0xDEC0DE, 30);
+        // 36 cases = 3 full cycles through all 12 modes.
+        let summary = run_plan(0xDEC0DE, 36);
         assert_eq!(summary.panics(), 0, "violations: {:?}", summary.violations);
-        assert_eq!(summary.iters, 30);
+        assert_eq!(summary.iters, 36);
         for (_, s) in &summary.stats {
             assert_eq!(s.clean + s.degraded + s.panicked, 3);
         }
+    }
+
+    #[test]
+    fn chaos_modes_recover_every_injected_fault() {
+        let summary = run_plan(0xDEC0DE, 48); // 4 cases per mode
+        assert_eq!(summary.panics(), 0, "violations: {:?}", summary.violations);
+        for (mode, s) in &summary.stats {
+            match mode {
+                FaultMode::ChaosTransient => {
+                    assert!(s.recovered > 0, "transient chaos must replay-recover");
+                    assert_eq!(s.quarantined, 0);
+                }
+                FaultMode::ChaosPersistent => {
+                    assert!(s.fallback > 0, "persistent chaos must hit the fallback");
+                    assert_eq!(s.quarantined, 0);
+                }
+                _ => {
+                    assert_eq!(s.recovered + s.fallback + s.quarantined, 0);
+                }
+            }
+        }
+        let rate = summary.transient_recovery_rate();
+        assert_eq!(rate, Some(100.0), "rate: {rate:?}");
     }
 
     #[test]
@@ -477,7 +689,7 @@ mod tests {
         // The usefulness invariant: at the CI seed, a nonzero fraction
         // of corrupted images is rejected by udp-verify before any lane
         // executes — and the oracle only ever fires on image modes.
-        let summary = run_plan(0xDEC0DE, 40);
+        let summary = run_plan(0xDEC0DE, 48);
         assert!(
             summary.static_rejects() > 0,
             "expected static rejects at seed 0xDEC0DE:\n{summary}"

@@ -31,11 +31,20 @@ pub enum FaultMode {
     /// Panic one lane of a parallel wave (chaos hook) and demand the
     /// siblings' reports survive.
     LanePanic,
+    /// Inject a *transient* fault (panic or detected soft error) into
+    /// one chunk of a supervised run — the chaos hook is disarmed on
+    /// replay — and demand the supervisor recovers it with output
+    /// byte-identical to the software reference.
+    ChaosTransient,
+    /// Inject a *persistent* fault (re-fires on every replay) into a
+    /// supervised run and demand the chunk lands on the reference
+    /// fallback, never quarantine, with siblings untouched.
+    ChaosPersistent,
 }
 
 impl FaultMode {
     /// Every mode, in plan cycling order.
-    pub const ALL: [FaultMode; 10] = [
+    pub const ALL: [FaultMode; 12] = [
         FaultMode::ImageBitFlip,
         FaultMode::ImageTruncate,
         FaultMode::StreamTruncate,
@@ -46,6 +55,8 @@ impl FaultMode {
         FaultMode::ConfigTinyCycles,
         FaultMode::ConfigBadBanks,
         FaultMode::LanePanic,
+        FaultMode::ChaosTransient,
+        FaultMode::ChaosPersistent,
     ];
 
     /// Stable kebab-case name (machine-readable summaries, CLI).
@@ -61,6 +72,8 @@ impl FaultMode {
             FaultMode::ConfigTinyCycles => "config-tiny-cycles",
             FaultMode::ConfigBadBanks => "config-bad-banks",
             FaultMode::LanePanic => "lane-panic",
+            FaultMode::ChaosTransient => "chaos-transient",
+            FaultMode::ChaosPersistent => "chaos-persistent",
         }
     }
 }
@@ -140,8 +153,8 @@ mod tests {
     fn modes_cycle_and_seeds_differ() {
         let p = FaultPlan::new(7);
         assert_eq!(p.case(0).mode, FaultMode::ImageBitFlip);
-        assert_eq!(p.case(10).mode, FaultMode::ImageBitFlip);
-        assert_ne!(p.case(0).seed, p.case(10).seed);
+        assert_eq!(p.case(12).mode, FaultMode::ImageBitFlip);
+        assert_ne!(p.case(0).seed, p.case(12).seed);
         let other = FaultPlan::new(8);
         assert_ne!(p.case(0).seed, other.case(0).seed);
     }

@@ -1,11 +1,12 @@
 //! The 64-lane UDP device: program loading, data-parallel execution,
 //! NFA multi-activation mode, and bank-conflict accounting.
 
-use crate::error::SimError;
+use crate::error::{FaultKind, SimError};
 use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 use crate::memory::LocalMemory;
 use crate::pool::{self, RunParams};
 use crate::stream::{BitStream, OutputSink};
+use crate::supervisor::{self, RunHealth, SupervisorOptions};
 use std::sync::Arc;
 use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
 use udp_asm::{DecodedProgram, ProgramImage};
@@ -45,6 +46,13 @@ pub struct UdpRunOptions {
     /// Run `udp-verify`'s static checks over the image before loading
     /// it; a report with errors aborts the run as [`SimError::Verify`].
     pub verify: bool,
+    /// Attach the chunk supervisor (DESIGN.md §8): faulted chunks climb
+    /// the retry → fallback → quarantine ladder instead of silently
+    /// dropping their output, and [`UdpRunReport::health`] records the
+    /// per-chunk outcomes. `None` (the default) records passive health
+    /// only: faulted chunks are quarantined directly. Honored on the
+    /// local-addressing paths; sharing modes record passive health.
+    pub supervise: Option<SupervisorOptions>,
 }
 
 impl Default for UdpRunOptions {
@@ -55,6 +63,7 @@ impl Default for UdpRunOptions {
             lane: LaneConfig::default(),
             parallel: false,
             verify: false,
+            supervise: None,
         }
     }
 }
@@ -81,6 +90,11 @@ pub struct UdpRunReport {
     pub mem_refs: u64,
     /// Addressing mode used (for the energy model).
     pub addressing: AddressingMode,
+    /// Per-chunk outcomes and fault histogram (DESIGN.md §8). Purely a
+    /// function of the per-lane reports and the supervision config, so
+    /// it participates in the sequential-vs-pooled bit-identity
+    /// contract like every other field.
+    pub health: RunHealth,
 }
 
 impl UdpRunReport {
@@ -220,7 +234,7 @@ impl Udp {
                 lanes_cap,
                 code_clean: staging_clears_code(staging, image.stats.span_words),
             };
-            let (lane_reports, finals) = if opts.parallel && inputs.len() > 1 {
+            let (mut lane_reports, mut finals) = if opts.parallel && inputs.len() > 1 {
                 let (results, finals) = pool::run_pooled(&params, inputs);
                 // Chunks whose worker died before reporting (a panic
                 // escaping the per-chunk catch_unwind) degrade to Fault
@@ -229,13 +243,24 @@ impl Udp {
                     .into_iter()
                     .map(|r| {
                         r.unwrap_or_else(|| {
-                            pool::fault_lane_report("worker terminated before reporting")
+                            pool::fault_lane_report(
+                                "worker terminated before reporting".to_string(),
+                            )
                         })
                     })
                     .collect();
                 (reports, finals)
             } else {
-                pool::run_sequential(&params, inputs)
+                // With a supervisor attached, the sequential path also
+                // catches per-chunk panics so both paths feed the
+                // supervisor the same fault stream.
+                pool::run_sequential(&params, inputs, opts.supervise.is_some())
+            };
+            let health = match &opts.supervise {
+                Some(sup) => {
+                    supervisor::supervise(&params, inputs, &mut lane_reports, &mut finals, sup)
+                }
+                None => RunHealth::passive(&lane_reports),
             };
             // Copy the final occupant of each lane slot's window back
             // into device memory, so `read_lane_bytes` sees the same
@@ -244,7 +269,7 @@ impl Udp {
                 let origin = (slot * opts.banks_per_lane * BANK_WORDS) as u32;
                 self.mem.load_words(origin, &words);
             }
-            return Ok(Self::merge_report(lane_reports, lanes_cap, opts));
+            return Ok(Self::merge_report(lane_reports, lanes_cap, opts, health));
         }
 
         let mut lane_reports = Vec::with_capacity(inputs.len());
@@ -317,6 +342,7 @@ impl Udp {
             bytes_in: lane_reports.iter().map(|r| r.bytes_consumed).sum(),
             mem_refs: lane_reports.iter().map(|r| r.mem_refs).sum(),
             addressing: opts.addressing,
+            health: RunHealth::passive(&lane_reports),
             lanes: lane_reports,
         })
     }
@@ -333,6 +359,7 @@ impl Udp {
         lane_reports: Vec<LaneReport>,
         lanes_cap: usize,
         opts: &UdpRunOptions,
+        health: RunHealth,
     ) -> UdpRunReport {
         let wall_cycles = lane_reports
             .chunks(lanes_cap.max(1))
@@ -345,6 +372,7 @@ impl Udp {
             bytes_in: lane_reports.iter().map(|r| r.bytes_consumed).sum(),
             mem_refs: lane_reports.iter().map(|r| r.mem_refs).sum(),
             addressing: opts.addressing,
+            health,
             lanes: lane_reports,
         }
     }
@@ -514,14 +542,15 @@ pub fn run_nfa_decoded(
         frontier.push(entry);
     }
     let mut status = LaneStatus::InputExhausted;
+    let budget = cfg.budget_for(input.len());
 
     'outer: for (pos, &byte) in input.iter().enumerate() {
         let s = u32::from(byte);
         next.clear();
         nfa.seen.advance();
         for &base in &frontier {
-            if *nfa.cycles >= cfg.max_cycles {
-                status = LaneStatus::CycleLimit;
+            if *nfa.cycles >= budget {
+                status = LaneStatus::Fault(FaultKind::CycleBudget { limit: budget });
                 break 'outer;
             }
             *nfa.cycles += 1;
@@ -822,7 +851,10 @@ mod tests {
         assert_eq!(rep.lanes[0].status, LaneStatus::InputExhausted);
         assert_eq!(rep.lanes[0].output, b"!!");
         assert!(
-            matches!(&rep.lanes[1].status, LaneStatus::Fault(m) if m.contains("lane panicked")),
+            matches!(
+                &rep.lanes[1].status,
+                LaneStatus::Fault(FaultKind::HostPanic(m)) if m.contains("chaos")
+            ),
             "lane 1 should carry the panic: {:?}",
             rep.lanes[1].status
         );

@@ -4,11 +4,120 @@
 //! Host-visible misconfiguration (a program that cannot fit its lane
 //! window, an impossible bank split) surfaces as a [`SimError`] from
 //! [`crate::Udp::try_run_data_parallel`]; faults *inside* a running
-//! lane surface as [`crate::LaneStatus::Fault`] in that lane's report.
-//! Neither path panics the host.
+//! lane surface as [`crate::LaneStatus::Fault`] carrying a
+//! [`FaultKind`] in that lane's report. Neither path panics the host.
 
 use std::fmt;
 use udp_isa::mem::NUM_BANKS;
+
+/// Why a lane faulted mid-run — the typed payload of
+/// [`crate::LaneStatus::Fault`].
+///
+/// Every variant is deterministic for a given (image, staging, input,
+/// config) tuple except [`FaultKind::HostPanic`], whose message comes
+/// from whatever unwound; the supervisor (DESIGN.md §8) keys its
+/// retry/fallback/quarantine ladder and the [`crate::RunHealth`]
+/// histogram off these variants, so they must stay structured — no
+/// free-form strings except the panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The per-chunk cycle budget was exhausted (the derived
+    /// input-proportional budget or the absolute
+    /// [`crate::LaneConfig::max_cycles`] cap, whichever was nearer).
+    CycleBudget {
+        /// The budget that fired, in cycles.
+        limit: u64,
+    },
+    /// A fetched action word failed to decode.
+    UndecodableWord {
+        /// Flat word address of the fetch.
+        addr: u32,
+        /// The raw bits that would not decode.
+        raw: u32,
+    },
+    /// A refill asked for more bits than the stream has consumed.
+    StreamUnderflow {
+        /// Bits the refill tried to put back.
+        requested_bits: u8,
+        /// Bits actually consumed (and thus available for put-back).
+        consumed_bits: u64,
+    },
+    /// A control/addressing invariant was violated: a bad pass-state
+    /// signature, an epsilon fork outside NFA mode, a `LoopBack`
+    /// distance outside the produced output, or an illegal dispatch
+    /// symbol width.
+    Addressing {
+        /// Which invariant (static description).
+        context: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// A loop action or action block exceeded its structural cap.
+    LoopOverflow {
+        /// Which structure overflowed (static description).
+        context: &'static str,
+        /// The requested length.
+        len: u32,
+        /// The cap it exceeded.
+        cap: u32,
+    },
+    /// A host panic unwound out of the chunk and was converted to a
+    /// fault by the pool's `catch_unwind` (chaos injection, bugs).
+    HostPanic(String),
+    /// The fault-injection hook ([`crate::LaneConfig::chaos_fault_at`])
+    /// fired — a modeled detected soft error, used by the fault harness
+    /// to exercise the recovery ladder without a panic.
+    ChaosInjected {
+        /// Cycle count when the injected fault fired.
+        at_cycle: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable kebab-case name of the variant (health histograms, JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CycleBudget { .. } => "cycle-budget",
+            FaultKind::UndecodableWord { .. } => "undecodable-word",
+            FaultKind::StreamUnderflow { .. } => "stream-underflow",
+            FaultKind::Addressing { .. } => "addressing",
+            FaultKind::LoopOverflow { .. } => "loop-overflow",
+            FaultKind::HostPanic(_) => "host-panic",
+            FaultKind::ChaosInjected { .. } => "chaos-injected",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::CycleBudget { limit } => {
+                write!(f, "cycle budget of {limit} exhausted")
+            }
+            FaultKind::UndecodableWord { addr, raw } => {
+                write!(f, "undecodable action word {raw:#010x} at {addr:#x}")
+            }
+            FaultKind::StreamUnderflow {
+                requested_bits,
+                consumed_bits,
+            } => write!(
+                f,
+                "refill of {requested_bits} bits underflows the stream \
+                 ({consumed_bits} consumed)"
+            ),
+            FaultKind::Addressing { context, value } => {
+                write!(f, "addressing violation: {context} ({value:#x})")
+            }
+            FaultKind::LoopOverflow { context, len, cap } => {
+                write!(f, "{context} length {len} exceeds {cap}")
+            }
+            FaultKind::HostPanic(msg) => write!(f, "lane panicked: {msg}"),
+            FaultKind::ChaosInjected { at_cycle } => {
+                write!(f, "chaos: injected fault at cycle {at_cycle}")
+            }
+        }
+    }
+}
 
 /// Why a device run could not start (or could not be configured).
 ///
@@ -69,6 +178,46 @@ impl std::error::Error for SimError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_kind_names_are_stable_kebab() {
+        let kinds = [
+            FaultKind::CycleBudget { limit: 1 },
+            FaultKind::UndecodableWord { addr: 0, raw: 0 },
+            FaultKind::StreamUnderflow {
+                requested_bits: 1,
+                consumed_bits: 0,
+            },
+            FaultKind::Addressing {
+                context: "x",
+                value: 0,
+            },
+            FaultKind::LoopOverflow {
+                context: "x",
+                len: 2,
+                cap: 1,
+            },
+            FaultKind::HostPanic(String::new()),
+            FaultKind::ChaosInjected { at_cycle: 0 },
+        ];
+        for k in &kinds {
+            assert!(
+                k.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{k:?}"
+            );
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_error_composes_as_box_dyn_error() {
+        fn fails() -> Result<(), Box<dyn std::error::Error>> {
+            Err(SimError::NotExecutable)?;
+            Ok(())
+        }
+        let e = fails().unwrap_err();
+        assert!(e.to_string().contains("size-model-only"));
+    }
 
     #[test]
     fn display_names_the_limit() {

@@ -1,6 +1,7 @@
 //! The UDP lane interpreter: dispatch unit + stream-prefetch unit +
 //! action unit (paper Figure 23), cycle-accurately.
 
+use crate::error::FaultKind;
 use crate::memory::LocalMemory;
 use crate::stream::{BitStream, OutputSink};
 use std::sync::Arc;
@@ -34,8 +35,24 @@ impl CodeTables<'static> {
 /// Per-run lane configuration.
 #[derive(Debug, Clone)]
 pub struct LaneConfig {
-    /// Safety cap on simulated cycles (runaway-program guard).
+    /// Absolute safety cap on simulated cycles. Acts as an override
+    /// ceiling on the derived budget (see [`LaneConfig::budget_for`]):
+    /// the effective per-chunk budget never exceeds it, so callers that
+    /// want the pre-derived behavior of a hard cap just set this low.
     pub max_cycles: u64,
+    /// Proportional cycle budget: a chunk of `n` input bytes may spend
+    /// at most `cycles_per_byte * n` cycles (floored by
+    /// [`LaneConfig::min_cycle_budget`], ceilinged by
+    /// [`LaneConfig::max_cycles`]). The default of 4096 is orders of
+    /// magnitude above any real kernel (the decompressors peak around
+    /// tens of cycles per input byte), so legitimate programs never
+    /// feel it while a runaway loop on a small chunk terminates
+    /// proportionally instead of burning the absolute cap. `0`
+    /// disables the proportional budget entirely.
+    pub cycles_per_byte: u64,
+    /// Floor of the proportional budget, so near-empty chunks still get
+    /// enough cycles for staged-table setup and non-consuming programs.
+    pub min_cycle_budget: u64,
     /// Fault-injection hook: when set, the lane *panics* the moment its
     /// cycle counter reaches this value. Only the fault harness and the
     /// engine's panic-recovery tests set this — it exists so the
@@ -44,14 +61,46 @@ pub struct LaneConfig {
     /// on the dispatch hot path: the check is folded into the existing
     /// cycle-cap compare.
     pub chaos_panic_at: Option<u64>,
+    /// Fault-injection hook: when set, the lane stops with
+    /// [`FaultKind::ChaosInjected`] the moment its cycle counter
+    /// reaches this value — a modeled *detected* soft error (vs the
+    /// undetected crash `chaos_panic_at` models). Folded into the same
+    /// cycle-cap compare; free when `None`.
+    pub chaos_fault_at: Option<u64>,
+    /// Marks the chaos hooks as transient: the supervisor disarms both
+    /// hooks when it replays a faulted chunk, modeling a soft error
+    /// that does not recur on retry. With `false` (persistent chaos),
+    /// replays re-fault deterministically and recovery must come from
+    /// the reference fallback instead.
+    pub chaos_transient: bool,
 }
 
 impl Default for LaneConfig {
     fn default() -> Self {
         LaneConfig {
             max_cycles: 2_000_000_000,
+            cycles_per_byte: 4096,
+            min_cycle_budget: 1 << 20,
             chaos_panic_at: None,
+            chaos_fault_at: None,
+            chaos_transient: false,
         }
+    }
+}
+
+impl LaneConfig {
+    /// The effective cycle budget for a chunk of `input_bytes`:
+    /// `min(max_cycles, max(min_cycle_budget, cycles_per_byte * n))`,
+    /// or just `max_cycles` when the proportional budget is disabled.
+    pub fn budget_for(&self, input_bytes: usize) -> u64 {
+        if self.cycles_per_byte == 0 {
+            return self.max_cycles;
+        }
+        let proportional = self
+            .cycles_per_byte
+            .saturating_mul(input_bytes as u64)
+            .max(self.min_cycle_budget);
+        self.max_cycles.min(proportional)
     }
 }
 
@@ -80,11 +129,11 @@ pub enum LaneStatus {
     Halted(u16),
     /// Dispatch missed and the state had no fallback.
     NoTransition,
-    /// The cycle cap was hit.
-    CycleLimit,
-    /// Malformed program (undecodable word, epsilon fork outside NFA
-    /// mode, invalid configuration value).
-    Fault(String),
+    /// The lane faulted: a malformed program, an exhausted cycle
+    /// budget, a recovered host panic — see [`FaultKind`] for the
+    /// taxonomy. Faulted chunks are what the supervisor's
+    /// retry → fallback → quarantine ladder (DESIGN.md §8) operates on.
+    Fault(FaultKind),
 }
 
 /// Everything a lane run produces.
@@ -362,18 +411,18 @@ impl Lane {
             transitions: d.transitions(),
             actions: d.actions(),
         });
-        // The chaos hook shares the cycle-cap compare: `cap` is the
-        // nearer of the two limits, and which one fired is only sorted
-        // out on the (cold) exit path.
-        let max_cycles = cfg.max_cycles;
-        let chaos_at = cfg.chaos_panic_at.unwrap_or(u64::MAX);
-        let cap = max_cycles.min(chaos_at);
+        // The chaos hooks share the cycle-cap compare: `cap` is the
+        // nearest of the limits, and which one fired is only sorted
+        // out on the (cold) exit path. The budget itself is derived
+        // from the chunk's input length (cycles-per-byte with a floor,
+        // ceilinged by the absolute `max_cycles` cap).
+        let budget = cfg.budget_for(stream.len_bits().div_ceil(8) as usize);
+        let chaos_panic = cfg.chaos_panic_at.unwrap_or(u64::MAX);
+        let chaos_fault = cfg.chaos_fault_at.unwrap_or(u64::MAX);
+        let cap = budget.min(chaos_panic).min(chaos_fault);
         while self.status == LaneStatus::Running {
             if self.cycles >= cap {
-                if self.cycles >= chaos_at {
-                    panic!("chaos: injected lane panic at cycle {}", self.cycles);
-                }
-                self.status = LaneStatus::CycleLimit;
+                self.status = cap_status(self.cycles, budget, chaos_panic, chaos_fault);
                 break;
             }
             // Most dispatches in the common workloads are "trivial": a
@@ -393,10 +442,7 @@ impl Lane {
                 let mut batched = 0u64;
                 loop {
                     if self.cycles >= cap {
-                        if self.cycles >= chaos_at {
-                            panic!("chaos: injected lane panic at cycle {}", self.cycles);
-                        }
-                        self.status = LaneStatus::CycleLimit;
+                        self.status = cap_status(self.cycles, budget, chaos_panic, chaos_fault);
                         break;
                     }
                     let Some(s) = stream.read(self.sym_bits) else {
@@ -454,8 +500,8 @@ impl Lane {
             self.step(mem, stream, out, tables);
         }
         LaneReport {
-            // Move the status out (it can carry a fault String); the
-            // lane is consumed by this run — see the LaneStatus
+            // Move the status out (it can carry a FaultKind payload);
+            // the lane is consumed by this run — see the LaneStatus
             // lifecycle notes.
             status: std::mem::replace(&mut self.status, LaneStatus::Running),
             cycles: self.cycles,
@@ -510,22 +556,28 @@ impl Lane {
                 let t = pre.unwrap_or_else(|| self.transition_at(addr, raw));
                 match t.signature() {
                     CHAIN_CONTINUE_SIGNATURE => {
-                        self.status =
-                            LaneStatus::Fault("epsilon fork outside NFA mode".to_string());
+                        self.status = LaneStatus::Fault(FaultKind::Addressing {
+                            context: "epsilon fork outside NFA mode",
+                            value: u32::from(CHAIN_CONTINUE_SIGNATURE),
+                        });
                         return;
                     }
                     FALLBACK_SIGNATURE => {}
                     refill if refill <= 8 => {
                         if u64::from(refill) > stream.bit_index() {
-                            self.status = LaneStatus::Fault(format!(
-                                "refill of {refill} bits underflows the stream"
-                            ));
+                            self.status = LaneStatus::Fault(FaultKind::StreamUnderflow {
+                                requested_bits: refill,
+                                consumed_bits: stream.bit_index(),
+                            });
                             return;
                         }
                         stream.putback(refill);
                     }
                     other => {
-                        self.status = LaneStatus::Fault(format!("bad pass signature {other:#x}"));
+                        self.status = LaneStatus::Fault(FaultKind::Addressing {
+                            context: "bad pass signature",
+                            value: u32::from(other),
+                        });
                         return;
                     }
                 }
@@ -614,8 +666,7 @@ impl Lane {
                 None => self.action_at(addr, raw),
             };
             let Some(a) = decoded else {
-                self.status =
-                    LaneStatus::Fault(format!("undecodable action word {raw:#010x} at {addr:#x}"));
+                self.status = LaneStatus::Fault(FaultKind::UndecodableWord { addr, raw });
                 return;
             };
             let skip = self.exec(&a, mem, stream, out);
@@ -628,7 +679,11 @@ impl Lane {
             }
             addr += 1 + skip;
         }
-        self.status = LaneStatus::Fault("action block exceeds 4096 words".to_string());
+        self.status = LaneStatus::Fault(FaultKind::LoopOverflow {
+            context: "action block",
+            len: BLOCK_CAP as u32,
+            cap: BLOCK_CAP as u32,
+        });
     }
 
     fn rd(&self, r: Reg, stream: &BitStream) -> u32 {
@@ -704,7 +759,10 @@ impl Lane {
                 if (1..=8).contains(&a.imm) {
                     self.sym_bits = a.imm as u8;
                 } else {
-                    self.status = LaneStatus::Fault(format!("SetSym {}", a.imm));
+                    self.status = LaneStatus::Fault(FaultKind::Addressing {
+                        context: "SetSym symbol width",
+                        value: u32::from(a.imm),
+                    });
                 }
             }
             SetSymT => {
@@ -713,7 +771,10 @@ impl Lane {
                 if (1..=8).contains(&a.imm) {
                     self.sym_bits = a.imm as u8;
                 } else {
-                    self.status = LaneStatus::Fault(format!("SetSymT {}", a.imm));
+                    self.status = LaneStatus::Fault(FaultKind::Addressing {
+                        context: "SetSymT symbol width",
+                        value: u32::from(a.imm),
+                    });
                 }
             }
             SetBase => self.wbase = self.origin + imm,
@@ -745,7 +806,10 @@ impl Lane {
             RefillI => {
                 let bits = (imm & 15).min(8) as u8;
                 if u64::from(bits) > stream.bit_index() {
-                    self.status = LaneStatus::Fault("RefillI underflows the stream".to_string());
+                    self.status = LaneStatus::Fault(FaultKind::StreamUnderflow {
+                        requested_bits: bits,
+                        consumed_bits: stream.bit_index(),
+                    });
                 } else {
                     stream.putback(bits);
                 }
@@ -880,7 +944,10 @@ impl Lane {
                 let rv = rv!();
                 let Some(n) = self.loop_len(sv) else { return 0 };
                 if rv == 0 || (rv as usize) > out.len() {
-                    self.status = LaneStatus::Fault(format!("LoopBack distance {rv}"));
+                    self.status = LaneStatus::Fault(FaultKind::Addressing {
+                        context: "LoopBack distance outside the produced output",
+                        value: rv,
+                    });
                     return 0;
                 }
                 out.copy_back(rv, n);
@@ -924,12 +991,30 @@ impl Lane {
     fn loop_len(&mut self, n: u32) -> Option<u32> {
         const LOOP_CAP: u32 = 1 << 26;
         if n > LOOP_CAP {
-            self.status = LaneStatus::Fault(format!("loop length {n} exceeds {LOOP_CAP}"));
+            self.status = LaneStatus::Fault(FaultKind::LoopOverflow {
+                context: "loop action",
+                len: n,
+                cap: LOOP_CAP,
+            });
             None
         } else {
             Some(n)
         }
     }
+}
+
+/// Resolves which limit fired when the folded cycle-cap compare trips:
+/// the panic hook wins (it models an undetected crash), then the
+/// injected-fault hook, then the real cycle budget.
+#[cold]
+fn cap_status(cycles: u64, budget: u64, chaos_panic: u64, chaos_fault: u64) -> LaneStatus {
+    if cycles >= chaos_panic {
+        panic!("chaos: injected lane panic at cycle {cycles}");
+    }
+    if cycles >= chaos_fault {
+        return LaneStatus::Fault(FaultKind::ChaosInjected { at_cycle: cycles });
+    }
+    LaneStatus::Fault(FaultKind::CycleBudget { limit: budget })
 }
 
 #[cfg(test)]
@@ -1152,7 +1237,71 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(r.status, LaneStatus::CycleLimit);
+        assert_eq!(
+            r.status,
+            LaneStatus::Fault(FaultKind::CycleBudget { limit: 100 })
+        );
+    }
+
+    #[test]
+    fn proportional_budget_stops_runaway_programs_early() {
+        // Same infinite flagged self-loop, default config: the derived
+        // budget (floor, since the input is empty) fires long before
+        // the 2e9 absolute cap would.
+        let mut b = ProgramBuilder::new();
+        let f = b.add_flagged_state();
+        b.set_entry(f);
+        b.fallback_arc(f, Target::State(f), vec![]);
+        let img = b.assemble(&LayoutOptions::default()).unwrap();
+        let cfg = LaneConfig::default();
+        let r = Lane::run_program(&img, b"", &cfg);
+        assert_eq!(
+            r.status,
+            LaneStatus::Fault(FaultKind::CycleBudget {
+                limit: cfg.min_cycle_budget
+            })
+        );
+        assert!(r.cycles <= cfg.min_cycle_budget + 1);
+    }
+
+    #[test]
+    fn budget_derivation_respects_floor_and_absolute_cap() {
+        let cfg = LaneConfig::default();
+        assert_eq!(cfg.budget_for(0), cfg.min_cycle_budget);
+        assert_eq!(cfg.budget_for(1024), 1024 * cfg.cycles_per_byte);
+        assert_eq!(cfg.budget_for(usize::MAX), cfg.max_cycles);
+        // The absolute cap overrides the floor too.
+        let tight = LaneConfig {
+            max_cycles: 50,
+            ..LaneConfig::default()
+        };
+        assert_eq!(tight.budget_for(4096), 50);
+        // cycles_per_byte = 0 disables the proportional budget.
+        let absolute = LaneConfig {
+            cycles_per_byte: 0,
+            ..LaneConfig::default()
+        };
+        assert_eq!(absolute.budget_for(0), absolute.max_cycles);
+    }
+
+    #[test]
+    fn chaos_fault_hook_surfaces_as_typed_fault() {
+        let r = Lane::run_program(
+            &scanner(),
+            &[b'a'; 64],
+            &LaneConfig {
+                chaos_fault_at: Some(10),
+                ..cfg()
+            },
+        );
+        assert!(
+            matches!(
+                r.status,
+                LaneStatus::Fault(FaultKind::ChaosInjected { at_cycle }) if at_cycle >= 10
+            ),
+            "{:?}",
+            r.status
+        );
     }
 
     #[test]

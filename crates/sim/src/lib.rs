@@ -54,10 +54,14 @@ pub mod lane;
 pub mod memory;
 mod pool;
 pub mod stream;
+pub mod supervisor;
 
 pub use energy::{AreaModel, PowerModel, CPU_TDP_WATTS, UDP_SYSTEM_WATTS};
 pub use engine::{Staging, Udp, UdpRunOptions, UdpRunReport};
-pub use error::SimError;
+pub use error::{FaultKind, SimError};
 pub use lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 pub use memory::LocalMemory;
 pub use stream::{BitStream, OutputSink};
+pub use supervisor::{
+    ChunkOutcome, QuarantineReason, ReferenceFallback, RunHealth, SupervisorOptions,
+};

@@ -30,6 +30,7 @@
 //! interleaved on the host.
 
 use crate::engine::Staging;
+use crate::error::FaultKind;
 use crate::lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 use crate::memory::LocalMemory;
 use crate::stream::{BitStream, OutputSink};
@@ -68,8 +69,11 @@ pub(crate) struct RunParams<'a> {
 pub(crate) type WindowSnapshot = (usize, Vec<u32>);
 
 /// One worker's private execution state, reused chunk after chunk.
-struct LaneSlot {
-    mem: LocalMemory,
+/// (Also built fresh by the supervisor for each replay attempt, which
+/// is what makes replay-from-staging deterministic: a retry sees
+/// exactly the state a first attempt would.)
+pub(crate) struct LaneSlot {
+    pub(crate) mem: LocalMemory,
     out: OutputSink,
     /// True when `mem[0, image words)` is known to hold the verbatim
     /// program image: a previous reset loaded it and the lane finished
@@ -79,7 +83,7 @@ struct LaneSlot {
 }
 
 impl LaneSlot {
-    fn new(window_words: usize) -> Self {
+    pub(crate) fn new(window_words: usize) -> Self {
         let mut mem = LocalMemory::with_words(window_words);
         // Private windows only exist under local addressing, whose
         // conflict model never reads per-bank counts.
@@ -124,7 +128,7 @@ fn reset_window(p: &RunParams, mem: &mut LocalMemory, code_pristine: bool) {
 /// private window, which under local addressing is indistinguishable
 /// from running at its slot origin in the shared device memory: same
 /// counted reference sequence, same cycles, same output.
-fn run_chunk(p: &RunParams, slot: &mut LaneSlot, input: &[u8]) -> LaneReport {
+pub(crate) fn run_chunk(p: &RunParams, slot: &mut LaneSlot, input: &[u8]) -> LaneReport {
     reset_window(p, &mut slot.mem, slot.code_pristine);
     slot.out.reserve(input.len());
     let mut lane = Lane::with_decoded(p.image, 0, Arc::clone(p.decoded));
@@ -149,23 +153,40 @@ fn run_chunk(p: &RunParams, slot: &mut LaneSlot, input: &[u8]) -> LaneReport {
 /// True when chunk `idx` is the last occupant of its device lane slot,
 /// i.e. its final window state is the one a sequential run would leave
 /// in device memory.
-fn is_final_occupant(idx: usize, lanes_cap: usize, total: usize) -> bool {
+pub(crate) fn is_final_occupant(idx: usize, lanes_cap: usize, total: usize) -> bool {
     idx + lanes_cap >= total
 }
 
 /// Sequential execution through the same slot/reset machinery as the
-/// pool: one slot, reused chunk after chunk. Panics propagate (the
-/// sequential path has no degradation contract to keep).
+/// pool: one slot, reused chunk after chunk. Without `catch_panics`,
+/// panics propagate (the bare sequential path has no degradation
+/// contract to keep); with it — set when a supervisor is attached —
+/// each chunk runs under `catch_unwind` and a panicking chunk degrades
+/// to a [`FaultKind::HostPanic`] report exactly like the pooled path,
+/// so the supervisor sees the same fault stream either way.
 pub(crate) fn run_sequential(
     p: &RunParams,
     inputs: &[&[u8]],
+    catch_panics: bool,
 ) -> (Vec<LaneReport>, Vec<WindowSnapshot>) {
     let mut slot = LaneSlot::new(p.window_words);
     let mut reports = Vec::with_capacity(inputs.len());
     let mut finals = Vec::new();
     for (idx, input) in inputs.iter().enumerate() {
-        reports.push(run_chunk(p, &mut slot, input));
-        if is_final_occupant(idx, p.lanes_cap, inputs.len()) {
+        let rep = if catch_panics {
+            match catch_unwind(AssertUnwindSafe(|| run_chunk(p, &mut slot, input))) {
+                Ok(rep) => rep,
+                Err(payload) => {
+                    slot = LaneSlot::new(p.window_words);
+                    fault_lane_report(panic_message(payload.as_ref()))
+                }
+            }
+        } else {
+            run_chunk(p, &mut slot, input)
+        };
+        let panicked = matches!(rep.status, LaneStatus::Fault(FaultKind::HostPanic(_)));
+        reports.push(rep);
+        if !panicked && is_final_occupant(idx, p.lanes_cap, inputs.len()) {
             finals.push((idx % p.lanes_cap, slot.mem.words().to_vec()));
         }
     }
@@ -244,7 +265,7 @@ fn worker_loop(
                 // mid-panic; rebuild rather than reason about partial
                 // writes. (Cold path: chaos injection and bugs only.)
                 slot = LaneSlot::new(p.window_words);
-                fault_lane_report(&panic_message(payload.as_ref()))
+                fault_lane_report(panic_message(payload.as_ref()))
             }
         };
         reports.push((idx, rep));
@@ -265,12 +286,13 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 }
 
 /// The report a chunk gets when its execution panicked mid-run: a
-/// [`LaneStatus::Fault`] carrying the panic message, zero counters.
-/// The lane's modeled state (cycles, output) died with the panic, so
-/// nothing else can honestly be reported.
-pub(crate) fn fault_lane_report(msg: &str) -> LaneReport {
+/// [`LaneStatus::Fault`] carrying [`FaultKind::HostPanic`] with the
+/// panic message, zero counters. The lane's modeled state (cycles,
+/// output) died with the panic, so nothing else can honestly be
+/// reported.
+pub(crate) fn fault_lane_report(msg: String) -> LaneReport {
     LaneReport {
-        status: LaneStatus::Fault(format!("lane panicked: {msg}")),
+        status: LaneStatus::Fault(FaultKind::HostPanic(msg)),
         cycles: 0,
         dispatches: 0,
         fallback_misses: 0,

@@ -1,0 +1,372 @@
+//! Chunk supervision: the retry → fallback → quarantine recovery
+//! ladder over the persistent lane pool (DESIGN.md §8).
+//!
+//! A chunk that ends in [`LaneStatus::Fault`] is not silently dropped
+//! from the run anymore. When a [`SupervisorOptions`] is attached to
+//! [`crate::UdpRunOptions::supervise`], the engine hands the per-chunk
+//! reports to [`supervise`], which walks them in chunk order and climbs
+//! the ladder for each faulted chunk:
+//!
+//! 1. **Retry.** The chunk is re-executed from its original staging on
+//!    a fresh [`pool::LaneSlot`] — the same reset/replay machinery both
+//!    execution paths use, so a replay is bit-identical to a first
+//!    attempt. Attempts are bounded ([`SupervisorOptions::max_retries`])
+//!    with a capped host-side backoff between them. Transient chaos
+//!    hooks ([`LaneConfig::chaos_transient`]) are disarmed on replay,
+//!    modeling soft errors that do not recur.
+//! 2. **Fallback.** If every replay re-faults, a registered software
+//!    [`ReferenceFallback`] (the CPU reference codec the paper's §6
+//!    baselines keep deployed) produces the chunk's output instead.
+//! 3. **Quarantine.** Only when both rungs fail is the chunk
+//!    quarantined with a structured [`QuarantineReason`]; its partial
+//!    output is dropped so no half-written bytes leak into
+//!    [`crate::UdpRunReport::concat_output`], and every sibling chunk
+//!    is untouched — a poisoned chunk degrades one chunk, never the
+//!    run.
+//!
+//! The ladder is deterministic for deterministic faults: replays of a
+//! persistent fault re-fault identically (same [`FaultKind`]), so the
+//! final [`RunHealth`] depends only on (image, staging, inputs,
+//! config) — never on host scheduling. With
+//! [`SupervisorOptions::differential`] set, the fallback doubles as a
+//! continuous correctness oracle: clean chunks are cross-checked
+//! byte-for-byte against the reference output.
+
+use crate::error::FaultKind;
+use crate::lane::{LaneConfig, LaneReport, LaneStatus};
+use crate::pool::{self, RunParams, WindowSnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A software reference implementation of the kernel a program image
+/// was compiled from — the CPU baseline path a real deployment keeps
+/// (paper §6). Implementations live next to the codecs
+/// (`udp_codecs::fallback`); the contract is byte-equality with the
+/// UDP kernel's output on every input the kernel handles.
+pub trait ReferenceFallback: Send + Sync {
+    /// Stable name for reports and health summaries.
+    fn name(&self) -> &'static str;
+
+    /// Computes the reference output for one chunk's input bytes.
+    /// `Err` means the reference itself cannot process the chunk
+    /// (corrupt input) — the supervisor then quarantines.
+    fn reference_output(&self, input: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// Configuration of the supervision ladder.
+#[derive(Clone)]
+pub struct SupervisorOptions {
+    /// Replay attempts per faulted chunk before falling back.
+    pub max_retries: u32,
+    /// Base of the capped exponential backoff between replays, in
+    /// milliseconds (`min(cap, base << attempt)` before attempt `n`).
+    /// Zero disables sleeping entirely (tests).
+    pub backoff_base_ms: u64,
+    /// Ceiling of the backoff, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// The software reference decoder to fall back to when replays
+    /// keep faulting. `None` skips the fallback rung entirely.
+    pub fallback: Option<Arc<dyn ReferenceFallback>>,
+    /// Cross-check every *clean* chunk's output byte-for-byte against
+    /// the reference fallback (requires `fallback`), recording
+    /// mismatches in [`RunHealth`]. Turns the fallback into a
+    /// continuous correctness oracle, at the cost of one software
+    /// decode per chunk.
+    pub differential: bool,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            max_retries: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 16,
+            fallback: None,
+            differential: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for SupervisorOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisorOptions")
+            .field("max_retries", &self.max_retries)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("backoff_cap_ms", &self.backoff_cap_ms)
+            .field(
+                "fallback",
+                &self.fallback.as_ref().map_or("none", |f| f.name()),
+            )
+            .field("differential", &self.differential)
+            .finish()
+    }
+}
+
+/// Why a chunk ended up quarantined: the fault that started the ladder
+/// plus what the fallback rung said (or that there was none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineReason {
+    /// The fault the chunk's final replay ended with.
+    pub fault: FaultKind,
+    /// The fallback's error, or `None` when no fallback was registered
+    /// (including the unsupervised case, where a faulted chunk is
+    /// quarantined directly).
+    pub fallback_error: Option<String>,
+}
+
+/// How one chunk came through the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkOutcome {
+    /// Executed cleanly on the first attempt.
+    Clean,
+    /// Faulted, then a replay succeeded; the report is the replay's.
+    Recovered {
+        /// Replay attempts spent (1 = first retry succeeded).
+        attempts: u32,
+    },
+    /// Every replay re-faulted; the output is the software reference's.
+    Fallback,
+    /// Both rungs failed (or supervision was off): the chunk's output
+    /// is dropped and the structured reason recorded.
+    Quarantined(QuarantineReason),
+}
+
+/// The health section of a [`crate::UdpRunReport`]: per-chunk outcomes
+/// plus a histogram of every fault encountered (including faults that
+/// were later recovered). Computed identically on the sequential and
+/// pooled paths, so it participates in the bit-identical determinism
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunHealth {
+    /// One outcome per input chunk, in chunk order.
+    pub outcomes: Vec<ChunkOutcome>,
+    /// `(fault kind name, count)` over every fault the run saw —
+    /// first-attempt faults and re-faulting replays alike — sorted by
+    /// name. Recovered chunks still contribute their original fault.
+    pub fault_histogram: Vec<(&'static str, u64)>,
+    /// Clean chunks cross-checked against the reference fallback
+    /// (differential mode only).
+    pub differential_checked: u64,
+    /// Cross-checked chunks whose UDP output differed from the
+    /// reference — each one is a correctness bug in kernel or model.
+    pub differential_mismatches: u64,
+}
+
+impl RunHealth {
+    /// Chunks that executed cleanly first try.
+    pub fn clean(&self) -> u64 {
+        self.count(|o| matches!(o, ChunkOutcome::Clean))
+    }
+
+    /// Chunks recovered by replay.
+    pub fn recovered(&self) -> u64 {
+        self.count(|o| matches!(o, ChunkOutcome::Recovered { .. }))
+    }
+
+    /// Chunks served by the software reference fallback.
+    pub fn fallback(&self) -> u64 {
+        self.count(|o| matches!(o, ChunkOutcome::Fallback))
+    }
+
+    /// Chunks quarantined.
+    pub fn quarantined(&self) -> u64 {
+        self.count(|o| matches!(o, ChunkOutcome::Quarantined(_)))
+    }
+
+    fn count(&self, f: impl Fn(&ChunkOutcome) -> bool) -> u64 {
+        self.outcomes.iter().filter(|o| f(o)).count() as u64
+    }
+
+    /// Health of an unsupervised run: faulted chunks are quarantined
+    /// directly (no retry or fallback rung to climb).
+    pub(crate) fn passive(reports: &[LaneReport]) -> RunHealth {
+        let mut hist = Histogram::default();
+        let outcomes = reports
+            .iter()
+            .map(|r| match &r.status {
+                LaneStatus::Fault(kind) => {
+                    hist.bump(kind);
+                    ChunkOutcome::Quarantined(QuarantineReason {
+                        fault: kind.clone(),
+                        fallback_error: None,
+                    })
+                }
+                _ => ChunkOutcome::Clean,
+            })
+            .collect();
+        RunHealth {
+            outcomes,
+            fault_histogram: hist.into_sorted(),
+            differential_checked: 0,
+            differential_mismatches: 0,
+        }
+    }
+}
+
+/// Name-keyed fault counter (tiny domain: linear scan beats a map).
+#[derive(Default)]
+struct Histogram(Vec<(&'static str, u64)>);
+
+impl Histogram {
+    fn bump(&mut self, kind: &FaultKind) {
+        let name = kind.name();
+        match self.0.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => self.0.push((name, 1)),
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<(&'static str, u64)> {
+        self.0.sort_unstable_by_key(|(n, _)| *n);
+        self.0
+    }
+}
+
+/// Runs the recovery ladder over a finished run's reports, mutating
+/// faulted chunks' reports in place (replaced by the successful
+/// replay's report, overwritten with fallback output, or stripped of
+/// partial output on quarantine) and keeping `finals` consistent: a
+/// recovered chunk that is the last occupant of its device lane slot
+/// contributes its replay's window snapshot, exactly as a clean run
+/// would have.
+pub(crate) fn supervise(
+    p: &RunParams,
+    inputs: &[&[u8]],
+    reports: &mut [LaneReport],
+    finals: &mut Vec<WindowSnapshot>,
+    sup: &SupervisorOptions,
+) -> RunHealth {
+    let mut hist = Histogram::default();
+    let mut outcomes = Vec::with_capacity(reports.len());
+    let mut differential_checked = 0u64;
+    let mut differential_mismatches = 0u64;
+    // Replays disarm transient chaos hooks; persistent chaos stays
+    // armed so deterministic faults re-fault deterministically.
+    let retry_cfg = retry_config(p.cfg);
+    let retry_params = RunParams {
+        cfg: &retry_cfg,
+        ..*p
+    };
+    for (idx, rep) in reports.iter_mut().enumerate() {
+        let LaneStatus::Fault(first_fault) = rep.status.clone() else {
+            // Clean chunk: optionally cross-check against the reference.
+            if sup.differential {
+                if let Some(fb) = &sup.fallback {
+                    if let Ok(expect) = fb.reference_output(inputs[idx]) {
+                        differential_checked += 1;
+                        if expect != rep.output {
+                            differential_mismatches += 1;
+                        }
+                    }
+                }
+            }
+            outcomes.push(ChunkOutcome::Clean);
+            continue;
+        };
+        hist.bump(&first_fault);
+
+        // Rung 1: bounded deterministic replay from staging.
+        let mut last_fault = first_fault;
+        let mut recovered = None;
+        for attempt in 1..=sup.max_retries {
+            backoff(sup, attempt);
+            let (replay, window) = replay_chunk(&retry_params, inputs[idx]);
+            if let LaneStatus::Fault(kind) = &replay.status {
+                hist.bump(kind);
+                last_fault = kind.clone();
+            } else {
+                recovered = Some((attempt, replay, window));
+                break;
+            }
+        }
+        if let Some((attempts, new_rep, window)) = recovered {
+            *rep = new_rep;
+            if pool::is_final_occupant(idx, p.lanes_cap, inputs.len()) {
+                upsert_final(finals, idx % p.lanes_cap, window);
+            }
+            outcomes.push(ChunkOutcome::Recovered { attempts });
+            continue;
+        }
+        // Rung 2: software reference fallback.
+        let fallback_error = match &sup.fallback {
+            Some(fb) => match fb.reference_output(inputs[idx]) {
+                Ok(bytes) => {
+                    rep.output = bytes;
+                    rep.bytes_consumed = inputs[idx].len() as u64;
+                    outcomes.push(ChunkOutcome::Fallback);
+                    continue;
+                }
+                Err(e) => Some(e),
+            },
+            None => None,
+        };
+
+        // Rung 3: quarantine. Drop partial output so nothing half-
+        // written leaks into the concatenated run output.
+        rep.output = Vec::new();
+        outcomes.push(ChunkOutcome::Quarantined(QuarantineReason {
+            fault: last_fault,
+            fallback_error,
+        }));
+    }
+    RunHealth {
+        outcomes,
+        fault_histogram: hist.into_sorted(),
+        differential_checked,
+        differential_mismatches,
+    }
+}
+
+/// The lane config replays run under: chaos hooks flagged transient
+/// are disarmed (the soft error does not recur); everything else is
+/// verbatim, so deterministic faults replay deterministically.
+fn retry_config(cfg: &LaneConfig) -> LaneConfig {
+    let mut retry = cfg.clone();
+    if retry.chaos_transient {
+        retry.chaos_panic_at = None;
+        retry.chaos_fault_at = None;
+    }
+    retry
+}
+
+/// One replay attempt on a fresh slot, panic-safe: an unwinding replay
+/// degrades to a [`FaultKind::HostPanic`] report like any other chunk.
+/// Returns the report plus the slot's final window (for `finals`
+/// bookkeeping when the replay succeeds).
+fn replay_chunk(p: &RunParams, input: &[u8]) -> (LaneReport, Vec<u32>) {
+    let mut slot = pool::LaneSlot::new(p.window_words);
+    match catch_unwind(AssertUnwindSafe(|| pool::run_chunk(p, &mut slot, input))) {
+        Ok(rep) => {
+            let window = slot.mem.words().to_vec();
+            (rep, window)
+        }
+        Err(payload) => (
+            pool::fault_lane_report(pool::panic_message(payload.as_ref())),
+            Vec::new(),
+        ),
+    }
+}
+
+/// Replaces (or inserts) the final window snapshot for a device lane
+/// slot — a recovered chunk's replay window supersedes whatever the
+/// faulted attempt left (a panicked attempt left nothing at all).
+fn upsert_final(finals: &mut Vec<WindowSnapshot>, slot: usize, window: Vec<u32>) {
+    match finals.iter_mut().find(|(s, _)| *s == slot) {
+        Some((_, w)) => *w = window,
+        None => finals.push((slot, window)),
+    }
+}
+
+/// Capped exponential host backoff before replay `attempt` (1-based).
+fn backoff(sup: &SupervisorOptions, attempt: u32) {
+    if sup.backoff_base_ms == 0 {
+        return;
+    }
+    let ms = sup
+        .backoff_base_ms
+        .saturating_mul(1u64 << (attempt - 1).min(16))
+        .min(sup.backoff_cap_ms);
+    if ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}

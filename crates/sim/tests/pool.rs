@@ -155,7 +155,10 @@ fn chaos_panics_degrade_through_the_pool() {
     for (i, lane) in rep.lanes.iter().enumerate() {
         if chunks[i].len() > 100 {
             assert!(
-                matches!(&lane.status, LaneStatus::Fault(m) if m.contains("lane panicked")),
+                matches!(
+                    &lane.status,
+                    LaneStatus::Fault(udp_sim::FaultKind::HostPanic(m)) if m.contains("chaos")
+                ),
                 "chunk {i} should have faulted: {:?}",
                 lane.status
             );

@@ -1,0 +1,280 @@
+//! Supervision-layer contracts (DESIGN.md §8): transient faults
+//! recover to a bit-identical run, quarantine isolates exactly one
+//! chunk, the fallback rung swaps in reference bytes, and differential
+//! mode cross-checks clean chunks — all identically on the sequential
+//! and pooled paths.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use udp_asm::{LayoutOptions, ProgramBuilder, Target};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::Reg;
+use udp_sim::engine::Staging;
+use udp_sim::{
+    ChunkOutcome, FaultKind, LaneConfig, LaneStatus, ReferenceFallback, SupervisorOptions, Udp,
+    UdpRunOptions, UdpRunReport,
+};
+
+/// One-state scanner: emits `!` for every `a` byte.
+fn scanner() -> udp_asm::ProgramImage {
+    let mut b = ProgramBuilder::new();
+    let s = b.add_consuming_state();
+    b.set_entry(s);
+    b.labeled_arc(
+        s,
+        b'a' as u16,
+        Target::State(s),
+        vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, b'!' as u16)],
+    );
+    b.fallback_arc(s, Target::State(s), vec![]);
+    b.assemble(&LayoutOptions::default()).unwrap()
+}
+
+/// The scanner's reference output: one `!` per `a`.
+#[derive(Debug)]
+struct ScannerReference;
+
+impl ReferenceFallback for ScannerReference {
+    fn name(&self) -> &'static str {
+        "scanner-reference"
+    }
+
+    fn reference_output(&self, input: &[u8]) -> Result<Vec<u8>, String> {
+        Ok(input.iter().filter(|&&b| b == b'a').map(|_| b'!').collect())
+    }
+}
+
+/// A reference that is deliberately wrong on every chunk.
+#[derive(Debug)]
+struct LyingReference;
+
+impl ReferenceFallback for LyingReference {
+    fn name(&self) -> &'static str {
+        "lying-reference"
+    }
+
+    fn reference_output(&self, _input: &[u8]) -> Result<Vec<u8>, String> {
+        Ok(b"wrong".to_vec())
+    }
+}
+
+fn run(image: &udp_asm::ProgramImage, inputs: &[&[u8]], opts: &UdpRunOptions) -> UdpRunReport {
+    Udp::new()
+        .try_run_data_parallel(image, inputs, &Staging::default(), opts)
+        .expect("pre-flight config is valid")
+}
+
+/// Runs `f` with the default panic hook silenced (deliberate chaos
+/// panics would otherwise spray backtraces over the test output).
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(hook);
+    r
+}
+
+fn supervise_base() -> SupervisorOptions {
+    SupervisorOptions {
+        backoff_base_ms: 0,
+        ..SupervisorOptions::default()
+    }
+}
+
+#[test]
+fn transient_fault_recovers_to_a_bit_identical_report() {
+    let img = scanner();
+    let long: Vec<u8> = vec![b'a'; 300];
+    let inputs: Vec<&[u8]> = vec![b"aa", &long, b"aba"];
+    let clean = run(&img, &inputs, &UdpRunOptions::default());
+
+    for inject_panic in [false, true] {
+        for parallel in [false, true] {
+            let opts = UdpRunOptions {
+                parallel,
+                lane: LaneConfig {
+                    chaos_panic_at: if inject_panic { Some(100) } else { None },
+                    chaos_fault_at: if inject_panic { None } else { Some(100) },
+                    chaos_transient: true,
+                    ..LaneConfig::default()
+                },
+                supervise: Some(supervise_base()),
+                ..UdpRunOptions::default()
+            };
+            let rep = quietly(|| run(&img, &inputs, &opts));
+            assert_eq!(
+                rep.health.outcomes,
+                vec![
+                    ChunkOutcome::Clean,
+                    ChunkOutcome::Recovered { attempts: 1 },
+                    ChunkOutcome::Clean
+                ],
+                "inject_panic={inject_panic} parallel={parallel}"
+            );
+            // Everything except health is the clean run, bit for bit.
+            let mut scrubbed = rep.clone();
+            scrubbed.health = clean.health.clone();
+            assert_eq!(scrubbed, clean, "inject_panic={inject_panic}");
+            assert_eq!(rep.health.fault_histogram.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn quarantined_chunk_leaves_sibling_outputs_untouched() {
+    let img = scanner();
+    let long: Vec<u8> = vec![b'a'; 300];
+    let inputs: Vec<&[u8]> = vec![b"aa", &long, b"aaa"];
+    let clean = run(&img, &inputs, &UdpRunOptions::default());
+
+    // Persistent chaos fault, no fallback registered: both ladder rungs
+    // fail and the chunk must quarantine with its output dropped.
+    let opts = UdpRunOptions {
+        lane: LaneConfig {
+            chaos_fault_at: Some(100),
+            ..LaneConfig::default()
+        },
+        supervise: Some(SupervisorOptions {
+            max_retries: 1,
+            ..supervise_base()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &opts);
+    match &rep.health.outcomes[1] {
+        ChunkOutcome::Quarantined(reason) => {
+            assert!(matches!(reason.fault, FaultKind::ChaosInjected { .. }));
+            assert_eq!(reason.fallback_error, None);
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    assert!(rep.lanes[1].output.is_empty(), "partial output is dropped");
+    assert!(matches!(rep.lanes[1].status, LaneStatus::Fault(_)));
+    // Siblings are exactly the clean run's chunks.
+    for i in [0usize, 2] {
+        assert_eq!(rep.health.outcomes[i], ChunkOutcome::Clean);
+        assert_eq!(rep.lanes[i], clean.lanes[i], "sibling {i} untouched");
+    }
+    assert_eq!(
+        rep.concat_output(),
+        b"aa"
+            .iter()
+            .map(|_| b'!')
+            .chain(b"aaa".iter().map(|_| b'!'))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn persistent_fault_lands_on_the_reference_fallback() {
+    let img = scanner();
+    let long: Vec<u8> = vec![b'a'; 300];
+    let inputs: Vec<&[u8]> = vec![b"aa", &long, b"aaa"];
+    let opts = UdpRunOptions {
+        lane: LaneConfig {
+            chaos_fault_at: Some(100),
+            ..LaneConfig::default()
+        },
+        supervise: Some(SupervisorOptions {
+            fallback: Some(Arc::new(ScannerReference)),
+            ..supervise_base()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &opts);
+    assert_eq!(rep.health.outcomes[1], ChunkOutcome::Fallback);
+    assert_eq!(rep.lanes[1].output, vec![b'!'; 300], "reference bytes");
+    assert_eq!(rep.lanes[1].bytes_consumed, 300);
+    // The whole run's concatenated output equals the reference's view.
+    assert_eq!(rep.concat_output(), vec![b'!'; 2 + 300 + 3]);
+    assert_eq!(rep.health.quarantined(), 0);
+}
+
+#[test]
+fn differential_mode_cross_checks_clean_chunks() {
+    let img = scanner();
+    let inputs: Vec<&[u8]> = vec![b"aa", b"aba", b"bb"];
+
+    let honest = UdpRunOptions {
+        supervise: Some(SupervisorOptions {
+            fallback: Some(Arc::new(ScannerReference)),
+            differential: true,
+            ..supervise_base()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &honest);
+    assert_eq!(rep.health.differential_checked, 3);
+    assert_eq!(rep.health.differential_mismatches, 0);
+
+    let lying = UdpRunOptions {
+        supervise: Some(SupervisorOptions {
+            fallback: Some(Arc::new(LyingReference)),
+            differential: true,
+            ..supervise_base()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &lying);
+    assert_eq!(rep.health.differential_checked, 3);
+    assert_eq!(rep.health.differential_mismatches, 3);
+}
+
+#[test]
+fn supervision_on_clean_inputs_changes_nothing_but_health() {
+    let img = scanner();
+    let inputs: Vec<&[u8]> = vec![b"aa", b"ab", b"ba", b"bb"];
+    let clean = run(&img, &inputs, &UdpRunOptions::default());
+    for parallel in [false, true] {
+        let opts = UdpRunOptions {
+            parallel,
+            supervise: Some(supervise_base()),
+            ..UdpRunOptions::default()
+        };
+        let rep = run(&img, &inputs, &opts);
+        let mut scrubbed = rep.clone();
+        scrubbed.health = clean.health.clone();
+        assert_eq!(scrubbed, clean, "parallel={parallel}");
+        assert_eq!(rep.health.clean(), 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Transient faults + retries reproduce the clean run bit for bit
+    /// (everything except the health section), sequentially and pooled,
+    /// for random chunk shapes and injection points.
+    #[test]
+    fn prop_transient_faults_preserve_clean_run_output(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..400), 1..8),
+        chaos_at in 20u64..200,
+        inject_panic in any::<bool>(),
+        parallel in any::<bool>(),
+    ) {
+        let img = scanner();
+        let inputs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        let clean = run(&img, &inputs, &UdpRunOptions::default());
+        let opts = UdpRunOptions {
+            parallel,
+            lane: LaneConfig {
+                chaos_panic_at: if inject_panic { Some(chaos_at) } else { None },
+                chaos_fault_at: if inject_panic { None } else { Some(chaos_at) },
+                chaos_transient: true,
+                ..LaneConfig::default()
+            },
+            supervise: Some(supervise_base()),
+            ..UdpRunOptions::default()
+        };
+        let rep = quietly(|| run(&img, &inputs, &opts));
+        let mut scrubbed = rep.clone();
+        scrubbed.health = clean.health.clone();
+        prop_assert_eq!(scrubbed, clean);
+        prop_assert_eq!(rep.health.quarantined(), 0);
+        prop_assert_eq!(
+            rep.health.clean() + rep.health.recovered(),
+            inputs.len() as u64
+        );
+    }
+}

@@ -20,7 +20,11 @@ echo "== verifier soundness gate (DESIGN.md §9) =="
 cargo run --release -q -p udp-bench --bin verify
 
 echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
-cargo run --release -q -p udp-bench --bin fault_fuzz -- --iters 200 --seed 0xDEC0DE --min-static-reject 1
+# Gates on zero whole-run aborts, the static-reject floor, and a 100%
+# recovered-or-fallback rate for transient chaos injections; refreshes
+# the results/BENCH_fault_fuzz.json artifact tracked across PRs.
+cargo run --release -q -p udp-bench --bin fault_fuzz -- \
+  --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100 --json
 
 echo "== hostperf smoke (non-gating, DESIGN.md §2.6.2) =="
 # Host-throughput trend check over the chunked scenarios: runs hostperf,
