@@ -1,7 +1,8 @@
 //! Host-side simulator throughput: how fast the simulator itself chews
-//! input, before/after predecoding and with the persistent lane pool.
+//! input, before/after predecoding, with the persistent lane pool, and
+//! on the tier-2 compiled backend.
 //!
-//! Three configurations over the same 64-lane run:
+//! Five configurations over the same 64-lane run:
 //!
 //! * `lazy-seq` — the pre-optimization baseline: one lane after
 //!   another, decoding every transition/action word as it is read
@@ -11,9 +12,17 @@
 //!   reset incrementally between chunks.
 //! * `predecoded-par` — `UdpRunOptions::parallel`: predecoded plus the
 //!   persistent worker pool pulling chunks off a shared counter.
+//! * `compiled-seq` / `compiled-par` — `ExecBackend::Compiled`
+//!   (DESIGN.md §2.6.3): the program specialized into dense dispatch
+//!   tables at load time, sequential and pooled.
 //!
-//! All three produce bit-identical modeled results (see the
-//! `determinism` test); only host wall-clock differs.
+//! All five produce bit-identical modeled results (see the
+//! `determinism` test and `backend_oracle`); only host wall-clock
+//! differs.
+//!
+//! `--gate-csv-speedup <x>` exits nonzero unless `compiled-seq` is at
+//! least `x`× `predecoded-seq` on every csv scenario — a same-process
+//! ratio, so the gate is robust to absolute host load.
 //!
 //! Two workload shapes: big chunks (64 × 24 KB — the steady-stream
 //! shape) and many small chunks (256 × 4 KB — the ETL shape, where
@@ -30,7 +39,9 @@ use udp_asm::{LayoutOptions, ProgramBuilder, ProgramImage};
 use udp_bench::host_rate_mbps;
 use udp_isa::mem::{BANK_WORDS, NUM_BANKS};
 use udp_sim::engine::Staging;
-use udp_sim::{BitStream, Lane, LaneConfig, LocalMemory, OutputSink, Udp, UdpRunOptions};
+use udp_sim::{
+    BitStream, ExecBackend, Lane, LaneConfig, LocalMemory, OutputSink, Udp, UdpRunOptions,
+};
 
 /// Assembles into the smallest power-of-two bank window that fits.
 fn assemble(pb: &ProgramBuilder, max_banks: usize) -> ProgramImage {
@@ -82,6 +93,8 @@ struct ScenarioResult {
     lazy_seq_mbps: f64,
     predecoded_seq_mbps: f64,
     predecoded_par_mbps: f64,
+    compiled_seq_mbps: f64,
+    compiled_par_mbps: f64,
 }
 
 fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]]) -> ScenarioResult {
@@ -89,39 +102,54 @@ fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]]) -> Scenari
     let bytes: usize = inputs.iter().map(|i| i.len()).sum();
     let reps = 7;
 
+    // Backends are pinned explicitly: `Default` reads `UDP_SIM_BACKEND`,
+    // and this bench's whole point is to measure both sides by name.
     let seq_opts = UdpRunOptions {
         banks_per_lane: banks,
         parallel: false,
+        backend: ExecBackend::Interpreter,
         ..Default::default()
     };
     let par_opts = UdpRunOptions {
         parallel: true,
         ..seq_opts.clone()
     };
+    let cseq_opts = UdpRunOptions {
+        backend: ExecBackend::Compiled,
+        ..seq_opts.clone()
+    };
+    let cpar_opts = UdpRunOptions {
+        backend: ExecBackend::Compiled,
+        ..par_opts.clone()
+    };
+    let run_engine = |opts: &UdpRunOptions| {
+        let mut udp = Udp::new();
+        let rep = udp.run_data_parallel(image, inputs, &Staging::default(), opts);
+        std::hint::black_box(rep.wall_cycles);
+    };
     let mut run_lazy = || run_lazy_sequential(image, inputs, banks);
-    let mut run_seq = || {
-        let mut udp = Udp::new();
-        let rep = udp.run_data_parallel(image, inputs, &Staging::default(), &seq_opts);
-        std::hint::black_box(rep.wall_cycles);
-    };
-    let mut run_par = || {
-        let mut udp = Udp::new();
-        let rep = udp.run_data_parallel(image, inputs, &Staging::default(), &par_opts);
-        std::hint::black_box(rep.wall_cycles);
-    };
+    let mut run_seq = || run_engine(&seq_opts);
+    let mut run_par = || run_engine(&par_opts);
+    let mut run_cseq = || run_engine(&cseq_opts);
+    let mut run_cpar = || run_engine(&cpar_opts);
 
-    // Warm-up, then interleave the three configurations rep by rep and
-    // take each one's best: external load (this is a shared host) then
-    // hits all three alike instead of biasing whichever configuration
+    // Warm-up, then interleave the configurations rep by rep and take
+    // each one's best: external load (this is a shared host) then hits
+    // all of them alike instead of biasing whichever configuration
     // happened to run during a noisy burst.
     run_lazy();
     run_seq();
     run_par();
+    run_cseq();
+    run_cpar();
     let (mut lazy, mut seq, mut par) = (f64::MAX, f64::MAX, f64::MAX);
+    let (mut cseq, mut cpar) = (f64::MAX, f64::MAX);
     for _ in 0..reps {
         lazy = lazy.min(time_once(&mut run_lazy));
         seq = seq.min(time_once(&mut run_seq));
         par = par.min(time_once(&mut run_par));
+        cseq = cseq.min(time_once(&mut run_cseq));
+        cpar = cpar.min(time_once(&mut run_cpar));
     }
 
     ScenarioResult {
@@ -131,13 +159,15 @@ fn bench_workload(name: &str, image: &ProgramImage, inputs: &[&[u8]]) -> Scenari
         lazy_seq_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(lazy)),
         predecoded_seq_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(seq)),
         predecoded_par_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(par)),
+        compiled_seq_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(cseq)),
+        compiled_par_mbps: host_rate_mbps(bytes, std::time::Duration::from_secs_f64(cpar)),
     }
 }
 
 fn render_line(r: &ScenarioResult, out: &mut String) {
     let _ = writeln!(
         out,
-        "{:<16} lanes={:<3} input={:>8} B  lazy-seq={:>8.1} MB/s  predecoded-seq={:>8.1} MB/s ({:>4.2}x)  predecoded-par={:>8.1} MB/s ({:>5.2}x)",
+        "{:<16} lanes={:<3} input={:>8} B  lazy-seq={:>8.1} MB/s  predecoded-seq={:>8.1} MB/s ({:>4.2}x)  predecoded-par={:>8.1} MB/s ({:>5.2}x)  compiled-seq={:>8.1} MB/s ({:>4.2}x)  compiled-par={:>8.1} MB/s ({:>5.2}x)",
         r.name,
         r.chunks,
         r.bytes,
@@ -146,6 +176,10 @@ fn render_line(r: &ScenarioResult, out: &mut String) {
         r.predecoded_seq_mbps / r.lazy_seq_mbps,
         r.predecoded_par_mbps,
         r.predecoded_par_mbps / r.lazy_seq_mbps,
+        r.compiled_seq_mbps,
+        r.compiled_seq_mbps / r.predecoded_seq_mbps,
+        r.compiled_par_mbps,
+        r.compiled_par_mbps / r.predecoded_seq_mbps,
     );
 }
 
@@ -156,15 +190,21 @@ fn render_json(results: &[ScenarioResult]) -> String {
     for r in results {
         let _ = writeln!(
             s,
-            "{{\"name\":\"{}\",\"chunks\":{},\"bytes\":{},\"lazy_seq_mbps\":{:.2},\"predecoded_seq_mbps\":{:.2},\"predecoded_par_mbps\":{:.2}}}",
-            r.name, r.chunks, r.bytes, r.lazy_seq_mbps, r.predecoded_seq_mbps, r.predecoded_par_mbps,
+            "{{\"name\":\"{}\",\"chunks\":{},\"bytes\":{},\"lazy_seq_mbps\":{:.2},\"predecoded_seq_mbps\":{:.2},\"predecoded_par_mbps\":{:.2},\"compiled_seq_mbps\":{:.2},\"compiled_par_mbps\":{:.2}}}",
+            r.name, r.chunks, r.bytes, r.lazy_seq_mbps, r.predecoded_seq_mbps, r.predecoded_par_mbps, r.compiled_seq_mbps, r.compiled_par_mbps,
         );
     }
     s
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let gate_csv_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate-csv-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--gate-csv-speedup takes a number"));
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -224,6 +264,25 @@ fn main() {
         let payload = render_json(&results);
         if let Err(e) = std::fs::write("results/BENCH_hostperf.json", &payload) {
             eprintln!("could not write results/BENCH_hostperf.json: {e}");
+        }
+    }
+    if let Some(min) = gate_csv_speedup {
+        // Same-process ratio: absolute MB/s moves with host load, but
+        // compiled and interpreter runs interleaved in one process see
+        // the same load, so the ratio is what CI can gate on.
+        let mut failed = false;
+        for r in results.iter().filter(|r| r.name.starts_with("csv")) {
+            let ratio = r.compiled_seq_mbps / r.predecoded_seq_mbps;
+            let verdict = if ratio >= min { "ok" } else { "FAIL" };
+            println!(
+                "gate {:<16} compiled-seq/predecoded-seq = {ratio:.2}x (need {min:.2}x): {verdict}",
+                r.name
+            );
+            failed |= ratio < min;
+        }
+        if failed {
+            eprintln!("--gate-csv-speedup {min}: compiled backend below required speedup");
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,744 @@
+//! Tier-2 compiled execution backend (DESIGN.md §2.6.3).
+//!
+//! The interpreter in `lane.rs` re-checks per symbol what is actually a
+//! per-*program* property: which dispatch slots of a state hit, whether
+//! the taken transition carries actions, and where it lands. This
+//! module lowers a verified, predecoded program into specialized
+//! per-state dispatch tables at program-load time:
+//!
+//! * every reachable `(state base, exec kind)` pair discovered by a
+//!   breadth-first walk of the transition graph becomes one compiled
+//!   state with a dense 256-entry table of packed [`u32`] entries
+//!   (symbols are at most 8 bits, so the table covers every possible
+//!   dispatch value);
+//! * "trivial" transitions — a signature hit with no attached actions
+//!   landing in another compiled state — are encoded as a single table
+//!   word carrying the successor index, so the inner loop is a
+//!   load/compare/increment per input byte (`TAG_HIT`), with the same
+//!   direct-threaded shape for trivial fallback misses (`TAG_MISS`);
+//! * everything else (attached action blocks, pass states, slots whose
+//!   words live outside the verbatim image span) routes to side tables
+//!   that re-enter the interpreter's own `take()` machinery, or forces
+//!   a deoptimization back to the interpreter mid-run.
+//!
+//! ## The semantics/timing split and the report invariant
+//!
+//! The compiled runner produces output bytes plus the same compact
+//! counters the interpreter keeps (cycles, dispatches, fallback misses,
+//! batched read credits); the full [`crate::lane::LaneReport`] is then
+//! reconstructed by handing the lane object back to
+//! [`crate::lane::Lane::run`], which either assembles the report from a
+//! terminal status immediately or — after a deoptimization — resumes
+//! interpreting from the exact architectural state the compiled loop
+//! left. Either way the resulting [`crate::engine::UdpRunReport`] is
+//! bit-identical to an all-interpreter run; the interpreter remains the
+//! permanent differential oracle (the backend-matrix CI step and the
+//! `backend_oracle` suite hold the two paths equal over the whole
+//! compiler corpus, fault injection included).
+//!
+//! ## Soundness of compile-time specialization
+//!
+//! Tables are derived from `image.words`, which while the lane's
+//! pristine-code flag holds is verbatim what fetches would read (the
+//! same invariant the interpreter's predecoded fast path relies on).
+//! Every escape hatch from that world deoptimizes: a write into the
+//! code span clears the flag (checked after every action block), a
+//! `SetBase` retargeting the window base invalidates precomputed
+//! successor bases (checked the same way), and dispatch slots past the
+//! image span — whose runtime contents are data, not code — compile to
+//! [`EXIT_DEOPT`] entries. Deoptimization is always correct and merely
+//! slow: the interpreter continues from the live lane state.
+
+mod exec;
+
+pub(crate) use exec::run_compiled;
+
+use crate::lane::{EmitSpan, BLOCK_CAP, EMIT_SPAN_LEN};
+use std::collections::HashMap;
+use udp_asm::layout::CHAIN_CONTINUE_SIGNATURE;
+use udp_asm::{DecodedProgram, ProgramImage};
+use udp_isa::action::{Action, Opcode};
+use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
+
+/// Packed dense-table entry layout: the top two bits select the entry
+/// class, the low 30 bits carry the payload (a compiled-state index or
+/// a side-table index).
+pub(crate) const TAG_SHIFT: u32 = 30;
+pub(crate) const PAYLOAD_MASK: u32 = (1 << TAG_SHIFT) - 1;
+/// Signature hit, no actions, consuming successor: payload is the next
+/// compiled-state index. Encoded as tag 0 so the burst loop's hit test
+/// is a single compare against [`TAG_MISS`].
+pub(crate) const TAG_HIT: u32 = 0 << TAG_SHIFT;
+/// Signature miss whose fallback is trivial: payload is the next
+/// compiled-state index; costs the miss surcharge (one extra cycle,
+/// one extra read, one fallback-miss count).
+pub(crate) const TAG_MISS: u32 = 1 << TAG_SHIFT;
+/// Anything that runs the interpreter's `take()`: payload indexes
+/// [`CompiledProgram::general`].
+pub(crate) const TAG_GENERAL: u32 = 2 << TAG_SHIFT;
+/// Terminal or unspecializable entries; payload selects which.
+pub(crate) const TAG_EXIT: u32 = 3 << TAG_SHIFT;
+/// The dispatch cannot be resolved from the verbatim image (slot or
+/// fallback slot outside the span): undo the symbol read and hand the
+/// lane back to the interpreter.
+pub(crate) const EXIT_DEOPT: u32 = TAG_EXIT;
+/// Signature miss with an absent (zero) fallback word: the lane stops
+/// with `LaneStatus::NoTransition` after the miss surcharge.
+pub(crate) const EXIT_NO_TRANSITION: u32 = TAG_EXIT | 1;
+
+/// Upper bound on compiled states; programs whose reachable state set
+/// exceeds it (degenerate hand-built images, not real kernels) fall
+/// back to the interpreter outright.
+const MAX_STATES: usize = 4096;
+
+/// A non-trivial taken transition: enough to re-enter the interpreter's
+/// `take()` with exactly the bookkeeping the dispatch would have done.
+#[derive(Debug, Clone)]
+pub(crate) struct GeneralEntry {
+    /// The decoded transition to take.
+    pub(crate) t: TransitionWord,
+    /// True when this entry sits behind a signature miss (fallback
+    /// taken): one extra cycle, one extra counted read, one
+    /// fallback-miss count.
+    pub(crate) miss: bool,
+    /// Precomputed successor state index (valid while the window base
+    /// register still matches the compile-time value), or `u32::MAX`
+    /// when the transition halts.
+    pub(crate) next: u32,
+    /// The transition's action block, resolved and decoded at compile
+    /// time. Valid while the lane's attach bases still hold the
+    /// image-init values (checked at dispatch) and the code span is
+    /// pristine (monitored inside the cached run). `None` when the
+    /// block cannot be specialized — dynamic-walk ops
+    /// (`SkipIfZ`/`SkipIfNz`), an undecodable word, or a walk off the
+    /// predecoded span — in which case the interpreter's decode-on-read
+    /// `take()` runs instead.
+    pub(crate) block: Option<CachedBlock>,
+    /// Present when the whole transition collapses to one fused
+    /// emit-span the burst loop can run in place — without syncing the
+    /// stream cursor or tearing the segment down (see [`InlineFused`]).
+    pub(crate) inline: Option<InlineFused>,
+}
+
+/// A general entry whose action block is exactly one fused
+/// [`EmitSpan`] and whose successor re-enters the burst loop: the
+/// block reads nothing the burst defers (stream cursor, the `R13`
+/// symbol latch, cycle counters) and writes nothing the specialization
+/// depends on (window/attach bases, the code span, symbol width), so
+/// the segment loop runs it inline between trivial bytes. The attach
+/// bases are still checked at dispatch, like every cached block.
+#[derive(Debug, Clone)]
+pub(crate) struct InlineFused {
+    /// The fused prefix (here: the whole block).
+    pub(crate) f: EmitSpan,
+    /// Successor state index — statically a burstable consuming state.
+    pub(crate) next: usize,
+}
+
+/// A compile-time-resolved action block (see [`GeneralEntry::block`]).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedBlock {
+    /// Flat word address the block lives at (origin 0).
+    pub(crate) flat: u32,
+    /// The decoded actions, through the `last` marker inclusive.
+    pub(crate) acts: Box<[Action]>,
+    /// True when no action in the block can write local memory
+    /// (`StoreW`/`StoreB`/`BumpW`/`LoopCpy`), so the pristine-code flag
+    /// cannot drop mid-block and the per-action re-validation is dead.
+    pub(crate) pure_code: bool,
+    /// Fused span-emit prefix when the block opens with the
+    /// `InIdx; Sub; LoopIn; EmitB; InIdx` idiom (see [`EmitSpan`]).
+    pub(crate) fused: Option<EmitSpan>,
+}
+
+/// A pass-through state's fallback word, pre-resolved at compile time.
+#[derive(Debug, Clone)]
+pub(crate) enum PassPlan {
+    /// Fallback slot outside the verbatim image: deoptimize before
+    /// charging anything.
+    Deopt,
+    /// Zero fallback word: `NoTransition` after the dispatch charge.
+    NoTransition,
+    /// `CHAIN_CONTINUE_SIGNATURE` outside NFA mode: typed fault.
+    FaultChain,
+    /// A signature that is neither a refill count, the fallback marker,
+    /// nor the chain marker: typed fault carrying the signature.
+    FaultBadSig(u8),
+    /// Take the transition; `refill` bits are put back first when
+    /// `Some` (with the stream-underflow check), `None` for the plain
+    /// `FALLBACK_SIGNATURE` form.
+    Take {
+        /// The decoded fallback transition.
+        t: TransitionWord,
+        /// Bits to put back before taking (refill transition).
+        refill: Option<u8>,
+        /// Precomputed successor state index, or `u32::MAX`.
+        next: u32,
+    },
+}
+
+/// One compiled dispatch state.
+#[derive(Debug, Clone)]
+pub(crate) struct StateInfo {
+    /// Flat base address of the state's slot block (origin 0).
+    pub(crate) base: u32,
+    /// How the state sources its dispatch value.
+    pub(crate) kind: ExecKind,
+    /// True when the state's dense row contains at least one trivial
+    /// (packed hit/miss) entry, i.e. entering the burst loop here can
+    /// actually make progress. Action-per-symbol states (every arc
+    /// carries an action block) skip straight to single-step dispatch
+    /// instead of paying the burst setup for an immediate exit.
+    pub(crate) burstable: bool,
+    /// For `Pass` states: the precompiled fallback plan.
+    pub(crate) pass: Option<PassPlan>,
+}
+
+/// A program specialized for tier-2 execution: per-state dense dispatch
+/// tables plus side tables, produced once at load time by
+/// [`CompiledProgram::compile`] and shared read-only by every lane of
+/// the run.
+#[derive(Debug)]
+pub(crate) struct CompiledProgram {
+    pub(crate) states: Vec<StateInfo>,
+    /// One packed 256-entry row per state, indexed directly by the
+    /// dispatch value (rows keep the hot lookup at a single
+    /// row-bounds check — the byte index into a fixed-size array needs
+    /// none).
+    pub(crate) dense: Vec<[u32; 256]>,
+    pub(crate) general: Vec<GeneralEntry>,
+    /// `(flat base, kind code)` → state index, for re-resolving the
+    /// current state after an action block moved the lane somewhere a
+    /// precomputed successor hint does not cover.
+    index: HashMap<(u32, u8), u32>,
+    /// The window base register value the tables were specialized
+    /// against; a lane whose `wbase` diverges (a `SetBase` action ran)
+    /// must deoptimize.
+    pub(crate) wbase: u32,
+    /// Image-init attach base the cached action blocks were resolved
+    /// against; a lane whose `abase` diverges runs blocks through the
+    /// interpreter's `take()` instead.
+    pub(crate) abase: u32,
+    /// Image-init attach scale, same caveat as `abase`.
+    pub(crate) ascale: u8,
+}
+
+/// Stable small integer for an [`ExecKind`] (index-map key).
+pub(crate) fn kind_code(k: ExecKind) -> u8 {
+    match k {
+        ExecKind::Consume => 0,
+        ExecKind::Flagged => 1,
+        ExecKind::Pass => 2,
+        ExecKind::Halt => 3,
+    }
+}
+
+/// Is this taken transition trivial — no attached actions and a
+/// consuming successor — so the whole dispatch can be one packed table
+/// word? (The exact condition of the interpreter's tight loop.)
+fn is_trivial(t: &TransitionWord) -> bool {
+    t.attach() == 0 && t.kind() == ExecKind::Consume
+}
+
+/// Resolves and decodes `t`'s action block against the image-init
+/// attach bases. The walk mirrors `run_action_block`'s addressing
+/// (strictly linear, `last` terminates) and bails to `None` — meaning
+/// "run this block decode-on-read" — on anything it cannot prove
+/// static: skip ops make the walk data-dependent, a `None` table slot
+/// is an undecodable word the runtime must fault on itself, and a walk
+/// off the predecoded span would read live memory.
+fn cache_block(
+    decoded: &DecodedProgram,
+    t: &TransitionWord,
+    abase: u32,
+    ascale: u8,
+) -> Option<CachedBlock> {
+    let flat = t.action_addr(abase, ascale)?;
+    let table = decoded.actions();
+    let mut block = Vec::new();
+    let mut addr = flat as usize;
+    loop {
+        if block.len() >= BLOCK_CAP {
+            return None;
+        }
+        let &(_, a) = table.get(addr)?;
+        let a = a?;
+        if matches!(a.op, Opcode::SkipIfZ | Opcode::SkipIfNz) {
+            return None;
+        }
+        let last = a.last;
+        block.push(a);
+        if last {
+            let pure_code = !block.iter().any(|a| {
+                matches!(
+                    a.op,
+                    Opcode::StoreW | Opcode::StoreB | Opcode::BumpW | Opcode::LoopCpy
+                )
+            });
+            let fused = EmitSpan::recognize(&block);
+            return Some(CachedBlock {
+                flat,
+                acts: block.into_boxed_slice(),
+                pure_code,
+                fused,
+            });
+        }
+        addr += 1;
+    }
+}
+
+/// Decides [`GeneralEntry::inline`] eligibility (see [`InlineFused`]).
+fn inline_fused(ge: &GeneralEntry, states: &[StateInfo]) -> Option<InlineFused> {
+    let cb = ge.block.as_ref()?;
+    let f = cb.fused.as_ref()?;
+    if cb.acts.len() != EMIT_SPAN_LEN || f.touches_r13() {
+        return None;
+    }
+    let next = usize::try_from(ge.next)
+        .ok()
+        .filter(|&i| i < states.len())?;
+    let si = &states[next];
+    (si.kind == ExecKind::Consume && si.burstable).then(|| InlineFused { f: f.clone(), next })
+}
+
+impl CompiledProgram {
+    /// Specializes `image` (with its predecoded view) for tier-2
+    /// execution at window origin 0 — the layout every pooled lane
+    /// runs at. Returns `None` when the program cannot be specialized
+    /// (symbol width beyond the 8-bit dense-table coverage, an entry
+    /// state outside the image, or a degenerate state explosion); the
+    /// caller then just runs the interpreter.
+    pub(crate) fn compile(image: &ProgramImage, decoded: &DecodedProgram) -> Option<Self> {
+        if !image.executable || image.init.symbol_bits > 8 {
+            return None;
+        }
+        let span = image.words.len().min(decoded.transitions().len());
+        let wbase = image.init.wbase;
+        let (abase, ascale) = (image.init.abase, image.init.ascale);
+
+        // Pass 1: discover the reachable (base, kind) state set.
+        let mut index: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut states: Vec<StateInfo> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let intern = |states: &mut Vec<StateInfo>,
+                      queue: &mut Vec<usize>,
+                      index: &mut HashMap<(u32, u8), u32>,
+                      base: u32,
+                      kind: ExecKind|
+         -> u32 {
+            *index.entry((base, kind_code(kind))).or_insert_with(|| {
+                let idx = states.len() as u32;
+                states.push(StateInfo {
+                    base,
+                    kind,
+                    burstable: false,
+                    pass: None,
+                });
+                queue.push(idx as usize);
+                idx
+            })
+        };
+        intern(
+            &mut states,
+            &mut queue,
+            &mut index,
+            image.entry_base,
+            image.entry_kind,
+        );
+        let mut head = 0usize;
+        while head < queue.len() {
+            if states.len() > MAX_STATES {
+                return None;
+            }
+            let st = queue[head];
+            head += 1;
+            let (base, kind) = (states[st].base, states[st].kind);
+            let succ = |states: &mut Vec<StateInfo>,
+                        queue: &mut Vec<usize>,
+                        index: &mut HashMap<(u32, u8), u32>,
+                        t: &TransitionWord| {
+                if t.kind() != ExecKind::Halt {
+                    intern(
+                        states,
+                        queue,
+                        index,
+                        wbase.wrapping_add(u32::from(t.target())),
+                        t.kind(),
+                    );
+                }
+            };
+            match kind {
+                ExecKind::Halt => {}
+                ExecKind::Pass => {
+                    if let Some(t) = pass_transition(image, decoded, span, base) {
+                        succ(&mut states, &mut queue, &mut index, &t);
+                    }
+                }
+                ExecKind::Consume | ExecKind::Flagged => {
+                    for s in 0u32..256 {
+                        let (hit_t, fb_t) = slot_transitions(image, decoded, span, base, s);
+                        if let Some(t) = hit_t {
+                            succ(&mut states, &mut queue, &mut index, &t);
+                        } else if let Some(t) = fb_t {
+                            succ(&mut states, &mut queue, &mut index, &t);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: every state index is now known; fill the tables.
+        let n = states.len();
+        let mut dense = vec![[EXIT_DEOPT; 256]; n];
+        let mut general: Vec<GeneralEntry> = Vec::new();
+        let resolve = |t: &TransitionWord| -> u32 {
+            if t.kind() == ExecKind::Halt {
+                return u32::MAX;
+            }
+            let key = (
+                wbase.wrapping_add(u32::from(t.target())),
+                kind_code(t.kind()),
+            );
+            index.get(&key).copied().unwrap_or(u32::MAX)
+        };
+        for st in 0..n {
+            let (base, kind) = (states[st].base, states[st].kind);
+            match kind {
+                ExecKind::Halt => {}
+                ExecKind::Pass => {
+                    states[st].pass = Some(pass_plan(image, decoded, span, base, &resolve));
+                }
+                ExecKind::Consume | ExecKind::Flagged => {
+                    for s in 0u32..256 {
+                        let (hit_t, fb_t) = slot_transitions(image, decoded, span, base, s);
+                        let entry = match (hit_t, fb_t) {
+                            (Some(t), _) => {
+                                let next = resolve(&t);
+                                if is_trivial(&t) && next != u32::MAX {
+                                    TAG_HIT | next
+                                } else {
+                                    let g = general.len() as u32;
+                                    let block = cache_block(decoded, &t, abase, ascale);
+                                    general.push(GeneralEntry {
+                                        t,
+                                        miss: false,
+                                        next,
+                                        block,
+                                        inline: None,
+                                    });
+                                    TAG_GENERAL | g
+                                }
+                            }
+                            (None, Some(t)) => {
+                                let next = resolve(&t);
+                                if is_trivial(&t) && next != u32::MAX {
+                                    TAG_MISS | next
+                                } else {
+                                    let g = general.len() as u32;
+                                    let block = cache_block(decoded, &t, abase, ascale);
+                                    general.push(GeneralEntry {
+                                        t,
+                                        miss: true,
+                                        next,
+                                        block,
+                                        inline: None,
+                                    });
+                                    TAG_GENERAL | g
+                                }
+                            }
+                            (None, None) => {
+                                // Distinguish "absent fallback word"
+                                // (NoTransition) from "slot outside the
+                                // verbatim image" (deopt).
+                                let slot = u64::from(base) + u64::from(s);
+                                let fb = u64::from(base) + u64::from(udp_isa::FALLBACK_SLOT);
+                                if slot < span as u64 && fb < span as u64 {
+                                    EXIT_NO_TRANSITION
+                                } else {
+                                    EXIT_DEOPT
+                                }
+                            }
+                        };
+                        if (general.len() as u32) > PAYLOAD_MASK {
+                            return None;
+                        }
+                        dense[st][s as usize] = entry;
+                    }
+                    states[st].burstable = dense[st].iter().any(|&e| e < TAG_GENERAL);
+                }
+            }
+        }
+
+        // A program with no trivial arcs anywhere (action-per-symbol
+        // kernels like the Huffman encoder) has nothing the burst loop
+        // can specialize: measured, the table indirection only adds
+        // overhead over the interpreter's own dispatch. Decline, so
+        // selection stays a pure speed knob.
+        if !states.iter().any(|s| s.burstable) {
+            return None;
+        }
+
+        // Pass 3: mark the general entries the burst loop can run fully
+        // inline — whole block one fused emit-span, no `R13` traffic,
+        // successor a burstable consuming state (so the segment
+        // continues over the same slice with the sync still deferred).
+        for ge in &mut general {
+            ge.inline = inline_fused(ge, &states);
+        }
+
+        Some(CompiledProgram {
+            states,
+            dense,
+            general,
+            index,
+            wbase,
+            abase,
+            ascale,
+        })
+    }
+
+    /// Re-resolves the lane's current `(base, kind)` to a compiled
+    /// state index, if one exists.
+    pub(crate) fn lookup(&self, base: u32, kind: ExecKind) -> Option<u32> {
+        self.index.get(&(base, kind_code(kind))).copied()
+    }
+}
+
+/// The decoded transitions governing dispatch value `s` at a
+/// consuming/flagged state `base`, from the verbatim image:
+/// `(signature hit, fallback on miss)`. Either side is `None` when it
+/// does not apply *or* cannot be resolved from the image (caller
+/// disambiguates via the span).
+fn slot_transitions(
+    image: &ProgramImage,
+    decoded: &DecodedProgram,
+    span: usize,
+    base: u32,
+    s: u32,
+) -> (Option<TransitionWord>, Option<TransitionWord>) {
+    let slot = u64::from(base) + u64::from(s);
+    if slot >= span as u64 {
+        return (None, None);
+    }
+    let raw = image.words[slot as usize];
+    if raw != 0 && (raw >> 24) as u8 == (s & 0xFF) as u8 {
+        let t = decoded
+            .transition(slot as usize, raw)
+            .unwrap_or_else(|| TransitionWord::decode(raw));
+        return (Some(t), None);
+    }
+    // Signature miss: the fallback slot decides.
+    let fb_slot = u64::from(base) + u64::from(udp_isa::FALLBACK_SLOT);
+    if fb_slot >= span as u64 {
+        return (None, None);
+    }
+    let fb = image.words[fb_slot as usize];
+    if fb == 0 {
+        return (None, None);
+    }
+    let t = decoded
+        .transition(fb_slot as usize, fb)
+        .unwrap_or_else(|| TransitionWord::decode(fb));
+    (None, Some(t))
+}
+
+/// The fallback transition a pass state takes, if resolvable from the
+/// verbatim image.
+fn pass_transition(
+    image: &ProgramImage,
+    decoded: &DecodedProgram,
+    span: usize,
+    base: u32,
+) -> Option<TransitionWord> {
+    let fb_slot = u64::from(base) + u64::from(udp_isa::FALLBACK_SLOT);
+    if fb_slot >= span as u64 {
+        return None;
+    }
+    let raw = image.words[fb_slot as usize];
+    if raw == 0 {
+        return None;
+    }
+    Some(
+        decoded
+            .transition(fb_slot as usize, raw)
+            .unwrap_or_else(|| TransitionWord::decode(raw)),
+    )
+}
+
+/// Precompiles a pass state's fallback word into the runtime plan,
+/// replicating the interpreter's signature semantics exactly.
+fn pass_plan(
+    image: &ProgramImage,
+    decoded: &DecodedProgram,
+    span: usize,
+    base: u32,
+    resolve: &dyn Fn(&TransitionWord) -> u32,
+) -> PassPlan {
+    let fb_slot = u64::from(base) + u64::from(udp_isa::FALLBACK_SLOT);
+    if fb_slot >= span as u64 {
+        return PassPlan::Deopt;
+    }
+    let raw = image.words[fb_slot as usize];
+    if raw == 0 {
+        return PassPlan::NoTransition;
+    }
+    let t = decoded
+        .transition(fb_slot as usize, raw)
+        .unwrap_or_else(|| TransitionWord::decode(raw));
+    match t.signature() {
+        CHAIN_CONTINUE_SIGNATURE => PassPlan::FaultChain,
+        FALLBACK_SIGNATURE => {
+            let next = resolve(&t);
+            PassPlan::Take {
+                t,
+                refill: None,
+                next,
+            }
+        }
+        refill if refill <= 8 => {
+            let next = resolve(&t);
+            PassPlan::Take {
+                t,
+                refill: Some(refill),
+                next,
+            }
+        }
+        other => PassPlan::FaultBadSig(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{Lane, LaneConfig};
+    use crate::memory::LocalMemory;
+    use crate::stream::{BitStream, OutputSink};
+    use std::sync::Arc;
+    use udp_asm::{LayoutOptions, ProgramBuilder, Target};
+    use udp_isa::action::{Action, Opcode};
+    use udp_isa::Reg;
+
+    /// Two-state scanner: `a` flips between states emitting `!`/`?`,
+    /// anything else self-loops trivially (no actions) — so the dense
+    /// tables carry both TAG_GENERAL (the emitting arcs) and trivial
+    /// TAG_MISS fallbacks the burst loop can chew through.
+    fn scanner() -> udp_asm::ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s0 = b.add_consuming_state();
+        let s1 = b.add_consuming_state();
+        b.set_entry(s0);
+        b.labeled_arc(
+            s0,
+            b'a' as u16,
+            Target::State(s1),
+            vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, b'!' as u16)],
+        );
+        b.fallback_arc(s0, Target::State(s0), vec![]);
+        b.labeled_arc(
+            s1,
+            b'a' as u16,
+            Target::State(s0),
+            vec![Action::imm(Opcode::EmitB, Reg::R0, Reg::R0, b'?' as u16)],
+        );
+        b.fallback_arc(s1, Target::State(s1), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    /// The compiler must actually engage on bread-and-butter DFA-shaped
+    /// programs — this is the non-vacuity anchor for the differential
+    /// suites (a silent `None` would make them pass trivially).
+    #[test]
+    fn scanner_compiles_with_trivial_and_general_entries() {
+        let image = scanner();
+        let decoded = image.predecode();
+        let cp = CompiledProgram::compile(&image, &decoded).expect("scanner must specialize");
+        assert_eq!(cp.states.len(), 2, "both consuming states reachable");
+        let entry = cp.lookup(image.entry_base, image.entry_kind).unwrap() as usize;
+        // The 'a' arc carries an action: general entry.
+        let a = cp.dense[entry][b'a' as usize];
+        assert_eq!(a & !PAYLOAD_MASK, TAG_GENERAL);
+        assert!(!cp.general[(a & PAYLOAD_MASK) as usize].miss);
+        // Any other byte misses to the trivial self-loop fallback.
+        let b = cp.dense[entry][b'b' as usize];
+        assert_eq!(b & !PAYLOAD_MASK, TAG_MISS);
+        assert_eq!(b & PAYLOAD_MASK, entry as u32);
+    }
+
+    /// Direct exec-level differential: `run_compiled` vs `Lane::run` on
+    /// the same program and input, comparing the full reports (the
+    /// burst loop, general entries, and EOF exit all engage here).
+    #[test]
+    fn run_compiled_matches_interpreter_report_exactly() {
+        let image = scanner();
+        let decoded = Arc::new(image.predecode());
+        let cp = CompiledProgram::compile(&image, &decoded).expect("scanner must specialize");
+        let cfg = LaneConfig::default();
+        let input: Vec<u8> = b"xxaxa__aaa".repeat(97);
+
+        let run = |compiled: bool| {
+            let mut mem = LocalMemory::with_words(8192);
+            mem.set_bank_tracking(false);
+            mem.load_words(0, &image.words);
+            mem.reset_counters();
+            let mut lane = Lane::with_decoded(&image, 0, Arc::clone(&decoded));
+            lane.mark_code_clean();
+            let mut stream = BitStream::new(&input);
+            let mut out = OutputSink::new();
+            if compiled {
+                run_compiled(&cp, &mut lane, &mut mem, &mut stream, &mut out, &cfg)
+            } else {
+                lane.run(&mut mem, &mut stream, &mut out, &cfg)
+            }
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert!(!reference.output.is_empty());
+        assert_eq!(reference, fast);
+    }
+
+    /// A chaos fault injected mid-burst must fire at the same cycle
+    /// with the same typed fault on both paths.
+    #[test]
+    fn chaos_fault_fires_identically_mid_burst() {
+        let image = scanner();
+        let decoded = Arc::new(image.predecode());
+        let cp = CompiledProgram::compile(&image, &decoded).unwrap();
+        let cfg = LaneConfig {
+            chaos_fault_at: Some(37),
+            ..LaneConfig::default()
+        };
+        let input = vec![b'x'; 4096];
+        let run = |compiled: bool| {
+            let mut mem = LocalMemory::with_words(8192);
+            mem.set_bank_tracking(false);
+            mem.load_words(0, &image.words);
+            mem.reset_counters();
+            let mut lane = Lane::with_decoded(&image, 0, Arc::clone(&decoded));
+            lane.mark_code_clean();
+            let mut stream = BitStream::new(&input);
+            let mut out = OutputSink::new();
+            if compiled {
+                run_compiled(&cp, &mut lane, &mut mem, &mut stream, &mut out, &cfg)
+            } else {
+                lane.run(&mut mem, &mut stream, &mut out, &cfg)
+            }
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert!(matches!(
+            reference.status,
+            crate::lane::LaneStatus::Fault(crate::error::FaultKind::ChaosInjected { .. })
+        ));
+        assert_eq!(reference, fast);
+    }
+
+    /// Symbol widths beyond the dense-table coverage must decline to
+    /// specialize rather than mis-run.
+    #[test]
+    fn wide_symbols_fall_back_to_the_interpreter() {
+        let image = scanner();
+        let mut wide = image.clone();
+        wide.init.symbol_bits = 12;
+        assert!(CompiledProgram::compile(&wide, &wide.predecode()).is_none());
+    }
+}

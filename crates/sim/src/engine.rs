@@ -25,6 +25,41 @@ pub struct Staging {
     pub regs: Vec<(Reg, u32)>,
 }
 
+/// Which per-lane execution engine a run uses (DESIGN.md §2.6.3).
+///
+/// The interpreter is the reference semantics and permanent differential
+/// oracle; the compiled backend specializes the verified program into
+/// dense dispatch tables at load time and must reproduce the
+/// interpreter's [`UdpRunReport`] bit-for-bit (it deoptimizes back to
+/// the interpreter whenever specialization assumptions break, e.g.
+/// self-modifying code or `SetBase`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Per-symbol interpreter over the predecoded program (reference).
+    #[default]
+    Interpreter,
+    /// Tier-2 load-time specialization: per-state dense dispatch tables
+    /// with a burst inner loop, falling back to the interpreter when
+    /// its assumptions no longer hold. Timing-model counters are
+    /// reconstructed so reports stay bit-identical. Honored under
+    /// [`AddressingMode::Local`]; sharing modes always interpret.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Backend selected by the `UDP_SIM_BACKEND` environment variable
+    /// (`compiled` picks [`ExecBackend::Compiled`]; anything else, or
+    /// unset, the interpreter). This is what lets CI run whole test
+    /// suites as a backend matrix without per-callsite plumbing:
+    /// [`UdpRunOptions::default`] starts from this value.
+    pub fn from_env() -> Self {
+        match std::env::var("UDP_SIM_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("compiled") => ExecBackend::Compiled,
+            _ => ExecBackend::Interpreter,
+        }
+    }
+}
+
 /// Options for a device run.
 #[derive(Debug, Clone)]
 pub struct UdpRunOptions {
@@ -53,6 +88,10 @@ pub struct UdpRunOptions {
     /// only: faulted chunks are quarantined directly. Honored on the
     /// local-addressing paths; sharing modes record passive health.
     pub supervise: Option<SupervisorOptions>,
+    /// Per-lane execution engine. Defaults to
+    /// [`ExecBackend::from_env`], so `UDP_SIM_BACKEND=compiled` flips
+    /// every default-constructed run to the compiled backend.
+    pub backend: ExecBackend,
 }
 
 impl Default for UdpRunOptions {
@@ -64,6 +103,7 @@ impl Default for UdpRunOptions {
             parallel: false,
             verify: false,
             supervise: None,
+            backend: ExecBackend::from_env(),
         }
     }
 }
@@ -225,6 +265,15 @@ impl Udp {
         // lanes may genuinely communicate, and the conflict model needs
         // the merged per-bank reference counts.
         if opts.addressing == AddressingMode::Local {
+            // Specialize once per run; every chunk shares the tables.
+            // `compile` returning `None` (oversized state space, wide
+            // symbols, non-executable image) silently falls back to the
+            // interpreter — the semantics are identical either way.
+            let compiled = if opts.backend == ExecBackend::Compiled {
+                crate::compiled::CompiledProgram::compile(image, &decoded)
+            } else {
+                None
+            };
             let params = RunParams {
                 image,
                 decoded: &decoded,
@@ -233,6 +282,7 @@ impl Udp {
                 window_words,
                 lanes_cap,
                 code_clean: staging_clears_code(staging, image.stats.span_words),
+                compiled: compiled.as_ref(),
             };
             let (mut lane_reports, mut finals) = if opts.parallel && inputs.len() > 1 {
                 let (results, finals) = pool::run_pooled(&params, inputs);

@@ -11,22 +11,115 @@ use udp_isa::action::{Action, Opcode};
 use udp_isa::transition::{ExecKind, TransitionWord, FALLBACK_SIGNATURE};
 use udp_isa::{Reg, Word};
 
+/// Architectural ceiling on one transition's action-block length; a
+/// block still running after this many fetches faults `LoopOverflow`.
+pub(crate) const BLOCK_CAP: usize = 4096;
+
+/// Length of the fused emit-span prefix (see [`EmitSpan`]).
+pub(crate) const EMIT_SPAN_LEN: usize = 5;
+
+/// A compile-time-recognized `InIdx; Sub; LoopIn; EmitB; InIdx`
+/// action-block prefix — the span-emit idiom every field/record
+/// boundary of the scanner-style kernels runs (copy the input bytes
+/// since the last mark to the output, append a separator, re-mark).
+/// Holding the register numbers and immediates lets the lane run the
+/// whole prefix as one straight-line routine instead of five decoded
+/// `exec` dispatches; every architectural effect (register writes in
+/// program order, the `LoopOverflow` length check, cycle/action/read
+/// charges) lands exactly as the generic walk's.
+///
+/// None of the five ops moves the stream cursor or writes memory, so
+/// the prefix is always `pure_code` and the input index read by the
+/// leading `InIdx` still holds for the trailing one.
+#[derive(Debug, Clone)]
+pub(crate) struct EmitSpan {
+    /// `InIdx` destination (the span-end mark).
+    d0: u8,
+    /// Sign-extended immediate of the leading `InIdx`.
+    off0: u32,
+    /// `Sub` destination (the span length).
+    d1: u8,
+    /// `Sub` reference register (minuend).
+    r1: u8,
+    /// `Sub` source register (subtrahend).
+    s1: u8,
+    /// `LoopIn` reference register (input start index).
+    r2: u8,
+    /// `LoopIn` source register (length).
+    s2: u8,
+    /// `EmitB` source register.
+    s3: u8,
+    /// `EmitB` immediate.
+    imm3: u32,
+    /// Trailing `InIdx` destination (the new mark).
+    d4: u8,
+    /// Sign-extended immediate of the trailing `InIdx`.
+    off4: u32,
+}
+
+impl EmitSpan {
+    /// Matches the idiom against a cached block's first five actions.
+    /// Declines when any consulted register is `R15` (the live input
+    /// index) so the fused routine can read the plain register file.
+    pub(crate) fn recognize(block: &[Action]) -> Option<EmitSpan> {
+        if block.len() < EMIT_SPAN_LEN {
+            return None;
+        }
+        let (a0, a1, a2, a3, a4) = (&block[0], &block[1], &block[2], &block[3], &block[4]);
+        let ok = a0.op == Opcode::InIdx
+            && a1.op == Opcode::Sub
+            && a2.op == Opcode::LoopIn
+            && a3.op == Opcode::EmitB
+            && a4.op == Opcode::InIdx;
+        let regs = [
+            a0.dst, a1.dst, a1.rref, a1.src, a2.rref, a2.src, a3.src, a4.dst,
+        ];
+        if !ok || regs.contains(&Reg::R15) {
+            return None;
+        }
+        let sx = |imm: u16| i32::from(imm as i16) as u32;
+        Some(EmitSpan {
+            d0: a0.dst.index(),
+            off0: sx(a0.imm),
+            d1: a1.dst.index(),
+            r1: a1.rref.index(),
+            s1: a1.src.index(),
+            r2: a2.rref.index(),
+            s2: a2.src.index(),
+            s3: a3.src.index(),
+            imm3: u32::from(a3.imm),
+            d4: a4.dst.index(),
+            off4: sx(a4.imm),
+        })
+    }
+
+    /// True when any consulted register is `R13` — the dispatch-symbol
+    /// latch, which the burst loop defers syncing until segment end, so
+    /// an in-burst fused run must not read or clobber it.
+    pub(crate) fn touches_r13(&self) -> bool {
+        [
+            self.d0, self.d1, self.r1, self.s1, self.r2, self.s2, self.s3, self.d4,
+        ]
+        .contains(&13)
+    }
+}
+
 /// The predecoded code tables, hoisted out of the `Arc` into plain
 /// slices held in locals for the duration of a run — the fetch fast
 /// path then costs one bounds check and one load instead of a pointer
 /// chase through `Arc` and `Vec` headers that memory writes would keep
 /// invalidating.
 #[derive(Clone, Copy)]
-struct CodeTables<'a> {
-    transitions: &'a [(Word, TransitionWord)],
-    actions: &'a [(Word, Option<Action>)],
+pub(crate) struct CodeTables<'a> {
+    pub(crate) transitions: &'a [(Word, TransitionWord)],
+    pub(crate) actions: &'a [(Word, Option<Action>)],
 }
 
 impl CodeTables<'static> {
     /// The no-table table: every lookup misses, so fetches take the
     /// plain memory path. Saves an `Option` discriminant check on the
     /// hot path.
-    const EMPTY: CodeTables<'static> = CodeTables {
+    pub(crate) const EMPTY: CodeTables<'static> = CodeTables {
         transitions: &[],
         actions: &[],
     };
@@ -177,37 +270,37 @@ impl LaneReport {
 /// One UDP lane.
 #[derive(Debug, Clone)]
 pub struct Lane {
-    regs: [u32; 16],
+    pub(crate) regs: [u32; 16],
     /// Flat word address of the lane's window origin.
-    origin: u32,
+    pub(crate) origin: u32,
     /// Flat window-base register (restricted addressing).
-    wbase: u32,
+    pub(crate) wbase: u32,
     /// Flat action-base register.
-    abase: u32,
-    ascale: u8,
-    sym_bits: u8,
+    pub(crate) abase: u32,
+    pub(crate) ascale: u8,
+    pub(crate) sym_bits: u8,
     /// Flat base of the current state.
-    base: u32,
-    kind: ExecKind,
-    status: LaneStatus,
+    pub(crate) base: u32,
+    pub(crate) kind: ExecKind,
+    pub(crate) status: LaneStatus,
     accept: bool,
     reports: Vec<(u16, u32)>,
-    cycles: u64,
-    dispatches: u64,
-    fallback_misses: u64,
+    pub(crate) cycles: u64,
+    pub(crate) dispatches: u64,
+    pub(crate) fallback_misses: u64,
     actions_run: u64,
     extra_refs: u64,
     /// Predecoded view of the loaded image, window-relative. Lookups
     /// are validated against the raw memory word, so self-modifying
     /// programs (restricted/global addressing writes into code) fall
     /// back to decode-on-read with identical semantics.
-    decoded: Option<Arc<DecodedProgram>>,
+    pub(crate) decoded: Option<Arc<DecodedProgram>>,
     /// True while the code span at `origin` is known to hold the
     /// pristine image (set by [`Lane::mark_code_clean`], cleared on any
     /// lane write into the span). While clean, code fetches come
     /// straight from the predecoded table — counted as memory
     /// references but without re-reading and re-validating the word.
-    code_clean: bool,
+    pub(crate) code_clean: bool,
     /// Image span in words (the region `code_clean` covers).
     code_len: u32,
 }
@@ -621,7 +714,7 @@ impl Lane {
     }
 
     #[inline]
-    fn take(
+    pub(crate) fn take(
         &mut self,
         t: &TransitionWord,
         mem: &mut LocalMemory,
@@ -652,14 +745,29 @@ impl Lane {
 
     fn run_action_block(
         &mut self,
-        mut addr: u32,
+        addr: u32,
         mem: &mut LocalMemory,
         stream: &mut BitStream,
         out: &mut OutputSink,
         tables: CodeTables,
     ) {
-        const BLOCK_CAP: usize = 4096;
-        for _ in 0..BLOCK_CAP {
+        self.action_block_tail(addr, BLOCK_CAP, mem, stream, out, tables);
+    }
+
+    /// Runs (the rest of) an action block with `budget` fetches left of
+    /// the architectural [`BLOCK_CAP`]. Split out so the compiled
+    /// backend can resume decode-on-read semantics mid-block the moment
+    /// a cached block writes into its own code span.
+    pub(crate) fn action_block_tail(
+        &mut self,
+        mut addr: u32,
+        budget: usize,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+        tables: CodeTables,
+    ) {
+        for _ in 0..budget {
             let (raw, pre) = self.fetch_action(addr, mem, tables);
             let decoded = match pre {
                 Some(a) => a,
@@ -684,6 +792,151 @@ impl Lane {
             len: BLOCK_CAP as u32,
             cap: BLOCK_CAP as u32,
         });
+    }
+
+    /// Runs a compile-time-decoded action block: the same actions the
+    /// decode-on-read walk from `flat` would fetch (the caller
+    /// guarantees it — pristine code span, attach bases unchanged), so
+    /// the per-action table lookup and bounds check disappear and the
+    /// counted code reads are credited in bulk. Every architectural
+    /// effect — cycles from `exec`, `actions_run`, early termination on
+    /// a status change — lands exactly as the interpreter's walk.
+    ///
+    /// `pure_code` (compile-time property: no memory-writing ops in the
+    /// block) skips the pristine-code re-validation entirely; otherwise
+    /// a write into the code span mid-block replays the remaining
+    /// actions through [`Lane::action_block_tail`], so self-modifying
+    /// blocks keep decode-on-read semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_cached_block(
+        &mut self,
+        flat: u32,
+        block: &[Action],
+        pure_code: bool,
+        fused: Option<&EmitSpan>,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+        tables: CodeTables,
+    ) {
+        let mut at = 0usize;
+        if let Some(f) = fused {
+            if !self.run_emit_span(f, mem, stream, out) {
+                return;
+            }
+            at = EMIT_SPAN_LEN;
+            if at >= block.len() {
+                return;
+            }
+        }
+        if pure_code {
+            for (i, a) in block[at..].iter().enumerate() {
+                self.exec(a, mem, stream, out);
+                self.actions_run += 1;
+                if self.status != LaneStatus::Running {
+                    mem.add_reads(i as u64 + 1);
+                    return;
+                }
+            }
+            mem.add_reads((block.len() - at) as u64);
+            return;
+        }
+        for (i, a) in block[at..].iter().enumerate() {
+            let skip = self.exec(a, mem, stream, out);
+            self.actions_run += 1;
+            if self.status != LaneStatus::Running {
+                mem.add_reads(i as u64 + 1);
+                return;
+            }
+            if !self.code_clean {
+                mem.add_reads(i as u64 + 1);
+                if !a.last {
+                    let abs = at + i;
+                    self.action_block_tail(
+                        flat + abs as u32 + 1 + skip,
+                        BLOCK_CAP - abs - 1,
+                        mem,
+                        stream,
+                        out,
+                        tables,
+                    );
+                }
+                return;
+            }
+        }
+        mem.add_reads((block.len() - at) as u64);
+    }
+
+    /// Runs a recognized [`EmitSpan`] prefix as one straight-line
+    /// routine. Register reads and writes happen in exact program
+    /// order (aliased registers observe every intermediate value), and
+    /// the charges are precisely the generic walk's: one cycle per
+    /// action plus the loop-copy's 8-bytes-per-cycle bulk charge, one
+    /// counted code read per action, `actions_run` per action. Returns
+    /// `false` when the `LoopIn` length check faulted (the block is
+    /// over; charges cover the three actions that architecturally ran).
+    fn run_emit_span(
+        &mut self,
+        f: &EmitSpan,
+        mem: &mut LocalMemory,
+        stream: &mut BitStream,
+        out: &mut OutputSink,
+    ) -> bool {
+        let idx = stream.byte_index();
+        match self.run_emit_span_unsynced(f, idx, mem, stream, out) {
+            Some(c) => {
+                self.cycles += c;
+                true
+            }
+            None => {
+                self.cycles += 3;
+                false
+            }
+        }
+    }
+
+    /// The in-burst twin of [`Lane::run_emit_span`], for a stream whose
+    /// cursor sync the caller defers: `idx` is the live byte position
+    /// the cursor will be synced to. Cycle charges are *returned* (the
+    /// caller folds them into its bulk accumulator) rather than applied;
+    /// every other effect — register writes, output, `actions_run`, the
+    /// counted code reads — lands directly. `None` means the `LoopIn`
+    /// length check faulted (status set; the three architecturally-run
+    /// actions' non-cycle charges applied, their three cycles owed by
+    /// the caller).
+    #[inline]
+    pub(crate) fn run_emit_span_unsynced(
+        &mut self,
+        f: &EmitSpan,
+        idx: u32,
+        mem: &mut LocalMemory,
+        stream: &BitStream,
+        out: &mut OutputSink,
+    ) -> Option<u64> {
+        const LOOP_CAP: u32 = 1 << 26;
+        self.regs[f.d0 as usize] = idx.wrapping_add(f.off0);
+        let len = self.regs[f.r1 as usize].wrapping_sub(self.regs[f.s1 as usize]);
+        self.regs[f.d1 as usize] = len;
+        let src = self.regs[f.r2 as usize];
+        let n = self.regs[f.s2 as usize];
+        if n > LOOP_CAP {
+            self.actions_run += 3;
+            mem.add_reads(3);
+            self.status = LaneStatus::Fault(FaultKind::LoopOverflow {
+                context: "loop action",
+                len: n,
+                cap: LOOP_CAP,
+            });
+            return None;
+        }
+        if n > 0 {
+            out.push_bytes_with(|dst| stream.extend_bytes_into(src, n as usize, dst));
+        }
+        out.push_byte(self.regs[f.s3 as usize].wrapping_add(f.imm3) as u8);
+        self.regs[f.d4 as usize] = idx.wrapping_add(f.off4);
+        self.actions_run += 5;
+        mem.add_reads(5);
+        Some(5 + u64::from(n.div_ceil(8)))
     }
 
     fn rd(&self, r: Reg, stream: &BitStream) -> u32 {
@@ -1007,7 +1260,12 @@ impl Lane {
 /// the panic hook wins (it models an undetected crash), then the
 /// injected-fault hook, then the real cycle budget.
 #[cold]
-fn cap_status(cycles: u64, budget: u64, chaos_panic: u64, chaos_fault: u64) -> LaneStatus {
+pub(crate) fn cap_status(
+    cycles: u64,
+    budget: u64,
+    chaos_panic: u64,
+    chaos_fault: u64,
+) -> LaneStatus {
     if cycles >= chaos_panic {
         panic!("chaos: injected lane panic at cycle {cycles}");
     }
@@ -1282,6 +1540,24 @@ mod tests {
             ..LaneConfig::default()
         };
         assert_eq!(absolute.budget_for(0), absolute.max_cycles);
+    }
+
+    #[test]
+    fn budget_derivation_saturates_instead_of_wrapping() {
+        // `cycles_per_byte * input_bytes` on a multi-GB chunk overflows
+        // u64; the product must saturate (and then clamp to max_cycles),
+        // never wrap around to a tiny budget that would fault legitimate
+        // large inputs almost immediately. With the ceiling lifted to
+        // u64::MAX the saturated product itself must survive.
+        let uncapped = LaneConfig {
+            max_cycles: u64::MAX,
+            ..LaneConfig::default()
+        };
+        assert_eq!(uncapped.budget_for(usize::MAX), u64::MAX);
+        // A wrapped multiply here would land far below min_cycle_budget.
+        let huge = (u64::MAX / uncapped.cycles_per_byte) as usize + 1;
+        assert_eq!(uncapped.budget_for(huge), u64::MAX);
+        assert!(uncapped.budget_for(huge) >= uncapped.min_cycle_budget);
     }
 
     #[test]

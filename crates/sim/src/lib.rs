@@ -47,6 +47,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod compiled;
 pub mod energy;
 pub mod engine;
 pub mod error;
@@ -57,7 +58,7 @@ pub mod stream;
 pub mod supervisor;
 
 pub use energy::{AreaModel, PowerModel, CPU_TDP_WATTS, UDP_SYSTEM_WATTS};
-pub use engine::{Staging, Udp, UdpRunOptions, UdpRunReport};
+pub use engine::{ExecBackend, Staging, Udp, UdpRunOptions, UdpRunReport};
 pub use error::{FaultKind, SimError};
 pub use lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 pub use memory::LocalMemory;

@@ -60,6 +60,10 @@ pub(crate) struct RunParams<'a> {
     /// segment overlaps the code span, so lanes may take the
     /// pristine-code fetch fast path.
     pub code_clean: bool,
+    /// Tier-2 specialization of the program, shared by every chunk when
+    /// the run selected [`crate::engine::ExecBackend::Compiled`] and
+    /// the program was specializable; `None` runs the interpreter.
+    pub compiled: Option<&'a crate::compiled::CompiledProgram>,
 }
 
 /// A final window snapshot: `(device lane slot, window words)` for the
@@ -139,7 +143,17 @@ pub(crate) fn run_chunk(p: &RunParams, slot: &mut LaneSlot, input: &[u8]) -> Lan
         lane.preset_reg(*r, *v);
     }
     let mut stream = BitStream::new(input);
-    let rep = lane.run(&mut slot.mem, &mut stream, &mut slot.out, p.cfg);
+    let rep = match p.compiled {
+        Some(cp) => crate::compiled::run_compiled(
+            cp,
+            &mut lane,
+            &mut slot.mem,
+            &mut stream,
+            &mut slot.out,
+            p.cfg,
+        ),
+        None => lane.run(&mut slot.mem, &mut stream, &mut slot.out, p.cfg),
+    };
     // If the lane never wrote its code span, the image is still in
     // place verbatim and the next reset can skip reloading it. (A
     // panicking chunk never reaches this point; its slot is rebuilt.)

@@ -11,8 +11,8 @@ use udp_isa::action::{Action, Opcode};
 use udp_isa::Reg;
 use udp_sim::engine::Staging;
 use udp_sim::{
-    ChunkOutcome, FaultKind, LaneConfig, LaneStatus, ReferenceFallback, SupervisorOptions, Udp,
-    UdpRunOptions, UdpRunReport,
+    ChunkOutcome, ExecBackend, FaultKind, LaneConfig, LaneStatus, ReferenceFallback,
+    SupervisorOptions, Udp, UdpRunOptions, UdpRunReport,
 };
 
 /// One-state scanner: emits `!` for every `a` byte.
@@ -118,6 +118,66 @@ fn transient_fault_recovers_to_a_bit_identical_report() {
             assert_eq!(rep.health.fault_histogram.len(), 1);
         }
     }
+}
+
+#[test]
+fn compiled_backend_climbs_the_recovery_ladder_identically() {
+    // The supervisor must be backend-blind: retry and fallback rungs
+    // exercised through the compiled path land on the same outcomes and
+    // the same bytes as an interpreter run (DESIGN.md §2.6.3).
+    let img = scanner();
+    let long: Vec<u8> = vec![b'a'; 300];
+    let inputs: Vec<&[u8]> = vec![b"aa", &long, b"aba"];
+    let clean = run(
+        &img,
+        &inputs,
+        &UdpRunOptions {
+            backend: ExecBackend::Interpreter,
+            ..UdpRunOptions::default()
+        },
+    );
+
+    // Retry rung: a transient chaos fault recovers to the clean run.
+    let retry = UdpRunOptions {
+        backend: ExecBackend::Compiled,
+        lane: LaneConfig {
+            chaos_fault_at: Some(100),
+            chaos_transient: true,
+            ..LaneConfig::default()
+        },
+        supervise: Some(supervise_base()),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &retry);
+    assert_eq!(
+        rep.health.outcomes,
+        vec![
+            ChunkOutcome::Clean,
+            ChunkOutcome::Recovered { attempts: 1 },
+            ChunkOutcome::Clean
+        ]
+    );
+    let mut scrubbed = rep.clone();
+    scrubbed.health = clean.health.clone();
+    assert_eq!(scrubbed, clean, "compiled retry rung diverged");
+
+    // Fallback rung: a persistent fault lands on the reference bytes.
+    let fallback = UdpRunOptions {
+        backend: ExecBackend::Compiled,
+        lane: LaneConfig {
+            chaos_fault_at: Some(100),
+            ..LaneConfig::default()
+        },
+        supervise: Some(SupervisorOptions {
+            fallback: Some(Arc::new(ScannerReference)),
+            ..supervise_base()
+        }),
+        ..UdpRunOptions::default()
+    };
+    let rep = run(&img, &inputs, &fallback);
+    assert_eq!(rep.health.outcomes[1], ChunkOutcome::Fallback);
+    assert_eq!(rep.lanes[1].output, vec![b'!'; 300]);
+    assert_eq!(rep.health.quarantined(), 0);
 }
 
 #[test]
@@ -244,7 +304,10 @@ proptest! {
 
     /// Transient faults + retries reproduce the clean run bit for bit
     /// (everything except the health section), sequentially and pooled,
-    /// for random chunk shapes and injection points.
+    /// on both execution backends, for random chunk shapes and
+    /// injection points. The clean reference is always the interpreter,
+    /// so a compiled draw also proves cross-backend bit-identity of the
+    /// recovered run.
     #[test]
     fn prop_transient_faults_preserve_clean_run_output(
         chunks in proptest::collection::vec(
@@ -252,12 +315,17 @@ proptest! {
         chaos_at in 20u64..200,
         inject_panic in any::<bool>(),
         parallel in any::<bool>(),
+        compiled in any::<bool>(),
     ) {
         let img = scanner();
         let inputs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
-        let clean = run(&img, &inputs, &UdpRunOptions::default());
+        let clean = run(&img, &inputs, &UdpRunOptions {
+            backend: ExecBackend::Interpreter,
+            ..UdpRunOptions::default()
+        });
         let opts = UdpRunOptions {
             parallel,
+            backend: if compiled { ExecBackend::Compiled } else { ExecBackend::Interpreter },
             lane: LaneConfig {
                 chaos_panic_at: if inject_panic { Some(chaos_at) } else { None },
                 chaos_fault_at: if inject_panic { None } else { Some(chaos_at) },
