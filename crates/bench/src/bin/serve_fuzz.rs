@@ -1,0 +1,115 @@
+//! Seeded service-chaos fuzzer for the `udp-serve` runtime
+//! (DESIGN.md §10.6).
+//!
+//! Replays a deterministic [`udp_fault::serve`] plan — overload bursts,
+//! mid-job client disconnects, stalled socket readers, poison tenants —
+//! against a live multi-tenant runtime and checks the service
+//! invariant: hostile load surfaces only as typed `ServeError` values;
+//! the runtime never panics, never hangs a client, quarantines only the
+//! offending tenant, and keeps clean tenants' outputs byte-identical to
+//! the software reference.
+//!
+//! ```text
+//! serve_fuzz [--iters N] [--seed 0xHEX|N] [--smoke] [--json]
+//! ```
+//!
+//! Prints the machine-readable `key=value` summary and exits nonzero on
+//! any violation. `--smoke` runs one cycle of every chaos mode (the CI
+//! gate); `--json` appends one JSON object per mode to
+//! `results/BENCH_serve_fuzz.json`. The backend is inherited from
+//! `UDP_SIM_BACKEND`, so CI's backend matrix re-runs the whole plan on
+//! the compiled engine too.
+
+use std::fmt::Write as _;
+use udp_fault::serve::{run_serve_plan, ServeChaosMode, ServeFuzzSummary};
+
+fn render_json(summary: &ServeFuzzSummary) -> String {
+    let mut s = String::new();
+    for (mode, st) in &summary.stats {
+        let _ = writeln!(
+            s,
+            "{{\"mode\":\"{}\",\"runs\":{},\"violations\":{},\"completed\":{},\
+             \"shed\":{},\"quarantined\":{},\"dropped\":{}}}",
+            mode.name(),
+            st.runs,
+            st.violations,
+            st.completed,
+            st.shed,
+            st.quarantined,
+            st.dropped,
+        );
+    }
+    s
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut iters: u64 = 32;
+    let mut seed: u64 = 0x5EED5;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => iters = ServeChaosMode::ALL.len() as u64,
+            "--iters" => {
+                iters = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number (decimal or 0x-hex)");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: serve_fuzz [--iters N] [--seed 0xHEX|N] [--smoke] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let summary = run_serve_plan(seed, iters);
+    print!("{summary}");
+    if json {
+        let payload = render_json(&summary);
+        let path = "results/BENCH_serve_fuzz.json";
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &payload))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("json: {path}");
+        }
+    }
+    if summary.panics() > 0 {
+        eprintln!(
+            "FAIL: {} service invariant violation(s) — replay with --seed {:#x}",
+            summary.panics(),
+            seed
+        );
+        std::process::exit(1);
+    }
+    println!("ok: service invariant held for all {iters} cases");
+}

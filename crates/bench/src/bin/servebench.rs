@@ -1,0 +1,230 @@
+//! Service-runtime throughput/latency benchmark (DESIGN.md §10.7).
+//!
+//! Drives the `udp-serve` runtime the way tenants do — concurrent
+//! client threads, each submitting a stream of jobs over the in-process
+//! API and waiting for results — and records aggregate throughput plus
+//! the client-observed latency distribution (p50/p99). Two workload
+//! shapes:
+//!
+//! * `small-rows` — many tiny CSV rows (the interactive ETL shape,
+//!   where admission/wave-batching overhead dominates);
+//! * `bulk-chunks` — fewer multi-KB chunks (the streaming shape, where
+//!   device time dominates and batching should approach raw device
+//!   throughput).
+//!
+//! Results go to stdout and, with `--json`, one JSON object per
+//! scenario to `results/BENCH_serve.json`. Non-gating: the numbers are
+//! a trajectory, not a pass/fail (scripts/ci.sh runs it after the
+//! gates). The backend is inherited from `UDP_SIM_BACKEND`.
+//!
+//! ```text
+//! servebench [--tenants N] [--jobs N] [--json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use udp_serve::{JobSpec, ServeConfig, ServeRuntime, Shutdown, TenantQuota};
+use udp_workloads::lineitem_csv;
+
+struct Scenario {
+    name: &'static str,
+    payload_bytes: usize,
+    jobs_per_tenant: usize,
+}
+
+struct Outcome {
+    name: &'static str,
+    tenants: usize,
+    jobs: usize,
+    bytes: u64,
+    wall: Duration,
+    completed: u64,
+    errors: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Outcome {
+    fn throughput_mbps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / self.wall.as_secs_f64()
+    }
+}
+
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn run_scenario(sc: &Scenario, tenants: usize) -> Outcome {
+    let rt = ServeRuntime::start_with_builtin_kernels(ServeConfig {
+        queue_capacity: tenants * sc.jobs_per_tenant + 64,
+        default_quota: TenantQuota {
+            max_queued: sc.jobs_per_tenant + 8,
+            cycle_budget: None,
+        },
+        ..ServeConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("runtime failed to start: {e}"));
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for t in 0..tenants {
+        let handle = rt.handle();
+        let payload_bytes = sc.payload_bytes;
+        let jobs = sc.jobs_per_tenant;
+        threads.push(std::thread::spawn(move || {
+            let tenant = format!("tenant{t}");
+            let mut latencies_ms = Vec::with_capacity(jobs);
+            let mut bytes = 0u64;
+            let mut completed = 0u64;
+            let mut errors = 0u64;
+            for j in 0..jobs {
+                let payload = lineitem_csv(payload_bytes, (t * jobs + j) as u64);
+                bytes += payload.len() as u64;
+                let t0 = Instant::now();
+                match handle
+                    .submit(JobSpec::new(tenant.clone(), "csv", payload))
+                    .map(|ticket| ticket.wait())
+                {
+                    Ok(Ok(_)) => {
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        completed += 1;
+                    }
+                    _ => errors += 1,
+                }
+            }
+            (latencies_ms, bytes, completed, errors)
+        }));
+    }
+    let mut latencies_ms = Vec::new();
+    let mut bytes = 0u64;
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    for th in threads {
+        if let Ok((lat, b, c, e)) = th.join() {
+            latencies_ms.extend(lat);
+            bytes += b;
+            completed += c;
+            errors += e;
+        } else {
+            errors += 1;
+        }
+    }
+    let wall = start.elapsed();
+    rt.shutdown(Shutdown::Drain);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Outcome {
+        name: sc.name,
+        tenants,
+        jobs: tenants * sc.jobs_per_tenant,
+        bytes,
+        wall,
+        completed,
+        errors,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+    }
+}
+
+fn main() {
+    let mut tenants: usize = 4;
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--tenants" => {
+                tenants = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tenants needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" => {
+                jobs = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: servebench [--tenants N] [--jobs N] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenarios = [
+        Scenario {
+            name: "small-rows",
+            payload_bytes: 128,
+            jobs_per_tenant: jobs.unwrap_or(64),
+        },
+        Scenario {
+            name: "bulk-chunks",
+            payload_bytes: 8 * 1024,
+            jobs_per_tenant: jobs.unwrap_or(64).div_ceil(2),
+        },
+    ];
+    let mut text = String::new();
+    let mut json_lines = String::new();
+    for sc in &scenarios {
+        let o = run_scenario(sc, tenants);
+        let line = format!(
+            "scenario={} tenants={} jobs={} bytes={} wall_ms={:.1} \
+             throughput_mbps={:.2} p50_ms={:.3} p99_ms={:.3} completed={} errors={}",
+            o.name,
+            o.tenants,
+            o.jobs,
+            o.bytes,
+            o.wall.as_secs_f64() * 1e3,
+            o.throughput_mbps(),
+            o.p50_ms,
+            o.p99_ms,
+            o.completed,
+            o.errors,
+        );
+        println!("{line}");
+        let _ = writeln!(text, "{line}");
+        let _ = writeln!(
+            json_lines,
+            "{{\"scenario\":\"{}\",\"tenants\":{},\"jobs\":{},\"bytes\":{},\
+             \"wall_ms\":{:.1},\"throughput_mbps\":{:.2},\"p50_ms\":{:.3},\
+             \"p99_ms\":{:.3},\"completed\":{},\"errors\":{}}}",
+            o.name,
+            o.tenants,
+            o.jobs,
+            o.bytes,
+            o.wall.as_secs_f64() * 1e3,
+            o.throughput_mbps(),
+            o.p50_ms,
+            o.p99_ms,
+            o.completed,
+            o.errors,
+        );
+        if o.errors > 0 {
+            eprintln!(
+                "warning: {} job(s) errored in scenario {} (non-gating)",
+                o.errors, o.name
+            );
+        }
+    }
+    if json {
+        let path = "results/BENCH_serve.json";
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json_lines))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("json: {path}");
+        }
+    }
+}

@@ -37,6 +37,8 @@
 pub mod harness;
 pub mod mutate;
 pub mod plan;
+pub mod serve;
 
 pub use harness::{run_case, run_plan, CaseReport, FuzzSummary, ModeStats, Outcome};
 pub use plan::{FaultCase, FaultMode, FaultPlan};
+pub use serve::{run_serve_plan, run_smoke, ServeChaosMode, ServeFuzzSummary, ServeModeStats};

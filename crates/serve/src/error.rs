@@ -1,0 +1,260 @@
+//! Typed service errors — every way the runtime sheds, refuses, or
+//! abandons a job. No free-form failures: a client can always branch
+//! on the variant, and the wire protocol carries the stable
+//! [`ServeError::code`] across the socket.
+
+use std::fmt;
+use udp_sim::SimError;
+
+/// Which admission bound a shed request hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadScope {
+    /// The runtime's global bounded queue is full.
+    Queue,
+    /// The submitting tenant already has its quota of queued jobs.
+    Tenant,
+}
+
+/// Why the service refused, shed, or abandoned a job.
+///
+/// Admission-time variants ([`ServeError::Overloaded`],
+/// [`ServeError::QuotaExhausted`], [`ServeError::TenantQuarantined`],
+/// [`ServeError::UnknownKernel`], [`ServeError::ShuttingDown`]) are
+/// returned from `submit` before the job is queued; completion-time
+/// variants are delivered through the job's ticket. The service-level
+/// invariant (DESIGN.md §10) is that hostile load surfaces *only* as
+/// these values — never a panic, never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load shed at admission: a bounded queue was full.
+    Overloaded {
+        /// Which bound fired.
+        scope: OverloadScope,
+        /// Jobs queued against that bound when the request arrived.
+        queued: usize,
+        /// The bound itself.
+        capacity: usize,
+    },
+    /// The job's wall-clock deadline passed before its result could be
+    /// delivered (at admission, at dispatch, or after execution — the
+    /// output is dropped in every case).
+    DeadlineExceeded {
+        /// Milliseconds the job had been waiting when the deadline was
+        /// enforced.
+        waited_ms: u64,
+    },
+    /// The tenant's cumulative modeled-cycle budget is spent; refill it
+    /// with `ServeHandle::refill_quota` or wait for an operator.
+    QuotaExhausted {
+        /// Cycles the tenant has consumed.
+        used: u64,
+        /// The tenant's cycle allowance.
+        budget: u64,
+    },
+    /// The tenant tripped the per-tenant quarantine (its jobs kept
+    /// poisoning lanes); only an operator reset readmits it.
+    TenantQuarantined {
+        /// Quarantine strikes the tenant accumulated.
+        strikes: u32,
+    },
+    /// No kernel with this name is registered.
+    UnknownKernel {
+        /// The requested kernel name.
+        name: String,
+    },
+    /// The runtime is draining or stopped; no new work is admitted.
+    ShuttingDown,
+    /// The job's chunk climbed the whole supervisor ladder and was
+    /// quarantined; the fault is reported, the output dropped.
+    JobQuarantined {
+        /// Stable kebab-case name of the fault that poisoned the chunk.
+        fault: String,
+    },
+    /// The device run itself could not start (pre-flight
+    /// misconfiguration) — should not happen for kernels that passed
+    /// registration, so this indicates an operator error.
+    Sim(SimError),
+    /// A bounded wait on a ticket expired before the runtime delivered
+    /// a result. Used by harnesses as a hang detector.
+    ResultTimeout {
+        /// How long the caller waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// The runtime dropped the job without delivering any result —
+    /// a contract breach surfaced as a value instead of a hang.
+    RuntimeGone,
+    /// The peer spoke the wire protocol wrong (socket paths only).
+    Protocol {
+        /// What was malformed.
+        detail: String,
+    },
+    /// A bug unwound out of the scheduler while this job's wave ran;
+    /// the panic was contained and every job of the wave completed
+    /// with this value instead of hanging its clients.
+    Internal {
+        /// The contained panic's message.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Stable numeric code for the wire protocol.
+    pub fn code(&self) -> u16 {
+        match self {
+            ServeError::Overloaded { .. } => 1,
+            ServeError::DeadlineExceeded { .. } => 2,
+            ServeError::QuotaExhausted { .. } => 3,
+            ServeError::TenantQuarantined { .. } => 4,
+            ServeError::UnknownKernel { .. } => 5,
+            ServeError::ShuttingDown => 6,
+            ServeError::JobQuarantined { .. } => 7,
+            ServeError::Sim(_) => 8,
+            ServeError::ResultTimeout { .. } => 9,
+            ServeError::RuntimeGone => 10,
+            ServeError::Protocol { .. } => 11,
+            ServeError::Internal { .. } => 12,
+        }
+    }
+
+    /// Stable kebab-case name of the variant (stats, summaries, logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
+            ServeError::QuotaExhausted { .. } => "quota-exhausted",
+            ServeError::TenantQuarantined { .. } => "tenant-quarantined",
+            ServeError::UnknownKernel { .. } => "unknown-kernel",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::JobQuarantined { .. } => "job-quarantined",
+            ServeError::Sim(_) => "sim-error",
+            ServeError::ResultTimeout { .. } => "result-timeout",
+            ServeError::RuntimeGone => "runtime-gone",
+            ServeError::Protocol { .. } => "protocol",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                scope,
+                queued,
+                capacity,
+            } => {
+                let what = match scope {
+                    OverloadScope::Queue => "service queue",
+                    OverloadScope::Tenant => "tenant queue quota",
+                };
+                write!(f, "overloaded: {what} full ({queued}/{capacity})")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
+            }
+            ServeError::QuotaExhausted { used, budget } => {
+                write!(f, "cycle quota exhausted ({used}/{budget} cycles)")
+            }
+            ServeError::TenantQuarantined { strikes } => {
+                write!(f, "tenant quarantined after {strikes} poisoned job(s)")
+            }
+            ServeError::UnknownKernel { name } => {
+                write!(f, "no kernel named `{name}` is registered")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::JobQuarantined { fault } => {
+                write!(f, "job quarantined by the supervisor: {fault}")
+            }
+            ServeError::Sim(e) => write!(f, "device run refused: {e}"),
+            ServeError::ResultTimeout { waited_ms } => {
+                write!(f, "no result after {waited_ms} ms")
+            }
+            ServeError::RuntimeGone => {
+                write!(f, "runtime dropped the job without a result")
+            }
+            ServeError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ServeError::Internal { detail } => {
+                write!(f, "internal scheduler error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ServeError> {
+        vec![
+            ServeError::Overloaded {
+                scope: OverloadScope::Queue,
+                queued: 8,
+                capacity: 8,
+            },
+            ServeError::Overloaded {
+                scope: OverloadScope::Tenant,
+                queued: 2,
+                capacity: 2,
+            },
+            ServeError::DeadlineExceeded { waited_ms: 5 },
+            ServeError::QuotaExhausted {
+                used: 10,
+                budget: 9,
+            },
+            ServeError::TenantQuarantined { strikes: 1 },
+            ServeError::UnknownKernel {
+                name: "nope".into(),
+            },
+            ServeError::ShuttingDown,
+            ServeError::JobQuarantined {
+                fault: "chaos-injected".into(),
+            },
+            ServeError::Sim(SimError::NotExecutable),
+            ServeError::ResultTimeout { waited_ms: 100 },
+            ServeError::RuntimeGone,
+            ServeError::Protocol {
+                detail: "short frame".into(),
+            },
+            ServeError::Internal {
+                detail: "bug".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn codes_are_unique_and_names_kebab() {
+        let variants = all_variants();
+        for (i, a) in variants.iter().enumerate() {
+            assert!(!a.to_string().is_empty());
+            assert!(a.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            for b in variants.iter().skip(i + 1) {
+                if a.name() != b.name() {
+                    assert_ne!(a.code(), b.code(), "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_error_is_a_source() {
+        use std::error::Error as _;
+        let e = ServeError::from(SimError::NotExecutable);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("size-model-only"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Job submission and completion types: what a tenant hands the
+//! runtime and what it gets back.
+
+use crate::error::ServeError;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Deterministic fault injection riding on a job — the service-level
+/// face of the lane chaos hooks ([`udp_sim::LaneConfig::chaos_fault_at`]
+/// / `chaos_panic_at`). Only harnesses and tests set this; production
+/// submissions leave it `None`, which costs nothing. When any job of a
+/// wave carries a spec, the wave's lane config arms the hooks — the
+/// injection point is chosen above the sibling chunks' cycle counts so
+/// only the chaos job faults (the same discipline `udp-fault` uses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Stop the chunk with a detected soft error at this cycle count.
+    pub fault_at: Option<u64>,
+    /// Panic the chunk (undetected crash) at this cycle count.
+    pub panic_at: Option<u64>,
+    /// Transient: the supervisor disarms the hooks on replay, so the
+    /// fault recovers on the retry rung. Persistent chaos re-fires on
+    /// every replay and must resolve by fallback or quarantine.
+    pub transient: bool,
+}
+
+/// One unit of work: run `payload` through the registered kernel
+/// `kernel` on behalf of `tenant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Tenant identity — the unit of quotas, fairness, and quarantine.
+    pub tenant: String,
+    /// Registered kernel name (see `ServeRuntime::register_kernel`).
+    pub kernel: String,
+    /// Input bytes the kernel consumes.
+    pub payload: Vec<u8>,
+    /// Wall-clock deadline relative to submission. Expired jobs are
+    /// shed with [`ServeError::DeadlineExceeded`] — at dispatch if the
+    /// queue was slow, after execution if the run was; either way the
+    /// output is dropped, never delivered late. `None` means no
+    /// deadline.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection (harnesses only).
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl JobSpec {
+    /// A plain job with no deadline and no chaos.
+    pub fn new(tenant: impl Into<String>, kernel: impl Into<String>, payload: Vec<u8>) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            kernel: kernel.into(),
+            payload,
+            deadline: None,
+            chaos: None,
+        }
+    }
+
+    /// The same job with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How a completed job's chunk came through the device (mirrors
+/// [`udp_sim::ChunkOutcome`], minus the quarantine arm, which is an
+/// error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Executed cleanly on the first attempt.
+    Clean,
+    /// A transient fault was replayed away by the supervisor.
+    Recovered {
+        /// Replay attempts spent.
+        attempts: u32,
+    },
+    /// The software reference fallback produced the output.
+    Fallback,
+}
+
+impl JobOutcome {
+    /// Stable wire code (0/1/2).
+    pub fn code(self) -> u8 {
+        match self {
+            JobOutcome::Clean => 0,
+            JobOutcome::Recovered { .. } => 1,
+            JobOutcome::Fallback => 2,
+        }
+    }
+}
+
+/// A successfully completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// The kernel's output bytes for this job's payload.
+    pub output: Vec<u8>,
+    /// Modeled device cycles the chunk spent (what quota accounting
+    /// charged the tenant).
+    pub cycles: u64,
+    /// How the chunk came through the supervisor.
+    pub outcome: JobOutcome,
+}
+
+/// What the runtime delivers for every accepted job — exactly once.
+pub type JobResult = Result<JobOutput, ServeError>;
+
+/// The receiving half of an accepted job: redeem it for the result.
+///
+/// Dropping a ticket models a client disconnect; the runtime still
+/// executes (or sheds) the job and discards the undeliverable result
+/// without error — `ServeStats::results_dropped` counts them.
+#[derive(Debug)]
+pub struct JobTicket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobTicket {
+    /// The job's runtime-assigned id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the runtime delivers the result. Every accepted
+    /// job gets exactly one delivery (including during shutdown), so
+    /// this only errors with [`ServeError::RuntimeGone`] if the runtime
+    /// was torn down abnormally.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(ServeError::RuntimeGone))
+    }
+
+    /// [`JobTicket::wait`] with an upper bound — the hang detector
+    /// harnesses use. A timeout comes back as
+    /// [`ServeError::ResultTimeout`].
+    pub fn wait_timeout(self, timeout: Duration) -> JobResult {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::ResultTimeout {
+                waited_ms: timeout.as_millis() as u64,
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::RuntimeGone),
+        }
+    }
+}

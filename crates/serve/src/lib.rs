@@ -1,0 +1,69 @@
+//! # udp-serve — multi-tenant service runtime for the UDP simulator
+//!
+//! The paper positions the UDP as a shared accelerator for
+//! extract-transform-load pipelines; sharing means *serving*: many
+//! tenants submitting small jobs concurrently, not one batch owner
+//! driving the device. This crate is that service layer (DESIGN.md
+//! §10): a long-running runtime that admits jobs over an in-process
+//! channel API or a length-prefixed Unix-socket protocol, batches them
+//! into data-parallel lane waves on the persistent pool, and wraps
+//! every job in a robustness envelope —
+//!
+//! * **admission control** with bounded queues and typed load shedding
+//!   ([`ServeError::Overloaded`]),
+//! * **per-tenant cycle quotas** derived from the same modeled cycle
+//!   counters the lane budget enforces,
+//! * **wall-clock deadlines** with cooperative cancellation (remaining
+//!   time clamps the wave's cycle cap; late results are dropped, never
+//!   delivered),
+//! * **per-tenant quarantine** reusing the supervisor's
+//!   retry → fallback → quarantine ladder: a tenant whose jobs keep
+//!   poisoning lanes is isolated without touching anyone else's
+//!   traffic,
+//! * **graceful drain-then-stop shutdown** with an exactly-once result
+//!   delivery guarantee for every accepted job.
+//!
+//! The service-level invariant, fuzzed by `udp-fault`'s `serve` module
+//! under overload bursts, client disconnects, stalled readers, and
+//! poison tenants: hostile load surfaces only as typed [`ServeError`]
+//! values — the runtime never panics and never hangs a client.
+//!
+//! ## Example
+//!
+//! ```
+//! use udp_serve::{JobSpec, ServeConfig, ServeRuntime, Shutdown};
+//!
+//! let rt = ServeRuntime::start_with_builtin_kernels(ServeConfig {
+//!     parallel: false, // keep doctests light
+//!     ..ServeConfig::default()
+//! })?;
+//! let handle = rt.handle();
+//! let a = handle.submit(JobSpec::new("alice", "csv", b"x,y\n".to_vec()))?;
+//! let b = handle.submit(JobSpec::new("bob", "csv", b"1,2\n".to_vec()))?;
+//! assert_eq!(a.wait()?.output, b"x\x1fy\x1f\x1e");
+//! assert_eq!(b.wait()?.output, b"1\x1f2\x1f\x1e");
+//! rt.shutdown(Shutdown::Drain);
+//! # Ok::<(), udp_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The service invariant (DESIGN.md §10): hostile load surfaces as typed
+// errors, never a panic — so no unwrap/expect outside tests.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod job;
+pub mod runtime;
+pub mod socket;
+pub mod wire;
+
+pub use error::{OverloadScope, ServeError};
+pub use job::{ChaosSpec, JobOutcome, JobOutput, JobResult, JobSpec, JobTicket};
+pub use runtime::{
+    csv_kernel, ServeConfig, ServeHandle, ServeRuntime, ServeStats, Shutdown, TenantQuota,
+};
+#[cfg(unix)]
+pub use socket::{ServeClient, SocketConfig, SocketServer};
+pub use wire::{RemoteError, Request, WireError};

@@ -1,0 +1,265 @@
+//! Unix-domain-socket transport over the wire protocol: a listener
+//! that serves a [`ServeHandle`], plus the small blocking client used
+//! by tests and the chaos harness.
+//!
+//! Transport-level robustness discipline (the same invariant as the
+//! runtime): a hostile or broken peer costs the service one connection
+//! handler, never a wedge. Concretely:
+//!
+//! * every connection gets read/write timeouts, so a peer that opens a
+//!   frame and stalls (the "stalled reader" chaos mode) times out
+//!   instead of pinning a handler thread forever;
+//! * protocol violations are answered with a typed error frame when the
+//!   peer is still writable, and the connection is dropped either way;
+//! * the accept loop is non-blocking and polls a stop flag, so server
+//!   shutdown never races a blocked `accept(2)`.
+
+#![cfg(unix)]
+
+use crate::error::ServeError;
+use crate::job::JobResult;
+use crate::runtime::{ServeHandle, Shutdown};
+use crate::wire::{self, read_frame, write_frame, RemoteError, Request, WireError};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Socket server configuration.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Per-connection read timeout: a peer that stalls mid-frame longer
+    /// than this loses the connection (typed, logged in stats — never a
+    /// pinned handler).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (a peer that stops draining its
+    /// receive buffer).
+    pub write_timeout: Duration,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A Unix-socket front end serving a [`ServeHandle`].
+pub struct SocketServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds `path` and starts accepting connections, each served on
+    /// its own thread. An existing socket file at `path` is replaced
+    /// (the normal crash-restart sequence for Unix sockets).
+    pub fn bind(
+        path: impl AsRef<Path>,
+        handle: ServeHandle,
+        config: SocketConfig,
+    ) -> Result<SocketServer, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).map_err(|e| ServeError::Protocol {
+            detail: format!("bind {}: {e}", path.display()),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Protocol {
+                detail: format!("set_nonblocking: {e}"),
+            })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("udp-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &handle, &config, &accept_stop))
+            .map_err(|e| ServeError::Internal {
+                detail: format!("could not spawn accept loop: {e}"),
+            })?;
+        Ok(SocketServer {
+            path,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting and joins the accept loop. In-flight connection
+    /// handlers finish their current request and exit on their own.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &UnixListener,
+    handle: &ServeHandle,
+    config: &SocketConfig,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let handle = handle.clone();
+                let config = config.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("udp-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &handle, &config);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: shed the connection (it closes),
+                    // keep accepting. The client sees a disconnect, which
+                    // it already has to handle.
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one connection until EOF, a protocol violation, a timeout, or
+/// server shutdown. Returns the first error for diagnostics; every path
+/// out of here drops the connection cleanly.
+fn serve_connection(
+    stream: UnixStream,
+    handle: &ServeHandle,
+    config: &SocketConfig,
+) -> Result<(), WireError> {
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(|e| WireError {
+            detail: format!("set_read_timeout: {e}"),
+        })?;
+    stream
+        .set_write_timeout(Some(config.write_timeout))
+        .map_err(|e| WireError {
+            detail: format!("set_write_timeout: {e}"),
+        })?;
+    let mut reader = io::BufReader::new(&stream);
+    let mut writer = io::BufWriter::new(&stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()), // clean EOF between requests
+            Err(e) => {
+                // Stalled reader or malformed framing: try to tell the
+                // peer (best-effort), then drop the connection.
+                let reply: JobResult = Err(ServeError::Protocol {
+                    detail: e.detail.clone(),
+                });
+                let _ = write_frame(&mut writer, &wire::encode_response(&reply));
+                return Err(e);
+            }
+        };
+        let reply: JobResult = match wire::decode_request(&frame) {
+            Ok(Request::Submit(spec)) => match handle.submit(spec) {
+                // Blocking on the ticket is safe: every accepted job
+                // gets exactly one delivery, including during shutdown.
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            },
+            Ok(Request::Ping) => Ok(crate::job::JobOutput {
+                output: Vec::new(),
+                cycles: 0,
+                outcome: crate::job::JobOutcome::Clean,
+            }),
+            Ok(Request::Shutdown) => {
+                handle.begin_shutdown(Shutdown::Drain);
+                Ok(crate::job::JobOutput {
+                    output: Vec::new(),
+                    cycles: 0,
+                    outcome: crate::job::JobOutcome::Clean,
+                })
+            }
+            Err(e) => Err(ServeError::from(e)),
+        };
+        let is_protocol_err = matches!(reply, Err(ServeError::Protocol { .. }));
+        write_frame(&mut writer, &wire::encode_response(&reply))?;
+        if is_protocol_err {
+            // One malformed frame poisons the stream position; drop the
+            // connection rather than misparse everything after it.
+            return Err(WireError {
+                detail: "closed after protocol violation".into(),
+            });
+        }
+    }
+}
+
+/// A minimal blocking client for the socket protocol (tests, the chaos
+/// harness, examples). One request in flight at a time.
+pub struct ServeClient {
+    stream: UnixStream,
+}
+
+impl ServeClient {
+    /// Connects to a server socket, with timeouts on both directions.
+    pub fn connect(path: impl AsRef<Path>, timeout: Duration) -> Result<ServeClient, ServeError> {
+        let stream = UnixStream::connect(path.as_ref()).map_err(|e| ServeError::Protocol {
+            detail: format!("connect {}: {e}", path.as_ref().display()),
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| ServeError::Protocol {
+                detail: format!("set timeouts: {e}"),
+            })?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn call(
+        &mut self,
+        req: &Request,
+    ) -> Result<Result<crate::job::JobOutput, RemoteError>, ServeError> {
+        write_frame(&mut self.stream, &wire::encode_request(req)).map_err(ServeError::from)?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(ServeError::from)?
+            .ok_or(ServeError::Protocol {
+                detail: "server closed the connection".into(),
+            })?;
+        wire::decode_response(&frame).map_err(ServeError::from)
+    }
+
+    /// Submits a job and waits for its result.
+    pub fn submit(
+        &mut self,
+        spec: crate::job::JobSpec,
+    ) -> Result<Result<crate::job::JobOutput, RemoteError>, ServeError> {
+        self.call(&Request::Submit(spec))
+    }
+
+    /// The raw stream — the chaos harness uses it to model misbehaving
+    /// clients (half-written frames, stalled reads, abrupt hangups).
+    pub fn stream_mut(&mut self) -> &mut UnixStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,408 @@
+//! The length-prefixed wire protocol the Unix-socket transport speaks
+//! (DESIGN.md §10.4). Pure encode/decode over byte buffers — no I/O —
+//! so the framing is testable without a socket and reusable by any
+//! transport.
+//!
+//! ## Framing
+//!
+//! Every message is one frame: a little-endian `u32` length followed by
+//! that many payload bytes. Lengths above [`MAX_FRAME`] are rejected
+//! before any allocation — a hostile 4 GB length prefix must cost
+//! nothing.
+//!
+//! ## Requests (client → server)
+//!
+//! ```text
+//! SUBMIT   = 0x01  u16 tenant_len, tenant, u16 kernel_len, kernel,
+//!                  u32 deadline_ms (0 = none), u32 payload_len, payload
+//! SHUTDOWN = 0x02  (drain-then-stop; empty body)
+//! PING     = 0x03  (liveness; empty body)
+//! ```
+//!
+//! ## Responses (server → client)
+//!
+//! ```text
+//! OK  = 0x00  u8 outcome code (JobOutcome::code), u64 cycles,
+//!             u32 output_len, output
+//! ERR = 0x01  u16 error code (ServeError::code),
+//!             u16 message_len, message (UTF-8, human-readable)
+//! ```
+//!
+//! Error frames carry the stable numeric code so clients branch without
+//! parsing prose; the message is diagnostic only.
+
+use crate::error::ServeError;
+use crate::job::{JobOutcome, JobOutput, JobResult, JobSpec};
+use std::time::Duration;
+
+/// Hard cap on a frame's payload length (64 MB): anything larger is a
+/// protocol error, not an allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request opcodes.
+pub const OP_SUBMIT: u8 = 0x01;
+/// Drain-then-stop the runtime.
+pub const OP_SHUTDOWN: u8 = 0x02;
+/// Liveness probe; answered with an empty OK frame.
+pub const OP_PING: u8 = 0x03;
+
+const STATUS_OK: u8 = 0x00;
+const STATUS_ERR: u8 = 0x01;
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a job.
+    Submit(JobSpec),
+    /// Drain the runtime and stop accepting connections.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Typed protocol violations, carried to the peer as
+/// [`ServeError::Protocol`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Protocol { detail: e.detail }
+    }
+}
+
+fn wire_err(detail: impl Into<String>) -> WireError {
+    WireError {
+        detail: detail.into(),
+    }
+}
+
+/// A bounds-checked little-endian cursor over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                wire_err(format!(
+                    "truncated frame: {what} needs {n} bytes, {} remain",
+                    self.buf.len() - self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(wire_err(format!(
+                "{} trailing byte(s) after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Submit(spec) => {
+            let mut v =
+                Vec::with_capacity(16 + spec.tenant.len() + spec.kernel.len() + spec.payload.len());
+            v.push(OP_SUBMIT);
+            v.extend_from_slice(&(spec.tenant.len() as u16).to_le_bytes());
+            v.extend_from_slice(spec.tenant.as_bytes());
+            v.extend_from_slice(&(spec.kernel.len() as u16).to_le_bytes());
+            v.extend_from_slice(spec.kernel.as_bytes());
+            let deadline_ms = spec
+                .deadline
+                .map(|d| (d.as_millis() as u64).clamp(1, u64::from(u32::MAX - 1)) as u32)
+                .unwrap_or(0);
+            v.extend_from_slice(&deadline_ms.to_le_bytes());
+            v.extend_from_slice(&(spec.payload.len() as u32).to_le_bytes());
+            v.extend_from_slice(&spec.payload);
+            v
+        }
+        Request::Shutdown => vec![OP_SHUTDOWN],
+        Request::Ping => vec![OP_PING],
+    }
+}
+
+/// Decodes a request frame payload. The per-job chaos channel is not
+/// part of the wire protocol — remote tenants do not get to inject
+/// faults; decoded specs always carry `chaos: None`.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(buf);
+    let op = c.u8("opcode")?;
+    match op {
+        OP_SUBMIT => {
+            let tenant_len = usize::from(c.u16("tenant length")?);
+            let tenant = String::from_utf8(c.take(tenant_len, "tenant")?.to_vec())
+                .map_err(|_| wire_err("tenant is not UTF-8"))?;
+            let kernel_len = usize::from(c.u16("kernel length")?);
+            let kernel = String::from_utf8(c.take(kernel_len, "kernel")?.to_vec())
+                .map_err(|_| wire_err("kernel is not UTF-8"))?;
+            let deadline_ms = c.u32("deadline")?;
+            let payload_len = c.u32("payload length")? as usize;
+            let payload = c.take(payload_len, "payload")?.to_vec();
+            c.finish("submit request")?;
+            let mut spec = JobSpec::new(tenant, kernel, payload);
+            if deadline_ms > 0 {
+                spec.deadline = Some(Duration::from_millis(u64::from(deadline_ms)));
+            }
+            Ok(Request::Submit(spec))
+        }
+        OP_SHUTDOWN => {
+            c.finish("shutdown request")?;
+            Ok(Request::Shutdown)
+        }
+        OP_PING => {
+            c.finish("ping request")?;
+            Ok(Request::Ping)
+        }
+        other => Err(wire_err(format!("unknown request opcode {other:#04x}"))),
+    }
+}
+
+/// Encodes a job result into a response frame payload.
+pub fn encode_response(result: &JobResult) -> Vec<u8> {
+    match result {
+        Ok(out) => {
+            let mut v = Vec::with_capacity(14 + out.output.len());
+            v.push(STATUS_OK);
+            v.push(out.outcome.code());
+            v.extend_from_slice(&out.cycles.to_le_bytes());
+            v.extend_from_slice(&(out.output.len() as u32).to_le_bytes());
+            v.extend_from_slice(&out.output);
+            v
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            let msg = &msg.as_bytes()[..msg.len().min(usize::from(u16::MAX))];
+            let mut v = Vec::with_capacity(5 + msg.len());
+            v.push(STATUS_ERR);
+            v.extend_from_slice(&e.code().to_le_bytes());
+            v.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            v.extend_from_slice(msg);
+            v
+        }
+    }
+}
+
+/// The client-side view of a decoded error response: the stable code
+/// plus the server's diagnostic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// [`ServeError::code`] as sent by the server.
+    pub code: u16,
+    /// The server's human-readable rendering of the error.
+    pub message: String,
+}
+
+/// Decodes a response frame payload into either a [`JobOutput`] or the
+/// peer's error (code + message).
+pub fn decode_response(buf: &[u8]) -> Result<Result<JobOutput, RemoteError>, WireError> {
+    let mut c = Cursor::new(buf);
+    match c.u8("status")? {
+        STATUS_OK => {
+            let code = c.u8("outcome code")?;
+            let outcome = match code {
+                0 => JobOutcome::Clean,
+                // The wire does not carry the attempt count; one replay
+                // is the common case and the distinction is diagnostic.
+                1 => JobOutcome::Recovered { attempts: 1 },
+                2 => JobOutcome::Fallback,
+                other => return Err(wire_err(format!("unknown outcome code {other}"))),
+            };
+            let cycles = c.u64("cycles")?;
+            let out_len = c.u32("output length")? as usize;
+            let output = c.take(out_len, "output")?.to_vec();
+            c.finish("ok response")?;
+            Ok(Ok(JobOutput {
+                output,
+                cycles,
+                outcome,
+            }))
+        }
+        STATUS_ERR => {
+            let code = c.u16("error code")?;
+            let msg_len = usize::from(c.u16("message length")?);
+            let message = String::from_utf8_lossy(c.take(msg_len, "message")?).into_owned();
+            c.finish("error response")?;
+            Ok(Err(RemoteError { code, message }))
+        }
+        other => Err(wire_err(format!("unknown response status {other:#04x}"))),
+    }
+}
+
+/// Reads one length-prefixed frame from `r`. `Ok(None)` is a clean EOF
+/// at a frame boundary (the peer hung up between requests); EOF inside
+/// a frame, or a length above [`MAX_FRAME`], is a [`WireError`].
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(wire_err("EOF inside frame length")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(wire_err(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(wire_err(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(wire_err("EOF inside frame payload")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(wire_err(format!("read failed: {e}"))),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one length-prefixed frame to `w`.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(wire_err(format!(
+            "refusing to send a {}-byte frame (cap {MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| wire_err(format!("write failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let spec = JobSpec::new("alice", "csv", b"a,b\n".to_vec())
+            .with_deadline(Duration::from_millis(250));
+        let buf = encode_request(&Request::Submit(spec.clone()));
+        match decode_request(&buf).unwrap() {
+            Request::Submit(got) => {
+                assert_eq!(got.tenant, spec.tenant);
+                assert_eq!(got.kernel, spec.kernel);
+                assert_eq!(got.payload, spec.payload);
+                assert_eq!(got.deadline, spec.deadline);
+                assert_eq!(got.chaos, None);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        for req in [Request::Shutdown, Request::Ping] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok: JobResult = Ok(JobOutput {
+            output: b"framed".to_vec(),
+            cycles: 1234,
+            outcome: JobOutcome::Fallback,
+        });
+        let got = decode_response(&encode_response(&ok)).unwrap().unwrap();
+        assert_eq!(got.output, b"framed");
+        assert_eq!(got.cycles, 1234);
+        assert_eq!(got.outcome, JobOutcome::Fallback);
+
+        let err: JobResult = Err(ServeError::DeadlineExceeded { waited_ms: 7 });
+        let remote = decode_response(&encode_response(&err))
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(
+            remote.code,
+            ServeError::DeadlineExceeded { waited_ms: 7 }.code()
+        );
+        assert!(remote.message.contains("deadline"));
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        // Unknown opcode.
+        assert!(decode_request(&[0xEE]).is_err());
+        // Empty frame.
+        assert!(decode_request(&[]).is_err());
+        // Truncated submit: tenant length says 10, only 2 bytes follow.
+        let bad = [OP_SUBMIT, 10, 0, b'h', b'i'];
+        let e = decode_request(&bad).unwrap_err();
+        assert!(e.detail.contains("truncated"), "{e}");
+        // Trailing garbage after a complete ping.
+        assert!(decode_request(&[OP_PING, 0]).is_err());
+        // Hostile length prefix is refused before allocation.
+        let mut r = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut r).unwrap_err().detail.contains("cap"));
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_only_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // EOF mid-frame is an error, not a hang or a silent None.
+        let mut r = std::io::Cursor::new(vec![5, 0, 0, 0, b'x']);
+        assert!(read_frame(&mut r).unwrap_err().detail.contains("EOF"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-tenant isolation property (DESIGN.md §10.6): clean tenants
+//! sharing a wave with a transient-chaos tenant — and a runtime with a
+//! quarantine-bound tenant on a fallback-less kernel — get outputs and
+//! cycle counts bit-identical to running alone, on both backends.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use udp_serve::{
+    ChaosSpec, JobOutcome, JobSpec, ServeConfig, ServeError, ServeRuntime, Shutdown, TenantQuota,
+};
+use udp_sim::ExecBackend;
+
+fn config(compiled: bool, parallel: bool) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 64,
+        max_wave: 64,
+        parallel,
+        default_quota: TenantQuota {
+            max_queued: 8,
+            cycle_budget: None,
+        },
+        quarantine_strikes: 1,
+        backend: Some(if compiled {
+            ExecBackend::Compiled
+        } else {
+            ExecBackend::Interpreter
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs `payload` alone on a fresh runtime and returns (output, cycles).
+fn solo_run(payload: &[u8], compiled: bool, parallel: bool) -> (Vec<u8>, u64) {
+    let rt = ServeRuntime::start_with_builtin_kernels(config(compiled, parallel)).unwrap();
+    let out = rt
+        .handle()
+        .submit(JobSpec::new("solo", "csv", payload.to_vec()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    rt.shutdown(Shutdown::Drain);
+    (out.output, out.cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One batch: N clean tenants (tiny rows, finish well before the
+    /// chaos injection point) share a csv wave with a chaos tenant
+    /// whose long chunk faults transiently mid-run; a poison tenant on
+    /// a fallback-less kernel quarantines in its own wave. Clean
+    /// tenants must neither observe the turbulence nor pay for it.
+    #[test]
+    fn clean_tenants_are_bit_identical_to_solo_runs(
+        fields in proptest::collection::vec((0u8..100, 0u8..100), 2..5),
+        fault_at in 300u64..=400,
+        transient_seed in 0u64..1000,
+        poison_seed in 0u64..1000,
+        compiled in proptest::bool::ANY,
+        parallel in proptest::bool::ANY,
+    ) {
+        let clean_payloads: Vec<Vec<u8>> = fields
+            .iter()
+            .map(|(a, b)| format!("{a},{b}\n").into_bytes())
+            .collect();
+        let solo: Vec<(Vec<u8>, u64)> = clean_payloads
+            .iter()
+            .map(|p| solo_run(p, compiled, parallel))
+            .collect();
+
+        let rt = ServeRuntime::start_with_builtin_kernels(config(compiled, parallel)).unwrap();
+        let handle = rt.handle();
+        // The poison kernel: same csv image, no fallback rung, so
+        // persistent chaos ends in quarantine instead of recovery.
+        let (image, _) = udp_serve::csv_kernel().unwrap();
+        handle.register_kernel("csv-raw", image, None).unwrap();
+
+        handle.pause();
+        let clean_tickets: Vec<_> = clean_payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                handle
+                    .submit(JobSpec::new(format!("clean{i}"), "csv", p.clone()))
+                    .unwrap()
+            })
+            .collect();
+        // Transient chaos: a long chunk that faults once at `fault_at`
+        // cycles (above every clean sibling's total) and recovers on
+        // the retry rung.
+        let mut flaky = JobSpec::new(
+            "flaky",
+            "csv",
+            udp_workloads::lineitem_csv(1024, transient_seed),
+        );
+        flaky.chaos = Some(ChaosSpec {
+            fault_at: Some(fault_at),
+            panic_at: None,
+            transient: true,
+        });
+        let flaky_ticket = handle.submit(flaky).unwrap();
+        // Persistent chaos on the fallback-less kernel: quarantine.
+        let mut poison = JobSpec::new(
+            "poison",
+            "csv-raw",
+            udp_workloads::lineitem_csv(1024, poison_seed),
+        );
+        poison.chaos = Some(ChaosSpec {
+            fault_at: Some(fault_at),
+            panic_at: None,
+            transient: false,
+        });
+        let poison_ticket = handle.submit(poison).unwrap();
+        handle.resume();
+
+        // Clean tenants: byte- and cycle-identical to their solo runs.
+        for (i, (ticket, (solo_out, solo_cycles))) in
+            clean_tickets.into_iter().zip(&solo).enumerate()
+        {
+            let out = ticket
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("clean{i} failed: {e}"));
+            prop_assert_eq!(out.outcome, JobOutcome::Clean, "clean{} outcome", i);
+            prop_assert_eq!(&out.output, solo_out, "clean{} output", i);
+            prop_assert_eq!(out.cycles, *solo_cycles, "clean{} cycles", i);
+        }
+        // The flaky tenant recovered; no quarantine for transience.
+        match flaky_ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(out) => prop_assert!(
+                matches!(out.outcome, JobOutcome::Recovered { .. }),
+                "flaky outcome: {:?}",
+                out.outcome
+            ),
+            Err(e) => panic!("flaky failed: {e}"),
+        }
+        // The poison tenant quarantined — alone.
+        match poison_ticket.wait_timeout(Duration::from_secs(30)) {
+            Err(ServeError::JobQuarantined { fault }) => {
+                prop_assert_eq!(fault, "chaos-injected");
+            }
+            other => panic!("expected JobQuarantined, got {other:?}"),
+        }
+        prop_assert!(matches!(
+            handle.submit(JobSpec::new("poison", "csv-raw", b"a,b\n".to_vec())),
+            Err(ServeError::TenantQuarantined { .. })
+        ));
+        // Clean and flaky tenants retain full service afterwards.
+        for name in ["clean0", "flaky"] {
+            let out = handle
+                .submit(JobSpec::new(name, "csv", b"q,r\n".to_vec()))
+                .unwrap()
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("{name} lost service: {e}"));
+            prop_assert_eq!(&out.output, b"q\x1fr\x1f\x1e");
+        }
+        let stats = rt.shutdown(Shutdown::Drain);
+        prop_assert_eq!(stats.tenants_quarantined, 1);
+        prop_assert_eq!(stats.quarantined_jobs, 1);
+    }
+}

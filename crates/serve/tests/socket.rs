@@ -1,0 +1,148 @@
+//! End-to-end Unix-socket transport tests (DESIGN.md §10.4): the
+//! length-prefixed frame protocol, typed remote errors, protocol
+//! violation handling, and remote-initiated drain shutdown.
+#![cfg(unix)]
+
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+use udp_serve::{
+    JobOutcome, JobSpec, Request, ServeClient, ServeConfig, ServeRuntime, Shutdown, SocketConfig,
+    SocketServer,
+};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("udp-serve-test-{}-{tag}.sock", std::process::id()))
+}
+
+fn start_server(tag: &str) -> (ServeRuntime, SocketServer, PathBuf) {
+    let rt = ServeRuntime::start_with_builtin_kernels(ServeConfig {
+        parallel: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let path = sock_path(tag);
+    let server = SocketServer::bind(
+        &path,
+        rt.handle(),
+        SocketConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        },
+    )
+    .unwrap();
+    (rt, server, path)
+}
+
+#[test]
+fn submit_ping_and_remote_errors_round_trip() {
+    let (rt, server, path) = start_server("rt");
+    let mut client = ServeClient::connect(&path, CLIENT_TIMEOUT).unwrap();
+    client.call(&Request::Ping).unwrap().unwrap();
+
+    let out = client
+        .submit(JobSpec::new("remote", "csv", b"a,b\n".to_vec()))
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.output, b"a\x1fb\x1f\x1e");
+    assert_eq!(out.outcome, JobOutcome::Clean);
+
+    // An unknown kernel comes back as a typed RemoteError, and the
+    // connection stays usable afterwards.
+    let remote = client
+        .submit(JobSpec::new("remote", "missing", b"x".to_vec()))
+        .unwrap()
+        .unwrap_err();
+    assert!(
+        remote.message.contains("missing"),
+        "error names the kernel: {}",
+        remote.message
+    );
+    client.call(&Request::Ping).unwrap().unwrap();
+
+    server.stop();
+    rt.shutdown(Shutdown::Drain);
+}
+
+#[test]
+fn concurrent_clients_are_served_independently() {
+    let (rt, server, path) = start_server("cc");
+    let mut threads = Vec::new();
+    for i in 0..4u32 {
+        let path = path.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&path, CLIENT_TIMEOUT).unwrap();
+            let payload = format!("k{i},v{i}\n").into_bytes();
+            let out = client
+                .submit(JobSpec::new(format!("t{i}"), "csv", payload))
+                .unwrap()
+                .unwrap();
+            let expect = format!("k{i}\x1fv{i}\x1f\x1e").into_bytes();
+            assert_eq!(out.output, expect);
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    server.stop();
+    let stats = rt.shutdown(Shutdown::Drain);
+    assert_eq!(stats.completed, 4);
+}
+
+#[test]
+fn garbage_frames_do_not_take_down_the_server() {
+    let (rt, server, path) = start_server("gf");
+
+    // A hostile frame length is refused before any allocation.
+    let mut vandal = UnixStream::connect(&path).unwrap();
+    vandal.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    vandal.flush().unwrap();
+    drop(vandal);
+
+    // A well-formed length wrapping an unknown opcode.
+    let mut vandal = UnixStream::connect(&path).unwrap();
+    vandal.write_all(&3u32.to_le_bytes()).unwrap();
+    vandal.write_all(&[0xFF, 0x00, 0x00]).unwrap();
+    vandal.flush().unwrap();
+    drop(vandal);
+
+    // A client that disconnects mid-frame.
+    let mut vandal = UnixStream::connect(&path).unwrap();
+    vandal.write_all(&8u32.to_le_bytes()).unwrap();
+    vandal.write_all(&[1, 2, 3]).unwrap(); // 3 of 8 promised bytes
+    drop(vandal);
+
+    // Honest clients are unaffected.
+    let mut client = ServeClient::connect(&path, CLIENT_TIMEOUT).unwrap();
+    let out = client
+        .submit(JobSpec::new("honest", "csv", b"p,q\n".to_vec()))
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.output, b"p\x1fq\x1f\x1e");
+
+    server.stop();
+    rt.shutdown(Shutdown::Drain);
+}
+
+#[test]
+fn remote_shutdown_drains_the_runtime() {
+    let (rt, server, path) = start_server("sd");
+    let mut client = ServeClient::connect(&path, CLIENT_TIMEOUT).unwrap();
+    client
+        .submit(JobSpec::new("last", "csv", b"z,w\n".to_vec()))
+        .unwrap()
+        .unwrap();
+    client.call(&Request::Shutdown).unwrap().unwrap();
+    // The runtime is draining: local submissions are now refused.
+    assert!(matches!(
+        rt.handle()
+            .submit(JobSpec::new("late", "csv", b"a\n".to_vec())),
+        Err(udp_serve::ServeError::ShuttingDown)
+    ));
+    server.stop();
+    let stats = rt.shutdown(Shutdown::Drain);
+    assert_eq!(stats.completed, 1);
+}

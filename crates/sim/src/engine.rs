@@ -46,16 +46,74 @@ pub enum ExecBackend {
     Compiled,
 }
 
+/// An `UDP_SIM_BACKEND` / [`ExecBackend::from_str`] value that names no
+/// backend. Carries the rejected string so the caller (or the warning
+/// [`ExecBackend::from_env`] prints) can show exactly what was typed —
+/// a typo'd `UDP_SIM_BACKEND=complied` must not silently run the wrong
+/// backend matrix leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    /// The string that matched no backend name.
+    pub value: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown execution backend `{}` (expected `interpreter` or `compiled`)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = ParseBackendError;
+
+    /// Parses a backend name, case-insensitively: `interpreter` (or the
+    /// aliases `interp` / `reference`) and `compiled`. Anything else is
+    /// a typed [`ParseBackendError`] — never a silent default.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("interpreter")
+            || s.eq_ignore_ascii_case("interp")
+            || s.eq_ignore_ascii_case("reference")
+        {
+            Ok(ExecBackend::Interpreter)
+        } else if s.eq_ignore_ascii_case("compiled") {
+            Ok(ExecBackend::Compiled)
+        } else {
+            Err(ParseBackendError {
+                value: s.to_string(),
+            })
+        }
+    }
+}
+
 impl ExecBackend {
     /// Backend selected by the `UDP_SIM_BACKEND` environment variable
-    /// (`compiled` picks [`ExecBackend::Compiled`]; anything else, or
-    /// unset, the interpreter). This is what lets CI run whole test
-    /// suites as a backend matrix without per-callsite plumbing:
+    /// (parsed with [`ExecBackend::from_str`]; unset or empty means the
+    /// interpreter). This is what lets CI run whole test suites as a
+    /// backend matrix without per-callsite plumbing:
     /// [`UdpRunOptions::default`] starts from this value.
+    ///
+    /// A set-but-unparsable value falls back to the interpreter but
+    /// prints one loud warning to stderr (once per process): the
+    /// default-per-run-options call pattern means this function cannot
+    /// fail, but a typo'd matrix leg silently testing the wrong backend
+    /// is exactly the failure CI exists to catch.
     pub fn from_env() -> Self {
         match std::env::var("UDP_SIM_BACKEND") {
-            Ok(v) if v.eq_ignore_ascii_case("compiled") => ExecBackend::Compiled,
-            _ => ExecBackend::Interpreter,
+            Ok(v) if v.is_empty() => ExecBackend::Interpreter,
+            Ok(v) => v.parse().unwrap_or_else(|e| {
+                static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+                WARNED.get_or_init(|| {
+                    eprintln!("udp-sim: UDP_SIM_BACKEND: {e}; using the interpreter");
+                });
+                ExecBackend::Interpreter
+            }),
+            Err(_) => ExecBackend::Interpreter,
         }
     }
 }
@@ -243,6 +301,9 @@ impl Udp {
                 window_words,
                 banks_per_lane: opts.banks_per_lane,
             });
+        }
+        if let Some(sup) = &opts.supervise {
+            sup.validate()?;
         }
         if opts.verify {
             let vopts = udp_verify::VerifyOptions::with_banks(opts.banks_per_lane);
@@ -910,6 +971,45 @@ mod tests {
         );
         assert_eq!(rep.lanes[2].status, LaneStatus::InputExhausted);
         assert_eq!(rep.lanes[2].output, b"!!!");
+    }
+
+    #[test]
+    fn backend_names_parse_and_typos_are_typed_errors() {
+        assert_eq!("interpreter".parse(), Ok(ExecBackend::Interpreter));
+        assert_eq!("INTERP".parse(), Ok(ExecBackend::Interpreter));
+        assert_eq!("reference".parse(), Ok(ExecBackend::Interpreter));
+        assert_eq!("compiled".parse(), Ok(ExecBackend::Compiled));
+        assert_eq!("Compiled".parse(), Ok(ExecBackend::Compiled));
+        let err = "complied".parse::<ExecBackend>().unwrap_err();
+        assert_eq!(err.value, "complied");
+        assert!(err.to_string().contains("complied"));
+        assert!(err.to_string().contains("compiled"));
+        assert!("".parse::<ExecBackend>().is_err());
+    }
+
+    #[test]
+    fn invalid_supervisor_options_are_rejected_preflight() {
+        let img = scanner();
+        let mut udp = Udp::new();
+        let inputs: Vec<&[u8]> = vec![b"a"];
+        let opts = UdpRunOptions {
+            supervise: Some(SupervisorOptions {
+                backoff_base_ms: 10,
+                backoff_cap_ms: 2,
+                ..SupervisorOptions::default()
+            }),
+            ..UdpRunOptions::default()
+        };
+        let err = udp
+            .try_run_data_parallel(&img, &inputs, &Staging::default(), &opts)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::SupervisorConfig {
+                backoff_base_ms: 10,
+                backoff_cap_ms: 2,
+            }
+        );
     }
 
     #[test]

@@ -142,6 +142,16 @@ pub enum SimError {
     },
     /// The image was assembled size-model-only and cannot execute.
     NotExecutable,
+    /// The attached [`crate::SupervisorOptions`] are self-contradictory:
+    /// the backoff ceiling is below the backoff base, so every capped
+    /// value would silently collapse to the cap. Rejected up front
+    /// rather than guessed at ([`crate::SupervisorOptions::validate`]).
+    SupervisorConfig {
+        /// The configured backoff base, milliseconds.
+        backoff_base_ms: u64,
+        /// The configured (smaller) backoff cap, milliseconds.
+        backoff_cap_ms: u64,
+    },
     /// Pre-flight static verification (requested via
     /// [`crate::UdpRunOptions::verify`]) found errors in the image.
     Verify(udp_verify::Report),
@@ -166,6 +176,14 @@ impl fmt::Display for SimError {
             SimError::NotExecutable => {
                 write!(f, "size-model-only image cannot run")
             }
+            SimError::SupervisorConfig {
+                backoff_base_ms,
+                backoff_cap_ms,
+            } => write!(
+                f,
+                "supervisor backoff cap ({backoff_cap_ms} ms) is below its \
+                 base ({backoff_base_ms} ms)"
+            ),
             SimError::Verify(report) => {
                 write!(f, "static verification rejected the image: {report}")
             }
@@ -230,5 +248,10 @@ mod tests {
         assert!(e.to_string().contains("4096"));
         let e = SimError::BadBankSplit { banks_per_lane: 0 };
         assert!(e.to_string().contains("1..=64"));
+        let e = SimError::SupervisorConfig {
+            backoff_base_ms: 8,
+            backoff_cap_ms: 2,
+        };
+        assert!(e.to_string().contains('8') && e.to_string().contains('2'));
     }
 }

@@ -58,7 +58,7 @@ pub mod stream;
 pub mod supervisor;
 
 pub use energy::{AreaModel, PowerModel, CPU_TDP_WATTS, UDP_SYSTEM_WATTS};
-pub use engine::{ExecBackend, Staging, Udp, UdpRunOptions, UdpRunReport};
+pub use engine::{ExecBackend, ParseBackendError, Staging, Udp, UdpRunOptions, UdpRunReport};
 pub use error::{FaultKind, SimError};
 pub use lane::{Lane, LaneConfig, LaneReport, LaneStatus};
 pub use memory::LocalMemory;

@@ -54,9 +54,20 @@ pub trait ReferenceFallback: Send + Sync {
 }
 
 /// Configuration of the supervision ladder.
+///
+/// Validate with [`SupervisorOptions::validate`] before use; the engine
+/// does so in its pre-flight, so a self-contradictory config is a typed
+/// [`SimError::SupervisorConfig`](crate::SimError::SupervisorConfig)
+/// before any lane runs.
 #[derive(Clone)]
 pub struct SupervisorOptions {
     /// Replay attempts per faulted chunk before falling back.
+    ///
+    /// `0` skips the retry rung entirely: a faulted chunk goes straight
+    /// to the fallback (or quarantine when no fallback is registered).
+    /// That is a legitimate configuration for deterministic faults —
+    /// replaying a persistent fault burns time to learn nothing — not a
+    /// degenerate one, so `validate` accepts it.
     pub max_retries: u32,
     /// Base of the capped exponential backoff between replays, in
     /// milliseconds (`min(cap, base << attempt)` before attempt `n`).
@@ -84,6 +95,25 @@ impl Default for SupervisorOptions {
             fallback: None,
             differential: false,
         }
+    }
+}
+
+impl SupervisorOptions {
+    /// Checks the options for internal contradictions.
+    ///
+    /// Rejects `backoff_cap_ms < backoff_base_ms`: every backoff value
+    /// would clamp straight to the cap, so the exponential schedule the
+    /// caller configured would silently never happen. (With
+    /// `backoff_base_ms == 0` sleeping is disabled and the cap is
+    /// irrelevant, so that always passes.)
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
+        if self.backoff_base_ms > 0 && self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(crate::error::SimError::SupervisorConfig {
+                backoff_base_ms: self.backoff_base_ms,
+                backoff_cap_ms: self.backoff_cap_ms,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -357,16 +387,98 @@ fn upsert_final(finals: &mut Vec<WindowSnapshot>, slot: usize, window: Vec<u32>)
     }
 }
 
+/// Milliseconds of capped exponential backoff before replay `attempt`
+/// (1-based): `min(cap, base << (attempt - 1))`. Pure so the schedule
+/// is testable without sleeping; the shift amount saturates at 16 (and
+/// the multiply saturates at `u64::MAX`), so absurd attempt counts
+/// still land on the cap instead of overflowing.
+fn backoff_ms(sup: &SupervisorOptions, attempt: u32) -> u64 {
+    if sup.backoff_base_ms == 0 {
+        return 0;
+    }
+    sup.backoff_base_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(sup.backoff_cap_ms)
+}
+
 /// Capped exponential host backoff before replay `attempt` (1-based).
 fn backoff(sup: &SupervisorOptions, attempt: u32) {
-    if sup.backoff_base_ms == 0 {
-        return;
-    }
-    let ms = sup
-        .backoff_base_ms
-        .saturating_mul(1u64 << (attempt - 1).min(16))
-        .min(sup.backoff_cap_ms);
+    let ms = backoff_ms(sup, attempt);
     if ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_cap_below_base() {
+        let bad = SupervisorOptions {
+            backoff_base_ms: 4,
+            backoff_cap_ms: 3,
+            ..SupervisorOptions::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(crate::error::SimError::SupervisorConfig {
+                backoff_base_ms: 4,
+                backoff_cap_ms: 3,
+            })
+        ));
+        assert!(SupervisorOptions::default().validate().is_ok());
+        // Retry-less supervision is legitimate (straight to fallback).
+        let no_retry = SupervisorOptions {
+            max_retries: 0,
+            ..SupervisorOptions::default()
+        };
+        assert!(no_retry.validate().is_ok());
+        // base == 0 disables sleeping; the cap is then irrelevant.
+        let no_sleep = SupervisorOptions {
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            ..SupervisorOptions::default()
+        };
+        assert!(no_sleep.validate().is_ok());
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_then_caps() {
+        let sup = SupervisorOptions {
+            backoff_base_ms: 1,
+            backoff_cap_ms: 16,
+            ..SupervisorOptions::default()
+        };
+        let schedule: Vec<u64> = (1..=7).map(|a| backoff_ms(&sup, a)).collect();
+        assert_eq!(schedule, vec![1, 2, 4, 8, 16, 16, 16]);
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_large_attempt_counts() {
+        let sup = SupervisorOptions {
+            backoff_base_ms: 3,
+            backoff_cap_ms: u64::MAX,
+            ..SupervisorOptions::default()
+        };
+        // The shift amount is clamped to 16, so even u32::MAX attempts
+        // compute 3 << 16 rather than overflowing the shift.
+        assert_eq!(backoff_ms(&sup, u32::MAX), 3 << 16);
+        assert_eq!(backoff_ms(&sup, 17), backoff_ms(&sup, u32::MAX));
+        // attempt 0 (out of contract but reachable) must not underflow.
+        assert_eq!(backoff_ms(&sup, 0), 3);
+        // A huge base saturates the multiply instead of wrapping.
+        let huge = SupervisorOptions {
+            backoff_base_ms: u64::MAX / 2,
+            backoff_cap_ms: u64::MAX,
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(backoff_ms(&huge, 33), u64::MAX);
+        // Zero base disables the sleep regardless of attempt.
+        let off = SupervisorOptions {
+            backoff_base_ms: 0,
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(backoff_ms(&off, 5), 0);
     }
 }

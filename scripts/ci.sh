@@ -30,6 +30,14 @@ echo "== backend matrix: fault_fuzz on the compiled backend =="
 UDP_SIM_BACKEND=compiled cargo run --release -q -p udp-bench --bin fault_fuzz -- \
   --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100
 
+echo "== backend matrix: serve_fuzz on the compiled backend =="
+# The service-chaos plan (overload, disconnects, stalled readers,
+# poison tenants) must hold the §10.6 invariant on the compiled engine
+# too: typed errors only, no panics, no hung clients, clean tenants
+# byte-identical to the reference.
+UDP_SIM_BACKEND=compiled cargo run --release -q -p udp-bench --bin serve_fuzz -- \
+  --smoke --seed 0xC1
+
 echo "== verifier soundness gate (DESIGN.md §9) =="
 cargo run --release -q -p udp-bench --bin verify
 
@@ -39,6 +47,24 @@ echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
 # the results/BENCH_fault_fuzz.json artifact tracked across PRs.
 cargo run --release -q -p udp-bench --bin fault_fuzz -- \
   --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100 --json
+
+echo "== serve smoke gate (DESIGN.md §10.6) =="
+# One cycle of every service chaos mode at the CI seed: a mixed batch
+# of clean, overloading, disconnecting, stalling, and poison tenants.
+# Gates on zero invariant violations (panics, hangs, collateral
+# quarantine, reference mismatches on clean tenants); refreshes the
+# results/BENCH_serve_fuzz.json artifact.
+cargo run --release -q -p udp-bench --bin serve_fuzz -- --smoke --seed 0xC1 --json
+
+echo "== servebench: service throughput/latency trend (non-gating, DESIGN.md §10.7) =="
+# Client-observed p50/p99 and aggregate MB/s for the small-rows and
+# bulk-chunks shapes; numbers are machine-dependent, so this only
+# refreshes results/BENCH_serve.json and never fails the build.
+(
+  set +e
+  cargo run --release -q -p udp-bench --bin servebench -- --tenants 4 --jobs 32 --json
+  exit 0
+)
 
 echo "== hostperf: compiled-backend speedup gate + trend smoke (DESIGN.md §2.6.2–3) =="
 # One hostperf run serves two purposes. Gating: the compiled backend
