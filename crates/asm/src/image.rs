@@ -83,6 +83,12 @@ pub struct ProgramImage {
     /// False for size-model-only layouts (UAP attach mode), which may
     /// alias attach fields and must not be executed.
     pub executable: bool,
+    /// Static resource certificate, attached by
+    /// `udp_verify::assemble_verified` when the cost analysis ran.
+    /// Plain `assemble` leaves it `None`; every downstream consumer
+    /// (budget derivation, admission, the compiled backend) falls back
+    /// to its pre-certificate behavior in that case.
+    pub cert: Option<crate::cert::ResourceCert>,
 }
 
 impl ProgramImage {

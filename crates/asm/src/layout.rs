@@ -454,6 +454,7 @@ impl ProgramBuilder {
                 scaled_region_words,
             },
             executable: !opts.uap_attach,
+            cert: None,
         })
     }
 

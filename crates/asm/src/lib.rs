@@ -44,12 +44,14 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cert;
 pub mod disasm;
 pub mod image;
 pub mod ir;
 pub mod layout;
 pub mod text;
 
+pub use cert::{CostBlocker, CostMetric, ResourceCert};
 pub use disasm::{classify_words, disassemble, WordKind};
 pub use image::{DecodedProgram, LaneInit, LayoutStats, ProgramImage};
 pub use ir::{Arc, DispatchSource, ProgramBuilder, StateId, StateNode, Target};

@@ -6,20 +6,28 @@
 //! machine-readable `key=value` line per program plus per-check and
 //! aggregate totals. Any `Error`-severity finding is a soundness
 //! violation — every corpus backend must verify clean — and the binary
-//! exits nonzero so `scripts/ci.sh` can gate on it.
+//! exits nonzero so `scripts/ci.sh` can gate on it. The resource
+//! certification pass (§9.1) is also summarized: every program must
+//! receive either a complete [`udp_asm::ResourceCert`] or structured
+//! `cost-unbounded` findings explaining why not.
 //!
 //! ```text
-//! verify [--annotate NAME]
+//! verify [--annotate NAME] [--json]
 //! ```
 //!
 //! `--annotate NAME` additionally dumps the named program's annotated
 //! disassembly (findings attached to their words) for debugging.
+//! `--json` writes `results/BENCH_verify.json` with per-check wall
+//! times and finding counts, plus the certification coverage ratio.
 
+use std::fmt::Write as _;
+use std::time::Instant;
 use udp_compilers::corpus::{assemble_smallest, corpus};
 use udp_verify::{annotate, verify_image, Check, Severity, VerifyOptions};
 
 fn main() {
     let mut annotate_name: Option<String> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +37,9 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: verify [--annotate NAME]");
+                eprintln!("usage: verify [--annotate NAME] [--json]");
                 return;
             }
             other => {
@@ -43,8 +52,13 @@ fn main() {
     let entries = corpus();
     let mut total_errors = 0usize;
     let mut total_warns = 0usize;
-    let mut per_check = [(0usize, 0usize); Check::ALL.len()];
+    let mut total_lints = 0usize;
+    // (errors, warns, lints) per check.
+    let mut per_check = [(0usize, 0usize, 0usize); Check::ALL.len()];
     let mut failed: Vec<String> = Vec::new();
+    let mut images = Vec::new();
+    let mut certified = 0usize;
+    let mut uncertified: Vec<String> = Vec::new();
 
     for (name, pb) in &entries {
         let img = match assemble_smallest(pb, 64) {
@@ -58,18 +72,41 @@ fn main() {
         let report = verify_image(&img, &VerifyOptions::default());
         let errors = report.errors();
         let warns = report.warnings();
+        let lints = report.lints();
         total_errors += errors;
         total_warns += warns;
+        total_lints += lints;
         for (i, check) in Check::ALL.iter().enumerate() {
             for f in report.by_check(*check) {
                 match f.severity {
                     Severity::Error => per_check[i].0 += 1,
                     Severity::Warn => per_check[i].1 += 1,
+                    Severity::Lint => per_check[i].2 += 1,
                 }
             }
         }
+        let cert_summary = match &report.cert {
+            Some(cert) if cert.is_complete() => {
+                certified += 1;
+                cert.summary()
+            }
+            Some(cert) => {
+                // Incomplete certificate: the blockers must say why.
+                if cert.unbounded.is_empty() {
+                    failed.push(name.clone());
+                }
+                uncertified.push(name.clone());
+                cert.summary()
+            }
+            None => {
+                // Structural errors suppressed the pass; the errors
+                // themselves already fail the run.
+                uncertified.push(name.clone());
+                "none".to_string()
+            }
+        };
         println!(
-            "program={name} words={} states={} errors={errors} warns={warns}",
+            "program={name} words={} states={} errors={errors} warns={warns} lints={lints} cert=\"{cert_summary}\"",
             img.stats.words_used,
             img.state_bases.len()
         );
@@ -82,23 +119,89 @@ fn main() {
         if annotate_name.as_deref() == Some(name.as_str()) {
             println!("{}", annotate(&img, &report));
         }
+        images.push(img);
+    }
+
+    // Per-check wall time across the whole corpus, measured through the
+    // check-selection API so each pass runs in isolation.
+    let mut check_times_us = [0u128; Check::ALL.len()];
+    for (i, check) in Check::ALL.iter().enumerate() {
+        let opts = VerifyOptions {
+            checks: Some(vec![*check]),
+            ..VerifyOptions::default()
+        };
+        let start = Instant::now();
+        for img in &images {
+            let _ = verify_image(img, &opts);
+        }
+        check_times_us[i] = start.elapsed().as_micros();
     }
 
     for (i, check) in Check::ALL.iter().enumerate() {
         println!(
-            "check={} errors={} warns={}",
+            "check={} errors={} warns={} lints={} time_us={}",
             check.name(),
             per_check[i].0,
-            per_check[i].1
+            per_check[i].1,
+            per_check[i].2,
+            check_times_us[i]
         );
     }
     println!(
-        "verify programs={} errors={total_errors} warns={total_warns}",
+        "verify programs={} errors={total_errors} warns={total_warns} lints={total_lints} certified={certified}",
         entries.len()
     );
+    if !uncertified.is_empty() {
+        println!("uncertified: {}", uncertified.join(" "));
+    }
+
+    if json {
+        let mut checks_json = String::new();
+        for (i, check) in Check::ALL.iter().enumerate() {
+            if i > 0 {
+                checks_json.push(',');
+            }
+            let _ = write!(
+                checks_json,
+                "\n    {{\"check\": \"{}\", \"errors\": {}, \"warns\": {}, \"lints\": {}, \"time_us\": {}}}",
+                check.name(),
+                per_check[i].0,
+                per_check[i].1,
+                per_check[i].2,
+                check_times_us[i]
+            );
+        }
+        let pct = if images.is_empty() {
+            0.0
+        } else {
+            100.0 * certified as f64 / images.len() as f64
+        };
+        let payload = format!(
+            "{{\n  \"bench\": \"verify\",\n  \"programs\": {},\n  \"errors\": {},\n  \"warns\": {},\n  \"lints\": {},\n  \"certified\": {},\n  \"certified_pct\": {:.1},\n  \"checks\": [{}\n  ]\n}}\n",
+            images.len(),
+            total_errors,
+            total_warns,
+            total_lints,
+            certified,
+            pct,
+            checks_json
+        );
+        let path = "results/BENCH_verify.json";
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &payload))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("json: {path}");
+        }
+    }
+
     if total_errors > 0 || !failed.is_empty() {
         eprintln!("FAIL: corpus programs failed verification: {failed:?}");
         std::process::exit(1);
     }
-    println!("ok: all {} corpus programs verify clean", entries.len());
+    println!(
+        "ok: all {} corpus programs verify clean ({certified} certified)",
+        entries.len()
+    );
 }

@@ -350,8 +350,19 @@ impl ServeHandle {
             &udp_verify::VerifyOptions::with_banks(banks_per_lane),
         );
         if !report.is_clean() {
-            return Err(ServeError::Sim(SimError::Verify(report)));
+            return Err(ServeError::Sim(SimError::Verify(Box::new(report))));
         }
+        // Attach the verifier's resource certificate (when the program
+        // earned one) so admission can forecast job costs and the sim
+        // engine can derive per-lane budgets from the certified bounds.
+        let image = match report.cert {
+            Some(cert) if image.cert.is_none() => {
+                let mut img = (*image).clone();
+                img.cert = Some(cert);
+                Arc::new(img)
+            }
+            _ => image,
+        };
         let mut st = self.shared.lock();
         st.kernels.insert(
             name.into(),
@@ -362,6 +373,17 @@ impl ServeHandle {
             },
         );
         Ok(())
+    }
+
+    /// The resource certificate of a registered kernel, if the verifier
+    /// produced a cost bound for it at registration. Operators can use
+    /// this to size tenant budgets against certified worst-case costs.
+    pub fn kernel_cert(&self, name: &str) -> Option<udp_asm::ResourceCert> {
+        self.shared
+            .lock()
+            .kernels
+            .get(name)
+            .and_then(|k| k.image.cert.clone())
     }
 
     /// Submits a job. Admission is non-blocking: a refused job comes
@@ -375,10 +397,21 @@ impl ServeHandle {
             st.stats.rejected_other += 1;
             return Err(ServeError::ShuttingDown);
         }
-        if !st.kernels.contains_key(&spec.kernel) {
-            st.stats.rejected_other += 1;
-            return Err(ServeError::UnknownKernel { name: spec.kernel });
-        }
+        // Certified worst-case cost of this payload on the requested
+        // kernel (DESIGN.md §9.1). When the kernel carries a complete
+        // certificate, admission reserves the bound against the
+        // tenant's budget instead of admitting doomed work.
+        let certified_cost = match st.kernels.get(&spec.kernel) {
+            None => {
+                st.stats.rejected_other += 1;
+                return Err(ServeError::UnknownKernel { name: spec.kernel });
+            }
+            Some(k) => k
+                .image
+                .cert
+                .as_ref()
+                .and_then(|c| c.cycle_bound(spec.payload.len())),
+        };
         // Tenant-scoped checks. The entry is created on first contact so
         // quota state persists across the tenant's submissions.
         let default_quota = cfg.default_quota.clone();
@@ -392,7 +425,15 @@ impl ServeHandle {
             return Err(ServeError::TenantQuarantined { strikes });
         }
         if let Some(budget) = tenant.quota.cycle_budget {
-            if tenant.cycles_used >= budget {
+            // A certified kernel is metered by forecast: the job is
+            // refused when its certified worst case cannot fit the
+            // remaining budget. Uncertified kernels keep overdraft
+            // semantics (admit while any budget remains, charge
+            // actuals), since there is no sound forecast to reserve.
+            let forecast = tenant
+                .cycles_used
+                .saturating_add(certified_cost.unwrap_or(0));
+            if tenant.cycles_used >= budget || forecast > budget {
                 let used = tenant.cycles_used;
                 st.stats.rejected_quota += 1;
                 return Err(ServeError::QuotaExhausted { used, budget });
@@ -719,7 +760,17 @@ fn run_wave(shared: &Shared, kernel: &KernelSpec, jobs: Vec<PendingJob>) {
             }
             _ => None,
         };
-        wave_cap = wave_cap.max(clamp.unwrap_or(base_cap));
+        // A complete resource certificate bounds every clean run of
+        // this kernel, so the certified cost also caps the job's share
+        // of the wave: cutting off at the bound can never cancel a
+        // legitimate run, only a soundness violation (DESIGN.md §9.1).
+        let cert_cap = kernel
+            .image
+            .cert
+            .as_ref()
+            .and_then(|c| c.cycle_bound(job.payload.len()))
+            .map_or(base_cap, |b| b.clamp(1, base_cap));
+        wave_cap = wave_cap.max(clamp.unwrap_or(base_cap).min(cert_cap));
         clamps.push(clamp);
         if chaos.is_none() {
             chaos = job.chaos;

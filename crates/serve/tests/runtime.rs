@@ -105,11 +105,17 @@ fn bounded_queues_shed_with_typed_overload() {
 fn cycle_quota_exhausts_and_refills() {
     let rt = ServeRuntime::start_with_builtin_kernels(small_config()).unwrap();
     let handle = rt.handle();
+    // The csv kernel is certified, so admission reserves the certified
+    // worst case up front: a budget covering exactly one job admits the
+    // first submission and refuses the second by forecast.
+    let cert = handle.kernel_cert("csv").expect("csv kernel is certified");
+    let bound = cert.cycle_bound(4).expect("complete certificate");
+    let budget = bound + 1;
     handle.set_quota(
         "metered",
         TenantQuota {
             max_queued: 8,
-            cycle_budget: Some(1), // one job's cycles exhaust it
+            cycle_budget: Some(budget),
         },
     );
     handle
@@ -118,10 +124,12 @@ fn cycle_quota_exhausts_and_refills() {
         .wait()
         .unwrap();
     let used = match handle.submit(csv_job("metered", b"c,d\n")) {
-        Err(ServeError::QuotaExhausted { used, budget: 1 }) => used,
+        Err(ServeError::QuotaExhausted { used, budget: b }) if b == budget => used,
         other => panic!("expected QuotaExhausted, got {other:?}"),
     };
+    // Actual usage is charged, and it respects the certified bound.
     assert!(used >= 1);
+    assert!(used <= bound);
     // An operator refill restores service.
     handle.refill_quota("metered", used);
     handle

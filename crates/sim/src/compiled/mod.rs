@@ -252,6 +252,7 @@ fn cache_block(
     t: &TransitionWord,
     abase: u32,
     ascale: u8,
+    try_fuse: bool,
 ) -> Option<CachedBlock> {
     let flat = t.action_addr(abase, ascale)?;
     let table = decoded.actions();
@@ -275,7 +276,11 @@ fn cache_block(
                     Opcode::StoreW | Opcode::StoreB | Opcode::BumpW | Opcode::LoopCpy
                 )
             });
-            let fused = EmitSpan::recognize(&block);
+            let fused = if try_fuse {
+                EmitSpan::recognize(&block)
+            } else {
+                None
+            };
             return Some(CachedBlock {
                 flat,
                 acts: block.into_boxed_slice(),
@@ -315,6 +320,11 @@ impl CompiledProgram {
         let span = image.words.len().min(decoded.transitions().len());
         let wbase = image.init.wbase;
         let (abase, ascale) = (image.init.abase, image.init.ascale);
+        // The verifier's certificate counts reachable blocks matching
+        // the EmitSpan shape; when it proves there are none, skip the
+        // per-block recognizer entirely — its preconditions were
+        // already discharged statically.
+        let try_fuse = image.cert.as_ref().is_none_or(|c| c.fused_span_blocks > 0);
 
         // Pass 1: discover the reachable (base, kind) state set.
         let mut index: HashMap<(u32, u8), u32> = HashMap::new();
@@ -418,7 +428,7 @@ impl CompiledProgram {
                                     TAG_HIT | next
                                 } else {
                                     let g = general.len() as u32;
-                                    let block = cache_block(decoded, &t, abase, ascale);
+                                    let block = cache_block(decoded, &t, abase, ascale, try_fuse);
                                     general.push(GeneralEntry {
                                         t,
                                         miss: false,
@@ -435,7 +445,7 @@ impl CompiledProgram {
                                     TAG_MISS | next
                                 } else {
                                     let g = general.len() as u32;
-                                    let block = cache_block(decoded, &t, abase, ascale);
+                                    let block = cache_block(decoded, &t, abase, ascale, try_fuse);
                                     general.push(GeneralEntry {
                                         t,
                                         miss: true,
@@ -662,6 +672,77 @@ mod tests {
         let b = cp.dense[entry][b'b' as usize];
         assert_eq!(b & !PAYLOAD_MASK, TAG_MISS);
         assert_eq!(b & PAYLOAD_MASK, entry as u32);
+    }
+
+    /// A scanner whose delimiter arc carries the `EmitSpan` idiom
+    /// (`InIdx; Sub; LoopIn; EmitB; InIdx`) — the csv translator's hot
+    /// block, reduced to one state.
+    fn span_scanner() -> udp_asm::ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        let (r_start, r_len, r_tmp) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.labeled_arc(
+            s,
+            b',' as u16,
+            Target::State(s),
+            vec![
+                Action::imm(Opcode::InIdx, r_tmp, Reg::R0, 0u16.wrapping_sub(1)),
+                Action::reg(Opcode::Sub, r_len, r_tmp, r_start),
+                Action::reg(Opcode::LoopIn, Reg::R0, r_start, r_len),
+                Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(b'|')),
+                Action::imm(Opcode::InIdx, r_start, Reg::R0, 0),
+            ],
+        );
+        b.fallback_arc(s, Target::State(s), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    /// The verifier's `fused_span_blocks` count and the compiler's own
+    /// recognizer must agree: every block the compiler fuses is one the
+    /// certificate counted (the cert mirrors `EmitSpan::recognize`), and
+    /// a certified count of zero disables recognition without losing
+    /// any fusion.
+    #[test]
+    fn cert_span_count_is_consistent_with_fusion() {
+        let image = span_scanner();
+        let report = udp_verify::verify_image(&image, &udp_verify::VerifyOptions::default());
+        let cert = report.cert.expect("cost pass must run on a clean image");
+        assert!(cert.fused_span_blocks > 0, "{}", cert.summary());
+
+        let decoded = image.predecode();
+        let count_fused = |cp: &CompiledProgram| {
+            cp.general
+                .iter()
+                .filter_map(|g| g.block.as_ref())
+                .filter(|b| b.fused.is_some())
+                .map(|b| b.flat)
+                .collect::<std::collections::BTreeSet<u32>>()
+                .len() as u32
+        };
+        let cp = CompiledProgram::compile(&image, &decoded).expect("must specialize");
+        let fused = count_fused(&cp);
+        assert!(fused > 0, "span idiom must fuse");
+        assert!(
+            fused <= cert.fused_span_blocks,
+            "compiler fused {fused} blocks but cert counted {}",
+            cert.fused_span_blocks
+        );
+
+        // A cert claiming zero span blocks turns the recognizer off.
+        let mut gated = image.clone();
+        gated.cert = Some(udp_asm::ResourceCert {
+            fused_span_blocks: 0,
+            ..cert.clone()
+        });
+        let cp0 = CompiledProgram::compile(&gated, &decoded).expect("must specialize");
+        assert_eq!(count_fused(&cp0), 0);
+
+        // And the true cert attached leaves fusion identical.
+        let mut certified = image.clone();
+        certified.cert = Some(cert);
+        let cp1 = CompiledProgram::compile(&certified, &decoded).expect("must specialize");
+        assert_eq!(count_fused(&cp1), fused);
     }
 
     /// Direct exec-level differential: `run_compiled` vs `Lane::run` on

@@ -309,10 +309,20 @@ impl Udp {
             let vopts = udp_verify::VerifyOptions::with_banks(opts.banks_per_lane);
             let report = udp_verify::verify_image(image, &vopts);
             if !report.is_clean() {
-                return Err(SimError::Verify(report));
+                return Err(SimError::Verify(Box::new(report)));
             }
         }
         let lanes_cap = (NUM_BANKS / opts.banks_per_lane).max(1);
+        // Images carrying a complete verifier resource certificate run
+        // under a budget derived from the certified worst case instead
+        // of the generic constants. Host register staging invalidates
+        // the certificate's reset-state premise, so it disables the
+        // derivation; both execution paths below share the one config
+        // so sequential and pooled runs stay bit-identical.
+        let lane_cfg = match &image.cert {
+            Some(cert) if staging.regs.is_empty() => opts.lane.with_cert(cert),
+            _ => opts.lane.clone(),
+        };
         let decoded = Arc::new(image.predecode());
         // Per-bank counts only feed the conflict model, which local
         // (disjoint-window) addressing never consults.
@@ -339,7 +349,7 @@ impl Udp {
                 image,
                 decoded: &decoded,
                 staging,
-                cfg: &opts.lane,
+                cfg: &lane_cfg,
                 window_words,
                 lanes_cap,
                 code_clean: staging_clears_code(staging, image.stats.span_words),
@@ -416,7 +426,7 @@ impl Udp {
                 let mut out = OutputSink::with_capacity(input.len());
                 let before = self.mem.refs();
                 let bank_before = *self.mem.bank_refs();
-                let mut rep = lane.run(&mut self.mem, &mut stream, &mut out, &opts.lane);
+                let mut rep = lane.run(&mut self.mem, &mut stream, &mut out, &lane_cfg);
                 rep.mem_refs -= before; // per-lane delta
                 for (b, (after, before)) in self
                     .mem

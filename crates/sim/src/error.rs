@@ -154,7 +154,9 @@ pub enum SimError {
     },
     /// Pre-flight static verification (requested via
     /// [`crate::UdpRunOptions::verify`]) found errors in the image.
-    Verify(udp_verify::Report),
+    /// Boxed: the report carries the resource certificate, which would
+    /// otherwise dominate every `Result<_, SimError>`.
+    Verify(Box<udp_verify::Report>),
 }
 
 impl fmt::Display for SimError {

@@ -136,11 +136,15 @@ pub struct LaneConfig {
     /// Proportional cycle budget: a chunk of `n` input bytes may spend
     /// at most `cycles_per_byte * n` cycles (floored by
     /// [`LaneConfig::min_cycle_budget`], ceilinged by
-    /// [`LaneConfig::max_cycles`]). The default of 4096 is orders of
-    /// magnitude above any real kernel (the decompressors peak around
-    /// tens of cycles per input byte), so legitimate programs never
-    /// feel it while a runaway loop on a small chunk terminates
-    /// proportionally instead of burning the absolute cap. `0`
+    /// [`LaneConfig::max_cycles`]). The constant default of 4096 is
+    /// orders of magnitude above any real kernel (the decompressors
+    /// peak around tens of cycles per input byte), so legitimate
+    /// programs never feel it while a runaway loop on a small chunk
+    /// terminates proportionally instead of burning the absolute cap.
+    /// When the image carries a verifier resource certificate
+    /// (`udp_asm::ResourceCert`), [`LaneConfig::with_cert`] replaces
+    /// the constant with a bound derived from the certified worst-case
+    /// cycles per byte — usually thousands of times tighter. `0`
     /// disables the proportional budget entirely.
     pub cycles_per_byte: u64,
     /// Floor of the proportional budget, so near-empty chunks still get
@@ -185,6 +189,14 @@ impl LaneConfig {
     /// The effective cycle budget for a chunk of `input_bytes`:
     /// `min(max_cycles, max(min_cycle_budget, cycles_per_byte * n))`,
     /// or just `max_cycles` when the proportional budget is disabled.
+    ///
+    /// `cycles_per_byte` and `min_cycle_budget` are *not* necessarily
+    /// the constant defaults: a caller holding a certified image
+    /// ([`LaneConfig::with_cert`]) derives both from the verifier's
+    /// worst-case bounds, and the three-way clamp order matters — the
+    /// floor is applied to the proportional term *before* the
+    /// `max_cycles` ceiling, so a tiny chunk still cannot exceed the
+    /// absolute cap even when a cert inflates the floor.
     pub fn budget_for(&self, input_bytes: usize) -> u64 {
         if self.cycles_per_byte == 0 {
             return self.max_cycles;
@@ -194,6 +206,41 @@ impl LaneConfig {
             .saturating_mul(input_bytes as u64)
             .max(self.min_cycle_budget);
         self.max_cycles.min(proportional)
+    }
+
+    /// Derives a tightened budget from a complete verifier resource
+    /// certificate: the proportional slope becomes twice the certified
+    /// worst-case cycles per byte (the factor-2 headroom keeps a sound
+    /// but tight certificate from ever stopping a legitimate run), and
+    /// the floor grows to cover twice the certificate's additive base.
+    /// `max_cycles` is left untouched — it stays the absolute safety
+    /// ceiling regardless of what was certified.
+    ///
+    /// Incomplete certificates (any `unbounded` blocker or a missing
+    /// cycle bound) leave the configuration unchanged: an unbounded
+    /// program gets the generic constant budget, not an infinite one.
+    ///
+    /// The certificate models a run from the architectural reset state,
+    /// so callers must not apply this to runs with staged register
+    /// presets.
+    #[must_use]
+    pub fn with_cert(&self, cert: &udp_asm::ResourceCert) -> LaneConfig {
+        let mut cfg = self.clone();
+        if !cert.is_complete() {
+            return cfg;
+        }
+        if let Some(cpb) = cert.max_cycles_per_byte {
+            // A certified ratio of 0 (pure-halting programs) still
+            // needs a positive slope so budget_for's disable sentinel
+            // (0) is never produced by accident.
+            cfg.cycles_per_byte = cpb.saturating_mul(2).max(1);
+            // Sound replacement for the generic 1 MiB floor: a clean
+            // run needs at most `base + cpb*n` cycles, and whenever the
+            // proportional term `2*cpb*n` fails to cover that (small
+            // `n`, `cpb*n < base + 1024`), this floor does.
+            cfg.min_cycle_budget = cert.base_cycles.saturating_mul(2).saturating_add(1024);
+        }
+        cfg
     }
 }
 
@@ -1543,6 +1590,68 @@ mod tests {
     }
 
     #[test]
+    fn cert_derived_budget_orders_floor_slope_and_cap() {
+        let cert = udp_asm::ResourceCert {
+            max_cycles_per_byte: Some(10),
+            base_cycles: 100,
+            min_bytes_per_cycle_progress: Some((1, 10)),
+            max_output_expansion: Some(2),
+            base_output_bytes: 8,
+            ..Default::default()
+        };
+        let cfg = LaneConfig::default().with_cert(&cert);
+        // Slope doubles the certified ratio; floor covers 2*base+slack.
+        assert_eq!(cfg.cycles_per_byte, 20);
+        assert_eq!(cfg.min_cycle_budget, 2 * 100 + 1024);
+        // Clamp order: floor applies to the proportional term first...
+        assert_eq!(cfg.budget_for(1), cfg.min_cycle_budget);
+        assert_eq!(cfg.budget_for(10_000), 200_000);
+        // ...and max_cycles still ceilings the result, even over the
+        // cert-derived floor.
+        let tight = LaneConfig {
+            max_cycles: 500,
+            ..cfg.clone()
+        };
+        assert_eq!(tight.budget_for(1), 500);
+        assert_eq!(tight.budget_for(10_000), 500);
+        // Every certified clean run fits the derived budget:
+        // base + per*n <= budget_for(n) for representative n.
+        for n in [0usize, 1, 7, 100, 4096, 1 << 20] {
+            let need = cert.base_cycles + 10 * n as u64;
+            assert!(
+                cfg.budget_for(n) >= need,
+                "budget {} < certified worst case {} at n={}",
+                cfg.budget_for(n),
+                need,
+                n
+            );
+        }
+        // A certified ratio of zero still yields a positive slope so
+        // the `cycles_per_byte == 0` disable sentinel never fires.
+        let halting = udp_asm::ResourceCert {
+            max_cycles_per_byte: Some(0),
+            max_output_expansion: Some(0),
+            ..Default::default()
+        };
+        assert_eq!(LaneConfig::default().with_cert(&halting).cycles_per_byte, 1);
+        // Incomplete certificates leave the generic constants alone.
+        let blocked = udp_asm::ResourceCert {
+            max_cycles_per_byte: None,
+            max_output_expansion: Some(1),
+            ..Default::default()
+        };
+        let unchanged = LaneConfig::default().with_cert(&blocked);
+        assert_eq!(
+            unchanged.cycles_per_byte,
+            LaneConfig::default().cycles_per_byte
+        );
+        assert_eq!(
+            unchanged.min_cycle_budget,
+            LaneConfig::default().min_cycle_budget
+        );
+    }
+
+    #[test]
     fn budget_derivation_saturates_instead_of_wrapping() {
         // `cycles_per_byte * input_bytes` on a multi-GB chunk overflows
         // u64; the product must saturate (and then clamp to max_cycles),
@@ -1636,6 +1745,7 @@ mod tests {
                     ..Default::default()
                 },
                 executable: true,
+                cert: None,
             }
         }
 

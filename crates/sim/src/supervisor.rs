@@ -296,9 +296,27 @@ pub(crate) fn supervise(
         hist.bump(&first_fault);
 
         // Rung 1: bounded deterministic replay from staging.
+        //
+        // Exception: a cycle-budget fault on an image with a complete
+        // resource certificate. The certificate proves a clean run fits
+        // the cert-derived budget, so blowing it is not a transient the
+        // replay could absorb — the chunk is deterministically over
+        // budget and every retry would burn the full budget again.
+        // Go straight to the fallback rung (unless chaos hooks are
+        // armed, where the budget fault may be the injected fault
+        // itself and replays legitimately recover).
+        let chaos_armed = p.cfg.chaos_panic_at.is_some() || p.cfg.chaos_fault_at.is_some();
+        let certified_budget_fault = matches!(first_fault, FaultKind::CycleBudget { .. })
+            && !chaos_armed
+            && p.image.cert.as_ref().is_some_and(|c| c.is_complete());
+        let retries = if certified_budget_fault {
+            0
+        } else {
+            sup.max_retries
+        };
         let mut last_fault = first_fault;
         let mut recovered = None;
-        for attempt in 1..=sup.max_retries {
+        for attempt in 1..=retries {
             backoff(sup, attempt);
             let (replay, window) = replay_chunk(&retry_params, inputs[idx]);
             if let LaneStatus::Fault(kind) = &replay.status {

@@ -308,11 +308,109 @@ pub fn reachability(
     }
     for (si, st) in graph.states.iter().enumerate() {
         if !reach.reached[si] {
-            report.warn(
+            // Dead code, not broken code: the engine never dispatches
+            // into it, so this is advisory only.
+            report.lint(
                 Check::Reachability,
                 Some(st.base),
                 format!("state {:#06x} is unreachable from the entry", st.base),
             );
+        }
+    }
+    redundant_writes(graph, reach, report);
+}
+
+/// Advisory pass riding on reachability: block-local dead stores. A
+/// register written by a pure ALU action and overwritten later in the
+/// same block — both writes unpredicated, with no intervening read of
+/// the register and no skip whose shadow could separate them — makes the
+/// first write redundant.
+fn redundant_writes(graph: &ProgramGraph, reach: &ReachInfo, report: &mut Report) {
+    use std::collections::HashMap;
+    // Ops whose only architectural effect is the register result.
+    let pure = |op: Opcode| {
+        matches!(
+            op,
+            Opcode::MovI
+                | Opcode::MovIH
+                | Opcode::AddI
+                | Opcode::SubI
+                | Opcode::AndI
+                | Opcode::OrI
+                | Opcode::XorI
+                | Opcode::ShlI
+                | Opcode::ShrI
+                | Opcode::SarI
+                | Opcode::SEqI
+                | Opcode::SLtI
+                | Opcode::SLtUI
+                | Opcode::Extract
+                | Opcode::Deposit
+                | Opcode::Mov
+                | Opcode::Add
+                | Opcode::Sub
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Mul
+                | Opcode::Min
+                | Opcode::Max
+                | Opcode::SubSat
+                | Opcode::SEq
+                | Opcode::SLt
+                | Opcode::SLtU
+                | Opcode::Clz
+                | Opcode::Popcnt
+                | Opcode::InIdx
+                | Opcode::OutIdx
+        )
+    };
+    for (ai, arc) in graph.arcs.iter().enumerate() {
+        if reach.phantom[ai] || !reach.reached[arc.state] {
+            continue;
+        }
+        let Some(block) = &arc.block else { continue };
+        // Last unpredicated pure write per register, pending a
+        // redundancy verdict.
+        let mut pending: HashMap<u8, u32> = HashMap::new();
+        let mut shadow = 0u8;
+        for &(addr, a) in &block.actions {
+            let conditional = shadow > 0;
+            shadow = shadow.saturating_sub(1);
+            if matches!(a.op, Opcode::SkipIfZ | Opcode::SkipIfNz) {
+                // Control flow: anything pending may be observed on
+                // the skipped-over path's join; start over.
+                shadow = a.imm1;
+                pending.clear();
+            }
+            for r in action_reads(&a) {
+                pending.remove(&r.index());
+            }
+            if let Some(w) = action_write(&a) {
+                if conditional {
+                    pending.remove(&w.index());
+                } else {
+                    if let Some(prev) = pending.remove(&w.index()) {
+                        report.lint(
+                            Check::Reachability,
+                            Some(prev),
+                            format!(
+                                "r{} is overwritten at {:#06x} before being read",
+                                w.index(),
+                                addr
+                            ),
+                        );
+                    }
+                    // Only pure results are dead-store candidates; an
+                    // impure write (loads, hashes, stream reads) keeps
+                    // its side effect even if the value is dropped.
+                    if pure(a.op) {
+                        pending.insert(w.index(), addr);
+                    }
+                }
+            }
         }
     }
 }

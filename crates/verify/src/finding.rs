@@ -2,9 +2,13 @@
 
 use std::fmt;
 
-/// How serious a finding is.
+/// How serious a finding is. Ordered: `Lint < Warn < Error`, so a
+/// severity threshold can be expressed as `severity >= min`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Advisory only: dead code, redundant writes, style-level facts
+    /// the engine never cares about. Never blocks execution.
+    Lint,
     /// Suspicious but possibly intentional; the image may still run.
     Warn,
     /// The image violates an invariant the engine relies on.
@@ -14,6 +18,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Lint => f.write_str("LINT"),
             Severity::Warn => f.write_str("WARN"),
             Severity::Error => f.write_str("ERROR"),
         }
@@ -35,17 +40,21 @@ pub enum Check {
     Addressing,
     /// EffCLiP layout integrity (collisions, aliasing, attach bounds).
     Layout,
+    /// Resource certification: cycle or output cost per input byte
+    /// could not be bounded by the abstract interpreter (§9.1).
+    CostUnbounded,
 }
 
 impl Check {
     /// Every check, in report order.
-    pub const ALL: [Check; 6] = [
+    pub const ALL: [Check; 7] = [
         Check::Totality,
         Check::Reachability,
         Check::Livelock,
         Check::UseBeforeDef,
         Check::Addressing,
         Check::Layout,
+        Check::CostUnbounded,
     ];
 
     /// Stable kebab-case name used in machine-readable summaries.
@@ -57,6 +66,7 @@ impl Check {
             Check::UseBeforeDef => "use-before-def",
             Check::Addressing => "addressing",
             Check::Layout => "layout",
+            Check::CostUnbounded => "cost-unbounded",
         }
     }
 }
@@ -93,11 +103,17 @@ impl fmt::Display for Finding {
     }
 }
 
-/// The verifier's output: every finding from every pass, in pass order.
+/// The verifier's output: every finding from every pass, in pass order,
+/// plus the resource certificate when the cost analysis ran and the
+/// structural checks passed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// All findings, grouped by check in [`Check::ALL`] order.
     pub findings: Vec<Finding>,
+    /// Resource certificate derived by the cost analysis (§9.1).
+    /// `None` when the analysis was skipped (check deselected, image
+    /// not executable, or structural errors made the graph unusable).
+    pub cert: Option<udp_asm::ResourceCert>,
 }
 
 impl Report {
@@ -114,6 +130,14 @@ impl Report {
         self.findings
             .iter()
             .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Number of `Lint`-severity (advisory) findings.
+    pub fn lints(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Lint)
             .count()
     }
 
@@ -149,21 +173,29 @@ impl Report {
     pub(crate) fn warn(&mut self, check: Check, addr: Option<u32>, message: String) {
         self.push(check, Severity::Warn, addr, message);
     }
+
+    pub(crate) fn lint(&mut self, check: Check, addr: Option<u32>, message: String) {
+        self.push(check, Severity::Lint, addr, message);
+    }
 }
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.findings.is_empty() {
+        if self.findings.is_empty() && self.cert.is_none() {
             return writeln!(f, "verify: clean");
         }
         for finding in &self.findings {
             writeln!(f, "{finding}")?;
         }
+        if let Some(cert) = &self.cert {
+            writeln!(f, "cert: {}", cert.summary())?;
+        }
         writeln!(
             f,
-            "verify: {} error(s), {} warning(s)",
+            "verify: {} error(s), {} warning(s), {} lint(s)",
             self.errors(),
-            self.warnings()
+            self.warnings(),
+            self.lints()
         )
     }
 }
@@ -179,13 +211,22 @@ mod tests {
         assert_eq!(format!("{r}"), "verify: clean\n");
         r.warn(Check::UseBeforeDef, Some(0x10), "r5 read before def".into());
         r.error(Check::Layout, None, "duplicate base".into());
+        r.lint(Check::Reachability, Some(0x20), "dead state".into());
         assert_eq!(r.errors(), 1);
         assert_eq!(r.warnings(), 1);
+        assert_eq!(r.lints(), 1);
         assert!(!r.is_clean());
         let text = format!("{r}");
         assert!(text.contains("WARN[use-before-def] @0x0010: r5 read before def"));
         assert!(text.contains("ERROR[layout]: duplicate base"));
-        assert!(text.contains("1 error(s), 1 warning(s)"));
+        assert!(text.contains("LINT[reachability] @0x0020: dead state"));
+        assert!(text.contains("1 error(s), 1 warning(s), 1 lint(s)"));
+    }
+
+    #[test]
+    fn severity_threshold_orders_lint_below_warn() {
+        assert!(Severity::Lint < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
     }
 
     #[test]
@@ -199,7 +240,8 @@ mod tests {
                 "livelock",
                 "use-before-def",
                 "addressing",
-                "layout"
+                "layout",
+                "cost-unbounded"
             ]
         );
     }

@@ -87,7 +87,7 @@ pub struct StateInfo {
     /// Number of words in the fallback chain (0 = empty fallback slot;
     /// 1 = plain fallback/pass; >1 = epsilon fork chain).
     pub chain_len: u32,
-    /// True when the chain hit [`CHAIN_CAP`] without a terminator.
+    /// True when the chain hit `CHAIN_CAP` without a terminator.
     pub chain_unterminated: bool,
     /// True when the state owns at least one labeled word.
     pub has_labeled: bool,

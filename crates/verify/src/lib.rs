@@ -8,7 +8,7 @@
 //! transition/action graph, the way ISA-model checkers validate an
 //! instruction stream before simulation.
 //!
-//! Six layered checks (see [`Check`]):
+//! Seven layered checks (see [`Check`]):
 //!
 //! 1. **totality** — every referenced word decodes, action blocks
 //!    terminate, word kinds agree with the disassembler's classification;
@@ -21,7 +21,13 @@
 //!    and stay silent);
 //! 5. **addressing** — lane-window legality per [`AddressingMode`];
 //! 6. **layout** — EffCLiP integrity: no word collisions, attach
-//!    references resolve inside their regions.
+//!    references resolve inside their regions;
+//! 7. **cost-unbounded** — resource certification (§9.1): an interval
+//!    abstract interpreter ([`absint`]) bounds loop trip counts and a
+//!    ratio solver derives a [`udp_asm::ResourceCert`] — worst-case
+//!    cycles and output bytes per consumed input byte. Programs whose
+//!    consume progress cannot be bounded get a structured finding
+//!    instead of a certificate field.
 //!
 //! Two invariants are tested in CI: *soundness* (every program emitted
 //! by every `udp-compilers` backend verifies with zero errors) and
@@ -50,10 +56,13 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod absint;
 pub mod checks;
+mod cost;
 pub mod finding;
 pub mod graph;
 
+pub use absint::{AbsInt, Interval};
 pub use finding::{Check, Finding, Report, Severity};
 pub use graph::ProgramGraph;
 
@@ -70,6 +79,15 @@ pub struct VerifyOptions {
     /// smallest bank count that holds the image (mirroring the bench
     /// harnesses' sizing).
     pub banks_per_lane: usize,
+    /// Which check passes to run; `None` runs all of [`Check::ALL`].
+    /// Structural passes a selected pass depends on (decode, reach)
+    /// always run — selection only controls which findings are
+    /// produced and whether the cost analysis executes.
+    pub checks: Option<Vec<Check>>,
+    /// Findings below this severity are dropped from the report after
+    /// all selected passes have run. The default keeps everything,
+    /// including advisory [`Severity::Lint`] findings.
+    pub min_severity: Severity,
 }
 
 impl Default for VerifyOptions {
@@ -77,6 +95,8 @@ impl Default for VerifyOptions {
         VerifyOptions {
             addressing: AddressingMode::Restricted,
             banks_per_lane: 0,
+            checks: None,
+            min_severity: Severity::Lint,
         }
     }
 }
@@ -86,8 +106,16 @@ impl VerifyOptions {
     /// `Udp::try_run_data_parallel` runs under.
     pub fn with_banks(banks_per_lane: usize) -> Self {
         VerifyOptions {
-            addressing: AddressingMode::Restricted,
             banks_per_lane,
+            ..VerifyOptions::default()
+        }
+    }
+
+    /// True when `check` is selected to run.
+    pub fn check_enabled(&self, check: Check) -> bool {
+        match &self.checks {
+            None => true,
+            Some(list) => list.contains(&check),
         }
     }
 }
@@ -109,12 +137,39 @@ pub fn verify_image(image: &ProgramImage, opts: &VerifyOptions) -> Report {
     }
     let graph = ProgramGraph::decode(image);
     let reach = checks::compute_reach(image, &graph);
-    checks::totality(image, &graph, &reach, &mut report);
-    checks::reachability(image, &graph, &reach, &mut report);
-    checks::livelock(&graph, &reach, &mut report);
-    checks::use_before_def(image, &graph, &reach, &mut report);
-    checks::addressing(image, &graph, &reach, opts, &mut report);
-    checks::layout(image, &graph, &reach, &mut report);
+    if opts.check_enabled(Check::Totality) {
+        checks::totality(image, &graph, &reach, &mut report);
+    }
+    if opts.check_enabled(Check::Reachability) {
+        checks::reachability(image, &graph, &reach, &mut report);
+    }
+    if opts.check_enabled(Check::Livelock) {
+        checks::livelock(&graph, &reach, &mut report);
+    }
+    if opts.check_enabled(Check::UseBeforeDef) {
+        checks::use_before_def(image, &graph, &reach, &mut report);
+    }
+    if opts.check_enabled(Check::Addressing) {
+        checks::addressing(image, &graph, &reach, opts, &mut report);
+    }
+    if opts.check_enabled(Check::Layout) {
+        checks::layout(image, &graph, &reach, &mut report);
+    }
+    // Certification only makes sense over a structurally sound graph:
+    // decode errors would make the edge model meaningless.
+    if opts.check_enabled(Check::CostUnbounded) && report.is_clean() {
+        let absint = absint::analyze(image, &graph, &reach);
+        let cert = cost::certify(image, &graph, &reach, &absint);
+        for b in &cert.unbounded {
+            report.warn(
+                Check::CostUnbounded,
+                b.addr,
+                format!("{} cost unbounded: {}", b.metric, b.reason),
+            );
+        }
+        report.cert = Some(cert);
+    }
+    report.findings.retain(|f| f.severity >= opts.min_severity);
     report
 }
 
@@ -150,6 +205,9 @@ pub fn annotate(image: &ProgramImage, report: &Report) -> String {
     for f in global {
         out.push_str(&format!("; {f}\n"));
     }
+    if let Some(cert) = &report.cert {
+        out.push_str(&format!("; cert: {}\n", cert.summary()));
+    }
     out
 }
 
@@ -158,8 +216,10 @@ pub fn annotate(image: &ProgramImage, report: &Report) -> String {
 pub enum VerifyAssembleError {
     /// Assembly itself failed.
     Asm(AsmError),
-    /// The assembled image did not pass static verification.
-    Verify(Report),
+    /// The assembled image did not pass static verification. Boxed:
+    /// the report now carries the full resource certificate, which
+    /// would otherwise dominate the `Result` size.
+    Verify(Box<Report>),
 }
 
 impl fmt::Display for VerifyAssembleError {
@@ -183,17 +243,23 @@ impl From<AsmError> for VerifyAssembleError {
 
 /// Assembles a builder and rejects the image unless it verifies with
 /// zero `Error` findings — the belt-and-braces path for new translators.
+///
+/// On success the verifier's [`udp_asm::ResourceCert`] (when the cost
+/// analysis ran) is attached to the returned image, so downstream
+/// consumers — budget sizing, admission control, the compiled backend —
+/// see certified bounds without re-running verification.
 pub fn assemble_verified(
     builder: &ProgramBuilder,
     layout: &LayoutOptions,
     opts: &VerifyOptions,
 ) -> Result<ProgramImage, VerifyAssembleError> {
-    let image = builder.assemble(layout)?;
+    let mut image = builder.assemble(layout)?;
     let report = verify_image(&image, opts);
     if report.is_clean() {
+        image.cert = report.cert;
         Ok(image)
     } else {
-        Err(VerifyAssembleError::Verify(report))
+        Err(VerifyAssembleError::Verify(Box::new(report)))
     }
 }
 

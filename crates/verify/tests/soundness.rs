@@ -247,7 +247,7 @@ fn addressing_rejects_images_larger_than_the_window() {
     let img = sample();
     let opts = VerifyOptions {
         addressing: udp_isa::AddressingMode::Local,
-        banks_per_lane: 0,
+        ..VerifyOptions::default()
     };
     let mut big = img.clone();
     big.words.resize(5000, 0);

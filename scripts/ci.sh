@@ -39,7 +39,19 @@ UDP_SIM_BACKEND=compiled cargo run --release -q -p udp-bench --bin serve_fuzz --
   --smoke --seed 0xC1
 
 echo "== verifier soundness gate (DESIGN.md §9) =="
-cargo run --release -q -p udp-bench --bin verify
+# Gates on zero errors across the corpus and on every program either
+# earning a complete resource certificate or carrying structured
+# cost-unbounded blockers; refreshes results/BENCH_verify.json.
+cargo run --release -q -p udp-bench --bin verify -- --json
+
+echo "== certification soundness gate (DESIGN.md §9.1) =="
+# Certified bounds must hold empirically: every certified corpus
+# program, generic inputs, sequential + pooled + compiled paths, plus
+# the bit-flip mutation sweep and the random-program property.
+cargo test --release -q -p udp-bench --test cert_soundness
+
+echo "== rustdoc gate: udp-verify (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p udp-verify
 
 echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
 # Gates on zero whole-run aborts, the static-reject floor, and a 100%
