@@ -134,6 +134,42 @@ fn certified_bounds_hold_on_generic_inputs_across_backends() {
     }
 }
 
+/// The bit-burst superop (DESIGN.md §2.6.4) defers every counter to a
+/// bulk sync at burst exit; the certified claim is pointwise per lane.
+/// This test pins that the kernels whose certificates advertise fused
+/// bit-emit blocks — exactly the ones the compiled backend runs
+/// through the bit-burst loop — stay inside their bounds on workload-
+/// realistic inputs (compressible text for the encoder, an actually
+/// encoded bit stream for the refill decoder), not just generic noise.
+#[test]
+fn bit_burst_fused_kernels_stay_in_certified_bounds() {
+    let images = certified_images();
+    let text = udp_workloads::canterbury_like(udp_workloads::Entropy::Medium, 32 * 1024, 3);
+    let tree = udp_codecs::HuffmanTree::from_data(&text);
+    let (bits, nbits) = tree.encode(&text);
+    let mut exercised = 0usize;
+    for (name, img) in &images {
+        let cert = img.cert.as_ref().expect("certified image");
+        if cert.fused_bitemit_blocks == 0 {
+            continue;
+        }
+        exercised += 1;
+        let mut inputs = generic_inputs();
+        inputs.push(text.clone());
+        if name.contains("decode") {
+            inputs.push(udp_compilers::huffman::pad_for_stride(&bits, nbits, 8));
+        }
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        assert_bounds_hold(name, img, &refs);
+    }
+    // Encoder plus the three bounded decoder designs: if this shrinks,
+    // either certification or the bit-emit count regressed.
+    assert!(
+        exercised >= 4,
+        "only {exercised} certified kernels advertise fused bit-emit blocks"
+    );
+}
+
 #[test]
 fn mutated_images_fail_certification_or_stay_in_bounds() {
     let inputs = generic_inputs();

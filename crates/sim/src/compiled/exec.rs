@@ -8,8 +8,8 @@
 //! report is bit-identical either way.
 
 use super::{
-    CachedBlock, CompiledProgram, PassPlan, EXIT_NO_TRANSITION, PAYLOAD_MASK, TAG_EXIT,
-    TAG_GENERAL, TAG_MISS,
+    CachedBlock, CompiledProgram, PassPlan, BITEMIT_NONE, EXIT_NO_TRANSITION, PAYLOAD_MASK,
+    TAG_EXIT, TAG_GENERAL, TAG_MISS,
 };
 use crate::error::FaultKind;
 use crate::lane::{cap_status, CodeTables, Lane, LaneConfig, LaneReport, LaneStatus};
@@ -83,6 +83,33 @@ struct Ctx<'a, 'data> {
     stream: &'a mut BitStream<'data>,
     out: &'a mut OutputSink,
     tables: CodeTables<'a>,
+}
+
+/// How the bit-burst loop ended.
+enum BitExit {
+    /// The folded cycle cap tripped before a consume dispatch.
+    Cap,
+    /// The cap tripped between the consume dispatch and the pass step
+    /// of the decoder shape: the lane parks *at* the pass state (its
+    /// flat base carried in the payload), exactly where the
+    /// interpreter's per-dispatch cap check would leave it.
+    MidCap(u32),
+    /// The pass step's refill putback would underflow the stream
+    /// (decoder shape): typed fault, lane parked at the pass state.
+    Underflow {
+        /// Flat base of the intermediate pass state.
+        mid: u32,
+        /// The refill bit count that did not fit.
+        refill: u8,
+    },
+    /// Fewer than `sym_bits` bits left.
+    Eof,
+    /// This dispatch value has no fused entry: resolve it through the
+    /// dense table (cap was already checked for this dispatch).
+    NotFused,
+    /// The successor state has no bit-table row at all: hand the state
+    /// back to the outer machinery.
+    Unfused,
 }
 
 /// How the burst loop ended.
@@ -181,10 +208,14 @@ impl Ctx<'_, '_> {
                 || self.stream.bit_index() & 7 != 0
                 || !self.cp.states[st].burstable
             {
-                // Sub-byte or unaligned symbols, or a state with no trivial
-                // arcs at all (action-per-symbol kernels), where burst
-                // setup could never pay for itself: single-step (cap was
-                // checked by the caller, matching the interpreter's order).
+                // The byte-burst below cannot run. The bit-burst loop
+                // handles any alignment and any 1–8-bit symbol width,
+                // as long as the state has a fused dispatch row.
+                if self.cp.bit_tables[st].is_some() {
+                    return self.bit_burst(st, cap, budget, chaos_panic, chaos_fault);
+                }
+                // Otherwise single-step (cap was checked by the caller,
+                // matching the interpreter's order).
                 let Some(s) = self.stream.read(self.lane.sym_bits) else {
                     self.lane.status = LaneStatus::InputExhausted;
                     return Next::Stop;
@@ -407,6 +438,176 @@ impl Ctx<'_, '_> {
             self.lane.regs[13] = u32::from(data[pos - 1]);
             self.stream.skip_bytes(consumed as u32);
             self.lane.base = self.cp.states[cur].base;
+        }
+    }
+
+    /// The "bit-burst" inner loop (DESIGN.md §2.6.4): runs fused
+    /// action-per-symbol dispatches — any alignment, any 1–8-bit
+    /// symbol — with the stream bit-cursor, the cycle count, and the
+    /// output bit-accumulator all in locals, synced once at exit.
+    /// Symbols come straight off the input slice via
+    /// [`crate::stream::extract_bits`]; constant emit codes append to a
+    /// local accumulator drained a whole word at a time. Every
+    /// per-symbol charge replicates the interpreter exactly (see
+    /// [`super::BitEmit`]), including the folded-cap re-check between
+    /// the consume dispatch and the pass step of the decoder shape.
+    fn bit_burst(
+        &mut self,
+        st: usize,
+        cap: u64,
+        budget: u64,
+        chaos_panic: u64,
+        chaos_fault: u64,
+    ) -> Next {
+        let cp = self.cp;
+        let sym_bits = self.lane.sym_bits;
+        let wsym = u64::from(sym_bits);
+        let data = self.stream.data();
+        let len_bits = self.stream.len_bits();
+        let mut bitpos = self.stream.bit_index();
+        let mut cur = st;
+        // Deferred bookkeeping, synced in bulk at every exit: cycles
+        // run live (the cap compares against them), the rest
+        // accumulate. The R13 symbol latch is deferred as
+        // (last_sym, syms) like the byte-burst's.
+        let mut cyc = self.lane.cycles;
+        let mut disp = 0u64;
+        let mut misses = 0u64;
+        let mut reads = 0u64;
+        let mut acts = 0u64;
+        let mut last_sym = 0u32;
+        let mut syms = 0u64;
+        // The output's sub-byte pending bits move into a local 64-bit
+        // accumulator; worst case per symbol is 7 pending + 32 code +
+        // 7 pad + 8 dynamic = 54 bits, drained back under 8 after.
+        let (mut acc, mut nacc) = self.out.take_pending();
+        let exit = loop {
+            let Some(tbl) = cp.bit_tables[cur].as_deref() else {
+                break BitExit::Unfused;
+            };
+            // Exact interpreter ordering per dispatch: cap check, then
+            // the symbol read, then the table entry.
+            if cyc >= cap {
+                break BitExit::Cap;
+            }
+            if len_bits - bitpos < wsym {
+                break BitExit::Eof;
+            }
+            let s = crate::stream::extract_bits(data, bitpos, sym_bits);
+            let ei = tbl[s as usize];
+            if ei == BITEMIT_NONE {
+                break BitExit::NotFused;
+            }
+            let e = &cp.bitemits[usize::from(ei)];
+            let miss = u64::from(e.miss);
+            bitpos += wsym;
+            cyc += 1 + miss;
+            disp += 1;
+            misses += miss;
+            reads += 1 + miss;
+            last_sym = s;
+            syms += 1;
+            if let Some(mid) = e.pass_mid {
+                // Decoder shape: the interpreter re-checks the folded
+                // cap before the pass step, with the lane already moved
+                // to the pass state.
+                if cyc >= cap {
+                    break BitExit::MidCap(mid);
+                }
+                cyc += 1;
+                disp += 1;
+                reads += 1;
+                if u64::from(e.refill) > bitpos {
+                    break BitExit::Underflow {
+                        mid,
+                        refill: e.refill,
+                    };
+                }
+                bitpos -= u64::from(e.refill);
+            }
+            for &(r, v) in &e.writes[..usize::from(e.nwrites)] {
+                self.lane.regs[usize::from(r)] = v;
+            }
+            let na = u64::from(e.nacts);
+            cyc += na;
+            reads += na;
+            acts += na;
+            if e.len > 0 {
+                acc = (acc << e.len) | u64::from(e.code);
+                nacc += u32::from(e.len);
+            }
+            if let Some((src, imm)) = e.dyn_byte {
+                // `EmitB` semantics: zero-pad the pending bits to a
+                // byte boundary, then append the dynamic byte.
+                let b = self.lane.regs[usize::from(src)].wrapping_add(u32::from(imm)) as u8;
+                let pad = (8 - (nacc & 7)) & 7;
+                acc <<= pad;
+                nacc += pad;
+                acc = (acc << 8) | u64::from(b);
+                nacc += 8;
+            }
+            if nacc >= 8 {
+                let rem = nacc & 7;
+                self.out
+                    .extend_be_bytes(acc >> rem, ((nacc - rem) >> 3) as usize);
+                acc &= (1u64 << rem) - 1;
+                nacc = rem;
+            }
+            cur = e.next as usize;
+        };
+        // Sync: same totals the per-dispatch bookkeeping would have
+        // reached, the stream cursor at the deferred bit position, the
+        // lane's base/kind at the state the burst stands at, and the
+        // sub-byte remainder handed back to the sink.
+        self.lane.cycles = cyc;
+        self.lane.dispatches += disp;
+        self.lane.fallback_misses += misses;
+        self.lane.actions_run += acts;
+        self.mem.add_reads(reads);
+        if syms > 0 {
+            self.lane.regs[13] = last_sym;
+        }
+        self.stream.set_bit_index(bitpos);
+        self.lane.base = cp.states[cur].base;
+        self.lane.kind = cp.states[cur].kind;
+        self.out.put_pending(acc, nacc);
+        match exit {
+            BitExit::Cap => {
+                self.lane.status = cap_status(cyc, budget, chaos_panic, chaos_fault);
+                Next::Stop
+            }
+            BitExit::MidCap(mid) => {
+                self.lane.base = mid;
+                self.lane.kind = ExecKind::Pass;
+                self.lane.status = cap_status(cyc, budget, chaos_panic, chaos_fault);
+                Next::Stop
+            }
+            BitExit::Underflow { mid, refill } => {
+                self.lane.base = mid;
+                self.lane.kind = ExecKind::Pass;
+                self.lane.status = LaneStatus::Fault(FaultKind::StreamUnderflow {
+                    requested_bits: refill,
+                    consumed_bits: bitpos,
+                });
+                Next::Stop
+            }
+            BitExit::Eof => {
+                self.lane.status = LaneStatus::InputExhausted;
+                Next::Stop
+            }
+            BitExit::Unfused => Next::State(cur),
+            BitExit::NotFused => {
+                // Cap was checked for this dispatch inside the loop;
+                // consume the symbol the slow way (the stream cursor
+                // sits exactly before it) and resolve it through the
+                // dense table, which also handles deopt putback.
+                let Some(s) = self.stream.read(sym_bits) else {
+                    self.lane.status = LaneStatus::InputExhausted;
+                    return Next::Stop;
+                };
+                let e = self.cp.dense[cur][s as usize];
+                self.entry(e, s, true)
+            }
         }
     }
 

@@ -91,6 +91,173 @@ pub(crate) const EXIT_NO_TRANSITION: u32 = TAG_EXIT | 1;
 /// back to the interpreter outright.
 const MAX_STATES: usize = 4096;
 
+/// Why [`CompiledProgram::compile`] refused to specialize a program.
+/// The stable reason strings surface in `hostperf --json` as the
+/// `compiled_declined` column, so the bench trajectory records *why* a
+/// kernel ran at interpreter parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Decline {
+    /// The image is not marked executable (failed verification).
+    NotExecutable,
+    /// Symbol width beyond the 8-bit dense-table coverage.
+    WideSymbols,
+    /// The reachable state set exceeded [`MAX_STATES`].
+    StateExplosion,
+    /// The general side table overflowed the packed payload bits.
+    TableOverflow,
+    /// No state has a trivial arc the byte-burst loop could chew or a
+    /// fusable action-per-symbol arc for the bit-burst loop: nothing
+    /// to specialize, the interpreter is already optimal.
+    NoFusableArcs,
+}
+
+impl Decline {
+    /// Stable snake-case reason string.
+    pub(crate) fn reason(self) -> &'static str {
+        match self {
+            Decline::NotExecutable => "not-executable",
+            Decline::WideSymbols => "symbol-width-exceeds-dense-tables",
+            Decline::StateExplosion => "state-count-exceeds-cap",
+            Decline::TableOverflow => "dispatch-table-overflow",
+            Decline::NoFusableArcs => "no-fusable-arcs",
+        }
+    }
+}
+
+/// Why the tier-2 compiled backend declines to specialize `image`, as
+/// a stable reason string — `None` when it compiles. Diagnostic-only
+/// (re-runs the compile pipeline; the engine keeps its own compiled
+/// program).
+pub(crate) fn decline_reason(image: &ProgramImage) -> Option<&'static str> {
+    let decoded = image.predecode();
+    CompiledProgram::compile(image, &decoded)
+        .err()
+        .map(Decline::reason)
+}
+
+/// Sentinel bit-table entry: this dispatch value is not fused —
+/// leave the bit-burst loop and resolve it through the dense table.
+pub(crate) const BITEMIT_NONE: u16 = u16::MAX;
+
+/// One fused action-per-symbol dispatch — a bit-table entry the
+/// "bit-burst" inner loop (DESIGN.md §2.6.4) runs without leaving its
+/// locals. Two recognized shapes, plus the trivial hit/miss arcs so a
+/// mixed state keeps bursting:
+///
+/// * **encoder** (`recognize_bitemit`): a consume arc whose block is
+///   ≤ 2 constant `MovI rd; EmitBits rd` pairs, optionally ending in
+///   one `EmitB` — folded at compile time to ≤ 32 constant output bits
+///   plus an optional dynamic byte;
+/// * **decoder**: an action-less consume arc into a pass state whose
+///   plan putback-refills and takes a single-`EmitB` block back to a
+///   consuming state (the Huffman `SsRef` leaf→emit→root walk).
+///
+/// Per-symbol charges replicate the interpreter exactly, including the
+/// folded-cap re-check *between* the consume dispatch and the pass
+/// step of the decoder shape (`pass_mid`).
+#[derive(Debug, Clone)]
+pub(crate) struct BitEmit {
+    /// Constant output bits (MSB-first), folded from the block's
+    /// `MovI`/`EmitBits` pairs; `len == 0` when none.
+    pub(crate) code: u32,
+    pub(crate) len: u8,
+    /// This entry sits behind a signature miss: one surcharge cycle
+    /// and read, one fallback-miss count.
+    pub(crate) miss: bool,
+    /// Trailing dynamic `EmitB src, imm`: align the output to a byte
+    /// (zero-padded), then append `regs[src] + imm`. The recognizer
+    /// excludes `R13`/`R15` sources so the burst's deferred symbol
+    /// latch and stream cursor stay invisible.
+    pub(crate) dyn_byte: Option<(u8, u16)>,
+    /// Decoder shape: flat base of the intermediate pass state. The
+    /// interpreter re-checks the folded cap between the consume
+    /// dispatch and the pass step, so the burst must too — and on a
+    /// trip, park the lane *at* the pass state.
+    pub(crate) pass_mid: Option<u32>,
+    /// Bits put back by the pass plan's refill signature (decoder
+    /// shape; 0 otherwise).
+    pub(crate) refill: u8,
+    /// Final register writes of the fused block (≤ 2), applied per
+    /// symbol. `R13`/`R15` excluded by the recognizer.
+    pub(crate) writes: [(u8, u32); 2],
+    pub(crate) nwrites: u8,
+    /// Actions in the fused block: each costs 1 cycle, 1 counted code
+    /// read, 1 `actions_run`.
+    pub(crate) nacts: u8,
+    /// Compiled successor — statically a consuming state.
+    pub(crate) next: u32,
+}
+
+/// What `recognize_bitemit` extracts from a fusable block.
+struct BitEmitShape {
+    code: u32,
+    len: u8,
+    writes: [(u8, u32); 2],
+    nwrites: u8,
+    dyn_byte: Option<(u8, u16)>,
+}
+
+/// Recognizes the action-per-symbol emit idiom: a sequence of ≤ 2
+/// `MovI rd, imm; EmitBits rd, w` constant pairs (folded into one
+/// ≤ 32-bit code), optionally ending in a single `EmitB src, imm`
+/// (kept dynamic — it reads `src` live). Any register the block
+/// touches must be neither `R13` (the burst defers the symbol latch)
+/// nor `R15` (reads the deferred stream cursor). Mirrored by the
+/// verifier's `fused_bitemit_blocks` certification count.
+fn recognize_bitemit(acts: &[Action]) -> Option<BitEmitShape> {
+    let mut code: u64 = 0;
+    let mut len: u32 = 0;
+    let mut writes: Vec<(u8, u32)> = Vec::new();
+    let mut i = 0;
+    let banned = |r: udp_isa::Reg| r == udp_isa::Reg::R13 || r == udp_isa::Reg::R15;
+    while i < acts.len() {
+        let a = &acts[i];
+        if a.op == Opcode::MovI && i + 1 < acts.len() {
+            let e = &acts[i + 1];
+            if e.op != Opcode::EmitBits || e.src != a.dst || banned(a.dst) {
+                return None;
+            }
+            let w = u32::from(e.imm1.clamp(1, 16));
+            code = (code << w) | u64::from(u32::from(a.imm) & ((1u32 << w) - 1));
+            len += w;
+            writes.retain(|&(r, _)| r != a.dst.index());
+            writes.push((a.dst.index(), u32::from(a.imm)));
+            if writes.len() > 2 || len > 32 {
+                return None;
+            }
+            i += 2;
+        } else if a.op == Opcode::EmitB && i + 1 == acts.len() && !banned(a.src) {
+            let mut ws = [(0u8, 0u32); 2];
+            for (slot, &w) in ws.iter_mut().zip(&writes) {
+                *slot = w;
+            }
+            return Some(BitEmitShape {
+                code: code as u32,
+                len: len as u8,
+                writes: ws,
+                nwrites: writes.len() as u8,
+                dyn_byte: Some((a.src.index(), a.imm)),
+            });
+        } else {
+            return None;
+        }
+    }
+    if len == 0 {
+        return None;
+    }
+    let mut ws = [(0u8, 0u32); 2];
+    for (slot, &w) in ws.iter_mut().zip(&writes) {
+        *slot = w;
+    }
+    Some(BitEmitShape {
+        code: code as u32,
+        len: len as u8,
+        writes: ws,
+        nwrites: writes.len() as u8,
+        dyn_byte: None,
+    })
+}
+
 /// A non-trivial taken transition: enough to re-enter the interpreter's
 /// `take()` with exactly the bookkeeping the dispatch would have done.
 #[derive(Debug, Clone)]
@@ -207,6 +374,12 @@ pub(crate) struct CompiledProgram {
     /// none).
     pub(crate) dense: Vec<[u32; 256]>,
     pub(crate) general: Vec<GeneralEntry>,
+    /// Per-state bit-burst dispatch rows (parallel to `states`):
+    /// indexes into `bitemits`, [`BITEMIT_NONE`] for unfused values.
+    /// `None` for states the bit-burst loop never enters (non-consume
+    /// kinds, or rows with nothing it could run).
+    pub(crate) bit_tables: Vec<Option<Box<[u16; 256]>>>,
+    pub(crate) bitemits: Vec<BitEmit>,
     /// `(flat base, kind code)` → state index, for re-resolving the
     /// current state after an action block moved the lane somewhere a
     /// precomputed successor hint does not cover.
@@ -306,16 +479,101 @@ fn inline_fused(ge: &GeneralEntry, states: &[StateInfo]) -> Option<InlineFused> 
     (si.kind == ExecKind::Consume && si.burstable).then(|| InlineFused { f: f.clone(), next })
 }
 
+/// Tries to fuse one general dispatch into a [`BitEmit`]: the encoder
+/// shape (the arc's own cached block matches `recognize_bitemit` and
+/// lands in a consuming state) or the decoder shape (an action-less
+/// arc into a pass state whose precompiled plan refill-putbacks and
+/// takes a single-`EmitB` block back to a consuming state). `None`
+/// leaves the dispatch to the dense-table machinery.
+fn bitemit_entry(
+    ge: &GeneralEntry,
+    states: &[StateInfo],
+    decoded: &DecodedProgram,
+    abase: u32,
+    ascale: u8,
+) -> Option<BitEmit> {
+    let next_consume = |i: u32| {
+        usize::try_from(i)
+            .ok()
+            .filter(|&i| i < states.len() && states[i].kind == ExecKind::Consume)
+    };
+    if let Some(cb) = &ge.block {
+        // Encoder shape. A span-fused block has its own inline path.
+        if cb.fused.is_some() {
+            return None;
+        }
+        let next = next_consume(ge.next)?;
+        let sh = recognize_bitemit(&cb.acts)?;
+        return Some(BitEmit {
+            code: sh.code,
+            len: sh.len,
+            miss: ge.miss,
+            dyn_byte: sh.dyn_byte,
+            pass_mid: None,
+            refill: 0,
+            writes: sh.writes,
+            nwrites: sh.nwrites,
+            nacts: cb.acts.len() as u8,
+            next: next as u32,
+        });
+    }
+    // Decoder shape: hop through a pass state.
+    if ge.t.attach() != 0 || ge.t.kind() != ExecKind::Pass {
+        return None;
+    }
+    let pi = usize::try_from(ge.next)
+        .ok()
+        .filter(|&i| i < states.len())?;
+    let ps = &states[pi];
+    if ps.kind != ExecKind::Pass {
+        return None;
+    }
+    let Some(PassPlan::Take {
+        t: t2,
+        refill,
+        next: n2,
+    }) = &ps.pass
+    else {
+        return None;
+    };
+    if t2.kind() != ExecKind::Consume {
+        return None;
+    }
+    let next = next_consume(*n2)?;
+    let cb2 = cache_block(decoded, t2, abase, ascale, false)?;
+    let [a] = &cb2.acts[..] else {
+        return None;
+    };
+    if a.op != Opcode::EmitB || a.src == udp_isa::Reg::R13 || a.src == udp_isa::Reg::R15 {
+        return None;
+    }
+    Some(BitEmit {
+        code: 0,
+        len: 0,
+        miss: ge.miss,
+        dyn_byte: Some((a.src.index(), a.imm)),
+        pass_mid: Some(ps.base),
+        refill: refill.unwrap_or(0),
+        writes: [(0, 0); 2],
+        nwrites: 0,
+        nacts: 1,
+        next: next as u32,
+    })
+}
+
 impl CompiledProgram {
     /// Specializes `image` (with its predecoded view) for tier-2
     /// execution at window origin 0 — the layout every pooled lane
-    /// runs at. Returns `None` when the program cannot be specialized
-    /// (symbol width beyond the 8-bit dense-table coverage, an entry
-    /// state outside the image, or a degenerate state explosion); the
-    /// caller then just runs the interpreter.
-    pub(crate) fn compile(image: &ProgramImage, decoded: &DecodedProgram) -> Option<Self> {
-        if !image.executable || image.init.symbol_bits > 8 {
-            return None;
+    /// runs at. Returns a [`Decline`] when the program cannot (or
+    /// should not) be specialized — symbol width beyond the 8-bit
+    /// dense-table coverage, a degenerate state explosion, or nothing
+    /// either burst loop could run; the caller then just interprets.
+    pub(crate) fn compile(image: &ProgramImage, decoded: &DecodedProgram) -> Result<Self, Decline> {
+        if !image.executable {
+            return Err(Decline::NotExecutable);
+        }
+        if image.init.symbol_bits > 8 {
+            return Err(Decline::WideSymbols);
         }
         let span = image.words.len().min(decoded.transitions().len());
         let wbase = image.init.wbase;
@@ -323,8 +581,13 @@ impl CompiledProgram {
         // The verifier's certificate counts reachable blocks matching
         // the EmitSpan shape; when it proves there are none, skip the
         // per-block recognizer entirely — its preconditions were
-        // already discharged statically.
+        // already discharged statically. Same gate for the bit-emit
+        // (action-per-symbol) recognizer.
         let try_fuse = image.cert.as_ref().is_none_or(|c| c.fused_span_blocks > 0);
+        let try_bitemit = image
+            .cert
+            .as_ref()
+            .is_none_or(|c| c.fused_bitemit_blocks > 0);
 
         // Pass 1: discover the reachable (base, kind) state set.
         let mut index: HashMap<(u32, u8), u32> = HashMap::new();
@@ -358,7 +621,7 @@ impl CompiledProgram {
         let mut head = 0usize;
         while head < queue.len() {
             if states.len() > MAX_STATES {
-                return None;
+                return Err(Decline::StateExplosion);
             }
             let st = queue[head];
             head += 1;
@@ -470,22 +733,13 @@ impl CompiledProgram {
                             }
                         };
                         if (general.len() as u32) > PAYLOAD_MASK {
-                            return None;
+                            return Err(Decline::TableOverflow);
                         }
                         dense[st][s as usize] = entry;
                     }
                     states[st].burstable = dense[st].iter().any(|&e| e < TAG_GENERAL);
                 }
             }
-        }
-
-        // A program with no trivial arcs anywhere (action-per-symbol
-        // kernels like the Huffman encoder) has nothing the burst loop
-        // can specialize: measured, the table indirection only adds
-        // overhead over the interpreter's own dispatch. Decline, so
-        // selection stays a pure speed knob.
-        if !states.iter().any(|s| s.burstable) {
-            return None;
         }
 
         // Pass 3: mark the general entries the burst loop can run fully
@@ -496,10 +750,74 @@ impl CompiledProgram {
             ge.inline = inline_fused(ge, &states);
         }
 
-        Some(CompiledProgram {
+        // Pass 4: bit-burst rows. Every consuming state gets a parallel
+        // 256-entry row of fused dispatches: trivial hits/misses carry
+        // over as-is (so mixed states keep bursting), and general
+        // dispatches matching the action-per-symbol emit idiom fold to
+        // one [`BitEmit`] each. The row is the sub-byte/misaligned twin
+        // of the dense byte-burst — it is what makes action-per-symbol
+        // kernels (Huffman encode/decode, bit-packing) compile at all.
+        let mut bit_tables: Vec<Option<Box<[u16; 256]>>> = vec![None; n];
+        let mut bitemits: Vec<BitEmit> = Vec::new();
+        let mut any_bitfused = false;
+        for st in 0..n {
+            if states[st].kind != ExecKind::Consume {
+                continue;
+            }
+            let mut row = Box::new([BITEMIT_NONE; 256]);
+            let mut populated = false;
+            for s in 0..256usize {
+                let e = dense[st][s];
+                let be = if e < TAG_GENERAL {
+                    // Trivial hit/miss: 1 (+1 miss) cycle, same reads.
+                    Some(BitEmit {
+                        code: 0,
+                        len: 0,
+                        miss: e >= TAG_MISS,
+                        dyn_byte: None,
+                        pass_mid: None,
+                        refill: 0,
+                        writes: [(0, 0); 2],
+                        nwrites: 0,
+                        nacts: 0,
+                        next: e & PAYLOAD_MASK,
+                    })
+                } else if e < TAG_EXIT && try_bitemit {
+                    let ge = &general[(e & PAYLOAD_MASK) as usize];
+                    bitemit_entry(ge, &states, decoded, abase, ascale)
+                } else {
+                    None
+                };
+                if let Some(be) = be {
+                    if bitemits.len() >= usize::from(BITEMIT_NONE) {
+                        break;
+                    }
+                    any_bitfused |= be.len > 0 || be.dyn_byte.is_some();
+                    row[s] = bitemits.len() as u16;
+                    bitemits.push(be);
+                    populated = true;
+                }
+            }
+            if populated {
+                bit_tables[st] = Some(row);
+            }
+        }
+
+        // A program with no trivial arcs anywhere *and* no fusable
+        // action-per-symbol arcs has nothing either burst loop can
+        // specialize: measured, the table indirection only adds
+        // overhead over the interpreter's own dispatch. Decline, so
+        // selection stays a pure speed knob.
+        if !states.iter().any(|s| s.burstable) && !any_bitfused {
+            return Err(Decline::NoFusableArcs);
+        }
+
+        Ok(CompiledProgram {
             states,
             dense,
             general,
+            bit_tables,
+            bitemits,
             index,
             wbase,
             abase,
@@ -813,6 +1131,216 @@ mod tests {
         assert_eq!(reference, fast);
     }
 
+    /// Huffman-encoder-shaped program: every printable arc carries the
+    /// `MovI r1; EmitBits r1` idiom (one code per symbol, varying
+    /// widths, one symbol split across two pairs), fallback self-loops
+    /// trivially. The bit-burst loop's encoder territory.
+    fn bit_encoder() -> udp_asm::ProgramImage {
+        let mut b = ProgramBuilder::new();
+        let s = b.add_consuming_state();
+        b.set_entry(s);
+        let r1 = Reg::new(1);
+        for (i, sym) in (b'a'..=b'p').enumerate() {
+            let mut acts = vec![
+                Action::imm(Opcode::MovI, r1, Reg::R0, 0x15 ^ i as u16),
+                Action::imm2(Opcode::EmitBits, Reg::R0, r1, 3 + (i as u8 % 7), 0),
+            ];
+            if sym == b'c' {
+                // Long-code split: two pairs, 15 + 4 bits.
+                acts = vec![
+                    Action::imm(Opcode::MovI, r1, Reg::R0, 0x5a5a),
+                    Action::imm2(Opcode::EmitBits, Reg::R0, r1, 15, 0),
+                    Action::imm(Opcode::MovI, r1, Reg::R0, 0x9),
+                    Action::imm2(Opcode::EmitBits, Reg::R0, r1, 4, 0),
+                ];
+            }
+            b.labeled_arc(s, u16::from(sym), Target::State(s), acts);
+        }
+        b.fallback_arc(s, Target::State(s), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    /// A 2-bit-symbol decoder in the refill idiom: codes `0` (1 bit),
+    /// `10`, `11`; over-consumed bits are put back by refill pass
+    /// states whose single-`EmitB` blocks emit the decoded byte. The
+    /// sub-byte widths and putbacks keep the cursor misaligned — the
+    /// bit-burst loop's decoder territory.
+    fn bit_decoder() -> udp_asm::ProgramImage {
+        let mut b = ProgramBuilder::new();
+        b.set_symbol_bits(2);
+        let root = b.add_consuming_state();
+        b.set_entry(root);
+        let emit = |sym: u8| Action::imm(Opcode::EmitB, Reg::R0, Reg::new(12), u16::from(sym));
+        let leaf = |b: &mut ProgramBuilder, sym: u8, refill: u8| {
+            b.add_pass_state(
+                refill,
+                udp_asm::Arc {
+                    target: Target::State(root),
+                    actions: vec![emit(sym)],
+                },
+            )
+        };
+        let z = leaf(&mut b, b'z', 1);
+        let y = leaf(&mut b, b'y', 0);
+        let x = leaf(&mut b, b'x', 0);
+        b.labeled_arc(root, 0b00, Target::State(z), vec![]);
+        b.labeled_arc(root, 0b01, Target::State(z), vec![]);
+        b.labeled_arc(root, 0b10, Target::State(y), vec![]);
+        b.labeled_arc(root, 0b11, Target::State(x), vec![]);
+        b.assemble(&LayoutOptions::default()).unwrap()
+    }
+
+    /// Full-report differential between `run_compiled` and `Lane::run`
+    /// on `image` over `input`, requiring non-empty output (so the
+    /// fused paths demonstrably ran).
+    fn assert_backends_match(image: &udp_asm::ProgramImage, input: &[u8], cfg: &LaneConfig) {
+        let decoded = Arc::new(image.predecode());
+        let cp = CompiledProgram::compile(image, &decoded).expect("must specialize");
+        let run = |compiled: bool| {
+            let mut mem = LocalMemory::with_words(8192);
+            mem.set_bank_tracking(false);
+            mem.load_words(0, &image.words);
+            mem.reset_counters();
+            let mut lane = Lane::with_decoded(image, 0, Arc::clone(&decoded));
+            lane.mark_code_clean();
+            let mut stream = BitStream::new(input);
+            let mut out = OutputSink::new();
+            if compiled {
+                run_compiled(&cp, &mut lane, &mut mem, &mut stream, &mut out, cfg)
+            } else {
+                lane.run(&mut mem, &mut stream, &mut out, cfg)
+            }
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert!(!reference.output.is_empty());
+        assert_eq!(reference, fast);
+    }
+
+    /// The encoder shape must fuse into bit-table entries (non-vacuity
+    /// for the bit-burst loop) and reproduce the interpreter's report
+    /// bit-for-bit, including under a mid-run cycle cap.
+    #[test]
+    fn bitemit_encoder_fuses_and_matches_interpreter() {
+        let image = bit_encoder();
+        let decoded = image.predecode();
+        let cp = CompiledProgram::compile(&image, &decoded).expect("must specialize");
+        let entry = cp.lookup(image.entry_base, image.entry_kind).unwrap() as usize;
+        let tbl = cp.bit_tables[entry].as_ref().expect("bit row must exist");
+        let fused = (0..256)
+            .filter(|&s| tbl[s] != BITEMIT_NONE && cp.bitemits[usize::from(tbl[s])].len > 0)
+            .count();
+        assert_eq!(fused, 16, "every coded symbol must fuse");
+
+        let input: Vec<u8> = b"abcdefghijklmnop__ppcaa".repeat(211);
+        assert_backends_match(&image, &input, &LaneConfig::default());
+        // A tight budget trips the folded cap mid-burst.
+        assert_backends_match(
+            &image,
+            &input,
+            &LaneConfig {
+                max_cycles: 701,
+                cycles_per_byte: 1,
+                min_cycle_budget: 1,
+                ..LaneConfig::default()
+            },
+        );
+        // Chaos fault lands at the same cycle mid-burst.
+        assert_backends_match(
+            &image,
+            &input,
+            &LaneConfig {
+                chaos_fault_at: Some(443),
+                ..LaneConfig::default()
+            },
+        );
+    }
+
+    /// The decoder (refill) shape must fuse — `pass_mid` entries with a
+    /// dynamic byte — and reproduce the interpreter bit-for-bit across
+    /// sub-byte dispatch, putbacks, and the mid-shape cap re-check.
+    #[test]
+    fn bitemit_decoder_fuses_and_matches_interpreter() {
+        let image = bit_decoder();
+        let decoded = image.predecode();
+        let cp = CompiledProgram::compile(&image, &decoded).expect("must specialize");
+        assert!(
+            cp.bitemits
+                .iter()
+                .any(|e| e.pass_mid.is_some() && e.dyn_byte.is_some()),
+            "decoder shape must fuse through the pass state"
+        );
+
+        // Pseudo-random bits wander the whole table; the trailing
+        // zeros decode as runs of 'z'.
+        let mut input: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        input.extend_from_slice(&[0; 8]);
+        assert_backends_match(&image, &input, &LaneConfig::default());
+        for cap in [700, 701, 702, 703] {
+            // Sweep the cap across the decoder shape's charge sequence
+            // so it trips both before and between its two dispatches.
+            assert_backends_match(
+                &image,
+                &input,
+                &LaneConfig {
+                    max_cycles: cap,
+                    cycles_per_byte: 1,
+                    min_cycle_budget: 1,
+                    ..LaneConfig::default()
+                },
+            );
+        }
+        assert_backends_match(
+            &image,
+            &input,
+            &LaneConfig {
+                chaos_fault_at: Some(997),
+                ..LaneConfig::default()
+            },
+        );
+    }
+
+    /// The verifier's `fused_bitemit_blocks` count and the compiler's
+    /// bit-emit recognizer must agree, mirroring the span-count
+    /// consistency contract: a certified count of zero disables the
+    /// recognizer without losing fusion elsewhere, and the true cert
+    /// changes nothing.
+    #[test]
+    fn cert_bitemit_count_is_consistent_with_fusion() {
+        let image = bit_encoder();
+        let report = udp_verify::verify_image(&image, &udp_verify::VerifyOptions::default());
+        let cert = report.cert.expect("cost pass must run on a clean image");
+        assert!(cert.fused_bitemit_blocks > 0, "{}", cert.summary());
+
+        let decoded = image.predecode();
+        let count_bitfused = |cp: &CompiledProgram| {
+            cp.bitemits
+                .iter()
+                .filter(|e| e.len > 0 || e.dyn_byte.is_some())
+                .count()
+        };
+        let cp = CompiledProgram::compile(&image, &decoded).expect("must specialize");
+        let fused = count_bitfused(&cp);
+        assert!(fused > 0, "bit-emit idiom must fuse");
+
+        // A cert claiming zero bit-emit blocks turns the recognizer off.
+        let mut gated = image.clone();
+        gated.cert = Some(udp_asm::ResourceCert {
+            fused_bitemit_blocks: 0,
+            ..cert.clone()
+        });
+        let cp0 = CompiledProgram::compile(&gated, &decoded).expect("must specialize");
+        assert_eq!(count_bitfused(&cp0), 0);
+
+        // And the true cert attached leaves fusion identical.
+        let mut certified = image.clone();
+        certified.cert = Some(cert);
+        let cp1 = CompiledProgram::compile(&certified, &decoded).expect("must specialize");
+        assert_eq!(count_bitfused(&cp1), fused);
+    }
+
     /// Symbol widths beyond the dense-table coverage must decline to
     /// specialize rather than mis-run.
     #[test]
@@ -820,6 +1348,9 @@ mod tests {
         let image = scanner();
         let mut wide = image.clone();
         wide.init.symbol_bits = 12;
-        assert!(CompiledProgram::compile(&wide, &wide.predecode()).is_none());
+        assert_eq!(
+            CompiledProgram::compile(&wide, &wide.predecode()).err(),
+            Some(Decline::WideSymbols)
+        );
     }
 }

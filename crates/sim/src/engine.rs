@@ -337,11 +337,12 @@ impl Udp {
         // the merged per-bank reference counts.
         if opts.addressing == AddressingMode::Local {
             // Specialize once per run; every chunk shares the tables.
-            // `compile` returning `None` (oversized state space, wide
-            // symbols, non-executable image) silently falls back to the
-            // interpreter — the semantics are identical either way.
+            // A compile decline (oversized state space, wide symbols,
+            // non-executable image, nothing to fuse) silently falls
+            // back to the interpreter — the semantics are identical
+            // either way; `compiled_decline_reason` surfaces the why.
             let compiled = if opts.backend == ExecBackend::Compiled {
-                crate::compiled::CompiledProgram::compile(image, &decoded)
+                crate::compiled::CompiledProgram::compile(image, &decoded).ok()
             } else {
                 None
             };

@@ -335,7 +335,7 @@ pub struct Lane {
     pub(crate) cycles: u64,
     pub(crate) dispatches: u64,
     pub(crate) fallback_misses: u64,
-    actions_run: u64,
+    pub(crate) actions_run: u64,
     extra_refs: u64,
     /// Predecoded view of the loaded image, window-relative. Lookups
     /// are validated against the raw memory word, so self-modifying

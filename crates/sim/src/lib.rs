@@ -66,3 +66,15 @@ pub use stream::{BitStream, OutputSink};
 pub use supervisor::{
     ChunkOutcome, QuarantineReason, ReferenceFallback, RunHealth, SupervisorOptions,
 };
+
+/// Why the tier-2 compiled backend would decline to specialize `image`,
+/// as a stable snake-case reason string — `None` when it compiles.
+///
+/// Diagnostic-only: re-runs the compile pipeline from scratch (the
+/// engine keeps its own compiled program), so call it off the hot path.
+/// Benches surface it as the `compiled_declined` column in
+/// `hostperf --json`, recording *why* a kernel ran at interpreter
+/// parity instead of leaving a silent gap in the trajectory.
+pub fn compiled_decline_reason(image: &udp_asm::ProgramImage) -> Option<&'static str> {
+    compiled::decline_reason(image)
+}

@@ -7,6 +7,33 @@
 //! refill transitions, and random access (`PeekAt`) into the staged
 //! window for compression history.
 
+/// Reads `bits` (1–32) MSB-first at absolute bit offset `pos` straight
+/// from a byte slice. The caller guarantees `pos + bits` is in range.
+/// One branchless `u64::from_be_bytes` load covers any such read when
+/// ≥ 8 bytes remain past the cursor byte (shift ≤ 7 plus bits ≤ 32
+/// always fit the loaded word); near the end of the window it falls
+/// back to gathering just the covering bytes. Shared by
+/// [`BitStream::peek`] and the compiled backend's bit-burst loop.
+#[inline]
+pub(crate) fn extract_bits(data: &[u8], pos: u64, bits: u8) -> u32 {
+    debug_assert!((1..=32).contains(&bits));
+    debug_assert!(pos + u64::from(bits) <= data.len() as u64 * 8);
+    let first = (pos >> 3) as usize;
+    let shift = (pos & 7) as u32;
+    if let Some(s) = data.get(first..first + 8) {
+        let w = u64::from_be_bytes(s.try_into().unwrap_or([0; 8]));
+        return ((w << shift) >> (64 - u32::from(bits))) as u32;
+    }
+    // Tail: fewer than 8 bytes remain — gather the ≤ 5 covering bytes.
+    let span = (shift as usize + bits as usize).div_ceil(8);
+    let mut window: u64 = 0;
+    for &b in &data[first..first + span] {
+        window = (window << 8) | u64::from(b);
+    }
+    let v = window >> (span as u32 * 8 - shift - u32::from(bits));
+    (v & ((1u64 << bits) - 1)) as u32
+}
+
 /// A bit-granular input stream over a byte buffer.
 ///
 /// Reads are MSB-first within each byte, matching the transition-word
@@ -16,6 +43,14 @@ pub struct BitStream<'a> {
     data: &'a [u8],
     /// Cursor in bits from the start of `data`.
     pos_bits: u64,
+    /// Cached 64-bit lookahead window: the big-endian word loaded from
+    /// bit offset `win_base` (always byte-aligned). Valid iff
+    /// `win_len == 64`; a cursor move (putback, skip, deferred sync)
+    /// needs no invalidation because every read revalidates the offset
+    /// range `[win_base, win_base + win_len]` first.
+    win: u64,
+    win_base: u64,
+    win_len: u8,
     /// Use the bit-at-a-time reference extraction (see
     /// [`BitStream::reference`]).
     reference: bool,
@@ -27,6 +62,9 @@ impl<'a> BitStream<'a> {
         BitStream {
             data,
             pos_bits: 0,
+            win: 0,
+            win_base: 0,
+            win_len: 0,
             reference: false,
         }
     }
@@ -40,6 +78,9 @@ impl<'a> BitStream<'a> {
         BitStream {
             data,
             pos_bits: 0,
+            win: 0,
+            win_base: 0,
+            win_len: 0,
             reference: true,
         }
     }
@@ -69,18 +110,56 @@ impl<'a> BitStream<'a> {
         self.pos_bits
     }
 
+    /// Moves the cursor to an absolute bit offset — the compiled
+    /// backend's deferred-sync hook after a bit-burst. The cached
+    /// window revalidates itself on the next read, so no invalidation
+    /// is needed here.
+    pub(crate) fn set_bit_index(&mut self, pos: u64) {
+        debug_assert!(pos <= self.len_bits());
+        self.pos_bits = pos;
+    }
+
     /// Reads `bits` (1–32) MSB-first. Returns `None` if the stream is
     /// short; the cursor is unchanged in that case.
     #[inline]
     pub fn read(&mut self, bits: u8) -> Option<u32> {
-        // Byte-aligned whole-byte reads dominate (8-bit symbols); skip
-        // the window assembly entirely for them.
-        if bits == 8 && self.pos_bits & 7 == 0 && !self.reference {
-            let b = *self.data.get((self.pos_bits >> 3) as usize)?;
-            self.pos_bits += 8;
-            return Some(u32::from(b));
+        if self.reference {
+            let v = self.peek(bits)?;
+            self.pos_bits += u64::from(bits);
+            return Some(v);
         }
-        let v = self.peek(bits)?;
+        debug_assert!((1..=32).contains(&bits));
+        // Cached-window fast path: constant shift/mask when the 64-bit
+        // lookahead word covers the read. The offset check also rejects
+        // an invalid window (`win_len == 0`) and a cursor rewound below
+        // `win_base` (the subtraction wraps to a huge offset).
+        let off = self.pos_bits.wrapping_sub(self.win_base);
+        if self.win_len >= bits && off <= u64::from(self.win_len - bits) {
+            let v = ((self.win << off) >> (64 - u32::from(bits))) as u32;
+            self.pos_bits += u64::from(bits);
+            return Some(v);
+        }
+        self.refill_read(bits)
+    }
+
+    /// Window-miss half of [`BitStream::read`]: reloads the lookahead
+    /// word at the cursor byte via `u64::from_be_bytes` when ≥ 8 bytes
+    /// remain, else serves the read from the tail-gather path.
+    fn refill_read(&mut self, bits: u8) -> Option<u32> {
+        if self.remaining_bits() < u64::from(bits) {
+            return None;
+        }
+        let first = (self.pos_bits >> 3) as usize;
+        if let Some(s) = self.data.get(first..first + 8) {
+            self.win = u64::from_be_bytes(s.try_into().unwrap_or([0; 8]));
+            self.win_base = first as u64 * 8;
+            self.win_len = 64;
+            let off = self.pos_bits - self.win_base; // < 8
+            let v = ((self.win << off) >> (64 - u32::from(bits))) as u32;
+            self.pos_bits += u64::from(bits);
+            return Some(v);
+        }
+        let v = extract_bits(self.data, self.pos_bits, bits);
         self.pos_bits += u64::from(bits);
         Some(v)
     }
@@ -94,17 +173,11 @@ impl<'a> BitStream<'a> {
         if self.reference {
             return Some(self.peek_reference(bits));
         }
-        // Gather the covering bytes (≤ 5 for a misaligned 32-bit read)
-        // into one window and extract in a single shift.
-        let first = (self.pos_bits / 8) as usize;
-        let shift = (self.pos_bits % 8) as u32;
-        let span = (shift as usize + bits as usize).div_ceil(8);
-        let mut window: u64 = 0;
-        for &b in &self.data[first..first + span] {
-            window = (window << 8) | u64::from(b);
+        let off = self.pos_bits.wrapping_sub(self.win_base);
+        if self.win_len >= bits && off <= u64::from(self.win_len - bits) {
+            return Some(((self.win << off) >> (64 - u32::from(bits))) as u32);
         }
-        let v = window >> (span as u32 * 8 - shift - u32::from(bits));
-        Some((v & ((1u64 << bits) - 1)) as u32)
+        Some(extract_bits(self.data, self.pos_bits, bits))
     }
 
     /// One bit per iteration — the executable specification of
@@ -263,17 +336,51 @@ impl OutputSink {
         if self.reference {
             return self.push_bits_reference(v, bits);
         }
-        // At most 7 pending + 16 new = 23 bits: accumulate in one word
-        // and drain whole bytes.
-        let mut acc = (u32::from(self.bit_acc) << bits) | (v & ((1u32 << bits) - 1));
-        let mut count = u32::from(self.bit_count) + u32::from(bits);
-        while count >= 8 {
-            count -= 8;
-            self.bytes.push((acc >> count) as u8);
-        }
-        acc &= (1u32 << count) - 1;
+        self.push_bits_wide(u64::from(v & ((1u32 << bits) - 1)), bits);
+    }
+
+    /// Appends the low `bits` (≤ 57) of `v`, MSB-first — the word-wide
+    /// twin of [`OutputSink::push_bits`]. With ≤ 7 pending bits the
+    /// accumulator tops out at exactly 64 bits, so the drain is a
+    /// single `to_be_bytes` slice append instead of a byte loop.
+    /// `v` must already be masked to `bits`.
+    #[inline]
+    pub(crate) fn push_bits_wide(&mut self, v: u64, bits: u8) {
+        debug_assert!(bits <= 57 && (bits == 0 || v >> bits == 0));
+        let acc = (u64::from(self.bit_acc) << bits) | v;
+        let count = u32::from(self.bit_count) + u32::from(bits);
+        let rem = count & 7;
+        let full = ((count - rem) >> 3) as usize;
+        self.bytes
+            .extend_from_slice(&(acc >> rem).to_be_bytes()[8 - full..]);
+        self.bit_acc = (acc & ((1u64 << rem) - 1)) as u16;
+        self.bit_count = rem as u8;
+    }
+
+    /// Hands the ≤ 7 pending bits `(value, count)` to a compiled
+    /// bit-burst loop and clears them here, so the burst can keep the
+    /// output accumulator in locals across symbols. Pair with
+    /// [`OutputSink::put_pending`] at burst exit.
+    pub(crate) fn take_pending(&mut self) -> (u64, u32) {
+        let p = (u64::from(self.bit_acc), u32::from(self.bit_count));
+        self.bit_acc = 0;
+        self.bit_count = 0;
+        p
+    }
+
+    /// Restores pending bits after a bit-burst (`count < 8`, `acc`
+    /// masked to `count` bits).
+    pub(crate) fn put_pending(&mut self, acc: u64, count: u32) {
+        debug_assert!(count < 8 && acc >> count == 0 && self.bit_count == 0);
         self.bit_acc = acc as u16;
         self.bit_count = count as u8;
+    }
+
+    /// Appends the low `n` bytes of `w`, most significant first — the
+    /// bit-burst loop's whole-word accumulator drain.
+    #[inline]
+    pub(crate) fn extend_be_bytes(&mut self, w: u64, n: usize) {
+        self.bytes.extend_from_slice(&w.to_be_bytes()[8 - n..]);
     }
 
     /// One bit per iteration — the executable specification of MSB-first
@@ -542,6 +649,108 @@ mod tests {
             let back = back.min(seed.len() as u32);
             let (fast, slow) = copy_back_pair(&seed, back, n);
             prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_interleaved_stream_ops_match_reference(
+            data in proptest::collection::vec(any::<u8>(), 1..48),
+            ops in proptest::collection::vec((0u8..6, 1u8..=32, 0u8..16), 1..96),
+        ) {
+            // Random interleavings of every cursor-moving operation:
+            // putback/align/skip rewind or jump the cursor under the
+            // cached window, which must revalidate rather than serve
+            // stale word bits.
+            let mut fast = BitStream::new(&data);
+            let mut slow = BitStream::reference(&data);
+            for (op, w, n) in ops {
+                match op {
+                    0 => { prop_assert_eq!(fast.read(w), slow.read(w)); }
+                    1 => {
+                        let give = u64::from(n).min(fast.bit_index()) as u8;
+                        fast.putback(give);
+                        slow.putback(give);
+                    }
+                    2 => { fast.align_byte(); slow.align_byte(); }
+                    3 => { fast.skip_bytes(u32::from(n)); slow.skip_bytes(u32::from(n)); }
+                    4 => { prop_assert_eq!(fast.read_byte(), slow.read_byte()); }
+                    _ => { prop_assert_eq!(fast.peek(w), slow.peek(w)); }
+                }
+                prop_assert_eq!(fast.bit_index(), slow.bit_index());
+            }
+        }
+
+        #[test]
+        fn prop_push_bits_wide_matches_narrow(
+            chunks in proptest::collection::vec((any::<u64>(), 1u8..=57), 0..64),
+        ) {
+            // One wide append must be byte-for-byte what the same bits
+            // split across ≤16-bit reference pushes produce.
+            let mut wide = OutputSink::new();
+            let mut narrow = OutputSink::reference();
+            for (v, w) in &chunks {
+                let v = v & ((1u64 << w) - 1);
+                wide.push_bits_wide(v, *w);
+                let mut left = *w;
+                while left > 0 {
+                    let take = left.min(16);
+                    left -= take;
+                    narrow.push_bits(((v >> left) & ((1u64 << take) - 1)) as u32, take);
+                }
+            }
+            prop_assert_eq!(wide.into_bytes(), narrow.into_bytes());
+        }
+
+        #[test]
+        fn prop_burst_accumulator_matches_push_bits(
+            pre in 0u8..8,
+            chunks in proptest::collection::vec((any::<u32>(), 1u8..=30, any::<bool>()), 0..48),
+        ) {
+            // The exact accumulator algebra the compiled bit-burst loop
+            // runs — take_pending, local append/pad, extend_be_bytes
+            // drain, put_pending — against the plain sink API.
+            fn drain(sink: &mut OutputSink, acc: &mut u64, n: &mut u32) {
+                if *n >= 8 {
+                    let rem = *n & 7;
+                    sink.extend_be_bytes(*acc >> rem, ((*n - rem) >> 3) as usize);
+                    *acc &= (1u64 << rem) - 1;
+                    *n = rem;
+                }
+            }
+            let mut plain = OutputSink::new();
+            let mut burst = OutputSink::new();
+            if pre > 0 {
+                plain.push_bits(0x55 & ((1u32 << pre) - 1), pre);
+                burst.push_bits(0x55 & ((1u32 << pre) - 1), pre);
+            }
+            let (mut acc, mut n) = burst.take_pending();
+            for (v, w, as_byte) in &chunks {
+                if *as_byte {
+                    // EmitB semantics: zero-pad to a byte boundary, then
+                    // append the byte.
+                    plain.push_byte(*v as u8);
+                    let pad = (8 - (n & 7)) & 7;
+                    acc <<= pad;
+                    n += pad;
+                    acc = (acc << 8) | u64::from(*v as u8);
+                    n += 8;
+                } else {
+                    // Fused constant code of up to 30 bits, fed to the
+                    // plain sink in the ≤16-bit slices EmitBits uses.
+                    let v = v & ((1u32 << w) - 1);
+                    if *w > 15 {
+                        plain.push_bits(v >> 15, w - 15);
+                        plain.push_bits(v & 0x7FFF, 15);
+                    } else {
+                        plain.push_bits(v, *w);
+                    }
+                    acc = (acc << w) | u64::from(v);
+                    n += u32::from(*w);
+                }
+                drain(&mut burst, &mut acc, &mut n);
+                prop_assert!(n < 8);
+            }
+            burst.put_pending(acc, n);
+            prop_assert_eq!(plain.into_bytes(), burst.into_bytes());
         }
 
         #[test]

@@ -137,6 +137,41 @@ fn emit_span_shape(actions: &[(u32, Action)]) -> bool {
     ok && !regs.contains(&Reg::R15)
 }
 
+/// Mirrors the compiled backend's `recognize_bitemit`: the
+/// action-per-symbol emit idiom — a sequence of ≤ 2 constant
+/// `MovI rd; EmitBits rd` pairs (≤ 32 folded bits, ≤ 2 distinct
+/// destination registers), optionally ending in one `EmitB`, with
+/// `R13`/`R15` excluded throughout — and the single-`EmitB` block of
+/// the decoder (refill pass) shape. A conservative superset of what
+/// the bit-burst superop actually fuses: the compiler adds arc-level
+/// conditions (consuming successor, pass-plan shape) this per-block
+/// count does not see, so every fusable block is counted here. Used
+/// for the `fused_bitemit_blocks` certification count.
+fn bitemit_shape(actions: &[(u32, Action)]) -> bool {
+    let banned = |r: Reg| r == Reg::R13 || r == Reg::R15;
+    let mut len: u32 = 0;
+    let mut dsts: BTreeSet<u8> = BTreeSet::new();
+    let mut i = 0;
+    while i < actions.len() {
+        let a = &actions[i].1;
+        if a.op == Opcode::MovI && i + 1 < actions.len() {
+            let e = &actions[i + 1].1;
+            if e.op != Opcode::EmitBits || e.src != a.dst || banned(a.dst) {
+                return false;
+            }
+            len += u32::from(e.imm1.clamp(1, 16));
+            dsts.insert(a.dst.index());
+            if dsts.len() > 2 || len > 32 {
+                return false;
+            }
+            i += 2;
+        } else {
+            return a.op == Opcode::EmitB && i + 1 == actions.len() && !banned(a.src);
+        }
+    }
+    len > 0
+}
+
 /// Recognizes an *amortizable* span prefix: the `EmitSpan` shape plus
 /// the dataflow equalities that make the telescoping argument go
 /// through — the copied length is `(idx + off0) − mark` and the mark is
@@ -354,9 +389,11 @@ pub(crate) fn certify(
         }
     }
 
-    // Span amortization prep.
+    // Span amortization prep, plus the fused-shape block counts the
+    // compiled backend keys its recognizers on.
     let mut sites: Vec<SpanSite> = Vec::new();
     let mut fused_starts: BTreeSet<u32> = BTreeSet::new();
+    let mut bitemit_starts: BTreeSet<u32> = BTreeSet::new();
     for ai in 0..graph.arcs.len() {
         if !followed(graph, reach, ai) {
             continue;
@@ -365,12 +402,16 @@ pub(crate) fn certify(
             if emit_span_shape(&b.actions) {
                 fused_starts.insert(b.start);
             }
+            if bitemit_shape(&b.actions) {
+                bitemit_starts.insert(b.start);
+            }
             if let Some(site) = span_site(ai, &b.actions) {
                 sites.push(site);
             }
         }
     }
     cert.fused_span_blocks = fused_starts.len() as u32;
+    cert.fused_bitemit_blocks = bitemit_starts.len() as u32;
     let marks = amortized_marks(graph, reach, &sites);
     let amortized_arcs: HashSet<usize> = sites
         .iter()

@@ -81,8 +81,9 @@ echo "== servebench: service throughput/latency trend (non-gating, DESIGN.md §1
 echo "== hostperf: compiled-backend speedup gate + trend smoke (DESIGN.md §2.6.2–3) =="
 # One hostperf run serves two purposes. Gating: the compiled backend
 # must hold >= 2x the predecoded interpreter's MB/s on the csv
-# scenarios — measured as a same-process interleaved ratio, so host
-# load cancels out and the gate is portable across machines. Trend
+# scenarios and >= 1.5x on the huffman (bit-burst) scenarios —
+# measured as same-process interleaved ratios, so host load cancels
+# out and the gates are portable across machines. Trend
 # (non-gating): absolute MB/s deltas against the previous
 # results/BENCH_hostperf.json are printed and the artifact refreshed;
 # absolute perf is machine- and load-dependent, so it reports only.
@@ -90,8 +91,9 @@ prev=""
 if [ -f results/BENCH_hostperf.json ]; then
   prev="$(cat results/BENCH_hostperf.json)"
 fi
-cargo run --release -q -p udp-bench --bin hostperf -- --json --gate-csv-speedup 2.0 \
-  | grep -E '^gate' || { echo "hostperf csv speedup gate failed"; exit 1; }
+cargo run --release -q -p udp-bench --bin hostperf -- --json \
+  --gate-csv-speedup 2.0 --gate-huffman-speedup 1.5 \
+  | grep -E '^gate' || { echo "hostperf speedup gate failed"; exit 1; }
 (
   set +e
   if [ -f results/BENCH_hostperf.json ]; then
