@@ -24,7 +24,7 @@ use udp_isa::{Reg, BANK_WORDS, FALLBACK_SLOT};
 pub const CHAIN_CONTINUE_SIGNATURE: u8 = 0xFE;
 
 /// Layout configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayoutOptions {
     /// Addressable window in words. One 16 KB bank (4096 words) under
     /// local addressing; `k * 4096` under restricted addressing. Arcs

@@ -49,6 +49,7 @@ pub mod disasm;
 pub mod image;
 pub mod ir;
 pub mod layout;
+pub mod serial;
 pub mod text;
 
 pub use cert::{CostBlocker, CostMetric, ResourceCert};
@@ -56,4 +57,5 @@ pub use disasm::{classify_words, disassemble, WordKind};
 pub use image::{DecodedProgram, LaneInit, LayoutStats, ProgramImage};
 pub use ir::{Arc, DispatchSource, ProgramBuilder, StateId, StateNode, Target};
 pub use layout::{AsmError, LayoutOptions};
+pub use serial::{decode_image, encode_image, SerialError, FORMAT_VERSION};
 pub use text::{emit_asm, parse_asm, ParseAsmError};

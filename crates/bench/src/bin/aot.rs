@@ -1,0 +1,180 @@
+//! Ahead-of-time artifact builder (DESIGN.md §11.4).
+//!
+//! Pre-assembles, verifies, and stores every program in the workspace
+//! compiler corpus into a durable [`udp_store::ArtifactStore`], so a
+//! serve runtime (or a later CI stage) can load certified images
+//! without re-running the assembler or the verifier.
+//!
+//! ```text
+//! aot [--dir PATH] [--check] [--json]
+//! ```
+//!
+//! Without flags it populates the store (default `results/aot-store`)
+//! and reports one line per program. With `--check` it demands that
+//! every corpus program is *already* stored — each load must be a
+//! cache `Hit` whose serialized image is byte-identical to a fresh
+//! assemble-and-verify of the same source — and exits nonzero
+//! otherwise. `scripts/ci.sh` runs a populate-then-check round trip as
+//! the store gate. `--json` writes one JSON object per program to
+//! `results/BENCH_aot.json`.
+
+use std::fmt::Write as _;
+use udp_asm::LayoutOptions;
+use udp_isa::NUM_BANKS;
+use udp_store::{ArtifactStore, LoadOutcome};
+
+struct Row {
+    name: String,
+    outcome: &'static str,
+    words: usize,
+    banks: usize,
+    certified: bool,
+}
+
+/// Finds the smallest power-of-two bank window the program assembles
+/// into *through the store*, mirroring `assemble_smallest`. Returns
+/// the artifact and the layout that produced it.
+fn store_smallest(
+    store: &ArtifactStore,
+    source: &str,
+) -> Result<(udp_store::Artifact, LayoutOptions), udp_store::StoreError> {
+    let mut banks = 1;
+    loop {
+        let layout = LayoutOptions::with_banks(banks);
+        match store.get_or_build(source, &layout) {
+            Ok(a) => return Ok((a, layout)),
+            Err(_) if banks < NUM_BANKS => banks *= 2,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn main() {
+    let mut dir = String::from("results/aot-store");
+    let mut check = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--dir" => {
+                dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--dir needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: aot [--dir PATH] [--check] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let store = match ArtifactStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: could not open store at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let corpus = udp_compilers::corpus::corpus();
+    let total = corpus.len();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures = 0usize;
+    for (name, pb) in &corpus {
+        let source = udp_asm::emit_asm(pb);
+        match store_smallest(&store, &source) {
+            Ok((artifact, layout)) => {
+                let outcome = artifact.outcome.name();
+                if check {
+                    // The gate: a previous populate pass must make this
+                    // a pure cache hit...
+                    if !matches!(artifact.outcome, LoadOutcome::Hit) {
+                        eprintln!("FAIL: {name}: expected a cache hit, store says {outcome}");
+                        failures += 1;
+                    }
+                    // ...and the stored image must be byte-identical to
+                    // a fresh parse-and-assemble of the same source
+                    // text — the store's own build path (certificates
+                    // stripped for the comparison — the store's
+                    // revalidation rung already proved the stored cert
+                    // matches a recomputed one).
+                    let fresh = udp_asm::parse_asm(&source)
+                        .map_err(|e| format!("{e:?}"))
+                        .and_then(|pb| pb.assemble(&layout).map_err(|e| format!("{e:?}")));
+                    match fresh {
+                        Ok(fresh) => {
+                            let mut stored = (*artifact.image).clone();
+                            stored.cert = None;
+                            let mut fresh = fresh;
+                            fresh.cert = None;
+                            if udp_asm::encode_image(&fresh) != udp_asm::encode_image(&stored) {
+                                eprintln!(
+                                    "FAIL: {name}: stored image diverges from a fresh assemble"
+                                );
+                                failures += 1;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("FAIL: {name}: fresh assemble failed: {e}");
+                            failures += 1;
+                        }
+                    }
+                }
+                rows.push(Row {
+                    name: name.clone(),
+                    outcome,
+                    words: artifact.image.words.len(),
+                    banks: artifact.banks_per_lane,
+                    certified: artifact.image.cert.is_some(),
+                });
+            }
+            Err(e) => {
+                eprintln!("FAIL: {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    for r in &rows {
+        println!(
+            "aot name={} outcome={} words={} banks={} certified={}",
+            r.name, r.outcome, r.words, r.banks, r.certified
+        );
+    }
+    println!(
+        "aot dir={dir} programs={total} stored={} failures={failures}",
+        rows.len()
+    );
+    if json {
+        let mut payload = String::new();
+        for r in &rows {
+            let _ = writeln!(
+                payload,
+                "{{\"name\":\"{}\",\"outcome\":\"{}\",\"words\":{},\"banks\":{},\"certified\":{}}}",
+                r.name, r.outcome, r.words, r.banks, r.certified
+            );
+        }
+        let path = "results/BENCH_aot.json";
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &payload))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("json: {path}");
+        }
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} of {total} corpus programs did not round-trip the store");
+        std::process::exit(1);
+    }
+    println!(
+        "ok: all {total} corpus programs {} the artifact store",
+        if check { "round-tripped" } else { "populated" }
+    );
+}

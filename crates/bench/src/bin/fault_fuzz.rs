@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N]
-//!            [--min-recovery-rate PCT] [--json]
+//!            [--min-recovery-rate PCT] [--store-iters N] [--json]
 //! ```
 //!
 //! Prints a machine-readable `key=value` summary and exits nonzero if
@@ -22,12 +22,17 @@
 //! the supervisor's ladder (DESIGN.md §8). `--json` additionally
 //! writes one JSON object per mode to `results/BENCH_fault_fuzz.json`
 //! (mirroring hostperf's `--json`) so the robustness trajectory is
-//! tracked across PRs like perf is. `scripts/ci.sh` runs it as a smoke
-//! gate with `--iters 200 --seed 0xDEC0DE --min-static-reject 1
-//! --min-recovery-rate 100 --json`.
+//! tracked across PRs like perf is. With `--store-iters N` it also
+//! runs N artifact-store corruption cases (bit flips, truncations,
+//! torn writes, poison sources — DESIGN.md §11.2) and gates on zero
+//! store violations: every corruption must surface as a typed
+//! `StoreError` and recover by re-assembly. `scripts/ci.sh` runs it as
+//! a smoke gate with `--iters 200 --seed 0xDEC0DE
+//! --min-static-reject 1 --min-recovery-rate 100 --store-iters 16
+//! --json`.
 
 use std::fmt::Write as _;
-use udp_fault::{run_plan, FuzzSummary};
+use udp_fault::{run_plan, run_store_plan, FuzzSummary, StoreFuzzSummary};
 
 /// One JSON object per injection mode, one per line — no dependency
 /// needed, trivially greppable/awk-able from CI.
@@ -51,6 +56,25 @@ fn render_json(summary: &FuzzSummary) -> String {
     s
 }
 
+/// Store-corruption counters in the same one-object-per-line shape.
+fn render_store_json(summary: &StoreFuzzSummary) -> String {
+    let mut s = String::new();
+    for (mode, st) in &summary.stats {
+        let _ = writeln!(
+            s,
+            "{{\"mode\":\"{}\",\"runs\":{},\"violations\":{},\"detected\":{},\
+             \"rebuilt\":{},\"quarantined\":{}}}",
+            mode.name(),
+            st.runs,
+            st.violations,
+            st.detected,
+            st.rebuilt,
+            st.quarantined,
+        );
+    }
+    s
+}
+
 fn parse_u64(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()
@@ -64,6 +88,7 @@ fn main() {
     let mut seed: u64 = 0xDEC0DE;
     let mut min_static_reject: u64 = 0;
     let mut min_recovery_rate: Option<f64> = None;
+    let mut store_iters: u64 = 0;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,6 +114,16 @@ fn main() {
                             std::process::exit(2);
                         });
             }
+            "--store-iters" => {
+                store_iters = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .unwrap_or_else(|| {
+                        eprintln!("--store-iters needs a number");
+                        std::process::exit(2);
+                    });
+            }
             "--iters" => {
                 iters = args
                     .next()
@@ -112,7 +147,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fault_fuzz [--iters N] [--seed 0xHEX|N] [--min-static-reject N] \
-                     [--min-recovery-rate PCT] [--json]"
+                     [--min-recovery-rate PCT] [--store-iters N] [--json]"
                 );
                 return;
             }
@@ -125,8 +160,16 @@ fn main() {
 
     let summary = run_plan(seed, iters);
     print!("{summary}");
+    let store_summary = (store_iters > 0).then(|| {
+        let s = run_store_plan(seed, store_iters);
+        print!("{s}");
+        s
+    });
     if json {
-        let payload = render_json(&summary);
+        let mut payload = render_json(&summary);
+        if let Some(s) = &store_summary {
+            payload.push_str(&render_store_json(s));
+        }
         let path = "results/BENCH_fault_fuzz.json";
         if let Err(e) =
             std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &payload))
@@ -134,6 +177,17 @@ fn main() {
             eprintln!("warning: could not write {path}: {e}");
         } else {
             println!("json: {path}");
+        }
+    }
+    if let Some(s) = &store_summary {
+        if s.panics() > 0 {
+            eprintln!(
+                "FAIL: {} artifact-store violation(s) — replay with --seed {:#x} --store-iters {}",
+                s.panics(),
+                seed,
+                store_iters
+            );
+            std::process::exit(1);
         }
     }
     if summary.panics() > 0 {

@@ -38,7 +38,9 @@ pub mod harness;
 pub mod mutate;
 pub mod plan;
 pub mod serve;
+pub mod store;
 
 pub use harness::{run_case, run_plan, CaseReport, FuzzSummary, ModeStats, Outcome};
 pub use plan::{FaultCase, FaultMode, FaultPlan};
 pub use serve::{run_serve_plan, run_smoke, ServeChaosMode, ServeFuzzSummary, ServeModeStats};
+pub use store::{run_store_plan, StoreChaosMode, StoreFuzzSummary, StoreModeStats};

@@ -5,7 +5,7 @@
 //! > **Hostile load surfaces only as typed [`ServeError`] values — the
 //! > runtime never panics and never hangs a client.**
 //!
-//! Four service chaos modes, deliberately *not* added to
+//! Five service chaos modes, deliberately *not* added to
 //! [`crate::FaultMode::ALL`] (that enum's cycling order is load-bearing
 //! for the device-level plans and benchmarks):
 //!
@@ -23,6 +23,10 @@
 //!   persistent chaos on a fallback-less kernel, so they quarantine.
 //!   Only that tenant may be quarantined; its clean-tenant neighbors'
 //!   outputs must match the software reference byte for byte.
+//! * [`ServeChaosMode::KillMidJournal`] — a journaled service is
+//!   killed (abort shutdown) and its write-ahead journal torn at a
+//!   random byte before restart. The restart must succeed, replay the
+//!   surviving prefix, and serve probes with typed outcomes only.
 //!
 //! Every wait goes through [`JobTicket::wait_timeout`], so a hang is
 //! detected as a typed `ResultTimeout` violation instead of wedging the
@@ -59,15 +63,19 @@ pub enum ServeChaosMode {
     /// One tenant's jobs persistently poison lanes and must be
     /// quarantined without collateral damage.
     PoisonTenant,
+    /// A journaled service dies mid-append; its journal is torn at a
+    /// random byte and the restart must recover the surviving prefix.
+    KillMidJournal,
 }
 
 impl ServeChaosMode {
     /// Every mode, in plan cycling order.
-    pub const ALL: [ServeChaosMode; 4] = [
+    pub const ALL: [ServeChaosMode; 5] = [
         ServeChaosMode::OverloadBurst,
         ServeChaosMode::ClientDisconnect,
         ServeChaosMode::StalledReader,
         ServeChaosMode::PoisonTenant,
+        ServeChaosMode::KillMidJournal,
     ];
 
     /// Stable kebab-case name (summaries, JSON).
@@ -77,6 +85,7 @@ impl ServeChaosMode {
             ServeChaosMode::ClientDisconnect => "client-disconnect",
             ServeChaosMode::StalledReader => "stalled-reader",
             ServeChaosMode::PoisonTenant => "poison-tenant",
+            ServeChaosMode::KillMidJournal => "kill-mid-journal",
         }
     }
 }
@@ -407,6 +416,7 @@ fn run_stalled_reader(seed: u64, stats: &mut ServeModeStats, violations: &mut Ve
         udp_serve::SocketConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_millis(200),
+            ..udp_serve::SocketConfig::default()
         },
     ) {
         Ok(s) => s,
@@ -622,6 +632,161 @@ fn run_poison_tenant(seed: u64, stats: &mut ServeModeStats, violations: &mut Vec
     }
 }
 
+/// One `KillMidJournal` case: a journaled service registers its
+/// kernels from the artifact store, runs jobs, quarantines a tenant —
+/// then dies (abort) and has its journal torn at a random byte. The
+/// restart must replay the surviving prefix and keep serving: a probe
+/// job either completes reference-identically or is refused with the
+/// typed `UnknownKernel` (its registration record was in the torn
+/// tail). Anything else — a failed restart, a panic, a hang — is a
+/// violation.
+fn run_kill_mid_journal(seed: u64, stats: &mut ServeModeStats, violations: &mut Vec<String>) {
+    let mode = ServeChaosMode::KillMidJournal;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let reference = csv_reference();
+    let root =
+        std::env::temp_dir().join(format!("udp-serve-killj-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = match udp_store::ArtifactStore::open_with(root.join("store"), false) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("mode={} store failed to open: {e}", mode.name()));
+            return;
+        }
+    };
+    let journal = root.join("serve.journal");
+    let parallel = rng.gen::<bool>();
+    let config = || ServeConfig {
+        queue_capacity: 64,
+        max_wave: 8,
+        parallel,
+        default_quota: TenantQuota {
+            max_queued: 8,
+            cycle_budget: None,
+        },
+        quarantine_strikes: 1,
+        journal_sync: false,
+        ..ServeConfig::default()
+    };
+    let rt = match ServeRuntime::start_journaled(config(), &journal, &store) {
+        Ok(rt) => rt,
+        Err(e) => {
+            violations.push(format!("mode={} runtime failed to start: {e}", mode.name()));
+            return;
+        }
+    };
+    let handle = rt.handle();
+    let registered = udp_serve::csv_kernel_artifact(&store).and_then(|(artifact, fallback)| {
+        handle.register_artifact("csv", &artifact, Some(fallback))?;
+        handle.register_artifact("csv-raw", &artifact, None)
+    });
+    if let Err(e) = registered {
+        violations.push(format!(
+            "mode={} artifact registration failed: {e}",
+            mode.name()
+        ));
+        return;
+    }
+    // Pre-kill history: clean work plus a quarantined tenant, so the
+    // journal holds registers, charges, a strike, and a quarantine.
+    for i in 0..3 {
+        let payload = format!("k{i},{seed}\n").into_bytes();
+        match handle.submit(JobSpec::new(format!("t{}", i % 2), "csv", payload)) {
+            Ok(t) => match settle(t, mode, "pre-kill job", violations) {
+                Some(Ok(_)) => stats.completed += 1,
+                Some(Err(e)) => {
+                    violations.push(format!("mode={} pre-kill job failed: {e}", mode.name()))
+                }
+                None => {}
+            },
+            Err(e) => violations.push(format!(
+                "mode={} pre-kill submission refused: {e}",
+                mode.name()
+            )),
+        }
+    }
+    let mut poison = JobSpec::new("poison", "csv-raw", lineitem_csv(1024, seed));
+    poison.chaos = Some(ChaosSpec {
+        fault_at: Some(200 + rng.gen_range(0..200u64)),
+        panic_at: None,
+        transient: false,
+    });
+    match handle.submit(poison) {
+        Ok(t) => match settle(t, mode, "poison job", violations) {
+            Some(Err(ServeError::JobQuarantined { .. })) => stats.quarantined += 1,
+            Some(other) => violations.push(format!(
+                "mode={} poison job did not quarantine: {other:?}",
+                mode.name()
+            )),
+            None => {}
+        },
+        Err(e) => violations.push(format!(
+            "mode={} poison submission refused: {e}",
+            mode.name()
+        )),
+    }
+    // The kill: abort, then tear the journal at a random byte.
+    rt.shutdown(Shutdown::Abort);
+    let len = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+    if len == 0 {
+        violations.push(format!(
+            "mode={} journal is empty before the tear",
+            mode.name()
+        ));
+    }
+    let cut = rng.gen_range(0..=len);
+    if let Err(e) = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&journal)
+        .and_then(|f| f.set_len(cut))
+    {
+        violations.push(format!("mode={} journal tear failed: {e}", mode.name()));
+    }
+    // The restart: must come up from the torn journal, no exceptions.
+    let rt2 = match ServeRuntime::start_journaled(config(), &journal, &store) {
+        Ok(rt) => rt,
+        Err(e) => {
+            violations.push(format!(
+                "mode={} restart from torn journal failed: {e}",
+                mode.name()
+            ));
+            return;
+        }
+    };
+    let probe_payload = format!("probe,{seed}\n").into_bytes();
+    match rt2
+        .handle()
+        .submit(JobSpec::new("prober", "csv", probe_payload.clone()))
+    {
+        Ok(t) => match settle(t, mode, "post-restart probe", violations) {
+            Some(Ok(out)) => {
+                stats.completed += 1;
+                if out.output != expect_output(reference.as_ref(), &probe_payload) {
+                    violations.push(format!(
+                        "mode={} post-restart probe output diverges",
+                        mode.name()
+                    ));
+                }
+            }
+            Some(Err(e)) => violations.push(format!(
+                "mode={} post-restart probe failed untypically: {e}",
+                mode.name()
+            )),
+            None => {}
+        },
+        // The cut may have torn away the registration record itself —
+        // a typed refusal naming the kernel is the correct prefix
+        // semantics, not a violation.
+        Err(ServeError::UnknownKernel { .. }) => {}
+        Err(e) => violations.push(format!(
+            "mode={} post-restart probe refused untypically: {e}",
+            mode.name()
+        )),
+    }
+    rt2.shutdown(Shutdown::Drain);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Post-case sanity shared by the non-quarantine modes: no job was
 /// quarantined and no tenant collaterally isolated.
 fn check_clean_service(mode: ServeChaosMode, s: &ServeStats, violations: &mut Vec<String>) {
@@ -664,6 +829,7 @@ pub fn run_serve_plan(seed: u64, iters: u64) -> ServeFuzzSummary {
             }
             ServeChaosMode::StalledReader => run_stalled_reader(case_seed, s, &mut violations),
             ServeChaosMode::PoisonTenant => run_poison_tenant(case_seed, s, &mut violations),
+            ServeChaosMode::KillMidJournal => run_kill_mid_journal(case_seed, s, &mut violations),
         }
         s.violations += (violations.len() - before) as u64;
     }
@@ -705,9 +871,10 @@ mod tests {
             assert_eq!(s.runs, 1);
         }
         let text = summary.to_string();
-        assert!(text.starts_with("serve_fuzz seed=0x5eeded iters=4 panics=0"));
+        assert!(text.starts_with("serve_fuzz seed=0x5eeded iters=5 panics=0"));
         assert!(text.contains("mode=overload-burst "));
         assert!(text.contains("mode=poison-tenant "));
+        assert!(text.contains("mode=kill-mid-journal "));
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Artifact-store chaos: tries to break the `udp-store` durability
+//! invariant (DESIGN.md §11.2) the way [`crate::serve`] attacks the
+//! service runtime's:
+//!
+//! > **A damaged artifact — flipped bits, truncation, a torn write —
+//! > surfaces only as a typed [`StoreError`], and the store recovers
+//! > by re-assembling from source; it never panics and never returns
+//! > an artifact that fails re-verification.**
+//!
+//! Four store chaos modes, kept in their own enum (like
+//! [`crate::ServeChaosMode`], deliberately *not* added to
+//! [`crate::FaultMode::ALL`], whose cycling order is load-bearing):
+//!
+//! * [`StoreChaosMode::ArtifactBitFlip`] — flip one random bit
+//!   anywhere in a stored artifact. The sha-256 trailer must catch it,
+//!   and `get_or_build` must come back `Rebuilt` with the image
+//!   byte-identical to the pristine build.
+//! * [`StoreChaosMode::ArtifactTruncate`] — cut the artifact file at a
+//!   random byte. Every cut point must land on a typed ladder rung
+//!   (truncated-file, bad-magic, checksum…), then rebuild cleanly.
+//! * [`StoreChaosMode::TornWrite`] — a crash mid-write: a partial
+//!   temp file left behind plus a torn object file. Reopening the
+//!   store must sweep the temp debris, and the torn object must
+//!   recover like any other corruption.
+//! * [`StoreChaosMode::PoisonSource`] — unassemblable source text.
+//!   Building it is a typed refusal; corrupting its artifact *and*
+//!   its source hits the final rung: quarantine, not a panic.
+//!
+//! The `fault_fuzz` binary in `udp-bench` runs seeded iterations via
+//! `--store-iters`; `scripts/ci.sh` gates on zero violations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use udp_asm::LayoutOptions;
+use udp_isa::NUM_BANKS;
+use udp_store::{ArtifactKey, ArtifactStore, LoadOutcome, StoreError};
+
+/// The store-level chaos modes (separate from [`crate::FaultMode`];
+/// see the module docs for why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreChaosMode {
+    /// Flip one random bit in a stored artifact file.
+    ArtifactBitFlip,
+    /// Truncate a stored artifact file at a random byte.
+    ArtifactTruncate,
+    /// Leave a partial temp file and a torn object file, as a crash
+    /// mid-write would.
+    TornWrite,
+    /// Unassemblable source text, with and without a corrupt artifact
+    /// squatting on its key.
+    PoisonSource,
+}
+
+impl StoreChaosMode {
+    /// Every mode, in plan cycling order.
+    pub const ALL: [StoreChaosMode; 4] = [
+        StoreChaosMode::ArtifactBitFlip,
+        StoreChaosMode::ArtifactTruncate,
+        StoreChaosMode::TornWrite,
+        StoreChaosMode::PoisonSource,
+    ];
+
+    /// Stable kebab-case name (summaries, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreChaosMode::ArtifactBitFlip => "artifact-bit-flip",
+            StoreChaosMode::ArtifactTruncate => "artifact-truncate",
+            StoreChaosMode::TornWrite => "torn-write",
+            StoreChaosMode::PoisonSource => "poison-source",
+        }
+    }
+}
+
+/// Per-mode counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreModeStats {
+    /// Cases executed.
+    pub runs: u64,
+    /// Invariant violations (panics, undetected corruption, failed or
+    /// divergent recovery).
+    pub violations: u64,
+    /// Corruptions detected as typed [`StoreError`]s.
+    pub detected: u64,
+    /// Artifacts recovered byte-identically by re-assembly.
+    pub rebuilt: u64,
+    /// Keys that correctly ended in quarantine.
+    pub quarantined: u64,
+}
+
+/// Aggregate result of a store-chaos fuzzing run.
+#[derive(Debug, Clone)]
+pub struct StoreFuzzSummary {
+    /// Plan seed.
+    pub seed: u64,
+    /// Cases executed across modes.
+    pub iters: u64,
+    /// Counters per mode, indexed like [`StoreChaosMode::ALL`].
+    pub stats: Vec<(StoreChaosMode, StoreModeStats)>,
+    /// Human-readable description of every violation.
+    pub violations: Vec<String>,
+}
+
+impl StoreFuzzSummary {
+    /// Total invariant violations.
+    pub fn panics(&self) -> u64 {
+        self.violations.len() as u64
+    }
+}
+
+impl std::fmt::Display for StoreFuzzSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "store_fuzz seed={:#x} iters={} panics={}",
+            self.seed,
+            self.iters,
+            self.panics()
+        )?;
+        for (mode, s) in &self.stats {
+            writeln!(
+                f,
+                "mode={} runs={} violations={} detected={} rebuilt={} quarantined={}",
+                mode.name(),
+                s.runs,
+                s.violations,
+                s.detected,
+                s.rebuilt,
+                s.quarantined
+            )?;
+        }
+        for v in &self.violations {
+            writeln!(f, "violation {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The corpus program every corruption case stores and recovers: the
+/// workspace CSV framing kernel, as canonical assembly text, with the
+/// smallest window it assembles into.
+fn csv_source() -> (String, LayoutOptions) {
+    let pb = udp_compilers::csv::csv_to_udp();
+    let source = udp_asm::emit_asm(&pb);
+    let mut banks = 1;
+    loop {
+        let layout = LayoutOptions::with_banks(banks);
+        if pb.assemble(&layout).is_ok() {
+            return (source, layout);
+        }
+        assert!(banks < NUM_BANKS, "csv kernel must fit the scratchpad");
+        banks *= 2;
+    }
+}
+
+fn temp_root(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "udp-store-fuzz-{tag}-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs a store call under `catch_unwind`: a panic is an invariant
+/// violation, recorded and mapped to `None`.
+fn no_panic<T>(
+    mode: StoreChaosMode,
+    what: &str,
+    violations: &mut Vec<String>,
+    f: impl FnOnce() -> T,
+) -> Option<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(_) => {
+            violations.push(format!("mode={} {what}: PANICKED", mode.name()));
+            None
+        }
+    }
+}
+
+/// Shared scaffold for the corruption modes: build a pristine artifact,
+/// hand its on-disk path to `damage`, then demand (a) `load` fails with
+/// a typed error, (b) `get_or_build` recovers `Rebuilt` with the image
+/// byte-identical to the pristine build, (c) a final `load` is a clean
+/// `Hit`.
+fn corruption_case(
+    mode: StoreChaosMode,
+    seed: u64,
+    stats: &mut StoreModeStats,
+    violations: &mut Vec<String>,
+    damage: impl FnOnce(&mut SmallRng, &ArtifactStore, &ArtifactKey, &mut Vec<String>),
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (source, layout) = csv_source();
+    let root = temp_root(mode.name(), seed);
+    let store = match ArtifactStore::open_with(&root, false) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("mode={} store failed to open: {e}", mode.name()));
+            return;
+        }
+    };
+    let pristine = match store.get_or_build(&source, &layout) {
+        Ok(a) => a,
+        Err(e) => {
+            violations.push(format!("mode={} pristine build failed: {e}", mode.name()));
+            return;
+        }
+    };
+    let key = pristine.key;
+    let pristine_bytes = udp_asm::encode_image(&pristine.image);
+    drop(pristine);
+
+    damage(&mut rng, &store, &key, violations);
+
+    // Rung 1: the damage must be *detected*, as a typed error.
+    match no_panic(mode, "load of damaged artifact", violations, || {
+        store.load(&key)
+    }) {
+        Some(Err(_)) => stats.detected += 1,
+        Some(Ok(_)) => violations.push(format!(
+            "mode={} corruption went undetected by load",
+            mode.name()
+        )),
+        None => {}
+    }
+    // Rung 2: recovery must re-assemble the identical image.
+    match no_panic(mode, "get_or_build recovery", violations, || {
+        store.get_or_build(&source, &layout)
+    }) {
+        Some(Ok(a)) => {
+            if !matches!(a.outcome, LoadOutcome::Rebuilt { .. }) {
+                violations.push(format!(
+                    "mode={} recovery outcome was {} not rebuilt",
+                    mode.name(),
+                    a.outcome.name()
+                ));
+            }
+            if udp_asm::encode_image(&a.image) == pristine_bytes {
+                stats.rebuilt += 1;
+            } else {
+                violations.push(format!(
+                    "mode={} rebuilt image diverges from the pristine build",
+                    mode.name()
+                ));
+            }
+        }
+        Some(Err(e)) => violations.push(format!(
+            "mode={} recovery from good source failed: {e}",
+            mode.name()
+        )),
+        None => {}
+    }
+    // Rung 3: the rewrite is durable — the next load is a clean hit.
+    match no_panic(mode, "load after recovery", violations, || store.load(&key)) {
+        Some(Ok(a)) if udp_asm::encode_image(&a.image) != pristine_bytes => {
+            violations.push(format!(
+                "mode={} post-recovery artifact diverges",
+                mode.name()
+            ));
+        }
+        Some(Ok(_)) => {}
+        Some(Err(e)) => violations.push(format!(
+            "mode={} load after recovery failed: {e}",
+            mode.name()
+        )),
+        None => {}
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One `ArtifactBitFlip` case.
+fn run_bit_flip(seed: u64, stats: &mut StoreModeStats, violations: &mut Vec<String>) {
+    let mode = StoreChaosMode::ArtifactBitFlip;
+    corruption_case(mode, seed, stats, violations, |rng, store, key, v| {
+        let path = store.artifact_path(key);
+        match std::fs::read(&path) {
+            Ok(mut bytes) if !bytes.is_empty() => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8u32);
+                if let Err(e) = std::fs::write(&path, &bytes) {
+                    v.push(format!("mode={} rewrite failed: {e}", mode.name()));
+                }
+            }
+            other => v.push(format!(
+                "mode={} could not read artifact to damage it: {other:?}",
+                mode.name()
+            )),
+        }
+    });
+}
+
+/// One `ArtifactTruncate` case.
+fn run_truncate(seed: u64, stats: &mut StoreModeStats, violations: &mut Vec<String>) {
+    let mode = StoreChaosMode::ArtifactTruncate;
+    corruption_case(mode, seed, stats, violations, |rng, store, key, v| {
+        let path = store.artifact_path(key);
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let cut = rng.gen_range(0..len.max(1));
+        let truncated = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .and_then(|f| f.set_len(cut));
+        if let Err(e) = truncated {
+            v.push(format!("mode={} truncate failed: {e}", mode.name()));
+        }
+    });
+}
+
+/// One `TornWrite` case: partial temp debris plus a torn object file;
+/// the store is reopened (the "restart") before the checks run.
+fn run_torn_write(seed: u64, stats: &mut StoreModeStats, violations: &mut Vec<String>) {
+    let mode = StoreChaosMode::TornWrite;
+    corruption_case(mode, seed, stats, violations, |rng, store, key, v| {
+        let path = store.artifact_path(key);
+        let bytes = std::fs::read(&path).unwrap_or_default();
+        // The interrupted writer's temp file: a random-length prefix.
+        let tmp = store.root().join("tmp").join(format!("{}.dead", key.hex()));
+        let keep = rng.gen_range(0..bytes.len().max(1));
+        if let Err(e) = std::fs::write(&tmp, &bytes[..keep]) {
+            v.push(format!(
+                "mode={} temp debris write failed: {e}",
+                mode.name()
+            ));
+        }
+        // The object itself tore (the chaos model assumes a filesystem
+        // that broke the write-then-rename promise).
+        let cut = rng.gen_range(0..bytes.len().max(1)) as u64;
+        if let Err(e) = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .and_then(|f| f.set_len(cut))
+        {
+            v.push(format!("mode={} object tear failed: {e}", mode.name()));
+        }
+        // Restart: a fresh open must sweep the temp debris.
+        match ArtifactStore::open_with(store.root(), false) {
+            Ok(_) => {
+                if tmp.exists() {
+                    v.push(format!(
+                        "mode={} temp debris survived a store reopen",
+                        mode.name()
+                    ));
+                }
+            }
+            Err(e) => v.push(format!("mode={} reopen failed: {e}", mode.name())),
+        }
+    });
+}
+
+/// One `PoisonSource` case: garbage source text must be a typed
+/// refusal; garbage source *plus* a corrupt artifact on its key must
+/// end in quarantine — the ladder's last rung — and stay there until
+/// released.
+fn run_poison_source(seed: u64, stats: &mut StoreModeStats, violations: &mut Vec<String>) {
+    let mode = StoreChaosMode::PoisonSource;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let root = temp_root(mode.name(), seed);
+    let store = match ArtifactStore::open_with(&root, false) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("mode={} store failed to open: {e}", mode.name()));
+            return;
+        }
+    };
+    let garbage = format!("not a program {:x}\n@@{seed:x}", rng.gen::<u64>());
+    let layout = LayoutOptions::default();
+    // With nothing on disk, a bad source is a plain typed refusal —
+    // no quarantine, nothing written.
+    match no_panic(mode, "bad-source build", violations, || {
+        store.get_or_build(&garbage, &layout)
+    }) {
+        Some(Err(e)) => {
+            stats.detected += 1;
+            if matches!(e, StoreError::Quarantined { .. }) {
+                violations.push(format!(
+                    "mode={} bad source quarantined with nothing on disk",
+                    mode.name()
+                ));
+            }
+        }
+        Some(Ok(_)) => violations.push(format!(
+            "mode={} garbage source assembled somehow",
+            mode.name()
+        )),
+        None => {}
+    }
+    // A corrupt artifact squatting on the bad source's key: load fails,
+    // re-assembly fails, and the key must be quarantined.
+    let key = ArtifactStore::key_for(&garbage, &layout);
+    if let Err(e) = std::fs::write(store.artifact_path(&key), b"squatter") {
+        violations.push(format!("mode={} squatter write failed: {e}", mode.name()));
+        return;
+    }
+    match no_panic(mode, "double-failure build", violations, || {
+        store.get_or_build(&garbage, &layout)
+    }) {
+        Some(Err(StoreError::Quarantined { .. })) => {
+            stats.quarantined += 1;
+            if store.is_quarantined(&key).is_none() {
+                violations.push(format!(
+                    "mode={} quarantine error without a quarantine mark",
+                    mode.name()
+                ));
+            }
+        }
+        Some(Err(e)) => violations.push(format!(
+            "mode={} double failure ended as {} not quarantined",
+            mode.name(),
+            e.name()
+        )),
+        Some(Ok(_)) => violations.push(format!(
+            "mode={} double failure produced an artifact",
+            mode.name()
+        )),
+        None => {}
+    }
+    // Quarantine is sticky across calls and restarts, and release
+    // only re-exposes the (still typed) underlying failure.
+    match no_panic(mode, "quarantined re-probe", violations, || {
+        store.get_or_build(&garbage, &layout)
+    }) {
+        Some(Err(StoreError::Quarantined { .. })) => {}
+        other => violations.push(format!(
+            "mode={} quarantine was not sticky: {:?}",
+            mode.name(),
+            other.map(|r| r.map(|a| a.outcome).map_err(|e| e.to_string()))
+        )),
+    }
+    match ArtifactStore::open_with(&root, false) {
+        Ok(reopened) => {
+            if reopened.is_quarantined(&key).is_none() {
+                violations.push(format!(
+                    "mode={} quarantine mark did not survive a reopen",
+                    mode.name()
+                ));
+            }
+            reopened.release_quarantine(&key);
+            match no_panic(mode, "post-release build", violations, || {
+                reopened.get_or_build(&garbage, &layout)
+            }) {
+                Some(Err(_)) => stats.detected += 1,
+                Some(Ok(_)) => violations.push(format!(
+                    "mode={} released garbage key produced an artifact",
+                    mode.name()
+                )),
+                None => {}
+            }
+        }
+        Err(e) => violations.push(format!("mode={} reopen failed: {e}", mode.name())),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Runs `iters` store-chaos cases, cycling [`StoreChaosMode::ALL`].
+/// Deterministic per `(seed, iters)`.
+pub fn run_store_plan(seed: u64, iters: u64) -> StoreFuzzSummary {
+    let mut stats: Vec<(StoreChaosMode, StoreModeStats)> = StoreChaosMode::ALL
+        .iter()
+        .map(|&m| (m, StoreModeStats::default()))
+        .collect();
+    let mut violations = Vec::new();
+    for i in 0..iters {
+        let mode = StoreChaosMode::ALL[(i % StoreChaosMode::ALL.len() as u64) as usize];
+        let case_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let entry = stats.iter_mut().find(|(m, _)| *m == mode).map(|(_, s)| s);
+        let Some(s) = entry else { continue };
+        s.runs += 1;
+        let before = violations.len();
+        match mode {
+            StoreChaosMode::ArtifactBitFlip => run_bit_flip(case_seed, s, &mut violations),
+            StoreChaosMode::ArtifactTruncate => run_truncate(case_seed, s, &mut violations),
+            StoreChaosMode::TornWrite => run_torn_write(case_seed, s, &mut violations),
+            StoreChaosMode::PoisonSource => run_poison_source(case_seed, s, &mut violations),
+        }
+        s.violations += (violations.len() - before) as u64;
+    }
+    StoreFuzzSummary {
+        seed,
+        iters,
+        stats,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_of_every_store_mode_is_violation_free() {
+        let summary = run_store_plan(0x5EEDED, StoreChaosMode::ALL.len() as u64);
+        assert_eq!(
+            summary.panics(),
+            0,
+            "violations:\n{}",
+            summary.violations.join("\n")
+        );
+        for (_, s) in &summary.stats {
+            assert_eq!(s.runs, 1);
+        }
+        let text = summary.to_string();
+        assert!(text.starts_with("store_fuzz seed=0x5eeded iters=4 panics=0"));
+        assert!(text.contains("mode=artifact-bit-flip "));
+        assert!(text.contains("mode=poison-source "));
+    }
+}

@@ -95,6 +95,17 @@ pub enum ServeError {
         /// The contained panic's message.
         detail: String,
     },
+    /// The connection has not completed the auth handshake (or sent a
+    /// bad token); the server answers with this and drops the
+    /// connection. Socket paths with `SocketConfig::auth_token` only.
+    Unauthorized,
+    /// The durable layer failed: the artifact store could not serve a
+    /// kernel, or the warm-restart journal could not be opened or
+    /// replayed. Carries the underlying typed error's rendering.
+    Store {
+        /// The store/journal error message.
+        detail: String,
+    },
 }
 
 impl ServeError {
@@ -113,6 +124,8 @@ impl ServeError {
             ServeError::RuntimeGone => 10,
             ServeError::Protocol { .. } => 11,
             ServeError::Internal { .. } => 12,
+            ServeError::Unauthorized => 13,
+            ServeError::Store { .. } => 14,
         }
     }
 
@@ -131,6 +144,8 @@ impl ServeError {
             ServeError::RuntimeGone => "runtime-gone",
             ServeError::Protocol { .. } => "protocol",
             ServeError::Internal { .. } => "internal",
+            ServeError::Unauthorized => "unauthorized",
+            ServeError::Store { .. } => "store",
         }
     }
 }
@@ -175,6 +190,15 @@ impl fmt::Display for ServeError {
             ServeError::Protocol { detail } => write!(f, "protocol error: {detail}"),
             ServeError::Internal { detail } => {
                 write!(f, "internal scheduler error: {detail}")
+            }
+            ServeError::Unauthorized => {
+                write!(
+                    f,
+                    "unauthorized: the connection has not presented a valid token"
+                )
+            }
+            ServeError::Store { detail } => {
+                write!(f, "durable state error: {detail}")
             }
         }
     }
@@ -232,6 +256,10 @@ mod tests {
             },
             ServeError::Internal {
                 detail: "bug".into(),
+            },
+            ServeError::Unauthorized,
+            ServeError::Store {
+                detail: "checksum mismatch".into(),
             },
         ]
     }

@@ -55,14 +55,17 @@
 
 pub mod error;
 pub mod job;
+pub mod journal;
 pub mod runtime;
 pub mod socket;
 pub mod wire;
 
 pub use error::{OverloadScope, ServeError};
 pub use job::{ChaosSpec, JobOutcome, JobOutput, JobResult, JobSpec, JobTicket};
+pub use journal::{JournalRecord, JournalWriter, Replay};
 pub use runtime::{
-    csv_kernel, ServeConfig, ServeHandle, ServeRuntime, ServeStats, Shutdown, TenantQuota,
+    csv_kernel, csv_kernel_artifact, ServeConfig, ServeHandle, ServeRuntime, ServeStats, Shutdown,
+    TenantQuota,
 };
 #[cfg(unix)]
 pub use socket::{ServeClient, SocketConfig, SocketServer};

@@ -34,18 +34,21 @@
 
 use crate::error::{OverloadScope, ServeError};
 use crate::job::{ChaosSpec, JobOutcome, JobOutput, JobResult, JobSpec, JobTicket};
+use crate::journal::{self, JournalRecord, JournalWriter};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
-use udp_asm::ProgramImage;
+use udp_asm::{DecodedProgram, LayoutOptions, ProgramImage};
 use udp_isa::mem::{BANK_WORDS, NUM_BANKS};
 use udp_sim::engine::Staging;
 use udp_sim::{
     ChunkOutcome, ExecBackend, FaultKind, LaneConfig, ReferenceFallback, SimError,
     SupervisorOptions, Udp, UdpRunOptions,
 };
+use udp_store::ArtifactStore;
 
 /// Per-tenant resource limits.
 #[derive(Debug, Clone)]
@@ -102,6 +105,10 @@ pub struct ServeConfig {
     /// [`ExecBackend::from_env`] at startup, so the runtime joins the
     /// `UDP_SIM_BACKEND` test matrix like everything else.
     pub backend: Option<ExecBackend>,
+    /// `fsync` the warm-restart journal after every record
+    /// ([`ServeRuntime::start_journaled`] only). Durable by default;
+    /// tests that churn many short-lived services can turn it off.
+    pub journal_sync: bool,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +126,7 @@ impl Default for ServeConfig {
             lane: LaneConfig::default(),
             cycles_per_ms: 200_000,
             backend: None,
+            journal_sync: true,
         }
     }
 }
@@ -151,6 +159,11 @@ pub struct ServeStats {
     pub tenants_quarantined: u64,
     /// Results that could not be delivered (client hung up).
     pub results_dropped: u64,
+    /// Kernels whose journal record could not be restored at warm
+    /// restart (artifact gone *and* source unassemblable); the service
+    /// starts degraded and refuses them with
+    /// [`ServeError::UnknownKernel`].
+    pub kernels_dropped: u64,
     /// Device waves executed.
     pub waves: u64,
     /// Input bytes executed on the device.
@@ -159,11 +172,14 @@ pub struct ServeStats {
     pub cycles: u64,
 }
 
-/// A registered kernel: the verified program image plus its optional
-/// software reference fallback (the supervisor's second rung).
+/// A registered kernel: the verified program image, its predecode-once
+/// execution table (shared by every wave instead of re-predecoding per
+/// run), and its optional software reference fallback (the
+/// supervisor's second rung).
 #[derive(Clone)]
 struct KernelSpec {
     image: Arc<ProgramImage>,
+    decoded: Arc<DecodedProgram>,
     banks_per_lane: usize,
     fallback: Option<Arc<dyn ReferenceFallback>>,
 }
@@ -220,6 +236,10 @@ struct Shared {
     work_cv: Condvar,
     config: ServeConfig,
     backend: ExecBackend,
+    /// Warm-restart write-ahead journal; `None` for unjournaled
+    /// runtimes. Lock order: `state` first, `journal` second — never
+    /// the reverse.
+    journal: Mutex<Option<JournalWriter>>,
 }
 
 impl Shared {
@@ -227,6 +247,14 @@ impl Shared {
     /// turn every client call into a second panic.
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record to the journal, if one is attached.
+    fn journal_append(&self, rec: &JournalRecord) {
+        let mut j = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(w) = j.as_mut() {
+            w.append(rec);
+        }
     }
 }
 
@@ -273,6 +301,7 @@ impl ServeRuntime {
             work_cv: Condvar::new(),
             config,
             backend,
+            journal: Mutex::new(None),
         });
         let worker = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -294,6 +323,59 @@ impl ServeRuntime {
         let rt = ServeRuntime::start(config)?;
         let (image, fallback) = csv_kernel()?;
         rt.handle().register_kernel("csv", image, Some(fallback))?;
+        Ok(rt)
+    }
+
+    /// Warm(-restartable) start: replays the write-ahead journal at
+    /// `journal_path` — restoring registered kernels through the
+    /// artifact `store` and every tenant's admission-relevant state
+    /// (quotas, cycles charged, strikes, quarantine) — then resumes
+    /// journaling to the same file, so a restarted service admits and
+    /// refuses exactly like the one that stopped (DESIGN.md §11.3).
+    ///
+    /// Recovery discipline:
+    ///
+    /// * A torn journal tail (crash mid-append) is detected by the
+    ///   per-record CRC, reported on stderr, and truncated away —
+    ///   everything before it replays normally.
+    /// * A kernel whose artifact is corrupt is rebuilt from the source
+    ///   in its journal record (the store's recovery rung). If that
+    ///   fails too, the kernel is dropped — counted in
+    ///   [`ServeStats::kernels_dropped`] — and the service starts
+    ///   degraded, refusing that kernel with
+    ///   [`ServeError::UnknownKernel`] instead of refusing to start.
+    /// * Only kernels registered via [`ServeHandle::register_artifact`]
+    ///   survive restarts; [`ServeHandle::register_kernel`] is
+    ///   journal-less by design (it has no durable provenance).
+    pub fn start_journaled(
+        config: ServeConfig,
+        journal_path: impl AsRef<Path>,
+        store: &ArtifactStore,
+    ) -> Result<ServeRuntime, ServeError> {
+        let journal_path = journal_path.as_ref();
+        let replayed = journal::replay(journal_path)?;
+        if let Some(note) = &replayed.torn {
+            eprintln!(
+                "udp-serve: journal {}: discarding torn tail ({note})",
+                journal_path.display()
+            );
+        }
+        let sync = config.journal_sync;
+        let rt = ServeRuntime::start(config)?;
+        {
+            let shared = &rt.handle.shared;
+            let default_quota = shared.config.default_quota.clone();
+            let mut st = shared.lock();
+            for rec in &replayed.records {
+                apply_record(&mut st, store, &default_quota, rec);
+            }
+        }
+        let writer = JournalWriter::open(journal_path, replayed.valid_bytes, sync)?;
+        *rt.handle
+            .shared
+            .journal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(writer);
         Ok(rt)
     }
 
@@ -363,15 +445,58 @@ impl ServeHandle {
             }
             _ => image,
         };
+        let decoded = Arc::new(image.predecode());
         let mut st = self.shared.lock();
         st.kernels.insert(
             name.into(),
             KernelSpec {
                 image,
+                decoded,
                 banks_per_lane,
                 fallback,
             },
         );
+        Ok(())
+    }
+
+    /// Registers (or replaces) a kernel from a store [`Artifact`]
+    /// (`udp_store::Artifact`). The store already integrity-checked and
+    /// re-validated the image — certificate included — at load, so
+    /// registration skips the redundant re-verification and shares the
+    /// artifact's image and predecoded table by `Arc` (no copies).
+    ///
+    /// Unlike [`ServeHandle::register_kernel`], this registration is
+    /// journaled (source + layout + fallback tag), so on a
+    /// [`ServeRuntime::start_journaled`] restart the kernel is restored
+    /// from the store — or rebuilt from its source if the artifact was
+    /// corrupted in between.
+    pub fn register_artifact(
+        &self,
+        name: impl Into<String>,
+        artifact: &udp_store::Artifact,
+        fallback: Option<Arc<dyn ReferenceFallback>>,
+    ) -> Result<(), ServeError> {
+        if !artifact.image.executable {
+            return Err(ServeError::Sim(SimError::NotExecutable));
+        }
+        let name = name.into();
+        let rec = JournalRecord::RegisterKernel {
+            name: name.clone(),
+            source: artifact.source.clone(),
+            layout: artifact.layout.clone(),
+            fallback: fallback.as_ref().map(|f| f.name().to_string()),
+        };
+        let mut st = self.shared.lock();
+        st.kernels.insert(
+            name,
+            KernelSpec {
+                image: Arc::clone(&artifact.image),
+                decoded: Arc::clone(&artifact.decoded),
+                banks_per_lane: artifact.banks_per_lane,
+                fallback,
+            },
+        );
+        self.shared.journal_append(&rec);
         Ok(())
     }
 
@@ -488,8 +613,14 @@ impl ServeHandle {
     /// Sets (or replaces) `tenant`'s quota. Creates the tenant record
     /// if it has not submitted yet.
     pub fn set_quota(&self, tenant: impl Into<String>, quota: TenantQuota) {
+        let tenant = tenant.into();
+        let rec = JournalRecord::SetQuota {
+            tenant: tenant.clone(),
+            max_queued: quota.max_queued as u64,
+            cycle_budget: quota.cycle_budget,
+        };
         let mut st = self.shared.lock();
-        match st.tenants.entry(tenant.into()) {
+        match st.tenants.entry(tenant) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 e.get_mut().quota = quota;
             }
@@ -497,6 +628,7 @@ impl ServeHandle {
                 e.insert(TenantState::new(quota));
             }
         }
+        self.shared.journal_append(&rec);
     }
 
     /// Credits `cycles` back to `tenant`'s spent-cycle account (an
@@ -505,6 +637,10 @@ impl ServeHandle {
         let mut st = self.shared.lock();
         if let Some(t) = st.tenants.get_mut(tenant) {
             t.cycles_used = t.cycles_used.saturating_sub(cycles);
+            self.shared.journal_append(&JournalRecord::Refill {
+                tenant: tenant.to_string(),
+                cycles,
+            });
         }
     }
 
@@ -517,6 +653,9 @@ impl ServeHandle {
                 t.quarantined = false;
                 t.strikes = 0;
                 st.stats.tenants_quarantined = st.stats.tenants_quarantined.saturating_sub(1);
+                self.shared.journal_append(&JournalRecord::Release {
+                    tenant: tenant.to_string(),
+                });
             }
         }
     }
@@ -564,7 +703,7 @@ pub fn csv_kernel() -> Result<(Arc<ProgramImage>, Arc<dyn ReferenceFallback>), S
     let pb = udp_compilers::csv::csv_to_udp();
     let mut banks = 1;
     let image = loop {
-        match pb.assemble(&udp_asm::LayoutOptions::with_banks(banks)) {
+        match pb.assemble(&LayoutOptions::with_banks(banks)) {
             Ok(img) => break img,
             Err(_) if banks < NUM_BANKS => banks *= 2,
             Err(e) => {
@@ -574,13 +713,148 @@ pub fn csv_kernel() -> Result<(Arc<ProgramImage>, Arc<dyn ReferenceFallback>), S
             }
         }
     };
-    let fallback: Arc<dyn ReferenceFallback> = Arc::new(udp_codecs::fallback::CsvFramingFallback {
+    let fallback = csv_fallback();
+    Ok((Arc::new(image), fallback))
+}
+
+/// The byte-identical software reference for the CSV framing kernel.
+fn csv_fallback() -> Arc<dyn ReferenceFallback> {
+    Arc::new(udp_codecs::fallback::CsvFramingFallback {
         delimiter: b',',
         quote: b'"',
         field_sep: udp_compilers::FIELD_SEP,
         record_sep: udp_compilers::RECORD_SEP,
-    });
-    Ok((Arc::new(image), fallback))
+    })
+}
+
+/// Resolves a journaled fallback tag back to its builtin
+/// implementation at replay time. Tags are `ReferenceFallback::name()`
+/// values; an unknown tag restores the kernel without a fallback rung
+/// (degraded but serving) rather than dropping it.
+fn builtin_fallback(tag: &str) -> Option<Arc<dyn ReferenceFallback>> {
+    match tag {
+        "csv-framing" => Some(csv_fallback()),
+        _ => None,
+    }
+}
+
+/// The CSV framing kernel as a durable store artifact: its canonical
+/// source text is built (or loaded) through `store`, so the verified
+/// image round-trips the artifact format and a
+/// [`ServeHandle::register_artifact`] registration survives warm
+/// restarts. Returns the artifact plus the byte-identical software
+/// reference fallback.
+pub fn csv_kernel_artifact(
+    store: &ArtifactStore,
+) -> Result<(udp_store::Artifact, Arc<dyn ReferenceFallback>), ServeError> {
+    let pb = udp_compilers::csv::csv_to_udp();
+    let source = udp_asm::emit_asm(&pb);
+    let mut banks = 1;
+    let artifact = loop {
+        match store.get_or_build(&source, &LayoutOptions::with_banks(banks)) {
+            Ok(a) => break a,
+            Err(_) if banks < NUM_BANKS => banks *= 2,
+            Err(e) => {
+                return Err(ServeError::Store {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    };
+    Ok((artifact, csv_fallback()))
+}
+
+/// Applies one replayed journal record to the fresh runtime state.
+/// Mirrors the live mutation paths exactly — same entry-creation
+/// semantics, same saturating arithmetic — so a replayed service is
+/// indistinguishable at admission time from one that never stopped.
+fn apply_record(
+    st: &mut State,
+    store: &ArtifactStore,
+    default_quota: &TenantQuota,
+    rec: &JournalRecord,
+) {
+    match rec {
+        JournalRecord::RegisterKernel {
+            name,
+            source,
+            layout,
+            fallback,
+        } => match store.get_or_build(source, layout) {
+            Ok(artifact) => {
+                let fallback = fallback.as_deref().and_then(builtin_fallback);
+                st.kernels.insert(
+                    name.clone(),
+                    KernelSpec {
+                        image: Arc::clone(&artifact.image),
+                        decoded: Arc::clone(&artifact.decoded),
+                        banks_per_lane: artifact.banks_per_lane,
+                        fallback,
+                    },
+                );
+            }
+            Err(e) => {
+                st.stats.kernels_dropped += 1;
+                eprintln!("udp-serve: kernel `{name}` dropped at warm restart: {e}");
+            }
+        },
+        JournalRecord::SetQuota {
+            tenant,
+            max_queued,
+            cycle_budget,
+        } => {
+            let quota = TenantQuota {
+                max_queued: *max_queued as usize,
+                cycle_budget: *cycle_budget,
+            };
+            match st.tenants.entry(tenant.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().quota = quota;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(TenantState::new(quota));
+                }
+            }
+        }
+        JournalRecord::Charge { tenant, cycles } => {
+            let t = st
+                .tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantState::new(default_quota.clone()));
+            t.cycles_used = t.cycles_used.saturating_add(*cycles);
+        }
+        JournalRecord::Strike { tenant } => {
+            let t = st
+                .tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantState::new(default_quota.clone()));
+            t.strikes += 1;
+        }
+        JournalRecord::Quarantine { tenant } => {
+            let t = st
+                .tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantState::new(default_quota.clone()));
+            if !t.quarantined {
+                t.quarantined = true;
+                st.stats.tenants_quarantined += 1;
+            }
+        }
+        JournalRecord::Release { tenant } => {
+            if let Some(t) = st.tenants.get_mut(tenant) {
+                if t.quarantined {
+                    t.quarantined = false;
+                    t.strikes = 0;
+                    st.stats.tenants_quarantined = st.stats.tenants_quarantined.saturating_sub(1);
+                }
+            }
+        }
+        JournalRecord::Refill { tenant, cycles } => {
+            if let Some(t) = st.tenants.get_mut(tenant) {
+                t.cycles_used = t.cycles_used.saturating_sub(*cycles);
+            }
+        }
+    }
 }
 
 /// The scheduler: wait for work, form a same-kernel wave, run it under
@@ -798,12 +1072,20 @@ fn run_wave(shared: &Shared, kernel: &KernelSpec, jobs: Vec<PendingJob>) {
     };
     let inputs: Vec<&[u8]> = runnable.iter().map(|j| j.payload.as_slice()).collect();
     let staging = Staging::default();
-    let report = Udp::new().try_run_data_parallel(&kernel.image, &inputs, &staging, &opts);
+    // The kernel's predecoded table is shared with the engine — decoded
+    // once at registration, reused by every wave of every job.
+    let report = Udp::new().try_run_data_parallel_shared(
+        &kernel.image,
+        &kernel.decoded,
+        &inputs,
+        &staging,
+        &opts,
+    );
 
     let done = Instant::now();
     let mut st = shared.lock();
     st.stats.waves += 1;
-    let report = match report {
+    let mut report = match report {
         Ok(rep) => rep,
         Err(e) => {
             // Pre-flight refusal (cannot happen for registered kernels;
@@ -823,6 +1105,10 @@ fn run_wave(shared: &Shared, kernel: &KernelSpec, jobs: Vec<PendingJob>) {
         st.stats.cycles += cycles;
         if let Some(t) = st.tenants.get_mut(&job.tenant) {
             t.cycles_used = t.cycles_used.saturating_add(cycles);
+            shared.journal_append(&JournalRecord::Charge {
+                tenant: job.tenant.clone(),
+                cycles,
+            });
         }
         // Deadline enforcement at completion: a late result is dropped,
         // and a run cancelled by its deadline-derived cycle clamp is a
@@ -847,21 +1133,24 @@ fn run_wave(shared: &Shared, kernel: &KernelSpec, jobs: Vec<PendingJob>) {
             );
             continue;
         }
+        // Move the lane's output out of the report instead of cloning
+        // it — this is the submit path's last deep copy of job data.
+        let output = std::mem::take(&mut report.lanes[i].output);
         let result = match &report.health.outcomes[i] {
             ChunkOutcome::Clean => Ok(JobOutput {
-                output: lane_rep.output.clone(),
+                output,
                 cycles,
                 outcome: JobOutcome::Clean,
             }),
             ChunkOutcome::Recovered { attempts } => Ok(JobOutput {
-                output: lane_rep.output.clone(),
+                output,
                 cycles,
                 outcome: JobOutcome::Recovered {
                     attempts: *attempts,
                 },
             }),
             ChunkOutcome::Fallback => Ok(JobOutput {
-                output: lane_rep.output.clone(),
+                output,
                 cycles,
                 outcome: JobOutcome::Fallback,
             }),
@@ -871,9 +1160,15 @@ fn run_wave(shared: &Shared, kernel: &KernelSpec, jobs: Vec<PendingJob>) {
                 st.stats.quarantined_jobs += 1;
                 if let Some(t) = st.tenants.get_mut(&job.tenant) {
                     t.strikes += 1;
+                    shared.journal_append(&JournalRecord::Strike {
+                        tenant: job.tenant.clone(),
+                    });
                     if !t.quarantined && t.strikes >= shared.config.quarantine_strikes.max(1) {
                         t.quarantined = true;
                         st.stats.tenants_quarantined += 1;
+                        shared.journal_append(&JournalRecord::Quarantine {
+                            tenant: job.tenant.clone(),
+                        });
                     }
                 }
                 Err(ServeError::JobQuarantined {

@@ -37,6 +37,12 @@ pub struct SocketConfig {
     /// Per-connection write timeout (a peer that stops draining its
     /// receive buffer).
     pub write_timeout: Duration,
+    /// Pre-shared auth token. `Some` requires every connection's first
+    /// frame to be an AUTH frame carrying exactly these bytes (compared
+    /// in constant time); anything else is answered with
+    /// [`ServeError::Unauthorized`] and the connection is dropped.
+    /// `None` (the default) disables the handshake.
+    pub auth_token: Option<Vec<u8>>,
 }
 
 impl Default for SocketConfig {
@@ -44,8 +50,24 @@ impl Default for SocketConfig {
         SocketConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            auth_token: None,
         }
     }
+}
+
+/// Constant-time byte-slice equality: the comparison touches every byte
+/// of both slices regardless of where they first differ, so response
+/// timing does not leak a prefix match. (A length mismatch is folded in
+/// the same way rather than early-returned.)
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// A Unix-socket front end serving a [`ServeHandle`].
@@ -166,6 +188,9 @@ fn serve_connection(
         })?;
     let mut reader = io::BufReader::new(&stream);
     let mut writer = io::BufWriter::new(&stream);
+    // With no token configured every connection starts authenticated;
+    // otherwise nothing but a correct AUTH frame gets past the gate.
+    let mut authed = config.auth_token.is_none();
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(f)) => f,
@@ -180,7 +205,55 @@ fn serve_connection(
                 return Err(e);
             }
         };
-        let reply: JobResult = match wire::decode_request(&frame) {
+        let request = wire::decode_request(&frame);
+        if !authed {
+            // The gate: only a correct AUTH frame proceeds. A bad
+            // token, a short/truncated frame, or any other request is
+            // answered Unauthorized and the connection is dropped —
+            // an unauthenticated peer learns nothing but "no".
+            let ok = matches!(
+                &request,
+                Ok(Request::Auth { token })
+                    if config.auth_token.as_deref().is_some_and(|want| ct_eq(token, want))
+            );
+            if ok {
+                authed = true;
+                let reply: JobResult = Ok(crate::job::JobOutput {
+                    output: Vec::new(),
+                    cycles: 0,
+                    outcome: crate::job::JobOutcome::Clean,
+                });
+                write_frame(&mut writer, &wire::encode_response(&reply))?;
+                continue;
+            }
+            let reply: JobResult = Err(ServeError::Unauthorized);
+            let _ = write_frame(&mut writer, &wire::encode_response(&reply));
+            return Err(WireError {
+                detail: "closed unauthenticated connection".into(),
+            });
+        }
+        let reply: JobResult = match request {
+            // A redundant AUTH on an authenticated connection is
+            // acknowledged (idempotent) as long as the token is right.
+            Ok(Request::Auth { token }) => {
+                if config
+                    .auth_token
+                    .as_deref()
+                    .is_none_or(|want| ct_eq(&token, want))
+                {
+                    Ok(crate::job::JobOutput {
+                        output: Vec::new(),
+                        cycles: 0,
+                        outcome: crate::job::JobOutcome::Clean,
+                    })
+                } else {
+                    let reply: JobResult = Err(ServeError::Unauthorized);
+                    let _ = write_frame(&mut writer, &wire::encode_response(&reply));
+                    return Err(WireError {
+                        detail: "closed after bad re-auth".into(),
+                    });
+                }
+            }
             Ok(Request::Submit(spec)) => match handle.submit(spec) {
                 // Blocking on the ticket is safe: every accepted job
                 // gets exactly one delivery, including during shutdown.
@@ -233,6 +306,28 @@ impl ServeClient {
                 detail: format!("set timeouts: {e}"),
             })?;
         Ok(ServeClient { stream })
+    }
+
+    /// [`ServeClient::connect`] followed by the AUTH handshake: sends
+    /// `token` as the first frame and fails with
+    /// [`ServeError::Unauthorized`] if the server refuses it.
+    pub fn connect_with_token(
+        path: impl AsRef<Path>,
+        timeout: Duration,
+        token: &[u8],
+    ) -> Result<ServeClient, ServeError> {
+        let mut client = ServeClient::connect(path, timeout)?;
+        match client.call(&Request::Auth {
+            token: token.to_vec(),
+        })? {
+            Ok(_) => Ok(client),
+            Err(remote) if remote.code == ServeError::Unauthorized.code() => {
+                Err(ServeError::Unauthorized)
+            }
+            Err(remote) => Err(ServeError::Protocol {
+                detail: format!("auth refused with code {}: {}", remote.code, remote.message),
+            }),
+        }
     }
 
     /// Sends one request and reads one response.

@@ -17,6 +17,8 @@
 //!                  u32 deadline_ms (0 = none), u32 payload_len, payload
 //! SHUTDOWN = 0x02  (drain-then-stop; empty body)
 //! PING     = 0x03  (liveness; empty body)
+//! AUTH     = 0x04  u16 token_len, token (pre-shared bytes; must be the
+//!                  first frame when the server requires a token)
 //! ```
 //!
 //! ## Responses (server → client)
@@ -45,6 +47,13 @@ pub const OP_SUBMIT: u8 = 0x01;
 pub const OP_SHUTDOWN: u8 = 0x02;
 /// Liveness probe; answered with an empty OK frame.
 pub const OP_PING: u8 = 0x03;
+/// Pre-shared-token handshake; must be the connection's first frame
+/// when the server was configured with a token.
+pub const OP_AUTH: u8 = 0x04;
+
+/// Cap on an auth token's length, bytes. Far above any reasonable
+/// pre-shared secret; keeps a hostile length field from meaning much.
+pub const MAX_TOKEN: usize = 1024;
 
 const STATUS_OK: u8 = 0x00;
 const STATUS_ERR: u8 = 0x01;
@@ -58,6 +67,12 @@ pub enum Request {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// Present the pre-shared token.
+    Auth {
+        /// The token bytes as sent; the server compares in constant
+        /// time.
+        token: Vec<u8>,
+    },
 }
 
 /// Typed protocol violations, carried to the peer as
@@ -169,6 +184,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Shutdown => vec![OP_SHUTDOWN],
         Request::Ping => vec![OP_PING],
+        Request::Auth { token } => {
+            let token = &token[..token.len().min(MAX_TOKEN)];
+            let mut v = Vec::with_capacity(3 + token.len());
+            v.push(OP_AUTH);
+            v.extend_from_slice(&(token.len() as u16).to_le_bytes());
+            v.extend_from_slice(token);
+            v
+        }
     }
 }
 
@@ -203,6 +226,17 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
         OP_PING => {
             c.finish("ping request")?;
             Ok(Request::Ping)
+        }
+        OP_AUTH => {
+            let token_len = usize::from(c.u16("token length")?);
+            if token_len > MAX_TOKEN {
+                return Err(wire_err(format!(
+                    "token length {token_len} exceeds the {MAX_TOKEN}-byte cap"
+                )));
+            }
+            let token = c.take(token_len, "token")?.to_vec();
+            c.finish("auth request")?;
+            Ok(Request::Auth { token })
         }
         other => Err(wire_err(format!("unknown request opcode {other:#04x}"))),
     }
@@ -347,9 +381,34 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
-        for req in [Request::Shutdown, Request::Ping] {
+        for req in [
+            Request::Shutdown,
+            Request::Ping,
+            Request::Auth {
+                token: b"s3cret".to_vec(),
+            },
+            Request::Auth { token: Vec::new() },
+        ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn hostile_auth_frames_are_typed() {
+        // Token length field larger than the bytes that follow.
+        let bad = [OP_AUTH, 10, 0, b'x'];
+        assert!(decode_request(&bad).is_err());
+        // Declared length over the cap is refused even if bytes exist.
+        let mut over = vec![OP_AUTH];
+        over.extend_from_slice(&((MAX_TOKEN as u16) + 1).to_le_bytes());
+        over.extend(std::iter::repeat_n(0u8, MAX_TOKEN + 1));
+        assert!(decode_request(&over).unwrap_err().detail.contains("cap"));
+        // Trailing bytes after the token are refused.
+        let mut trailing = encode_request(&Request::Auth {
+            token: b"t".to_vec(),
+        });
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
     }
 
     #[test]

@@ -31,10 +31,93 @@ fn start_server(tag: &str) -> (ServeRuntime, SocketServer, PathBuf) {
         SocketConfig {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
+            ..SocketConfig::default()
         },
     )
     .unwrap();
     (rt, server, path)
+}
+
+const TOKEN: &[u8] = b"pre-shared-test-token";
+
+fn start_authed_server(tag: &str) -> (ServeRuntime, SocketServer, PathBuf) {
+    let rt = ServeRuntime::start_with_builtin_kernels(ServeConfig {
+        parallel: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let path = sock_path(tag);
+    let server = SocketServer::bind(
+        &path,
+        rt.handle(),
+        SocketConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            auth_token: Some(TOKEN.to_vec()),
+        },
+    )
+    .unwrap();
+    (rt, server, path)
+}
+
+#[test]
+fn auth_handshake_gates_every_request() {
+    let (rt, server, path) = start_authed_server("auth");
+
+    // The right token admits the connection; work flows normally.
+    let mut client = ServeClient::connect_with_token(&path, CLIENT_TIMEOUT, TOKEN).unwrap();
+    let out = client
+        .submit(JobSpec::new("alice", "csv", b"a,b\n".to_vec()))
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.output, b"a\x1fb\x1f\x1e");
+
+    // A wrong token gets the typed Unauthorized error.
+    assert!(matches!(
+        ServeClient::connect_with_token(&path, CLIENT_TIMEOUT, b"wrong"),
+        Err(udp_serve::ServeError::Unauthorized)
+    ));
+
+    // Skipping the handshake entirely: the first real request is
+    // answered Unauthorized (code 13) and the connection is closed.
+    let mut bare = ServeClient::connect(&path, CLIENT_TIMEOUT).unwrap();
+    let remote = bare.call(&Request::Ping).unwrap().unwrap_err();
+    assert_eq!(remote.code, udp_serve::ServeError::Unauthorized.code());
+    assert!(
+        bare.call(&Request::Ping).is_err(),
+        "connection must be closed after an unauthenticated request"
+    );
+
+    server.stop();
+    rt.shutdown(Shutdown::Drain);
+}
+
+#[test]
+fn short_and_malformed_auth_frames_are_refused() {
+    let (rt, server, path) = start_authed_server("auth-short");
+
+    // An AUTH frame whose token length field overruns the frame.
+    let mut vandal = UnixStream::connect(&path).unwrap();
+    let body = [0x04u8, 10, 0, b'x']; // OP_AUTH, len=10, 1 byte present
+    vandal
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .unwrap();
+    vandal.write_all(&body).unwrap();
+    vandal.flush().unwrap();
+    drop(vandal);
+
+    // An empty-token AUTH against a non-empty server token.
+    assert!(matches!(
+        ServeClient::connect_with_token(&path, CLIENT_TIMEOUT, b""),
+        Err(udp_serve::ServeError::Unauthorized)
+    ));
+
+    // The server is still healthy for honest clients.
+    let mut client = ServeClient::connect_with_token(&path, CLIENT_TIMEOUT, TOKEN).unwrap();
+    client.call(&Request::Ping).unwrap().unwrap();
+
+    server.stop();
+    rt.shutdown(Shutdown::Drain);
 }
 
 #[test]

@@ -286,6 +286,38 @@ impl Udp {
         staging: &Staging,
         opts: &UdpRunOptions,
     ) -> Result<UdpRunReport, SimError> {
+        self.try_run_inner(image, None, inputs, staging, opts)
+    }
+
+    /// [`Udp::try_run_data_parallel`] with a caller-provided predecoded
+    /// table, for callers that run the same image many times (the serve
+    /// runtime's kernel registry, the artifact store's AOT pipeline).
+    /// Skips the per-run `image.predecode()` — the one remaining
+    /// per-dispatch cost proportional to program size.
+    ///
+    /// `decoded` must be the predecode of *this* `image`; the engine
+    /// cross-checks the table length and silently predecodes afresh on
+    /// a mismatch (correctness is never entrusted to the caller — a
+    /// stale table would merely lose the sharing win).
+    pub fn try_run_data_parallel_shared(
+        &mut self,
+        image: &ProgramImage,
+        decoded: &Arc<DecodedProgram>,
+        inputs: &[&[u8]],
+        staging: &Staging,
+        opts: &UdpRunOptions,
+    ) -> Result<UdpRunReport, SimError> {
+        self.try_run_inner(image, Some(decoded), inputs, staging, opts)
+    }
+
+    fn try_run_inner(
+        &mut self,
+        image: &ProgramImage,
+        shared_decoded: Option<&Arc<DecodedProgram>>,
+        inputs: &[&[u8]],
+        staging: &Staging,
+        opts: &UdpRunOptions,
+    ) -> Result<UdpRunReport, SimError> {
         if !image.executable {
             return Err(SimError::NotExecutable);
         }
@@ -323,7 +355,10 @@ impl Udp {
             Some(cert) if staging.regs.is_empty() => opts.lane.with_cert(cert),
             _ => opts.lane.clone(),
         };
-        let decoded = Arc::new(image.predecode());
+        let decoded = match shared_decoded {
+            Some(d) if d.len() == image.words.len() => Arc::clone(d),
+            _ => Arc::new(image.predecode()),
+        };
         // Per-bank counts only feed the conflict model, which local
         // (disjoint-window) addressing never consults.
         self.mem.set_bank_tracking(opts.addressing.allows_sharing());

@@ -211,6 +211,78 @@ pub fn annotate(image: &ProgramImage, report: &Report) -> String {
     out
 }
 
+/// Why [`revalidate_artifact`] rejected a deserialized image.
+///
+/// Both variants mean the artifact's bytes decoded but describe a
+/// program the verifier would not certify *today* — either it no
+/// longer passes the static checks at all, or its embedded certificate
+/// disagrees with the one recomputed from the decoded graph (a
+/// tampered or bit-rotted cert smuggled past the outer checksum, or a
+/// cert produced by a different analysis version).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevalidateError {
+    /// The image no longer verifies clean; the report says why.
+    Unverifiable(Box<Report>),
+    /// The stored certificate does not match the recomputed one.
+    CertMismatch {
+        /// The certificate carried by the artifact.
+        stored: Box<Option<udp_asm::ResourceCert>>,
+        /// The certificate the verifier derives from the graph now.
+        recomputed: Box<Option<udp_asm::ResourceCert>>,
+    },
+}
+
+impl fmt::Display for RevalidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevalidateError::Unverifiable(r) => {
+                write!(f, "reloaded image fails verification: {r}")
+            }
+            RevalidateError::CertMismatch { stored, recomputed } => write!(
+                f,
+                "stored certificate diverges from the recomputed one \
+                 (stored: {}, recomputed: {})",
+                stored
+                    .as_ref()
+                    .as_ref()
+                    .map_or_else(|| "none".to_string(), udp_asm::ResourceCert::summary),
+                recomputed
+                    .as_ref()
+                    .as_ref()
+                    .map_or_else(|| "none".to_string(), udp_asm::ResourceCert::summary),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RevalidateError {}
+
+/// Re-validates a deserialized artifact image against the decoded
+/// graph (DESIGN.md §11): the full check suite must pass clean *and*
+/// the certificate embedded in the image must equal the one the cost
+/// analysis recomputes. The artifact store runs this on every load, so
+/// corruption that survives the outer length/checksum rungs — or a
+/// stale artifact from an older analysis — still cannot reach the
+/// device with bounds the verifier no longer stands behind.
+///
+/// Returns the fresh report (certificate included) on success.
+pub fn revalidate_artifact(
+    image: &ProgramImage,
+    opts: &VerifyOptions,
+) -> Result<Report, RevalidateError> {
+    let report = verify_image(image, opts);
+    if !report.is_clean() {
+        return Err(RevalidateError::Unverifiable(Box::new(report)));
+    }
+    if image.cert != report.cert {
+        return Err(RevalidateError::CertMismatch {
+            stored: Box::new(image.cert.clone()),
+            recomputed: Box::new(report.cert.clone()),
+        });
+    }
+    Ok(report)
+}
+
 /// Why [`assemble_verified`] failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyAssembleError {
@@ -317,6 +389,43 @@ mod tests {
         assert!(!img.executable);
         let report = verify_image(&img, &VerifyOptions::default());
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn revalidate_accepts_a_faithful_artifact_and_rejects_tampering() {
+        // A faithful round trip: verify, attach the cert, re-validate.
+        let mut img = sample();
+        let report = verify_image(&img, &VerifyOptions::default());
+        assert!(report.is_clean());
+        img.cert = report.cert;
+        let revalidated = revalidate_artifact(&img, &VerifyOptions::default()).unwrap();
+        assert_eq!(revalidated.cert, img.cert);
+
+        // A tampered certificate (bounds loosened) must be caught even
+        // though the image itself still verifies clean.
+        let mut tampered = img.clone();
+        if let Some(cert) = &mut tampered.cert {
+            cert.base_cycles = cert.base_cycles.wrapping_add(1);
+        }
+        assert!(matches!(
+            revalidate_artifact(&tampered, &VerifyOptions::default()),
+            Err(RevalidateError::CertMismatch { .. })
+        ));
+
+        // A corrupted word that breaks verification is Unverifiable.
+        let mut broken = img;
+        let g = ProgramGraph::decode(&broken);
+        let (addr, _) = g
+            .arcs
+            .iter()
+            .find_map(|a| a.block.as_ref())
+            .unwrap()
+            .actions[0];
+        broken.words[addr as usize] = 0x7F << 25;
+        assert!(matches!(
+            revalidate_artifact(&broken, &VerifyOptions::default()),
+            Err(RevalidateError::Unverifiable(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,8 @@ echo "== backend matrix: fault_fuzz on the compiled backend =="
 # the same recovery bar as the interpreter (no artifact refresh here —
 # the interpreter run below owns results/BENCH_fault_fuzz.json).
 UDP_SIM_BACKEND=compiled cargo run --release -q -p udp-bench --bin fault_fuzz -- \
-  --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100
+  --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100 \
+  --store-iters 16
 
 echo "== backend matrix: serve_fuzz on the compiled backend =="
 # The service-chaos plan (overload, disconnects, stalled readers,
@@ -58,7 +59,18 @@ echo "== fault_fuzz smoke gate (DESIGN.md §8) + static-reject oracle (§9) =="
 # recovered-or-fallback rate for transient chaos injections; refreshes
 # the results/BENCH_fault_fuzz.json artifact tracked across PRs.
 cargo run --release -q -p udp-bench --bin fault_fuzz -- \
-  --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100 --json
+  --iters 200 --seed 0xDEC0DE --min-static-reject 1 --min-recovery-rate 100 \
+  --store-iters 16 --json
+
+echo "== artifact-store round trip gate (DESIGN.md §11) =="
+# Populate a fresh store with the whole compiler corpus (assemble +
+# verify + certify + durable write), then demand that a second pass is
+# a pure cache hit whose stored image is byte-identical to a fresh
+# parse-and-assemble of the same source. Exercises the AOT workflow a
+# warm serve restart depends on.
+rm -rf target/ci-aot-store
+cargo run --release -q -p udp-bench --bin aot -- --dir target/ci-aot-store
+cargo run --release -q -p udp-bench --bin aot -- --dir target/ci-aot-store --check
 
 echo "== serve smoke gate (DESIGN.md §10.6) =="
 # One cycle of every service chaos mode at the CI seed: a mixed batch
